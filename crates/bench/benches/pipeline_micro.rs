@@ -1,0 +1,83 @@
+//! PERF — end-to-end pipeline benchmarks: training (sequential vs parallel
+//! labelling), the per-step selection cost of LAR vs the NWS baselines, and
+//! full trace evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use larp::eval::run_selector_normalized;
+use larp::selector::{NwsCumMse, Selector};
+use larp::{LarpConfig, TrainedLarp};
+use vmsim::metric::MetricKind;
+use vmsim::profiles::VmProfile;
+
+fn vm2_cpu() -> Vec<f64> {
+    vmsim::traceset::vm_traces(VmProfile::Vm2, 7)
+        .into_iter()
+        .find(|(k, _)| k.metric == MetricKind::CpuUsedSec)
+        .map(|(_, s)| s.values().to_vec())
+        .unwrap()
+}
+
+fn bench_training(c: &mut Criterion) {
+    let trace = vm2_cpu();
+    let (train, _) = trace.split_at(trace.len() / 2);
+    let config = LarpConfig::paper(5);
+    let mut g = c.benchmark_group("training");
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| black_box(TrainedLarp::train_with_threads(train, &config, t).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_selection_step(c: &mut Criterion) {
+    let trace = vm2_cpu();
+    let (train, test) = trace.split_at(trace.len() / 2);
+    let config = LarpConfig::paper(5);
+    let model = TrainedLarp::train(train, &config).unwrap();
+    let norm = model.zscore().apply_slice(test);
+    let mut g = c.benchmark_group("selection_step");
+    g.bench_function("knn_select", |b| {
+        b.iter(|| black_box(model.select(black_box(&norm[..60])).unwrap()))
+    });
+    g.bench_function("knn_select_and_predict", |b| {
+        b.iter(|| black_box(model.predict_next(black_box(&norm[..60])).unwrap()))
+    });
+    g.bench_function("nws_full_pool_step", |b| {
+        // What NWS pays every step: run every model and update accounting.
+        let pool = model.pool();
+        b.iter(|| {
+            let mut sel = NwsCumMse::new(pool);
+            sel.observe(black_box(&norm[..60]), black_box(norm[60]));
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_runs(c: &mut Criterion) {
+    let trace = vm2_cpu();
+    let (train, test) = trace.split_at(trace.len() / 2);
+    let config = LarpConfig::paper(5);
+    let model = TrainedLarp::train(train, &config).unwrap();
+    let norm = model.zscore().apply_slice(test);
+    let mut g = c.benchmark_group("full_run");
+    g.sample_size(20);
+    g.bench_function("lar_over_144_steps", |b| {
+        b.iter(|| {
+            let mut sel = model.selector();
+            black_box(run_selector_normalized(&mut sel, model.pool(), 5, &norm).unwrap())
+        })
+    });
+    g.bench_function("nws_over_144_steps", |b| {
+        b.iter(|| {
+            let mut sel = NwsCumMse::new(model.pool());
+            black_box(run_selector_normalized(&mut sel, model.pool(), 5, &norm).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_training, bench_selection_step, bench_full_runs);
+criterion_main!(benches);

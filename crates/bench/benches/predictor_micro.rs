@@ -1,0 +1,86 @@
+//! PERF — microbenchmarks of the predictor pool (paper §7.3 cost model).
+//!
+//! Measures per-call prediction cost of each model, AR fitting cost as a
+//! function of order, and the full-pool step the NWS baselines pay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use predictors::models::{Ar, Ewma, Last, PolyFit, SlidingMedian, SwAvg, Tendency};
+use predictors::{Predictor, PredictorPool};
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.17).sin() * 2.0 + (i % 13) as f64 * 0.05).collect()
+}
+
+fn bench_single_models(c: &mut Criterion) {
+    let data = series(4096);
+    let window = &data[4000..4016]; // 16-point window, the paper's largest
+    let mut g = c.benchmark_group("predict_one");
+    g.bench_function("LAST", |b| {
+        let m = Last;
+        b.iter(|| black_box(m.predict(black_box(window))))
+    });
+    g.bench_function("SW_AVG_16", |b| {
+        let m = SwAvg::new(16).unwrap();
+        b.iter(|| black_box(m.predict(black_box(window))))
+    });
+    g.bench_function("EWMA", |b| {
+        let m = Ewma::new(0.5).unwrap();
+        b.iter(|| black_box(m.predict(black_box(window))))
+    });
+    g.bench_function("MEDIAN_16", |b| {
+        let m = SlidingMedian::new(16).unwrap();
+        b.iter(|| black_box(m.predict(black_box(window))))
+    });
+    g.bench_function("TENDENCY", |b| {
+        let m = Tendency::new(4).unwrap();
+        b.iter(|| black_box(m.predict(black_box(window))))
+    });
+    g.bench_function("POLY_8_1", |b| {
+        let m = PolyFit::new(8, 1).unwrap();
+        b.iter(|| black_box(m.predict(black_box(window))))
+    });
+    g.bench_function("AR_16", |b| {
+        let m = Ar::fit(&data, 16).unwrap();
+        b.iter(|| black_box(m.predict(black_box(window))))
+    });
+    g.finish();
+}
+
+fn bench_ar_fit(c: &mut Criterion) {
+    let data = series(2048);
+    let mut g = c.benchmark_group("ar_fit");
+    for order in [2usize, 4, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, &order| {
+            b.iter(|| black_box(Ar::fit(black_box(&data), order).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pool_step(c: &mut Criterion) {
+    // The cost asymmetry the paper exploits: one model per step (LAR) versus
+    // the whole pool per step (NWS).
+    let data = series(1024);
+    let window = &data[1000..1016];
+    let mut g = c.benchmark_group("pool_step");
+    {
+        let (name, order) = ("standard", 16usize);
+        let pool = PredictorPool::standard(&data, order).unwrap();
+        g.bench_function(format!("{name}_single_model"), |b| {
+            b.iter(|| black_box(pool.predict_one(predictors::PredictorId(1), black_box(window))))
+        });
+        g.bench_function(format!("{name}_full_pool"), |b| {
+            b.iter(|| black_box(pool.predict_all(black_box(window))))
+        });
+    }
+    let extended = PredictorPool::extended(&data, 16).unwrap();
+    g.bench_function("extended_full_pool", |b| {
+        b.iter(|| black_box(extended.predict_all(black_box(window))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_models, bench_ar_fit, bench_pool_step);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! ABL2 — ablation of the neighbour count: k sweep for the k-NN selector.
+//!
+//! The paper fixes k = 3. Sweeps k ∈ {1, 3, 5, 7, 9} over VM2's and VM4's
+//! live traces.
+//!
+//! Run with: `cargo run --release -p larp-bench --bin ablation_k`
+
+use larp::TraceReport;
+use vmsim::profiles::VmProfile;
+
+fn main() {
+    let (seed, folds) = larp_bench::cli_args();
+    let mut traces = vmsim::traceset::vm_traces(VmProfile::Vm2, seed);
+    traces.extend(vmsim::traceset::vm_traces(VmProfile::Vm4, seed));
+    let live: Vec<_> = traces
+        .iter()
+        .filter(|(_, s)| !larp_bench::is_degenerate(s.values()))
+        .collect();
+
+    println!("=== Ablation: k-NN neighbour count (VM2 + VM4, {} traces) ===", live.len());
+    larp_bench::header("k", &["acc", "mse_lar", "vs_plar"]);
+    for k in [1usize, 3, 5, 7, 9] {
+        let mut config = larp_bench::paper_config(VmProfile::Vm2);
+        config.k = k;
+        let mut acc = 0.0;
+        let mut mse = 0.0;
+        let mut gap = 0.0;
+        for (key, series) in &live {
+            let r = TraceReport::evaluate(key.label(), series.values(), &config, folds, seed)
+                .expect("traces are long enough");
+            acc += r.acc_lar;
+            mse += r.mse_lar;
+            gap += if r.mse_plar > 1e-12 { r.mse_lar / r.mse_plar } else { 1.0 };
+        }
+        let n = live.len() as f64;
+        let label = if k == 3 { "3 (paper)".to_string() } else { k.to_string() };
+        larp_bench::row(
+            &label,
+            &[
+                format!("{:.2}%", 100.0 * acc / n),
+                larp_bench::cell(mse / n),
+                format!("{:.2}x", gap / n),
+            ],
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! ABL4 — ablation of the NWS windowed selector's error window.
+//!
+//! The paper's Figure 6 fixes the W-Cum.MSE window at 2 without justification;
+//! this sweep shows the window's effect — small windows adapt fast but select
+//! on noise, large windows converge to the all-history Cum.MSE behaviour.
+//!
+//! Run with: `cargo run --release -p larp-bench --bin ablation_nws_window`
+
+use larp::eval::{forecasting_accuracy, observed_best_scored, run_selector_scored};
+use larp::selector::{NwsCumMse, WindowedCumMse};
+use larp::TrainedLarp;
+use vmsim::profiles::VmProfile;
+
+fn main() {
+    let (seed, _) = larp_bench::cli_args();
+    let mut traces = vmsim::traceset::vm_traces(VmProfile::Vm2, seed);
+    traces.extend(vmsim::traceset::vm_traces(VmProfile::Vm4, seed));
+    let live: Vec<_> = traces
+        .iter()
+        .filter(|(_, s)| !larp_bench::is_degenerate(s.values()))
+        .collect();
+    let config = larp_bench::paper_config(VmProfile::Vm2);
+
+    println!("=== Ablation: W-Cum.MSE error window (VM2 + VM4, {} traces) ===", live.len());
+    larp_bench::header("window", &["acc", "mse"]);
+    for window in [1usize, 2, 4, 8, 16, 32] {
+        let mut acc = 0.0;
+        let mut mse = 0.0;
+        for (_, series) in &live {
+            let values = series.values();
+            let split = values.len() / 2;
+            let model = TrainedLarp::train(&values[..split], &config).unwrap();
+            let norm = model.zscore().apply_slice(values);
+            let pool = model.pool();
+            let oracle = observed_best_scored(pool, config.window, &norm, split).unwrap();
+            let mut sel = WindowedCumMse::new(pool, window).unwrap();
+            let run = run_selector_scored(&mut sel, pool, config.window, &norm, split).unwrap();
+            acc += forecasting_accuracy(&run, &oracle).unwrap();
+            mse += run.mse;
+        }
+        let n = live.len() as f64;
+        let label = if window == 2 { "2 (paper)".to_string() } else { window.to_string() };
+        larp_bench::row(&label, &[format!("{:.2}%", 100.0 * acc / n), larp_bench::cell(mse / n)]);
+    }
+    // Reference: the all-history selector.
+    let mut acc = 0.0;
+    let mut mse = 0.0;
+    for (_, series) in &live {
+        let values = series.values();
+        let split = values.len() / 2;
+        let model = TrainedLarp::train(&values[..split], &config).unwrap();
+        let norm = model.zscore().apply_slice(values);
+        let pool = model.pool();
+        let oracle = observed_best_scored(pool, config.window, &norm, split).unwrap();
+        let mut sel = NwsCumMse::new(pool);
+        let run = run_selector_scored(&mut sel, pool, config.window, &norm, split).unwrap();
+        acc += forecasting_accuracy(&run, &oracle).unwrap();
+        mse += run.mse;
+    }
+    let n = live.len() as f64;
+    larp_bench::row(
+        "all-history",
+        &[format!("{:.2}%", 100.0 * acc / n), larp_bench::cell(mse / n)],
+    );
+}

@@ -1,0 +1,57 @@
+//! ABL1 — ablation of the feature-space reduction: PCA dimension sweep.
+//!
+//! The paper fixes PCA at n = 2 ("the minimal fraction variance was set to
+//! extract exactly two principal components"). This sweep asks whether that
+//! choice matters: n ∈ {1, 2, 3, window} plus no reduction at all, scored by
+//! forecasting accuracy and MSE over VM2's and VM4's live traces.
+//!
+//! Run with: `cargo run --release -p larp-bench --bin ablation_pca`
+
+use larp::config::FeatureReduction;
+use larp::TraceReport;
+use vmsim::profiles::VmProfile;
+
+fn main() {
+    let (seed, folds) = larp_bench::cli_args();
+    let arms: Vec<(&str, FeatureReduction)> = vec![
+        ("pca-1", FeatureReduction::Pca { dims: 1 }),
+        ("pca-2 (paper)", FeatureReduction::Pca { dims: 2 }),
+        ("pca-3", FeatureReduction::Pca { dims: 3 }),
+        ("pca-m (full)", FeatureReduction::Pca { dims: 5 }),
+        ("none", FeatureReduction::None),
+        ("frac-90%", FeatureReduction::PcaFraction { min_fraction: 0.9 }),
+    ];
+
+    let mut traces = vmsim::traceset::vm_traces(VmProfile::Vm2, seed);
+    traces.extend(vmsim::traceset::vm_traces(VmProfile::Vm4, seed));
+    let live: Vec<_> = traces
+        .iter()
+        .filter(|(_, s)| !larp_bench::is_degenerate(s.values()))
+        .collect();
+
+    println!("=== Ablation: feature reduction (VM2 + VM4, {} traces) ===", live.len());
+    larp_bench::header("reduction", &["acc", "mse_lar", "vs_plar"]);
+    for (name, reduction) in arms {
+        let mut config = larp_bench::paper_config(VmProfile::Vm2);
+        config.reduction = reduction;
+        let mut acc = 0.0;
+        let mut mse = 0.0;
+        let mut gap = 0.0;
+        for (key, series) in &live {
+            let r = TraceReport::evaluate(key.label(), series.values(), &config, folds, seed)
+                .expect("traces are long enough");
+            acc += r.acc_lar;
+            mse += r.mse_lar;
+            gap += if r.mse_plar > 1e-12 { r.mse_lar / r.mse_plar } else { 1.0 };
+        }
+        let n = live.len() as f64;
+        larp_bench::row(
+            name,
+            &[
+                format!("{:.2}%", 100.0 * acc / n),
+                larp_bench::cell(mse / n),
+                format!("{:.2}x", gap / n),
+            ],
+        );
+    }
+}

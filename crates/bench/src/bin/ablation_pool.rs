@@ -1,0 +1,61 @@
+//! ABL3 — ablation of the predictor pool: the paper's 3-model pool vs the
+//! extended 11-model family (the paper's "more predictors in the pool"
+//! future-work direction).
+//!
+//! A bigger pool lowers the oracle (P-LAR) MSE but makes the selection
+//! problem harder; this bench quantifies both sides, plus the per-step cost
+//! advantage over NWS (which must run the whole pool).
+//!
+//! Run with: `cargo run --release -p larp-bench --bin ablation_pool`
+
+use larp::TraceReport;
+use predictors::ModelSpec;
+use vmsim::profiles::VmProfile;
+
+fn main() {
+    let (seed, folds) = larp_bench::cli_args();
+    let mut traces = vmsim::traceset::vm_traces(VmProfile::Vm2, seed);
+    traces.extend(vmsim::traceset::vm_traces(VmProfile::Vm4, seed));
+    let live: Vec<_> = traces
+        .iter()
+        .filter(|(_, s)| !larp_bench::is_degenerate(s.values()))
+        .collect();
+
+    let window = 5;
+    let arms: Vec<(&str, Vec<ModelSpec>)> = vec![
+        ("standard (3)", ModelSpec::standard_pool(window)),
+        ("extended (11)", ModelSpec::extended_pool(window)),
+    ];
+
+    println!("=== Ablation: pool size (VM2 + VM4, {} traces) ===", live.len());
+    larp_bench::header("pool", &["acc", "mse_plar", "mse_lar", "mse_nws"]);
+    for (name, pool) in arms {
+        let mut config = larp_bench::paper_config(VmProfile::Vm2);
+        config.pool = pool;
+        let mut acc = 0.0;
+        let mut plar = 0.0;
+        let mut lar = 0.0;
+        let mut nws = 0.0;
+        for (key, series) in &live {
+            let r = TraceReport::evaluate(key.label(), series.values(), &config, folds, seed)
+                .expect("traces are long enough");
+            acc += r.acc_lar;
+            plar += r.mse_plar;
+            lar += r.mse_lar;
+            nws += r.mse_nws;
+        }
+        let n = live.len() as f64;
+        larp_bench::row(
+            name,
+            &[
+                format!("{:.2}%", 100.0 * acc / n),
+                larp_bench::cell(plar / n),
+                larp_bench::cell(lar / n),
+                larp_bench::cell(nws / n),
+            ],
+        );
+    }
+    println!();
+    println!("note: a larger pool lowers the oracle bound (mse_plar) but dilutes selection");
+    println!("accuracy; NWS pays pool-size executions per step, the LARPredictor pays one.");
+}

@@ -1,0 +1,26 @@
+//! Diagnostic: per-trace LAR vs NWS vs best-single breakdown over the corpus.
+
+fn main() {
+    let (seed, folds) = larp_bench::cli_args();
+    let results = larp_bench::evaluate_corpus(seed, folds);
+    larp_bench::header(
+        "trace",
+        &["acc", "P-LAR", "LAR", "NWS", "best1", "who", "L<N", "L<=B"],
+    );
+    for r in &results {
+        let Some(rep) = &r.report else { continue };
+        larp_bench::row(
+            &r.key.label(),
+            &[
+                format!("{:.0}%", rep.acc_lar * 100.0),
+                larp_bench::cell(rep.mse_plar),
+                larp_bench::cell(rep.mse_lar),
+                larp_bench::cell(rep.mse_nws),
+                larp_bench::cell(rep.best_single_mse()),
+                rep.best_single_name().into(),
+                if rep.lar_beats_nws() { "+".into() } else { "".into() },
+                if rep.lar_beats_best_single() { "*".into() } else { "".into() },
+            ],
+        );
+    }
+}

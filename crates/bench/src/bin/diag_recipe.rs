@@ -1,0 +1,150 @@
+//! Diagnostic: calibrate per-metric signal recipes against the paper's
+//! normalized-MSE profile (LAST ≈ 1.1–1.8, AR ≈ 0.55–0.95, SW ≈ 0.6–1.05,
+//! LAR within a few percent of AR).
+//!
+//! Builds candidate signals from `vmsim::signal` components, consolidates
+//! them at 5-minute resolution exactly like the profiler, and prints each
+//! model's normalized MSE plus the LARPredictor's.
+
+use larp::TraceReport;
+use vmsim::profiles::VmProfile;
+use vmsim::signal::*;
+
+fn consolidate(signal: &mut dyn Signal, minutes: u64, interval: u64) -> Vec<f64> {
+    let raw: Vec<f64> = (0..minutes).map(|m| signal.sample(m)).collect();
+    raw.chunks(interval as usize)
+        .filter(|c| c.len() == interval as usize)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+fn eval(name: &str, signal: Box<dyn Signal>, seed: u64, folds: usize) {
+    let mut signal = signal;
+    // Two simulated days at 5-minute consolidation = 576 points; the paper's
+    // 24 h / 288-point geometry is the second half.
+    let values = consolidate(signal.as_mut(), 2880, 5);
+    let config = larp_bench::paper_config(VmProfile::Vm2);
+    let r = TraceReport::evaluate(name, &values, &config, folds, seed).unwrap();
+    larp_bench::row(
+        name,
+        &[
+            format!("{:.1}%", r.acc_lar * 100.0),
+            larp_bench::cell(r.mse_plar),
+            larp_bench::cell(r.mse_lar),
+            larp_bench::cell(r.mse_nws),
+            larp_bench::cell(r.mse_models[0]),
+            larp_bench::cell(r.mse_models[1]),
+            larp_bench::cell(r.mse_models[2]),
+            if r.lar_beats_best_single() { "*".into() } else { "".into() },
+            if r.lar_beats_nws() { "+".into() } else { "".into() },
+        ],
+    );
+}
+
+fn main() {
+    let (seed, folds) = larp_bench::cli_args();
+    larp_bench::header(
+        "recipe",
+        &["acc", "P-LAR", "LAR", "NWS", "LAST", "AR", "SW", "*", "+"],
+    );
+    // A: pure correlated noise (phi tuned for consolidated lag-1 ~ 0.5).
+    for phi in [0.8, 0.85, 0.9, 0.95] {
+        eval(
+            &format!("ar-{phi}"),
+            Box::new(ArNoise::new(phi, 1.0, seed + (phi * 100.0) as u64)),
+            seed,
+            folds,
+        );
+    }
+    // B: correlated noise + volatility regime switching at various strengths.
+    for (i, vol) in [0.5f64, 1.0, 2.0].iter().enumerate() {
+        let sig = Sum(vec![
+            Box::new(ArNoise::new(0.85, 1.0, seed + 11)) as Box<dyn Signal>,
+            vmsim_switch(*vol, seed + 20 + i as u64 * 3),
+        ]);
+        eval(&format!("ar+vol-{vol}"), Box::new(sig), seed, folds);
+    }
+    // D: drifting (non-stationary) AR dynamics — alone and with regimes.
+    for step in [0.01f64, 0.03, 0.06] {
+        eval(
+            &format!("drift-{step}"),
+            Box::new(DriftingAr::new(-0.5, 0.97, 1.0, step, seed + 41)),
+            seed,
+            folds,
+        );
+    }
+    for (i, vol) in [0.5f64, 1.0].iter().enumerate() {
+        let sig = Sum(vec![
+            Box::new(DriftingAr::new(-0.5, 0.97, 1.0, 0.03, seed + 51 + i as u64)) as Box<dyn Signal>,
+            vmsim_switch(*vol, seed + 60 + i as u64 * 3),
+        ]);
+        eval(&format!("drift+vol-{vol}"), Box::new(sig), seed, folds);
+    }
+    // Q: quantized non-stationary mixes (flat quiet stretches).
+    for grain in [0.25f64, 0.5, 1.0] {
+        let sig = Quantized {
+            inner: Box::new(Sum(vec![
+                Box::new(DriftingAr::new(-0.5, 0.97, 1.0, 0.03, seed + 71)) as Box<dyn Signal>,
+                vmsim_switch(1.0, seed + 74),
+            ])),
+            grain,
+        };
+        eval(&format!("quant-{grain}"), Box::new(sig), seed, folds);
+    }
+    // QB: quantized bursty idle metric (exact zero floors between bursts).
+    let sig = Quantized {
+        inner: Box::new(Sum(vec![
+            Box::new(OnOffBurst::new(40.0, 120.0, 3.0, 2.0, seed + 81)) as Box<dyn Signal>,
+            Box::new(ArNoise::new(0.3, 0.4, seed + 82)),
+        ])),
+        grain: 0.5,
+    };
+    eval("quant-burst", Box::new(sig), seed, folds);
+    // S: step-hold quiet regime switched with a noisy busy regime.
+    for (i, dwell) in [120.0f64, 240.0].iter().enumerate() {
+        let sig = RegimeSwitch::new(
+            vec![
+                Box::new(StepLevel::new(0.0, 1.0, 60.0, -2.0, 2.0, seed + 91 + i as u64)) as Box<dyn Signal>,
+                Box::new(Sum(vec![
+                    Box::new(Constant(3.0)) as Box<dyn Signal>,
+                    Box::new(Diurnal { amplitude: 1.9, period_minutes: 10.0, phase_minutes: 0.0 }),
+                    Box::new(ArNoise::new(0.0, 1.3, seed + 93 + i as u64)),
+                ])),
+            ],
+            *dwell,
+            seed + 95 + i as u64,
+        );
+        eval(&format!("step+busy-{dwell}"), Box::new(sig), seed, folds);
+    }
+    // S2: step-hold with occasional spikes only (memory-like).
+    let sig = Sum(vec![
+        Box::new(StepLevel::new(0.0, 1.0, 90.0, -3.0, 3.0, seed + 96)) as Box<dyn Signal>,
+        Box::new(Spikes::new(0.01, 1.0, 2.5, seed + 97)),
+    ]);
+    eval("step+spikes", Box::new(sig), seed, folds);
+    // C: with diurnal structure and spikes on top.
+    let sig = Sum(vec![
+        Box::new(ArNoise::new(0.85, 1.0, seed + 31)) as Box<dyn Signal>,
+        Box::new(Diurnal { amplitude: 0.8, period_minutes: 1440.0, phase_minutes: 0.0 }),
+        Box::new(Spikes::new(0.02, 2.0, 2.2, seed + 32)),
+        vmsim_switch(1.0, seed + 33),
+    ]);
+    eval("full-mix", Box::new(sig), seed, folds);
+}
+
+/// Mirror of vmsim's volatility_switch with explicit seeds (the real one is
+/// private to the profiles module).
+fn vmsim_switch(scale: f64, seed: u64) -> Box<dyn Signal> {
+    Box::new(RegimeSwitch::new(
+        vec![
+            Box::new(RandomWalk::new(0.0, 0.35 * scale / 5f64.sqrt(), -1.5 * scale, 1.5 * scale, seed)) as Box<dyn Signal>,
+            Box::new(Sum(vec![
+                Box::new(Constant(2.5 * scale)) as Box<dyn Signal>,
+                Box::new(Diurnal { amplitude: 1.9 * scale, period_minutes: 10.0, phase_minutes: 0.0 }),
+                Box::new(ArNoise::new(0.0, 0.6 * scale * 5f64.sqrt(), seed + 1)),
+            ])),
+        ],
+        180.0,
+        seed + 2,
+    ))
+}

@@ -1,0 +1,65 @@
+//! Diagnostic: step-level decomposition of LAR-vs-NWS MSE on one trace.
+
+use larp::eval::{observed_best_scored, run_selector_scored};
+use larp::selector::NwsCumMse;
+use larp::TrainedLarp;
+use vmsim::metric::MetricKind;
+use vmsim::profiles::VmProfile;
+
+fn main() {
+    let (seed, _) = larp_bench::cli_args();
+    let traces = vmsim::traceset::vm_traces(VmProfile::Vm4, seed);
+    let (_, series) = traces.iter().find(|(k, _)| k.metric == MetricKind::CpuReady).unwrap();
+    let values = series.values();
+    let config = larp_bench::paper_config(VmProfile::Vm4);
+    let split = values.len() / 2;
+    let model = TrainedLarp::train(&values[..split], &config).unwrap();
+    let norm = model.zscore().apply_slice(values);
+    let pool = model.pool();
+
+    let oracle = observed_best_scored(pool, 5, &norm, split).unwrap();
+    let lar = run_selector_scored(&mut model.selector(), pool, 5, &norm, split).unwrap();
+    let mut nws_sel = NwsCumMse::new(pool);
+    let nws = run_selector_scored(&mut nws_sel, pool, 5, &norm, split).unwrap();
+
+    println!("LAR mse {:.4}, NWS mse {:.4}", lar.mse, nws.mse);
+    // Cumulative excess squared error of LAR over NWS, by step.
+    let mut rows: Vec<(usize, f64)> = (0..lar.forecasts.len())
+        .map(|i| {
+            let le = (lar.forecasts[i] - lar.actuals[i]).powi(2);
+            let ne = (nws.forecasts[i] - nws.actuals[i]).powi(2);
+            (i, le - ne)
+        })
+        .collect();
+    let total: f64 = rows.iter().map(|(_, d)| d).sum();
+    println!("total excess (LAR - NWS): {total:.3} over {} steps", rows.len());
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\nworst 12 steps for LAR:");
+    println!(
+        "{:>5} {:>9} {:>6} {:>6} {:>6} {:>9} {:>9}  window(last 5)",
+        "step", "excess", "LARpick", "NWSpick", "best", "forecast", "actual"
+    );
+    for &(i, d) in rows.iter().take(12) {
+        let t = split + i;
+        let w: Vec<String> = norm[t - 5..t].iter().map(|x| format!("{x:.2}")).collect();
+        println!(
+            "{:>5} {:>9.3} {:>6} {:>6} {:>6} {:>9.2} {:>9.2}  [{}]",
+            i,
+            d,
+            lar.chosen[i].to_string(),
+            nws.chosen[i].to_string(),
+            oracle.best[i].to_string(),
+            lar.forecasts[i],
+            lar.actuals[i],
+            w.join(", ")
+        );
+    }
+    // Share of excess from steps where LAR picked LAST (1), AR (2), SW (3).
+    let mut by_pick = [0.0f64; 3];
+    for &(i, d) in &rows {
+        by_pick[lar.chosen[i].0] += d;
+    }
+    println!("\nexcess by LAR pick: LAST {:.3}, AR {:.3}, SW {:.3}", by_pick[0], by_pick[1], by_pick[2]);
+    let acc = larp::eval::forecasting_accuracy(&lar, &oracle).unwrap();
+    println!("LAR accuracy: {:.1}%", acc * 100.0);
+}

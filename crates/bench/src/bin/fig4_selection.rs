@@ -1,0 +1,69 @@
+//! FIG4 — Figure 4: best-predictor selection over time for trace VM2_load15
+//! (the proxy VM's CPU load), 12 hours at 5-minute sampling.
+//!
+//! Three aligned series of class labels (1 = LAST, 2 = AR, 3 = SW_AVG):
+//! the observed best predictor, the k-NN LARPredictor's forecasted best, and
+//! the NWS cumulative-MSE selection.
+//!
+//! Run with: `cargo run --release -p larp-bench --bin fig4_selection`
+
+use larp::eval::{forecasting_accuracy, observed_best, run_selector_normalized};
+use larp::selector::NwsCumMse;
+use larp::TrainedLarp;
+use vmsim::metric::MetricKind;
+use vmsim::profiles::VmProfile;
+
+fn main() {
+    selection_figure(MetricKind::CpuUsedSec, "Figure 4: Best Predictor Selection, VM2_load15");
+}
+
+/// Shared driver for Figures 4 and 5.
+pub fn selection_figure(metric: MetricKind, title: &str) {
+    let (seed, _) = larp_bench::cli_args();
+    let traces = vmsim::traceset::vm_traces(VmProfile::Vm2, seed);
+    let (_, series) = traces
+        .iter()
+        .find(|(k, _)| k.metric == metric)
+        .expect("corpus covers all metrics");
+
+    // Train on the first 12 hours, plot selection over the second 12 hours.
+    let config = larp_bench::paper_config(VmProfile::Vm2);
+    let half = series.len() / 2;
+    let (train, test) = series.values().split_at(half);
+    let model = TrainedLarp::train(train, &config).expect("12h of 5-min samples");
+    let norm = model.zscore().apply_slice(test);
+    let pool = model.pool();
+
+    let oracle = observed_best(pool, config.window, &norm).unwrap();
+    let lar = run_selector_normalized(&mut model.selector(), pool, config.window, &norm).unwrap();
+    let mut nws_sel = NwsCumMse::new(pool);
+    let nws = run_selector_normalized(&mut nws_sel, pool, config.window, &norm).unwrap();
+
+    println!("=== {title} ===");
+    println!("Predictor Class: 1 - LAST, 2 - AR, 3 - SW_AVG");
+    println!("{:>6} {:>14} {:>14} {:>14}", "step", "observed_best", "Knn-LARP", "NWS Cum.MSE");
+    for i in 0..oracle.best.len() {
+        println!(
+            "{:>6} {:>14} {:>14} {:>14}",
+            i,
+            oracle.best[i].to_string(),
+            lar.chosen[i].to_string(),
+            nws.chosen[i].to_string()
+        );
+    }
+    println!();
+    println!(
+        "forecasting accuracy: Knn-LARP {:.2}%, NWS {:.2}%",
+        forecasting_accuracy(&lar, &oracle).unwrap() * 100.0,
+        forecasting_accuracy(&nws, &oracle).unwrap() * 100.0
+    );
+    // Selection-change counts show who adapts: the oracle switches often, the
+    // NWS selection is sticky.
+    let switches = |v: &[predictors::PredictorId]| v.windows(2).filter(|w| w[0] != w[1]).count();
+    println!(
+        "selection changes: observed {}, Knn-LARP {}, NWS {}",
+        switches(&oracle.best),
+        switches(&lar.chosen),
+        switches(&nws.chosen)
+    );
+}

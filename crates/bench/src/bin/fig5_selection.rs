@@ -1,0 +1,60 @@
+//! FIG5 — Figure 5: best-predictor selection over time for trace VM2_PktIn
+//! (the proxy VM's inbound packet rate), 12 hours at 5-minute sampling.
+//!
+//! Same format as Figure 4; the bursty network trace exercises different
+//! selection dynamics than the smooth CPU trace.
+//!
+//! Run with: `cargo run --release -p larp-bench --bin fig5_selection`
+
+use larp::eval::{forecasting_accuracy, observed_best, run_selector_normalized};
+use larp::selector::NwsCumMse;
+use larp::TrainedLarp;
+use vmsim::metric::MetricKind;
+use vmsim::profiles::VmProfile;
+
+fn main() {
+    let (seed, _) = larp_bench::cli_args();
+    let traces = vmsim::traceset::vm_traces(VmProfile::Vm2, seed);
+    let (_, series) = traces
+        .iter()
+        .find(|(k, _)| k.metric == MetricKind::Nic1Rx)
+        .expect("corpus covers all metrics");
+
+    let config = larp_bench::paper_config(VmProfile::Vm2);
+    let half = series.len() / 2;
+    let (train, test) = series.values().split_at(half);
+    let model = TrainedLarp::train(train, &config).expect("12h of 5-min samples");
+    let norm = model.zscore().apply_slice(test);
+    let pool = model.pool();
+
+    let oracle = observed_best(pool, config.window, &norm).unwrap();
+    let lar = run_selector_normalized(&mut model.selector(), pool, config.window, &norm).unwrap();
+    let mut nws_sel = NwsCumMse::new(pool);
+    let nws = run_selector_normalized(&mut nws_sel, pool, config.window, &norm).unwrap();
+
+    println!("=== Figure 5: Best Predictor Selection, VM2_PktIn ===");
+    println!("Predictor Class: 1 - LAST, 2 - AR, 3 - SW_AVG");
+    println!("{:>6} {:>14} {:>14} {:>14}", "step", "observed_best", "Knn-LARP", "NWS Cum.MSE");
+    for i in 0..oracle.best.len() {
+        println!(
+            "{:>6} {:>14} {:>14} {:>14}",
+            i,
+            oracle.best[i].to_string(),
+            lar.chosen[i].to_string(),
+            nws.chosen[i].to_string()
+        );
+    }
+    println!();
+    println!(
+        "forecasting accuracy: Knn-LARP {:.2}%, NWS {:.2}%",
+        forecasting_accuracy(&lar, &oracle).unwrap() * 100.0,
+        forecasting_accuracy(&nws, &oracle).unwrap() * 100.0
+    );
+    let switches = |v: &[predictors::PredictorId]| v.windows(2).filter(|w| w[0] != w[1]).count();
+    println!(
+        "selection changes: observed {}, Knn-LARP {}, NWS {}",
+        switches(&oracle.best),
+        switches(&lar.chosen),
+        switches(&nws.chosen)
+    );
+}

@@ -1,0 +1,42 @@
+//! FIG6 — Figure 6: predictor performance comparison on VM4.
+//!
+//! Per metric (x-axis 1–12 in the paper), the normalized MSE of:
+//! P-LARP (perfect selection), Knn-LARP, Cum.MSE (NWS) and W-Cum.MSE
+//! (NWS with error window 2).
+//!
+//! Run with: `cargo run --release -p larp-bench --bin fig6_vm4_comparison`
+
+use larp::TraceReport;
+use vmsim::profiles::VmProfile;
+
+fn main() {
+    let (seed, folds) = larp_bench::cli_args();
+    let config = larp_bench::paper_config(VmProfile::Vm4);
+    let traces = vmsim::traceset::vm_traces(VmProfile::Vm4, seed);
+
+    println!("=== Figure 6: Predictor Performance Comparison (VM4) ===");
+    println!("series: P-LARP, Knn-LARP, Cum.MSE, W-Cum.MSE (window 2)");
+    larp_bench::header("metric", &["P-LARP", "Knn-LARP", "Cum.MSE", "W-Cum.MSE"]);
+    let mut lar_wins = 0usize;
+    let mut live = 0usize;
+    for (i, (key, series)) in traces.iter().enumerate() {
+        let label = format!("{} {}", i + 1, key.metric.label());
+        if larp_bench::is_degenerate(series.values()) {
+            larp_bench::row(&label, &vec!["NaN".to_string(); 4]);
+            continue;
+        }
+        let r = TraceReport::evaluate(key.label(), series.values(), &config, folds, seed)
+            .expect("VM4 traces are long enough");
+        live += 1;
+        if r.lar_beats_nws() {
+            lar_wins += 1;
+        }
+        let cells: Vec<String> = [r.mse_plar, r.mse_lar, r.mse_nws, r.mse_wnws]
+            .iter()
+            .map(|&v| larp_bench::cell(v))
+            .collect();
+        larp_bench::row(&label, &cells);
+    }
+    println!();
+    println!("Knn-LARP beat Cum.MSE on {lar_wins}/{live} VM4 traces");
+}

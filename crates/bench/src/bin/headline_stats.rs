@@ -1,0 +1,51 @@
+//! HEAD — the paper's §7 headline scalars over the full 60-trace corpus.
+//!
+//! Paper values: LAR forecasting accuracy 55.98% (+20.18 points over NWS);
+//! LAR ≥ best single predictor on 44.23% of traces; LAR beats NWS on 66.67%;
+//! P-LAR would cut 18.6% of the NWS MSE.
+//!
+//! Run with: `cargo run --release -p larp-bench --bin headline_stats`
+
+fn main() {
+    let (seed, folds) = larp_bench::cli_args();
+    eprintln!("evaluating 60-trace corpus (seed {seed}, {folds} folds per trace)...");
+    let results = larp_bench::evaluate_corpus(seed, folds);
+    let live = results.iter().filter(|r| r.report.is_some()).count();
+    let agg = larp_bench::aggregate(&results);
+
+    println!("=== Headline statistics (paper §7) ===");
+    println!("traces evaluated: {live} live / {} total (dead devices excluded as NaN)", results.len());
+    println!();
+    println!("{:<52} {:>8} {:>8}", "metric", "paper", "ours");
+    println!("{}", "-".repeat(70));
+    println!(
+        "{:<52} {:>7.2}% {:>7.2}%",
+        "LAR best-predictor forecasting accuracy (mean)", 55.98, agg.mean_acc_lar * 100.0
+    );
+    println!(
+        "{:<52} {:>7.2}% {:>7.2}%",
+        "NWS cum-MSE forecasting accuracy (mean)", 35.80, agg.mean_acc_nws * 100.0
+    );
+    println!(
+        "{:<52} {:>7.2}% {:>7.2}%",
+        "LAR accuracy advantage over NWS (points)",
+        20.18,
+        (agg.mean_acc_lar - agg.mean_acc_nws) * 100.0
+    );
+    println!(
+        "{:<52} {:>7.2}% {:>7.2}%",
+        "traces where LAR >= best single predictor", 44.23, agg.frac_lar_beats_best_single * 100.0
+    );
+    println!(
+        "{:<52} {:>7.2}% {:>7.2}%",
+        "traces where LAR beats NWS cum-MSE", 66.67, agg.frac_lar_beats_nws * 100.0
+    );
+    println!(
+        "{:<52} {:>7.2}% {:>7.2}%",
+        "P-LAR MSE reduction vs NWS (mean)", -18.60, agg.plar_mse_reduction_vs_nws * 100.0
+    );
+    println!(
+        "{:<52} {:>8} {:>7.2}%",
+        "LAR MSE change vs NWS (mean)", "-", agg.lar_mse_reduction_vs_nws * 100.0
+    );
+}

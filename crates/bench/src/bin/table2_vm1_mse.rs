@@ -1,0 +1,46 @@
+//! TAB2 — Table 2: normalized prediction MSE for every resource of one VM.
+//!
+//! Columns: P-LAR (perfect selector), LAR (k-NN), LAST, AR, SW_AVG.
+//! Defaults to the paper's published sample (VM1: duration 168 h, interval
+//! 30 min, prediction order 16, ten random 50/50 splits); `--vm N` selects
+//! any of the five VMs — the paper computed the same table for all of them.
+//!
+//! Run with: `cargo run --release -p larp-bench --bin table2_vm1_mse [-- --vm N]`
+
+use larp::TraceReport;
+use vmsim::profiles::VmProfile;
+
+fn main() {
+    let (seed, folds) = larp_bench::cli_args();
+    let vm = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--vm")
+        .map(|w| w[1].parse::<usize>().expect("--vm takes 1..=5"))
+        .unwrap_or(1);
+    let profile = VmProfile::ALL[vm.checked_sub(1).filter(|i| *i < 5).expect("--vm takes 1..=5")];
+    let config = larp_bench::paper_config(profile);
+    let traces = vmsim::traceset::vm_traces(profile, seed);
+
+    println!("=== Table 2: Normalized Prediction MSE, {} ===", profile.vm_id());
+    println!(
+        "duration = {} hours, interval = {} minutes, prediction order = {}",
+        profile.horizon_minutes() / 60,
+        profile.profile_interval_secs() / 60,
+        profile.prediction_window()
+    );
+    larp_bench::header("Perf.Metrics", &["P-LAR", "LAR", "LAST", "AR", "SW"]);
+    for (key, series) in &traces {
+        if larp_bench::is_degenerate(series.values()) {
+            larp_bench::row(key.metric.label(), &vec!["NaN".to_string(); 5]);
+            continue;
+        }
+        let r = TraceReport::evaluate(key.label(), series.values(), &config, folds, seed)
+            .expect("corpus traces are long enough");
+        let cells: Vec<String> = [r.mse_plar, r.mse_lar, r.mse_models[0], r.mse_models[1], r.mse_models[2]]
+            .iter()
+            .map(|&v| larp_bench::cell(v))
+            .collect();
+        larp_bench::row(key.metric.label(), &cells);
+    }
+}

@@ -1,0 +1,50 @@
+//! TAB3 — Table 3: the observed best single predictor per (metric × VM), with
+//! `*` marking traces where the LARPredictor matched or beat it and `NaN`
+//! marking dead devices.
+//!
+//! Run with: `cargo run --release -p larp-bench --bin table3_best_predictors`
+
+use std::collections::HashMap;
+
+use vmsim::metric::MetricKind;
+use vmsim::profiles::VmProfile;
+
+fn main() {
+    let (seed, folds) = larp_bench::cli_args();
+    eprintln!("evaluating 60-trace corpus (seed {seed}, {folds} folds per trace)...");
+    let results = larp_bench::evaluate_corpus(seed, folds);
+    let by_key: HashMap<String, &larp_bench::CorpusResult> =
+        results.iter().map(|r| (r.key.label(), r)).collect();
+
+    println!("=== Table 3: Best Predictors of All the Trace Data ===");
+    println!("('*' = LARPredictor matched or beat the best single predictor)");
+    larp_bench::header("Perform.Metrics", &["VM1", "VM2", "VM3", "VM4", "VM5"]);
+    let mut stars = 0usize;
+    let mut live = 0usize;
+    for metric in MetricKind::ALL {
+        let mut cells = Vec::new();
+        for profile in VmProfile::ALL {
+            let label = format!("{}/{}", profile.vm_id(), metric);
+            let r = by_key.get(&label).expect("corpus covers all 60 traces");
+            match &r.report {
+                None => cells.push("NaN".to_string()),
+                Some(rep) => {
+                    live += 1;
+                    let star = if rep.lar_beats_best_single() {
+                        stars += 1;
+                        "*"
+                    } else {
+                        ""
+                    };
+                    cells.push(format!("{}{star}", rep.best_single_name()));
+                }
+            }
+        }
+        larp_bench::row(metric.label(), &cells);
+    }
+    println!();
+    println!(
+        "LAR matched/beat the best single predictor on {stars}/{live} live traces ({:.2}%; paper: 44.23%)",
+        100.0 * stars as f64 / live as f64
+    );
+}

@@ -1,0 +1,146 @@
+//! Shared harness for the reproduction binaries and benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index); this library holds the plumbing they
+//! share: per-VM paper configurations, corpus-wide evaluation, degenerate
+//! (NaN) trace detection, and plain-text table formatting.
+
+use larp::{eval::Aggregate, LarpConfig, TraceReport};
+use vmsim::{profiles::VmProfile, traceset, TraceKey};
+
+/// The default corpus seed; every binary accepts `--seed N` to override.
+pub const DEFAULT_SEED: u64 = 2007;
+
+/// The paper's fold count ("ten-fold cross validation").
+pub const DEFAULT_FOLDS: usize = 10;
+
+/// The paper's configuration for a given VM (window 16 for VM1, 5 otherwise).
+pub fn paper_config(profile: VmProfile) -> LarpConfig {
+    LarpConfig::paper(profile.prediction_window())
+}
+
+/// A trace whose variance is (numerically) zero — a dead device. The paper
+/// reports these rows as `NaN`; the evaluation skips them the same way.
+pub fn is_degenerate(values: &[f64]) -> bool {
+    timeseries::stats::variance(values) < 1e-9
+}
+
+/// One evaluated corpus entry.
+pub struct CorpusResult {
+    /// Which trace.
+    pub key: TraceKey,
+    /// `None` for degenerate (NaN) traces.
+    pub report: Option<TraceReport>,
+}
+
+/// Evaluates the full 60-trace paper corpus: per-VM paper configs, `folds`
+/// random splits per trace, parallel across traces. Degenerate traces are
+/// carried with `report: None`.
+pub fn evaluate_corpus(seed: u64, folds: usize) -> Vec<CorpusResult> {
+    let corpus = traceset::paper_traces(seed);
+    let mut out = Vec::with_capacity(corpus.len());
+    // Group by profile so each group shares a config; evaluate each group in
+    // parallel across its traces.
+    for profile in VmProfile::ALL {
+        let config = paper_config(profile);
+        let group: Vec<(TraceKey, Vec<f64>)> = corpus
+            .iter()
+            .filter(|(k, _)| k.profile == profile)
+            .map(|(k, s)| (k.clone(), s.values().to_vec()))
+            .collect();
+        let named: Vec<(String, Vec<f64>)> = group
+            .iter()
+            .filter(|(_, v)| !is_degenerate(v))
+            .map(|(k, v)| (k.label(), v.clone()))
+            .collect();
+        let reports = larp::parallel::evaluate_traces(&named, &config, folds, seed);
+        let mut report_iter = reports.into_iter();
+        for (key, values) in group {
+            if is_degenerate(&values) {
+                out.push(CorpusResult { key, report: None });
+            } else {
+                let report = report_iter
+                    .next()
+                    .expect("one report per non-degenerate trace")
+                    .unwrap_or_else(|e| panic!("evaluating {key}: {e}"));
+                out.push(CorpusResult { key, report: Some(report) });
+            }
+        }
+    }
+    out
+}
+
+/// Aggregates the corpus results over non-degenerate traces.
+pub fn aggregate(results: &[CorpusResult]) -> Aggregate {
+    let reports: Vec<TraceReport> =
+        results.iter().filter_map(|r| r.report.clone()).collect();
+    Aggregate::from_reports(&reports).expect("corpus contains live traces")
+}
+
+/// Parses `--seed N` and `--folds N` from argv (tiny, dependency-free).
+pub fn cli_args() -> (u64, usize) {
+    let mut seed = DEFAULT_SEED;
+    let mut folds = DEFAULT_FOLDS;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        match args[i].as_str() {
+            "--seed" => seed = args[i + 1].parse().expect("--seed takes an integer"),
+            "--folds" => folds = args[i + 1].parse().expect("--folds takes an integer"),
+            _ => {}
+        }
+        i += 1;
+    }
+    (seed, folds)
+}
+
+/// Formats an MSE cell; 4 decimals, the paper's table style.
+pub fn cell(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Prints one table row with fixed column widths.
+pub fn row(label: &str, cells: &[String]) {
+    print!("{label:<18}");
+    for c in cells {
+        print!(" {c:>9}");
+    }
+    println!();
+}
+
+/// Prints a table header.
+pub fn header(label: &str, cols: &[&str]) {
+    row(label, &cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(18 + cols.len() * 10));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_detection() {
+        assert!(is_degenerate(&[1.0; 50]));
+        assert!(!is_degenerate(&(0..50).map(|i| i as f64).collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn paper_configs_follow_table2_footnote() {
+        assert_eq!(paper_config(VmProfile::Vm1).window, 16);
+        assert_eq!(paper_config(VmProfile::Vm4).window, 5);
+    }
+
+    #[test]
+    fn corpus_evaluation_small_smoke() {
+        // 1 fold to keep the suite fast; full runs live in the binaries.
+        let results = evaluate_corpus(1, 1);
+        assert_eq!(results.len(), 60);
+        let live = results.iter().filter(|r| r.report.is_some()).count();
+        let dead = results.len() - live;
+        // VM3 has 4 dead streams, VM5 has 3 by construction.
+        assert!(dead >= 5, "dead {dead}");
+        assert!(live >= 50, "live {live}");
+        let agg = aggregate(&results);
+        assert!(agg.mean_acc_lar > 0.0 && agg.mean_acc_lar <= 1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! LARPredictor configuration.
+
+use learn::KnnBackend;
+use predictors::ModelSpec;
+
+use crate::{LarpError, Result};
+
+/// How the classification feature space is built from prediction windows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureReduction {
+    /// Project windows onto the top `n` principal components. The paper fixes
+    /// `n = 2` ("the minimal fraction variance was set to extract exactly two
+    /// principal components").
+    Pca {
+        /// Number of components to keep.
+        dims: usize,
+    },
+    /// Keep the smallest number of components reaching this cumulative
+    /// explained-variance fraction (the paper's general formulation).
+    PcaFraction {
+        /// Required variance fraction in `(0, 1]`.
+        min_fraction: f64,
+    },
+    /// No reduction: classify in the raw `m`-dimensional window space
+    /// (the ABL1 ablation arm).
+    None,
+}
+
+/// Full configuration of a LARPredictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LarpConfig {
+    /// Prediction window size `m` (also the AR order and SW_AVG window in the
+    /// standard pool). The paper uses 5 for 24-hour traces and 16 for the
+    /// 7-day VM1 trace.
+    pub window: usize,
+    /// Feature-space reduction before classification.
+    pub reduction: FeatureReduction,
+    /// Neighbour count `k` for the k-NN classifier (paper: 3).
+    pub k: usize,
+    /// Neighbour-search implementation.
+    pub backend: KnnBackend,
+    /// The predictor pool specification.
+    pub pool: Vec<ModelSpec>,
+}
+
+impl Default for LarpConfig {
+    /// The paper's configuration for the short traces: `m = 5`, PCA to
+    /// `n = 2`, `3`-NN over the standard {LAST, AR, SW_AVG} pool.
+    fn default() -> Self {
+        Self::paper(5)
+    }
+}
+
+impl LarpConfig {
+    /// The paper's configuration with prediction window `m` (the paper uses
+    /// `m = 5` for 5-minute/24-hour traces and `m = 16` for the 30-minute/
+    /// 7-day VM1 trace).
+    pub fn paper(window: usize) -> Self {
+        Self {
+            window,
+            reduction: FeatureReduction::Pca { dims: 2 },
+            k: 3,
+            backend: KnnBackend::BruteForce,
+            pool: ModelSpec::standard_pool(window),
+        }
+    }
+
+    /// The paper configuration with the extended 11-model pool.
+    pub fn extended(window: usize) -> Self {
+        Self { pool: ModelSpec::extended_pool(window), ..Self::paper(window) }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LarpError::InvalidConfig`] for a zero window/k, an empty
+    /// pool, or a PCA dimension larger than the window.
+    pub fn validate(&self) -> Result<()> {
+        if self.window == 0 {
+            return Err(LarpError::InvalidConfig("window must be >= 1".into()));
+        }
+        if self.k == 0 {
+            return Err(LarpError::InvalidConfig("k must be >= 1".into()));
+        }
+        if self.pool.is_empty() {
+            return Err(LarpError::InvalidConfig("pool must contain a model".into()));
+        }
+        match &self.reduction {
+            FeatureReduction::Pca { dims } => {
+                if *dims == 0 || *dims > self.window {
+                    return Err(LarpError::InvalidConfig(format!(
+                        "PCA dims must be in 1..={}, got {dims}",
+                        self.window
+                    )));
+                }
+            }
+            FeatureReduction::PcaFraction { min_fraction } => {
+                if !(min_fraction.is_finite() && 0.0 < *min_fraction && *min_fraction <= 1.0) {
+                    return Err(LarpError::InvalidConfig(format!(
+                        "variance fraction must be in (0, 1], got {min_fraction}"
+                    )));
+                }
+            }
+            FeatureReduction::None => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_short_trace_settings() {
+        let c = LarpConfig::default();
+        assert_eq!(c.window, 5);
+        assert_eq!(c.k, 3);
+        assert_eq!(c.reduction, FeatureReduction::Pca { dims: 2 });
+        assert_eq!(c.pool.len(), 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_16_is_the_vm1_configuration() {
+        let c = LarpConfig::paper(16);
+        assert_eq!(c.window, 16);
+        assert!(matches!(c.pool[1], ModelSpec::Ar { order: 16 }));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn extended_pool_config_validates() {
+        let c = LarpConfig::extended(5);
+        assert!(c.pool.len() > 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let c = LarpConfig { window: 0, ..LarpConfig::default() };
+        assert!(c.validate().is_err());
+
+        let c = LarpConfig { k: 0, ..LarpConfig::default() };
+        assert!(c.validate().is_err());
+
+        let c = LarpConfig { pool: Vec::new(), ..LarpConfig::default() };
+        assert!(c.validate().is_err());
+
+        let c = LarpConfig {
+            reduction: FeatureReduction::Pca { dims: 9 },
+            ..LarpConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = LarpConfig {
+            reduction: FeatureReduction::PcaFraction { min_fraction: 0.0 },
+            ..LarpConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = LarpConfig { reduction: FeatureReduction::None, ..LarpConfig::default() };
+        c.validate().unwrap();
+    }
+}

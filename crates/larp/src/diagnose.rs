@@ -1,0 +1,279 @@
+//! Applicability diagnostics: *should* you use a LARPredictor on this series?
+//!
+//! The paper's future work asks for "a quantitative method to assess the
+//! LARPredictor's applicability to time series predictions in other areas".
+//! This module implements one, built from the quantities the rest of the
+//! crate already computes. Adaptive predictor selection pays off exactly when
+//!
+//! 1. a perfect selector would beat the best single model by a useful margin
+//!    (**oracle headroom**),
+//! 2. the best predictor genuinely varies — the per-step labels are not
+//!    dominated by one model (**label entropy**) and flip over time
+//!    (**switch rate**), and
+//! 3. the prediction *window* carries information about which model will win,
+//!    so a window-based classifier can actually exploit 1–2
+//!    (**window information**: leave-one-out k-NN label accuracy above the
+//!    modal-label baseline).
+//!
+//! [`assess`] measures all four on a training prefix and folds them into a
+//! [`Recommendation`].
+
+use learn::vote::majority_vote;
+use linalg::vecops::squared_distance;
+use predictors::PredictorPool;
+use timeseries::ZScore;
+
+use crate::config::LarpConfig;
+use crate::labeler::label_windows;
+use crate::model::TrainedLarp;
+use crate::{LarpError, Result};
+
+/// Verdict of the applicability assessment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recommendation {
+    /// The best predictor is time-varying, window-identifiable, and a
+    /// selector has real headroom: use the LARPredictor.
+    StrongFit,
+    /// Some structure exists but the expected gain is small; the
+    /// LARPredictor should roughly match the best single model while still
+    /// saving the pool-execution cost versus NWS.
+    MarginalFit,
+    /// One model dominates or the window carries no label information:
+    /// fit the best single model and skip selection.
+    UseSingleBest,
+}
+
+/// Quantitative applicability measurements for one series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Applicability {
+    /// `1 − oracle_mse / best_single_mse` on the assessed data: the fraction
+    /// of the best single model's error a *perfect* selector would remove.
+    /// 0 means selection cannot help at all.
+    pub oracle_headroom: f64,
+    /// Entropy of the best-predictor label distribution, normalised to
+    /// `[0, 1]` by `log(pool size)`. 0 = one model always wins.
+    pub label_entropy: f64,
+    /// Leave-one-out k-NN label accuracy minus the modal-label rate:
+    /// how much better than "always guess the most common winner" the window
+    /// makes you. ≤ 0 means the window is uninformative.
+    pub window_information: f64,
+    /// Fraction of adjacent steps whose best predictor differs.
+    pub switch_rate: f64,
+    /// Modal-label rate (the accuracy of always guessing the most frequent
+    /// best predictor) — the baseline `window_information` is measured from.
+    pub modal_rate: f64,
+    /// The folded verdict.
+    pub recommendation: Recommendation,
+}
+
+/// Assesses LARPredictor applicability on `values` under `config`.
+///
+/// The assessment mirrors the training phase: normalise, frame, label every
+/// window with its best predictor, then measure headroom, label structure and
+/// window informativeness on those labels. It needs the same minimum data as
+/// [`TrainedLarp::train`].
+///
+/// # Errors
+///
+/// * [`LarpError::InvalidConfig`] for an invalid configuration;
+/// * [`LarpError::InsufficientData`] if `values` cannot produce at least
+///   `k + 1` labelled windows;
+/// * [`LarpError::Substrate`] for propagated fitting failures.
+pub fn assess(values: &[f64], config: &LarpConfig) -> Result<Applicability> {
+    config.validate()?;
+    if values.len() < config.window + config.k + 1 {
+        return Err(LarpError::InsufficientData(format!(
+            "series of length {} cannot produce {} labelled windows of size {}",
+            values.len(),
+            config.k + 1,
+            config.window
+        )));
+    }
+    let zscore = ZScore::fit(values)?;
+    let normalized = zscore.apply_slice(values);
+    let pool = PredictorPool::from_specs(&config.pool, &normalized)?;
+    let labeled = label_windows(&pool, &normalized, config.window)?;
+    if labeled.len() <= config.k {
+        return Err(LarpError::InsufficientData(format!(
+            "{} labelled windows cannot support k = {} leave-one-out assessment",
+            labeled.len(),
+            config.k
+        )));
+    }
+
+    // --- oracle headroom -------------------------------------------------
+    let steps = labeled.len() as f64;
+    let mut oracle_sq = 0.0;
+    let mut model_sq = vec![0.0; pool.len()];
+    for lw in &labeled {
+        let forecasts = pool.predict_all(&lw.window);
+        oracle_sq += (forecasts[lw.label.0] - lw.target).powi(2);
+        for (i, f) in forecasts.iter().enumerate() {
+            model_sq[i] += (f - lw.target).powi(2);
+        }
+    }
+    let best_single = model_sq.iter().cloned().fold(f64::INFINITY, f64::min) / steps;
+    let oracle = oracle_sq / steps;
+    let oracle_headroom = if best_single > 1e-15 {
+        (1.0 - oracle / best_single).max(0.0)
+    } else {
+        0.0
+    };
+
+    // --- label distribution ----------------------------------------------
+    let mut counts = vec![0usize; pool.len()];
+    for lw in &labeled {
+        counts[lw.label.0] += 1;
+    }
+    let modal_rate = counts.iter().copied().max().unwrap_or(0) as f64 / steps;
+    let label_entropy = if pool.len() > 1 {
+        let h: f64 = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / steps;
+                -p * p.ln()
+            })
+            .sum();
+        h / (pool.len() as f64).ln()
+    } else {
+        0.0
+    };
+    let switch_rate = labeled
+        .windows(2)
+        .filter(|w| w[0].label != w[1].label)
+        .count() as f64
+        / (steps - 1.0).max(1.0);
+
+    // --- window information: leave-one-out k-NN over the same features ----
+    // Reuse the trained feature pipeline (PCA etc.) for fidelity.
+    let model = TrainedLarp::train(values, config)?;
+    let features: Vec<Vec<f64>> = labeled
+        .iter()
+        .map(|lw| model.features_for(&lw.window))
+        .collect::<Result<_>>()?;
+    let mut hits = 0usize;
+    for (i, query) in features.iter().enumerate() {
+        let mut neighbors: Vec<(usize, f64)> = features
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(j, p)| (labeled[j].label.0, squared_distance(query, p)))
+            .collect();
+        neighbors.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        neighbors.truncate(config.k);
+        if majority_vote(&neighbors) == Some(labeled[i].label.0) {
+            hits += 1;
+        }
+    }
+    let loo_accuracy = hits as f64 / steps;
+    let window_information = loo_accuracy - modal_rate;
+
+    // --- fold into a verdict ----------------------------------------------
+    let recommendation = if label_entropy < 0.25 || oracle_headroom < 0.05 {
+        // One model owns the series, or even perfect selection gains < 5%.
+        Recommendation::UseSingleBest
+    } else if window_information > 0.05 && oracle_headroom > 0.20 {
+        Recommendation::StrongFit
+    } else {
+        Recommendation::MarginalFit
+    };
+
+    Ok(Applicability {
+        oracle_headroom,
+        label_entropy,
+        window_information,
+        switch_rate,
+        modal_rate,
+        recommendation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trace where one model wins essentially always: a step-hold level
+    /// with long flat stretches (ties resolve to LAST deterministically).
+    fn single_model_trace() -> Vec<f64> {
+        (0..240).map(|t| (t / 40) as f64).collect()
+    }
+
+    /// A step-hold / noisy-burst regime trace where the best model is
+    /// time-varying and window-identifiable.
+    fn switchy_trace() -> Vec<f64> {
+        let mut out = Vec::with_capacity(400);
+        let mut level = 0.0f64;
+        for t in 0..400 {
+            let phase = (t / 40) % 2;
+            let v = if phase == 0 {
+                if t % 13 == 0 {
+                    level += if (t / 13) % 2 == 0 { 1.0 } else { -1.0 };
+                }
+                level
+            } else {
+                8.0 + if t % 2 == 0 { 2.0 } else { -2.0 } + ((t * 37) % 5) as f64 * 0.2
+            };
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn ramp_recommends_single_best() {
+        let a = assess(&single_model_trace(), &LarpConfig::default()).unwrap();
+        // On a deterministic ramp the labels concentrate hard.
+        assert!(a.modal_rate > 0.8, "{a:?}");
+        assert_eq!(a.recommendation, Recommendation::UseSingleBest, "{a:?}");
+    }
+
+    #[test]
+    fn regime_trace_is_a_strong_fit() {
+        let a = assess(&switchy_trace(), &LarpConfig::default()).unwrap();
+        assert!(a.oracle_headroom > 0.2, "{a:?}");
+        assert!(a.label_entropy > 0.4, "{a:?}");
+        assert!(a.window_information > 0.05, "{a:?}");
+        assert_eq!(a.recommendation, Recommendation::StrongFit, "{a:?}");
+    }
+
+    #[test]
+    fn measurements_are_bounded() {
+        for trace in [single_model_trace(), switchy_trace()] {
+            let a = assess(&trace, &LarpConfig::default()).unwrap();
+            assert!((0.0..=1.0).contains(&a.oracle_headroom), "{a:?}");
+            assert!((0.0..=1.0).contains(&a.label_entropy), "{a:?}");
+            assert!((0.0..=1.0).contains(&a.switch_rate), "{a:?}");
+            assert!((0.0..=1.0).contains(&a.modal_rate), "{a:?}");
+            assert!((-1.0..=1.0).contains(&a.window_information), "{a:?}");
+        }
+    }
+
+    #[test]
+    fn white_noise_has_high_entropy_but_no_window_information() {
+        // Genuine white noise: per-step best labels spread across the pool,
+        // but the window carries (almost) no information about them.
+        use simrng::{dist::Normal, Xoshiro256pp};
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        let gauss = Normal::standard();
+        let trace: Vec<f64> = (0..300).map(|_| gauss.sample(&mut rng)).collect();
+        let a = assess(&trace, &LarpConfig::default()).unwrap();
+        assert!(a.label_entropy > 0.5, "{a:?}");
+        assert!(a.window_information < 0.15, "{a:?}");
+    }
+
+    #[test]
+    fn too_short_series_errors() {
+        assert!(matches!(
+            assess(&[1.0, 2.0, 3.0], &LarpConfig::default()),
+            Err(LarpError::InsufficientData(_))
+        ));
+    }
+
+    #[test]
+    fn assessment_is_deterministic() {
+        let t = switchy_trace();
+        let a = assess(&t, &LarpConfig::default()).unwrap();
+        let b = assess(&t, &LarpConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,447 @@
+//! The trained LARPredictor: normaliser + pool + PCA + k-NN, bundled.
+
+use learn::{KnnClassifier, Pca};
+use linalg::Matrix;
+use predictors::{PredictorId, PredictorPool};
+use timeseries::ZScore;
+
+use crate::config::{FeatureReduction, LarpConfig};
+use crate::labeler::label_windows_parallel;
+use crate::selector::KnnSelector;
+use crate::{LarpError, Result};
+
+/// A LARPredictor after its training phase (paper §6.1).
+///
+/// Holds everything the testing phase needs: the train-derived z-score
+/// coefficients, the fitted predictor pool, the PCA projection (if enabled)
+/// and the labelled k-NN index. Create with [`TrainedLarp::train`].
+pub struct TrainedLarp {
+    config: LarpConfig,
+    zscore: ZScore,
+    pool: PredictorPool,
+    pca: Option<Pca>,
+    knn: KnnClassifier,
+    train_len: usize,
+}
+
+impl TrainedLarp {
+    /// Runs the full training phase on a raw (unnormalised) training series.
+    ///
+    /// Steps (paper Figure 3): z-score fit → normalise → frame into windows of
+    /// size `m` → label every window with its best predictor (all models run
+    /// in parallel) → PCA fit on the windows → index (projected window, label)
+    /// pairs in the k-NN classifier.
+    ///
+    /// # Errors
+    ///
+    /// * [`LarpError::InvalidConfig`] for an invalid configuration;
+    /// * [`LarpError::InsufficientData`] if `train` is too short to produce
+    ///   at least `k` labelled windows;
+    /// * [`LarpError::Substrate`] for propagated fitting failures.
+    pub fn train(train: &[f64], config: &LarpConfig) -> Result<Self> {
+        Self::train_with_threads(train, config, default_threads())
+    }
+
+    /// [`TrainedLarp::train`] with an explicit labelling thread count
+    /// (exposed for the PERF ablation benches).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TrainedLarp::train`].
+    pub fn train_with_threads(
+        train: &[f64],
+        config: &LarpConfig,
+        threads: usize,
+    ) -> Result<Self> {
+        config.validate()?;
+        let m = config.window;
+        // Need enough windows for PCA (>= 2) and for k neighbours.
+        let min_windows = config.k.max(2);
+        if train.len() < m + min_windows {
+            return Err(LarpError::InsufficientData(format!(
+                "training series of length {} cannot produce {min_windows} windows of size {m}",
+                train.len()
+            )));
+        }
+
+        let zscore = ZScore::fit(train)?;
+        let normalized = zscore.apply_slice(train);
+
+        let pool = PredictorPool::from_specs(&config.pool, &normalized)?;
+        let labeled = label_windows_parallel(&pool, &normalized, m, threads)?;
+
+        // Window matrix for PCA: (u - m) × m.
+        let rows: Vec<Vec<f64>> = labeled.iter().map(|lw| lw.window.clone()).collect();
+        let window_matrix = Matrix::from_rows(&rows)
+            .map_err(|e| LarpError::Substrate(e.to_string()))?;
+
+        let pca = match &config.reduction {
+            FeatureReduction::Pca { dims } => Some(Pca::fit(&window_matrix, *dims)?),
+            FeatureReduction::PcaFraction { min_fraction } => {
+                Some(Pca::fit_fraction(&window_matrix, *min_fraction)?)
+            }
+            FeatureReduction::None => None,
+        };
+
+        let features: Vec<Vec<f64>> = match &pca {
+            Some(p) => labeled
+                .iter()
+                .map(|lw| p.transform(&lw.window))
+                .collect::<learn::Result<_>>()?,
+            None => rows,
+        };
+        let labels: Vec<usize> = labeled.iter().map(|lw| lw.label.0).collect();
+        let knn = KnnClassifier::fit(features, labels, config.k, config.backend)?;
+
+        Ok(Self { config: config.clone(), zscore, pool, pca, knn, train_len: train.len() })
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &LarpConfig {
+        &self.config
+    }
+
+    /// The train-derived normalisation coefficients.
+    pub fn zscore(&self) -> &ZScore {
+        &self.zscore
+    }
+
+    /// The fitted predictor pool.
+    pub fn pool(&self) -> &PredictorPool {
+        &self.pool
+    }
+
+    /// The fitted PCA projection (if reduction is enabled).
+    pub fn pca(&self) -> Option<&Pca> {
+        self.pca.as_ref()
+    }
+
+    /// The labelled k-NN index.
+    pub fn knn(&self) -> &KnnClassifier {
+        &self.knn
+    }
+
+    /// Number of raw training points the model saw.
+    pub fn train_len(&self) -> usize {
+        self.train_len
+    }
+
+    /// Projects a normalised window of size `m` into the classification
+    /// feature space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LarpError::InvalidConfig`] if `window.len()` differs from the
+    /// configured `m`.
+    pub fn features_for(&self, window: &[f64]) -> Result<Vec<f64>> {
+        if window.len() != self.config.window {
+            return Err(LarpError::InvalidConfig(format!(
+                "window length {} does not match configured m = {}",
+                window.len(),
+                self.config.window
+            )));
+        }
+        Ok(match &self.pca {
+            Some(p) => p.transform(window)?,
+            None => window.to_vec(),
+        })
+    }
+
+    /// Testing-phase selection (paper §6.2): forecasts the best predictor for
+    /// the *next* value given a normalised history of at least `m` points.
+    /// Only the last `m` points (the current window) influence the choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LarpError::InsufficientData`] if `history` is shorter than `m`.
+    pub fn select(&self, history: &[f64]) -> Result<PredictorId> {
+        let m = self.config.window;
+        if history.len() < m {
+            return Err(LarpError::InsufficientData(format!(
+                "selection needs a window of {m} points, got {}",
+                history.len()
+            )));
+        }
+        let window = &history[history.len() - m..];
+        let features = self.features_for(window)?;
+        Ok(PredictorId(self.knn.classify(&features)?))
+    }
+
+    /// Runs one testing-phase step on a *normalised* history: selects the best
+    /// predictor and runs only it. Returns `(chosen model, forecast)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LarpError::InsufficientData`] if `history` is shorter than `m`.
+    pub fn predict_next(&self, history: &[f64]) -> Result<(PredictorId, f64)> {
+        let id = self.select(history)?;
+        Ok((id, self.pool.predict_one(id, history)))
+    }
+
+    /// Runs one step on a *raw-scale* history: normalises with the train
+    /// coefficients, predicts, and de-normalises the forecast.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LarpError::InsufficientData`] if `history` is shorter than `m`.
+    pub fn predict_next_raw(&self, history: &[f64]) -> Result<(PredictorId, f64)> {
+        let normalized = self.zscore.apply_slice(history);
+        let (id, z) = self.predict_next(&normalized)?;
+        Ok((id, self.zscore.invert(z)))
+    }
+
+    /// Iterated multi-step forecasting on a *normalised* history: predicts
+    /// `horizon` steps ahead by feeding each one-step forecast back as the
+    /// newest observation, re-selecting the best predictor at every step.
+    ///
+    /// This serves the paper's provisioning use case ("the prediction of the
+    /// resource performance of VMs in a given time frame"): a resource
+    /// manager planning several intervals ahead. Uncertainty compounds with
+    /// the horizon — iterated forecasts converge toward the conditional mean.
+    ///
+    /// # Errors
+    ///
+    /// * [`LarpError::InvalidConfig`] if `horizon == 0`;
+    /// * [`LarpError::InsufficientData`] if `history` is shorter than `m`.
+    pub fn predict_horizon(
+        &self,
+        history: &[f64],
+        horizon: usize,
+    ) -> Result<Vec<(PredictorId, f64)>> {
+        if horizon == 0 {
+            return Err(LarpError::InvalidConfig("horizon must be >= 1".into()));
+        }
+        let m = self.config.window;
+        if history.len() < m {
+            return Err(LarpError::InsufficientData(format!(
+                "horizon forecasting needs a window of {m} points, got {}",
+                history.len()
+            )));
+        }
+        // Keep only the window the models can see; extend it step by step.
+        let mut rolling: Vec<f64> = history[history.len() - m..].to_vec();
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let (id, forecast) = self.predict_next(&rolling)?;
+            out.push((id, forecast));
+            rolling.push(forecast);
+            rolling.remove(0);
+        }
+        Ok(out)
+    }
+
+    /// [`TrainedLarp::predict_horizon`] on a raw-scale history, returning
+    /// raw-scale forecasts.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TrainedLarp::predict_horizon`].
+    pub fn predict_horizon_raw(
+        &self,
+        history: &[f64],
+        horizon: usize,
+    ) -> Result<Vec<(PredictorId, f64)>> {
+        let normalized = self.zscore.apply_slice(history);
+        Ok(self
+            .predict_horizon(&normalized, horizon)?
+            .into_iter()
+            .map(|(id, z)| (id, self.zscore.invert(z)))
+            .collect())
+    }
+
+    /// A fresh [`KnnSelector`] view over this model for use with
+    /// [`crate::run_selector`].
+    pub fn selector(&self) -> KnnSelector<'_> {
+        KnnSelector::new(self)
+    }
+}
+
+impl std::fmt::Debug for TrainedLarp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedLarp")
+            .field("window", &self.config.window)
+            .field("k", &self.config.k)
+            .field("pool", &self.pool.names())
+            .field("pca_dims", &self.pca.as_ref().map(|p| p.n_components()))
+            .field("train_windows", &self.knn.len())
+            .finish()
+    }
+}
+
+/// Labelling thread count: the available parallelism, capped at 8 (labelling
+/// is memory-bandwidth-bound beyond that for these tiny windows).
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regime_series(n: usize) -> Vec<f64> {
+        // First half: smooth ramp (LAST-friendly); second half: alternating
+        // noise around a level (SW_AVG-friendly).
+        (0..n)
+            .map(|t| {
+                if t < n / 2 {
+                    t as f64 * 0.05
+                } else {
+                    let noise = if t % 2 == 0 { 1.0 } else { -1.0 };
+                    n as f64 * 0.025 + noise
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trains_on_regime_series() {
+        let s = regime_series(400);
+        let model = TrainedLarp::train(&s[..200], &LarpConfig::default()).unwrap();
+        assert_eq!(model.pool().len(), 3);
+        assert_eq!(model.pca().unwrap().n_components(), 2);
+        assert_eq!(model.knn().k(), 3);
+        assert_eq!(model.train_len(), 200);
+    }
+
+    #[test]
+    fn select_returns_valid_pool_member() {
+        let s = regime_series(400);
+        let model = TrainedLarp::train(&s[..200], &LarpConfig::default()).unwrap();
+        let norm = model.zscore().apply_slice(&s[200..]);
+        for t in 5..norm.len() {
+            let id = model.select(&norm[..t]).unwrap();
+            assert!(id.0 < 3);
+        }
+    }
+
+    #[test]
+    fn predict_next_runs_only_chosen_model() {
+        let s = regime_series(300);
+        let model = TrainedLarp::train(&s[..150], &LarpConfig::default()).unwrap();
+        let norm = model.zscore().apply_slice(&s[150..]);
+        let (id, forecast) = model.predict_next(&norm[..20]).unwrap();
+        // The forecast must equal running that model directly.
+        assert_eq!(forecast, model.pool().predict_one(id, &norm[..20]));
+    }
+
+    #[test]
+    fn raw_prediction_round_trips_units() {
+        // A series living around 1000 with +-50 swings: raw forecasts must be
+        // in that range, not near zero.
+        let s: Vec<f64> = (0..300)
+            .map(|t| 1000.0 + 50.0 * ((t as f64) * 0.1).sin())
+            .collect();
+        let model = TrainedLarp::train(&s[..150], &LarpConfig::default()).unwrap();
+        let (_, forecast) = model.predict_next_raw(&s[150..200]).unwrap();
+        assert!((900.0..1100.0).contains(&forecast), "{forecast}");
+    }
+
+    #[test]
+    fn insufficient_history_is_an_error() {
+        let s = regime_series(300);
+        let model = TrainedLarp::train(&s[..150], &LarpConfig::default()).unwrap();
+        assert!(model.select(&[1.0, 2.0]).is_err());
+        assert!(model.features_for(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn too_short_training_series_rejected() {
+        // 7 points cannot yield the k = 3 windows of size m = 5.
+        let s = regime_series(7);
+        assert!(matches!(
+            TrainedLarp::train(&s, &LarpConfig::default()),
+            Err(LarpError::InsufficientData(_))
+        ));
+        // 8 points pass the window check but starve the AR(5) fit, which
+        // needs 2·order points; the failure surfaces as a substrate error.
+        let s = regime_series(8);
+        assert!(TrainedLarp::train(&s, &LarpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn reduction_none_classifies_in_window_space() {
+        let s = regime_series(300);
+        let mut config = LarpConfig::default();
+        config.reduction = crate::config::FeatureReduction::None;
+        let model = TrainedLarp::train(&s[..150], &config).unwrap();
+        assert!(model.pca().is_none());
+        assert_eq!(model.knn().dim(), 5);
+    }
+
+    #[test]
+    fn fraction_reduction_picks_some_dims() {
+        let s = regime_series(300);
+        let mut config = LarpConfig::default();
+        config.reduction = crate::config::FeatureReduction::PcaFraction { min_fraction: 0.9 };
+        let model = TrainedLarp::train(&s[..150], &config).unwrap();
+        let dims = model.pca().unwrap().n_components();
+        assert!((1..=5).contains(&dims));
+    }
+
+    #[test]
+    fn horizon_forecasts_have_requested_length_and_stay_finite() {
+        let s = regime_series(300);
+        let model = TrainedLarp::train(&s[..150], &LarpConfig::default()).unwrap();
+        let norm = model.zscore().apply_slice(&s[150..]);
+        let fs = model.predict_horizon(&norm[..30], 12).unwrap();
+        assert_eq!(fs.len(), 12);
+        for (id, f) in fs {
+            assert!(id.0 < 3);
+            assert!(f.is_finite());
+        }
+    }
+
+    #[test]
+    fn horizon_first_step_equals_one_step_prediction() {
+        let s = regime_series(300);
+        let model = TrainedLarp::train(&s[..150], &LarpConfig::default()).unwrap();
+        let norm = model.zscore().apply_slice(&s[150..]);
+        let one = model.predict_next(&norm[..40]).unwrap();
+        let multi = model.predict_horizon(&norm[..40], 3).unwrap();
+        assert_eq!(multi[0], one);
+    }
+
+    #[test]
+    fn horizon_on_constant_history_stays_constant() {
+        // Train on a regime series, then forecast from a flat window: every
+        // pool model forecasts the flat value, so the whole horizon is flat.
+        let s = regime_series(300);
+        let model = TrainedLarp::train(&s[..150], &LarpConfig::default()).unwrap();
+        let flat = vec![0.0; 10];
+        for (_, f) in model.predict_horizon(&flat, 8).unwrap() {
+            assert!(f.abs() < 0.3, "{f}");
+        }
+    }
+
+    #[test]
+    fn horizon_raw_round_trips_units() {
+        let s: Vec<f64> = (0..300)
+            .map(|t| 500.0 + 20.0 * ((t as f64) * 0.15).sin())
+            .collect();
+        let model = TrainedLarp::train(&s[..150], &LarpConfig::default()).unwrap();
+        for (_, f) in model.predict_horizon_raw(&s[150..200], 6).unwrap() {
+            assert!((420.0..580.0).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn horizon_validation() {
+        let s = regime_series(300);
+        let model = TrainedLarp::train(&s[..150], &LarpConfig::default()).unwrap();
+        assert!(model.predict_horizon(&s[..40], 0).is_err());
+        assert!(model.predict_horizon(&[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let s = regime_series(400);
+        let a = TrainedLarp::train(&s[..200], &LarpConfig::default()).unwrap();
+        let b = TrainedLarp::train(&s[..200], &LarpConfig::default()).unwrap();
+        let norm = a.zscore().apply_slice(&s[200..]);
+        for t in 5..norm.len() {
+            assert_eq!(a.select(&norm[..t]).unwrap(), b.select(&norm[..t]).unwrap());
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Online operation: streaming prediction with QA-triggered retraining.
+//!
+//! The paper's prototype (Figure 1) runs continuously: the monitor feeds new
+//! samples, the LARPredictor forecasts the next one, and the Quality Assuror
+//! retrains the whole stack when accuracy degrades. [`OnlineLarp`] is that loop
+//! as a library type: push raw observations one at a time, get back the
+//! forecast for the *next* observation, and let the embedded
+//! [`QualityAssuror`] decide when to refit on the most recent window of data.
+
+use predictors::PredictorId;
+
+use crate::config::LarpConfig;
+use crate::model::TrainedLarp;
+use crate::qa::{AuditOutcome, QualityAssuror};
+use crate::{LarpError, Result};
+
+/// One step of online output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineStep {
+    /// Forecast (raw scale) for the next observation, if a model is trained
+    /// and enough history exists.
+    pub forecast: Option<f64>,
+    /// Which pool member produced it.
+    pub chosen: Option<PredictorId>,
+    /// Whether this step triggered a retrain.
+    pub retrained: bool,
+}
+
+/// A self-retraining streaming LARPredictor.
+pub struct OnlineLarp {
+    config: LarpConfig,
+    qa: QualityAssuror,
+    /// All observations seen so far (raw scale).
+    history: Vec<f64>,
+    /// How many most-recent points each (re)training uses.
+    train_size: usize,
+    model: Option<TrainedLarp>,
+    /// The forecast made for the not-yet-seen next value, for QA scoring.
+    pending_forecast: Option<f64>,
+    retrain_count: usize,
+}
+
+impl OnlineLarp {
+    /// Creates an online predictor.
+    ///
+    /// * `config` — the LARPredictor configuration;
+    /// * `train_size` — number of most-recent samples used at each (re)train;
+    /// * `qa` — quality assuror governing retraining.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LarpError::InvalidConfig`] if `train_size` cannot support
+    /// training under `config` (needs at least `window + max(k, 2)` points).
+    pub fn new(config: LarpConfig, train_size: usize, qa: QualityAssuror) -> Result<Self> {
+        config.validate()?;
+        let min_train = config.window + config.k.max(2);
+        if train_size < min_train {
+            return Err(LarpError::InvalidConfig(format!(
+                "train_size {train_size} below minimum {min_train} for window {} and k {}",
+                config.window, config.k
+            )));
+        }
+        Ok(Self {
+            config,
+            qa,
+            history: Vec::new(),
+            train_size,
+            model: None,
+            pending_forecast: None,
+            retrain_count: 0,
+        })
+    }
+
+    /// Feeds one raw observation; returns the forecast for the next one.
+    ///
+    /// Behaviour:
+    /// 1. scores the previous forecast against `value` through the QA;
+    /// 2. (re)trains if the QA orders it, or trains initially once
+    ///    `train_size` samples have arrived;
+    /// 3. produces the next forecast if a model exists and the window is full.
+    pub fn push(&mut self, value: f64) -> OnlineStep {
+        // 1. Score the pending forecast.
+        let mut retrained = false;
+        if let Some(forecast) = self.pending_forecast.take() {
+            if let AuditOutcome::RetrainNeeded { .. } = self.qa.record(forecast, value) {
+                self.history.push(value);
+                self.retrain();
+                retrained = true;
+                // fall through to forecasting with the fresh model
+                let (forecast, chosen) = self.forecast_next();
+                return OnlineStep { forecast, chosen, retrained };
+            }
+        }
+        self.history.push(value);
+
+        // 2. Initial training.
+        if self.model.is_none() && self.history.len() >= self.train_size {
+            self.retrain();
+            retrained = true;
+        }
+
+        // 3. Forecast.
+        let (forecast, chosen) = self.forecast_next();
+        OnlineStep { forecast, chosen, retrained }
+    }
+
+    fn retrain(&mut self) {
+        let start = self.history.len().saturating_sub(self.train_size);
+        let train = &self.history[start..];
+        // Training can fail on degenerate data (e.g. all-identical warmup);
+        // keep the old model in that case rather than dropping service.
+        if let Ok(model) = TrainedLarp::train(train, &self.config) {
+            self.model = Some(model);
+            self.retrain_count += 1;
+            self.qa.reset();
+        }
+    }
+
+    fn forecast_next(&mut self) -> (Option<f64>, Option<PredictorId>) {
+        let Some(model) = &self.model else {
+            return (None, None);
+        };
+        if self.history.len() < self.config.window {
+            return (None, None);
+        }
+        match model.predict_next_raw(&self.history) {
+            Ok((id, f)) => {
+                self.pending_forecast = Some(f);
+                (Some(f), Some(id))
+            }
+            Err(_) => (None, None),
+        }
+    }
+
+    /// Number of (re)trainings performed, including the initial one.
+    pub fn retrain_count(&self) -> usize {
+        self.retrain_count
+    }
+
+    /// Whether a model is currently trained.
+    pub fn is_trained(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Observations consumed so far.
+    pub fn seen(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The embedded quality assuror.
+    pub fn qa(&self) -> &QualityAssuror {
+        &self.qa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qa() -> QualityAssuror {
+        QualityAssuror::new(2.0, 8, 4).unwrap()
+    }
+
+    fn online() -> OnlineLarp {
+        OnlineLarp::new(LarpConfig::default(), 40, qa()).unwrap()
+    }
+
+    #[test]
+    fn no_forecast_before_initial_training() {
+        let mut o = online();
+        for t in 0..39 {
+            let step = o.push((t as f64 * 0.3).sin());
+            assert_eq!(step.forecast, None, "step {t}");
+            assert!(!o.is_trained());
+        }
+        let step = o.push(0.5);
+        assert!(o.is_trained());
+        assert!(step.retrained);
+        assert!(step.forecast.is_some());
+    }
+
+    #[test]
+    fn forecasts_flow_after_training() {
+        let mut o = online();
+        let mut forecasts = 0;
+        for t in 0..120 {
+            let step = o.push((t as f64 * 0.2).sin() * 3.0);
+            if step.forecast.is_some() {
+                forecasts += 1;
+                assert!(step.chosen.is_some());
+            }
+        }
+        assert!(forecasts >= 70, "{forecasts}");
+        assert_eq!(o.seen(), 120);
+    }
+
+    #[test]
+    fn regime_change_triggers_retraining() {
+        // Train on a gentle sinusoid, then switch to huge swings: normalized
+        // errors explode and the QA must order a refit.
+        let mut o = OnlineLarp::new(
+            LarpConfig::default(),
+            40,
+            QualityAssuror::new(0.5, 4, 2).unwrap(),
+        )
+        .unwrap();
+        for t in 0..60 {
+            o.push((t as f64 * 0.2).sin() * 0.1);
+        }
+        assert_eq!(o.retrain_count(), 1);
+        for t in 0..60 {
+            o.push(if t % 2 == 0 { 50.0 } else { -50.0 });
+        }
+        assert!(o.retrain_count() > 1, "retrains: {}", o.retrain_count());
+    }
+
+    #[test]
+    fn stable_workload_does_not_retrain() {
+        let mut o = OnlineLarp::new(
+            LarpConfig::default(),
+            40,
+            QualityAssuror::new(5.0, 8, 4).unwrap(),
+        )
+        .unwrap();
+        for t in 0..200 {
+            o.push((t as f64 * 0.2).sin());
+        }
+        assert_eq!(o.retrain_count(), 1, "only the initial training");
+    }
+
+    #[test]
+    fn construction_validates_train_size() {
+        assert!(OnlineLarp::new(LarpConfig::default(), 3, qa()).is_err());
+        assert!(OnlineLarp::new(LarpConfig::default(), 8, qa()).is_ok());
+    }
+
+    #[test]
+    fn forecast_is_in_raw_units() {
+        let mut o = OnlineLarp::new(LarpConfig::default(), 40, qa()).unwrap();
+        let mut last = None;
+        for t in 0..80 {
+            last = o.push(1000.0 + (t as f64 * 0.3).sin() * 10.0).forecast.or(last);
+        }
+        let f = last.unwrap();
+        assert!((950.0..1050.0).contains(&f), "{f}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Parallel evaluation of many traces.
+//!
+//! The paper evaluates 60 independent (VM, metric) traces; each
+//! [`TraceReport`] is self-contained, so the sweep is embarrassingly parallel.
+//! [`evaluate_traces`] fans the trace list out over crossbeam scoped threads,
+//! preserving input order in the output.
+
+use crossbeam::thread;
+
+use crate::config::LarpConfig;
+use crate::eval::TraceReport;
+use crate::model::default_threads;
+use crate::Result;
+
+/// A named trace to evaluate: `(identifier, raw values)`.
+pub type NamedTrace = (String, Vec<f64>);
+
+/// Evaluates every trace under `config` with `folds` random splits per trace,
+/// in parallel. Per-trace seeds are derived as `seed + index` so results do
+/// not depend on scheduling. Output order matches input order; traces that
+/// fail (e.g. too short) carry their error.
+pub fn evaluate_traces(
+    traces: &[NamedTrace],
+    config: &LarpConfig,
+    folds: usize,
+    seed: u64,
+) -> Vec<Result<TraceReport>> {
+    evaluate_traces_with_threads(traces, config, folds, seed, default_threads())
+}
+
+/// [`evaluate_traces`] with an explicit worker count (1 runs inline).
+pub fn evaluate_traces_with_threads(
+    traces: &[NamedTrace],
+    config: &LarpConfig,
+    folds: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<Result<TraceReport>> {
+    let eval_one = |(i, (name, values)): (usize, &NamedTrace)| {
+        TraceReport::evaluate(name.clone(), values, config, folds, seed + i as u64)
+    };
+    if threads <= 1 || traces.len() < 2 {
+        return traces.iter().enumerate().map(eval_one).collect();
+    }
+    let chunk = traces.len().div_ceil(threads);
+    let results = thread::scope(|s| {
+        let handles: Vec<_> = traces
+            .chunks(chunk)
+            .enumerate()
+            .map(|(c, part)| {
+                let base = c * chunk;
+                s.spawn(move |_| {
+                    part.iter()
+                        .enumerate()
+                        .map(|(j, t)| eval_one((base + j, t)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trace evaluation worker panicked"))
+            .collect::<Vec<Vec<_>>>()
+    })
+    .expect("scoped threads never leak");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_traces(n: usize) -> Vec<NamedTrace> {
+        (0..n)
+            .map(|i| {
+                let values: Vec<f64> = (0..200)
+                    .map(|t| ((t + i * 13) as f64 * 0.21).sin() * (1.0 + i as f64 * 0.1))
+                    .collect();
+                (format!("trace{i}"), values)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let traces = make_traces(6);
+        let config = LarpConfig::default();
+        let seq = evaluate_traces_with_threads(&traces, &config, 3, 9, 1);
+        for threads in [2, 4] {
+            let par = evaluate_traces_with_threads(&traces, &config, 3, 9, threads);
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let traces = make_traces(5);
+        let out = evaluate_traces(&traces, &LarpConfig::default(), 2, 1);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap().trace, format!("trace{i}"));
+        }
+    }
+
+    #[test]
+    fn failing_trace_reports_error_without_poisoning_others() {
+        let mut traces = make_traces(3);
+        traces.insert(1, ("short".into(), vec![1.0, 2.0, 3.0]));
+        let out = evaluate_traces(&traces, &LarpConfig::default(), 2, 1);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+        assert!(out[2].is_ok());
+        assert!(out[3].is_ok());
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let out = evaluate_traces(&[], &LarpConfig::default(), 2, 1);
+        assert!(out.is_empty());
+    }
+}

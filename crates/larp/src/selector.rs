@@ -1,0 +1,309 @@
+//! Selector strategies: the LARPredictor's k-NN choice and every baseline.
+//!
+//! A [`Selector`] is asked, before each test step, which pool member should
+//! forecast the next value; after the value is revealed it may update internal
+//! state. The key cost distinction the paper draws is captured by
+//! [`Selector::runs_full_pool`]: the NWS baselines must execute *every*
+//! predictor *every* step to maintain their error accounting, while the
+//! k-NN selector runs only the model it picks.
+
+use predictors::{PredictorId, PredictorPool};
+use timeseries::metrics::{CumulativeMse, WindowedMse};
+
+use crate::model::TrainedLarp;
+use crate::Result;
+
+/// A strategy for choosing the next-step predictor.
+pub trait Selector {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the predictor for the next value, given the normalised history
+    /// observed so far (length ≥ the pool window).
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject histories shorter than their window.
+    fn select(&mut self, history: &[f64]) -> Result<PredictorId>;
+
+    /// Receives the revealed actual value so error-tracking selectors can
+    /// update. Called after every step, including the first.
+    fn observe(&mut self, history: &[f64], actual: f64);
+
+    /// Whether `observe` internally runs the whole pool (the cost the
+    /// LARPredictor exists to avoid).
+    fn runs_full_pool(&self) -> bool;
+}
+
+/// The LARPredictor's k-NN selector (testing phase of the paper).
+pub struct KnnSelector<'a> {
+    model: &'a TrainedLarp,
+}
+
+impl<'a> KnnSelector<'a> {
+    /// Wraps a trained model.
+    pub fn new(model: &'a TrainedLarp) -> Self {
+        Self { model }
+    }
+}
+
+impl Selector for KnnSelector<'_> {
+    fn name(&self) -> &'static str {
+        "Knn-LARP"
+    }
+
+    fn select(&mut self, history: &[f64]) -> Result<PredictorId> {
+        self.model.select(history)
+    }
+
+    fn observe(&mut self, _history: &[f64], _actual: f64) {}
+
+    fn runs_full_pool(&self) -> bool {
+        false
+    }
+}
+
+/// The NWS selection rule: run all predictors every step, keep a cumulative
+/// MSE per predictor over the whole history, and choose the current minimum.
+pub struct NwsCumMse<'a> {
+    pool: &'a PredictorPool,
+    accumulators: Vec<CumulativeMse>,
+}
+
+impl<'a> NwsCumMse<'a> {
+    /// Creates the selector over a fitted pool.
+    pub fn new(pool: &'a PredictorPool) -> Self {
+        Self { pool, accumulators: (0..pool.len()).map(|_| CumulativeMse::new()).collect() }
+    }
+}
+
+impl Selector for NwsCumMse<'_> {
+    fn name(&self) -> &'static str {
+        "Cum.MSE"
+    }
+
+    fn select(&mut self, _history: &[f64]) -> Result<PredictorId> {
+        Ok(argmin_mse(self.accumulators.iter().map(|a| a.mse())))
+    }
+
+    fn observe(&mut self, history: &[f64], actual: f64) {
+        for (forecast, acc) in self.pool.predict_all(history).into_iter().zip(&mut self.accumulators) {
+            acc.record(forecast, actual);
+        }
+    }
+
+    fn runs_full_pool(&self) -> bool {
+        true
+    }
+}
+
+/// The windowed variant: cumulative MSE over only the last `window` errors
+/// (the paper's Fig. 6 "W-Cum.MSE" with window 2).
+pub struct WindowedCumMse<'a> {
+    pool: &'a PredictorPool,
+    accumulators: Vec<WindowedMse>,
+    window: usize,
+}
+
+impl<'a> WindowedCumMse<'a> {
+    /// Creates the selector with the given error window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LarpError::InvalidConfig`] if `window == 0`.
+    pub fn new(pool: &'a PredictorPool, window: usize) -> Result<Self> {
+        let accumulators = (0..pool.len())
+            .map(|_| WindowedMse::new(window))
+            .collect::<timeseries::Result<Vec<_>>>()
+            .map_err(|e| crate::LarpError::InvalidConfig(e.to_string()))?;
+        Ok(Self { pool, accumulators, window })
+    }
+
+    /// The configured error window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Selector for WindowedCumMse<'_> {
+    fn name(&self) -> &'static str {
+        "W-Cum.MSE"
+    }
+
+    fn select(&mut self, _history: &[f64]) -> Result<PredictorId> {
+        Ok(argmin_mse(self.accumulators.iter().map(|a| a.mse())))
+    }
+
+    fn observe(&mut self, history: &[f64], actual: f64) {
+        for (forecast, acc) in self.pool.predict_all(history).into_iter().zip(&mut self.accumulators) {
+            acc.record(forecast, actual);
+        }
+    }
+
+    fn runs_full_pool(&self) -> bool {
+        true
+    }
+}
+
+/// Always selects one fixed predictor — how the paper reports the single-model
+/// columns (LAST / AR / SW) of Table 2.
+pub struct Static {
+    id: PredictorId,
+    name: &'static str,
+}
+
+impl Static {
+    /// Creates a static selector for pool member `id`, carrying the model's
+    /// display name.
+    pub fn new(id: PredictorId, name: &'static str) -> Self {
+        Self { id, name }
+    }
+}
+
+impl Selector for Static {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn select(&mut self, _history: &[f64]) -> Result<PredictorId> {
+        Ok(self.id)
+    }
+
+    fn observe(&mut self, _history: &[f64], _actual: f64) {}
+
+    fn runs_full_pool(&self) -> bool {
+        false
+    }
+}
+
+/// Argmin over optional MSEs: predictors with no history yet rank as if their
+/// error were 0 (everyone starts equal, ties resolve to the lowest id — for
+/// the standard pool that is LAST, a sane cold-start default).
+fn argmin_mse(mses: impl Iterator<Item = Option<f64>>) -> PredictorId {
+    let mut best = PredictorId(0);
+    let mut best_val = f64::INFINITY;
+    for (i, m) in mses.enumerate() {
+        let v = m.unwrap_or(0.0);
+        if v < best_val {
+            best_val = v;
+            best = PredictorId(i);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_over(train: &[f64]) -> PredictorPool {
+        PredictorPool::standard(train, 3).unwrap()
+    }
+
+    /// A two-model pool {LAST, SW_AVG(4)} where the winner on each workload
+    /// shape is unambiguous (no AR, whose fit quality depends on the data).
+    fn two_model_pool(train: &[f64]) -> PredictorPool {
+        use predictors::ModelSpec;
+        PredictorPool::from_specs(
+            &[ModelSpec::Last, ModelSpec::SwAvg { window: 4 }],
+            train,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn nws_tracks_the_lowest_error_model() {
+        // Smooth ramp: LAST has error 0.1 per step; SW_AVG(4) lags by ~0.25.
+        // After a few observations NWS must settle on LAST (id 0).
+        let t: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        let pool = two_model_pool(&t);
+        let mut sel = NwsCumMse::new(&pool);
+        for step in 3..30 {
+            sel.observe(&t[..step], t[step]);
+        }
+        assert_eq!(sel.select(&t[..30]).unwrap(), PredictorId(0));
+    }
+
+    #[test]
+    fn nws_selection_matches_independent_cumulative_mse() {
+        // On the standard pool, whatever NWS selects must be the argmin of
+        // independently accumulated cumulative squared errors.
+        let t: Vec<f64> = (0..120).map(|i| (i as f64 * 0.17).sin() * 2.0).collect();
+        let pool = pool_over(&t);
+        let mut sel = NwsCumMse::new(&pool);
+        let mut sums = vec![0.0; pool.len()];
+        for step in 3..80 {
+            sel.observe(&t[..step], t[step]);
+            for (i, f) in pool.predict_all(&t[..step]).iter().enumerate() {
+                sums[i] += (f - t[step]).powi(2);
+            }
+        }
+        let expect = sums
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .map(|(i, _)| PredictorId(i))
+            .unwrap();
+        assert_eq!(sel.select(&t[..80]).unwrap(), expect);
+    }
+
+    #[test]
+    fn nws_cold_start_defaults_to_first_model() {
+        let t: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let pool = pool_over(&t);
+        let mut sel = NwsCumMse::new(&pool);
+        assert_eq!(sel.select(&t[..5]).unwrap(), PredictorId(0));
+    }
+
+    #[test]
+    fn windowed_selector_adapts_faster_than_cumulative() {
+        // Phase 1 (long): LAST perfect. Phase 2: alternating noise where
+        // SW_AVG wins. The windowed selector must flip soon after the switch,
+        // while the cumulative one is still anchored to phase-1 history.
+        // Phase 1 uses a unit-slope ramp so LAST accumulates real error
+        // (1 per step) while SW_AVG(4) accumulates ~6.25 per step — enough
+        // history to anchor the cumulative selector on LAST through phase 2.
+        let mut t: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let base = t[199];
+        t.extend((0..40).map(|i| base + if i % 2 == 0 { 1.0 } else { -1.0 }));
+        let pool = two_model_pool(&t);
+        let mut win = WindowedCumMse::new(&pool, 2).unwrap();
+        let mut cum = NwsCumMse::new(&pool);
+        for step in 3..t.len() {
+            win.observe(&t[..step], t[step]);
+            cum.observe(&t[..step], t[step]);
+        }
+        // After 40 noisy steps, the windowed selector must have flipped to
+        // SW_AVG (id 1) while the cumulative one is still anchored to LAST
+        // by its 200-step smooth prefix.
+        assert_eq!(win.select(&t).unwrap(), PredictorId(1));
+        assert_eq!(cum.select(&t).unwrap(), PredictorId(0));
+    }
+
+    #[test]
+    fn windowed_zero_window_rejected() {
+        let t: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let pool = pool_over(&t);
+        assert!(WindowedCumMse::new(&pool, 0).is_err());
+    }
+
+    #[test]
+    fn static_selector_is_constant() {
+        let t: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut sel = Static::new(PredictorId(2), "SW_AVG");
+        assert_eq!(sel.select(&t[..10]).unwrap(), PredictorId(2));
+        sel.observe(&t[..10], 99.0);
+        assert_eq!(sel.select(&t[..20]).unwrap(), PredictorId(2));
+        assert!(!sel.runs_full_pool());
+        assert_eq!(sel.name(), "SW_AVG");
+    }
+
+    #[test]
+    fn cost_flags_match_paper_claims() {
+        let t: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let pool = pool_over(&t);
+        assert!(NwsCumMse::new(&pool).runs_full_pool());
+        assert!(WindowedCumMse::new(&pool, 2).unwrap().runs_full_pool());
+        assert!(!Static::new(PredictorId(0), "LAST").runs_full_pool());
+    }
+}

@@ -1,0 +1,181 @@
+//! Classification evaluation: accuracy and confusion matrices.
+//!
+//! The paper's "best predictor forecasting accuracy" (55.98% for k-NN vs the
+//! cumulative-MSE baseline) is plain classification accuracy of the selector
+//! against the per-step observed best predictor; [`ConfusionMatrix`] adds the
+//! per-class view used in the workspace's own diagnostics.
+
+use crate::{LearnError, Result};
+
+/// Fraction of positions where `predicted[i] == actual[i]`.
+///
+/// # Errors
+///
+/// Returns [`LearnError::ShapeMismatch`] if lengths differ, or
+/// [`LearnError::InsufficientData`] for empty inputs.
+pub fn accuracy(predicted: &[usize], actual: &[usize]) -> Result<f64> {
+    if predicted.len() != actual.len() {
+        return Err(LearnError::ShapeMismatch(format!(
+            "accuracy: {} predictions vs {} labels",
+            predicted.len(),
+            actual.len()
+        )));
+    }
+    if predicted.is_empty() {
+        return Err(LearnError::InsufficientData("accuracy over no samples".into()));
+    }
+    let hits = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
+    Ok(hits as f64 / predicted.len() as f64)
+}
+
+/// A square confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel label slices. The class count is
+    /// inferred as `max(label) + 1` over both slices.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`accuracy`].
+    pub fn from_labels(predicted: &[usize], actual: &[usize]) -> Result<Self> {
+        if predicted.len() != actual.len() {
+            return Err(LearnError::ShapeMismatch(format!(
+                "confusion: {} predictions vs {} labels",
+                predicted.len(),
+                actual.len()
+            )));
+        }
+        if predicted.is_empty() {
+            return Err(LearnError::InsufficientData("confusion over no samples".into()));
+        }
+        let n = predicted
+            .iter()
+            .chain(actual)
+            .copied()
+            .max()
+            .expect("non-empty")
+            + 1;
+        let mut counts = vec![vec![0usize; n]; n];
+        for (&p, &a) in predicted.iter().zip(actual) {
+            counts[a][p] += 1;
+        }
+        Ok(Self { counts })
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of samples with true class `actual` predicted as `predicted`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy (trace / total).
+    pub fn accuracy(&self) -> f64 {
+        let trace: usize = (0..self.n_classes()).map(|i| self.counts[i][i]).sum();
+        trace as f64 / self.total() as f64
+    }
+
+    /// Precision of class `c` (`None` when `c` was never predicted).
+    pub fn precision(&self, c: usize) -> Option<f64> {
+        let predicted: usize = (0..self.n_classes()).map(|a| self.counts[a][c]).sum();
+        if predicted == 0 {
+            None
+        } else {
+            Some(self.counts[c][c] as f64 / predicted as f64)
+        }
+    }
+
+    /// Recall of class `c` (`None` when `c` never occurred).
+    pub fn recall(&self, c: usize) -> Option<f64> {
+        let actual: usize = self.counts[c].iter().sum();
+        if actual == 0 {
+            None
+        } else {
+            Some(self.counts[c][c] as f64 / actual as f64)
+        }
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "actual \\ predicted")?;
+        for row in &self.counts {
+            for (j, c) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{c:>6}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_known() {
+        let a = accuracy(&[0, 1, 2, 1], &[0, 1, 1, 1]).unwrap();
+        assert!((a - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn accuracy_validation() {
+        assert!(accuracy(&[0], &[0, 1]).is_err());
+        assert!(accuracy(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn confusion_counts_and_accuracy() {
+        let predicted = [0, 0, 1, 1, 2, 2];
+        let actual = [0, 1, 1, 1, 2, 0];
+        let cm = ConfusionMatrix::from_labels(&predicted, &actual).unwrap();
+        assert_eq!(cm.n_classes(), 3);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.count(0, 2), 1);
+        assert_eq!(cm.total(), 6);
+        assert!((cm.accuracy() - accuracy(&predicted, &actual).unwrap()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn precision_recall() {
+        let predicted = [0, 0, 1, 1];
+        let actual = [0, 1, 1, 1];
+        let cm = ConfusionMatrix::from_labels(&predicted, &actual).unwrap();
+        assert_eq!(cm.precision(0), Some(0.5));
+        assert_eq!(cm.recall(0), Some(1.0));
+        assert_eq!(cm.precision(1), Some(1.0));
+        assert!((cm.recall(1).unwrap() - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn absent_classes_are_none() {
+        let cm = ConfusionMatrix::from_labels(&[0, 0], &[0, 2]).unwrap();
+        assert_eq!(cm.precision(1), None);
+        assert_eq!(cm.recall(1), None);
+        assert_eq!(cm.n_classes(), 3);
+    }
+
+    #[test]
+    fn display_renders() {
+        let cm = ConfusionMatrix::from_labels(&[0, 1], &[1, 1]).unwrap();
+        let s = cm.to_string();
+        assert!(s.contains("actual"));
+    }
+}

@@ -1,0 +1,284 @@
+//! A k-d tree for exact k-nearest-neighbour queries in low dimensions.
+//!
+//! The paper (§7.3) notes that brute-force k-NN is `O(N)` per query and points
+//! to Friedman/Bentley/Finkel's logarithmic-expected-time algorithm as the fast
+//! alternative; this module implements that alternative. After PCA the feature
+//! space is 2-dimensional, which is k-d tree territory: expected query time is
+//! `O(log N)` for the trace sizes used here. The `bench` crate measures the
+//! crossover against brute force.
+
+use linalg::vecops::squared_distance;
+
+use crate::{LearnError, Result};
+
+/// One node of the tree, stored in a flat arena.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index of the point (into the original point list) stored at this node.
+    point: usize,
+    /// Splitting axis at this node.
+    axis: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+/// An exact k-d tree over owned points.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Vec<Vec<f64>>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    dim: usize,
+}
+
+impl KdTree {
+    /// Builds a balanced tree (median splits) over `points`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::InsufficientData`] if `points` is empty;
+    /// * [`LearnError::ShapeMismatch`] if points have inconsistent or zero
+    ///   dimension.
+    pub fn build(points: Vec<Vec<f64>>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(LearnError::InsufficientData("KdTree over no points".into()));
+        }
+        let dim = points[0].len();
+        if dim == 0 {
+            return Err(LearnError::ShapeMismatch("KdTree points must have dimension >= 1".into()));
+        }
+        for (i, p) in points.iter().enumerate() {
+            if p.len() != dim {
+                return Err(LearnError::ShapeMismatch(format!(
+                    "point {i} has dim {}, expected {dim}",
+                    p.len()
+                )));
+            }
+        }
+        let mut tree = Self {
+            nodes: Vec::with_capacity(points.len()),
+            points,
+            root: None,
+            dim,
+        };
+        let mut idx: Vec<usize> = (0..tree.points.len()).collect();
+        tree.root = tree.build_rec(&mut idx, 0);
+        Ok(tree)
+    }
+
+    fn build_rec(&mut self, idx: &mut [usize], depth: usize) -> Option<usize> {
+        if idx.is_empty() {
+            return None;
+        }
+        let axis = depth % self.dim;
+        let mid = idx.len() / 2;
+        // Median split: O(n) selection on the axis coordinate.
+        idx.select_nth_unstable_by(mid, |&a, &b| {
+            self.points[a][axis]
+                .partial_cmp(&self.points[b][axis])
+                .expect("coordinates are finite")
+        });
+        let point = idx[mid];
+        let node_id = self.nodes.len();
+        self.nodes.push(Node { point, axis, left: None, right: None });
+        let (lo, rest) = idx.split_at_mut(mid);
+        let hi = &mut rest[1..];
+        let left = self.build_rec(lo, depth + 1);
+        let right = self.build_rec(hi, depth + 1);
+        self.nodes[node_id].left = left;
+        self.nodes[node_id].right = right;
+        Some(node_id)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Point dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Finds the `k` nearest points to `query`, returned as
+    /// `(point_index, squared_distance)` sorted by ascending distance
+    /// (ties broken by ascending index, matching brute-force ordering).
+    ///
+    /// Returns fewer than `k` results only when the tree holds fewer points.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::InvalidParameter`] if `k == 0`;
+    /// * [`LearnError::ShapeMismatch`] if `query.len() != dim()`.
+    pub fn nearest(&self, query: &[f64], k: usize) -> Result<Vec<(usize, f64)>> {
+        if k == 0 {
+            return Err(LearnError::InvalidParameter("k must be >= 1".into()));
+        }
+        if query.len() != self.dim {
+            return Err(LearnError::ShapeMismatch(format!(
+                "query dim {} vs tree dim {}",
+                query.len(),
+                self.dim
+            )));
+        }
+        let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+        self.search(self.root, query, k, &mut best);
+        Ok(best)
+    }
+
+    fn search(
+        &self,
+        node: Option<usize>,
+        query: &[f64],
+        k: usize,
+        best: &mut Vec<(usize, f64)>,
+    ) {
+        let Some(id) = node else { return };
+        let n = &self.nodes[id];
+        let d = squared_distance(query, &self.points[n.point]);
+        Self::offer(best, k, (n.point, d));
+
+        let axis_delta = query[n.axis] - self.points[n.point][n.axis];
+        let (near, far) = if axis_delta <= 0.0 {
+            (n.left, n.right)
+        } else {
+            (n.right, n.left)
+        };
+        self.search(near, query, k, best);
+        // Prune: only descend the far side if the splitting plane is closer
+        // than the current k-th best distance (or we have fewer than k yet).
+        let worst = if best.len() < k {
+            f64::INFINITY
+        } else {
+            best.last().expect("non-empty when len >= k").1
+        };
+        if axis_delta * axis_delta <= worst {
+            self.search(far, query, k, best);
+        }
+    }
+
+    /// Inserts a candidate into the sorted top-k buffer.
+    fn offer(best: &mut Vec<(usize, f64)>, k: usize, cand: (usize, f64)) {
+        // Order: ascending distance, then ascending index for determinism.
+        let pos = best
+            .binary_search_by(|probe| {
+                probe
+                    .1
+                    .partial_cmp(&cand.1)
+                    .expect("distances are finite")
+                    .then(probe.0.cmp(&cand.0))
+            })
+            .unwrap_or_else(|e| e);
+        best.insert(pos, cand);
+        if best.len() > k {
+            best.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrng::{Rng64, Xoshiro256pp};
+
+    /// Brute-force reference with identical ordering semantics.
+    fn brute(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        let mut all: Vec<(usize, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, squared_distance(query, p)))
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.uniform(-10.0, 10.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let tree = KdTree::build(vec![vec![1.0, 2.0]]).unwrap();
+        let got = tree.nearest(&[0.0, 0.0], 3).unwrap();
+        assert_eq!(got, vec![(0, 5.0)]);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_2d() {
+        let pts = random_points(500, 2, 1);
+        let tree = KdTree::build(pts.clone()).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        for _ in 0..100 {
+            let q = vec![rng.uniform(-12.0, 12.0), rng.uniform(-12.0, 12.0)];
+            for k in [1, 3, 7] {
+                let got = tree.nearest(&q, k).unwrap();
+                let want = brute(&pts, &q, k);
+                assert_eq!(got, want, "query {q:?}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_higher_dims() {
+        for dim in [1, 3, 5] {
+            let pts = random_points(200, dim, dim as u64 + 10);
+            let tree = KdTree::build(pts.clone()).unwrap();
+            let mut rng = Xoshiro256pp::seed_from_u64(99);
+            for _ in 0..30 {
+                let q: Vec<f64> = (0..dim).map(|_| rng.uniform(-12.0, 12.0)).collect();
+                let got = tree.nearest(&q, 5).unwrap();
+                let want = brute(&pts, &q, 5);
+                assert_eq!(got, want, "dim {dim}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_all_findable() {
+        let pts = vec![vec![1.0, 1.0]; 5];
+        let tree = KdTree::build(pts).unwrap();
+        let got = tree.nearest(&[1.0, 1.0], 5).unwrap();
+        assert_eq!(got.len(), 5);
+        assert!(got.iter().all(|&(_, d)| d == 0.0));
+        // Deterministic index order on ties.
+        let idx: Vec<usize> = got.iter().map(|&(i, _)| i).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn k_larger_than_tree_returns_everything() {
+        let pts = random_points(4, 2, 3);
+        let tree = KdTree::build(pts).unwrap();
+        let got = tree.nearest(&[0.0, 0.0], 10).unwrap();
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(KdTree::build(vec![]).is_err());
+        assert!(KdTree::build(vec![vec![]]).is_err());
+        assert!(KdTree::build(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        let tree = KdTree::build(vec![vec![0.0, 0.0]]).unwrap();
+        assert!(tree.nearest(&[0.0], 1).is_err());
+        assert!(tree.nearest(&[0.0, 0.0], 0).is_err());
+    }
+
+    #[test]
+    fn collinear_points_on_one_axis() {
+        // Degenerate geometry: all points share the y coordinate.
+        let pts: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 7.0]).collect();
+        let tree = KdTree::build(pts.clone()).unwrap();
+        let got = tree.nearest(&[25.2, 7.0], 3).unwrap();
+        let want = brute(&pts, &[25.2, 7.0], 3);
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,319 @@
+//! The k-nearest-neighbour classifier (paper §5.1).
+//!
+//! Memory-based: "training" stores the labelled points; classification finds
+//! the `k` closest training points by Euclidean distance and takes the
+//! majority vote. Two interchangeable back-ends implement the neighbour
+//! search — brute force (`O(N)` per query, what the paper uses) and a k-d tree
+//! (`O(log N)` expected, the fast alternative the paper cites) — and a test
+//! asserts they classify identically.
+
+use crossbeam::thread;
+use linalg::vecops::squared_distance;
+
+use crate::kdtree::KdTree;
+use crate::vote::majority_vote;
+use crate::{LearnError, Result};
+
+/// Neighbour-search implementation choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KnnBackend {
+    /// Linear scan over all training points. Matches the paper's `O(N)` cost
+    /// model and is fastest for small N or high dimensions.
+    #[default]
+    BruteForce,
+    /// Exact k-d tree (Friedman–Bentley–Finkel). Fastest for the post-PCA
+    /// 2-dimensional feature spaces of this workspace.
+    KdTree,
+}
+
+/// A fitted k-NN classifier.
+pub struct KnnClassifier {
+    k: usize,
+    points: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    n_classes: usize,
+    backend: KnnBackend,
+    tree: Option<KdTree>,
+}
+
+impl KnnClassifier {
+    /// "Trains" (indexes) the classifier on labelled points.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::InvalidParameter`] if `k == 0`;
+    /// * [`LearnError::InsufficientData`] if `points` is empty;
+    /// * [`LearnError::ShapeMismatch`] if `points`/`labels` lengths differ or
+    ///   point dimensions are inconsistent.
+    pub fn fit(
+        points: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        k: usize,
+        backend: KnnBackend,
+    ) -> Result<Self> {
+        if k == 0 {
+            return Err(LearnError::InvalidParameter("k must be >= 1".into()));
+        }
+        if points.is_empty() {
+            return Err(LearnError::InsufficientData("k-NN with no training points".into()));
+        }
+        if points.len() != labels.len() {
+            return Err(LearnError::ShapeMismatch(format!(
+                "{} points vs {} labels",
+                points.len(),
+                labels.len()
+            )));
+        }
+        let dim = points[0].len();
+        if dim == 0 {
+            return Err(LearnError::ShapeMismatch("points must have dimension >= 1".into()));
+        }
+        if let Some(i) = points.iter().position(|p| p.len() != dim) {
+            return Err(LearnError::ShapeMismatch(format!(
+                "point {i} has dim {}, expected {dim}",
+                points[i].len()
+            )));
+        }
+        let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        let tree = match backend {
+            KnnBackend::KdTree => Some(KdTree::build(points.clone())?),
+            KnnBackend::BruteForce => None,
+        };
+        Ok(Self { k, points, labels, n_classes, backend, tree })
+    }
+
+    /// The configured neighbour count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of indexed training points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the classifier has no training points (never after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of distinct classes (max label + 1).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The active back-end.
+    pub fn backend(&self) -> KnnBackend {
+        self.backend
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.points[0].len()
+    }
+
+    /// Returns the `k` nearest `(label, squared_distance)` pairs, nearest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::ShapeMismatch`] if `query.len() != dim()`.
+    pub fn neighbors(&self, query: &[f64]) -> Result<Vec<(usize, f64)>> {
+        if query.len() != self.dim() {
+            return Err(LearnError::ShapeMismatch(format!(
+                "query dim {} vs training dim {}",
+                query.len(),
+                self.dim()
+            )));
+        }
+        let idx_dist: Vec<(usize, f64)> = match (&self.tree, self.backend) {
+            (Some(tree), KnnBackend::KdTree) => tree.nearest(query, self.k)?,
+            _ => {
+                let mut all: Vec<(usize, f64)> = self
+                    .points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, squared_distance(query, p)))
+                    .collect();
+                all.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("distances are finite")
+                        .then(a.0.cmp(&b.0))
+                });
+                all.truncate(self.k);
+                all
+            }
+        };
+        Ok(idx_dist
+            .into_iter()
+            .map(|(i, d)| (self.labels[i], d))
+            .collect())
+    }
+
+    /// Classifies one query by majority vote among its `k` nearest neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::ShapeMismatch`] if `query.len() != dim()`.
+    pub fn classify(&self, query: &[f64]) -> Result<usize> {
+        let neighbors = self.neighbors(query)?;
+        Ok(majority_vote(&neighbors).expect("k >= 1 guarantees a neighbour"))
+    }
+
+    /// Classifies a batch of queries, splitting the work across `threads`
+    /// scoped worker threads (the training-free k-NN query is embarrassingly
+    /// parallel). `threads == 1` runs inline.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::InvalidParameter`] if `threads == 0`;
+    /// * the first per-query error, if any.
+    pub fn classify_batch(&self, queries: &[Vec<f64>], threads: usize) -> Result<Vec<usize>> {
+        if threads == 0 {
+            return Err(LearnError::InvalidParameter("threads must be >= 1".into()));
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        if threads == 1 || queries.len() < 2 * threads {
+            return queries.iter().map(|q| self.classify(q)).collect();
+        }
+        let chunk = queries.len().div_ceil(threads);
+        let results = thread::scope(|s| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|part| s.spawn(move |_| part.iter().map(|q| self.classify(q)).collect::<Result<Vec<_>>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("k-NN worker panicked"))
+                .collect::<Result<Vec<Vec<usize>>>>()
+        })
+        .expect("scoped threads never leak");
+        Ok(results?.into_iter().flatten().collect())
+    }
+}
+
+impl std::fmt::Debug for KnnClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KnnClassifier")
+            .field("k", &self.k)
+            .field("points", &self.points.len())
+            .field("classes", &self.n_classes)
+            .field("backend", &self.backend)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrng::{Rng64, Xoshiro256pp};
+
+    /// Two well-separated Gaussian-ish blobs.
+    fn blobs(seed: u64, n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let (cx, cy, label) = if i % 2 == 0 { (-5.0, -5.0, 0) } else { (5.0, 5.0, 1) };
+            pts.push(vec![cx + rng.uniform(-1.0, 1.0), cy + rng.uniform(-1.0, 1.0)]);
+            labels.push(label);
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn separable_blobs_classify_perfectly() {
+        let (pts, labels) = blobs(1, 100);
+        let knn = KnnClassifier::fit(pts, labels, 3, KnnBackend::BruteForce).unwrap();
+        assert_eq!(knn.classify(&[-5.0, -4.5]).unwrap(), 0);
+        assert_eq!(knn.classify(&[4.5, 5.5]).unwrap(), 1);
+    }
+
+    #[test]
+    fn one_nn_returns_label_of_closest_point() {
+        let pts = vec![vec![0.0, 0.0], vec![10.0, 0.0]];
+        let knn = KnnClassifier::fit(pts, vec![4, 9], 1, KnnBackend::BruteForce).unwrap();
+        assert_eq!(knn.classify(&[1.0, 0.0]).unwrap(), 4);
+        assert_eq!(knn.classify(&[9.0, 0.0]).unwrap(), 9);
+        assert_eq!(knn.n_classes(), 10);
+    }
+
+    #[test]
+    fn backends_agree_on_every_query() {
+        let (pts, labels) = blobs(2, 301);
+        let brute =
+            KnnClassifier::fit(pts.clone(), labels.clone(), 3, KnnBackend::BruteForce).unwrap();
+        let tree = KnnClassifier::fit(pts, labels, 3, KnnBackend::KdTree).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        for _ in 0..200 {
+            let q = vec![rng.uniform(-8.0, 8.0), rng.uniform(-8.0, 8.0)];
+            assert_eq!(brute.classify(&q).unwrap(), tree.classify(&q).unwrap(), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn neighbors_are_sorted_nearest_first() {
+        let (pts, labels) = blobs(4, 50);
+        let knn = KnnClassifier::fit(pts, labels, 5, KnnBackend::BruteForce).unwrap();
+        let n = knn.neighbors(&[0.0, 0.0]).unwrap();
+        assert_eq!(n.len(), 5);
+        for w in n.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn k_exceeding_training_size_uses_all_points() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let knn = KnnClassifier::fit(pts, vec![0, 0, 1], 9, KnnBackend::BruteForce).unwrap();
+        // All three points vote: 0 wins 2:1.
+        assert_eq!(knn.classify(&[0.5]).unwrap(), 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_across_thread_counts() {
+        let (pts, labels) = blobs(5, 200);
+        let knn = KnnClassifier::fit(pts, labels, 3, KnnBackend::BruteForce).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let queries: Vec<Vec<f64>> =
+            (0..97).map(|_| vec![rng.uniform(-8.0, 8.0), rng.uniform(-8.0, 8.0)]).collect();
+        let seq = knn.classify_batch(&queries, 1).unwrap();
+        for threads in [2, 3, 8] {
+            assert_eq!(knn.classify_batch(&queries, threads).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn batch_empty_and_validation() {
+        let (pts, labels) = blobs(7, 10);
+        let knn = KnnClassifier::fit(pts, labels, 1, KnnBackend::BruteForce).unwrap();
+        assert_eq!(knn.classify_batch(&[], 4).unwrap(), Vec::<usize>::new());
+        assert!(knn.classify_batch(&[vec![0.0, 0.0]], 0).is_err());
+    }
+
+    #[test]
+    fn fit_validation() {
+        assert!(KnnClassifier::fit(vec![], vec![], 3, KnnBackend::BruteForce).is_err());
+        assert!(
+            KnnClassifier::fit(vec![vec![1.0]], vec![0], 0, KnnBackend::BruteForce).is_err()
+        );
+        assert!(
+            KnnClassifier::fit(vec![vec![1.0]], vec![0, 1], 1, KnnBackend::BruteForce).is_err()
+        );
+        assert!(KnnClassifier::fit(
+            vec![vec![1.0], vec![1.0, 2.0]],
+            vec![0, 1],
+            1,
+            KnnBackend::BruteForce
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn query_dim_checked() {
+        let (pts, labels) = blobs(8, 10);
+        let knn = KnnClassifier::fit(pts, labels, 1, KnnBackend::KdTree).unwrap();
+        assert!(knn.classify(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Principal component analysis (paper §5.2).
+//!
+//! PCA here is a fitted linear map: the mean vector `μ` and the top-`n`
+//! eigenvectors `V_q` of the training covariance (paper Eq. 7). Fitting uses
+//! the Jacobi eigensolver — exact for the tiny `m × m` covariances produced by
+//! prediction windows (`m ≤ 16` in all the paper's experiments).
+
+use linalg::{Matrix, SymEigen};
+
+use crate::{LearnError, Result};
+
+/// A fitted PCA projection.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// `n × d` projection matrix: rows are the leading unit eigenvectors.
+    components: Matrix,
+    eigenvalues: Vec<f64>,
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Fits PCA on `data` (rows = observations) keeping `n` components.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::InvalidParameter`] if `n == 0` or `n > d`;
+    /// * [`LearnError::InsufficientData`] if `data` has fewer than 2 rows;
+    /// * [`LearnError::Numerical`] if the eigensolver fails.
+    pub fn fit(data: &Matrix, n: usize) -> Result<Self> {
+        let d = data.cols();
+        if n == 0 || n > d {
+            return Err(LearnError::InvalidParameter(format!(
+                "PCA dimension must be in 1..={d}, got {n}"
+            )));
+        }
+        if data.rows() < 2 {
+            return Err(LearnError::InsufficientData(format!(
+                "PCA needs at least 2 observations, got {}",
+                data.rows()
+            )));
+        }
+        let mean = data.column_means();
+        let cov = data.covariance();
+        let eig = SymEigen::decompose(&cov).map_err(|e| LearnError::Numerical(e.to_string()))?;
+        // Covariance eigenvalues are >= 0 up to rounding; clamp tiny negatives.
+        let eigenvalues: Vec<f64> = eig.eigenvalues.iter().map(|&l| l.max(0.0)).collect();
+        let total_variance: f64 = eigenvalues.iter().sum();
+
+        let mut components = Matrix::zeros(n, d);
+        for c in 0..n {
+            let v = eig.eigenvector(c);
+            components.row_mut(c).copy_from_slice(&v);
+        }
+        Ok(Self { mean, components, eigenvalues: eigenvalues[..n].to_vec(), total_variance })
+    }
+
+    /// Fits PCA keeping the smallest number of components whose cumulative
+    /// explained variance reaches `min_fraction` (the paper's "predefined
+    /// minimal fraction variance" criterion), with at least one component.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::InvalidParameter`] if `min_fraction` is outside `(0, 1]`;
+    /// * same data conditions as [`Pca::fit`].
+    pub fn fit_fraction(data: &Matrix, min_fraction: f64) -> Result<Self> {
+        if !(min_fraction.is_finite() && 0.0 < min_fraction && min_fraction <= 1.0) {
+            return Err(LearnError::InvalidParameter(format!(
+                "variance fraction must be in (0, 1], got {min_fraction}"
+            )));
+        }
+        // Fit with all components, then truncate.
+        let full = Self::fit(data, data.cols())?;
+        let total = full.total_variance;
+        if total <= 0.0 {
+            // Constant data: one component is as good as any.
+            return Self::fit(data, 1);
+        }
+        let mut acc = 0.0;
+        let mut n = full.eigenvalues.len();
+        for (i, &l) in full.eigenvalues.iter().enumerate() {
+            acc += l;
+            if acc / total >= min_fraction {
+                n = i + 1;
+                break;
+            }
+        }
+        Self::fit(data, n)
+    }
+
+    /// Number of retained components `n`.
+    pub fn n_components(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Input dimension `d`.
+    pub fn input_dim(&self) -> usize {
+        self.components.cols()
+    }
+
+    /// Eigenvalues of the retained components (descending).
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total training variance captured by each retained component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        if self.total_variance <= 0.0 {
+            return vec![0.0; self.eigenvalues.len()];
+        }
+        self.eigenvalues.iter().map(|&l| l / self.total_variance).collect()
+    }
+
+    /// Projects one observation into the component space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::ShapeMismatch`] if `x.len() != input_dim()`.
+    pub fn transform(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.input_dim() {
+            return Err(LearnError::ShapeMismatch(format!(
+                "PCA::transform: expected dim {}, got {}",
+                self.input_dim(),
+                x.len()
+            )));
+        }
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
+        self.components
+            .matvec(&centered)
+            .map_err(|e| LearnError::Numerical(e.to_string()))
+    }
+
+    /// Projects every row of `data`, producing an `N × n` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::ShapeMismatch`] if `data.cols() != input_dim()`.
+    pub fn transform_matrix(&self, data: &Matrix) -> Result<Matrix> {
+        if data.cols() != self.input_dim() {
+            return Err(LearnError::ShapeMismatch(format!(
+                "PCA::transform_matrix: expected dim {}, got {}",
+                self.input_dim(),
+                data.cols()
+            )));
+        }
+        let mut out = Matrix::zeros(data.rows(), self.n_components());
+        for (i, row) in data.iter_rows().enumerate() {
+            let z = self.transform(row)?;
+            out.row_mut(i).copy_from_slice(&z);
+        }
+        Ok(out)
+    }
+
+    /// Maps a projected point back to the input space (`μ + V_qᵀ λ`, Eq. 7) —
+    /// the least-squares reconstruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::ShapeMismatch`] if `z.len() != n_components()`.
+    pub fn inverse_transform(&self, z: &[f64]) -> Result<Vec<f64>> {
+        if z.len() != self.n_components() {
+            return Err(LearnError::ShapeMismatch(format!(
+                "PCA::inverse_transform: expected dim {}, got {}",
+                self.n_components(),
+                z.len()
+            )));
+        }
+        let mut out = self.mean.clone();
+        for (c, &zc) in z.iter().enumerate() {
+            let row = self.components.row(c);
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += zc * v;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data stretched along the (1, 1) diagonal with slight noise off-axis.
+    fn diagonal_data() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            let t = i as f64 / 5.0 - 5.0;
+            let off = if i % 2 == 0 { 0.1 } else { -0.1 };
+            rows.push(vec![t + off, t - off]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn leading_component_finds_diagonal() {
+        let pca = Pca::fit(&diagonal_data(), 1).unwrap();
+        let c = pca.components.row(0);
+        // Unit vector along (1, 1)/sqrt(2) up to sign — a small tilt remains
+        // because the alternating off-axis noise correlates weakly with the
+        // trend in this finite sample.
+        assert!((c[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-2);
+        assert!((c[0] - c[1]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn explained_variance_concentrates_on_first_component() {
+        let pca = Pca::fit(&diagonal_data(), 2).unwrap();
+        let ratio = pca.explained_variance_ratio();
+        assert!(ratio[0] > 0.99, "{ratio:?}");
+        assert!((ratio.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let data = diagonal_data();
+        let pca = Pca::fit(&data, 2).unwrap();
+        let projected = pca.transform_matrix(&data).unwrap();
+        let means = projected.column_means();
+        for m in means {
+            assert!(m.abs() < 1e-9, "projected mean {m}");
+        }
+    }
+
+    #[test]
+    fn full_rank_projection_reconstructs_exactly() {
+        let data = diagonal_data();
+        let pca = Pca::fit(&data, 2).unwrap();
+        for row in data.iter_rows() {
+            let z = pca.transform(row).unwrap();
+            let back = pca.inverse_transform(&z).unwrap();
+            for (a, b) in back.iter().zip(row) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_one_reconstruction_is_least_squares() {
+        // Reconstruction error through 1 component must not exceed the
+        // variance orthogonal to the leading direction.
+        let data = diagonal_data();
+        let pca1 = Pca::fit(&data, 1).unwrap();
+        let mut total_err = 0.0;
+        for row in data.iter_rows() {
+            let z = pca1.transform(row).unwrap();
+            let back = pca1.inverse_transform(&z).unwrap();
+            total_err += back
+                .iter()
+                .zip(row)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>();
+        }
+        // Off-diagonal noise is ±0.1 in a direction orthogonal to (1,1):
+        // squared distance to the axis is 2 * 0.1^2 = 0.02 per point.
+        let expected = 0.02 * data.rows() as f64;
+        assert!((total_err - expected).abs() < expected * 0.1, "{total_err} vs {expected}");
+    }
+
+    #[test]
+    fn fit_fraction_selects_minimal_components() {
+        let data = diagonal_data();
+        // 99% of variance lives on the diagonal: one component suffices.
+        let pca = Pca::fit_fraction(&data, 0.95).unwrap();
+        assert_eq!(pca.n_components(), 1);
+        // Requiring 99.999% forces the second component in.
+        let pca2 = Pca::fit_fraction(&data, 0.99999).unwrap();
+        assert_eq!(pca2.n_components(), 2);
+    }
+
+    #[test]
+    fn fit_fraction_validates() {
+        let data = diagonal_data();
+        assert!(Pca::fit_fraction(&data, 0.0).is_err());
+        assert!(Pca::fit_fraction(&data, 1.5).is_err());
+    }
+
+    #[test]
+    fn constant_data_fits_with_zero_variance() {
+        let data = Matrix::from_rows(&[vec![2.0, 3.0], vec![2.0, 3.0], vec![2.0, 3.0]]).unwrap();
+        let pca = Pca::fit(&data, 1).unwrap();
+        assert_eq!(pca.explained_variance_ratio(), vec![0.0]);
+        // Everything projects to the origin.
+        assert_eq!(pca.transform(&[2.0, 3.0]).unwrap(), vec![0.0]);
+        let frac = Pca::fit_fraction(&data, 0.9).unwrap();
+        assert_eq!(frac.n_components(), 1);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let data = diagonal_data();
+        assert!(Pca::fit(&data, 0).is_err());
+        assert!(Pca::fit(&data, 3).is_err());
+        let one_row = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(Pca::fit(&one_row, 1).is_err());
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let pca = Pca::fit(&diagonal_data(), 2).unwrap();
+        assert!(pca.transform(&[1.0]).is_err());
+        assert!(pca.inverse_transform(&[1.0, 2.0, 3.0]).is_err());
+        let wrong = Matrix::zeros(3, 5);
+        assert!(pca.transform_matrix(&wrong).is_err());
+    }
+
+    #[test]
+    fn projection_preserves_pairwise_structure_on_dominant_axis() {
+        // Points far apart along the diagonal must stay far apart after a
+        // 2 -> 1 reduction; this is the property the k-NN stage relies on.
+        let data = diagonal_data();
+        let pca = Pca::fit(&data, 1).unwrap();
+        let a = pca.transform(data.row(0)).unwrap();
+        let b = pca.transform(data.row(49)).unwrap();
+        let c = pca.transform(data.row(1)).unwrap();
+        let d_far = (a[0] - b[0]).abs();
+        let d_near = (a[0] - c[0]).abs();
+        assert!(d_far > 5.0 * d_near);
+    }
+}

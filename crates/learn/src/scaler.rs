@@ -1,0 +1,154 @@
+//! Per-column z-score scaling for multi-dimensional feature matrices.
+//!
+//! §5.1 of the paper: "Since the features under study … have different units of
+//! measure, all features are normalized to have zero mean and unit variance."
+//! Like the per-series [`timeseries::ZScore`], the scaler is a fitted object so
+//! the *training* statistics are applied to test features.
+
+use linalg::Matrix;
+use timeseries::ZScore;
+
+use crate::{LearnError, Result};
+
+/// A fitted per-column z-score transform.
+#[derive(Debug, Clone)]
+pub struct FeatureScaler {
+    columns: Vec<ZScore>,
+}
+
+impl FeatureScaler {
+    /// Fits one z-score per column of `data` (rows = observations).
+    pub fn fit(data: &Matrix) -> Self {
+        let columns = (0..data.cols())
+            .map(|j| {
+                let col = data.col(j);
+                ZScore::fit(&col).expect("matrix columns are non-empty")
+            })
+            .collect();
+        Self { columns }
+    }
+
+    /// Number of feature columns.
+    pub fn dim(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Scales one observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::ShapeMismatch`] if `x.len() != dim()`.
+    pub fn transform(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.dim() {
+            return Err(LearnError::ShapeMismatch(format!(
+                "FeatureScaler::transform: expected dim {}, got {}",
+                self.dim(),
+                x.len()
+            )));
+        }
+        Ok(x.iter().zip(&self.columns).map(|(&v, z)| z.apply(v)).collect())
+    }
+
+    /// Scales every row of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::ShapeMismatch`] if `data.cols() != dim()`.
+    pub fn transform_matrix(&self, data: &Matrix) -> Result<Matrix> {
+        if data.cols() != self.dim() {
+            return Err(LearnError::ShapeMismatch(format!(
+                "FeatureScaler::transform_matrix: expected dim {}, got {}",
+                self.dim(),
+                data.cols()
+            )));
+        }
+        let mut out = Matrix::zeros(data.rows(), data.cols());
+        for (i, row) in data.iter_rows().enumerate() {
+            for (j, (&v, z)) in row.iter().zip(&self.columns).enumerate() {
+                out[(i, j)] = z.apply(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Un-scales one observation back to the original units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::ShapeMismatch`] if `z.len() != dim()`.
+    pub fn inverse_transform(&self, z: &[f64]) -> Result<Vec<f64>> {
+        if z.len() != self.dim() {
+            return Err(LearnError::ShapeMismatch(format!(
+                "FeatureScaler::inverse_transform: expected dim {}, got {}",
+                self.dim(),
+                z.len()
+            )));
+        }
+        Ok(z.iter().zip(&self.columns).map(|(&v, s)| s.invert(v)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+            vec![4.0, 400.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn columns_become_zero_mean_unit_variance() {
+        let scaler = FeatureScaler::fit(&data());
+        let t = scaler.transform_matrix(&data()).unwrap();
+        for j in 0..2 {
+            let col = t.col(j);
+            assert!(timeseries::stats::mean(&col).abs() < 1e-12);
+            assert!((timeseries::stats::variance(&col) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaling_equalizes_feature_influence() {
+        // Before scaling, column 2 dominates distances by 100x; after, the
+        // two columns contribute equally.
+        let scaler = FeatureScaler::fit(&data());
+        let a = scaler.transform(&[1.0, 100.0]).unwrap();
+        let b = scaler.transform(&[2.0, 200.0]).unwrap();
+        let d0 = (a[0] - b[0]).abs();
+        let d1 = (a[1] - b[1]).abs();
+        assert!((d0 - d1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let scaler = FeatureScaler::fit(&data());
+        let x = [2.5, 250.0];
+        let z = scaler.transform(&x).unwrap();
+        let back = scaler.inverse_transform(&z).unwrap();
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let scaler = FeatureScaler::fit(&data());
+        assert!(scaler.transform(&[1.0]).is_err());
+        assert!(scaler.inverse_transform(&[1.0, 2.0, 3.0]).is_err());
+        assert!(scaler.transform_matrix(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn constant_column_passes_through_centered() {
+        let m = Matrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0]]).unwrap();
+        let scaler = FeatureScaler::fit(&m);
+        let t = scaler.transform(&[5.0, 1.5]).unwrap();
+        assert_eq!(t[0], 0.0);
+    }
+}

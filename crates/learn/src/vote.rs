@@ -1,0 +1,81 @@
+//! Majority voting over neighbour labels.
+//!
+//! The paper classifies "by using the majority vote among the k (an odd
+//! number) neighbors". With more than two classes even an odd `k` can tie;
+//! the tie-break here is the class of the *nearest* tied neighbour, which is
+//! deterministic and degrades gracefully to 1-NN.
+
+/// Returns the winning label among `(label, squared_distance)` neighbour pairs,
+/// ordered nearest-first. Ties on count break toward the class whose nearest
+/// member is closest (then toward the smaller label for exact distance ties).
+///
+/// Returns `None` for an empty neighbour list.
+pub fn majority_vote(neighbors: &[(usize, f64)]) -> Option<usize> {
+    if neighbors.is_empty() {
+        return None;
+    }
+    // Count votes and remember each class's best (smallest) distance.
+    let mut tally: Vec<(usize, usize, f64)> = Vec::new(); // (label, count, best_dist)
+    for &(label, dist) in neighbors {
+        match tally.iter_mut().find(|(l, _, _)| *l == label) {
+            Some(entry) => {
+                entry.1 += 1;
+                if dist < entry.2 {
+                    entry.2 = dist;
+                }
+            }
+            None => tally.push((label, 1, dist)),
+        }
+    }
+    tally
+        .into_iter()
+        .min_by(|a, b| {
+            // Max count first, then min distance, then min label.
+            b.1.cmp(&a.1)
+                .then(a.2.partial_cmp(&b.2).expect("distances are finite"))
+                .then(a.0.cmp(&b.0))
+        })
+        .map(|(label, _, _)| label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous() {
+        assert_eq!(majority_vote(&[(2, 0.1), (2, 0.2), (2, 0.3)]), Some(2));
+    }
+
+    #[test]
+    fn simple_majority() {
+        assert_eq!(majority_vote(&[(1, 0.1), (0, 0.2), (1, 0.3)]), Some(1));
+    }
+
+    #[test]
+    fn three_way_tie_goes_to_nearest() {
+        assert_eq!(majority_vote(&[(2, 0.1), (0, 0.2), (1, 0.3)]), Some(2));
+    }
+
+    #[test]
+    fn two_way_tie_goes_to_nearest_member() {
+        // Classes 0 and 1 both have 2 votes; class 1 has the single nearest.
+        let n = [(1, 0.05), (0, 0.1), (0, 0.2), (1, 0.4)];
+        assert_eq!(majority_vote(&n), Some(1));
+    }
+
+    #[test]
+    fn exact_distance_tie_prefers_smaller_label() {
+        assert_eq!(majority_vote(&[(3, 0.5), (1, 0.5)]), Some(1));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(majority_vote(&[]), None);
+    }
+
+    #[test]
+    fn single_neighbor() {
+        assert_eq!(majority_vote(&[(7, 1.0)]), Some(7));
+    }
+}

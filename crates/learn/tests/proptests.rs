@@ -1,0 +1,114 @@
+//! Property-based tests for the learning substrate.
+
+use proptest::prelude::*;
+
+use learn::{eval, split, FeatureScaler, KdTree, KnnBackend, KnnClassifier, Pca};
+use linalg::Matrix;
+use simrng::Xoshiro256pp;
+
+fn points(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(-50f64..50.0, dim), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// kd-tree k-NN identical to brute force, including tie ordering.
+    #[test]
+    fn kdtree_equals_brute_force(pts in points(40, 2), q in proptest::collection::vec(-60f64..60.0, 2), k in 1usize..8) {
+        let tree = KdTree::build(pts.clone()).unwrap();
+        let got = tree.nearest(&q, k).unwrap();
+        let mut all: Vec<(usize, f64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2)))
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        prop_assert_eq!(got, all);
+    }
+
+    /// Both k-NN back-ends classify identically for any k.
+    #[test]
+    fn knn_backends_agree(pts in points(30, 3), q in proptest::collection::vec(-60f64..60.0, 3), k in 1usize..7) {
+        let labels: Vec<usize> = (0..pts.len()).map(|i| i % 3).collect();
+        let brute = KnnClassifier::fit(pts.clone(), labels.clone(), k, KnnBackend::BruteForce).unwrap();
+        let tree = KnnClassifier::fit(pts, labels, k, KnnBackend::KdTree).unwrap();
+        prop_assert_eq!(brute.classify(&q).unwrap(), tree.classify(&q).unwrap());
+    }
+
+    /// PCA reconstruction error never increases with more components.
+    #[test]
+    fn pca_reconstruction_monotone(data in proptest::collection::vec(-20f64..20.0, 40)) {
+        let m = Matrix::from_vec(10, 4, data).unwrap();
+        let mut prev = f64::INFINITY;
+        for n in 1..=4 {
+            let pca = Pca::fit(&m, n).unwrap();
+            let mut err = 0.0;
+            for row in m.iter_rows() {
+                let z = pca.transform(row).unwrap();
+                let back = pca.inverse_transform(&z).unwrap();
+                err += row.iter().zip(&back).map(|(a, b)| (a - b).powi(2)).sum::<f64>();
+            }
+            prop_assert!(err <= prev + 1e-6, "n={n}: {err} > {prev}");
+            prev = err;
+        }
+        // Full rank reconstructs exactly.
+        prop_assert!(prev < 1e-9 * m.frobenius_norm().max(1.0));
+    }
+
+    /// Explained-variance ratios are a descending probability vector.
+    #[test]
+    fn pca_variance_ratios_valid(data in proptest::collection::vec(-20f64..20.0, 60)) {
+        let m = Matrix::from_vec(12, 5, data).unwrap();
+        let pca = Pca::fit(&m, 5).unwrap();
+        let r = pca.explained_variance_ratio();
+        let total: f64 = r.iter().sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+        for w in r.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &x in &r {
+            prop_assert!(x >= -1e-12);
+        }
+    }
+
+    /// FeatureScaler round-trips any in-dimension observation.
+    #[test]
+    fn scaler_round_trip(data in proptest::collection::vec(-100f64..100.0, 30), x in proptest::collection::vec(-200f64..200.0, 3)) {
+        let m = Matrix::from_vec(10, 3, data).unwrap();
+        let s = FeatureScaler::fit(&m);
+        let z = s.transform(&x).unwrap();
+        let back = s.inverse_transform(&z).unwrap();
+        for (a, b) in back.iter().zip(&x) {
+            prop_assert!((a - b).abs() < 1e-8 * b.abs().max(1.0));
+        }
+    }
+
+    /// Random contiguous splits partition the index range.
+    #[test]
+    fn splits_partition(len in 20usize..500, min_each in 1usize..10, seed in 0u64..1000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        if let Some(s) = split::random_contiguous_split(len, min_each, &mut rng) {
+            prop_assert_eq!(s.train.start, 0);
+            prop_assert_eq!(s.train.end, s.test.start);
+            prop_assert_eq!(s.test.end, len);
+            prop_assert!(s.train.len() >= min_each && s.test.len() >= min_each);
+        } else {
+            prop_assert!(len < 2 * min_each || min_each == 0);
+        }
+    }
+
+    /// Accuracy equals the confusion matrix's trace ratio.
+    #[test]
+    fn accuracy_consistent_with_confusion(
+        labels in proptest::collection::vec(0usize..4, 1..60),
+        preds in proptest::collection::vec(0usize..4, 60),
+    ) {
+        let preds = &preds[..labels.len()];
+        let acc = eval::accuracy(preds, &labels).unwrap();
+        let cm = eval::ConfusionMatrix::from_labels(preds, &labels).unwrap();
+        prop_assert!((acc - cm.accuracy()).abs() < 1e-12);
+        prop_assert_eq!(cm.total(), labels.len());
+    }
+}

@@ -1,0 +1,165 @@
+//! Cholesky decomposition of symmetric positive-definite matrices.
+//!
+//! Used by the polynomial-fit predictor (normal equations of least squares) and
+//! as an independent solver in tests that cross-check Levinson–Durbin.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidArgument`] if `a` is not square;
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive
+    ///   (within a small relative tolerance).
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::InvalidArgument(format!(
+                "Cholesky requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite(format!(
+                    "pivot {j} is {d:.3e}"
+                )));
+            }
+            let djj = d.sqrt();
+            l[(j, j)] = djj;
+            for i in j + 1..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / djj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Borrows the lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` by forward/backward substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len()` differs from the
+    /// matrix dimension.
+    #[allow(clippy::needless_range_loop)] // triangular indexing is clearer
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "Cholesky::solve: matrix is {n}x{n}, rhs has length {}",
+                b.len()
+            )));
+        }
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in i + 1..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_known_spd_matrix() {
+        // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]].
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let c = Cholesky::decompose(&a).unwrap();
+        let l = c.factor();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-15);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-15);
+        assert!((l[(1, 1)] - 2.0f64.sqrt()).abs() < 1e-15);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn l_lt_reconstructs_a() {
+        let a = Matrix::from_rows(&[
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ])
+        .unwrap();
+        let c = Cholesky::decompose(&a).unwrap();
+        let llt = c.factor().matmul(&c.factor().transpose()).unwrap();
+        assert!(llt.max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn solve_round_trips() {
+        let a = Matrix::from_rows(&[
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ])
+        .unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Cholesky::decompose(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NotPositiveDefinite(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_nonsquare_and_bad_rhs() {
+        assert!(Cholesky::decompose(&Matrix::zeros(2, 3)).is_err());
+        let a = Matrix::identity(2);
+        let c = Cholesky::decompose(&a).unwrap();
+        assert!(c.solve(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let c = Cholesky::decompose(&Matrix::identity(4)).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(c.solve(&b).unwrap(), b);
+    }
+}

@@ -1,0 +1,208 @@
+//! Gaussian elimination with partial pivoting for general small square systems.
+//!
+//! The generic fallback solver: least-squares normal equations that are only
+//! semi-definite, cross-checking Toeplitz solves in tests, and anywhere a one-off
+//! `A x = b` is needed without factor reuse.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Solves `a x = b` by LU with partial pivoting (in-place on copies).
+///
+/// # Errors
+///
+/// * [`LinalgError::InvalidArgument`] if `a` is not square;
+/// * [`LinalgError::ShapeMismatch`] if `b.len() != a.rows()`;
+/// * [`LinalgError::Singular`] if a pivot is (numerically) zero.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::InvalidArgument(format!(
+            "solve requires a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch(format!(
+            "solve: matrix is {n}x{n}, rhs has length {}",
+            b.len()
+        )));
+    }
+
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    let scale = m.as_slice().iter().fold(0.0f64, |acc, &x| acc.max(x.abs()));
+    let tiny = f64::EPSILON * scale.max(1.0) * n as f64;
+
+    for col in 0..n {
+        // Partial pivot: largest absolute entry in this column at or below row `col`.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[(i, col)]
+                    .abs()
+                    .partial_cmp(&m[(j, col)].abs())
+                    .expect("matrix entries are finite")
+            })
+            .expect("non-empty range");
+        if m[(pivot_row, col)].abs() <= tiny {
+            return Err(LinalgError::Singular(format!(
+                "pivot in column {col} is {:.3e}",
+                m[(pivot_row, col)]
+            )));
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = m[(col, j)];
+                m[(col, j)] = m[(pivot_row, j)];
+                m[(pivot_row, j)] = tmp;
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m[(col, col)];
+        for row in col + 1..n {
+            let f = m[(row, col)] / pivot;
+            if f == 0.0 {
+                continue;
+            }
+            m[(row, col)] = 0.0;
+            for j in col + 1..n {
+                let v = m[(col, j)];
+                m[(row, j)] -= f * v;
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = rhs[i];
+        for j in i + 1..n {
+            s -= m[(i, j)] * x[j];
+        }
+        x[i] = s / m[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Solves the least-squares problem `min ||A x - b||₂` via the normal equations
+/// `AᵀA x = Aᵀb` (adequate for the tiny, well-conditioned systems in this
+/// workspace, e.g. low-degree polynomial fits).
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if `b.len() != a.rows()`;
+/// * [`LinalgError::Singular`] if `AᵀA` is singular (rank-deficient design).
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::ShapeMismatch(format!(
+            "lstsq: design is {}x{}, rhs has length {}",
+            a.rows(),
+            a.cols(),
+            b.len()
+        )));
+    }
+    let at = a.transpose();
+    let ata = at.matmul(a)?;
+    let atb = at.matvec(b)?;
+    solve(&ata, &atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(solve(&a, &[1.0, 2.0]), Err(LinalgError::Singular(_))));
+    }
+
+    #[test]
+    fn rejects_shape_problems() {
+        assert!(solve(&Matrix::zeros(2, 3), &[1.0, 2.0]).is_err());
+        assert!(solve(&Matrix::identity(2), &[1.0]).is_err());
+    }
+
+    #[test]
+    fn round_trip_random_like_system() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, -1.0, 2.0, 0.5],
+            vec![1.0, 4.0, -2.0, 1.0],
+            vec![0.0, 2.0, 5.0, -1.0],
+            vec![2.0, 0.0, 1.0, 3.0],
+        ])
+        .unwrap();
+        let x_true = vec![1.0, -1.0, 2.0, 0.25];
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lstsq_exact_fit_line() {
+        // Fit y = 2x + 1 through three exact points.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+        ])
+        .unwrap();
+        let x = lstsq(&a, &[1.0, 3.0, 5.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_overdetermined_minimizes_residual() {
+        // Points on y = x with one outlier pulled up: slope should stay near 1,
+        // and the residual must be no worse than the exact-line parameters'.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ])
+        .unwrap();
+        let b = [0.0, 1.0, 2.0, 4.0];
+        let x = lstsq(&a, &b).unwrap();
+        let res_fit: f64 = a
+            .matvec(&x)
+            .unwrap()
+            .iter()
+            .zip(&b)
+            .map(|(p, o)| (p - o).powi(2))
+            .sum();
+        let res_line: f64 = a
+            .matvec(&[0.0, 1.0])
+            .unwrap()
+            .iter()
+            .zip(&b)
+            .map(|(p, o)| (p - o).powi(2))
+            .sum();
+        assert!(res_fit <= res_line + 1e-12);
+    }
+
+    #[test]
+    fn lstsq_rank_deficient_errors() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        assert!(lstsq(&a, &[1.0, 2.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Small dense linear algebra for the LARPredictor workspace.
+//!
+//! The paper's pipeline needs exactly three numerical kernels, all of which are
+//! implemented here from scratch (no BLAS/LAPACK):
+//!
+//! * **symmetric eigendecomposition** ([`sym_eigen::SymEigen`], cyclic Jacobi) —
+//!   drives PCA in the `learn` crate;
+//! * **Toeplitz solves** ([`toeplitz::levinson_durbin`]) — the Yule–Walker
+//!   equations of AR model fitting in the `predictors` crate;
+//! * **general small solves** ([`gauss::solve`] with partial pivoting and
+//!   [`cholesky::Cholesky`]) — polynomial least-squares fitting and verification.
+//!
+//! Everything is built on a single row-major [`Matrix`] type plus free functions
+//! over `&[f64]` slices ([`vecops`]). Matrices in this workspace are tiny (the
+//! prediction window is 5–16 wide), so the implementations favour clarity and
+//! numerical robustness over blocking or SIMD; the `bench` crate verifies that the
+//! kernels are nowhere near the pipeline's critical path.
+#![warn(missing_docs)]
+
+
+pub mod cholesky;
+pub mod gauss;
+pub mod matrix;
+pub mod sym_eigen;
+pub mod toeplitz;
+pub mod vecops;
+
+pub use cholesky::Cholesky;
+pub use matrix::Matrix;
+pub use sym_eigen::SymEigen;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible; the message names the operation and shapes.
+    ShapeMismatch(String),
+    /// The matrix is singular (or numerically so) for the requested operation.
+    Singular(String),
+    /// The matrix is not positive definite (Cholesky).
+    NotPositiveDefinite(String),
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence(String),
+    /// Invalid argument (empty input, zero dimension, ...).
+    InvalidArgument(String),
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            LinalgError::Singular(m) => write!(f, "singular matrix: {m}"),
+            LinalgError::NotPositiveDefinite(m) => write!(f, "not positive definite: {m}"),
+            LinalgError::NoConvergence(m) => write!(f, "no convergence: {m}"),
+            LinalgError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

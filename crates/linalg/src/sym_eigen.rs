@@ -1,0 +1,281 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//!
+//! Jacobi is the right tool here: the PCA covariance matrices in this workspace
+//! are at most 16 × 16 (the prediction window size), and Jacobi is simple,
+//! unconditionally stable, and computes eigen*vectors* to high relative accuracy —
+//! which matters because the k-NN feature space is built from them.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Result of a symmetric eigendecomposition: `A = V diag(λ) Vᵀ`.
+///
+/// Eigenvalues are sorted in **descending** order (PCA convention) and
+/// `eigenvectors` stores the corresponding unit eigenvectors as **columns**.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, descending.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, ordered to match `eigenvalues`.
+    pub eigenvectors: Matrix,
+}
+
+impl SymEigen {
+    /// Decomposes a symmetric matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidArgument`] if `a` is not square or not symmetric
+    ///   (tolerance `1e-8 * max|a|`);
+    /// * [`LinalgError::NoConvergence`] if the off-diagonal norm fails to reach
+    ///   machine-level tolerance within 100 sweeps (does not happen for any
+    ///   well-formed symmetric input of the sizes used here).
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::InvalidArgument(format!(
+                "eigendecomposition requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let scale = a
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |m, &x| m.max(x.abs()));
+        if !a.is_symmetric(1e-8 * scale.max(1.0)) {
+            return Err(LinalgError::InvalidArgument(
+                "eigendecomposition requires a symmetric matrix".into(),
+            ));
+        }
+
+        let mut m = a.clone();
+        let mut v = Matrix::identity(n);
+        let tol = f64::EPSILON * scale.max(f64::MIN_POSITIVE) * n as f64;
+
+        const MAX_SWEEPS: usize = 100;
+        let mut converged = false;
+        for _ in 0..MAX_SWEEPS {
+            let off = off_diagonal_norm(&m);
+            if off <= tol {
+                converged = true;
+                break;
+            }
+            // One cyclic sweep over all super-diagonal entries.
+            for p in 0..n - 1 {
+                for q in p + 1..n {
+                    jacobi_rotate(&mut m, &mut v, p, q);
+                }
+            }
+        }
+        if !converged && off_diagonal_norm(&m) > tol {
+            return Err(LinalgError::NoConvergence(format!(
+                "Jacobi failed to converge in {MAX_SWEEPS} sweeps (off-norm {:.3e})",
+                off_diagonal_norm(&m)
+            )));
+        }
+
+        // Extract and sort eigenpairs by descending eigenvalue.
+        let mut order: Vec<usize> = (0..n).collect();
+        let eig: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+        order.sort_by(|&i, &j| eig[j].partial_cmp(&eig[i]).expect("eigenvalues are finite"));
+
+        let eigenvalues: Vec<f64> = order.iter().map(|&i| eig[i]).collect();
+        let mut eigenvectors = Matrix::zeros(n, n);
+        for (new_col, &old_col) in order.iter().enumerate() {
+            for r in 0..n {
+                eigenvectors[(r, new_col)] = v[(r, old_col)];
+            }
+        }
+        Ok(Self { eigenvalues, eigenvectors })
+    }
+
+    /// The `k`-th unit eigenvector (column `k`), copied out.
+    pub fn eigenvector(&self, k: usize) -> Vec<f64> {
+        self.eigenvectors.col(k)
+    }
+}
+
+/// Frobenius norm of the strictly-upper off-diagonal part.
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in i + 1..n {
+            s += m[(i, j)] * m[(i, j)];
+        }
+    }
+    s.sqrt()
+}
+
+/// Applies one Jacobi rotation zeroing `m[(p, q)]`, accumulating into `v`.
+fn jacobi_rotate(m: &mut Matrix, v: &mut Matrix, p: usize, q: usize) {
+    let apq = m[(p, q)];
+    if apq == 0.0 {
+        return;
+    }
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    // Stable computation of tan(theta) (Golub & Van Loan §8.4).
+    let theta = (aqq - app) / (2.0 * apq);
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        1.0 / (theta - (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+
+    let n = m.rows();
+    // Update rows/columns p and q of the symmetric matrix.
+    for k in 0..n {
+        if k != p && k != q {
+            let akp = m[(k, p)];
+            let akq = m[(k, q)];
+            m[(k, p)] = c * akp - s * akq;
+            m[(p, k)] = m[(k, p)];
+            m[(k, q)] = s * akp + c * akq;
+            m[(q, k)] = m[(k, q)];
+        }
+    }
+    m[(p, p)] = app - t * apq;
+    m[(q, q)] = aqq + t * apq;
+    m[(p, q)] = 0.0;
+    m[(q, p)] = 0.0;
+
+    // Accumulate the rotation into the eigenvector matrix.
+    for k in 0..n {
+        let vkp = v[(k, p)];
+        let vkq = v[(k, q)];
+        v[(k, p)] = c * vkp - s * vkq;
+        v[(k, q)] = s * vkp + c * vkq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, e: &SymEigen) -> f64 {
+        // max_k || A v_k - λ_k v_k ||
+        let n = a.rows();
+        let mut worst = 0.0f64;
+        for k in 0..n {
+            let v = e.eigenvector(k);
+            let av = a.matvec(&v).unwrap();
+            let r: f64 = av
+                .iter()
+                .zip(&v)
+                .map(|(x, y)| (x - e.eigenvalues[k] * y).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            worst = worst.max(r);
+        }
+        worst
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = 1.0;
+        a[(2, 2)] = 2.0;
+        let e = SymEigen::decompose(&a).unwrap();
+        assert_eq!(e.eigenvalues, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = SymEigen::decompose(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+        // Leading eigenvector is (1, 1)/sqrt(2) up to sign.
+        let v = e.eigenvector(0);
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((v[0] - v[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_identity_av_equals_lambda_v() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5, 0.0],
+            vec![1.0, 3.0, -1.0, 0.2],
+            vec![0.5, -1.0, 2.0, 0.7],
+            vec![0.0, 0.2, 0.7, 1.0],
+        ])
+        .unwrap();
+        let e = SymEigen::decompose(&a).unwrap();
+        assert!(residual(&a, &e) < 1e-10, "residual {}", residual(&a, &e));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        let e = SymEigen::decompose(&a).unwrap();
+        let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0],
+            vec![2.0, 4.0, 0.0],
+            vec![1.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let e = SymEigen::decompose(&a).unwrap();
+        let trace = a[(0, 0)] + a[(1, 1)] + a[(2, 2)];
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_nonsquare_and_asymmetric() {
+        assert!(SymEigen::decompose(&Matrix::zeros(2, 3)).is_err());
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert!(SymEigen::decompose(&a).is_err());
+    }
+
+    #[test]
+    fn handles_negative_eigenvalues() {
+        // [[0, 1], [1, 0]] has eigenvalues +1 and -1.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let e = SymEigen::decompose(&a).unwrap();
+        assert!((e.eigenvalues[0] - 1.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(4, 4);
+        let e = SymEigen::decompose(&a).unwrap();
+        assert!(e.eigenvalues.iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn larger_random_symmetric_matrix() {
+        // Deterministic pseudo-random symmetric 12x12 built from a simple hash.
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let h = ((i * 31 + j * 17 + 7) % 23) as f64 / 23.0 - 0.5;
+                a[(i, j)] = h;
+                a[(j, i)] = h;
+            }
+        }
+        let e = SymEigen::decompose(&a).unwrap();
+        assert!(residual(&a, &e) < 1e-9);
+        // Sorted descending.
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! The individual prediction models.
+//!
+//! Grouped by family:
+//!
+//! * [`simple`] — LAST, window/full means, EWMA (the paper's non-parametric
+//!   models and the NWS running-average family);
+//! * [`robust`] — sliding median, trimmed mean, and the adaptive-window
+//!   variants inspired by NWS's ADJ_* forecasters;
+//! * [`trend`] — the tendency model (Yang et al., SC'03) and polynomial
+//!   extrapolation (Zhang et al., CCGRID'06);
+//! * [`ar`] — the autoregressive model fitted with Yule–Walker (the paper's
+//!   parametric model, recommended by Dinda's host-load study) and its
+//!   differenced ARI extension.
+
+pub mod ar;
+pub mod robust;
+pub mod simple;
+pub mod trend;
+
+pub use ar::{Ar, Ari};
+pub use robust::{AdaptiveMean, AdaptiveMedian, SlidingMedian, TrimmedMean};
+pub use simple::{Ewma, Last, Mean, SwAvg};
+pub use trend::{PolyFit, Tendency};

@@ -1,0 +1,294 @@
+//! Robust and adaptive-window summary models.
+//!
+//! These generalise the NWS forecaster family: medians and trimmed means resist
+//! the bursty outliers typical of network/disk traces, and the adaptive-window
+//! variants re-select their window length on every call by minimising in-sample
+//! one-step error over the provided history — a stateless rendering of NWS's
+//! ADJ_MEAN / ADJ_MEDIAN "adjusting" forecasters.
+
+use timeseries::stats;
+
+use crate::{Predictor, PredictorError, Result};
+
+fn positive_window(model: &'static str, window: usize) -> Result<usize> {
+    if window == 0 {
+        return Err(PredictorError::InvalidParameter(format!(
+            "{model} window must be positive"
+        )));
+    }
+    Ok(window)
+}
+
+/// Median of the last `window` values.
+#[derive(Debug, Clone, Copy)]
+pub struct SlidingMedian {
+    window: usize,
+}
+
+impl SlidingMedian {
+    /// Creates a sliding median over the last `window` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::InvalidParameter`] if `window == 0`.
+    pub fn new(window: usize) -> Result<Self> {
+        Ok(Self { window: positive_window("MEDIAN", window)? })
+    }
+}
+
+impl Predictor for SlidingMedian {
+    fn name(&self) -> &'static str {
+        "MEDIAN"
+    }
+
+    fn min_history(&self) -> usize {
+        1
+    }
+
+    fn predict(&self, history: &[f64]) -> f64 {
+        let start = history.len().saturating_sub(self.window);
+        stats::median(&history[start..]).expect("window is non-empty")
+    }
+}
+
+/// α-trimmed mean of the last `window` values.
+#[derive(Debug, Clone, Copy)]
+pub struct TrimmedMean {
+    window: usize,
+    alpha: f64,
+}
+
+impl TrimmedMean {
+    /// Creates a trimmed mean over the last `window` points, dropping the
+    /// `alpha` fraction from each tail (`alpha` in `[0, 0.5)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::InvalidParameter`] for a zero window or an
+    /// out-of-range trim fraction.
+    pub fn new(window: usize, alpha: f64) -> Result<Self> {
+        positive_window("TRIM_MEAN", window)?;
+        if !alpha.is_finite() || !(0.0..0.5).contains(&alpha) {
+            return Err(PredictorError::InvalidParameter(format!(
+                "trim fraction must be in [0, 0.5), got {alpha}"
+            )));
+        }
+        Ok(Self { window, alpha })
+    }
+}
+
+impl Predictor for TrimmedMean {
+    fn name(&self) -> &'static str {
+        "TRIM_MEAN"
+    }
+
+    fn min_history(&self) -> usize {
+        1
+    }
+
+    fn predict(&self, history: &[f64]) -> f64 {
+        let start = history.len().saturating_sub(self.window);
+        stats::trimmed_mean(&history[start..], self.alpha).expect("validated at construction")
+    }
+}
+
+/// Shared machinery for the adaptive-window models: evaluate each candidate
+/// window by replaying one-step forecasts over the history and keep the window
+/// with the lowest squared error, then forecast with it.
+fn adaptive_predict(
+    history: &[f64],
+    candidates: &[usize],
+    summary: impl Fn(&[f64]) -> f64,
+) -> f64 {
+    debug_assert!(!candidates.is_empty());
+    let mut best_w = candidates[0];
+    let mut best_err = f64::INFINITY;
+    for &w in candidates {
+        // Replay: forecast history[t] from the w values before it.
+        let mut err = 0.0;
+        let mut n = 0usize;
+        for t in 1..history.len() {
+            let start = t.saturating_sub(w);
+            let f = summary(&history[start..t]);
+            err += (f - history[t]).powi(2);
+            n += 1;
+        }
+        if n > 0 && err < best_err {
+            best_err = err;
+            best_w = w;
+        }
+    }
+    let start = history.len().saturating_sub(best_w);
+    summary(&history[start..])
+}
+
+/// Mean with a per-call adaptive window (NWS ADJ_MEAN analogue).
+#[derive(Debug, Clone)]
+pub struct AdaptiveMean {
+    candidates: Vec<usize>,
+}
+
+impl AdaptiveMean {
+    /// Creates an adaptive mean choosing among the given window lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::InvalidParameter`] if `candidates` is empty or
+    /// contains a zero window.
+    pub fn new(candidates: Vec<usize>) -> Result<Self> {
+        if candidates.is_empty() || candidates.contains(&0) {
+            return Err(PredictorError::InvalidParameter(
+                "ADJ_MEAN needs a non-empty list of positive windows".into(),
+            ));
+        }
+        Ok(Self { candidates })
+    }
+
+    /// Default candidate set `{1, 2, 4, 8, 16}`.
+    pub fn default_candidates() -> Self {
+        Self { candidates: vec![1, 2, 4, 8, 16] }
+    }
+}
+
+impl Predictor for AdaptiveMean {
+    fn name(&self) -> &'static str {
+        "ADJ_MEAN"
+    }
+
+    fn min_history(&self) -> usize {
+        2
+    }
+
+    fn predict(&self, history: &[f64]) -> f64 {
+        adaptive_predict(history, &self.candidates, |w| {
+            w.iter().sum::<f64>() / w.len() as f64
+        })
+    }
+}
+
+/// Median with a per-call adaptive window (NWS ADJ_MEDIAN analogue).
+#[derive(Debug, Clone)]
+pub struct AdaptiveMedian {
+    candidates: Vec<usize>,
+}
+
+impl AdaptiveMedian {
+    /// Creates an adaptive median choosing among the given window lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::InvalidParameter`] if `candidates` is empty or
+    /// contains a zero window.
+    pub fn new(candidates: Vec<usize>) -> Result<Self> {
+        if candidates.is_empty() || candidates.contains(&0) {
+            return Err(PredictorError::InvalidParameter(
+                "ADJ_MEDIAN needs a non-empty list of positive windows".into(),
+            ));
+        }
+        Ok(Self { candidates })
+    }
+
+    /// Default candidate set `{1, 3, 5, 9, 15}` (odd windows give exact medians).
+    pub fn default_candidates() -> Self {
+        Self { candidates: vec![1, 3, 5, 9, 15] }
+    }
+}
+
+impl Predictor for AdaptiveMedian {
+    fn name(&self) -> &'static str {
+        "ADJ_MEDIAN"
+    }
+
+    fn min_history(&self) -> usize {
+        2
+    }
+
+    fn predict(&self, history: &[f64]) -> f64 {
+        adaptive_predict(history, &self.candidates, |w| {
+            stats::median(w).expect("window is non-empty")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sliding_median_resists_outliers() {
+        let m = SlidingMedian::new(5).unwrap();
+        assert_eq!(m.predict(&[1.0, 1.0, 100.0, 1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn sliding_median_uses_only_window() {
+        let m = SlidingMedian::new(3).unwrap();
+        // Last three values are 5, 7, 9 -> median 7.
+        assert_eq!(m.predict(&[1000.0, 5.0, 7.0, 9.0]), 7.0);
+    }
+
+    #[test]
+    fn trimmed_mean_between_mean_and_median() {
+        let m = TrimmedMean::new(5, 0.2).unwrap();
+        let h = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let got = m.predict(&h);
+        // Drops 1 and 100; mean of [2, 3, 4] = 3.
+        assert_eq!(got, 3.0);
+    }
+
+    #[test]
+    fn trimmed_mean_validation() {
+        assert!(TrimmedMean::new(0, 0.1).is_err());
+        assert!(TrimmedMean::new(5, 0.5).is_err());
+        assert!(TrimmedMean::new(5, -0.1).is_err());
+    }
+
+    #[test]
+    fn adaptive_mean_picks_short_window_on_step_change() {
+        // Series jumps from 0 to 10 and stays: a short window tracks the new
+        // level, a long window averages the stale zeros in.
+        let mut h = vec![0.0; 10];
+        h.extend(vec![10.0; 10]);
+        let m = AdaptiveMean::new(vec![1, 16]).unwrap();
+        let p = m.predict(&h);
+        assert!((p - 10.0).abs() < 1e-9, "prediction {p} should track the new level");
+    }
+
+    #[test]
+    fn adaptive_mean_picks_long_window_on_noise() {
+        // Alternating +1/-1 noise around 0: window 1 predicts the previous
+        // (wrong) extreme, long windows predict ~0 which is much better.
+        let h: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let m = AdaptiveMean::new(vec![1, 2]).unwrap();
+        let p = m.predict(&h);
+        assert!(p.abs() < 0.5, "prediction {p} should average the noise");
+    }
+
+    #[test]
+    fn adaptive_median_tracks_regime_change() {
+        let mut h = vec![1.0; 8];
+        h.extend(vec![9.0; 8]);
+        let m = AdaptiveMedian::new(vec![1, 15]).unwrap();
+        assert!((m.predict(&h) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_validation() {
+        assert!(AdaptiveMean::new(vec![]).is_err());
+        assert!(AdaptiveMean::new(vec![0, 2]).is_err());
+        assert!(AdaptiveMedian::new(vec![]).is_err());
+        assert!(AdaptiveMedian::new(vec![3, 0]).is_err());
+    }
+
+    #[test]
+    fn default_candidates_work() {
+        let h: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mean = AdaptiveMean::default_candidates().predict(&h);
+        let med = AdaptiveMedian::default_candidates().predict(&h);
+        assert!(mean.is_finite());
+        assert!(med.is_finite());
+        // On a ramp the shortest window (most recent values) must win.
+        assert!(mean > 17.0, "mean {mean}");
+        assert!(med > 17.0, "median {med}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Trend-following models: the tendency predictor and polynomial extrapolation.
+
+use linalg::{gauss, Matrix};
+
+use crate::{Predictor, PredictorError, Result};
+
+/// Tendency-based model (Yang, Schopf & Foster, SC'03 "conservative
+/// scheduling"): the forecast follows the *direction* of the last change,
+/// moving from the current value by the average recent step magnitude.
+///
+/// `x̂_{t+1} = x_t + sign(x_t − x_{t−1}) · mean(|Δx|)` over the last `window`
+/// increments; if the last two values are equal, the forecast is `x_t`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tendency {
+    window: usize,
+}
+
+impl Tendency {
+    /// Creates a tendency model that averages step magnitudes over the last
+    /// `window` increments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::InvalidParameter`] if `window == 0`.
+    pub fn new(window: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(PredictorError::InvalidParameter(
+                "TENDENCY window must be positive".into(),
+            ));
+        }
+        Ok(Self { window })
+    }
+}
+
+impl Predictor for Tendency {
+    fn name(&self) -> &'static str {
+        "TENDENCY"
+    }
+
+    fn min_history(&self) -> usize {
+        2
+    }
+
+    fn predict(&self, history: &[f64]) -> f64 {
+        let n = history.len();
+        let cur = history[n - 1];
+        let prev = history[n - 2];
+        let direction = (cur - prev).signum();
+        if direction == 0.0 {
+            return cur;
+        }
+        let start = n.saturating_sub(self.window + 1);
+        let recent = &history[start..];
+        let mean_step = recent
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f64>()
+            / (recent.len() - 1) as f64;
+        cur + direction * mean_step
+    }
+}
+
+/// Polynomial extrapolation (Zhang, Sun & Inoguchi, CCGRID'06): least-squares
+/// fit of a degree-`degree` polynomial to the last `window` points, evaluated
+/// one step past the end.
+///
+/// The abscissae are `0..window` (the forecast point is `window`), which keeps
+/// the Vandermonde system well-conditioned for the small windows used here.
+#[derive(Debug, Clone, Copy)]
+pub struct PolyFit {
+    window: usize,
+    degree: usize,
+}
+
+impl PolyFit {
+    /// Creates a polynomial extrapolator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::InvalidParameter`] unless
+    /// `window > degree >= 1` (a degree-d fit needs d+1 points; degree 0 is
+    /// just [`super::simple::SwAvg`]).
+    pub fn new(window: usize, degree: usize) -> Result<Self> {
+        if degree == 0 {
+            return Err(PredictorError::InvalidParameter(
+                "POLY degree 0 is the window mean; use SW_AVG".into(),
+            ));
+        }
+        if window <= degree {
+            return Err(PredictorError::InvalidParameter(format!(
+                "POLY needs window > degree, got window {window} degree {degree}"
+            )));
+        }
+        Ok(Self { window, degree })
+    }
+}
+
+impl Predictor for PolyFit {
+    fn name(&self) -> &'static str {
+        "POLY"
+    }
+
+    fn min_history(&self) -> usize {
+        self.degree + 1
+    }
+
+    fn predict(&self, history: &[f64]) -> f64 {
+        let start = history.len().saturating_sub(self.window);
+        let pts = &history[start..];
+        let n = pts.len();
+        // Degenerate: fewer points than degree+1 cannot happen (min_history),
+        // but a constant slice makes the normal equations singular for
+        // degree >= 1 only via collinearity of *values*, which is fine — the
+        // design matrix depends on abscissae alone and is always full rank
+        // for n > degree.
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = i as f64;
+            let mut row = Vec::with_capacity(self.degree + 1);
+            let mut p = 1.0;
+            for _ in 0..=self.degree {
+                row.push(p);
+                p *= x;
+            }
+            rows.push(row);
+        }
+        let design = Matrix::from_rows(&rows).expect("window >= degree+1 > 0");
+        match gauss::lstsq(&design, pts) {
+            Ok(coef) => {
+                let x = n as f64;
+                let mut p = 1.0;
+                let mut y = 0.0;
+                for &c in &coef {
+                    y += c * p;
+                    p *= x;
+                }
+                y
+            }
+            // Numerically rank-deficient (should not occur for these
+            // abscissae): fall back to persistence rather than poisoning the
+            // pipeline with NaN.
+            Err(_) => pts[n - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tendency_follows_up_trend() {
+        let m = Tendency::new(4).unwrap();
+        let p = m.predict(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((p - 5.0).abs() < 1e-12, "{p}");
+    }
+
+    #[test]
+    fn tendency_follows_down_trend() {
+        let m = Tendency::new(4).unwrap();
+        let p = m.predict(&[4.0, 3.0, 2.0, 1.0]);
+        assert!((p - 0.0).abs() < 1e-12, "{p}");
+    }
+
+    #[test]
+    fn tendency_flat_predicts_last() {
+        let m = Tendency::new(4).unwrap();
+        assert_eq!(m.predict(&[3.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn tendency_step_magnitude_is_averaged() {
+        let m = Tendency::new(2).unwrap();
+        // Last two increments: +1, +3 -> mean 2; direction up from 4->7.
+        let p = m.predict(&[3.0, 4.0, 7.0]);
+        assert!((p - 9.0).abs() < 1e-12, "{p}");
+    }
+
+    #[test]
+    fn tendency_validation() {
+        assert!(Tendency::new(0).is_err());
+    }
+
+    #[test]
+    fn poly_line_is_exact() {
+        let m = PolyFit::new(4, 1).unwrap();
+        let p = m.predict(&[2.0, 4.0, 6.0, 8.0]);
+        assert!((p - 10.0).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn poly_quadratic_is_exact_with_degree_two() {
+        let m = PolyFit::new(5, 2).unwrap();
+        let h: Vec<f64> = (0..5).map(|i| (i * i) as f64).collect();
+        let p = m.predict(&h);
+        assert!((p - 25.0).abs() < 1e-6, "{p}");
+    }
+
+    #[test]
+    fn poly_constant_series_predicts_constant() {
+        let m = PolyFit::new(4, 1).unwrap();
+        let p = m.predict(&[5.0; 6]);
+        assert!((p - 5.0).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn poly_uses_only_window() {
+        let m = PolyFit::new(3, 1).unwrap();
+        // Window sees [1, 2, 3] regardless of the ancient 100.
+        let p = m.predict(&[100.0, 1.0, 2.0, 3.0]);
+        assert!((p - 4.0).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn poly_validation() {
+        assert!(PolyFit::new(2, 2).is_err());
+        assert!(PolyFit::new(3, 0).is_err());
+        assert!(PolyFit::new(3, 2).is_ok());
+    }
+
+    #[test]
+    fn poly_short_history_still_finite() {
+        let m = PolyFit::new(8, 2).unwrap();
+        // Only 3 points (= degree + 1): exact quadratic through them.
+        let p = m.predict(&[0.0, 1.0, 4.0]);
+        assert!(p.is_finite());
+        assert!((p - 9.0).abs() < 1e-6, "{p}");
+    }
+}

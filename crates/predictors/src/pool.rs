@@ -1,0 +1,263 @@
+//! The predictor pool: a fitted set of models addressed by [`PredictorId`].
+
+use crate::{ModelSpec, Predictor, PredictorError, Result};
+
+/// Index of a model within its pool.
+///
+/// Display is 1-based to match the paper's figure legends
+/// ("Predictor Class: 1 - LAST, 2 - AR, 3 - SW_AVG").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredictorId(pub usize);
+
+impl std::fmt::Display for PredictorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0 + 1)
+    }
+}
+
+/// A fitted pool of predictors sharing one training context.
+pub struct PredictorPool {
+    models: Vec<Box<dyn Predictor>>,
+    specs: Vec<ModelSpec>,
+}
+
+impl PredictorPool {
+    /// Builds a pool from specs, fitting each model against `train`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first build error, or
+    /// [`PredictorError::InvalidParameter`] for an empty spec list.
+    pub fn from_specs(specs: &[ModelSpec], train: &[f64]) -> Result<Self> {
+        if specs.is_empty() {
+            return Err(PredictorError::InvalidParameter("pool must contain a model".into()));
+        }
+        let models = specs
+            .iter()
+            .map(|s| s.build(train))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { models, specs: specs.to_vec() })
+    }
+
+    /// The paper's pool {LAST, AR(order), SW_AVG(order)} fitted on `train`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates AR fitting errors (e.g. training series shorter than
+    /// `2 * order`).
+    pub fn standard(train: &[f64], order: usize) -> Result<Self> {
+        Self::from_specs(&ModelSpec::standard_pool(order), train)
+    }
+
+    /// The extended 11-model pool fitted on `train`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build errors from any member model.
+    pub fn extended(train: &[f64], order: usize) -> Result<Self> {
+        Self::from_specs(&ModelSpec::extended_pool(order), train)
+    }
+
+    /// Number of models in the pool.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the pool is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// All valid ids, in order.
+    pub fn ids(&self) -> impl Iterator<Item = PredictorId> {
+        (0..self.models.len()).map(PredictorId)
+    }
+
+    /// The display name of model `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this pool.
+    pub fn name(&self, id: PredictorId) -> &'static str {
+        self.models[id.0].name()
+    }
+
+    /// All model names in pool order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.models.iter().map(|m| m.name()).collect()
+    }
+
+    /// The spec that produced model `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this pool.
+    pub fn spec(&self, id: PredictorId) -> &ModelSpec {
+        &self.specs[id.0]
+    }
+
+    /// The largest `min_history` over the pool — the number of warm-up points
+    /// a driver must supply before every model can predict.
+    pub fn min_history(&self) -> usize {
+        self.models.iter().map(|m| m.min_history()).max().unwrap_or(1)
+    }
+
+    /// Runs a single model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or `history` is shorter than the pool's
+    /// [`min_history`](Self::min_history) for that model.
+    pub fn predict_one(&self, id: PredictorId, history: &[f64]) -> f64 {
+        let m = &self.models[id.0];
+        assert!(
+            history.len() >= m.min_history(),
+            "{} needs {} points, got {}",
+            m.name(),
+            m.min_history(),
+            history.len()
+        );
+        m.predict(history)
+    }
+
+    /// Runs every model on the same history (the mix-of-expert step of the
+    /// training phase), returning forecasts in pool order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is shorter than the pool's
+    /// [`min_history`](Self::min_history).
+    pub fn predict_all(&self, history: &[f64]) -> Vec<f64> {
+        assert!(
+            history.len() >= self.min_history(),
+            "pool needs {} points, got {}",
+            self.min_history(),
+            history.len()
+        );
+        self.models.iter().map(|m| m.predict(history)).collect()
+    }
+
+    /// Identifies the best predictor for one step: the model whose forecast has
+    /// the smallest absolute error against `actual` (the paper's §7.2.1
+    /// labelling rule). Ties break toward the lower id, making labels
+    /// deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is shorter than the pool's
+    /// [`min_history`](Self::min_history).
+    pub fn best_for(&self, history: &[f64], actual: f64) -> (PredictorId, Vec<f64>) {
+        let forecasts = self.predict_all(history);
+        let best = forecasts
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (*a - actual)
+                    .abs()
+                    .partial_cmp(&(*b - actual).abs())
+                    .expect("forecasts are finite")
+            })
+            .map(|(i, _)| PredictorId(i))
+            .expect("pool is non-empty");
+        (best, forecasts)
+    }
+}
+
+impl std::fmt::Debug for PredictorPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictorPool")
+            .field("models", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train() -> Vec<f64> {
+        (0..100).map(|i| (i as f64 * 0.2).sin()).collect()
+    }
+
+    #[test]
+    fn standard_pool_has_paper_ordering() {
+        let pool = PredictorPool::standard(&train(), 5).unwrap();
+        assert_eq!(pool.names(), vec!["LAST", "AR", "SW_AVG"]);
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn predictor_id_displays_one_based() {
+        assert_eq!(PredictorId(0).to_string(), "1");
+        assert_eq!(PredictorId(2).to_string(), "3");
+    }
+
+    #[test]
+    fn predict_all_matches_predict_one() {
+        let pool = PredictorPool::standard(&train(), 5).unwrap();
+        let h: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let all = pool.predict_all(&h);
+        for id in pool.ids() {
+            assert_eq!(all[id.0], pool.predict_one(id, &h));
+        }
+    }
+
+    #[test]
+    fn best_for_picks_minimal_absolute_error() {
+        let pool = PredictorPool::standard(&train(), 3).unwrap();
+        // Ramp history: LAST says 9, SW_AVG says 8, AR says something else.
+        let h = [7.0, 8.0, 9.0];
+        let (best, forecasts) = pool.best_for(&h, 9.0);
+        let err_best = (forecasts[best.0] - 9.0).abs();
+        for f in &forecasts {
+            assert!(err_best <= (f - 9.0).abs() + 1e-15);
+        }
+    }
+
+    #[test]
+    fn best_for_tie_breaks_to_lower_id() {
+        // A constant history makes LAST and SW_AVG produce identical
+        // forecasts; the tie must resolve to LAST (id 0).
+        let t = [1.0; 50];
+        let pool = PredictorPool::standard(&t, 3).unwrap();
+        let (best, _) = pool.best_for(&[1.0, 1.0, 1.0], 1.0);
+        assert_eq!(best, PredictorId(0));
+    }
+
+    #[test]
+    fn min_history_is_pool_maximum() {
+        let pool = PredictorPool::standard(&train(), 7).unwrap();
+        assert_eq!(pool.min_history(), 7); // AR(7) dominates
+    }
+
+    #[test]
+    #[should_panic(expected = "pool needs")]
+    fn predict_all_panics_on_short_history() {
+        let pool = PredictorPool::standard(&train(), 5).unwrap();
+        pool.predict_all(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_spec_list_rejected() {
+        assert!(matches!(
+            PredictorPool::from_specs(&[], &train()),
+            Err(PredictorError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn extended_pool_builds_with_eleven_models() {
+        let pool = PredictorPool::extended(&train(), 5).unwrap();
+        assert_eq!(pool.len(), 11);
+        let h: Vec<f64> = (0..20).map(|i| (i as f64 * 0.3).cos()).collect();
+        for p in pool.predict_all(&h) {
+            assert!(p.is_finite());
+        }
+    }
+
+    #[test]
+    fn spec_accessor_round_trips() {
+        let pool = PredictorPool::standard(&train(), 4).unwrap();
+        assert_eq!(pool.spec(PredictorId(1)), &ModelSpec::Ar { order: 4 });
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the predictor pool.
+
+use proptest::prelude::*;
+
+use predictors::models::{Ar, Ewma, Last, SlidingMedian, SwAvg, TrimmedMean};
+use predictors::{ModelSpec, Predictor, PredictorPool};
+
+fn history() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e3f64..1e3, 5..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Summary models stay within the history's range (they interpolate,
+    /// never extrapolate).
+    #[test]
+    fn summary_models_stay_in_range(h in history()) {
+        let lo = h.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = h.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for model in [
+            Box::new(Last) as Box<dyn Predictor>,
+            Box::new(SwAvg::new(4).unwrap()),
+            Box::new(SlidingMedian::new(5).unwrap()),
+            Box::new(TrimmedMean::new(5, 0.2).unwrap()),
+            Box::new(Ewma::new(0.4).unwrap()),
+        ] {
+            let p = model.predict(&h);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{} gave {p} outside [{lo}, {hi}]", model.name());
+        }
+    }
+
+    /// Translation equivariance: predicting shifted history shifts summary
+    /// model forecasts by the same amount.
+    #[test]
+    fn summary_models_are_translation_equivariant(h in history(), shift in -100.0f64..100.0) {
+        let shifted: Vec<f64> = h.iter().map(|x| x + shift).collect();
+        for model in [
+            Box::new(Last) as Box<dyn Predictor>,
+            Box::new(SwAvg::new(4).unwrap()),
+            Box::new(SlidingMedian::new(5).unwrap()),
+            Box::new(Ewma::new(0.4).unwrap()),
+        ] {
+            let a = model.predict(&h);
+            let b = model.predict(&shifted);
+            prop_assert!((b - (a + shift)).abs() < 1e-6, "{}", model.name());
+        }
+    }
+
+    /// AR forecasts are finite and the fit is deterministic.
+    #[test]
+    fn ar_fit_finite_and_deterministic(train in proptest::collection::vec(-100f64..100.0, 20..150)) {
+        let Ok(a) = Ar::fit(&train, 4) else { return Ok(()); };
+        let b = Ar::fit(&train, 4).unwrap();
+        prop_assert_eq!(a.coefficients(), b.coefficients());
+        let p = a.predict(&train[train.len() - 4..]);
+        prop_assert!(p.is_finite());
+        prop_assert!(a.innovation_variance() >= 0.0);
+    }
+
+    /// The pool's best_for really is the argmin of absolute errors.
+    #[test]
+    fn best_for_is_argmin(train in proptest::collection::vec(-100f64..100.0, 30..100), actual in -100f64..100.0) {
+        let Ok(pool) = PredictorPool::standard(&train, 5) else { return Ok(()); };
+        let h = &train[..10];
+        let (best, forecasts) = pool.best_for(h, actual);
+        let best_err = (forecasts[best.0] - actual).abs();
+        for f in &forecasts {
+            prop_assert!(best_err <= (f - actual).abs() + 1e-12);
+        }
+    }
+
+    /// Every extended-pool model respects min_history and returns finite
+    /// forecasts on any sufficient history.
+    #[test]
+    fn extended_pool_total_on_valid_inputs(train in proptest::collection::vec(-100f64..100.0, 40..120)) {
+        let specs = ModelSpec::extended_pool(5);
+        let Ok(pool) = PredictorPool::from_specs(&specs, &train) else { return Ok(()); };
+        let h = &train[..pool.min_history() + 3];
+        for (id, f) in pool.ids().zip(pool.predict_all(h)) {
+            prop_assert!(f.is_finite(), "{}", pool.name(id));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Differencing and integration.
+//!
+//! The paper's pool uses AR on the raw (normalised) series, but cites Dinda's
+//! ARIMA family as related work; the `predictors` crate implements an ARI(p, d)
+//! extension model on top of these primitives. Differencing turns a trending
+//! series into a (closer to) stationary one; integration reverses it for
+//! producing forecasts on the original scale.
+
+use crate::{Result, TsError};
+
+/// First differences: `y[i] = x[i+1] - x[i]` (length `n - 1`).
+///
+/// # Errors
+///
+/// Returns [`TsError::TooShort`] for fewer than 2 points.
+pub fn difference(xs: &[f64]) -> Result<Vec<f64>> {
+    if xs.len() < 2 {
+        return Err(TsError::TooShort { what: "difference", needed: 2, got: xs.len() });
+    }
+    Ok(xs.windows(2).map(|w| w[1] - w[0]).collect())
+}
+
+/// Applies [`difference`] `order` times.
+///
+/// # Errors
+///
+/// Returns [`TsError::TooShort`] if the series runs out of points, or
+/// [`TsError::InvalidArgument`] for `order == 0`.
+pub fn difference_n(xs: &[f64], order: usize) -> Result<Vec<f64>> {
+    if order == 0 {
+        return Err(TsError::InvalidArgument("difference order must be >= 1".into()));
+    }
+    let mut cur = xs.to_vec();
+    for _ in 0..order {
+        cur = difference(&cur)?;
+    }
+    Ok(cur)
+}
+
+/// Reconstructs the next value of the original series from a forecast of the
+/// differenced series: given the last original value and the predicted
+/// difference, returns `last + predicted_diff`.
+///
+/// For higher orders, chain: reconstruct order `d-1`'s next difference first.
+#[inline]
+pub fn integrate_next(last_value: f64, predicted_diff: f64) -> f64 {
+    last_value + predicted_diff
+}
+
+/// Fully inverts `difference`: given the first original value and the
+/// differences, rebuilds the original series (length `diffs.len() + 1`).
+pub fn integrate(first: f64, diffs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(diffs.len() + 1);
+    out.push(first);
+    let mut acc = first;
+    for &d in diffs {
+        acc += d;
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difference_known() {
+        assert_eq!(difference(&[1.0, 3.0, 6.0, 10.0]).unwrap(), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn difference_removes_linear_trend() {
+        let xs: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 + 5.0).collect();
+        let d = difference(&xs).unwrap();
+        assert!(d.iter().all(|&x| (x - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn second_difference_removes_quadratic_trend() {
+        let xs: Vec<f64> = (0..10).map(|i| (i * i) as f64).collect();
+        let d2 = difference_n(&xs, 2).unwrap();
+        assert!(d2.iter().all(|&x| (x - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn integrate_round_trips() {
+        let xs = [5.0, 4.0, 7.0, 7.0, 2.0];
+        let d = difference(&xs).unwrap();
+        let back = integrate(xs[0], &d);
+        for (a, b) in back.iter().zip(&xs) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn integrate_next_is_one_step() {
+        assert_eq!(integrate_next(10.0, -3.0), 7.0);
+    }
+
+    #[test]
+    fn length_and_order_validation() {
+        assert!(difference(&[1.0]).is_err());
+        assert!(difference_n(&[1.0, 2.0, 3.0], 0).is_err());
+        assert!(difference_n(&[1.0, 2.0], 2).is_err());
+        assert!(difference_n(&[1.0, 2.0, 3.0], 2).is_ok());
+    }
+}

@@ -1,0 +1,148 @@
+//! Zero-mean / unit-variance normalisation with train-derived coefficients.
+//!
+//! The paper normalises every trace "to have zero mean and unit variance" and,
+//! critically, applies the *training* phase's coefficients to the test data
+//! (§6.2). [`ZScore`] is therefore an explicit fitted object rather than a
+//! stateless function: fit once on training data, apply everywhere.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{stats, Result, TsError};
+
+/// A fitted z-score transform: `z = (x - mean) / std`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZScore {
+    mean: f64,
+    std: f64,
+}
+
+impl ZScore {
+    /// Fits the transform to data.
+    ///
+    /// A constant series has zero variance; the paper's pipeline still needs to
+    /// pass such traces through (several VM metrics are flat for long
+    /// stretches), so the transform degrades to pure mean-centering by using a
+    /// unit divisor. The fitted `std()` reports the true value (possibly 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::TooShort`] for an empty slice.
+    pub fn fit(xs: &[f64]) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(TsError::TooShort { what: "ZScore::fit", needed: 1, got: 0 });
+        }
+        Ok(Self { mean: stats::mean(xs), std: stats::std_dev(xs) })
+    }
+
+    /// Creates a transform from explicit coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::InvalidArgument`] if either coefficient is non-finite
+    /// or `std` is negative.
+    pub fn from_coefficients(mean: f64, std: f64) -> Result<Self> {
+        if !mean.is_finite() || !std.is_finite() || std < 0.0 {
+            return Err(TsError::InvalidArgument(format!(
+                "invalid z-score coefficients (mean {mean}, std {std})"
+            )));
+        }
+        Ok(Self { mean, std })
+    }
+
+    /// Fitted mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Fitted standard deviation (0.0 for constant training data).
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Effective divisor: the fitted std, or 1.0 when it is (near) zero.
+    fn divisor(&self) -> f64 {
+        if self.std > f64::EPSILON {
+            self.std
+        } else {
+            1.0
+        }
+    }
+
+    /// Transforms one value.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        (x - self.mean) / self.divisor()
+    }
+
+    /// Inverse-transforms one value back to the original scale.
+    #[inline]
+    pub fn invert(&self, z: f64) -> f64 {
+        z * self.divisor() + self.mean
+    }
+
+    /// Transforms a slice into a new vector.
+    pub fn apply_slice(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.apply(x)).collect()
+    }
+
+    /// Inverse-transforms a slice into a new vector.
+    pub fn invert_slice(&self, zs: &[f64]) -> Vec<f64> {
+        zs.iter().map(|&z| self.invert(z)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_produces_zero_mean_unit_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let z = ZScore::fit(&xs).unwrap();
+        let t = z.apply_slice(&xs);
+        assert!(stats::mean(&t).abs() < 1e-12);
+        assert!((stats::variance(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let xs = [10.0, 20.0, 15.0, 30.0];
+        let z = ZScore::fit(&xs).unwrap();
+        let back = z.invert_slice(&z.apply_slice(&xs));
+        for (a, b) in back.iter().zip(&xs) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_series_degrades_to_centering() {
+        let xs = [7.0; 10];
+        let z = ZScore::fit(&xs).unwrap();
+        assert_eq!(z.std(), 0.0);
+        assert!(z.apply_slice(&xs).iter().all(|&v| v == 0.0));
+        assert_eq!(z.invert(0.0), 7.0);
+    }
+
+    #[test]
+    fn train_coefficients_apply_to_test_data() {
+        // Mirrors the paper's workflow: coefficients come from training data
+        // only, then normalise unseen test values.
+        let train = [0.0, 2.0, 4.0, 6.0]; // mean 3, std sqrt(5)
+        let z = ZScore::fit(&train).unwrap();
+        let test_val = 8.0;
+        assert!((z.apply(test_val) - (8.0 - 3.0) / 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_coefficients_validated() {
+        assert!(ZScore::from_coefficients(f64::NAN, 1.0).is_err());
+        assert!(ZScore::from_coefficients(0.0, -1.0).is_err());
+        let z = ZScore::from_coefficients(1.0, 2.0).unwrap();
+        assert_eq!(z.apply(5.0), 2.0);
+    }
+
+    #[test]
+    fn fit_empty_errors() {
+        assert!(matches!(ZScore::fit(&[]), Err(TsError::TooShort { .. })));
+    }
+}

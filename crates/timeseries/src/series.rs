@@ -1,0 +1,216 @@
+//! The [`Series`] container: equally-spaced observations plus timing metadata.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, TsError};
+
+/// An equally-spaced time series.
+///
+/// `start_secs` is the epoch-relative timestamp (seconds) of the first sample,
+/// and `interval_secs` the fixed spacing between samples. Timing metadata rides
+/// along so the `vmsim` profiler can reconstruct the paper's
+/// `[vmID, deviceID, timeStamp, metricName]` keying, but all numerical code
+/// operates on the raw `values` slice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    values: Vec<f64>,
+    start_secs: u64,
+    interval_secs: u64,
+}
+
+impl Series {
+    /// Creates a series from values with explicit timing metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::InvalidArgument`] if `interval_secs == 0`, `values`
+    /// is empty, or any value is non-finite.
+    pub fn new(values: Vec<f64>, start_secs: u64, interval_secs: u64) -> Result<Self> {
+        if interval_secs == 0 {
+            return Err(TsError::InvalidArgument("interval must be positive".into()));
+        }
+        if values.is_empty() {
+            return Err(TsError::InvalidArgument("series must be non-empty".into()));
+        }
+        if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+            return Err(TsError::InvalidArgument(format!(
+                "non-finite value {} at index {i}",
+                values[i]
+            )));
+        }
+        Ok(Self { values, start_secs, interval_secs })
+    }
+
+    /// Creates a series starting at time zero with a 1-second interval —
+    /// convenient for purely numerical tests.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Series::new`].
+    pub fn from_values(values: Vec<f64>) -> Result<Self> {
+        Self::new(values, 0, 1)
+    }
+
+    /// The observations.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty (never true for a constructed `Series`,
+    /// kept for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Timestamp of the first sample, in seconds.
+    #[inline]
+    pub fn start_secs(&self) -> u64 {
+        self.start_secs
+    }
+
+    /// Spacing between samples, in seconds.
+    #[inline]
+    pub fn interval_secs(&self) -> u64 {
+        self.interval_secs
+    }
+
+    /// Timestamp of sample `i`, in seconds.
+    #[inline]
+    pub fn timestamp(&self, i: usize) -> u64 {
+        self.start_secs + (i as u64) * self.interval_secs
+    }
+
+    /// Total covered duration in seconds (from first to last sample).
+    pub fn duration_secs(&self) -> u64 {
+        (self.len() as u64 - 1) * self.interval_secs
+    }
+
+    /// A sub-series of samples `range` (same interval, shifted start).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::InvalidArgument`] for an empty or out-of-bounds range.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Result<Series> {
+        if range.start >= range.end || range.end > self.len() {
+            return Err(TsError::InvalidArgument(format!(
+                "slice {range:?} out of bounds for series of length {}",
+                self.len()
+            )));
+        }
+        Series::new(
+            self.values[range.clone()].to_vec(),
+            self.timestamp(range.start),
+            self.interval_secs,
+        )
+    }
+
+    /// Splits at sample index `at` into (head `[0, at)`, tail `[at, len)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::InvalidArgument`] unless `0 < at < len` (both halves
+    /// must be non-empty).
+    pub fn split_at(&self, at: usize) -> Result<(Series, Series)> {
+        if at == 0 || at >= self.len() {
+            return Err(TsError::InvalidArgument(format!(
+                "split point {at} must be inside (0, {})",
+                self.len()
+            )));
+        }
+        Ok((self.slice(0..at)?, self.slice(at..self.len())?))
+    }
+
+    /// Applies `f` to every value, returning a new series with the same timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::InvalidArgument`] if `f` produces a non-finite value.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Result<Series> {
+        Series::new(
+            self.values.iter().map(|&v| f(v)).collect(),
+            self.start_secs,
+            self.interval_secs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(values: &[f64]) -> Series {
+        Series::from_values(values.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Series::new(vec![1.0], 0, 0).is_err());
+        assert!(Series::new(vec![], 0, 1).is_err());
+        assert!(Series::new(vec![f64::NAN], 0, 1).is_err());
+        assert!(Series::new(vec![f64::INFINITY], 0, 1).is_err());
+        assert!(Series::new(vec![1.0, 2.0], 100, 60).is_ok());
+    }
+
+    #[test]
+    fn timestamps_and_duration() {
+        let series = Series::new(vec![1.0, 2.0, 3.0], 1000, 300).unwrap();
+        assert_eq!(series.timestamp(0), 1000);
+        assert_eq!(series.timestamp(2), 1600);
+        assert_eq!(series.duration_secs(), 600);
+    }
+
+    #[test]
+    fn slice_preserves_timing() {
+        let series = Series::new(vec![1.0, 2.0, 3.0, 4.0], 1000, 300).unwrap();
+        let sub = series.slice(1..3).unwrap();
+        assert_eq!(sub.values(), &[2.0, 3.0]);
+        assert_eq!(sub.start_secs(), 1300);
+        assert_eq!(sub.interval_secs(), 300);
+    }
+
+    #[test]
+    fn slice_rejects_bad_ranges() {
+        let series = s(&[1.0, 2.0, 3.0]);
+        assert!(series.slice(2..2).is_err());
+        assert!(series.slice(1..4).is_err());
+    }
+
+    #[test]
+    fn split_at_halves() {
+        let series = s(&[1.0, 2.0, 3.0, 4.0]);
+        let (head, tail) = series.split_at(2).unwrap();
+        assert_eq!(head.values(), &[1.0, 2.0]);
+        assert_eq!(tail.values(), &[3.0, 4.0]);
+        assert_eq!(tail.start_secs(), 2);
+    }
+
+    #[test]
+    fn split_rejects_edges() {
+        let series = s(&[1.0, 2.0]);
+        assert!(series.split_at(0).is_err());
+        assert!(series.split_at(2).is_err());
+        assert!(series.split_at(1).is_ok());
+    }
+
+    #[test]
+    fn map_transforms_values() {
+        let series = s(&[1.0, 2.0]);
+        let doubled = series.map(|v| v * 2.0).unwrap();
+        assert_eq!(doubled.values(), &[2.0, 4.0]);
+        assert!(series.map(|_| f64::NAN).is_err());
+    }
+
+    #[test]
+    fn clone_and_equality() {
+        let series = Series::new(vec![1.5, -2.5], 42, 60).unwrap();
+        assert_eq!(series.clone(), series);
+    }
+}

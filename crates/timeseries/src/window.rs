@@ -1,0 +1,143 @@
+//! Framing a series into overlapping prediction windows.
+//!
+//! The paper's dataflow (Figure 3) turns `u` normalised observations into a
+//! `(u - m + 1) × m` matrix of sliding windows of size `m` (the *prediction
+//! order*). For supervised labelling we usually want each window paired with
+//! the *next* observation as the prediction target, which is what
+//! [`Frames::with_targets`] produces: `u - m` rows, each `(window, target)`.
+
+use crate::{Result, TsError};
+
+/// A view of a series as overlapping windows of fixed size.
+#[derive(Debug, Clone)]
+pub struct Frames<'a> {
+    data: &'a [f64],
+    window: usize,
+}
+
+impl<'a> Frames<'a> {
+    /// Frames `data` with window size `window`.
+    ///
+    /// # Errors
+    ///
+    /// * [`TsError::InvalidArgument`] if `window == 0`;
+    /// * [`TsError::TooShort`] if `data.len() < window`.
+    pub fn new(data: &'a [f64], window: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(TsError::InvalidArgument("window size must be positive".into()));
+        }
+        if data.len() < window {
+            return Err(TsError::TooShort { what: "Frames::new", needed: window, got: data.len() });
+        }
+        Ok(Self { data, window })
+    }
+
+    /// The window size `m`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of complete windows: `len - m + 1`.
+    pub fn count(&self) -> usize {
+        self.data.len() - self.window + 1
+    }
+
+    /// Number of (window, target) pairs: `len - m`.
+    pub fn count_with_targets(&self) -> usize {
+        self.data.len() - self.window
+    }
+
+    /// The `i`-th window, as a borrowed slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.count()`.
+    pub fn get(&self, i: usize) -> &'a [f64] {
+        &self.data[i..i + self.window]
+    }
+
+    /// Iterates over all complete windows.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [f64]> + '_ {
+        self.data.windows(self.window)
+    }
+
+    /// Iterates over `(window, next_value)` supervised pairs.
+    ///
+    /// Window `i` covers samples `[i, i+m)` and its target is sample `i+m` —
+    /// the value the predictors must forecast.
+    pub fn with_targets(&self) -> impl Iterator<Item = (&'a [f64], f64)> + '_ {
+        (0..self.count_with_targets()).map(move |i| (self.get(i), self.data[i + self.window]))
+    }
+
+    /// Copies all windows into a row-major flat buffer (`count × m`), the
+    /// `X'_{(u-m+1) × m}` matrix of the paper's Figure 3.
+    pub fn to_flat_matrix(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.count() * self.window);
+        for w in self.iter() {
+            out.extend_from_slice(w);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_paper_formulas() {
+        let data: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let frames = Frames::new(&data, 4).unwrap();
+        assert_eq!(frames.count(), 7); // u - m + 1
+        assert_eq!(frames.count_with_targets(), 6); // u - m
+    }
+
+    #[test]
+    fn windows_are_contiguous_and_overlapping() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let frames = Frames::new(&data, 3).unwrap();
+        assert_eq!(frames.get(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(frames.get(1), &[2.0, 3.0, 4.0]);
+        assert_eq!(frames.get(2), &[3.0, 4.0, 5.0]);
+        assert_eq!(frames.iter().count(), 3);
+    }
+
+    #[test]
+    fn targets_are_the_next_value() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let frames = Frames::new(&data, 2).unwrap();
+        let pairs: Vec<_> = frames.with_targets().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], (&data[0..2], 3.0));
+        assert_eq!(pairs[1], (&data[1..3], 4.0));
+    }
+
+    #[test]
+    fn window_equal_to_length_has_one_frame_no_targets() {
+        let data = [1.0, 2.0, 3.0];
+        let frames = Frames::new(&data, 3).unwrap();
+        assert_eq!(frames.count(), 1);
+        assert_eq!(frames.count_with_targets(), 0);
+        assert_eq!(frames.with_targets().count(), 0);
+    }
+
+    #[test]
+    fn validation() {
+        let data = [1.0, 2.0];
+        assert!(matches!(
+            Frames::new(&data, 0),
+            Err(TsError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            Frames::new(&data, 3),
+            Err(TsError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn flat_matrix_layout() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let frames = Frames::new(&data, 2).unwrap();
+        assert_eq!(frames.to_flat_matrix(), vec![1.0, 2.0, 2.0, 3.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the time-series substrate.
+
+use proptest::prelude::*;
+
+use timeseries::{diff, metrics, stats, Frames, Series, ZScore};
+
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e4f64..1e4, 2..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fitting and applying z-score yields zero mean / unit variance (or pure
+    /// centering for constant data), and inverts exactly.
+    #[test]
+    fn zscore_normalises_and_inverts(xs in values()) {
+        let z = ZScore::fit(&xs).unwrap();
+        let t = z.apply_slice(&xs);
+        let scale = xs.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        prop_assert!(stats::mean(&t).abs() < 1e-9);
+        if z.std() > 1e-9 * scale {
+            prop_assert!((stats::variance(&t) - 1.0).abs() < 1e-6);
+        }
+        let back = z.invert_slice(&t);
+        for (a, b) in back.iter().zip(&xs) {
+            prop_assert!((a - b).abs() < 1e-9 * scale);
+        }
+    }
+
+    /// difference / integrate round-trips.
+    #[test]
+    fn difference_integrate_round_trip(xs in values()) {
+        let d = diff::difference(&xs).unwrap();
+        let back = diff::integrate(xs[0], &d);
+        let scale = xs.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        prop_assert_eq!(back.len(), xs.len());
+        for (a, b) in back.iter().zip(&xs) {
+            prop_assert!((a - b).abs() < 1e-8 * scale);
+        }
+    }
+
+    /// Frames cover the series exactly once per offset and targets align.
+    #[test]
+    fn frames_cover_and_align(xs in values(), m in 1usize..10) {
+        prop_assume!(xs.len() > m);
+        let frames = Frames::new(&xs, m).unwrap();
+        prop_assert_eq!(frames.count(), xs.len() - m + 1);
+        for (i, (w, target)) in frames.with_targets().enumerate() {
+            prop_assert_eq!(w, &xs[i..i + m]);
+            prop_assert_eq!(target, xs[i + m]);
+        }
+    }
+
+    /// MSE >= MAE² (Jensen) and RMSE² == MSE.
+    #[test]
+    fn metric_inequalities(
+        a in proptest::collection::vec(-100.0f64..100.0, 1..50),
+        shift in proptest::collection::vec(-10.0f64..10.0, 50),
+    ) {
+        let b: Vec<f64> = a.iter().zip(&shift).map(|(x, s)| x + s).collect();
+        let mse = metrics::mse(&a, &b).unwrap();
+        let mae = metrics::mae(&a, &b).unwrap();
+        let rmse = metrics::rmse(&a, &b).unwrap();
+        prop_assert!(mse + 1e-12 >= mae * mae);
+        prop_assert!((rmse * rmse - mse).abs() < 1e-9 * mse.max(1.0));
+    }
+
+    /// Autocovariance is maximal at lag zero.
+    #[test]
+    fn autocovariance_peak_at_zero(xs in proptest::collection::vec(-50f64..50.0, 10..120)) {
+        let max_lag = 5.min(xs.len() - 1);
+        let acov = stats::autocovariance(&xs, max_lag).unwrap();
+        for &c in &acov[1..] {
+            prop_assert!(c.abs() <= acov[0] + 1e-9);
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone(xs in proptest::collection::vec(-50f64..50.0, 1..60)) {
+        let q25 = stats::quantile(&xs, 0.25).unwrap();
+        let q50 = stats::quantile(&xs, 0.5).unwrap();
+        let q75 = stats::quantile(&xs, 0.75).unwrap();
+        prop_assert!(q25 <= q50 && q50 <= q75);
+        prop_assert!(q25 >= stats::min(&xs).unwrap() - 1e-12);
+        prop_assert!(q75 <= stats::max(&xs).unwrap() + 1e-12);
+    }
+
+    /// Trimmed mean lies between min and max and equals mean at alpha = 0.
+    #[test]
+    fn trimmed_mean_bounds(xs in proptest::collection::vec(-50f64..50.0, 1..60), alpha in 0.0f64..0.49) {
+        let t = stats::trimmed_mean(&xs, alpha).unwrap();
+        prop_assert!(t >= stats::min(&xs).unwrap() - 1e-12);
+        prop_assert!(t <= stats::max(&xs).unwrap() + 1e-12);
+        let plain = stats::trimmed_mean(&xs, 0.0).unwrap();
+        prop_assert!((plain - stats::mean(&xs)).abs() < 1e-9);
+    }
+
+    /// Series slicing preserves values and timestamps.
+    #[test]
+    fn series_slice_consistency(xs in values(), start in 0usize..20, len in 1usize..20) {
+        let series = Series::new(xs.clone(), 1000, 60).unwrap();
+        prop_assume!(start + len <= series.len());
+        let sub = series.slice(start..start + len).unwrap();
+        prop_assert_eq!(sub.values(), &xs[start..start + len]);
+        prop_assert_eq!(sub.timestamp(0), series.timestamp(start));
+    }
+}

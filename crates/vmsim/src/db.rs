@@ -1,0 +1,196 @@
+//! The prediction database.
+//!
+//! The paper's prototype stores "the retrieved performance data with the
+//! corresponding time stamps … in the prediction database", keyed by
+//! `[vmID, deviceID, timeStamp, metricName]`, and the Quality Assuror "audits
+//! the prediction performance by calculating the average MSE of historical
+//! prediction data stored in the prediction DB".
+//!
+//! [`PredictionDatabase`] stores forecast/observation pairs under the same
+//! composite key and serves the QA's audit query.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::metric::{MetricKind, VmId};
+
+/// One stored prediction, possibly not yet reconciled with its observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictionRecord {
+    /// Forecast value.
+    pub predicted: f64,
+    /// Observed value once the timestamp passed (`None` while outstanding).
+    pub observed: Option<f64>,
+    /// Pool index of the model that produced the forecast.
+    pub model: usize,
+}
+
+type Key = (VmId, MetricKind, u64);
+
+/// A concurrent store of predictions keyed `[vmID, metric, timestamp_secs]`.
+#[derive(Debug, Default)]
+pub struct PredictionDatabase {
+    records: RwLock<BTreeMap<Key, PredictionRecord>>,
+}
+
+impl PredictionDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a forecast for `(vm, metric)` at `timestamp_secs`, replacing any
+    /// previous forecast for the same key.
+    pub fn store_prediction(
+        &self,
+        vm: VmId,
+        metric: MetricKind,
+        timestamp_secs: u64,
+        predicted: f64,
+        model: usize,
+    ) {
+        self.records
+            .write()
+            .insert((vm, metric, timestamp_secs), PredictionRecord { predicted, observed: None, model });
+    }
+
+    /// Reconciles a stored forecast with the observed value. Returns `false`
+    /// if no forecast exists for the key.
+    pub fn record_observation(
+        &self,
+        vm: VmId,
+        metric: MetricKind,
+        timestamp_secs: u64,
+        observed: f64,
+    ) -> bool {
+        let mut records = self.records.write();
+        match records.get_mut(&(vm, metric, timestamp_secs)) {
+            Some(r) => {
+                r.observed = Some(observed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fetches one record.
+    pub fn get(&self, vm: VmId, metric: MetricKind, timestamp_secs: u64) -> Option<PredictionRecord> {
+        self.records.read().get(&(vm, metric, timestamp_secs)).copied()
+    }
+
+    /// Number of stored records (all streams).
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+
+    /// The QA audit query: mean squared error of the most recent `window`
+    /// *reconciled* records of a stream, or `None` if none exist.
+    pub fn audit_mse(&self, vm: VmId, metric: MetricKind, window: usize) -> Option<f64> {
+        let records = self.records.read();
+        let lo = (vm, metric, 0u64);
+        let hi = (vm, metric, u64::MAX);
+        let mut errors: Vec<f64> = records
+            .range(lo..=hi)
+            .rev()
+            .filter_map(|(_, r)| r.observed.map(|o| (r.predicted - o).powi(2)))
+            .take(window)
+            .collect();
+        if errors.is_empty() {
+            return None;
+        }
+        let n = errors.len() as f64;
+        Some(errors.drain(..).sum::<f64>() / n)
+    }
+
+    /// Per-model usage counts over a stream — which pool members the selector
+    /// actually exercised (diagnostics for the selection figures).
+    pub fn model_usage(&self, vm: VmId, metric: MetricKind) -> BTreeMap<usize, usize> {
+        let records = self.records.read();
+        let lo = (vm, metric, 0u64);
+        let hi = (vm, metric, u64::MAX);
+        let mut usage = BTreeMap::new();
+        for (_, r) in records.range(lo..=hi) {
+            *usage.entry(r.model).or_insert(0) += 1;
+        }
+        usage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VM: VmId = VmId(1);
+    const M: MetricKind = MetricKind::Nic1Rx;
+
+    #[test]
+    fn store_and_reconcile() {
+        let db = PredictionDatabase::new();
+        assert!(db.is_empty());
+        db.store_prediction(VM, M, 300, 5.0, 1);
+        assert_eq!(db.len(), 1);
+        let r = db.get(VM, M, 300).unwrap();
+        assert_eq!(r.predicted, 5.0);
+        assert_eq!(r.observed, None);
+        assert!(db.record_observation(VM, M, 300, 6.0));
+        assert_eq!(db.get(VM, M, 300).unwrap().observed, Some(6.0));
+        assert!(!db.record_observation(VM, M, 999, 1.0));
+    }
+
+    #[test]
+    fn audit_uses_only_reconciled_recent_records() {
+        let db = PredictionDatabase::new();
+        // Three reconciled with errors 1, 2, 3 (squared 1, 4, 9) and one
+        // outstanding.
+        for (i, err) in [1.0, 2.0, 3.0].iter().enumerate() {
+            let ts = (i as u64 + 1) * 300;
+            db.store_prediction(VM, M, ts, 0.0, 0);
+            db.record_observation(VM, M, ts, *err);
+        }
+        db.store_prediction(VM, M, 4 * 300, 0.0, 0);
+        // Window 2: the two most recent reconciled records (errors 2, 3).
+        let mse = db.audit_mse(VM, M, 2).unwrap();
+        assert!((mse - (4.0 + 9.0) / 2.0).abs() < 1e-12);
+        // Window larger than history: all three.
+        let mse_all = db.audit_mse(VM, M, 10).unwrap();
+        assert!((mse_all - (1.0 + 4.0 + 9.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn audit_none_without_observations() {
+        let db = PredictionDatabase::new();
+        assert_eq!(db.audit_mse(VM, M, 5), None);
+        db.store_prediction(VM, M, 300, 1.0, 0);
+        assert_eq!(db.audit_mse(VM, M, 5), None);
+    }
+
+    #[test]
+    fn streams_do_not_interfere() {
+        let db = PredictionDatabase::new();
+        db.store_prediction(VM, M, 300, 0.0, 0);
+        db.record_observation(VM, M, 300, 1.0);
+        db.store_prediction(VmId(2), M, 300, 0.0, 1);
+        db.record_observation(VmId(2), M, 300, 10.0);
+        assert_eq!(db.audit_mse(VM, M, 10).unwrap(), 1.0);
+        assert_eq!(db.audit_mse(VmId(2), M, 10).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn model_usage_counts() {
+        let db = PredictionDatabase::new();
+        for (ts, model) in [(300, 0), (600, 1), (900, 1), (1200, 2)] {
+            db.store_prediction(VM, M, ts, 0.0, model);
+        }
+        let usage = db.model_usage(VM, M);
+        assert_eq!(usage.get(&0), Some(&1));
+        assert_eq!(usage.get(&1), Some(&2));
+        assert_eq!(usage.get(&2), Some(&1));
+    }
+}

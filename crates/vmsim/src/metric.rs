@@ -1,0 +1,146 @@
+//! The performance-metric catalogue (paper Table 1 / Table 2 row names).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a guest virtual machine (paper: `vmID`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VmId(pub u32);
+
+impl std::fmt::Display for VmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VM{}", self.0)
+    }
+}
+
+/// The twelve per-VM performance metrics the paper studies (Table 2 rows).
+///
+/// The device association (paper: `deviceID`) is implied by the variant —
+/// e.g. `Nic1Rx` and `Nic1Tx` belong to NIC 1 — and exposed by
+/// [`MetricKind::device`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// CPU seconds consumed per sampling interval (vmkusage `usedsec`).
+    CpuUsedSec,
+    /// Percentage of time the VM was runnable but not scheduled (Table 1
+    /// `CPU_Ready`).
+    CpuReady,
+    /// Current memory allocation of the VM, bytes (Table 1 `Mem_Size`).
+    MemSize,
+    /// Swap space used by the VM, bytes (Table 1 `Mem_Swap`).
+    MemSwapped,
+    /// Packets/MBytes received per second on NIC 1 (Table 1 `Net_RX`).
+    Nic1Rx,
+    /// Packets/MBytes transmitted per second on NIC 1 (Table 1 `Net_TX`).
+    Nic1Tx,
+    /// Received traffic on NIC 2.
+    Nic2Rx,
+    /// Transmitted traffic on NIC 2.
+    Nic2Tx,
+    /// Reads per second on virtual disk 1 (Table 1 `Disk_RD`).
+    Vd1Read,
+    /// Writes per second on virtual disk 1 (Table 1 `Disk_WR`).
+    Vd1Write,
+    /// Reads per second on virtual disk 2.
+    Vd2Read,
+    /// Writes per second on virtual disk 2.
+    Vd2Write,
+}
+
+impl MetricKind {
+    /// All twelve metrics, in the paper's Table 2 row order.
+    pub const ALL: [MetricKind; 12] = [
+        MetricKind::CpuUsedSec,
+        MetricKind::CpuReady,
+        MetricKind::MemSize,
+        MetricKind::MemSwapped,
+        MetricKind::Nic1Rx,
+        MetricKind::Nic1Tx,
+        MetricKind::Nic2Rx,
+        MetricKind::Nic2Tx,
+        MetricKind::Vd1Read,
+        MetricKind::Vd1Write,
+        MetricKind::Vd2Read,
+        MetricKind::Vd2Write,
+    ];
+
+    /// The paper's row label for this metric.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::CpuUsedSec => "CPU_usedsec",
+            MetricKind::CpuReady => "CPU_ready",
+            MetricKind::MemSize => "Memory_size",
+            MetricKind::MemSwapped => "Memory_swapped",
+            MetricKind::Nic1Rx => "NIC1_received",
+            MetricKind::Nic1Tx => "NIC1_transmitted",
+            MetricKind::Nic2Rx => "NIC2_received",
+            MetricKind::Nic2Tx => "NIC2_transmitted",
+            MetricKind::Vd1Read => "VD1_read",
+            MetricKind::Vd1Write => "VD1_write",
+            MetricKind::Vd2Read => "VD2_read",
+            MetricKind::Vd2Write => "VD2_write",
+        }
+    }
+
+    /// The device this metric belongs to (the paper's `deviceID`).
+    pub fn device(self) -> &'static str {
+        match self {
+            MetricKind::CpuUsedSec | MetricKind::CpuReady => "cpu0",
+            MetricKind::MemSize | MetricKind::MemSwapped => "mem0",
+            MetricKind::Nic1Rx | MetricKind::Nic1Tx => "nic1",
+            MetricKind::Nic2Rx | MetricKind::Nic2Tx => "nic2",
+            MetricKind::Vd1Read | MetricKind::Vd1Write => "vd1",
+            MetricKind::Vd2Read | MetricKind::Vd2Write => "vd2",
+        }
+    }
+
+    /// Parses a paper row label back into a metric.
+    pub fn from_label(label: &str) -> Option<MetricKind> {
+        MetricKind::ALL.into_iter().find(|m| m.label() == label)
+    }
+}
+
+impl std::fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_metrics_in_table_order() {
+        assert_eq!(MetricKind::ALL.len(), 12);
+        assert_eq!(MetricKind::ALL[0].label(), "CPU_usedsec");
+        assert_eq!(MetricKind::ALL[11].label(), "VD2_write");
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = MetricKind::ALL.iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 12);
+    }
+
+    #[test]
+    fn label_round_trips() {
+        for m in MetricKind::ALL {
+            assert_eq!(MetricKind::from_label(m.label()), Some(m));
+        }
+        assert_eq!(MetricKind::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn devices_pair_metrics() {
+        assert_eq!(MetricKind::Nic1Rx.device(), MetricKind::Nic1Tx.device());
+        assert_ne!(MetricKind::Nic1Rx.device(), MetricKind::Nic2Rx.device());
+        assert_eq!(MetricKind::Vd1Read.device(), "vd1");
+    }
+
+    #[test]
+    fn vm_id_displays() {
+        assert_eq!(VmId(3).to_string(), "VM3");
+    }
+}

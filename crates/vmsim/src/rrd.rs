@@ -1,0 +1,247 @@
+//! The round-robin performance database.
+//!
+//! Mirrors the paper's `vmkusage` storage: fixed-retention ring buffers of
+//! 1-minute samples per `(vmID, metric)` stream, with consolidated (averaged)
+//! reads at coarser intervals — "The tool samples every minute, and updates its
+//! data every five minutes with an average of the one-minute statistics".
+//!
+//! Writers (the monitor agent) and readers (the profiler) may run from
+//! different threads; streams are guarded by a `parking_lot::RwLock`.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::metric::{MetricKind, VmId};
+use crate::{Result, VmSimError};
+
+/// One stream's ring storage.
+#[derive(Debug, Clone)]
+struct Stream {
+    /// Minute index of the first retained sample.
+    first_minute: u64,
+    /// Retained samples, oldest first (bounded by `capacity`).
+    samples: std::collections::VecDeque<f64>,
+    capacity: usize,
+}
+
+impl Stream {
+    fn push(&mut self, value: f64) {
+        self.samples.push_back(value);
+        if self.samples.len() > self.capacity {
+            self.samples.pop_front();
+            self.first_minute += 1;
+        }
+    }
+}
+
+/// A concurrent round-robin database of per-minute samples.
+pub struct RoundRobinDatabase {
+    streams: RwLock<HashMap<(VmId, MetricKind), Stream>>,
+    capacity: usize,
+}
+
+impl RoundRobinDatabase {
+    /// Creates a database retaining `capacity_minutes` of history per stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_minutes == 0`.
+    pub fn new(capacity_minutes: usize) -> Self {
+        assert!(capacity_minutes > 0, "RRD capacity must be positive");
+        Self { streams: RwLock::new(HashMap::new()), capacity: capacity_minutes }
+    }
+
+    /// Appends the sample for `minute` to the stream. Samples must arrive in
+    /// minute order per stream (the monitor guarantees it); the first write
+    /// fixes the stream's epoch.
+    pub fn record(&self, vm: VmId, metric: MetricKind, minute: u64, value: f64) {
+        let mut streams = self.streams.write();
+        let stream = streams.entry((vm, metric)).or_insert_with(|| Stream {
+            first_minute: minute,
+            samples: std::collections::VecDeque::with_capacity(self.capacity.min(1 << 20)),
+            capacity: self.capacity,
+        });
+        stream.push(value);
+    }
+
+    /// Number of retained samples for a stream (0 if absent).
+    pub fn len(&self, vm: VmId, metric: MetricKind) -> usize {
+        self.streams
+            .read()
+            .get(&(vm, metric))
+            .map_or(0, |s| s.samples.len())
+    }
+
+    /// Whether the database holds no streams at all.
+    pub fn is_empty(&self) -> bool {
+        self.streams.read().is_empty()
+    }
+
+    /// Retained range of a stream as `[first_minute, last_minute]`, or `None`.
+    pub fn range(&self, vm: VmId, metric: MetricKind) -> Option<(u64, u64)> {
+        let streams = self.streams.read();
+        let s = streams.get(&(vm, metric))?;
+        if s.samples.is_empty() {
+            return None;
+        }
+        Some((s.first_minute, s.first_minute + s.samples.len() as u64 - 1))
+    }
+
+    /// Reads consolidated data: averages of `interval_minutes`-sized buckets
+    /// covering `[start_minute, end_minute)`. Every bucket must be fully
+    /// retained.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmSimError::UnknownStream`] if the stream does not exist;
+    /// * [`VmSimError::InvalidQuery`] for a zero interval, an empty or
+    ///   misaligned range, or a range outside the retained window.
+    pub fn consolidated(
+        &self,
+        vm: VmId,
+        metric: MetricKind,
+        start_minute: u64,
+        end_minute: u64,
+        interval_minutes: u64,
+    ) -> Result<Vec<f64>> {
+        if interval_minutes == 0 {
+            return Err(VmSimError::InvalidQuery("interval must be positive".into()));
+        }
+        if start_minute >= end_minute {
+            return Err(VmSimError::InvalidQuery(format!(
+                "empty range [{start_minute}, {end_minute})"
+            )));
+        }
+        let span = end_minute - start_minute;
+        if !span.is_multiple_of(interval_minutes) {
+            return Err(VmSimError::InvalidQuery(format!(
+                "range of {span} minutes is not a multiple of the {interval_minutes}-minute interval"
+            )));
+        }
+        let streams = self.streams.read();
+        let stream = streams.get(&(vm, metric)).ok_or_else(|| {
+            VmSimError::UnknownStream(format!("{vm}/{metric}"))
+        })?;
+        let last = stream.first_minute + stream.samples.len() as u64;
+        if start_minute < stream.first_minute || end_minute > last {
+            return Err(VmSimError::InvalidQuery(format!(
+                "range [{start_minute}, {end_minute}) outside retained [{}, {last})",
+                stream.first_minute
+            )));
+        }
+        let offset = (start_minute - stream.first_minute) as usize;
+        let n_buckets = (span / interval_minutes) as usize;
+        let iv = interval_minutes as usize;
+        let mut out = Vec::with_capacity(n_buckets);
+        for b in 0..n_buckets {
+            let lo = offset + b * iv;
+            let sum: f64 = stream.samples.iter().skip(lo).take(iv).sum();
+            out.push(sum / interval_minutes as f64);
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for RoundRobinDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let streams = self.streams.read();
+        f.debug_struct("RoundRobinDatabase")
+            .field("streams", &streams.len())
+            .field("capacity_minutes", &self.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VM: VmId = VmId(1);
+    const M: MetricKind = MetricKind::CpuUsedSec;
+
+    #[test]
+    fn record_and_range() {
+        let rrd = RoundRobinDatabase::new(100);
+        assert!(rrd.is_empty());
+        for minute in 0..10 {
+            rrd.record(VM, M, minute, minute as f64);
+        }
+        assert_eq!(rrd.len(VM, M), 10);
+        assert_eq!(rrd.range(VM, M), Some((0, 9)));
+        assert_eq!(rrd.range(VM, MetricKind::CpuReady), None);
+    }
+
+    #[test]
+    fn consolidation_averages_buckets() {
+        let rrd = RoundRobinDatabase::new(100);
+        for minute in 0..10 {
+            rrd.record(VM, M, minute, minute as f64);
+        }
+        let out = rrd.consolidated(VM, M, 0, 10, 5).unwrap();
+        assert_eq!(out, vec![2.0, 7.0]);
+        let fine = rrd.consolidated(VM, M, 2, 6, 1).unwrap();
+        assert_eq!(fine, vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn ring_eviction_advances_epoch() {
+        let rrd = RoundRobinDatabase::new(5);
+        for minute in 0..8 {
+            rrd.record(VM, M, minute, minute as f64);
+        }
+        assert_eq!(rrd.len(VM, M), 5);
+        assert_eq!(rrd.range(VM, M), Some((3, 7)));
+        // Evicted minutes are unreadable.
+        assert!(rrd.consolidated(VM, M, 0, 5, 1).is_err());
+        assert_eq!(rrd.consolidated(VM, M, 3, 8, 1).unwrap(), vec![3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn query_validation() {
+        let rrd = RoundRobinDatabase::new(100);
+        for minute in 0..20 {
+            rrd.record(VM, M, minute, 1.0);
+        }
+        assert!(matches!(
+            rrd.consolidated(VM, MetricKind::Nic1Rx, 0, 10, 5),
+            Err(VmSimError::UnknownStream(_))
+        ));
+        assert!(rrd.consolidated(VM, M, 0, 10, 0).is_err());
+        assert!(rrd.consolidated(VM, M, 10, 10, 5).is_err());
+        assert!(rrd.consolidated(VM, M, 0, 7, 5).is_err()); // misaligned
+        assert!(rrd.consolidated(VM, M, 0, 25, 5).is_err()); // beyond retention
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let rrd = RoundRobinDatabase::new(100);
+        rrd.record(VM, M, 0, 1.0);
+        rrd.record(VmId(2), M, 0, 2.0);
+        rrd.record(VM, MetricKind::Nic1Rx, 0, 3.0);
+        assert_eq!(rrd.consolidated(VM, M, 0, 1, 1).unwrap(), vec![1.0]);
+        assert_eq!(rrd.consolidated(VmId(2), M, 0, 1, 1).unwrap(), vec![2.0]);
+        assert_eq!(rrd.consolidated(VM, MetricKind::Nic1Rx, 0, 1, 1).unwrap(), vec![3.0]);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let rrd = std::sync::Arc::new(RoundRobinDatabase::new(10_000));
+        let writer = {
+            let rrd = rrd.clone();
+            std::thread::spawn(move || {
+                for minute in 0..5000 {
+                    rrd.record(VM, M, minute, minute as f64);
+                }
+            })
+        };
+        // Concurrent reads must never panic or see torn state.
+        for _ in 0..100 {
+            if let Some((lo, hi)) = rrd.range(VM, M) {
+                assert!(lo <= hi);
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(rrd.len(VM, M), 5000);
+    }
+}

@@ -1,0 +1,658 @@
+//! Composable stochastic signal generators.
+//!
+//! A [`Signal`] produces one sample per simulated minute. Workload profiles
+//! assemble metrics from these primitives: e.g. a web server's NIC traffic is
+//! `Clamp(Sum[Diurnal, ArNoise, OnOffBurst, Spikes]) ≥ 0`. The generators own
+//! their RNG state, so a composed workload is fully determined by its seeds.
+//!
+//! The primitives are chosen to reproduce the *property the paper depends on*:
+//! CPU-like metrics are smooth and autocorrelated (LAST/AR-friendly), network
+//! and disk metrics are bursty with heavy tails (where averaging models win on
+//! noise floors and nothing wins on spikes), and regime switches make the best
+//! predictor time-varying.
+
+use simrng::dist::{Exponential, Normal, Pareto};
+use simrng::{Rng64, Xoshiro256pp};
+
+/// A deterministic discrete-time signal: one value per minute.
+pub trait Signal: Send {
+    /// Produces the sample for minute `minute` (called with strictly
+    /// increasing values, once each).
+    fn sample(&mut self, minute: u64) -> f64;
+}
+
+/// A constant level.
+#[derive(Debug, Clone)]
+pub struct Constant(pub f64);
+
+impl Signal for Constant {
+    fn sample(&mut self, _minute: u64) -> f64 {
+        self.0
+    }
+}
+
+/// A sinusoid with the given period — the diurnal (or weekly) load cycle.
+#[derive(Debug, Clone)]
+pub struct Diurnal {
+    /// Peak deviation from zero.
+    pub amplitude: f64,
+    /// Cycle length in minutes (1440 = daily).
+    pub period_minutes: f64,
+    /// Phase offset in minutes.
+    pub phase_minutes: f64,
+}
+
+impl Signal for Diurnal {
+    fn sample(&mut self, minute: u64) -> f64 {
+        let x = (minute as f64 + self.phase_minutes) / self.period_minutes;
+        self.amplitude * (2.0 * std::f64::consts::PI * x).sin()
+    }
+}
+
+/// Colored AR(1) noise: smooth, autocorrelated fluctuation (host-load-like;
+/// Dinda's studies found CPU load strongly autocorrelated).
+#[derive(Debug)]
+pub struct ArNoise {
+    phi: f64,
+    noise: Normal,
+    state: f64,
+    rng: Xoshiro256pp,
+}
+
+impl ArNoise {
+    /// Creates AR(1) noise `x ← phi·x + N(0, sigma²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|phi| >= 1` (non-stationary) or `sigma < 0`.
+    pub fn new(phi: f64, sigma: f64, seed: u64) -> Self {
+        assert!(phi.abs() < 1.0, "AR(1) requires |phi| < 1, got {phi}");
+        Self {
+            phi,
+            noise: Normal::new(0.0, sigma).expect("sigma validated by caller"),
+            state: 0.0,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Signal for ArNoise {
+    fn sample(&mut self, _minute: u64) -> f64 {
+        self.state = self.phi * self.state + self.noise.sample(&mut self.rng);
+        self.state
+    }
+}
+
+/// An ON–OFF burst process: exponentially distributed dwell times, Pareto
+/// amplitudes while ON — the classic heavy-tailed traffic model.
+#[derive(Debug)]
+pub struct OnOffBurst {
+    on_dwell: Exponential,
+    off_dwell: Exponential,
+    amplitude: Pareto,
+    jitter: f64,
+    rng: Xoshiro256pp,
+    on: bool,
+    remaining: f64,
+    level: f64,
+}
+
+impl OnOffBurst {
+    /// Creates a burst process with flat ON levels.
+    ///
+    /// * `mean_on`/`mean_off` — mean dwell in minutes of each state;
+    /// * `amp_min`/`amp_alpha` — Pareto scale/shape of the ON level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive.
+    pub fn new(mean_on: f64, mean_off: f64, amp_min: f64, amp_alpha: f64, seed: u64) -> Self {
+        Self::with_jitter(mean_on, mean_off, amp_min, amp_alpha, 0.0, seed)
+    }
+
+    /// Creates a burst process whose ON level carries multiplicative
+    /// per-minute noise: `level · (1 + jitter · N(0,1))`, floored at zero.
+    ///
+    /// Real transfer activity is noisy *while active* and exactly zero while
+    /// idle — which is precisely the structure that makes the best predictor
+    /// regime-dependent (LAST exact when idle, averaging better when busy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dwell/amplitude parameter is non-positive or `jitter`
+    /// is negative.
+    pub fn with_jitter(
+        mean_on: f64,
+        mean_off: f64,
+        amp_min: f64,
+        amp_alpha: f64,
+        jitter: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(jitter >= 0.0, "jitter must be >= 0");
+        Self {
+            on_dwell: Exponential::with_mean(mean_on).expect("mean_on must be positive"),
+            off_dwell: Exponential::with_mean(mean_off).expect("mean_off must be positive"),
+            amplitude: Pareto::new(amp_min, amp_alpha).expect("amplitude params must be positive"),
+            jitter,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+            on: false,
+            remaining: 0.0,
+            level: 0.0,
+        }
+    }
+}
+
+impl Signal for OnOffBurst {
+    fn sample(&mut self, _minute: u64) -> f64 {
+        while self.remaining <= 0.0 {
+            self.on = !self.on;
+            if self.on {
+                self.remaining += self.on_dwell.sample(&mut self.rng).max(0.01);
+                self.level = self.amplitude.sample(&mut self.rng);
+            } else {
+                self.remaining += self.off_dwell.sample(&mut self.rng).max(0.01);
+                self.level = 0.0;
+            }
+        }
+        self.remaining -= 1.0;
+        if self.on && self.jitter > 0.0 {
+            // Box-Muller-free jitter: reuse the normal sampler inline.
+            let u1 = self.rng.next_f64_open();
+            let u2 = self.rng.next_f64();
+            let z = (-2.0f64 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (self.level * (1.0 + self.jitter * z)).max(0.0)
+        } else {
+            self.level
+        }
+    }
+}
+
+/// Isolated heavy-tailed spikes: each minute, with probability `rate`, a
+/// Pareto-sized spike (otherwise zero).
+#[derive(Debug)]
+pub struct Spikes {
+    rate: f64,
+    amplitude: Pareto,
+    rng: Xoshiro256pp,
+}
+
+impl Spikes {
+    /// Creates a spike train with per-minute probability `rate` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amplitude parameters are non-positive.
+    pub fn new(rate: f64, amp_min: f64, amp_alpha: f64, seed: u64) -> Self {
+        Self {
+            rate: rate.clamp(0.0, 1.0),
+            amplitude: Pareto::new(amp_min, amp_alpha).expect("amplitude params must be positive"),
+            rng: Xoshiro256pp::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Signal for Spikes {
+    fn sample(&mut self, _minute: u64) -> f64 {
+        if self.rng.bernoulli(self.rate) {
+            self.amplitude.sample(&mut self.rng)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A reflected random walk within `[min, max]` — slow level drift
+/// (memory-footprint-like).
+#[derive(Debug)]
+pub struct RandomWalk {
+    step: Normal,
+    state: f64,
+    min: f64,
+    max: f64,
+    rng: Xoshiro256pp,
+}
+
+impl RandomWalk {
+    /// Creates a walk starting at `start`, stepping `N(0, sigma²)` per minute,
+    /// reflected at the bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or `start` is outside the bounds.
+    pub fn new(start: f64, sigma: f64, min: f64, max: f64, seed: u64) -> Self {
+        assert!(min <= max && (min..=max).contains(&start), "walk bounds invalid");
+        Self {
+            step: Normal::new(0.0, sigma).expect("sigma must be >= 0"),
+            state: start,
+            min,
+            max,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Signal for RandomWalk {
+    fn sample(&mut self, _minute: u64) -> f64 {
+        self.state += self.step.sample(&mut self.rng);
+        // Reflect at the boundaries.
+        if self.state > self.max {
+            self.state = 2.0 * self.max - self.state;
+        }
+        if self.state < self.min {
+            self.state = 2.0 * self.min - self.state;
+        }
+        self.state = self.state.clamp(self.min, self.max);
+        self.state
+    }
+}
+
+/// A step-hold level process: the value stays *exactly* constant for an
+/// exponentially distributed dwell, then jumps by a Gaussian step (reflected
+/// at the bounds).
+///
+/// This is how several real resource metrics behave — memory allocations,
+/// idle CPU floors, configuration-driven levels — and it matters for
+/// prediction: within a hold every consolidated sample is identical, so the
+/// LAST model is *exactly* right and the per-step best-predictor label is
+/// deterministic (the strongest signal the k-NN selector can learn).
+#[derive(Debug)]
+pub struct StepLevel {
+    dwell: Exponential,
+    step: Normal,
+    min: f64,
+    max: f64,
+    level: f64,
+    remaining: f64,
+    rng: Xoshiro256pp,
+}
+
+impl StepLevel {
+    /// Creates a step process starting at `start`, holding each level for
+    /// `Exp(mean_dwell)` minutes, jumping by `N(0, step_sigma²)` within
+    /// `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are invalid, `start` is outside them, or
+    /// `mean_dwell <= 0`.
+    pub fn new(start: f64, step_sigma: f64, mean_dwell: f64, min: f64, max: f64, seed: u64) -> Self {
+        assert!(min <= max && (min..=max).contains(&start), "step bounds invalid");
+        Self {
+            dwell: Exponential::with_mean(mean_dwell).expect("mean_dwell must be positive"),
+            step: Normal::new(0.0, step_sigma).expect("step_sigma must be >= 0"),
+            min,
+            max,
+            level: start,
+            remaining: 0.0,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Signal for StepLevel {
+    fn sample(&mut self, _minute: u64) -> f64 {
+        if self.remaining <= 0.0 {
+            self.remaining = self.dwell.sample(&mut self.rng).max(1.0);
+            self.level += self.step.sample(&mut self.rng);
+            if self.level > self.max {
+                self.level = 2.0 * self.max - self.level;
+            }
+            if self.level < self.min {
+                self.level = 2.0 * self.min - self.level;
+            }
+            self.level = self.level.clamp(self.min, self.max);
+        }
+        self.remaining -= 1.0;
+        self.level
+    }
+}
+
+/// AR(1) noise whose coefficient *drifts* over time — the non-stationarity
+/// knob of the workload models.
+///
+/// Real resource traces do not follow a fixed linear process: their local
+/// dynamics change as applications come and go, which is exactly why the
+/// paper's globally-fitted AR model is mis-specified and adaptive predictor
+/// selection pays off. `DriftingAr` reproduces that: the coefficient `φ`
+/// performs a slow reflected random walk inside `[phi_min, phi_max]`, so the
+/// series wanders between strongly autocorrelated (persistence-friendly)
+/// stretches and noisy mean-reverting (averaging-friendly) stretches, while
+/// any *fixed* AR fit is a stale compromise.
+#[derive(Debug)]
+pub struct DriftingAr {
+    phi_min: f64,
+    phi_max: f64,
+    phi: f64,
+    phi_step: Normal,
+    noise: Normal,
+    state: f64,
+    rng: Xoshiro256pp,
+}
+
+impl DriftingAr {
+    /// Creates drifting AR noise.
+    ///
+    /// * `phi_min`/`phi_max` — the coefficient's range (within `(-1, 1)`);
+    /// * `sigma` — innovation deviation;
+    /// * `phi_step` — per-minute deviation of the coefficient walk (e.g.
+    ///   `0.01` crosses a unit range in ~10⁴ minutes of random walking, or
+    ///   `0.03` within a few hours).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `-1 < phi_min <= phi_max < 1`, `sigma >= 0` and
+    /// `phi_step > 0`.
+    pub fn new(phi_min: f64, phi_max: f64, sigma: f64, phi_step: f64, seed: u64) -> Self {
+        assert!(
+            -1.0 < phi_min && phi_min <= phi_max && phi_max < 1.0,
+            "DriftingAr requires -1 < phi_min <= phi_max < 1"
+        );
+        assert!(phi_step > 0.0, "phi_step must be positive");
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let phi = rng.uniform(phi_min, phi_max);
+        Self {
+            phi_min,
+            phi_max,
+            phi,
+            phi_step: Normal::new(0.0, phi_step).expect("phi_step validated"),
+            noise: Normal::new(0.0, sigma).expect("sigma must be >= 0"),
+            state: 0.0,
+            rng,
+        }
+    }
+}
+
+impl Signal for DriftingAr {
+    fn sample(&mut self, _minute: u64) -> f64 {
+        // Walk the coefficient, reflecting at the bounds.
+        self.phi += self.phi_step.sample(&mut self.rng);
+        if self.phi > self.phi_max {
+            self.phi = 2.0 * self.phi_max - self.phi;
+        }
+        if self.phi < self.phi_min {
+            self.phi = 2.0 * self.phi_min - self.phi;
+        }
+        self.phi = self.phi.clamp(self.phi_min, self.phi_max);
+        self.state = self.phi * self.state + self.noise.sample(&mut self.rng);
+        self.state
+    }
+}
+
+/// Markov regime switching between component signals: each minute, with
+/// probability `1/mean_dwell`, jump to a uniformly random other regime.
+///
+/// This is what makes "the best predictor changes over time" literally true
+/// in the synthetic traces.
+pub struct RegimeSwitch {
+    regimes: Vec<Box<dyn Signal>>,
+    current: usize,
+    mean_dwell: f64,
+    /// Optional slow drift of the regime mix: `(period_minutes, phase_01)`.
+    drift: Option<(f64, f64)>,
+    rng: Xoshiro256pp,
+}
+
+impl RegimeSwitch {
+    /// Creates a switcher over `regimes` with the given mean dwell (minutes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regimes` is empty or `mean_dwell < 1`.
+    pub fn new(regimes: Vec<Box<dyn Signal>>, mean_dwell: f64, seed: u64) -> Self {
+        assert!(!regimes.is_empty(), "RegimeSwitch needs at least one regime");
+        assert!(mean_dwell >= 1.0, "mean dwell must be >= 1 minute");
+        Self { regimes, current: 0, mean_dwell, drift: None, rng: Xoshiro256pp::seed_from_u64(seed) }
+    }
+
+    /// Creates a *drifting* two-plus-regime switcher: when a dwell expires,
+    /// the destination regime is drawn with weights that slide sinusoidally
+    /// over `drift_period_minutes` (phase derived from the seed).
+    ///
+    /// This is the trace-scale non-stationarity knob: with a drift period
+    /// comparable to the trace length, the early and late halves spend
+    /// different fractions of time in each regime, so a model selected by
+    /// *cumulative historical* error (the NWS rule) is anchored to a mix
+    /// that no longer holds — while window-based selection is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`RegimeSwitch::new`], plus `drift_period >= 1`.
+    pub fn with_drift(
+        regimes: Vec<Box<dyn Signal>>,
+        mean_dwell: f64,
+        drift_period_minutes: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(drift_period_minutes >= 1.0, "drift period must be >= 1 minute");
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let phase = rng.next_f64();
+        let mut s = Self::new(regimes, mean_dwell, seed.wrapping_add(1));
+        s.drift = Some((drift_period_minutes, phase));
+        s.rng = rng;
+        s
+    }
+}
+
+impl Signal for RegimeSwitch {
+    fn sample(&mut self, minute: u64) -> f64 {
+        if self.regimes.len() > 1 && self.rng.bernoulli(1.0 / self.mean_dwell) {
+            match self.drift {
+                None => {
+                    let jump = 1 + self.rng.next_below(self.regimes.len() as u64 - 1) as usize;
+                    self.current = (self.current + jump) % self.regimes.len();
+                }
+                Some((period, phase)) => {
+                    // Weight of the *last* regime slides in [0.05, 0.95];
+                    // remaining mass is spread evenly over the others.
+                    let x = minute as f64 / period + phase;
+                    let w_last = 0.5 + 0.45 * (2.0 * std::f64::consts::PI * x).sin();
+                    let n = self.regimes.len();
+                    self.current = if self.rng.bernoulli(w_last) {
+                        n - 1
+                    } else if n == 2 {
+                        0
+                    } else {
+                        self.rng.next_below(n as u64 - 1) as usize
+                    };
+                }
+            }
+        }
+        // Keep every regime's internal clock advancing so switching back does
+        // not replay stale state.
+        let mut value = 0.0;
+        for (i, r) in self.regimes.iter_mut().enumerate() {
+            let v = r.sample(minute);
+            if i == self.current {
+                value = v;
+            }
+        }
+        value
+    }
+}
+
+/// Sum of component signals.
+pub struct Sum(pub Vec<Box<dyn Signal>>);
+
+impl Signal for Sum {
+    fn sample(&mut self, minute: u64) -> f64 {
+        self.0.iter_mut().map(|s| s.sample(minute)).sum()
+    }
+}
+
+/// Affine transform of an inner signal: `mul * x + add`.
+pub struct Scaled {
+    /// The transformed signal.
+    pub inner: Box<dyn Signal>,
+    /// Multiplier.
+    pub mul: f64,
+    /// Offset.
+    pub add: f64,
+}
+
+impl Signal for Scaled {
+    fn sample(&mut self, minute: u64) -> f64 {
+        self.mul * self.inner.sample(minute) + self.add
+    }
+}
+
+/// Clamps an inner signal into `[lo, hi]` — resource metrics cannot go
+/// negative and utilisations cannot exceed 100%.
+pub struct Clamped {
+    /// The clamped signal.
+    pub inner: Box<dyn Signal>,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Signal for Clamped {
+    fn sample(&mut self, minute: u64) -> f64 {
+        self.inner.sample(minute).clamp(self.lo, self.hi)
+    }
+}
+
+/// Quantizes an inner signal to multiples of `grain`.
+///
+/// Resource counters are quantized in reality (page counts, packet counts,
+/// percent points), which matters for prediction: quiet stretches become
+/// *exactly* flat, where the LAST model is exactly right — the strongest
+/// best-predictor signal in real monitoring data.
+pub struct Quantized {
+    /// The quantized signal.
+    pub inner: Box<dyn Signal>,
+    /// Quantization step (must be positive).
+    pub grain: f64,
+}
+
+impl Signal for Quantized {
+    fn sample(&mut self, minute: u64) -> f64 {
+        debug_assert!(self.grain > 0.0, "quantization grain must be positive");
+        (self.inner.sample(minute) / self.grain).round() * self.grain
+    }
+}
+
+/// Convenience: clamp a summed pipeline to `[0, hi]`.
+pub fn positive(parts: Vec<Box<dyn Signal>>, hi: f64) -> Box<dyn Signal> {
+    Box::new(Clamped { inner: Box::new(Sum(parts)), lo: 0.0, hi })
+}
+
+/// Convenience: clamp a summed pipeline to `[0, hi]` and quantize to `grain`.
+pub fn positive_quantized(parts: Vec<Box<dyn Signal>>, hi: f64, grain: f64) -> Box<dyn Signal> {
+    Box::new(Quantized {
+        inner: Box::new(Clamped { inner: Box::new(Sum(parts)), lo: 0.0, hi }),
+        grain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(signal: &mut dyn Signal, n: u64) -> Vec<f64> {
+        (0..n).map(|m| signal.sample(m)).collect()
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let xs = run(&mut Constant(3.5), 10);
+        assert!(xs.iter().all(|&x| x == 3.5));
+    }
+
+    #[test]
+    fn diurnal_has_the_right_period() {
+        let mut d = Diurnal { amplitude: 2.0, period_minutes: 100.0, phase_minutes: 0.0 };
+        let xs = run(&mut d, 200);
+        // One full cycle later the value repeats.
+        for t in 0..100 {
+            assert!((xs[t] - xs[t + 100]).abs() < 1e-9);
+        }
+        assert!(xs.iter().cloned().fold(f64::MIN, f64::max) <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn ar_noise_is_autocorrelated_and_stationary() {
+        let mut s = ArNoise::new(0.9, 1.0, 7);
+        let xs = run(&mut s, 20_000);
+        let acf = timeseries::stats::autocorrelation(&xs[1000..], 1).unwrap();
+        assert!(acf[1] > 0.8, "lag-1 autocorrelation {}", acf[1]);
+        // Stationary variance ~ sigma^2 / (1 - phi^2) = 5.26.
+        let var = timeseries::stats::variance(&xs[1000..]);
+        assert!((var - 5.26).abs() < 1.0, "variance {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "|phi| < 1")]
+    fn ar_noise_rejects_nonstationary() {
+        ArNoise::new(1.0, 1.0, 1);
+    }
+
+    #[test]
+    fn on_off_burst_visits_both_states() {
+        let mut s = OnOffBurst::new(5.0, 10.0, 2.0, 1.5, 3);
+        let xs = run(&mut s, 5000);
+        let zeros = xs.iter().filter(|&&x| x == 0.0).count();
+        let on = xs.len() - zeros;
+        assert!(zeros > 1000, "zeros {zeros}");
+        assert!(on > 500, "on {on}");
+        // ON levels honour the Pareto minimum.
+        assert!(xs.iter().filter(|&&x| x > 0.0).all(|&x| x >= 2.0));
+        // Mean OFF dwell is twice the ON dwell: zeros should dominate.
+        assert!(zeros > on);
+    }
+
+    #[test]
+    fn spikes_fire_at_roughly_the_requested_rate() {
+        let mut s = Spikes::new(0.05, 1.0, 2.0, 9);
+        let xs = run(&mut s, 20_000);
+        let fired = xs.iter().filter(|&&x| x > 0.0).count() as f64 / xs.len() as f64;
+        assert!((fired - 0.05).abs() < 0.01, "rate {fired}");
+    }
+
+    #[test]
+    fn random_walk_respects_bounds() {
+        let mut s = RandomWalk::new(50.0, 5.0, 0.0, 100.0, 11);
+        let xs = run(&mut s, 10_000);
+        assert!(xs.iter().all(|&x| (0.0..=100.0).contains(&x)));
+        // It actually moves.
+        let var = timeseries::stats::variance(&xs);
+        assert!(var > 10.0, "variance {var}");
+    }
+
+    #[test]
+    fn regime_switch_changes_levels() {
+        let regimes: Vec<Box<dyn Signal>> =
+            vec![Box::new(Constant(0.0)), Box::new(Constant(10.0))];
+        let mut s = RegimeSwitch::new(regimes, 20.0, 5);
+        let xs = run(&mut s, 2000);
+        let low = xs.iter().filter(|&&x| x == 0.0).count();
+        let high = xs.iter().filter(|&&x| x == 10.0).count();
+        assert_eq!(low + high, 2000);
+        assert!(low > 200 && high > 200, "low {low}, high {high}");
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut s = Clamped {
+            inner: Box::new(Scaled { inner: Box::new(Constant(2.0)), mul: 3.0, add: 1.0 }),
+            lo: 0.0,
+            hi: 5.0,
+        };
+        // 3*2 + 1 = 7, clamped to 5.
+        assert_eq!(s.sample(0), 5.0);
+        let mut sum = Sum(vec![Box::new(Constant(1.0)), Box::new(Constant(2.5))]);
+        assert_eq!(sum.sample(0), 3.5);
+        let mut pos = positive(vec![Box::new(Constant(-4.0))], 100.0);
+        assert_eq!(pos.sample(0), 0.0);
+    }
+
+    #[test]
+    fn signals_are_deterministic_per_seed() {
+        let a = run(&mut OnOffBurst::new(3.0, 6.0, 1.0, 2.0, 42), 500);
+        let b = run(&mut OnOffBurst::new(3.0, 6.0, 1.0, 2.0, 42), 500);
+        assert_eq!(a, b);
+        let c = run(&mut OnOffBurst::new(3.0, 6.0, 1.0, 2.0, 43), 500);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,344 @@
+//! Multi-archive round-robin storage — full `vmkusage`/RRDtool semantics.
+//!
+//! The flat [`crate::RoundRobinDatabase`] retains one resolution. Real RRD
+//! deployments (including the paper's `vmkusage`) keep *several archives* of
+//! the same stream at different consolidation intervals and retentions — for
+//! example: per-minute samples for the last two hours, 5-minute averages for
+//! a day, 30-minute averages for a week. Writes land in the finest archive
+//! and cascade upward through consolidation accumulators; reads are served
+//! from the finest archive that still retains the requested range.
+//!
+//! This is exactly the storage the paper's profiler reads: VM2–VM5 traces
+//! come from the day archive at 5 minutes, the week-long VM1 trace from the
+//! 30-minute archive.
+
+use std::collections::{HashMap, VecDeque};
+
+use parking_lot::RwLock;
+
+use crate::metric::{MetricKind, VmId};
+use crate::{Result, VmSimError};
+
+/// One archive tier: consolidation interval and retention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchiveSpec {
+    /// Consolidation interval in minutes (1 = raw samples).
+    pub interval_minutes: u64,
+    /// Number of consolidated rows retained.
+    pub rows: usize,
+}
+
+impl ArchiveSpec {
+    /// Retention of this archive in minutes.
+    pub fn retention_minutes(&self) -> u64 {
+        self.interval_minutes * self.rows as u64
+    }
+}
+
+/// Per-stream storage for one tier.
+#[derive(Debug, Default)]
+struct TierStream {
+    /// Consolidated index of the first retained row.
+    first_row: u64,
+    rows: VecDeque<f64>,
+    /// Accumulator for the in-progress consolidation bucket.
+    acc_sum: f64,
+    acc_count: u64,
+}
+
+/// A multi-archive round-robin database.
+pub struct TieredDatabase {
+    specs: Vec<ArchiveSpec>,
+    /// `tiers[t]` maps stream key -> storage for archive `t`.
+    tiers: Vec<RwLock<HashMap<(VmId, MetricKind), TierStream>>>,
+}
+
+impl TieredDatabase {
+    /// Creates a database with the given archive tiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmSimError::InvalidQuery`] unless the specs are non-empty,
+    /// strictly increasing in interval, start at some base interval that
+    /// divides all coarser ones, and have positive rows.
+    pub fn new(specs: Vec<ArchiveSpec>) -> Result<Self> {
+        if specs.is_empty() {
+            return Err(VmSimError::InvalidQuery("at least one archive tier required".into()));
+        }
+        for (i, s) in specs.iter().enumerate() {
+            if s.interval_minutes == 0 || s.rows == 0 {
+                return Err(VmSimError::InvalidQuery(format!(
+                    "tier {i}: interval and rows must be positive"
+                )));
+            }
+            if i > 0 {
+                let prev = specs[i - 1].interval_minutes;
+                if s.interval_minutes <= prev || !s.interval_minutes.is_multiple_of(prev) {
+                    return Err(VmSimError::InvalidQuery(format!(
+                        "tier {i}: interval {} must be a strict multiple of tier {}'s {}",
+                        s.interval_minutes,
+                        i - 1,
+                        prev
+                    )));
+                }
+            }
+        }
+        if specs[0].interval_minutes != 1 {
+            return Err(VmSimError::InvalidQuery(
+                "the finest archive must run at 1-minute resolution".into(),
+            ));
+        }
+        let tiers = specs.iter().map(|_| RwLock::new(HashMap::new())).collect();
+        Ok(Self { specs, tiers })
+    }
+
+    /// The `vmkusage` default layout: 1-minute samples for 2 hours,
+    /// 5-minute averages for 24 hours, 30-minute averages for 7 days.
+    pub fn vmkusage_layout() -> Self {
+        Self::new(vec![
+            ArchiveSpec { interval_minutes: 1, rows: 120 },
+            ArchiveSpec { interval_minutes: 5, rows: 288 },
+            ArchiveSpec { interval_minutes: 30, rows: 7 * 48 },
+        ])
+        .expect("static layout is valid")
+    }
+
+    /// The configured archive tiers.
+    pub fn specs(&self) -> &[ArchiveSpec] {
+        &self.specs
+    }
+
+    /// Records the per-minute sample for `minute`. Samples must arrive in
+    /// strictly increasing minute order per stream, starting at 0 (the
+    /// monitor agent guarantees both).
+    pub fn record(&self, vm: VmId, metric: MetricKind, minute: u64, value: f64) {
+        let key = (vm, metric);
+        for (spec, tier) in self.specs.iter().zip(&self.tiers) {
+            let mut streams = tier.write();
+            let stream = streams.entry(key).or_default();
+            stream.acc_sum += value;
+            stream.acc_count += 1;
+            if (minute + 1).is_multiple_of(spec.interval_minutes) {
+                // Bucket complete: push its average.
+                let avg = stream.acc_sum / stream.acc_count as f64;
+                stream.acc_sum = 0.0;
+                stream.acc_count = 0;
+                stream.rows.push_back(avg);
+                if stream.rows.len() > spec.rows {
+                    stream.rows.pop_front();
+                    stream.first_row += 1;
+                }
+            }
+        }
+    }
+
+    /// Reads consolidated rows for `[start_minute, end_minute)` at
+    /// `interval_minutes`, served from the finest archive that (a) has an
+    /// interval dividing the request and (b) still retains the whole range.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmSimError::UnknownStream`] if the stream does not exist;
+    /// * [`VmSimError::InvalidQuery`] for a zero/misaligned interval or a
+    ///   range no archive retains.
+    pub fn query(
+        &self,
+        vm: VmId,
+        metric: MetricKind,
+        start_minute: u64,
+        end_minute: u64,
+        interval_minutes: u64,
+    ) -> Result<Vec<f64>> {
+        if interval_minutes == 0 || start_minute >= end_minute {
+            return Err(VmSimError::InvalidQuery(format!(
+                "invalid range [{start_minute}, {end_minute}) at interval {interval_minutes}"
+            )));
+        }
+        if !(end_minute - start_minute).is_multiple_of(interval_minutes)
+            || !start_minute.is_multiple_of(interval_minutes)
+        {
+            return Err(VmSimError::InvalidQuery(format!(
+                "range [{start_minute}, {end_minute}) misaligned to interval {interval_minutes}"
+            )));
+        }
+        let key = (vm, metric);
+        let mut stream_exists = false;
+        for (spec, tier) in self.specs.iter().zip(&self.tiers) {
+            if !interval_minutes.is_multiple_of(spec.interval_minutes) {
+                continue;
+            }
+            let streams = tier.read();
+            let Some(stream) = streams.get(&key) else { continue };
+            stream_exists = true;
+            // Row-range the request needs in this archive.
+            let first_needed = start_minute / spec.interval_minutes;
+            let last_needed = end_minute / spec.interval_minutes; // exclusive
+            let retained_end = stream.first_row + stream.rows.len() as u64;
+            if first_needed < stream.first_row || last_needed > retained_end {
+                continue; // evicted here; a coarser archive may still have it
+            }
+            let group = (interval_minutes / spec.interval_minutes) as usize;
+            let offset = (first_needed - stream.first_row) as usize;
+            let n = (last_needed - first_needed) as usize;
+            let out = stream
+                .rows
+                .iter()
+                .skip(offset)
+                .take(n)
+                .collect::<Vec<_>>()
+                .chunks(group)
+                .map(|c| c.iter().copied().sum::<f64>() / c.len() as f64)
+                .collect();
+            return Ok(out);
+        }
+        if stream_exists {
+            Err(VmSimError::InvalidQuery(format!(
+                "no archive retains [{start_minute}, {end_minute}) at interval {interval_minutes}"
+            )))
+        } else {
+            Err(VmSimError::UnknownStream(format!("{vm}/{metric}")))
+        }
+    }
+
+    /// The retained row range `[first, last]` (in consolidated indexes) of a
+    /// stream in tier `tier`, or `None` if absent/empty.
+    pub fn tier_range(&self, vm: VmId, metric: MetricKind, tier: usize) -> Option<(u64, u64)> {
+        let streams = self.tiers.get(tier)?.read();
+        let s = streams.get(&(vm, metric))?;
+        if s.rows.is_empty() {
+            return None;
+        }
+        Some((s.first_row, s.first_row + s.rows.len() as u64 - 1))
+    }
+}
+
+impl std::fmt::Debug for TieredDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredDatabase").field("specs", &self.specs).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VM: VmId = VmId(1);
+    const M: MetricKind = MetricKind::CpuUsedSec;
+
+    fn ramp(db: &TieredDatabase, minutes: u64) {
+        for minute in 0..minutes {
+            db.record(VM, M, minute, minute as f64);
+        }
+    }
+
+    #[test]
+    fn layout_validation() {
+        assert!(TieredDatabase::new(vec![]).is_err());
+        // Finest tier must be 1 minute.
+        assert!(TieredDatabase::new(vec![ArchiveSpec { interval_minutes: 5, rows: 10 }]).is_err());
+        // Intervals must be strict multiples.
+        assert!(TieredDatabase::new(vec![
+            ArchiveSpec { interval_minutes: 1, rows: 10 },
+            ArchiveSpec { interval_minutes: 7, rows: 10 },
+            ArchiveSpec { interval_minutes: 10, rows: 10 },
+        ])
+        .is_err());
+        assert!(TieredDatabase::new(vec![
+            ArchiveSpec { interval_minutes: 1, rows: 10 },
+            ArchiveSpec { interval_minutes: 5, rows: 0 },
+        ])
+        .is_err());
+        TieredDatabase::vmkusage_layout();
+    }
+
+    #[test]
+    fn fine_reads_come_from_the_raw_archive() {
+        let db = TieredDatabase::vmkusage_layout();
+        ramp(&db, 60);
+        let out = db.query(VM, M, 10, 20, 1).unwrap();
+        assert_eq!(out, (10..20).map(|m| m as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn consolidated_reads_average_correctly() {
+        let db = TieredDatabase::vmkusage_layout();
+        ramp(&db, 60);
+        let out = db.query(VM, M, 0, 60, 5).unwrap();
+        assert_eq!(out.len(), 12);
+        assert_eq!(out[0], 2.0); // mean of 0..5
+        assert_eq!(out[11], 57.0); // mean of 55..60
+        let coarse = db.query(VM, M, 0, 60, 30).unwrap();
+        assert_eq!(coarse, vec![14.5, 44.5]);
+    }
+
+    #[test]
+    fn evicted_fine_data_is_served_by_coarser_archives() {
+        // 10 hours of data: the 1-minute archive keeps only 2 hours, but the
+        // 5-minute archive still serves the old range.
+        let db = TieredDatabase::vmkusage_layout();
+        ramp(&db, 600);
+        assert!(db.query(VM, M, 0, 60, 1).is_err());
+        let old = db.query(VM, M, 0, 60, 5).unwrap();
+        assert_eq!(old.len(), 12);
+        assert_eq!(old[0], 2.0);
+        // And recent data is still available at full resolution.
+        let recent = db.query(VM, M, 590, 600, 1).unwrap();
+        assert_eq!(recent[0], 590.0);
+    }
+
+    #[test]
+    fn week_archive_outlives_the_day_archive() {
+        let db = TieredDatabase::vmkusage_layout();
+        ramp(&db, 3 * 1440); // three days
+        // Day-one data: evicted from raw and 5-minute archives, alive at 30.
+        assert!(db.query(VM, M, 0, 60, 5).is_err());
+        let day1 = db.query(VM, M, 0, 60, 30).unwrap();
+        assert_eq!(day1.len(), 2);
+        assert_eq!(day1[0], 14.5);
+        // Full three days at 30 minutes.
+        let all = db.query(VM, M, 0, 3 * 1440, 30).unwrap();
+        assert_eq!(all.len(), 144);
+    }
+
+    #[test]
+    fn tier_ranges_track_retention() {
+        let db = TieredDatabase::vmkusage_layout();
+        ramp(&db, 300);
+        let (f0, l0) = db.tier_range(VM, M, 0).unwrap();
+        assert_eq!((f0, l0), (180, 299)); // 120 retained raw rows
+        let (f1, l1) = db.tier_range(VM, M, 1).unwrap();
+        assert_eq!((f1, l1), (0, 59)); // 300/5 = 60 rows, all retained
+        assert_eq!(db.tier_range(VM, M, 9), None);
+    }
+
+    #[test]
+    fn query_validation_and_unknown_streams() {
+        let db = TieredDatabase::vmkusage_layout();
+        ramp(&db, 60);
+        assert!(matches!(
+            db.query(VmId(9), M, 0, 10, 5),
+            Err(VmSimError::UnknownStream(_))
+        ));
+        assert!(db.query(VM, M, 0, 10, 0).is_err());
+        assert!(db.query(VM, M, 10, 10, 5).is_err());
+        assert!(db.query(VM, M, 3, 13, 5).is_err()); // misaligned start
+        assert!(db.query(VM, M, 0, 7, 5).is_err()); // misaligned span
+        // Interval 7 is servable from the raw archive while retained...
+        assert_eq!(db.query(VM, M, 0, 14, 7).unwrap().len(), 2);
+        // ...but once the raw rows are evicted, no coarser archive divides 7.
+        let old = TieredDatabase::vmkusage_layout();
+        for minute in 0..600 {
+            old.record(VM, M, minute, minute as f64);
+        }
+        assert!(old.query(VM, M, 0, 14, 7).is_err());
+    }
+
+    #[test]
+    fn partial_bucket_is_not_visible_until_complete() {
+        let db = TieredDatabase::vmkusage_layout();
+        ramp(&db, 7); // 7 minutes: one full 5-minute bucket, 2 minutes pending
+        let out = db.query(VM, M, 0, 5, 5).unwrap();
+        assert_eq!(out, vec![2.0]);
+        assert!(db.query(VM, M, 0, 10, 5).is_err());
+    }
+}

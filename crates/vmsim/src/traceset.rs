@@ -1,0 +1,159 @@
+//! The paper's full trace corpus, reproduced in one call.
+//!
+//! [`paper_traces`] runs the whole pipeline — profile construction → monitor
+//! agent sampling every minute → RRD consolidation → profiler extraction —
+//! for all five VMs and returns the 60 `(key, series)` pairs the paper
+//! evaluates: VM1 over 7 days at 30-minute intervals (336 points), VM2–VM5
+//! over 24 hours at 5-minute intervals (288 points each).
+
+use std::sync::Arc;
+
+use timeseries::Series;
+
+use crate::metric::MetricKind;
+use crate::monitor::MonitorAgent;
+use crate::profiler::Profiler;
+use crate::profiles::VmProfile;
+use crate::rrd::RoundRobinDatabase;
+
+/// Identifies one trace of the corpus.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Which VM the trace belongs to.
+    pub profile: VmProfile,
+    /// Which metric.
+    pub metric: MetricKind,
+}
+
+impl TraceKey {
+    /// Human-readable identifier, e.g. `"VM2/NIC1_received"`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.profile.vm_id(), self.metric)
+    }
+}
+
+impl std::fmt::Display for TraceKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Generates the paper's 60-trace corpus deterministically from `seed`.
+///
+/// Traces appear in (VM, metric) order: VM1's twelve metrics first, then
+/// VM2's, and so on — matching the row order of the paper's tables.
+pub fn paper_traces(seed: u64) -> Vec<(TraceKey, Series)> {
+    let mut out = Vec::with_capacity(60);
+    for profile in VmProfile::ALL {
+        // One monitor/RRD per VM keeps retention small and sampling exact.
+        let horizon = profile.horizon_minutes();
+        let rrd = Arc::new(RoundRobinDatabase::new(horizon as usize + 1));
+        let mut agent = MonitorAgent::new(vec![profile.build(seed)], rrd.clone());
+        agent.run(horizon);
+        let profiler = Profiler::new(rrd);
+        let interval_minutes = profile.profile_interval_secs() / 60;
+        for metric in MetricKind::ALL {
+            let series = profiler
+                .extract(profile.vm_id(), metric, 0, horizon, interval_minutes)
+                .expect("monitor populated the full horizon");
+            out.push((TraceKey { profile, metric }, series));
+        }
+    }
+    out
+}
+
+/// Generates only one VM's twelve traces (cheaper for focused experiments).
+pub fn vm_traces(profile: VmProfile, seed: u64) -> Vec<(TraceKey, Series)> {
+    let horizon = profile.horizon_minutes();
+    let rrd = Arc::new(RoundRobinDatabase::new(horizon as usize + 1));
+    let mut agent = MonitorAgent::new(vec![profile.build(seed)], rrd.clone());
+    agent.run(horizon);
+    let profiler = Profiler::new(rrd);
+    let interval_minutes = profile.profile_interval_secs() / 60;
+    MetricKind::ALL
+        .into_iter()
+        .map(|metric| {
+            let series = profiler
+                .extract(profile.vm_id(), metric, 0, horizon, interval_minutes)
+                .expect("monitor populated the full horizon");
+            (TraceKey { profile, metric }, series)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_sixty_traces_with_paper_geometry() {
+        let traces = paper_traces(1);
+        assert_eq!(traces.len(), 60);
+        for (key, series) in &traces {
+            match key.profile {
+                VmProfile::Vm1 => {
+                    assert_eq!(series.len(), 336, "{key}"); // 7d / 30min
+                    assert_eq!(series.interval_secs(), 1800);
+                }
+                _ => {
+                    assert_eq!(series.len(), 288, "{key}"); // 24h / 5min
+                    assert_eq!(series.interval_secs(), 300);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_order_matches_table_rows() {
+        let traces = paper_traces(1);
+        assert_eq!(traces[0].0.label(), "VM1/CPU_usedsec");
+        assert_eq!(traces[11].0.label(), "VM1/VD2_write");
+        assert_eq!(traces[12].0.label(), "VM2/CPU_usedsec");
+        assert_eq!(traces[59].0.label(), "VM5/VD2_write");
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = paper_traces(42);
+        let b = paper_traces(42);
+        for ((ka, sa), (kb, sb)) in a.iter().zip(&b) {
+            assert_eq!(ka, kb);
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = paper_traces(1);
+        let b = paper_traces(2);
+        let any_diff = a.iter().zip(&b).any(|((_, sa), (_, sb))| sa != sb);
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn vm_traces_matches_corpus_slice() {
+        let corpus = paper_traces(7);
+        let vm2 = vm_traces(VmProfile::Vm2, 7);
+        assert_eq!(vm2.len(), 12);
+        for (i, (key, series)) in vm2.iter().enumerate() {
+            assert_eq!(key, &corpus[12 + i].0);
+            assert_eq!(series, &corpus[12 + i].1);
+        }
+    }
+
+    #[test]
+    fn dead_streams_are_flat_and_live_streams_vary() {
+        let traces = paper_traces(3);
+        let find = |label: &str| {
+            traces
+                .iter()
+                .find(|(k, _)| k.label() == label)
+                .map(|(_, s)| s.clone())
+                .unwrap()
+        };
+        let dead = find("VM3/NIC2_received");
+        assert!(timeseries::stats::variance(dead.values()) < 1e-12);
+        let live = find("VM2/NIC1_received");
+        assert!(timeseries::stats::variance(live.values()) > 1.0);
+    }
+}

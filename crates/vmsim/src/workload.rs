@@ -1,0 +1,263 @@
+//! The VM1 grid-job workload model.
+//!
+//! §7 of the paper: during VM1's 7-day trace "total 310 jobs were executed
+//! varying with a mix of 93.55% short running jobs (1–2 seconds), 3.87% medium
+//! running jobs (2–10 minutes), and 2.58% long running jobs (45–50 minutes)".
+//! [`JobSchedule::paper_mix`] reproduces exactly that mix; [`JobLoadSignal`]
+//! converts the schedule into per-minute CPU/disk/network load contributions.
+
+use simrng::{Rng64, Xoshiro256pp};
+
+use crate::signal::Signal;
+
+/// A scheduled batch job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Arrival minute.
+    pub start_minute: f64,
+    /// Run length in minutes (fractional for sub-minute jobs).
+    pub duration_minutes: f64,
+    /// CPU demand while running (arbitrary load units).
+    pub cpu_load: f64,
+    /// Disk throughput while running.
+    pub disk_load: f64,
+    /// Network throughput while running.
+    pub net_load: f64,
+}
+
+/// Job size classes from the paper's mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobClass {
+    /// 1–2 second jobs (93.55% of the mix).
+    Short,
+    /// 2–10 minute jobs (3.87%).
+    Medium,
+    /// 45–50 minute jobs (2.58%).
+    Long,
+}
+
+/// A full schedule of jobs over the simulated horizon.
+#[derive(Debug, Clone)]
+pub struct JobSchedule {
+    jobs: Vec<Job>,
+    horizon_minutes: u64,
+}
+
+impl JobSchedule {
+    /// Builds the paper's VM1 job mix: `total` jobs over `horizon_minutes`,
+    /// with arrivals uniform over the horizon and exactly the paper's class
+    /// proportions (rounded to whole jobs: 290 short / 12 medium / 8 long for
+    /// `total = 310`).
+    pub fn paper_mix(total: usize, horizon_minutes: u64, seed: u64) -> Self {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        // Paper proportions.
+        let n_medium = (total as f64 * 0.0387).round() as usize;
+        let n_long = (total as f64 * 0.0258).round() as usize;
+        let n_short = total - n_medium - n_long;
+
+        let mut classes = Vec::with_capacity(total);
+        classes.extend(std::iter::repeat_n(JobClass::Short, n_short));
+        classes.extend(std::iter::repeat_n(JobClass::Medium, n_medium));
+        classes.extend(std::iter::repeat_n(JobClass::Long, n_long));
+        rng.shuffle(&mut classes);
+
+        let mut jobs: Vec<Job> = classes
+            .into_iter()
+            .map(|class| {
+                let start_minute = rng.uniform(0.0, horizon_minutes as f64);
+                let (duration_minutes, cpu, disk, net) = match class {
+                    // 1-2 s expressed in minutes.
+                    JobClass::Short => {
+                        (rng.uniform(1.0 / 60.0, 2.0 / 60.0), rng.uniform(0.5, 1.0), 0.2, 0.1)
+                    }
+                    JobClass::Medium => {
+                        (rng.uniform(2.0, 10.0), rng.uniform(0.4, 0.9), 1.0, 0.5)
+                    }
+                    JobClass::Long => {
+                        (rng.uniform(45.0, 50.0), rng.uniform(0.6, 1.0), 2.0, 1.0)
+                    }
+                };
+                Job {
+                    start_minute,
+                    duration_minutes,
+                    cpu_load: cpu,
+                    disk_load: disk,
+                    net_load: net,
+                }
+            })
+            .collect();
+        jobs.sort_by(|a, b| a.start_minute.partial_cmp(&b.start_minute).expect("finite starts"));
+        Self { jobs, horizon_minutes }
+    }
+
+    /// The scheduled jobs, sorted by arrival.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// The schedule horizon.
+    pub fn horizon_minutes(&self) -> u64 {
+        self.horizon_minutes
+    }
+
+    /// Aggregate load of all jobs overlapping minute `[minute, minute + 1)`,
+    /// weighted by the overlap fraction: `(cpu, disk, net)`.
+    pub fn load_at(&self, minute: u64) -> (f64, f64, f64) {
+        let lo = minute as f64;
+        let hi = lo + 1.0;
+        let mut cpu = 0.0;
+        let mut disk = 0.0;
+        let mut net = 0.0;
+        for job in &self.jobs {
+            if job.start_minute >= hi {
+                break; // sorted by start: nothing later overlaps
+            }
+            let end = job.start_minute + job.duration_minutes;
+            if end <= lo {
+                continue;
+            }
+            let overlap = (end.min(hi) - job.start_minute.max(lo)).max(0.0);
+            cpu += job.cpu_load * overlap;
+            disk += job.disk_load * overlap;
+            net += job.net_load * overlap;
+        }
+        (cpu, disk, net)
+    }
+}
+
+/// Which load dimension of a schedule a signal exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadDimension {
+    /// CPU load units.
+    Cpu,
+    /// Disk throughput units.
+    Disk,
+    /// Network throughput units.
+    Net,
+}
+
+/// Adapts one dimension of a shared [`JobSchedule`] into a [`Signal`].
+pub struct JobLoadSignal {
+    schedule: std::sync::Arc<JobSchedule>,
+    dimension: LoadDimension,
+}
+
+impl JobLoadSignal {
+    /// Creates a signal view over the schedule.
+    pub fn new(schedule: std::sync::Arc<JobSchedule>, dimension: LoadDimension) -> Self {
+        Self { schedule, dimension }
+    }
+}
+
+impl Signal for JobLoadSignal {
+    fn sample(&mut self, minute: u64) -> f64 {
+        let (cpu, disk, net) = self.schedule.load_at(minute);
+        match self.dimension {
+            LoadDimension::Cpu => cpu,
+            LoadDimension::Disk => disk,
+            LoadDimension::Net => net,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WEEK: u64 = 7 * 24 * 60;
+
+    #[test]
+    fn paper_mix_has_310_jobs_with_correct_proportions() {
+        let s = JobSchedule::paper_mix(310, WEEK, 1);
+        assert_eq!(s.jobs().len(), 310);
+        let medium = s
+            .jobs()
+            .iter()
+            .filter(|j| (2.0..=10.0).contains(&j.duration_minutes))
+            .count();
+        let long = s
+            .jobs()
+            .iter()
+            .filter(|j| (45.0..=50.0).contains(&j.duration_minutes))
+            .count();
+        let short = s
+            .jobs()
+            .iter()
+            .filter(|j| j.duration_minutes < 0.05)
+            .count();
+        assert_eq!(medium, 12); // round(310 * 0.0387)
+        assert_eq!(long, 8); // round(310 * 0.0258)
+        assert_eq!(short, 290);
+    }
+
+    #[test]
+    fn jobs_are_sorted_and_inside_horizon() {
+        let s = JobSchedule::paper_mix(310, WEEK, 2);
+        for w in s.jobs().windows(2) {
+            assert!(w[0].start_minute <= w[1].start_minute);
+        }
+        assert!(s.jobs().iter().all(|j| (0.0..WEEK as f64).contains(&j.start_minute)));
+    }
+
+    #[test]
+    fn load_at_accounts_for_overlap_fraction() {
+        // One 30-second job starting exactly at minute 10.0 contributes half
+        // its CPU load to minute 10 and nothing elsewhere.
+        let schedule = JobSchedule {
+            jobs: vec![Job {
+                start_minute: 10.0,
+                duration_minutes: 0.5,
+                cpu_load: 1.0,
+                disk_load: 2.0,
+                net_load: 4.0,
+            }],
+            horizon_minutes: 100,
+        };
+        let (cpu, disk, net) = schedule.load_at(10);
+        assert!((cpu - 0.5).abs() < 1e-12);
+        assert!((disk - 1.0).abs() < 1e-12);
+        assert!((net - 2.0).abs() < 1e-12);
+        assert_eq!(schedule.load_at(9), (0.0, 0.0, 0.0));
+        assert_eq!(schedule.load_at(11), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn long_job_spans_many_minutes() {
+        let schedule = JobSchedule {
+            jobs: vec![Job {
+                start_minute: 5.0,
+                duration_minutes: 45.0,
+                cpu_load: 0.8,
+                disk_load: 0.0,
+                net_load: 0.0,
+            }],
+            horizon_minutes: 100,
+        };
+        for minute in 5..50 {
+            let (cpu, _, _) = schedule.load_at(minute);
+            assert!((cpu - 0.8).abs() < 1e-12, "minute {minute}");
+        }
+        assert_eq!(schedule.load_at(51).0, 0.0);
+    }
+
+    #[test]
+    fn signal_views_share_one_schedule() {
+        let schedule = std::sync::Arc::new(JobSchedule::paper_mix(310, WEEK, 3));
+        let mut cpu = JobLoadSignal::new(schedule.clone(), LoadDimension::Cpu);
+        let mut disk = JobLoadSignal::new(schedule.clone(), LoadDimension::Disk);
+        // Long jobs make some minutes busy on both dimensions simultaneously.
+        let busy: Vec<u64> = (0..WEEK)
+            .filter(|&m| cpu.sample(m) > 0.0 && disk.sample(m) > 0.0)
+            .collect();
+        assert!(!busy.is_empty());
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let a = JobSchedule::paper_mix(310, WEEK, 9);
+        let b = JobSchedule::paper_mix(310, WEEK, 9);
+        assert_eq!(a.jobs(), b.jobs());
+        let c = JobSchedule::paper_mix(310, WEEK, 10);
+        assert_ne!(a.jobs(), c.jobs());
+    }
+}

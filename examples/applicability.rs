@@ -1,0 +1,57 @@
+//! Applicability triage: run the paper's future-work "quantitative method to
+//! assess the LARPredictor's applicability" over the whole trace corpus and
+//! see which traces warrant adaptive selection.
+//!
+//! Run with: `cargo run --release --example applicability`
+
+use larpredictor::larp::{assess, LarpConfig, Recommendation};
+use larpredictor::vmsim;
+
+fn main() {
+    let corpus = vmsim::traceset::paper_traces(2007);
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9}  verdict",
+        "trace", "headroom", "entropy", "info", "switch"
+    );
+    let mut strong = 0;
+    let mut marginal = 0;
+    let mut single = 0;
+    for (key, series) in &corpus {
+        if timeseries::stats::variance(series.values()) < 1e-9 {
+            continue; // dead device
+        }
+        let config = LarpConfig::paper(key.profile.prediction_window());
+        // Assess on the first half only — the data a deployment would have.
+        let half = &series.values()[..series.len() / 2];
+        let a = match assess(half, &config) {
+            Ok(a) => a,
+            Err(e) => {
+                println!("{:<22} assessment failed: {e}", key.label());
+                continue;
+            }
+        };
+        let verdict = match a.recommendation {
+            Recommendation::StrongFit => {
+                strong += 1;
+                "STRONG"
+            }
+            Recommendation::MarginalFit => {
+                marginal += 1;
+                "marginal"
+            }
+            Recommendation::UseSingleBest => {
+                single += 1;
+                "single-best"
+            }
+        };
+        println!(
+            "{:<22} {:>8.1}% {:>9.2} {:>8.1}% {:>8.1}%  {verdict}",
+            key.label(),
+            a.oracle_headroom * 100.0,
+            a.label_entropy,
+            a.window_information * 100.0,
+            a.switch_rate * 100.0,
+        );
+    }
+    println!("\nstrong fit: {strong}, marginal: {marginal}, use single best: {single}");
+}

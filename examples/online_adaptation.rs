@@ -1,0 +1,56 @@
+//! Online adaptation: QA-triggered retraining on a workload that changes
+//! character mid-stream.
+//!
+//! The first half of the stream is the calendar VM's near-idle CPU; then the
+//! VM is repurposed as a busy web server. The embedded Quality Assuror
+//! detects the accuracy collapse and retrains the LARPredictor on recent
+//! data — the paper's §3.2 feedback loop.
+//!
+//! Run with: `cargo run --release --example online_adaptation`
+
+use larpredictor::larp::{LarpConfig, OnlineLarp, QualityAssuror};
+use larpredictor::vmsim::{self, MetricKind, VmProfile};
+
+fn main() {
+    // Build the two regimes from real profile signals.
+    let idle = vmsim::traceset::vm_traces(VmProfile::Vm3, 9);
+    let busy = vmsim::traceset::vm_traces(VmProfile::Vm4, 9);
+    let pick = |set: &[(vmsim::TraceKey, timeseries::Series)]| {
+        set.iter()
+            .find(|(k, _)| k.metric == MetricKind::CpuUsedSec)
+            .map(|(_, s)| s.values().to_vec())
+            .unwrap()
+    };
+    let mut stream = pick(&idle);
+    stream.extend(pick(&busy));
+
+    let qa = QualityAssuror::new(40.0, 12, 6).expect("valid QA parameters");
+    let mut online = OnlineLarp::new(LarpConfig::paper(5), 96, qa).expect("valid config");
+
+    let mut errors_before = Vec::new();
+    let mut errors_after = Vec::new();
+    let mut pending: Option<f64> = None;
+    let regime_switch = pick(&idle).len();
+
+    for (t, &value) in stream.iter().enumerate() {
+        if let Some(f) = pending.take() {
+            let err = (f - value).powi(2);
+            if t < regime_switch {
+                errors_before.push(err);
+            } else {
+                errors_after.push(err);
+            }
+        }
+        let step = online.push(value);
+        pending = step.forecast;
+        if step.retrained {
+            println!("t={t:>4}: retrained (total retrainings: {})", online.retrain_count());
+        }
+    }
+
+    let mse = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("\nsamples: {} (regime switch at {regime_switch})", stream.len());
+    println!("MSE during idle regime:  {:.3}", mse(&errors_before));
+    println!("MSE after repurposing:   {:.3}", mse(&errors_after));
+    println!("retrainings performed:   {}", online.retrain_count());
+}

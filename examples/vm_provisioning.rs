@@ -1,0 +1,77 @@
+//! VM-provisioning scenario: the paper's Figure 1 prototype, end to end.
+//!
+//! Monitor agent → round-robin database → profiler → LARPredictor →
+//! prediction database → Quality Assuror. A resource manager polls the
+//! prediction DB to decide whether VM4 (web + list + wiki) needs more memory
+//! in the next interval.
+//!
+//! Run with: `cargo run --release --example vm_provisioning`
+
+use std::sync::Arc;
+
+use larpredictor::larp::{LarpConfig, TrainedLarp};
+use larpredictor::vmsim::db::PredictionDatabase;
+use larpredictor::vmsim::{MetricKind, MonitorAgent, Profiler, RoundRobinDatabase, VmProfile};
+
+fn main() {
+    let profile = VmProfile::Vm4;
+    let vm = profile.vm_id();
+    let metric = MetricKind::MemSize;
+
+    // --- Figure 1 pipeline ---------------------------------------------
+    // Monitor agent samples the VMM every minute into the RRD.
+    let rrd = Arc::new(RoundRobinDatabase::new(3000));
+    let mut agent = MonitorAgent::new(vec![profile.build(4)], rrd.clone());
+    let warmup_minutes = 12 * 60; // half a day of history before going live
+    agent.run(warmup_minutes);
+
+    // Profiler extracts the training series at 5-minute consolidation.
+    let profiler = Profiler::new(rrd.clone());
+    let train = profiler.extract(vm, metric, 0, warmup_minutes, 5).unwrap();
+    let model = TrainedLarp::train(train.values(), &LarpConfig::paper(5)).unwrap();
+    println!("trained on {} samples of {vm}/{metric}", train.len());
+
+    // Prediction DB stores forecasts keyed [vmID, metric, timestamp].
+    let pdb = PredictionDatabase::new();
+
+    // --- Live loop: predict, observe, audit ------------------------------
+    let mut history: Vec<f64> = train.values().to_vec();
+    let mut scale_ups = 0usize;
+    for step in 0..72 {
+        // Advance reality by one 5-minute interval.
+        agent.run(5);
+        let now_minute = warmup_minutes + (step + 1) * 5;
+        let ts = now_minute * 60;
+
+        // Forecast the interval that just started, store it.
+        let (chosen, forecast) = model.predict_next_raw(&history).unwrap();
+        pdb.store_prediction(vm, metric, ts, forecast, chosen.0);
+
+        // The interval completes; reconcile with the observed consolidation.
+        let observed = profiler
+            .extract(vm, metric, now_minute - 5, now_minute, 5)
+            .unwrap()
+            .values()[0];
+        pdb.record_observation(vm, metric, ts, observed);
+        history.push(observed);
+
+        // Resource-manager policy: forecasted memory above 85% of the 1 GB
+        // allocation triggers a provisioning action.
+        if forecast > 0.85 * 1024.0 {
+            scale_ups += 1;
+        }
+        if step < 8 {
+            println!(
+                "t={:>5}min  model {:<7} forecast {forecast:>8.1} MB  observed {observed:>8.1} MB",
+                now_minute,
+                model.pool().name(chosen)
+            );
+        }
+    }
+
+    // Quality Assuror audits the prediction DB (paper: rolling average MSE).
+    let audit = pdb.audit_mse(vm, metric, 36).expect("reconciled records exist");
+    println!("\nQA audit over last 36 predictions: MSE = {audit:.2} (MB^2)");
+    println!("provisioning actions recommended: {scale_ups}");
+    println!("prediction DB holds {} records", pdb.len());
+}

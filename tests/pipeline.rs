@@ -1,0 +1,211 @@
+//! Cross-crate integration tests: the full paper pipeline, end to end.
+
+use larpredictor::larp::{
+    eval::{forecasting_accuracy, observed_best_scored, run_selector_scored, TraceReport},
+    selector::{NwsCumMse, Static, WindowedCumMse},
+    LarpConfig, TrainedLarp,
+};
+use larpredictor::vmsim::{self, profiles::VmProfile, MetricKind};
+
+/// Helper: VM2's corpus at a fixed seed.
+fn vm2() -> Vec<(vmsim::TraceKey, timeseries::Series)> {
+    vmsim::traceset::vm_traces(VmProfile::Vm2, 1234)
+}
+
+#[test]
+fn full_pipeline_on_monitored_trace() {
+    // Simulator -> monitor -> RRD -> profiler -> LARPredictor -> evaluation.
+    let traces = vm2();
+    let (_, series) = traces
+        .iter()
+        .find(|(k, _)| k.metric == MetricKind::CpuUsedSec)
+        .unwrap();
+    assert_eq!(series.len(), 288);
+
+    let values = series.values();
+    let split = values.len() / 2;
+    let config = LarpConfig::paper(5);
+    let model = TrainedLarp::train(&values[..split], &config).unwrap();
+    let norm = model.zscore().apply_slice(values);
+    let pool = model.pool();
+
+    let oracle = observed_best_scored(pool, 5, &norm, split).unwrap();
+    let lar = run_selector_scored(&mut model.selector(), pool, 5, &norm, split).unwrap();
+
+    // Invariants of the paper's design.
+    assert!(oracle.oracle_mse <= lar.mse + 1e-12, "oracle bounds LAR");
+    for m in &oracle.per_model_mse {
+        assert!(oracle.oracle_mse <= m + 1e-12, "oracle bounds singles");
+    }
+    let acc = forecasting_accuracy(&lar, &oracle).unwrap();
+    assert!((0.0..=1.0).contains(&acc));
+    // The selector must actually adapt on this regime-switching VM.
+    let distinct: std::collections::HashSet<_> = lar.chosen.iter().collect();
+    assert!(!distinct.is_empty());
+}
+
+#[test]
+fn lar_runs_one_model_per_step_nws_runs_all() {
+    let traces = vm2();
+    let (_, series) = traces
+        .iter()
+        .find(|(k, _)| k.metric == MetricKind::Nic1Rx)
+        .unwrap();
+    let values = series.values();
+    let split = values.len() / 2;
+    let config = LarpConfig::paper(5);
+    let model = TrainedLarp::train(&values[..split], &config).unwrap();
+    let norm = model.zscore().apply_slice(values);
+    let pool = model.pool();
+
+    let lar = run_selector_scored(&mut model.selector(), pool, 5, &norm, split).unwrap();
+    let mut nws_sel = NwsCumMse::new(pool);
+    let nws = run_selector_scored(&mut nws_sel, pool, 5, &norm, split).unwrap();
+    // The central cost claim of the paper: LAR executes one model per scored
+    // step; NWS executes the whole pool every step of the entire history.
+    let scored = lar.chosen.len();
+    assert_eq!(lar.model_executions, scored);
+    assert!(nws.model_executions > scored * pool.len());
+}
+
+#[test]
+fn static_selectors_reproduce_per_model_columns() {
+    let traces = vm2();
+    let (_, series) = traces
+        .iter()
+        .find(|(k, _)| k.metric == MetricKind::Vd1Read)
+        .unwrap();
+    let values = series.values();
+    let split = values.len() / 2;
+    let config = LarpConfig::paper(5);
+    let model = TrainedLarp::train(&values[..split], &config).unwrap();
+    let norm = model.zscore().apply_slice(values);
+    let pool = model.pool();
+    let oracle = observed_best_scored(pool, 5, &norm, split).unwrap();
+    for id in pool.ids() {
+        let mut s = Static::new(id, pool.name(id));
+        let run = run_selector_scored(&mut s, pool, 5, &norm, split).unwrap();
+        assert!(
+            (run.mse - oracle.per_model_mse[id.0]).abs() < 1e-12,
+            "{}",
+            pool.name(id)
+        );
+    }
+}
+
+#[test]
+fn windowed_selector_is_distinct_from_cumulative() {
+    let traces = vm2();
+    let (_, series) = traces
+        .iter()
+        .find(|(k, _)| k.metric == MetricKind::CpuReady)
+        .unwrap();
+    let values = series.values();
+    let split = values.len() / 2;
+    let config = LarpConfig::paper(5);
+    let model = TrainedLarp::train(&values[..split], &config).unwrap();
+    let norm = model.zscore().apply_slice(values);
+    let pool = model.pool();
+    let mut nws = NwsCumMse::new(pool);
+    let nws_run = run_selector_scored(&mut nws, pool, 5, &norm, split).unwrap();
+    let mut wnws = WindowedCumMse::new(pool, 2).unwrap();
+    let wnws_run = run_selector_scored(&mut wnws, pool, 5, &norm, split).unwrap();
+    // Window-2 error tracking flips far more often than all-history tracking.
+    let switches = |v: &[predictors::PredictorId]| v.windows(2).filter(|w| w[0] != w[1]).count();
+    assert!(switches(&wnws_run.chosen) >= switches(&nws_run.chosen));
+}
+
+#[test]
+fn trace_report_protocol_is_reproducible_and_ordered() {
+    let traces = vm2();
+    let (key, series) = traces
+        .iter()
+        .find(|(k, _)| k.metric == MetricKind::CpuReady)
+        .unwrap();
+    let config = LarpConfig::paper(5);
+    let a = TraceReport::evaluate(key.label(), series.values(), &config, 5, 99).unwrap();
+    let b = TraceReport::evaluate(key.label(), series.values(), &config, 5, 99).unwrap();
+    assert_eq!(a, b);
+    assert!(a.mse_plar <= a.mse_lar + 1e-12);
+    assert!(a.mse_plar <= a.best_single_mse() + 1e-12);
+    assert_eq!(a.model_names, vec!["LAST", "AR", "SW_AVG"]);
+}
+
+#[test]
+fn corpus_covers_all_vms_and_dead_streams_are_degenerate() {
+    let corpus = vmsim::traceset::paper_traces(5);
+    assert_eq!(corpus.len(), 60);
+    let dead: Vec<String> = corpus
+        .iter()
+        .filter(|(_, s)| timeseries::stats::variance(s.values()) < 1e-9)
+        .map(|(k, _)| k.label())
+        .collect();
+    // The paper's NaN rows: VM3 NIC2 + VD1 (4 streams), VM5 NIC1 + VD2_read.
+    for expected in [
+        "VM3/NIC2_received",
+        "VM3/NIC2_transmitted",
+        "VM3/VD1_read",
+        "VM3/VD1_write",
+        "VM5/NIC1_received",
+        "VM5/NIC1_transmitted",
+        "VM5/VD2_read",
+    ] {
+        assert!(dead.contains(&expected.to_string()), "{expected} should be dead: {dead:?}");
+    }
+    assert_eq!(dead.len(), 7, "{dead:?}");
+}
+
+#[test]
+fn extended_pool_lowers_the_oracle_bound() {
+    // More experts => a strictly better perfect-selection bound (the premise
+    // of the paper's future-work section).
+    let traces = vm2();
+    let (_, series) = traces
+        .iter()
+        .find(|(k, _)| k.metric == MetricKind::Nic1Tx)
+        .unwrap();
+    let values = series.values();
+    let split = values.len() / 2;
+
+    let std_cfg = LarpConfig::paper(5);
+    let ext_cfg = LarpConfig::extended(5);
+    let std_model = TrainedLarp::train(&values[..split], &std_cfg).unwrap();
+    let ext_model = TrainedLarp::train(&values[..split], &ext_cfg).unwrap();
+    let std_norm = std_model.zscore().apply_slice(values);
+    let ext_norm = ext_model.zscore().apply_slice(values);
+    let std_oracle = observed_best_scored(std_model.pool(), 5, &std_norm, split).unwrap();
+    let ext_oracle = observed_best_scored(ext_model.pool(), 5, &ext_norm, split).unwrap();
+    assert!(
+        ext_oracle.oracle_mse <= std_oracle.oracle_mse + 1e-9,
+        "extended {} vs standard {}",
+        ext_oracle.oracle_mse,
+        std_oracle.oracle_mse
+    );
+}
+
+#[test]
+fn online_larp_survives_a_workload_handover() {
+    // Stream VM3's idle CPU, then VM4's busy CPU through the online wrapper.
+    let idle = vmsim::traceset::vm_traces(VmProfile::Vm3, 3);
+    let busy = vmsim::traceset::vm_traces(VmProfile::Vm4, 3);
+    let pick = |set: &[(vmsim::TraceKey, timeseries::Series)]| {
+        set.iter()
+            .find(|(k, _)| k.metric == MetricKind::CpuUsedSec)
+            .map(|(_, s)| s.values().to_vec())
+            .unwrap()
+    };
+    let mut stream = pick(&idle);
+    stream.extend(pick(&busy));
+
+    let qa = larpredictor::larp::QualityAssuror::new(2.0, 12, 6).unwrap();
+    let mut online = larpredictor::larp::OnlineLarp::new(LarpConfig::paper(5), 96, qa).unwrap();
+    let mut forecasts = 0;
+    for v in &stream {
+        if online.push(*v).forecast.is_some() {
+            forecasts += 1;
+        }
+    }
+    assert!(online.is_trained());
+    assert!(forecasts > stream.len() / 2);
+    assert!(online.retrain_count() >= 1);
+}
