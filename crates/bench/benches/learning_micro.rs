@@ -1,9 +1,9 @@
 //! PERF — microbenchmarks of the learning substrate (paper §7.3): PCA cost,
 //! k-NN query cost (brute force O(N) vs kd-tree), and training indexing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use larp_bench::microbench::BenchGroup;
 use learn::{KnnBackend, KnnClassifier, Pca};
 use linalg::Matrix;
 use simrng::{Rng64, Xoshiro256pp};
@@ -14,69 +14,50 @@ fn window_matrix(rows: usize, dim: usize, seed: u64) -> Matrix {
     Matrix::from_vec(rows, dim, data).unwrap()
 }
 
-fn bench_pca(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pca");
+fn bench_pca() {
+    let g = BenchGroup::new("pca");
     for dim in [5usize, 16] {
         let data = window_matrix(512, dim, 1);
-        g.bench_with_input(BenchmarkId::new("fit", dim), &data, |b, data| {
-            b.iter(|| black_box(Pca::fit(black_box(data), 2).unwrap()))
-        });
+        g.bench(&format!("fit_{dim}"), || Pca::fit(black_box(&data), 2).unwrap());
         let pca = Pca::fit(&data, 2).unwrap();
         let query: Vec<f64> = (0..dim).map(|i| i as f64 * 0.1).collect();
-        g.bench_with_input(BenchmarkId::new("transform", dim), &query, |b, q| {
-            b.iter(|| black_box(pca.transform(black_box(q)).unwrap()))
-        });
+        g.bench(&format!("transform_{dim}"), || pca.transform(black_box(&query)).unwrap());
     }
-    g.finish();
 }
 
-fn bench_knn_backends(c: &mut Criterion) {
-    let mut g = c.benchmark_group("knn_query");
+fn bench_knn_backends() {
+    let g = BenchGroup::new("knn_query");
     let mut rng = Xoshiro256pp::seed_from_u64(2);
     for n in [256usize, 1024, 4096, 16384] {
-        let points: Vec<Vec<f64>> = (0..n)
-            .map(|_| vec![rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)])
-            .collect();
+        let points: Vec<Vec<f64>> =
+            (0..n).map(|_| vec![rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)]).collect();
         let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
         let query = vec![0.3, -0.7];
         let brute =
             KnnClassifier::fit(points.clone(), labels.clone(), 3, KnnBackend::BruteForce).unwrap();
-        g.bench_with_input(BenchmarkId::new("brute", n), &query, |b, q| {
-            b.iter(|| black_box(brute.classify(black_box(q)).unwrap()))
-        });
+        g.bench(&format!("brute_{n}"), || brute.classify(black_box(&query)).unwrap());
         let tree = KnnClassifier::fit(points, labels, 3, KnnBackend::KdTree).unwrap();
-        g.bench_with_input(BenchmarkId::new("kdtree", n), &query, |b, q| {
-            b.iter(|| black_box(tree.classify(black_box(q)).unwrap()))
-        });
+        g.bench(&format!("kdtree_{n}"), || tree.classify(black_box(&query)).unwrap());
     }
-    g.finish();
 }
 
-fn bench_knn_index_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("knn_index");
+fn bench_knn_index_build() {
+    let g = BenchGroup::new("knn_index");
     let mut rng = Xoshiro256pp::seed_from_u64(3);
     let n = 4096;
-    let points: Vec<Vec<f64>> = (0..n)
-        .map(|_| vec![rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)])
-        .collect();
+    let points: Vec<Vec<f64>> =
+        (0..n).map(|_| vec![rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)]).collect();
     let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
-    g.bench_function("brute_fit_4096", |b| {
-        b.iter(|| {
-            black_box(
-                KnnClassifier::fit(points.clone(), labels.clone(), 3, KnnBackend::BruteForce)
-                    .unwrap(),
-            )
-        })
+    g.bench("brute_fit_4096", || {
+        KnnClassifier::fit(points.clone(), labels.clone(), 3, KnnBackend::BruteForce).unwrap()
     });
-    g.bench_function("kdtree_fit_4096", |b| {
-        b.iter(|| {
-            black_box(
-                KnnClassifier::fit(points.clone(), labels.clone(), 3, KnnBackend::KdTree).unwrap(),
-            )
-        })
+    g.bench("kdtree_fit_4096", || {
+        KnnClassifier::fit(points.clone(), labels.clone(), 3, KnnBackend::KdTree).unwrap()
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_pca, bench_knn_backends, bench_knn_index_build);
-criterion_main!(benches);
+fn main() {
+    bench_pca();
+    bench_knn_backends();
+    bench_knn_index_build();
+}

@@ -2,12 +2,12 @@
 //! labelling), the per-step selection cost of LAR vs the NWS baselines, and
 //! full trace evaluation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use larp::eval::run_selector_normalized;
 use larp::selector::{NwsCumMse, Selector};
 use larp::{LarpConfig, TrainedLarp};
+use larp_bench::microbench::BenchGroup;
 use vmsim::metric::MetricKind;
 use vmsim::profiles::VmProfile;
 
@@ -19,65 +19,54 @@ fn vm2_cpu() -> Vec<f64> {
         .unwrap()
 }
 
-fn bench_training(c: &mut Criterion) {
+fn bench_training() {
     let trace = vm2_cpu();
     let (train, _) = trace.split_at(trace.len() / 2);
     let config = LarpConfig::paper(5);
-    let mut g = c.benchmark_group("training");
+    let g = BenchGroup::new("training");
     for threads in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
-            b.iter(|| black_box(TrainedLarp::train_with_threads(train, &config, t).unwrap()))
+        g.bench(&format!("threads_{threads}"), || {
+            TrainedLarp::train_with_threads(black_box(train), &config, threads).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_selection_step(c: &mut Criterion) {
+fn bench_selection_step() {
     let trace = vm2_cpu();
     let (train, test) = trace.split_at(trace.len() / 2);
     let config = LarpConfig::paper(5);
     let model = TrainedLarp::train(train, &config).unwrap();
     let norm = model.zscore().apply_slice(test);
-    let mut g = c.benchmark_group("selection_step");
-    g.bench_function("knn_select", |b| {
-        b.iter(|| black_box(model.select(black_box(&norm[..60])).unwrap()))
-    });
-    g.bench_function("knn_select_and_predict", |b| {
-        b.iter(|| black_box(model.predict_next(black_box(&norm[..60])).unwrap()))
-    });
-    g.bench_function("nws_full_pool_step", |b| {
+    let g = BenchGroup::new("selection_step");
+    g.bench("knn_select", || model.select(black_box(&norm[..60])).unwrap());
+    g.bench("knn_select_and_predict", || model.predict_next(black_box(&norm[..60])).unwrap());
+    g.bench("nws_full_pool_step", || {
         // What NWS pays every step: run every model and update accounting.
         let pool = model.pool();
-        b.iter(|| {
-            let mut sel = NwsCumMse::new(pool);
-            sel.observe(black_box(&norm[..60]), black_box(norm[60]));
-        })
+        let mut sel = NwsCumMse::new(pool);
+        sel.observe(black_box(&norm[..60]), black_box(norm[60]));
     });
-    g.finish();
 }
 
-fn bench_full_runs(c: &mut Criterion) {
+fn bench_full_runs() {
     let trace = vm2_cpu();
     let (train, test) = trace.split_at(trace.len() / 2);
     let config = LarpConfig::paper(5);
     let model = TrainedLarp::train(train, &config).unwrap();
     let norm = model.zscore().apply_slice(test);
-    let mut g = c.benchmark_group("full_run");
-    g.sample_size(20);
-    g.bench_function("lar_over_144_steps", |b| {
-        b.iter(|| {
-            let mut sel = model.selector();
-            black_box(run_selector_normalized(&mut sel, model.pool(), 5, &norm).unwrap())
-        })
+    let g = BenchGroup::new("full_run");
+    g.bench("lar_over_144_steps", || {
+        let mut sel = model.selector();
+        run_selector_normalized(&mut sel, model.pool(), 5, &norm).unwrap()
     });
-    g.bench_function("nws_over_144_steps", |b| {
-        b.iter(|| {
-            let mut sel = NwsCumMse::new(model.pool());
-            black_box(run_selector_normalized(&mut sel, model.pool(), 5, &norm).unwrap())
-        })
+    g.bench("nws_over_144_steps", || {
+        let mut sel = NwsCumMse::new(model.pool());
+        run_selector_normalized(&mut sel, model.pool(), 5, &norm).unwrap()
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_training, bench_selection_step, bench_full_runs);
-criterion_main!(benches);
+fn main() {
+    bench_training();
+    bench_selection_step();
+    bench_full_runs();
+}

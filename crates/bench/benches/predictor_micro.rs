@@ -3,9 +3,9 @@
 //! Measures per-call prediction cost of each model, AR fitting cost as a
 //! function of order, and the full-pool step the NWS baselines pay.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use larp_bench::microbench::BenchGroup;
 use predictors::models::{Ar, Ewma, Last, PolyFit, SlidingMedian, SwAvg, Tendency};
 use predictors::{Predictor, PredictorPool};
 
@@ -13,74 +13,51 @@ fn series(n: usize) -> Vec<f64> {
     (0..n).map(|i| (i as f64 * 0.17).sin() * 2.0 + (i % 13) as f64 * 0.05).collect()
 }
 
-fn bench_single_models(c: &mut Criterion) {
+fn bench_single_models() {
     let data = series(4096);
     let window = &data[4000..4016]; // 16-point window, the paper's largest
-    let mut g = c.benchmark_group("predict_one");
-    g.bench_function("LAST", |b| {
-        let m = Last;
-        b.iter(|| black_box(m.predict(black_box(window))))
-    });
-    g.bench_function("SW_AVG_16", |b| {
-        let m = SwAvg::new(16).unwrap();
-        b.iter(|| black_box(m.predict(black_box(window))))
-    });
-    g.bench_function("EWMA", |b| {
-        let m = Ewma::new(0.5).unwrap();
-        b.iter(|| black_box(m.predict(black_box(window))))
-    });
-    g.bench_function("MEDIAN_16", |b| {
-        let m = SlidingMedian::new(16).unwrap();
-        b.iter(|| black_box(m.predict(black_box(window))))
-    });
-    g.bench_function("TENDENCY", |b| {
-        let m = Tendency::new(4).unwrap();
-        b.iter(|| black_box(m.predict(black_box(window))))
-    });
-    g.bench_function("POLY_8_1", |b| {
-        let m = PolyFit::new(8, 1).unwrap();
-        b.iter(|| black_box(m.predict(black_box(window))))
-    });
-    g.bench_function("AR_16", |b| {
-        let m = Ar::fit(&data, 16).unwrap();
-        b.iter(|| black_box(m.predict(black_box(window))))
-    });
-    g.finish();
+    let g = BenchGroup::new("predict_one");
+    let m = Last;
+    g.bench("LAST", || m.predict(black_box(window)));
+    let m = SwAvg::new(16).unwrap();
+    g.bench("SW_AVG_16", || m.predict(black_box(window)));
+    let m = Ewma::new(0.5).unwrap();
+    g.bench("EWMA", || m.predict(black_box(window)));
+    let m = SlidingMedian::new(16).unwrap();
+    g.bench("MEDIAN_16", || m.predict(black_box(window)));
+    let m = Tendency::new(4).unwrap();
+    g.bench("TENDENCY", || m.predict(black_box(window)));
+    let m = PolyFit::new(8, 1).unwrap();
+    g.bench("POLY_8_1", || m.predict(black_box(window)));
+    let m = Ar::fit(&data, 16).unwrap();
+    g.bench("AR_16", || m.predict(black_box(window)));
 }
 
-fn bench_ar_fit(c: &mut Criterion) {
+fn bench_ar_fit() {
     let data = series(2048);
-    let mut g = c.benchmark_group("ar_fit");
+    let g = BenchGroup::new("ar_fit");
     for order in [2usize, 4, 8, 16, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, &order| {
-            b.iter(|| black_box(Ar::fit(black_box(&data), order).unwrap()))
-        });
+        g.bench(&order.to_string(), || Ar::fit(black_box(&data), order).unwrap());
     }
-    g.finish();
 }
 
-fn bench_pool_step(c: &mut Criterion) {
+fn bench_pool_step() {
     // The cost asymmetry the paper exploits: one model per step (LAR) versus
     // the whole pool per step (NWS).
     let data = series(1024);
     let window = &data[1000..1016];
-    let mut g = c.benchmark_group("pool_step");
-    {
-        let (name, order) = ("standard", 16usize);
-        let pool = PredictorPool::standard(&data, order).unwrap();
-        g.bench_function(format!("{name}_single_model"), |b| {
-            b.iter(|| black_box(pool.predict_one(predictors::PredictorId(1), black_box(window))))
-        });
-        g.bench_function(format!("{name}_full_pool"), |b| {
-            b.iter(|| black_box(pool.predict_all(black_box(window))))
-        });
-    }
-    let extended = PredictorPool::extended(&data, 16).unwrap();
-    g.bench_function("extended_full_pool", |b| {
-        b.iter(|| black_box(extended.predict_all(black_box(window))))
+    let g = BenchGroup::new("pool_step");
+    let pool = PredictorPool::standard(&data, 16).unwrap();
+    g.bench("standard_single_model", || {
+        pool.predict_one(predictors::PredictorId(1), black_box(window))
     });
-    g.finish();
+    g.bench("standard_full_pool", || pool.predict_all(black_box(window)));
+    let extended = PredictorPool::extended(&data, 16).unwrap();
+    g.bench("extended_full_pool", || extended.predict_all(black_box(window)));
 }
 
-criterion_group!(benches, bench_single_models, bench_ar_fit, bench_pool_step);
-criterion_main!(benches);
+fn main() {
+    bench_single_models();
+    bench_ar_fit();
+    bench_pool_step();
+}

@@ -12,10 +12,8 @@ fn main() {
     let (seed, folds) = larp_bench::cli_args();
     let mut traces = vmsim::traceset::vm_traces(VmProfile::Vm2, seed);
     traces.extend(vmsim::traceset::vm_traces(VmProfile::Vm4, seed));
-    let live: Vec<_> = traces
-        .iter()
-        .filter(|(_, s)| !larp_bench::is_degenerate(s.values()))
-        .collect();
+    let live: Vec<_> =
+        traces.iter().filter(|(_, s)| !larp_bench::is_degenerate(s.values())).collect();
 
     println!("=== Ablation: k-NN neighbour count (VM2 + VM4, {} traces) ===", live.len());
     larp_bench::header("k", &["acc", "mse_lar", "vs_plar"]);

@@ -15,10 +15,8 @@ fn main() {
     let (seed, _) = larp_bench::cli_args();
     let mut traces = vmsim::traceset::vm_traces(VmProfile::Vm2, seed);
     traces.extend(vmsim::traceset::vm_traces(VmProfile::Vm4, seed));
-    let live: Vec<_> = traces
-        .iter()
-        .filter(|(_, s)| !larp_bench::is_degenerate(s.values()))
-        .collect();
+    let live: Vec<_> =
+        traces.iter().filter(|(_, s)| !larp_bench::is_degenerate(s.values())).collect();
     let config = larp_bench::paper_config(VmProfile::Vm2);
 
     println!("=== Ablation: W-Cum.MSE error window (VM2 + VM4, {} traces) ===", live.len());

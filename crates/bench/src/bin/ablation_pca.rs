@@ -24,10 +24,8 @@ fn main() {
 
     let mut traces = vmsim::traceset::vm_traces(VmProfile::Vm2, seed);
     traces.extend(vmsim::traceset::vm_traces(VmProfile::Vm4, seed));
-    let live: Vec<_> = traces
-        .iter()
-        .filter(|(_, s)| !larp_bench::is_degenerate(s.values()))
-        .collect();
+    let live: Vec<_> =
+        traces.iter().filter(|(_, s)| !larp_bench::is_degenerate(s.values())).collect();
 
     println!("=== Ablation: feature reduction (VM2 + VM4, {} traces) ===", live.len());
     larp_bench::header("reduction", &["acc", "mse_lar", "vs_plar"]);

@@ -16,10 +16,8 @@ fn main() {
     let (seed, folds) = larp_bench::cli_args();
     let mut traces = vmsim::traceset::vm_traces(VmProfile::Vm2, seed);
     traces.extend(vmsim::traceset::vm_traces(VmProfile::Vm4, seed));
-    let live: Vec<_> = traces
-        .iter()
-        .filter(|(_, s)| !larp_bench::is_degenerate(s.values()))
-        .collect();
+    let live: Vec<_> =
+        traces.iter().filter(|(_, s)| !larp_bench::is_degenerate(s.values())).collect();
 
     let window = 5;
     let arms: Vec<(&str, Vec<ModelSpec>)> = vec![

@@ -3,10 +3,7 @@
 fn main() {
     let (seed, folds) = larp_bench::cli_args();
     let results = larp_bench::evaluate_corpus(seed, folds);
-    larp_bench::header(
-        "trace",
-        &["acc", "P-LAR", "LAR", "NWS", "best1", "who", "L<N", "L<=B"],
-    );
+    larp_bench::header("trace", &["acc", "P-LAR", "LAR", "NWS", "best1", "who", "L<N", "L<=B"]);
     for r in &results {
         let Some(rep) = &r.report else { continue };
         larp_bench::row(

@@ -1,0 +1,95 @@
+//! Diagnostic: serving quality of the guarded online stack under injected
+//! monitor faults, sweeping the combined fault rate.
+//!
+//! For each rate, a VM CPU trace is corrupted by `vmsim`'s deterministic
+//! fault injector (drops, gaps, NaN, sentinels, stuck runs, spikes,
+//! duplicates all at the same per-sample rate) and served through
+//! `Sanitizer` → `OnlineLarp`. Reported per rate:
+//!
+//! * `avail` — fraction of post-warmup steps that produced a forecast;
+//! * `mse` — mean squared error of forecasts against the served stream;
+//! * `sanitized` — repairs performed by the ingestion layer;
+//! * `quar`/`rfail` — quarantines imposed and retrain attempts that failed;
+//! * `deg`/`fall` — steps served degraded / by persistence fallback.
+//!
+//! Run with: `cargo run --release -p larp-bench --bin diag_faults`
+
+use larp::{GuardedLarp, IngestConfig, LarpConfig, QualityAssuror};
+use vmsim::profiles::VmProfile;
+use vmsim::{FaultConfig, FaultInjector, MetricKind};
+
+const TRAIN_SIZE: usize = 96;
+
+fn cpu_trace(seed: u64) -> Vec<f64> {
+    vmsim::traceset::vm_traces(VmProfile::Vm2, seed)
+        .into_iter()
+        .find(|(k, _)| k.metric == MetricKind::CpuUsedSec)
+        .map(|(_, s)| s.values().to_vec())
+        .expect("VM2 exposes a CPU trace")
+}
+
+fn main() {
+    let (seed, _) = larp_bench::cli_args();
+    let clean = cpu_trace(seed);
+    larp_bench::header(
+        "fault_rate",
+        &["avail", "mse", "sanitized", "quar", "rfail", "deg", "fall"],
+    );
+    for rate in [0.0, 0.01, 0.05, 0.10, 0.20] {
+        let mut injector =
+            FaultInjector::new(FaultConfig::uniform(rate), seed).expect("valid fault config");
+        let stream = injector.corrupt_series(&clean, 0);
+
+        let mut g = GuardedLarp::new(
+            IngestConfig::default(),
+            LarpConfig::paper(5),
+            TRAIN_SIZE,
+            QualityAssuror::new(40.0, 12, 6).expect("valid QA parameters"),
+        )
+        .expect("valid stack config");
+
+        let mut steps = 0usize;
+        let mut forecasts = 0usize;
+        let mut pending: Option<f64> = None;
+        let mut sq_sum = 0.0;
+        let mut scored = 0usize;
+        for &(minute, value) in &stream {
+            for step in g.ingest(minute, value) {
+                steps += 1;
+                // Score the previous forecast against what the predictor was
+                // actually asked to predict: the next served sample.
+                // (The served value for this step is not exposed by
+                // OnlineStep, so score lazily one step behind via the raw
+                // reading — close enough for a diagnostic at these rates.)
+                if let Some(f) = pending.take() {
+                    if value.is_finite() {
+                        sq_sum += (f - value).powi(2);
+                        scored += 1;
+                    }
+                }
+                if let Some(f) = step.forecast {
+                    assert!(f.is_finite(), "non-finite forecast escaped the ladder");
+                    forecasts += 1;
+                    pending = Some(f);
+                }
+            }
+        }
+        // Forecasts start at the training step itself, so the first
+        // TRAIN_SIZE - 1 steps are the only ineligible ones.
+        let post_warmup = steps.saturating_sub(TRAIN_SIZE - 1).max(1);
+        let counters = *g.online().counters();
+        let stats = *g.sanitizer().stats();
+        larp_bench::row(
+            &format!("{:.0}%", rate * 100.0),
+            &[
+                format!("{:.1}%", 100.0 * forecasts as f64 / post_warmup as f64),
+                larp_bench::cell(sq_sum / scored.max(1) as f64),
+                format!("{}", stats.faults_sanitized()),
+                format!("{}", counters.quarantines),
+                format!("{}", counters.retrain_failures),
+                format!("{}", counters.degraded_steps),
+                format!("{}", counters.fallback_steps),
+            ],
+        );
+    }
+}

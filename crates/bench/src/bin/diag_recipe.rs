@@ -43,10 +43,7 @@ fn eval(name: &str, signal: Box<dyn Signal>, seed: u64, folds: usize) {
 
 fn main() {
     let (seed, folds) = larp_bench::cli_args();
-    larp_bench::header(
-        "recipe",
-        &["acc", "P-LAR", "LAR", "NWS", "LAST", "AR", "SW", "*", "+"],
-    );
+    larp_bench::header("recipe", &["acc", "P-LAR", "LAR", "NWS", "LAST", "AR", "SW", "*", "+"]);
     // A: pure correlated noise (phi tuned for consolidated lag-1 ~ 0.5).
     for phi in [0.8, 0.85, 0.9, 0.95] {
         eval(
@@ -75,7 +72,8 @@ fn main() {
     }
     for (i, vol) in [0.5f64, 1.0].iter().enumerate() {
         let sig = Sum(vec![
-            Box::new(DriftingAr::new(-0.5, 0.97, 1.0, 0.03, seed + 51 + i as u64)) as Box<dyn Signal>,
+            Box::new(DriftingAr::new(-0.5, 0.97, 1.0, 0.03, seed + 51 + i as u64))
+                as Box<dyn Signal>,
             vmsim_switch(*vol, seed + 60 + i as u64 * 3),
         ]);
         eval(&format!("drift+vol-{vol}"), Box::new(sig), seed, folds);
@@ -104,7 +102,8 @@ fn main() {
     for (i, dwell) in [120.0f64, 240.0].iter().enumerate() {
         let sig = RegimeSwitch::new(
             vec![
-                Box::new(StepLevel::new(0.0, 1.0, 60.0, -2.0, 2.0, seed + 91 + i as u64)) as Box<dyn Signal>,
+                Box::new(StepLevel::new(0.0, 1.0, 60.0, -2.0, 2.0, seed + 91 + i as u64))
+                    as Box<dyn Signal>,
                 Box::new(Sum(vec![
                     Box::new(Constant(3.0)) as Box<dyn Signal>,
                     Box::new(Diurnal { amplitude: 1.9, period_minutes: 10.0, phase_minutes: 0.0 }),
@@ -137,10 +136,20 @@ fn main() {
 fn vmsim_switch(scale: f64, seed: u64) -> Box<dyn Signal> {
     Box::new(RegimeSwitch::new(
         vec![
-            Box::new(RandomWalk::new(0.0, 0.35 * scale / 5f64.sqrt(), -1.5 * scale, 1.5 * scale, seed)) as Box<dyn Signal>,
+            Box::new(RandomWalk::new(
+                0.0,
+                0.35 * scale / 5f64.sqrt(),
+                -1.5 * scale,
+                1.5 * scale,
+                seed,
+            )) as Box<dyn Signal>,
             Box::new(Sum(vec![
                 Box::new(Constant(2.5 * scale)) as Box<dyn Signal>,
-                Box::new(Diurnal { amplitude: 1.9 * scale, period_minutes: 10.0, phase_minutes: 0.0 }),
+                Box::new(Diurnal {
+                    amplitude: 1.9 * scale,
+                    period_minutes: 10.0,
+                    phase_minutes: 0.0,
+                }),
                 Box::new(ArNoise::new(0.0, 0.6 * scale * 5f64.sqrt(), seed + 1)),
             ])),
         ],

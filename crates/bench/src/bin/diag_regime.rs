@@ -59,11 +59,51 @@ fn main() {
     let (seed, folds) = larp_bench::cli_args();
     let config = larp_bench::paper_config(VmProfile::Vm2); // m=5, n=2, k=3
     let arms = [
-        Params { name: "alt-dominant", level: 3.0, alt: 1.4, noise: 0.6, drift: 0.15, range: 1.5, dwell: 30 },
-        Params { name: "white-busy", level: 3.0, alt: 0.0, noise: 1.5, drift: 0.15, range: 1.5, dwell: 30 },
-        Params { name: "drifty-quiet", level: 3.5, alt: 1.2, noise: 0.8, drift: 0.45, range: 2.0, dwell: 30 },
-        Params { name: "balanced", level: 4.0, alt: 1.0, noise: 1.0, drift: 0.5, range: 2.5, dwell: 25 },
-        Params { name: "big-sep", level: 6.0, alt: 1.2, noise: 1.2, drift: 0.6, range: 3.0, dwell: 25 },
+        Params {
+            name: "alt-dominant",
+            level: 3.0,
+            alt: 1.4,
+            noise: 0.6,
+            drift: 0.15,
+            range: 1.5,
+            dwell: 30,
+        },
+        Params {
+            name: "white-busy",
+            level: 3.0,
+            alt: 0.0,
+            noise: 1.5,
+            drift: 0.15,
+            range: 1.5,
+            dwell: 30,
+        },
+        Params {
+            name: "drifty-quiet",
+            level: 3.5,
+            alt: 1.2,
+            noise: 0.8,
+            drift: 0.45,
+            range: 2.0,
+            dwell: 30,
+        },
+        Params {
+            name: "balanced",
+            level: 4.0,
+            alt: 1.0,
+            noise: 1.0,
+            drift: 0.5,
+            range: 2.5,
+            dwell: 25,
+        },
+        Params {
+            name: "big-sep",
+            level: 6.0,
+            alt: 1.2,
+            noise: 1.2,
+            drift: 0.6,
+            range: 3.0,
+            dwell: 25,
+        },
     ];
     larp_bench::header(
         "params",

@@ -59,7 +59,10 @@ fn main() {
     for &(i, d) in &rows {
         by_pick[lar.chosen[i].0] += d;
     }
-    println!("\nexcess by LAR pick: LAST {:.3}, AR {:.3}, SW {:.3}", by_pick[0], by_pick[1], by_pick[2]);
+    println!(
+        "\nexcess by LAR pick: LAST {:.3}, AR {:.3}, SW {:.3}",
+        by_pick[0], by_pick[1], by_pick[2]
+    );
     let acc = larp::eval::forecasting_accuracy(&lar, &oracle).unwrap();
     println!("LAR accuracy: {:.1}%", acc * 100.0);
 }

@@ -21,10 +21,8 @@ fn main() {
 pub fn selection_figure(metric: MetricKind, title: &str) {
     let (seed, _) = larp_bench::cli_args();
     let traces = vmsim::traceset::vm_traces(VmProfile::Vm2, seed);
-    let (_, series) = traces
-        .iter()
-        .find(|(k, _)| k.metric == metric)
-        .expect("corpus covers all metrics");
+    let (_, series) =
+        traces.iter().find(|(k, _)| k.metric == metric).expect("corpus covers all metrics");
 
     // Train on the first 12 hours, plot selection over the second 12 hours.
     let config = larp_bench::paper_config(VmProfile::Vm2);

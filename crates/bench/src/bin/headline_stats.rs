@@ -14,17 +14,24 @@ fn main() {
     let agg = larp_bench::aggregate(&results);
 
     println!("=== Headline statistics (paper §7) ===");
-    println!("traces evaluated: {live} live / {} total (dead devices excluded as NaN)", results.len());
+    println!(
+        "traces evaluated: {live} live / {} total (dead devices excluded as NaN)",
+        results.len()
+    );
     println!();
     println!("{:<52} {:>8} {:>8}", "metric", "paper", "ours");
     println!("{}", "-".repeat(70));
     println!(
         "{:<52} {:>7.2}% {:>7.2}%",
-        "LAR best-predictor forecasting accuracy (mean)", 55.98, agg.mean_acc_lar * 100.0
+        "LAR best-predictor forecasting accuracy (mean)",
+        55.98,
+        agg.mean_acc_lar * 100.0
     );
     println!(
         "{:<52} {:>7.2}% {:>7.2}%",
-        "NWS cum-MSE forecasting accuracy (mean)", 35.80, agg.mean_acc_nws * 100.0
+        "NWS cum-MSE forecasting accuracy (mean)",
+        35.80,
+        agg.mean_acc_nws * 100.0
     );
     println!(
         "{:<52} {:>7.2}% {:>7.2}%",
@@ -34,18 +41,26 @@ fn main() {
     );
     println!(
         "{:<52} {:>7.2}% {:>7.2}%",
-        "traces where LAR >= best single predictor", 44.23, agg.frac_lar_beats_best_single * 100.0
+        "traces where LAR >= best single predictor",
+        44.23,
+        agg.frac_lar_beats_best_single * 100.0
     );
     println!(
         "{:<52} {:>7.2}% {:>7.2}%",
-        "traces where LAR beats NWS cum-MSE", 66.67, agg.frac_lar_beats_nws * 100.0
+        "traces where LAR beats NWS cum-MSE",
+        66.67,
+        agg.frac_lar_beats_nws * 100.0
     );
     println!(
         "{:<52} {:>7.2}% {:>7.2}%",
-        "P-LAR MSE reduction vs NWS (mean)", -18.60, agg.plar_mse_reduction_vs_nws * 100.0
+        "P-LAR MSE reduction vs NWS (mean)",
+        -18.60,
+        agg.plar_mse_reduction_vs_nws * 100.0
     );
     println!(
         "{:<52} {:>8} {:>7.2}%",
-        "LAR MSE change vs NWS (mean)", "-", agg.lar_mse_reduction_vs_nws * 100.0
+        "LAR MSE change vs NWS (mean)",
+        "-",
+        agg.lar_mse_reduction_vs_nws * 100.0
     );
 }

@@ -37,10 +37,11 @@ fn main() {
         }
         let r = TraceReport::evaluate(key.label(), series.values(), &config, folds, seed)
             .expect("corpus traces are long enough");
-        let cells: Vec<String> = [r.mse_plar, r.mse_lar, r.mse_models[0], r.mse_models[1], r.mse_models[2]]
-            .iter()
-            .map(|&v| larp_bench::cell(v))
-            .collect();
+        let cells: Vec<String> =
+            [r.mse_plar, r.mse_lar, r.mse_models[0], r.mse_models[1], r.mse_models[2]]
+                .iter()
+                .map(|&v| larp_bench::cell(v))
+                .collect();
         larp_bench::row(key.metric.label(), &cells);
     }
 }

@@ -5,6 +5,8 @@
 //! share: per-VM paper configurations, corpus-wide evaluation, degenerate
 //! (NaN) trace detection, and plain-text table formatting.
 
+pub mod microbench;
+
 use larp::{eval::Aggregate, LarpConfig, TraceReport};
 use vmsim::{profiles::VmProfile, traceset, TraceKey};
 
@@ -72,8 +74,7 @@ pub fn evaluate_corpus(seed: u64, folds: usize) -> Vec<CorpusResult> {
 
 /// Aggregates the corpus results over non-degenerate traces.
 pub fn aggregate(results: &[CorpusResult]) -> Aggregate {
-    let reports: Vec<TraceReport> =
-        results.iter().filter_map(|r| r.report.clone()).collect();
+    let reports: Vec<TraceReport> = results.iter().filter_map(|r| r.report.clone()).collect();
     Aggregate::from_reports(&reports).expect("corpus contains live traces")
 }
 

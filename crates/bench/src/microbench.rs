@@ -1,0 +1,57 @@
+//! Minimal wall-clock timing harness for the PERF benches.
+//!
+//! Replaces the external criterion dependency with the subset these benches
+//! actually use: named benchmark groups, automatic iteration calibration, and
+//! a median-of-samples ns/iter report on stdout. Deliberately tiny — no
+//! statistics beyond the median, no HTML, no baselines.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 7;
+
+/// Minimum measured wall time per sample; iteration count is doubled during
+/// calibration until one batch takes at least this long.
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(10);
+
+/// A named group of benchmarks, printed as `group/name`.
+pub struct BenchGroup {
+    name: String,
+}
+
+impl BenchGroup {
+    /// Starts a group; prints its heading.
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        Self { name: name.to_string() }
+    }
+
+    /// Times `f`, printing the per-iteration median of [`SAMPLES`] batches.
+    pub fn bench<T, F: FnMut() -> T>(&self, name: &str, mut f: F) {
+        // Calibrate: double the batch size until one batch is long enough to
+        // dominate timer overhead.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            if start.elapsed() >= MIN_SAMPLE_TIME || iters >= 1 << 30 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let median = per_iter[SAMPLES / 2];
+        println!("{}/{name:<32} {median:>14.1} ns/iter  ({iters} iters/sample)", self.name);
+    }
+}

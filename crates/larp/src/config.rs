@@ -108,6 +108,78 @@ impl LarpConfig {
     }
 }
 
+/// Fault-tolerance policy for [`crate::OnlineLarp`]: predictor quarantine,
+/// retrain retry backoff, and history bounding.
+///
+/// The defaults are deliberately permissive — clean streams behave exactly as
+/// they did without a resilience layer — and every knob exists to survive the
+/// fault model documented in DESIGN.md ("Fault model & degradation ladder").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// A forecast whose absolute error exceeds `divergence_factor` times the
+    /// training standard deviation counts as a divergence strike against the
+    /// predictor that produced it.
+    pub divergence_factor: f64,
+    /// Consecutive divergence strikes before a predictor is quarantined.
+    /// Non-finite forecasts quarantine immediately regardless.
+    pub max_strikes: usize,
+    /// First quarantine lasts this many steps; each subsequent quarantine of
+    /// the same predictor doubles it (exponential backoff).
+    pub quarantine_base: usize,
+    /// Upper bound on any quarantine duration, in steps.
+    pub quarantine_cap: usize,
+    /// First retrain retry after a training failure waits this many steps;
+    /// consecutive failures double it.
+    pub retrain_backoff_base: usize,
+    /// Upper bound on the retrain retry delay, in steps.
+    pub retrain_backoff_cap: usize,
+    /// Retained history length in samples (`0` = unbounded). Must be at least
+    /// the online predictor's `train_size`.
+    pub max_history: usize,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            divergence_factor: 50.0,
+            max_strikes: 3,
+            quarantine_base: 8,
+            quarantine_cap: 256,
+            retrain_backoff_base: 4,
+            retrain_backoff_cap: 64,
+            max_history: 4096,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LarpError::InvalidConfig`] for a non-positive divergence
+    /// factor, zero strike/backoff parameters, or a cap below its base.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.divergence_factor.is_finite() && self.divergence_factor > 0.0) {
+            return Err(LarpError::InvalidConfig(format!(
+                "divergence_factor must be positive, got {}",
+                self.divergence_factor
+            )));
+        }
+        if self.max_strikes == 0 || self.quarantine_base == 0 || self.retrain_backoff_base == 0 {
+            return Err(LarpError::InvalidConfig(
+                "max_strikes, quarantine_base and retrain_backoff_base must be >= 1".into(),
+            ));
+        }
+        if self.quarantine_cap < self.quarantine_base
+            || self.retrain_backoff_cap < self.retrain_backoff_base
+        {
+            return Err(LarpError::InvalidConfig("backoff caps must be >= their bases".into()));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,10 +220,8 @@ mod tests {
         let c = LarpConfig { pool: Vec::new(), ..LarpConfig::default() };
         assert!(c.validate().is_err());
 
-        let c = LarpConfig {
-            reduction: FeatureReduction::Pca { dims: 9 },
-            ..LarpConfig::default()
-        };
+        let c =
+            LarpConfig { reduction: FeatureReduction::Pca { dims: 9 }, ..LarpConfig::default() };
         assert!(c.validate().is_err());
 
         let c = LarpConfig {
@@ -162,5 +232,34 @@ mod tests {
 
         let c = LarpConfig { reduction: FeatureReduction::None, ..LarpConfig::default() };
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn resilience_default_validates() {
+        ResilienceConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn resilience_validation_catches_bad_values() {
+        let r = ResilienceConfig { divergence_factor: 0.0, ..ResilienceConfig::default() };
+        assert!(r.validate().is_err());
+        let r = ResilienceConfig { divergence_factor: f64::NAN, ..ResilienceConfig::default() };
+        assert!(r.validate().is_err());
+        let r = ResilienceConfig { max_strikes: 0, ..ResilienceConfig::default() };
+        assert!(r.validate().is_err());
+        let r = ResilienceConfig { quarantine_base: 0, ..ResilienceConfig::default() };
+        assert!(r.validate().is_err());
+        let r = ResilienceConfig {
+            quarantine_cap: 1,
+            quarantine_base: 8,
+            ..ResilienceConfig::default()
+        };
+        assert!(r.validate().is_err());
+        let r = ResilienceConfig {
+            retrain_backoff_cap: 1,
+            retrain_backoff_base: 4,
+            ..ResilienceConfig::default()
+        };
+        assert!(r.validate().is_err());
     }
 }

@@ -114,11 +114,8 @@ pub fn assess(values: &[f64], config: &LarpConfig) -> Result<Applicability> {
     }
     let best_single = model_sq.iter().cloned().fold(f64::INFINITY, f64::min) / steps;
     let oracle = oracle_sq / steps;
-    let oracle_headroom = if best_single > 1e-15 {
-        (1.0 - oracle / best_single).max(0.0)
-    } else {
-        0.0
-    };
+    let oracle_headroom =
+        if best_single > 1e-15 { (1.0 - oracle / best_single).max(0.0) } else { 0.0 };
 
     // --- label distribution ----------------------------------------------
     let mut counts = vec![0usize; pool.len()];
@@ -139,19 +136,14 @@ pub fn assess(values: &[f64], config: &LarpConfig) -> Result<Applicability> {
     } else {
         0.0
     };
-    let switch_rate = labeled
-        .windows(2)
-        .filter(|w| w[0].label != w[1].label)
-        .count() as f64
+    let switch_rate = labeled.windows(2).filter(|w| w[0].label != w[1].label).count() as f64
         / (steps - 1.0).max(1.0);
 
     // --- window information: leave-one-out k-NN over the same features ----
     // Reuse the trained feature pipeline (PCA etc.) for fidelity.
     let model = TrainedLarp::train(values, config)?;
-    let features: Vec<Vec<f64>> = labeled
-        .iter()
-        .map(|lw| model.features_for(&lw.window))
-        .collect::<Result<_>>()?;
+    let features: Vec<Vec<f64>> =
+        labeled.iter().map(|lw| model.features_for(&lw.window)).collect::<Result<_>>()?;
     let mut hits = 0usize;
     for (i, query) in features.iter().enumerate() {
         let mut neighbors: Vec<(usize, f64)> = features

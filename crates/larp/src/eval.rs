@@ -204,18 +204,13 @@ pub fn forecasting_accuracy(run: &SelectorRun, oracle: &OraclePass) -> Result<f6
             oracle.best.len()
         )));
     }
-    let hits = run
-        .chosen
-        .iter()
-        .zip(&oracle.best)
-        .filter(|(a, b)| a == b)
-        .count();
+    let hits = run.chosen.iter().zip(&oracle.best).filter(|(a, b)| a == b).count();
     Ok(hits as f64 / run.chosen.len() as f64)
 }
 
 /// Per-trace evaluation following the paper's protocol: `folds` random
 /// contiguous ~50/50 splits, with every metric averaged across folds.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceReport {
     /// Trace identifier (e.g. `"VM1/CPU_usedsec"`).
     pub trace: String,
@@ -331,10 +326,7 @@ impl TraceReport {
 
     /// MSE of the best single model in the pool.
     pub fn best_single_mse(&self) -> f64 {
-        self.mse_models
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
+        self.mse_models.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
     /// Name of the best single model (lowest standalone MSE).
@@ -376,7 +368,7 @@ struct FoldAccumulator {
 }
 
 /// Cross-trace aggregate of the paper's headline numbers.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Aggregate {
     /// Number of traces aggregated.
     pub traces: usize,
@@ -426,10 +418,8 @@ impl Aggregate {
             traces: reports.len(),
             mean_acc_lar: mean(&|r| r.acc_lar),
             mean_acc_nws: mean(&|r| r.acc_nws),
-            frac_lar_beats_best_single: reports
-                .iter()
-                .filter(|r| r.lar_beats_best_single())
-                .count() as f64
+            frac_lar_beats_best_single: reports.iter().filter(|r| r.lar_beats_best_single()).count()
+                as f64
                 / n,
             frac_lar_beats_nws: reports.iter().filter(|r| r.lar_beats_nws()).count() as f64 / n,
             plar_mse_reduction_vs_nws: ratio(&|r| r.mse_plar),

@@ -4,11 +4,10 @@
 //! smallest absolute one-step error becomes the window's class label (paper
 //! §6.1/§7.2.1). This is the only place the LARPredictor ever runs all
 //! predictors — and it is embarrassingly parallel across windows, so
-//! [`label_windows_parallel`] splits the window range over crossbeam scoped
-//! threads. A sequential twin exists both as the small-input fast path and as
-//! the reference the tests and the PERF bench compare against.
+//! [`label_windows_parallel`] splits the window range over `std::thread`
+//! scoped threads. A sequential twin exists both as the small-input fast path
+//! and as the reference the tests and the PERF bench compare against.
 
-use crossbeam::thread;
 use predictors::{PredictorId, PredictorPool};
 use timeseries::Frames;
 
@@ -78,12 +77,12 @@ pub fn label_windows_parallel(
         .filter(|(s, e)| s < e)
         .collect();
 
-    let results = thread::scope(|s| {
+    let results = std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()
             .map(|&(start, end)| {
                 let frames = &frames;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     (start..end)
                         .map(|index| {
                             let w = frames.get(index);
@@ -99,25 +98,20 @@ pub fn label_windows_parallel(
             .into_iter()
             .map(|h| h.join().expect("labeler worker panicked"))
             .collect::<Vec<Vec<_>>>()
-    })
-    .expect("scoped threads never leak");
+    });
 
     Ok(results.into_iter().flatten().collect())
 }
 
-fn prepare<'a>(
-    pool: &PredictorPool,
-    train: &'a [f64],
-    window: usize,
-) -> Result<Frames<'a>> {
+fn prepare<'a>(pool: &PredictorPool, train: &'a [f64], window: usize) -> Result<Frames<'a>> {
     if window < pool.min_history() {
         return Err(LarpError::InvalidConfig(format!(
             "window {window} is smaller than the pool's minimum history {}",
             pool.min_history()
         )));
     }
-    let frames = Frames::new(train, window)
-        .map_err(|e| LarpError::InsufficientData(e.to_string()))?;
+    let frames =
+        Frames::new(train, window).map_err(|e| LarpError::InsufficientData(e.to_string()))?;
     if frames.count_with_targets() == 0 {
         return Err(LarpError::InsufficientData(format!(
             "training series of length {} yields no (window, target) pair for window {window}",
@@ -183,8 +177,8 @@ mod tests {
         let smooth: Vec<f64> = (0..100).map(|i| i as f64 * 0.01).collect();
         let p = pool(&smooth, 5);
         let labels = label_windows(&p, &smooth, 5).unwrap();
-        let sw_share = labels.iter().filter(|l| l.label.0 == 2).count() as f64
-            / labels.len() as f64;
+        let sw_share =
+            labels.iter().filter(|l| l.label.0 == 2).count() as f64 / labels.len() as f64;
         assert!(sw_share < 0.2, "SW_AVG share {sw_share}");
     }
 
@@ -193,19 +187,10 @@ mod tests {
         let t = series(50);
         let p = pool(&t, 5);
         // Window below the pool's min_history (AR needs 5).
-        assert!(matches!(
-            label_windows(&p, &t, 3),
-            Err(LarpError::InvalidConfig(_))
-        ));
+        assert!(matches!(label_windows(&p, &t, 3), Err(LarpError::InvalidConfig(_))));
         // Series exactly window-long: one frame, no target.
         let tiny = series(5);
-        assert!(matches!(
-            label_windows(&p, &tiny, 5),
-            Err(LarpError::InsufficientData(_))
-        ));
-        assert!(matches!(
-            label_windows_parallel(&p, &t, 5, 0),
-            Err(LarpError::InvalidConfig(_))
-        ));
+        assert!(matches!(label_windows(&p, &tiny, 5), Err(LarpError::InsufficientData(_))));
+        assert!(matches!(label_windows_parallel(&p, &t, 5, 0), Err(LarpError::InvalidConfig(_))));
     }
 }

@@ -47,10 +47,10 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod config;
 pub mod diagnose;
 pub mod eval;
+pub mod ingest;
 pub mod labeler;
 pub mod model;
 pub mod online;
@@ -58,11 +58,12 @@ pub mod parallel;
 pub mod qa;
 pub mod selector;
 
-pub use config::LarpConfig;
+pub use config::{LarpConfig, ResilienceConfig};
 pub use diagnose::{assess, Applicability, Recommendation};
 pub use eval::{run_selector, SelectorRun, TraceReport};
+pub use ingest::{GapFill, GuardedLarp, IngestConfig, IngestStats, OutlierPolicy, Sanitizer};
 pub use model::TrainedLarp;
-pub use online::OnlineLarp;
+pub use online::{HealthState, OnlineCounters, OnlineLarp, OnlineStep};
 pub use qa::QualityAssuror;
 pub use selector::Selector;
 

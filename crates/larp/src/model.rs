@@ -48,11 +48,7 @@ impl TrainedLarp {
     /// # Errors
     ///
     /// Same conditions as [`TrainedLarp::train`].
-    pub fn train_with_threads(
-        train: &[f64],
-        config: &LarpConfig,
-        threads: usize,
-    ) -> Result<Self> {
+    pub fn train_with_threads(train: &[f64], config: &LarpConfig, threads: usize) -> Result<Self> {
         config.validate()?;
         let m = config.window;
         // Need enough windows for PCA (>= 2) and for k neighbours.
@@ -72,8 +68,8 @@ impl TrainedLarp {
 
         // Window matrix for PCA: (u - m) × m.
         let rows: Vec<Vec<f64>> = labeled.iter().map(|lw| lw.window.clone()).collect();
-        let window_matrix = Matrix::from_rows(&rows)
-            .map_err(|e| LarpError::Substrate(e.to_string()))?;
+        let window_matrix =
+            Matrix::from_rows(&rows).map_err(|e| LarpError::Substrate(e.to_string()))?;
 
         let pca = match &config.reduction {
             FeatureReduction::Pca { dims } => Some(Pca::fit(&window_matrix, *dims)?),
@@ -84,10 +80,9 @@ impl TrainedLarp {
         };
 
         let features: Vec<Vec<f64>> = match &pca {
-            Some(p) => labeled
-                .iter()
-                .map(|lw| p.transform(&lw.window))
-                .collect::<learn::Result<_>>()?,
+            Some(p) => {
+                labeled.iter().map(|lw| p.transform(&lw.window)).collect::<learn::Result<_>>()?
+            }
             None => rows,
         };
         let labels: Vec<usize> = labeled.iter().map(|lw| lw.label.0).collect();
@@ -165,6 +160,76 @@ impl TrainedLarp {
         let window = &history[history.len() - m..];
         let features = self.features_for(window)?;
         Ok(PredictorId(self.knn.classify(&features)?))
+    }
+
+    /// Ranked testing-phase selection: every pool member ordered from most to
+    /// least preferred for the next step.
+    ///
+    /// The head of the ranking is k-NN's majority vote (ties broken by nearest
+    /// neighbour, then lowest id — the same rule as [`TrainedLarp::select`]);
+    /// pool members that received no votes follow in id order. The online
+    /// serving layer walks this list to find the best *non-quarantined*
+    /// predictor when its first choice is unavailable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LarpError::InsufficientData`] if `history` is shorter than `m`.
+    pub fn select_ranked(&self, history: &[f64]) -> Result<Vec<PredictorId>> {
+        let m = self.config.window;
+        if history.len() < m {
+            return Err(LarpError::InsufficientData(format!(
+                "selection needs a window of {m} points, got {}",
+                history.len()
+            )));
+        }
+        let window = &history[history.len() - m..];
+        let features = self.features_for(window)?;
+        let neighbors = self.knn.neighbors(&features)?;
+
+        // (votes, nearest distance) per pool member.
+        let mut votes = vec![0usize; self.pool.len()];
+        let mut nearest = vec![f64::INFINITY; self.pool.len()];
+        for (label, dist) in neighbors {
+            if label < self.pool.len() {
+                votes[label] += 1;
+                if dist < nearest[label] {
+                    nearest[label] = dist;
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..self.pool.len()).collect();
+        order.sort_by(|&a, &b| {
+            votes[b].cmp(&votes[a]).then(nearest[a].total_cmp(&nearest[b])).then(a.cmp(&b))
+        });
+        Ok(order.into_iter().map(PredictorId).collect())
+    }
+
+    /// Runs one specific pool member on a *raw-scale* history: normalises with
+    /// the train coefficients, predicts, and de-normalises the forecast.
+    /// The serving layer uses this to forecast with a fallback predictor when
+    /// the k-NN choice is quarantined.
+    ///
+    /// # Errors
+    ///
+    /// * [`LarpError::InvalidConfig`] if `id` is not a pool member;
+    /// * [`LarpError::InsufficientData`] if `history` is shorter than `m`.
+    pub fn predict_with(&self, id: PredictorId, history: &[f64]) -> Result<f64> {
+        if id.0 >= self.pool.len() {
+            return Err(LarpError::InvalidConfig(format!(
+                "predictor id {} outside pool of {} models",
+                id.0,
+                self.pool.len()
+            )));
+        }
+        if history.len() < self.config.window {
+            return Err(LarpError::InsufficientData(format!(
+                "prediction needs a window of {} points, got {}",
+                self.config.window,
+                history.len()
+            )));
+        }
+        let normalized = self.zscore.apply_slice(history);
+        Ok(self.zscore.invert(self.pool.predict_one(id, &normalized)))
     }
 
     /// Runs one testing-phase step on a *normalised* history: selects the best
@@ -271,9 +336,7 @@ impl std::fmt::Debug for TrainedLarp {
 /// Labelling thread count: the available parallelism, capped at 8 (labelling
 /// is memory-bandwidth-bound beyond that for these tiny windows).
 pub(crate) fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(1)
+    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -330,9 +393,7 @@ mod tests {
     fn raw_prediction_round_trips_units() {
         // A series living around 1000 with +-50 swings: raw forecasts must be
         // in that range, not near zero.
-        let s: Vec<f64> = (0..300)
-            .map(|t| 1000.0 + 50.0 * ((t as f64) * 0.1).sin())
-            .collect();
+        let s: Vec<f64> = (0..300).map(|t| 1000.0 + 50.0 * ((t as f64) * 0.1).sin()).collect();
         let model = TrainedLarp::train(&s[..150], &LarpConfig::default()).unwrap();
         let (_, forecast) = model.predict_next_raw(&s[150..200]).unwrap();
         assert!((900.0..1100.0).contains(&forecast), "{forecast}");
@@ -417,9 +478,7 @@ mod tests {
 
     #[test]
     fn horizon_raw_round_trips_units() {
-        let s: Vec<f64> = (0..300)
-            .map(|t| 500.0 + 20.0 * ((t as f64) * 0.15).sin())
-            .collect();
+        let s: Vec<f64> = (0..300).map(|t| 500.0 + 20.0 * ((t as f64) * 0.15).sin()).collect();
         let model = TrainedLarp::train(&s[..150], &LarpConfig::default()).unwrap();
         for (_, f) in model.predict_horizon_raw(&s[150..200], 6).unwrap() {
             assert!((420.0..580.0).contains(&f), "{f}");
@@ -432,6 +491,37 @@ mod tests {
         let model = TrainedLarp::train(&s[..150], &LarpConfig::default()).unwrap();
         assert!(model.predict_horizon(&s[..40], 0).is_err());
         assert!(model.predict_horizon(&[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn ranked_selection_covers_pool_and_leads_with_select() {
+        let s = regime_series(400);
+        let model = TrainedLarp::train(&s[..200], &LarpConfig::default()).unwrap();
+        let norm = model.zscore().apply_slice(&s[200..]);
+        for t in 5..norm.len() {
+            let ranked = model.select_ranked(&norm[..t]).unwrap();
+            assert_eq!(ranked.len(), model.pool().len());
+            let mut ids: Vec<usize> = ranked.iter().map(|id| id.0).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 1, 2], "ranking must be a permutation");
+            assert_eq!(ranked[0], model.select(&norm[..t]).unwrap());
+        }
+    }
+
+    #[test]
+    fn predict_with_matches_direct_pool_run() {
+        let s: Vec<f64> = (0..300).map(|t| 1000.0 + 50.0 * ((t as f64) * 0.1).sin()).collect();
+        let model = TrainedLarp::train(&s[..150], &LarpConfig::default()).unwrap();
+        let history = &s[150..200];
+        for id in 0..3 {
+            let f = model.predict_with(PredictorId(id), history).unwrap();
+            let norm = model.zscore().apply_slice(history);
+            let direct = model.zscore().invert(model.pool().predict_one(PredictorId(id), &norm));
+            assert_eq!(f, direct);
+            assert!((900.0..1100.0).contains(&f), "{f}");
+        }
+        assert!(model.predict_with(PredictorId(7), history).is_err());
+        assert!(model.predict_with(PredictorId(0), &[1.0, 2.0]).is_err());
     }
 
     #[test]

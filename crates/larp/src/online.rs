@@ -1,4 +1,5 @@
-//! Online operation: streaming prediction with QA-triggered retraining.
+//! Online operation: streaming prediction with QA-triggered retraining and a
+//! graceful-degradation ladder.
 //!
 //! The paper's prototype (Figure 1) runs continuously: the monitor feeds new
 //! samples, the LARPredictor forecasts the next one, and the Quality Assuror
@@ -6,13 +7,46 @@
 //! as a library type: push raw observations one at a time, get back the
 //! forecast for the *next* observation, and let the embedded
 //! [`QualityAssuror`] decide when to refit on the most recent window of data.
+//!
+//! On top of the paper's loop this module adds the serving-robustness layer
+//! described in DESIGN.md ("Fault model & degradation ladder"):
+//!
+//! * **Predictor quarantine** — a pool member that emits a non-finite
+//!   forecast, or accumulates [`ResilienceConfig::max_strikes`] wildly
+//!   diverging forecasts in a row, is benched for an exponentially growing
+//!   number of steps before re-admission;
+//! * **Degradation ladder** — when the k-NN choice is quarantined the loop
+//!   falls back to the lowest-windowed-error non-quarantined pool member
+//!   (NWS-style accounting via [`PoolErrorTracker`]), and when the whole pool
+//!   is benched it serves last-value persistence rather than going dark;
+//! * **Retrain retry with backoff** — a failed [`TrainedLarp::train`] keeps
+//!   the stale model serving and schedules a retry instead of re-fitting (and
+//!   re-failing) every step;
+//! * **Health surface** — every [`OnlineStep`] reports a [`HealthState`] and
+//!   the loop keeps [`OnlineCounters`] for observability.
 
 use predictors::PredictorId;
 
-use crate::config::LarpConfig;
+use crate::config::{LarpConfig, ResilienceConfig};
 use crate::model::TrainedLarp;
 use crate::qa::{AuditOutcome, QualityAssuror};
+use crate::selector::PoolErrorTracker;
 use crate::{LarpError, Result};
+
+/// Serving health of one online step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthState {
+    /// The k-NN-selected predictor served the forecast (or the loop is still
+    /// in its warmup phase before the first training).
+    #[default]
+    Healthy,
+    /// A fallback pool member served the forecast because the first choice is
+    /// quarantined.
+    Degraded,
+    /// The whole pool (or the model itself) is unavailable; last-value
+    /// persistence served the forecast.
+    Fallback,
+}
 
 /// One step of online output.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,28 +54,72 @@ pub struct OnlineStep {
     /// Forecast (raw scale) for the next observation, if a model is trained
     /// and enough history exists.
     pub forecast: Option<f64>,
-    /// Which pool member produced it.
+    /// Which pool member produced it (`None` for persistence fallback).
     pub chosen: Option<PredictorId>,
     /// Whether this step triggered a retrain.
     pub retrained: bool,
+    /// Serving health of this step.
+    pub health: HealthState,
 }
 
-/// A self-retraining streaming LARPredictor.
+/// Cumulative fault-handling counters, for observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnlineCounters {
+    /// Quarantines imposed (manual and automatic).
+    pub quarantines: usize,
+    /// Retraining attempts that failed (stale model kept serving).
+    pub retrain_failures: usize,
+    /// Non-finite forecasts caught before they reached the caller.
+    pub nonfinite_forecasts: usize,
+    /// Steps served by a fallback pool member ([`HealthState::Degraded`]).
+    pub degraded_steps: usize,
+    /// Steps served by last-value persistence ([`HealthState::Fallback`]).
+    pub fallback_steps: usize,
+}
+
+/// Per-pool-member quarantine bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct PredictorHealth {
+    /// Consecutive divergence strikes.
+    strikes: usize,
+    /// Step clock until which the predictor is benched.
+    quarantined_until: Option<u64>,
+    /// How often this predictor has been quarantined (drives the backoff).
+    times_quarantined: u32,
+}
+
+/// A self-retraining, fault-tolerant streaming LARPredictor.
 pub struct OnlineLarp {
     config: LarpConfig,
+    resilience: ResilienceConfig,
     qa: QualityAssuror,
-    /// All observations seen so far (raw scale).
+    /// Most recent observations (raw scale), bounded by
+    /// [`ResilienceConfig::max_history`].
     history: Vec<f64>,
+    /// Total observations consumed (unlike `history.len()`, never truncated).
+    seen: usize,
     /// How many most-recent points each (re)training uses.
     train_size: usize,
     model: Option<TrainedLarp>,
-    /// The forecast made for the not-yet-seen next value, for QA scoring.
-    pending_forecast: Option<f64>,
+    /// The forecast made for the not-yet-seen next value, with its producer,
+    /// for QA scoring and divergence attribution (`None` producer =
+    /// persistence fallback).
+    pending: Option<(Option<PredictorId>, f64)>,
     retrain_count: usize,
+    /// Step clock (one tick per push), the time base for quarantine expiry
+    /// and retrain backoff.
+    clock: u64,
+    predictor_health: Vec<PredictorHealth>,
+    tracker: Option<PoolErrorTracker>,
+    counters: OnlineCounters,
+    consecutive_retrain_failures: u32,
+    /// Earliest clock at which another training attempt is allowed.
+    next_retrain_at: u64,
+    retrain_pending: bool,
 }
 
 impl OnlineLarp {
-    /// Creates an online predictor.
+    /// Creates an online predictor with the default [`ResilienceConfig`].
     ///
     /// * `config` — the LARPredictor configuration;
     /// * `train_size` — number of most-recent samples used at each (re)train;
@@ -52,7 +130,23 @@ impl OnlineLarp {
     /// Returns [`LarpError::InvalidConfig`] if `train_size` cannot support
     /// training under `config` (needs at least `window + max(k, 2)` points).
     pub fn new(config: LarpConfig, train_size: usize, qa: QualityAssuror) -> Result<Self> {
+        Self::with_resilience(config, train_size, qa, ResilienceConfig::default())
+    }
+
+    /// [`OnlineLarp::new`] with an explicit fault-tolerance policy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`OnlineLarp::new`], plus an invalid `resilience`
+    /// or a bounded `max_history` smaller than `train_size`.
+    pub fn with_resilience(
+        config: LarpConfig,
+        train_size: usize,
+        qa: QualityAssuror,
+        resilience: ResilienceConfig,
+    ) -> Result<Self> {
         config.validate()?;
+        resilience.validate()?;
         let min_train = config.window + config.k.max(2);
         if train_size < min_train {
             return Err(LarpError::InvalidConfig(format!(
@@ -60,76 +154,314 @@ impl OnlineLarp {
                 config.window, config.k
             )));
         }
+        if resilience.max_history != 0 && resilience.max_history < train_size {
+            return Err(LarpError::InvalidConfig(format!(
+                "max_history {} cannot hold train_size {train_size}",
+                resilience.max_history
+            )));
+        }
         Ok(Self {
             config,
+            resilience,
             qa,
             history: Vec::new(),
+            seen: 0,
             train_size,
             model: None,
-            pending_forecast: None,
+            pending: None,
             retrain_count: 0,
+            clock: 0,
+            predictor_health: Vec::new(),
+            tracker: None,
+            counters: OnlineCounters::default(),
+            consecutive_retrain_failures: 0,
+            next_retrain_at: 0,
+            retrain_pending: false,
         })
     }
 
     /// Feeds one raw observation; returns the forecast for the next one.
     ///
     /// Behaviour:
-    /// 1. scores the previous forecast against `value` through the QA;
-    /// 2. (re)trains if the QA orders it, or trains initially once
-    ///    `train_size` samples have arrived;
-    /// 3. produces the next forecast if a model exists and the window is full.
+    /// 1. scores the previous forecast against `value` through the QA and the
+    ///    divergence monitor (quarantining the producer if it misbehaved);
+    /// 2. (re)trains if the QA ordered it and the retry backoff allows, or
+    ///    trains initially once `train_size` samples have arrived;
+    /// 3. releases expired quarantines;
+    /// 4. produces the next forecast by walking the degradation ladder:
+    ///    k-NN choice → lowest-error non-quarantined member → persistence.
+    ///
+    /// The returned forecast, when present, is always finite.
     pub fn push(&mut self, value: f64) -> OnlineStep {
+        self.clock += 1;
+
         // 1. Score the pending forecast.
-        let mut retrained = false;
-        if let Some(forecast) = self.pending_forecast.take() {
-            if let AuditOutcome::RetrainNeeded { .. } = self.qa.record(forecast, value) {
-                self.history.push(value);
-                self.retrain();
-                retrained = true;
-                // fall through to forecasting with the fresh model
-                let (forecast, chosen) = self.forecast_next();
-                return OnlineStep { forecast, chosen, retrained };
-            }
+        if let Some((producer, forecast)) = self.pending.take() {
+            self.score_pending(producer, forecast, value);
         }
+
         self.history.push(value);
-
-        // 2. Initial training.
-        if self.model.is_none() && self.history.len() >= self.train_size {
-            self.retrain();
-            retrained = true;
+        self.seen += 1;
+        if self.resilience.max_history != 0 && self.history.len() > self.resilience.max_history {
+            let excess = self.history.len() - self.resilience.max_history;
+            self.history.drain(..excess);
         }
 
-        // 3. Forecast.
-        let (forecast, chosen) = self.forecast_next();
-        OnlineStep { forecast, chosen, retrained }
-    }
-
-    fn retrain(&mut self) {
-        let start = self.history.len().saturating_sub(self.train_size);
-        let train = &self.history[start..];
-        // Training can fail on degenerate data (e.g. all-identical warmup);
-        // keep the old model in that case rather than dropping service.
-        if let Ok(model) = TrainedLarp::train(train, &self.config) {
-            self.model = Some(model);
-            self.retrain_count += 1;
-            self.qa.reset();
+        // Keep the fallback error accounting warm while anything is benched.
+        if self.any_quarantined() {
+            self.observe_tracker(value);
         }
-    }
 
-    fn forecast_next(&mut self) -> (Option<f64>, Option<PredictorId>) {
-        let Some(model) = &self.model else {
-            return (None, None);
-        };
-        if self.history.len() < self.config.window {
-            return (None, None);
+        // 2. Training, gated by the retry backoff.
+        let mut retrained = false;
+        let due = self.retrain_pending || self.model.is_none();
+        if due && self.history.len() >= self.train_size && self.clock >= self.next_retrain_at {
+            retrained = self.try_retrain();
         }
-        match model.predict_next_raw(&self.history) {
-            Ok((id, f)) => {
-                self.pending_forecast = Some(f);
-                (Some(f), Some(id))
+
+        // 3. Re-admit predictors whose quarantine has expired.
+        for h in &mut self.predictor_health {
+            if h.quarantined_until.is_some_and(|until| self.clock >= until) {
+                h.quarantined_until = None;
+                h.strikes = 0;
             }
-            Err(_) => (None, None),
         }
+
+        // 4. Forecast via the ladder.
+        let (forecast, chosen, health) = self.forecast_next();
+        match health {
+            HealthState::Healthy => {}
+            HealthState::Degraded => self.counters.degraded_steps += 1,
+            HealthState::Fallback => self.counters.fallback_steps += 1,
+        }
+        if let Some(f) = forecast {
+            self.pending = Some((chosen, f));
+        }
+        OnlineStep { forecast, chosen, retrained, health }
+    }
+
+    /// Scores one revealed value against the forecast made for it: QA
+    /// recording, divergence strikes, and non-finite quarantine.
+    fn score_pending(&mut self, producer: Option<PredictorId>, forecast: f64, value: f64) {
+        if !forecast.is_finite() {
+            // Defensive: the ladder never emits non-finite forecasts, but a
+            // poisoned one must never reach the QA window or the caller twice.
+            self.counters.nonfinite_forecasts += 1;
+            self.retrain_pending = true;
+            if let Some(id) = producer {
+                self.quarantine(id);
+            }
+            return;
+        }
+        if let AuditOutcome::RetrainNeeded { .. } = self.qa.record(forecast, value) {
+            self.retrain_pending = true;
+        }
+        if let Some(id) = producer {
+            let scale =
+                self.model.as_ref().map(|m| m.zscore().std()).unwrap_or(1.0).max(f64::EPSILON);
+            let diverged = !value.is_finite()
+                || (forecast - value).abs() / scale > self.resilience.divergence_factor;
+            let h = &mut self.predictor_health[id.0];
+            if diverged {
+                h.strikes += 1;
+                if h.strikes >= self.resilience.max_strikes {
+                    self.quarantine(id);
+                }
+            } else {
+                h.strikes = 0;
+            }
+        }
+    }
+
+    /// Attempts a (re)train on the most recent `train_size` points. On failure
+    /// the stale model keeps serving and the next attempt is pushed out by an
+    /// exponential backoff.
+    ///
+    /// A model that trains without error but cannot produce a finite forecast
+    /// on its own training tail (possible when the window contains NaN — the
+    /// substrate's numerics carry NaN through rather than erroring) counts as
+    /// a failure too: installing it would poison every forecast.
+    fn try_retrain(&mut self) -> bool {
+        let start = self.history.len().saturating_sub(self.train_size);
+        let trained =
+            TrainedLarp::train(&self.history[start..], &self.config).ok().filter(|model| {
+                matches!(
+                    model.predict_next_raw(&self.history[start..]),
+                    Ok((_, f)) if f.is_finite()
+                )
+            });
+        match trained {
+            Some(model) => {
+                let pool_len = model.pool().len();
+                self.predictor_health = vec![PredictorHealth::default(); pool_len];
+                self.tracker = PoolErrorTracker::new(pool_len, self.config.window.max(8)).ok();
+                self.model = Some(model);
+                self.retrain_count += 1;
+                self.qa.reset();
+                self.retrain_pending = false;
+                self.consecutive_retrain_failures = 0;
+                true
+            }
+            None => {
+                self.counters.retrain_failures += 1;
+                let exp = self.consecutive_retrain_failures.min(16);
+                self.consecutive_retrain_failures += 1;
+                let delay = self
+                    .resilience
+                    .retrain_backoff_base
+                    .saturating_mul(1usize << exp)
+                    .min(self.resilience.retrain_backoff_cap);
+                self.next_retrain_at = self.clock + delay as u64;
+                false
+            }
+        }
+    }
+
+    /// Walks the degradation ladder for the next forecast. The returned
+    /// forecast, when present, is finite.
+    fn forecast_next(&mut self) -> (Option<f64>, Option<PredictorId>, HealthState) {
+        if self.model.is_none() || self.history.len() < self.config.window {
+            // Before the first successful training: dark during warmup (no
+            // training attempted yet), persistence once training has been
+            // attempted and failed (the caller is owed *some* forecast).
+            if self.model.is_none() && self.history.len() >= self.train_size {
+                if let Some(&last) = self.history.last() {
+                    if last.is_finite() {
+                        return (Some(last), None, HealthState::Fallback);
+                    }
+                }
+            }
+            return (None, None, HealthState::Healthy);
+        }
+
+        // Rung 1: the k-NN choice, if not quarantined.
+        let ranked = {
+            let model = self.model.as_ref().expect("model checked above");
+            let m = self.config.window;
+            let window = &self.history[self.history.len() - m..];
+            let normalized = model.zscore().apply_slice(window);
+            model.select_ranked(&normalized)
+        };
+        if let Ok(ranked) = ranked {
+            if let Some(&first) = ranked.first() {
+                if !self.is_quarantined(first) {
+                    if let Some(f) = self.checked_predict(first) {
+                        return (Some(f), Some(first), HealthState::Healthy);
+                    }
+                }
+            }
+        }
+
+        // Rung 2: lowest-windowed-error non-quarantined pool member.
+        loop {
+            let best = self.tracker.as_ref().and_then(|t| {
+                t.best_allowed(|id| {
+                    self.predictor_health.get(id.0).is_none_or(|h| h.quarantined_until.is_none())
+                })
+            });
+            let Some(id) = best else { break };
+            if let Some(f) = self.checked_predict(id) {
+                return (Some(f), Some(id), HealthState::Degraded);
+            }
+            // checked_predict quarantined it; the next iteration excludes it.
+        }
+
+        // Rung 3: last-value persistence.
+        match self.history.last() {
+            Some(&last) if last.is_finite() => (Some(last), None, HealthState::Fallback),
+            _ => (None, None, HealthState::Fallback),
+        }
+    }
+
+    /// Runs one pool member and validates its output; a non-finite or failed
+    /// forecast quarantines the producer and yields `None`.
+    fn checked_predict(&mut self, id: PredictorId) -> Option<f64> {
+        let forecast = self.model.as_ref().and_then(|m| m.predict_with(id, &self.history).ok());
+        match forecast {
+            Some(f) if f.is_finite() => Some(f),
+            _ => {
+                // A pool member going non-finite on serving is model breakage,
+                // not mere inaccuracy: bench it and order a retrain (the
+                // post-train probe keeps a still-poisoned window from
+                // installing, so this cannot churn).
+                self.counters.nonfinite_forecasts += 1;
+                self.retrain_pending = true;
+                self.quarantine(id);
+                None
+            }
+        }
+    }
+
+    /// Benches a predictor for `quarantine_base · 2^(times quarantined)`
+    /// steps, capped at `quarantine_cap`.
+    fn quarantine(&mut self, id: PredictorId) {
+        let Some(h) = self.predictor_health.get_mut(id.0) else {
+            return;
+        };
+        let exp = h.times_quarantined.min(16);
+        let duration = self
+            .resilience
+            .quarantine_base
+            .saturating_mul(1usize << exp)
+            .min(self.resilience.quarantine_cap);
+        h.quarantined_until = Some(self.clock + duration as u64);
+        h.times_quarantined += 1;
+        h.strikes = 0;
+        self.counters.quarantines += 1;
+    }
+
+    /// Manually benches a pool member (operational override; also the
+    /// deterministic hook the fault-injection tests use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LarpError::InvalidConfig`] if no model is trained yet or the
+    /// id is outside the pool.
+    pub fn quarantine_predictor(&mut self, id: PredictorId) -> Result<()> {
+        if id.0 >= self.predictor_health.len() {
+            return Err(LarpError::InvalidConfig(format!(
+                "cannot quarantine predictor {}: pool has {} trained members",
+                id.0,
+                self.predictor_health.len()
+            )));
+        }
+        self.quarantine(id);
+        Ok(())
+    }
+
+    /// Whether a pool member is currently quarantined.
+    pub fn is_quarantined(&self, id: PredictorId) -> bool {
+        self.predictor_health.get(id.0).is_some_and(|h| h.quarantined_until.is_some())
+    }
+
+    /// Currently quarantined pool members.
+    pub fn quarantined(&self) -> Vec<PredictorId> {
+        self.predictor_health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.quarantined_until.is_some())
+            .map(|(i, _)| PredictorId(i))
+            .collect()
+    }
+
+    fn any_quarantined(&self) -> bool {
+        self.predictor_health.iter().any(|h| h.quarantined_until.is_some())
+    }
+
+    /// Feeds the fallback error tracker one revealed value (normalised into
+    /// the model's training units), using the history *before* `value`.
+    fn observe_tracker(&mut self, value: f64) {
+        let Some(model) = &self.model else { return };
+        let Some(tracker) = &mut self.tracker else { return };
+        let upto = self.history.len() - 1; // `value` is already pushed
+        let m = self.config.window;
+        if upto < m || !value.is_finite() {
+            return;
+        }
+        let start = upto.saturating_sub(4 * m);
+        let normalized = model.zscore().apply_slice(&self.history[start..upto]);
+        let actual = model.zscore().apply(value);
+        tracker.observe(model.pool(), &normalized, actual);
     }
 
     /// Number of (re)trainings performed, including the initial one.
@@ -144,12 +476,27 @@ impl OnlineLarp {
 
     /// Observations consumed so far.
     pub fn seen(&self) -> usize {
-        self.history.len()
+        self.seen
     }
 
     /// The embedded quality assuror.
     pub fn qa(&self) -> &QualityAssuror {
         &self.qa
+    }
+
+    /// The fault-tolerance policy in force.
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
+    }
+
+    /// Cumulative fault-handling counters.
+    pub fn counters(&self) -> &OnlineCounters {
+        &self.counters
+    }
+
+    /// Training failures since the last successful (re)train.
+    pub fn consecutive_retrain_failures(&self) -> u32 {
+        self.consecutive_retrain_failures
     }
 }
 
@@ -171,6 +518,7 @@ mod tests {
         for t in 0..39 {
             let step = o.push((t as f64 * 0.3).sin());
             assert_eq!(step.forecast, None, "step {t}");
+            assert_eq!(step.health, HealthState::Healthy, "warmup is healthy");
             assert!(!o.is_trained());
         }
         let step = o.push(0.5);
@@ -188,22 +536,23 @@ mod tests {
             if step.forecast.is_some() {
                 forecasts += 1;
                 assert!(step.chosen.is_some());
+                assert_eq!(step.health, HealthState::Healthy);
             }
         }
         assert!(forecasts >= 70, "{forecasts}");
         assert_eq!(o.seen(), 120);
+        assert_eq!(o.counters().quarantines, 0);
+        assert_eq!(o.counters().degraded_steps, 0);
+        assert_eq!(o.counters().fallback_steps, 0);
     }
 
     #[test]
     fn regime_change_triggers_retraining() {
         // Train on a gentle sinusoid, then switch to huge swings: normalized
         // errors explode and the QA must order a refit.
-        let mut o = OnlineLarp::new(
-            LarpConfig::default(),
-            40,
-            QualityAssuror::new(0.5, 4, 2).unwrap(),
-        )
-        .unwrap();
+        let mut o =
+            OnlineLarp::new(LarpConfig::default(), 40, QualityAssuror::new(0.5, 4, 2).unwrap())
+                .unwrap();
         for t in 0..60 {
             o.push((t as f64 * 0.2).sin() * 0.1);
         }
@@ -216,12 +565,9 @@ mod tests {
 
     #[test]
     fn stable_workload_does_not_retrain() {
-        let mut o = OnlineLarp::new(
-            LarpConfig::default(),
-            40,
-            QualityAssuror::new(5.0, 8, 4).unwrap(),
-        )
-        .unwrap();
+        let mut o =
+            OnlineLarp::new(LarpConfig::default(), 40, QualityAssuror::new(5.0, 8, 4).unwrap())
+                .unwrap();
         for t in 0..200 {
             o.push((t as f64 * 0.2).sin());
         }
@@ -235,6 +581,17 @@ mod tests {
     }
 
     #[test]
+    fn construction_validates_resilience() {
+        let bad = ResilienceConfig { divergence_factor: -1.0, ..ResilienceConfig::default() };
+        assert!(OnlineLarp::with_resilience(LarpConfig::default(), 40, qa(), bad).is_err());
+        // Bounded history must hold at least one training window.
+        let tiny = ResilienceConfig { max_history: 10, ..ResilienceConfig::default() };
+        assert!(OnlineLarp::with_resilience(LarpConfig::default(), 40, qa(), tiny).is_err());
+        let unbounded = ResilienceConfig { max_history: 0, ..ResilienceConfig::default() };
+        assert!(OnlineLarp::with_resilience(LarpConfig::default(), 40, qa(), unbounded).is_ok());
+    }
+
+    #[test]
     fn forecast_is_in_raw_units() {
         let mut o = OnlineLarp::new(LarpConfig::default(), 40, qa()).unwrap();
         let mut last = None;
@@ -243,5 +600,224 @@ mod tests {
         }
         let f = last.unwrap();
         assert!((950.0..1050.0).contains(&f), "{f}");
+    }
+
+    #[test]
+    fn history_stays_bounded() {
+        let resilience = ResilienceConfig { max_history: 64, ..ResilienceConfig::default() };
+        let mut o =
+            OnlineLarp::with_resilience(LarpConfig::default(), 40, qa(), resilience).unwrap();
+        for t in 0..500 {
+            o.push((t as f64 * 0.2).sin());
+        }
+        assert_eq!(o.seen(), 500);
+        assert!(o.history.len() <= 64, "history {} exceeds bound", o.history.len());
+        assert!(o.is_trained());
+    }
+
+    #[test]
+    fn manual_quarantine_degrades_then_recovers() {
+        let resilience = ResilienceConfig { quarantine_base: 8, ..ResilienceConfig::default() };
+        let mut o =
+            OnlineLarp::with_resilience(LarpConfig::default(), 40, qa(), resilience).unwrap();
+        let signal = |t: usize| (t as f64 * 0.2).sin() * 3.0;
+        let mut t = 0;
+        while !o.is_trained() {
+            o.push(signal(t));
+            t += 1;
+        }
+        // Bench the model the selector would pick next.
+        let step = o.push(signal(t));
+        t += 1;
+        let first_choice = step.chosen.unwrap();
+        o.quarantine_predictor(first_choice).unwrap();
+        assert!(o.is_quarantined(first_choice));
+        assert_eq!(o.counters().quarantines, 1);
+
+        // While benched, serving continues off the ladder: forecasts stay
+        // finite and never come from the quarantined member.
+        let mut degraded_seen = false;
+        for _ in 0..7 {
+            let step = o.push(signal(t));
+            t += 1;
+            if let Some(f) = step.forecast {
+                assert!(f.is_finite());
+            }
+            assert_ne!(step.chosen, Some(first_choice));
+            if step.health == HealthState::Degraded {
+                degraded_seen = true;
+            }
+        }
+        assert!(degraded_seen, "ladder never reported a degraded step");
+
+        // After the 8-step quarantine expires the member is re-admitted.
+        for _ in 0..4 {
+            o.push(signal(t));
+            t += 1;
+        }
+        assert!(!o.is_quarantined(first_choice));
+        assert!(o.quarantined().is_empty());
+        let step = o.push(signal(t));
+        assert_eq!(step.health, HealthState::Healthy);
+    }
+
+    #[test]
+    fn quarantine_backoff_doubles_per_offence() {
+        let resilience = ResilienceConfig {
+            quarantine_base: 2,
+            quarantine_cap: 16,
+            ..ResilienceConfig::default()
+        };
+        let mut o =
+            OnlineLarp::with_resilience(LarpConfig::default(), 40, qa(), resilience).unwrap();
+        for t in 0..41 {
+            o.push((t as f64 * 0.2).sin());
+        }
+        let id = PredictorId(0);
+        // First offence: 2 steps.
+        o.quarantine_predictor(id).unwrap();
+        o.push(0.1);
+        assert!(o.is_quarantined(id), "still benched after 1 of 2 steps");
+        o.push(0.2);
+        assert!(!o.is_quarantined(id), "released after 2 steps");
+        // Second offence: 4 steps.
+        o.quarantine_predictor(id).unwrap();
+        for i in 0..3 {
+            o.push(0.1 * i as f64);
+            assert!(o.is_quarantined(id), "still benched after {} of 4 steps", i + 1);
+        }
+        o.push(0.5);
+        assert!(!o.is_quarantined(id), "released after 4 steps");
+        // Third offence: 8, but capped at quarantine_cap if it grows further.
+        o.quarantine_predictor(id).unwrap();
+        for _ in 0..7 {
+            o.push(0.3);
+            assert!(o.is_quarantined(id));
+        }
+        o.push(0.4);
+        assert!(!o.is_quarantined(id));
+        assert_eq!(o.counters().quarantines, 3);
+    }
+
+    #[test]
+    fn whole_pool_quarantined_serves_persistence() {
+        // Huge QA threshold: no retrain can fire and wipe the quarantines
+        // mid-test (a successful retrain replaces the pool, so it starts with
+        // a clean quarantine slate by design).
+        let mut o =
+            OnlineLarp::new(LarpConfig::default(), 40, QualityAssuror::new(1e9, 8, 4).unwrap())
+                .unwrap();
+        for t in 0..45 {
+            o.push(100.0 + (t as f64 * 0.2).sin());
+        }
+        for id in 0..3 {
+            o.quarantine_predictor(PredictorId(id)).unwrap();
+        }
+        let step = o.push(123.0);
+        assert_eq!(step.health, HealthState::Fallback);
+        assert_eq!(step.chosen, None);
+        assert_eq!(step.forecast, Some(123.0), "persistence repeats the last value");
+        assert!(o.counters().fallback_steps >= 1);
+    }
+
+    #[test]
+    fn failed_training_serves_persistence_and_backs_off() {
+        // train_size 8 passes construction (window 5 + max(k, 2) = 8) but the
+        // AR(5) pool member needs 2·5 = 10 points, so every training attempt
+        // fails. The loop must serve last-value persistence instead of going
+        // dark, and throttle its retries with the exponential backoff.
+        let resilience = ResilienceConfig {
+            retrain_backoff_base: 4,
+            retrain_backoff_cap: 64,
+            ..ResilienceConfig::default()
+        };
+        let mut o =
+            OnlineLarp::with_resilience(LarpConfig::default(), 8, qa(), resilience).unwrap();
+        for t in 0..60 {
+            let value = (t as f64 * 0.2).sin();
+            let step = o.push(value);
+            assert!(!o.is_trained());
+            if o.seen() >= 8 {
+                // Training has been attempted and failed: persistence serves.
+                assert_eq!(step.forecast, Some(value));
+                assert_eq!(step.chosen, None);
+                assert_eq!(step.health, HealthState::Fallback);
+            } else {
+                assert_eq!(step.forecast, None, "dark during warmup");
+            }
+        }
+        let failures = o.counters().retrain_failures;
+        // Backoff spacing 4, 8, 16, 32 from step 8: attempts at steps
+        // 8, 12, 20, 36 within the first 60 — not one per step.
+        assert!((2..=5).contains(&failures), "{failures} attempts — backoff not applied");
+        assert!(o.consecutive_retrain_failures() > 0);
+        assert!(o.counters().fallback_steps >= 50);
+    }
+
+    #[test]
+    fn nan_burst_fails_retraining_then_recovers() {
+        // A healthy model, then a burst of raw NaN observations (no sanitizer
+        // in front). The QA's non-finite guard orders a retrain, but training
+        // windows containing NaN cannot produce a servable model (the
+        // post-train probe rejects them), so the stale model is kept with
+        // backoff. Once the NaNs wash out of the training window, a retry
+        // succeeds and serving returns to Healthy.
+        let resilience = ResilienceConfig {
+            max_history: 60,
+            retrain_backoff_base: 4,
+            retrain_backoff_cap: 16,
+            ..ResilienceConfig::default()
+        };
+        let mut o = OnlineLarp::with_resilience(
+            LarpConfig::default(),
+            40,
+            QualityAssuror::new(2.0, 4, 2).unwrap(),
+            resilience,
+        )
+        .unwrap();
+        let signal = |t: usize| (t as f64 * 0.2).sin() * 3.0;
+        for t in 0..40 {
+            o.push(signal(t));
+        }
+        assert_eq!(o.retrain_count(), 1);
+
+        for _ in 0..6 {
+            let step = o.push(f64::NAN);
+            // The invariant that matters: never a non-finite forecast.
+            if let Some(f) = step.forecast {
+                assert!(f.is_finite());
+            }
+        }
+        assert!(o.counters().retrain_failures > 0, "NaN training window must fail the probe");
+        assert!(o.is_trained(), "stale model kept serving");
+        assert_eq!(o.retrain_count(), 1);
+
+        let mut last = OnlineStep {
+            forecast: None,
+            chosen: None,
+            retrained: false,
+            health: HealthState::Fallback,
+        };
+        for t in 0..80 {
+            last = o.push(signal(t));
+            if let Some(f) = last.forecast {
+                assert!(f.is_finite());
+            }
+        }
+        assert!(o.retrain_count() >= 2, "retraining must succeed after the wash-out");
+        assert_eq!(o.consecutive_retrain_failures(), 0);
+        assert_eq!(last.health, HealthState::Healthy);
+        assert!(last.forecast.is_some());
+    }
+
+    #[test]
+    fn quarantine_of_unknown_id_is_rejected() {
+        let mut o = online();
+        assert!(o.quarantine_predictor(PredictorId(0)).is_err(), "no model yet");
+        for t in 0..41 {
+            o.push((t as f64 * 0.2).sin());
+        }
+        assert!(o.quarantine_predictor(PredictorId(9)).is_err());
+        assert!(o.quarantine_predictor(PredictorId(1)).is_ok());
     }
 }

@@ -2,10 +2,8 @@
 //!
 //! The paper evaluates 60 independent (VM, metric) traces; each
 //! [`TraceReport`] is self-contained, so the sweep is embarrassingly parallel.
-//! [`evaluate_traces`] fans the trace list out over crossbeam scoped threads,
-//! preserving input order in the output.
-
-use crossbeam::thread;
+//! [`evaluate_traces`] fans the trace list out over `std::thread` scoped
+//! threads, preserving input order in the output.
 
 use crate::config::LarpConfig;
 use crate::eval::TraceReport;
@@ -43,13 +41,13 @@ pub fn evaluate_traces_with_threads(
         return traces.iter().enumerate().map(eval_one).collect();
     }
     let chunk = traces.len().div_ceil(threads);
-    let results = thread::scope(|s| {
+    let results = std::thread::scope(|s| {
         let handles: Vec<_> = traces
             .chunks(chunk)
             .enumerate()
             .map(|(c, part)| {
                 let base = c * chunk;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     part.iter()
                         .enumerate()
                         .map(|(j, t)| eval_one((base + j, t)))
@@ -61,8 +59,7 @@ pub fn evaluate_traces_with_threads(
             .into_iter()
             .map(|h| h.join().expect("trace evaluation worker panicked"))
             .collect::<Vec<Vec<_>>>()
-    })
-    .expect("scoped threads never leak");
+    });
     results.into_iter().flatten().collect()
 }
 

@@ -60,9 +60,7 @@ impl QualityAssuror {
             )));
         }
         if audit_window == 0 || audit_period == 0 {
-            return Err(LarpError::InvalidConfig(
-                "QA window and period must be positive".into(),
-            ));
+            return Err(LarpError::InvalidConfig("QA window and period must be positive".into()));
         }
         Ok(Self {
             threshold,
@@ -76,9 +74,18 @@ impl QualityAssuror {
     }
 
     /// Records one (prediction, observation) pair; audits if the period is due.
+    ///
+    /// A non-finite prediction or observation is recorded as a large *finite*
+    /// squared error (`2 · threshold · audit_window`): NaN must never poison
+    /// the rolling mean into permanent NaN (which would disable auditing
+    /// entirely), but a faulted sample still guarantees the next audit trips.
     pub fn record(&mut self, predicted: f64, observed: f64) -> AuditOutcome {
         let d = predicted - observed;
-        self.errors.push_back(d * d);
+        let mut sq = d * d;
+        if !sq.is_finite() {
+            sq = 2.0 * self.threshold * self.audit_window as f64;
+        }
+        self.errors.push_back(sq);
         if self.errors.len() > self.audit_window {
             self.errors.pop_front();
         }
@@ -196,6 +203,25 @@ mod tests {
         assert_eq!(qa.rolling_mse(), None);
         // After reset the period counter restarts too.
         assert_eq!(qa.record(0.0, 0.0), AuditOutcome::NotAudited);
+    }
+
+    #[test]
+    fn nonfinite_samples_trip_the_audit_without_poisoning_the_window() {
+        let mut qa = QualityAssuror::new(1.0, 4, 1).unwrap();
+        // A NaN observation audits as RetrainNeeded with a finite MSE.
+        match qa.record(0.5, f64::NAN) {
+            AuditOutcome::RetrainNeeded { mse } => assert!(mse.is_finite()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match qa.record(f64::INFINITY, 1.0) {
+            AuditOutcome::RetrainNeeded { mse } => assert!(mse.is_finite()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Once the faulted samples roll out of the window, health returns.
+        for _ in 0..4 {
+            qa.record(1.0, 1.0);
+        }
+        assert!(matches!(qa.record(1.0, 1.0), AuditOutcome::Healthy { mse } if mse == 0.0));
     }
 
     #[test]

@@ -87,7 +87,9 @@ impl Selector for NwsCumMse<'_> {
     }
 
     fn observe(&mut self, history: &[f64], actual: f64) {
-        for (forecast, acc) in self.pool.predict_all(history).into_iter().zip(&mut self.accumulators) {
+        for (forecast, acc) in
+            self.pool.predict_all(history).into_iter().zip(&mut self.accumulators)
+        {
             acc.record(forecast, actual);
         }
     }
@@ -135,13 +137,87 @@ impl Selector for WindowedCumMse<'_> {
     }
 
     fn observe(&mut self, history: &[f64], actual: f64) {
-        for (forecast, acc) in self.pool.predict_all(history).into_iter().zip(&mut self.accumulators) {
+        for (forecast, acc) in
+            self.pool.predict_all(history).into_iter().zip(&mut self.accumulators)
+        {
             acc.record(forecast, actual);
         }
     }
 
     fn runs_full_pool(&self) -> bool {
         true
+    }
+}
+
+/// Owned per-predictor windowed-error accounting for the online serving
+/// layer's degradation ladder.
+///
+/// Unlike [`NwsCumMse`]/[`WindowedCumMse`] this holds no pool reference — the
+/// pool is passed to each call — so it can live inside [`crate::OnlineLarp`]
+/// across retrains (each retrain replaces the pool but the error bookkeeping
+/// survives as a fresh tracker). The online layer only pays the full-pool cost
+/// of [`PoolErrorTracker::observe`] while at least one predictor is
+/// quarantined; on a healthy stream it is never consulted.
+#[derive(Debug)]
+pub struct PoolErrorTracker {
+    accumulators: Vec<WindowedMse>,
+}
+
+impl PoolErrorTracker {
+    /// Creates a tracker for a pool of `pool_len` members with the given
+    /// error window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LarpError::InvalidConfig`] if `window == 0`.
+    pub fn new(pool_len: usize, window: usize) -> Result<Self> {
+        let accumulators = (0..pool_len)
+            .map(|_| WindowedMse::new(window))
+            .collect::<timeseries::Result<Vec<_>>>()
+            .map_err(|e| crate::LarpError::InvalidConfig(e.to_string()))?;
+        Ok(Self { accumulators })
+    }
+
+    /// Runs the whole pool on `history` and records each member's error
+    /// against the revealed `actual`. Non-finite forecasts are recorded as a
+    /// large finite penalty so a NaN-emitting model ranks last instead of
+    /// poisoning its accumulator.
+    pub fn observe(&mut self, pool: &PredictorPool, history: &[f64], actual: f64) {
+        for (forecast, acc) in pool.predict_all(history).into_iter().zip(&mut self.accumulators) {
+            if forecast.is_finite() && actual.is_finite() {
+                acc.record(forecast, actual);
+            } else {
+                acc.record(1e6, 0.0);
+            }
+        }
+    }
+
+    /// The lowest-error pool member among those for which `allowed` is true.
+    /// Members without history yet rank as if their error were 0. Returns
+    /// `None` if nothing is allowed.
+    pub fn best_allowed(&self, allowed: impl Fn(PredictorId) -> bool) -> Option<PredictorId> {
+        let mut best: Option<(PredictorId, f64)> = None;
+        for (i, acc) in self.accumulators.iter().enumerate() {
+            let id = PredictorId(i);
+            if !allowed(id) {
+                continue;
+            }
+            let v = acc.mse().unwrap_or(0.0);
+            if best.is_none_or(|(_, bv)| v < bv) {
+                best = Some((id, v));
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+
+    /// Number of pool members tracked.
+    pub fn len(&self) -> usize {
+        self.accumulators.len()
+    }
+
+    /// Whether the tracker tracks nothing.
+    pub fn is_empty(&self) -> bool {
+        self.accumulators.is_empty()
     }
 }
 
@@ -204,11 +280,8 @@ mod tests {
     /// shape is unambiguous (no AR, whose fit quality depends on the data).
     fn two_model_pool(train: &[f64]) -> PredictorPool {
         use predictors::ModelSpec;
-        PredictorPool::from_specs(
-            &[ModelSpec::Last, ModelSpec::SwAvg { window: 4 }],
-            train,
-        )
-        .unwrap()
+        PredictorPool::from_specs(&[ModelSpec::Last, ModelSpec::SwAvg { window: 4 }], train)
+            .unwrap()
     }
 
     #[test]
@@ -296,6 +369,38 @@ mod tests {
         assert_eq!(sel.select(&t[..20]).unwrap(), PredictorId(2));
         assert!(!sel.runs_full_pool());
         assert_eq!(sel.name(), "SW_AVG");
+    }
+
+    #[test]
+    fn tracker_ranks_by_windowed_error_and_respects_exclusions() {
+        // Smooth ramp: LAST (id 0) beats SW_AVG (id 1).
+        let t: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        let pool = two_model_pool(&t);
+        let mut tracker = PoolErrorTracker::new(pool.len(), 8).unwrap();
+        for step in 4..60 {
+            tracker.observe(&pool, &t[..step], t[step]);
+        }
+        assert_eq!(tracker.best_allowed(|_| true), Some(PredictorId(0)));
+        // Excluding the winner falls through to the runner-up.
+        assert_eq!(tracker.best_allowed(|id| id.0 != 0), Some(PredictorId(1)));
+        // Excluding everything yields nothing.
+        assert_eq!(tracker.best_allowed(|_| false), None);
+        assert_eq!(tracker.len(), 2);
+        assert!(!tracker.is_empty());
+    }
+
+    #[test]
+    fn tracker_survives_nonfinite_observations() {
+        let t: Vec<f64> = (0..60).map(|i| i as f64 * 0.1).collect();
+        let pool = two_model_pool(&t);
+        let mut tracker = PoolErrorTracker::new(pool.len(), 4).unwrap();
+        for step in 4..20 {
+            tracker.observe(&pool, &t[..step], t[step]);
+        }
+        // A NaN actual must not poison the accounting into unanimity loss.
+        tracker.observe(&pool, &t[..20], f64::NAN);
+        assert!(tracker.best_allowed(|_| true).is_some());
+        assert!(PoolErrorTracker::new(2, 0).is_err());
     }
 
     #[test]

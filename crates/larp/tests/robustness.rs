@@ -78,11 +78,7 @@ fn kdtree_backend_matches_brute_force_through_full_pipeline() {
     let tree = TrainedLarp::train(&values[..200], &tree_cfg).unwrap();
     let norm = brute.zscore().apply_slice(&values);
     for t in 5..norm.len() {
-        assert_eq!(
-            brute.select(&norm[..t]).unwrap(),
-            tree.select(&norm[..t]).unwrap(),
-            "step {t}"
-        );
+        assert_eq!(brute.select(&norm[..t]).unwrap(), tree.select(&norm[..t]).unwrap(), "step {t}");
     }
 }
 
@@ -160,6 +156,49 @@ fn report_handles_fold_count_of_one() {
     let values = base_trace(200);
     let report = TraceReport::evaluate("one", &values, &LarpConfig::default(), 1, 5).unwrap();
     assert_eq!(report.folds, 1);
+}
+
+#[test]
+fn nan_in_training_data_errors_cleanly() {
+    // NaN anywhere in the training half must produce a clean Err (the eigen
+    // guard rejects a non-finite covariance), never a panic and never a
+    // "trained" model that serves NaN.
+    let mut values = base_trace(100);
+    values[20] = f64::NAN;
+    match TrainedLarp::train(&values[..50], &LarpConfig::default()) {
+        Err(_) => {}
+        Ok(model) => {
+            // If some configuration ever trains through, it must still serve
+            // finite forecasts.
+            let (_, f) = model.predict_next_raw(&values[50..80]).unwrap();
+            assert!(f.is_finite());
+        }
+    }
+}
+
+#[test]
+fn sanitized_stream_matches_clean_training() {
+    // A clean stream through the sanitizer is a no-op: the guarded stack and
+    // a bare OnlineLarp must produce identical forecasts.
+    use larp::{GuardedLarp, IngestConfig, OnlineLarp, QualityAssuror};
+    let values = base_trace(200);
+    let mut bare =
+        OnlineLarp::new(LarpConfig::default(), 40, QualityAssuror::new(2.0, 8, 4).unwrap())
+            .unwrap();
+    let mut guarded = GuardedLarp::new(
+        IngestConfig { outlier: larp::OutlierPolicy::None, ..IngestConfig::default() },
+        LarpConfig::default(),
+        40,
+        QualityAssuror::new(2.0, 8, 4).unwrap(),
+    )
+    .unwrap();
+    for (t, &v) in values.iter().enumerate() {
+        let a = bare.push(v);
+        let b = guarded.ingest(t as u64, v);
+        assert_eq!(b.len(), 1, "clean sample must pass through 1:1");
+        assert_eq!(a, b[0], "step {t}");
+    }
+    assert_eq!(guarded.sanitizer().stats().faults_sanitized(), 0);
 }
 
 #[test]

@@ -52,13 +52,7 @@ impl ConfusionMatrix {
         if predicted.is_empty() {
             return Err(LearnError::InsufficientData("confusion over no samples".into()));
         }
-        let n = predicted
-            .iter()
-            .chain(actual)
-            .copied()
-            .max()
-            .expect("non-empty")
-            + 1;
+        let n = predicted.iter().chain(actual).copied().max().expect("non-empty") + 1;
         let mut counts = vec![vec![0usize; n]; n];
         for (&p, &a) in predicted.iter().zip(actual) {
             counts[a][p] += 1;

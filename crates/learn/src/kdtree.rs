@@ -55,12 +55,7 @@ impl KdTree {
                 )));
             }
         }
-        let mut tree = Self {
-            nodes: Vec::with_capacity(points.len()),
-            points,
-            root: None,
-            dim,
-        };
+        let mut tree = Self { nodes: Vec::with_capacity(points.len()), points, root: None, dim };
         let mut idx: Vec<usize> = (0..tree.points.len()).collect();
         tree.root = tree.build_rec(&mut idx, 0);
         Ok(tree)
@@ -73,10 +68,10 @@ impl KdTree {
         let axis = depth % self.dim;
         let mid = idx.len() / 2;
         // Median split: O(n) selection on the axis coordinate.
+        // total_cmp: a NaN coordinate (corrupted upstream data) degrades the
+        // split instead of panicking the build.
         idx.select_nth_unstable_by(mid, |&a, &b| {
-            self.points[a][axis]
-                .partial_cmp(&self.points[b][axis])
-                .expect("coordinates are finite")
+            self.points[a][axis].total_cmp(&self.points[b][axis])
         });
         let point = idx[mid];
         let node_id = self.nodes.len();
@@ -131,24 +126,14 @@ impl KdTree {
         Ok(best)
     }
 
-    fn search(
-        &self,
-        node: Option<usize>,
-        query: &[f64],
-        k: usize,
-        best: &mut Vec<(usize, f64)>,
-    ) {
+    fn search(&self, node: Option<usize>, query: &[f64], k: usize, best: &mut Vec<(usize, f64)>) {
         let Some(id) = node else { return };
         let n = &self.nodes[id];
         let d = squared_distance(query, &self.points[n.point]);
         Self::offer(best, k, (n.point, d));
 
         let axis_delta = query[n.axis] - self.points[n.point][n.axis];
-        let (near, far) = if axis_delta <= 0.0 {
-            (n.left, n.right)
-        } else {
-            (n.right, n.left)
-        };
+        let (near, far) = if axis_delta <= 0.0 { (n.left, n.right) } else { (n.right, n.left) };
         self.search(near, query, k, best);
         // Prune: only descend the far side if the splitting plane is closer
         // than the current k-th best distance (or we have fewer than k yet).
@@ -167,11 +152,9 @@ impl KdTree {
         // Order: ascending distance, then ascending index for determinism.
         let pos = best
             .binary_search_by(|probe| {
-                probe
-                    .1
-                    .partial_cmp(&cand.1)
-                    .expect("distances are finite")
-                    .then(probe.0.cmp(&cand.0))
+                // total_cmp ranks a NaN distance after every finite one, so a
+                // corrupted point loses ties instead of aborting the query.
+                probe.1.total_cmp(&cand.1).then(probe.0.cmp(&cand.0))
             })
             .unwrap_or_else(|e| e);
         best.insert(pos, cand);
@@ -188,11 +171,8 @@ mod tests {
 
     /// Brute-force reference with identical ordering semantics.
     fn brute(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<(usize, f64)> {
-        let mut all: Vec<(usize, f64)> = points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i, squared_distance(query, p)))
-            .collect();
+        let mut all: Vec<(usize, f64)> =
+            points.iter().enumerate().map(|(i, p)| (i, squared_distance(query, p))).collect();
         all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         all.truncate(k);
         all
@@ -200,9 +180,7 @@ mod tests {
 
     fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        (0..n)
-            .map(|_| (0..dim).map(|_| rng.uniform(-10.0, 10.0)).collect())
-            .collect()
+        (0..n).map(|_| (0..dim).map(|_| rng.uniform(-10.0, 10.0)).collect()).collect()
     }
 
     #[test]

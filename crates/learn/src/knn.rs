@@ -7,7 +7,6 @@
 //! (`O(log N)` expected, the fast alternative the paper cites) — and a test
 //! asserts they classify identically.
 
-use crossbeam::thread;
 use linalg::vecops::squared_distance;
 
 use crate::kdtree::KdTree;
@@ -134,19 +133,12 @@ impl KnnClassifier {
                     .enumerate()
                     .map(|(i, p)| (i, squared_distance(query, p)))
                     .collect();
-                all.sort_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .expect("distances are finite")
-                        .then(a.0.cmp(&b.0))
-                });
+                all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
                 all.truncate(self.k);
                 all
             }
         };
-        Ok(idx_dist
-            .into_iter()
-            .map(|(i, d)| (self.labels[i], d))
-            .collect())
+        Ok(idx_dist.into_iter().map(|(i, d)| (self.labels[i], d)).collect())
     }
 
     /// Classifies one query by majority vote among its `k` nearest neighbours.
@@ -178,17 +170,20 @@ impl KnnClassifier {
             return queries.iter().map(|q| self.classify(q)).collect();
         }
         let chunk = queries.len().div_ceil(threads);
-        let results = thread::scope(|s| {
+        let results = std::thread::scope(|s| {
             let handles: Vec<_> = queries
                 .chunks(chunk)
-                .map(|part| s.spawn(move |_| part.iter().map(|q| self.classify(q)).collect::<Result<Vec<_>>>()))
+                .map(|part| {
+                    s.spawn(move || {
+                        part.iter().map(|q| self.classify(q)).collect::<Result<Vec<_>>>()
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("k-NN worker panicked"))
                 .collect::<Result<Vec<Vec<usize>>>>()
-        })
-        .expect("scoped threads never leak");
+        });
         Ok(results?.into_iter().flatten().collect())
     }
 }
@@ -295,12 +290,8 @@ mod tests {
     #[test]
     fn fit_validation() {
         assert!(KnnClassifier::fit(vec![], vec![], 3, KnnBackend::BruteForce).is_err());
-        assert!(
-            KnnClassifier::fit(vec![vec![1.0]], vec![0], 0, KnnBackend::BruteForce).is_err()
-        );
-        assert!(
-            KnnClassifier::fit(vec![vec![1.0]], vec![0, 1], 1, KnnBackend::BruteForce).is_err()
-        );
+        assert!(KnnClassifier::fit(vec![vec![1.0]], vec![0], 0, KnnBackend::BruteForce).is_err());
+        assert!(KnnClassifier::fit(vec![vec![1.0]], vec![0, 1], 1, KnnBackend::BruteForce).is_err());
         assert!(KnnClassifier::fit(
             vec![vec![1.0], vec![1.0, 2.0]],
             vec![0, 1],

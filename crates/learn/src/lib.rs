@@ -17,7 +17,6 @@
 //!   *forecasting accuracy* the paper reports).
 #![warn(missing_docs)]
 
-
 pub mod eval;
 pub mod kdtree;
 pub mod knn;

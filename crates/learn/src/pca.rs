@@ -125,9 +125,7 @@ impl Pca {
             )));
         }
         let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
-        self.components
-            .matvec(&centered)
-            .map_err(|e| LearnError::Numerical(e.to_string()))
+        self.components.matvec(&centered).map_err(|e| LearnError::Numerical(e.to_string()))
     }
 
     /// Projects every row of `data`, producing an `N × n` matrix.
@@ -244,11 +242,7 @@ mod tests {
         for row in data.iter_rows() {
             let z = pca1.transform(row).unwrap();
             let back = pca1.inverse_transform(&z).unwrap();
-            total_err += back
-                .iter()
-                .zip(row)
-                .map(|(a, b)| (a - b).powi(2))
-                .sum::<f64>();
+            total_err += back.iter().zip(row).map(|(a, b)| (a - b).powi(2)).sum::<f64>();
         }
         // Off-diagonal noise is ±0.1 in a direction orthogonal to (1,1):
         // squared distance to the axis is 2 * 0.1^2 = 0.02 per point.

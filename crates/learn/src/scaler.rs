@@ -93,13 +93,8 @@ mod tests {
     use super::*;
 
     fn data() -> Matrix {
-        Matrix::from_rows(&[
-            vec![1.0, 100.0],
-            vec![2.0, 200.0],
-            vec![3.0, 300.0],
-            vec![4.0, 400.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[vec![1.0, 100.0], vec![2.0, 200.0], vec![3.0, 300.0], vec![4.0, 400.0]])
+            .unwrap()
     }
 
     #[test]

@@ -49,9 +49,7 @@ pub fn repeated_splits<R: Rng64 + ?Sized>(
     folds: usize,
     rng: &mut R,
 ) -> Vec<Split> {
-    (0..folds)
-        .filter_map(|_| random_contiguous_split(len, min_each, rng))
-        .collect()
+    (0..folds).filter_map(|_| random_contiguous_split(len, min_each, rng)).collect()
 }
 
 /// Conventional contiguous k-fold: fold `i` is the test block, the training
@@ -95,8 +93,9 @@ mod tests {
     #[test]
     fn random_split_is_roughly_balanced() {
         let mut rng = Xoshiro256pp::seed_from_u64(2);
-        let cuts: Vec<usize> =
-            (0..500).map(|_| random_contiguous_split(1000, 10, &mut rng).unwrap().train.end).collect();
+        let cuts: Vec<usize> = (0..500)
+            .map(|_| random_contiguous_split(1000, 10, &mut rng).unwrap().train.end)
+            .collect();
         let mean = cuts.iter().sum::<usize>() as f64 / cuts.len() as f64;
         assert!((mean - 500.0).abs() < 30.0, "mean cut {mean}");
         // And it actually varies (it is random).

@@ -1,21 +1,28 @@
-//! Property-based tests for the learning substrate.
-
-use proptest::prelude::*;
+//! Randomized property tests for the learning substrate.
+//!
+//! Seeded `simrng` loops replace the original proptest strategies so the
+//! suite runs without external crates; every case is deterministic per seed.
 
 use learn::{eval, split, FeatureScaler, KdTree, KnnBackend, KnnClassifier, Pca};
 use linalg::Matrix;
-use simrng::Xoshiro256pp;
+use simrng::{Rng64, Xoshiro256pp};
 
-fn points(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(proptest::collection::vec(-50f64..50.0, dim), n)
+fn random_vec(rng: &mut Xoshiro256pp, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.uniform(lo, hi)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn points(rng: &mut Xoshiro256pp, n: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..n).map(|_| random_vec(rng, dim, -50.0, 50.0)).collect()
+}
 
-    /// kd-tree k-NN identical to brute force, including tie ordering.
-    #[test]
-    fn kdtree_equals_brute_force(pts in points(40, 2), q in proptest::collection::vec(-60f64..60.0, 2), k in 1usize..8) {
+/// kd-tree k-NN identical to brute force, including tie ordering.
+#[test]
+fn kdtree_equals_brute_force() {
+    let mut rng = Xoshiro256pp::seed_from_u64(201);
+    for _ in 0..48 {
+        let pts = points(&mut rng, 40, 2);
+        let q = random_vec(&mut rng, 2, -60.0, 60.0);
+        let k = 1 + rng.next_below(7) as usize;
         let tree = KdTree::build(pts.clone()).unwrap();
         let got = tree.nearest(&q, k).unwrap();
         let mut all: Vec<(usize, f64)> = pts
@@ -23,24 +30,34 @@ proptest! {
             .enumerate()
             .map(|(i, p)| (i, (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2)))
             .collect();
-        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         all.truncate(k);
-        prop_assert_eq!(got, all);
+        assert_eq!(got, all);
     }
+}
 
-    /// Both k-NN back-ends classify identically for any k.
-    #[test]
-    fn knn_backends_agree(pts in points(30, 3), q in proptest::collection::vec(-60f64..60.0, 3), k in 1usize..7) {
+/// Both k-NN back-ends classify identically for any k.
+#[test]
+fn knn_backends_agree() {
+    let mut rng = Xoshiro256pp::seed_from_u64(202);
+    for _ in 0..48 {
+        let pts = points(&mut rng, 30, 3);
+        let q = random_vec(&mut rng, 3, -60.0, 60.0);
+        let k = 1 + rng.next_below(6) as usize;
         let labels: Vec<usize> = (0..pts.len()).map(|i| i % 3).collect();
-        let brute = KnnClassifier::fit(pts.clone(), labels.clone(), k, KnnBackend::BruteForce).unwrap();
+        let brute =
+            KnnClassifier::fit(pts.clone(), labels.clone(), k, KnnBackend::BruteForce).unwrap();
         let tree = KnnClassifier::fit(pts, labels, k, KnnBackend::KdTree).unwrap();
-        prop_assert_eq!(brute.classify(&q).unwrap(), tree.classify(&q).unwrap());
+        assert_eq!(brute.classify(&q).unwrap(), tree.classify(&q).unwrap());
     }
+}
 
-    /// PCA reconstruction error never increases with more components.
-    #[test]
-    fn pca_reconstruction_monotone(data in proptest::collection::vec(-20f64..20.0, 40)) {
-        let m = Matrix::from_vec(10, 4, data).unwrap();
+/// PCA reconstruction error never increases with more components.
+#[test]
+fn pca_reconstruction_monotone() {
+    let mut rng = Xoshiro256pp::seed_from_u64(203);
+    for _ in 0..48 {
+        let m = Matrix::from_vec(10, 4, random_vec(&mut rng, 40, -20.0, 20.0)).unwrap();
         let mut prev = f64::INFINITY;
         for n in 1..=4 {
             let pca = Pca::fit(&m, n).unwrap();
@@ -50,65 +67,80 @@ proptest! {
                 let back = pca.inverse_transform(&z).unwrap();
                 err += row.iter().zip(&back).map(|(a, b)| (a - b).powi(2)).sum::<f64>();
             }
-            prop_assert!(err <= prev + 1e-6, "n={n}: {err} > {prev}");
+            assert!(err <= prev + 1e-6, "n={n}: {err} > {prev}");
             prev = err;
         }
         // Full rank reconstructs exactly.
-        prop_assert!(prev < 1e-9 * m.frobenius_norm().max(1.0));
+        assert!(prev < 1e-9 * m.frobenius_norm().max(1.0));
     }
+}
 
-    /// Explained-variance ratios are a descending probability vector.
-    #[test]
-    fn pca_variance_ratios_valid(data in proptest::collection::vec(-20f64..20.0, 60)) {
-        let m = Matrix::from_vec(12, 5, data).unwrap();
+/// Explained-variance ratios are a descending probability vector.
+#[test]
+fn pca_variance_ratios_valid() {
+    let mut rng = Xoshiro256pp::seed_from_u64(204);
+    for _ in 0..48 {
+        let m = Matrix::from_vec(12, 5, random_vec(&mut rng, 60, -20.0, 20.0)).unwrap();
         let pca = Pca::fit(&m, 5).unwrap();
         let r = pca.explained_variance_ratio();
         let total: f64 = r.iter().sum();
-        prop_assert!(total <= 1.0 + 1e-9);
+        assert!(total <= 1.0 + 1e-9);
         for w in r.windows(2) {
-            prop_assert!(w[0] >= w[1] - 1e-12);
+            assert!(w[0] >= w[1] - 1e-12);
         }
         for &x in &r {
-            prop_assert!(x >= -1e-12);
+            assert!(x >= -1e-12);
         }
     }
+}
 
-    /// FeatureScaler round-trips any in-dimension observation.
-    #[test]
-    fn scaler_round_trip(data in proptest::collection::vec(-100f64..100.0, 30), x in proptest::collection::vec(-200f64..200.0, 3)) {
-        let m = Matrix::from_vec(10, 3, data).unwrap();
+/// FeatureScaler round-trips any in-dimension observation.
+#[test]
+fn scaler_round_trip() {
+    let mut rng = Xoshiro256pp::seed_from_u64(205);
+    for _ in 0..48 {
+        let m = Matrix::from_vec(10, 3, random_vec(&mut rng, 30, -100.0, 100.0)).unwrap();
+        let x = random_vec(&mut rng, 3, -200.0, 200.0);
         let s = FeatureScaler::fit(&m);
         let z = s.transform(&x).unwrap();
         let back = s.inverse_transform(&z).unwrap();
         for (a, b) in back.iter().zip(&x) {
-            prop_assert!((a - b).abs() < 1e-8 * b.abs().max(1.0));
+            assert!((a - b).abs() < 1e-8 * b.abs().max(1.0));
         }
     }
+}
 
-    /// Random contiguous splits partition the index range.
-    #[test]
-    fn splits_partition(len in 20usize..500, min_each in 1usize..10, seed in 0u64..1000) {
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        if let Some(s) = split::random_contiguous_split(len, min_each, &mut rng) {
-            prop_assert_eq!(s.train.start, 0);
-            prop_assert_eq!(s.train.end, s.test.start);
-            prop_assert_eq!(s.test.end, len);
-            prop_assert!(s.train.len() >= min_each && s.test.len() >= min_each);
+/// Random contiguous splits partition the index range.
+#[test]
+fn splits_partition() {
+    let mut rng = Xoshiro256pp::seed_from_u64(206);
+    for _ in 0..48 {
+        let len = 20 + rng.next_below(480) as usize;
+        let min_each = 1 + rng.next_below(9) as usize;
+        let seed = rng.next_below(1000);
+        let mut split_rng = Xoshiro256pp::seed_from_u64(seed);
+        if let Some(s) = split::random_contiguous_split(len, min_each, &mut split_rng) {
+            assert_eq!(s.train.start, 0);
+            assert_eq!(s.train.end, s.test.start);
+            assert_eq!(s.test.end, len);
+            assert!(s.train.len() >= min_each && s.test.len() >= min_each);
         } else {
-            prop_assert!(len < 2 * min_each || min_each == 0);
+            assert!(len < 2 * min_each || min_each == 0);
         }
     }
+}
 
-    /// Accuracy equals the confusion matrix's trace ratio.
-    #[test]
-    fn accuracy_consistent_with_confusion(
-        labels in proptest::collection::vec(0usize..4, 1..60),
-        preds in proptest::collection::vec(0usize..4, 60),
-    ) {
-        let preds = &preds[..labels.len()];
-        let acc = eval::accuracy(preds, &labels).unwrap();
-        let cm = eval::ConfusionMatrix::from_labels(preds, &labels).unwrap();
-        prop_assert!((acc - cm.accuracy()).abs() < 1e-12);
-        prop_assert_eq!(cm.total(), labels.len());
+/// Accuracy equals the confusion matrix's trace ratio.
+#[test]
+fn accuracy_consistent_with_confusion() {
+    let mut rng = Xoshiro256pp::seed_from_u64(207);
+    for _ in 0..48 {
+        let n = 1 + rng.next_below(59) as usize;
+        let labels: Vec<usize> = (0..n).map(|_| rng.next_below(4) as usize).collect();
+        let preds: Vec<usize> = (0..n).map(|_| rng.next_below(4) as usize).collect();
+        let acc = eval::accuracy(&preds, &labels).unwrap();
+        let cm = eval::ConfusionMatrix::from_labels(&preds, &labels).unwrap();
+        assert!((acc - cm.accuracy()).abs() < 1e-12);
+        assert_eq!(cm.total(), labels.len());
     }
 }

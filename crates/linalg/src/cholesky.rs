@@ -35,9 +35,7 @@ impl Cholesky {
                 d -= l[(j, k)] * l[(j, k)];
             }
             if d <= 0.0 || !d.is_finite() {
-                return Err(LinalgError::NotPositiveDefinite(format!(
-                    "pivot {j} is {d:.3e}"
-                )));
+                return Err(LinalgError::NotPositiveDefinite(format!("pivot {j} is {d:.3e}")));
             }
             let djj = d.sqrt();
             l[(j, j)] = djj;
@@ -112,12 +110,8 @@ mod tests {
 
     #[test]
     fn l_lt_reconstructs_a() {
-        let a = Matrix::from_rows(&[
-            vec![6.0, 2.0, 1.0],
-            vec![2.0, 5.0, 2.0],
-            vec![1.0, 2.0, 4.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![6.0, 2.0, 1.0], vec![2.0, 5.0, 2.0], vec![1.0, 2.0, 4.0]])
+            .unwrap();
         let c = Cholesky::decompose(&a).unwrap();
         let llt = c.factor().matmul(&c.factor().transpose()).unwrap();
         assert!(llt.max_abs_diff(&a).unwrap() < 1e-12);
@@ -125,12 +119,8 @@ mod tests {
 
     #[test]
     fn solve_round_trips() {
-        let a = Matrix::from_rows(&[
-            vec![6.0, 2.0, 1.0],
-            vec![2.0, 5.0, 2.0],
-            vec![1.0, 2.0, 4.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![6.0, 2.0, 1.0], vec![2.0, 5.0, 2.0], vec![1.0, 2.0, 4.0]])
+            .unwrap();
         let x_true = vec![1.0, -2.0, 0.5];
         let b = a.matvec(&x_true).unwrap();
         let x = Cholesky::decompose(&a).unwrap().solve(&b).unwrap();
@@ -142,10 +132,7 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
-        assert!(matches!(
-            Cholesky::decompose(&a),
-            Err(LinalgError::NotPositiveDefinite(_))
-        ));
+        assert!(matches!(Cholesky::decompose(&a), Err(LinalgError::NotPositiveDefinite(_))));
     }
 
     #[test]

@@ -159,12 +159,7 @@ mod tests {
     #[test]
     fn lstsq_exact_fit_line() {
         // Fit y = 2x + 1 through three exact points.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![1.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
         let x = lstsq(&a, &[1.0, 3.0, 5.0]).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-12);
         assert!((x[1] - 2.0).abs() < 1e-12);
@@ -174,29 +169,14 @@ mod tests {
     fn lstsq_overdetermined_minimizes_residual() {
         // Points on y = x with one outlier pulled up: slope should stay near 1,
         // and the residual must be no worse than the exact-line parameters'.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![1.0, 2.0],
-            vec![1.0, 3.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0], vec![1.0, 3.0]])
+                .unwrap();
         let b = [0.0, 1.0, 2.0, 4.0];
         let x = lstsq(&a, &b).unwrap();
-        let res_fit: f64 = a
-            .matvec(&x)
-            .unwrap()
-            .iter()
-            .zip(&b)
-            .map(|(p, o)| (p - o).powi(2))
-            .sum();
-        let res_line: f64 = a
-            .matvec(&[0.0, 1.0])
-            .unwrap()
-            .iter()
-            .zip(&b)
-            .map(|(p, o)| (p - o).powi(2))
-            .sum();
+        let res_fit: f64 = a.matvec(&x).unwrap().iter().zip(&b).map(|(p, o)| (p - o).powi(2)).sum();
+        let res_line: f64 =
+            a.matvec(&[0.0, 1.0]).unwrap().iter().zip(&b).map(|(p, o)| (p - o).powi(2)).sum();
         assert!(res_fit <= res_line + 1e-12);
     }
 

@@ -17,7 +17,6 @@
 //! kernels are nowhere near the pipeline's critical path.
 #![warn(missing_docs)]
 
-
 pub mod cholesky;
 pub mod gauss;
 pub mod matrix;

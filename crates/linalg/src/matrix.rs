@@ -178,10 +178,7 @@ impl Matrix {
                 v.len()
             )));
         }
-        Ok(self
-            .iter_rows()
-            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok(self.iter_rows().map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Elementwise sum `self + rhs`.
@@ -433,12 +430,7 @@ mod tests {
     #[test]
     fn covariance_of_known_data() {
         // Perfectly correlated columns: cov = var on the diagonal and off it.
-        let m = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ])
-        .unwrap();
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         let c = m.covariance();
         assert!(approx(c[(0, 0)], 1.0));
         assert!(approx(c[(1, 1)], 4.0));

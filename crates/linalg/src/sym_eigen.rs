@@ -38,10 +38,14 @@ impl SymEigen {
                 a.cols()
             )));
         }
-        let scale = a
-            .as_slice()
-            .iter()
-            .fold(0.0f64, |m, &x| m.max(x.abs()));
+        if a.as_slice().iter().any(|x| !x.is_finite()) {
+            // NaN also defeats the convergence test below (`NaN > tol` is
+            // false), which would report a garbage decomposition as converged.
+            return Err(LinalgError::InvalidArgument(
+                "eigendecomposition requires finite matrix entries".into(),
+            ));
+        }
+        let scale = a.as_slice().iter().fold(0.0f64, |m, &x| m.max(x.abs()));
         if !a.is_symmetric(1e-8 * scale.max(1.0)) {
             return Err(LinalgError::InvalidArgument(
                 "eigendecomposition requires a symmetric matrix".into(),
@@ -77,7 +81,7 @@ impl SymEigen {
         // Extract and sort eigenpairs by descending eigenvalue.
         let mut order: Vec<usize> = (0..n).collect();
         let eig: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-        order.sort_by(|&i, &j| eig[j].partial_cmp(&eig[i]).expect("eigenvalues are finite"));
+        order.sort_by(|&i, &j| eig[j].total_cmp(&eig[i]));
 
         let eigenvalues: Vec<f64> = order.iter().map(|&i| eig[i]).collect();
         let mut eigenvectors = Matrix::zeros(n, n);
@@ -211,12 +215,9 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            vec![2.0, -1.0, 0.0],
-            vec![-1.0, 2.0, -1.0],
-            vec![0.0, -1.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[vec![2.0, -1.0, 0.0], vec![-1.0, 2.0, -1.0], vec![0.0, -1.0, 2.0]])
+                .unwrap();
         let e = SymEigen::decompose(&a).unwrap();
         let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
         assert!(vtv.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-12);
@@ -224,12 +225,8 @@ mod tests {
 
     #[test]
     fn trace_equals_eigenvalue_sum() {
-        let a = Matrix::from_rows(&[
-            vec![5.0, 2.0, 1.0],
-            vec![2.0, 4.0, 0.0],
-            vec![1.0, 0.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![5.0, 2.0, 1.0], vec![2.0, 4.0, 0.0], vec![1.0, 0.0, 3.0]])
+            .unwrap();
         let e = SymEigen::decompose(&a).unwrap();
         let trace = a[(0, 0)] + a[(1, 1)] + a[(2, 2)];
         let sum: f64 = e.eigenvalues.iter().sum();

@@ -86,9 +86,7 @@ pub fn levinson_durbin(r: &[f64], p: usize) -> Result<LevinsonResult> {
 pub fn toeplitz_matvec(r: &[f64], x: &[f64]) -> Vec<f64> {
     let n = x.len();
     assert!(n <= r.len(), "toeplitz_matvec: need r for all lags");
-    (0..n)
-        .map(|i| (0..n).map(|j| r[i.abs_diff(j)] * x[j]).sum())
-        .collect()
+    (0..n).map(|i| (0..n).map(|j| r[i.abs_diff(j)] * x[j]).sum()).collect()
 }
 
 #[cfg(test)]

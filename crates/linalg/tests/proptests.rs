@@ -1,145 +1,169 @@
-//! Property-based tests for the linear-algebra kernels.
+//! Randomized property tests for the linear-algebra kernels.
+//!
+//! Seeded `simrng` loops replace the original proptest strategies so the
+//! suite runs without external crates; every case is deterministic per seed.
 
-use proptest::prelude::*;
+use simrng::{Rng64, Xoshiro256pp};
 
 use linalg::gauss;
 use linalg::toeplitz::{levinson_durbin, toeplitz_matvec};
 use linalg::{Cholesky, Matrix, SymEigen};
 
-/// Random symmetric matrix built as A = B + Bᵀ from bounded entries.
-fn symmetric(n: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-5.0f64..5.0, n * n).prop_map(move |data| {
-        let b = Matrix::from_vec(n, n, data).unwrap();
-        let mut a = b.add(&b.transpose()).unwrap();
-        a.scale(0.5);
-        a
-    })
+fn random_vec(rng: &mut Xoshiro256pp, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.uniform(lo, hi)).collect()
+}
+
+/// Random symmetric matrix built as A = (B + Bᵀ)/2 from bounded entries.
+fn symmetric(rng: &mut Xoshiro256pp, n: usize) -> Matrix {
+    let b = Matrix::from_vec(n, n, random_vec(rng, n * n, -5.0, 5.0)).unwrap();
+    let mut a = b.add(&b.transpose()).unwrap();
+    a.scale(0.5);
+    a
 }
 
 /// Random symmetric positive-definite matrix: A = BᵀB + εI.
-fn spd(n: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-3.0f64..3.0, n * n).prop_map(move |data| {
-        let b = Matrix::from_vec(n, n, data).unwrap();
-        let mut a = b.transpose().matmul(&b).unwrap();
-        for i in 0..n {
-            a[(i, i)] += 0.5;
-        }
-        a
-    })
+fn spd(rng: &mut Xoshiro256pp, n: usize) -> Matrix {
+    let b = Matrix::from_vec(n, n, random_vec(rng, n * n, -3.0, 3.0)).unwrap();
+    let mut a = b.transpose().matmul(&b).unwrap();
+    for i in 0..n {
+        a[(i, i)] += 0.5;
+    }
+    a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Jacobi eigenpairs satisfy A v = λ v and V is orthonormal.
-    #[test]
-    fn eigen_residual_and_orthonormality(a in symmetric(6)) {
+/// Jacobi eigenpairs satisfy A v = λ v and V is orthonormal.
+#[test]
+fn eigen_residual_and_orthonormality() {
+    let mut rng = Xoshiro256pp::seed_from_u64(101);
+    for _ in 0..64 {
+        let a = symmetric(&mut rng, 6);
         let e = SymEigen::decompose(&a).unwrap();
         let scale = a.frobenius_norm().max(1.0);
         for k in 0..6 {
             let v = e.eigenvector(k);
             let av = a.matvec(&v).unwrap();
             for (x, y) in av.iter().zip(&v) {
-                prop_assert!((x - e.eigenvalues[k] * y).abs() < 1e-8 * scale);
+                assert!((x - e.eigenvalues[k] * y).abs() < 1e-8 * scale);
             }
         }
         let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
-        prop_assert!(vtv.max_abs_diff(&Matrix::identity(6)).unwrap() < 1e-9);
+        assert!(vtv.max_abs_diff(&Matrix::identity(6)).unwrap() < 1e-9);
     }
+}
 
-    /// Eigenvalue sum equals the trace; descending order holds.
-    #[test]
-    fn eigen_trace_and_order(a in symmetric(5)) {
+/// Eigenvalue sum equals the trace; descending order holds.
+#[test]
+fn eigen_trace_and_order() {
+    let mut rng = Xoshiro256pp::seed_from_u64(102);
+    for _ in 0..64 {
+        let a = symmetric(&mut rng, 5);
         let e = SymEigen::decompose(&a).unwrap();
         let trace: f64 = (0..5).map(|i| a[(i, i)]).sum();
         let sum: f64 = e.eigenvalues.iter().sum();
-        prop_assert!((trace - sum).abs() < 1e-8 * trace.abs().max(1.0));
+        assert!((trace - sum).abs() < 1e-8 * trace.abs().max(1.0));
         for w in e.eigenvalues.windows(2) {
-            prop_assert!(w[0] >= w[1] - 1e-10);
+            assert!(w[0] >= w[1] - 1e-10);
         }
     }
+}
 
-    /// Cholesky reconstructs and solves SPD systems.
-    #[test]
-    fn cholesky_solve_round_trip(a in spd(5), x in proptest::collection::vec(-5.0f64..5.0, 5)) {
+/// Cholesky reconstructs and solves SPD systems.
+#[test]
+fn cholesky_solve_round_trip() {
+    let mut rng = Xoshiro256pp::seed_from_u64(103);
+    for _ in 0..64 {
+        let a = spd(&mut rng, 5);
+        let x = random_vec(&mut rng, 5, -5.0, 5.0);
         let b = a.matvec(&x).unwrap();
         let c = Cholesky::decompose(&a).unwrap();
         let got = c.solve(&b).unwrap();
         let llt = c.factor().matmul(&c.factor().transpose()).unwrap();
-        prop_assert!(llt.max_abs_diff(&a).unwrap() < 1e-8 * a.frobenius_norm().max(1.0));
+        assert!(llt.max_abs_diff(&a).unwrap() < 1e-8 * a.frobenius_norm().max(1.0));
         // Verify by substitution (robust to conditioning, unlike x-comparison).
         let back = a.matvec(&got).unwrap();
         for (bi, gi) in b.iter().zip(&back) {
-            prop_assert!((bi - gi).abs() < 1e-6 * b.iter().map(|v| v.abs()).fold(1.0, f64::max));
+            assert!((bi - gi).abs() < 1e-6 * b.iter().map(|v| v.abs()).fold(1.0, f64::max));
         }
     }
+}
 
-    /// Gaussian elimination agrees with Cholesky on SPD systems.
-    #[test]
-    fn gauss_matches_cholesky(a in spd(4), x in proptest::collection::vec(-5.0f64..5.0, 4)) {
+/// Gaussian elimination agrees with Cholesky on SPD systems.
+#[test]
+fn gauss_matches_cholesky() {
+    let mut rng = Xoshiro256pp::seed_from_u64(104);
+    for _ in 0..64 {
+        let a = spd(&mut rng, 4);
+        let x = random_vec(&mut rng, 4, -5.0, 5.0);
         let b = a.matvec(&x).unwrap();
         let g = gauss::solve(&a, &b).unwrap();
         let c = Cholesky::decompose(&a).unwrap().solve(&b).unwrap();
         for (gi, ci) in g.iter().zip(&c) {
-            prop_assert!((gi - ci).abs() < 1e-6 * gi.abs().max(1.0));
+            assert!((gi - ci).abs() < 1e-6 * gi.abs().max(1.0));
         }
     }
+}
 
-    /// Levinson–Durbin solves the Toeplitz system it claims to solve, for
-    /// autocovariance sequences of genuine AR(1) processes.
-    #[test]
-    fn levinson_solves_toeplitz(phi in -0.9f64..0.9, order in 1usize..6) {
+/// Levinson–Durbin solves the Toeplitz system it claims to solve, for
+/// autocovariance sequences of genuine AR(1) processes.
+#[test]
+fn levinson_solves_toeplitz() {
+    let mut rng = Xoshiro256pp::seed_from_u64(105);
+    for _ in 0..64 {
+        let phi = rng.uniform(-0.9, 0.9);
+        let order = 1 + rng.next_below(5) as usize;
         // Theoretical AR(1) autocovariance: r(k) = phi^k / (1 - phi^2).
         let r: Vec<f64> = (0..=order).map(|k| phi.powi(k as i32) / (1.0 - phi * phi)).collect();
         let out = levinson_durbin(&r, order).unwrap();
         let lhs = toeplitz_matvec(&r, &out.coefficients);
         for i in 0..order {
-            prop_assert!((lhs[i] - r[i + 1]).abs() < 1e-8, "{} vs {}", lhs[i], r[i + 1]);
+            assert!((lhs[i] - r[i + 1]).abs() < 1e-8, "{} vs {}", lhs[i], r[i + 1]);
         }
         // AR(1) truth: first coefficient ~ phi, rest ~ 0.
-        prop_assert!((out.coefficients[0] - phi).abs() < 1e-8);
+        assert!((out.coefficients[0] - phi).abs() < 1e-8);
         for &c in &out.coefficients[1..] {
-            prop_assert!(c.abs() < 1e-8);
+            assert!(c.abs() < 1e-8);
         }
     }
+}
 
-    /// Matmul is associative on compatible shapes (within tolerance).
-    #[test]
-    fn matmul_associative(
-        a in proptest::collection::vec(-2.0f64..2.0, 6),
-        b in proptest::collection::vec(-2.0f64..2.0, 6),
-        c in proptest::collection::vec(-2.0f64..2.0, 6),
-    ) {
-        let ma = Matrix::from_vec(2, 3, a).unwrap();
-        let mb = Matrix::from_vec(3, 2, b).unwrap();
-        let mc = Matrix::from_vec(2, 3, c).unwrap();
+/// Matmul is associative on compatible shapes (within tolerance).
+#[test]
+fn matmul_associative() {
+    let mut rng = Xoshiro256pp::seed_from_u64(106);
+    for _ in 0..64 {
+        let ma = Matrix::from_vec(2, 3, random_vec(&mut rng, 6, -2.0, 2.0)).unwrap();
+        let mb = Matrix::from_vec(3, 2, random_vec(&mut rng, 6, -2.0, 2.0)).unwrap();
+        let mc = Matrix::from_vec(2, 3, random_vec(&mut rng, 6, -2.0, 2.0)).unwrap();
         let left = ma.matmul(&mb).unwrap().matmul(&mc).unwrap();
         let right = ma.matmul(&mb.matmul(&mc).unwrap()).unwrap();
-        prop_assert!(left.max_abs_diff(&right).unwrap() < 1e-10);
+        assert!(left.max_abs_diff(&right).unwrap() < 1e-10);
     }
+}
 
-    /// Transpose distributes over products: (AB)ᵀ = BᵀAᵀ.
-    #[test]
-    fn transpose_of_product(
-        a in proptest::collection::vec(-2.0f64..2.0, 8),
-        b in proptest::collection::vec(-2.0f64..2.0, 8),
-    ) {
-        let ma = Matrix::from_vec(2, 4, a).unwrap();
-        let mb = Matrix::from_vec(4, 2, b).unwrap();
+/// Transpose distributes over products: (AB)ᵀ = BᵀAᵀ.
+#[test]
+fn transpose_of_product() {
+    let mut rng = Xoshiro256pp::seed_from_u64(107);
+    for _ in 0..64 {
+        let ma = Matrix::from_vec(2, 4, random_vec(&mut rng, 8, -2.0, 2.0)).unwrap();
+        let mb = Matrix::from_vec(4, 2, random_vec(&mut rng, 8, -2.0, 2.0)).unwrap();
         let lhs = ma.matmul(&mb).unwrap().transpose();
         let rhs = mb.transpose().matmul(&ma.transpose()).unwrap();
-        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-12);
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-12);
     }
+}
 
-    /// Covariance matrices are symmetric positive-semidefinite.
-    #[test]
-    fn covariance_is_psd(data in proptest::collection::vec(-10.0f64..10.0, 24)) {
-        let m = Matrix::from_vec(8, 3, data).unwrap();
+/// Covariance matrices are symmetric positive-semidefinite.
+#[test]
+fn covariance_is_psd() {
+    let mut rng = Xoshiro256pp::seed_from_u64(108);
+    for _ in 0..64 {
+        let m = Matrix::from_vec(8, 3, random_vec(&mut rng, 24, -10.0, 10.0)).unwrap();
         let cov = m.covariance();
-        prop_assert!(cov.is_symmetric(1e-10));
+        assert!(cov.is_symmetric(1e-10));
         let e = SymEigen::decompose(&cov).unwrap();
         for &l in &e.eigenvalues {
-            prop_assert!(l > -1e-9, "negative eigenvalue {l}");
+            assert!(l > -1e-9, "negative eigenvalue {l}");
         }
     }
 }

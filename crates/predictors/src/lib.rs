@@ -30,7 +30,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod models;
 pub mod pool;
 pub mod spec;

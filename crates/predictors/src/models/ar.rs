@@ -80,13 +80,7 @@ impl Ar {
             Err(_) => {
                 let mut coefficients = vec![0.0; order];
                 coefficients[0] = 1.0;
-                Ok(Self {
-                    order,
-                    coefficients,
-                    mean,
-                    innovation_variance: 0.0,
-                    degenerate: true,
-                })
+                Ok(Self { order, coefficients, mean, innovation_variance: 0.0, degenerate: true })
             }
         }
     }

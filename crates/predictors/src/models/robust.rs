@@ -12,9 +12,7 @@ use crate::{Predictor, PredictorError, Result};
 
 fn positive_window(model: &'static str, window: usize) -> Result<usize> {
     if window == 0 {
-        return Err(PredictorError::InvalidParameter(format!(
-            "{model} window must be positive"
-        )));
+        return Err(PredictorError::InvalidParameter(format!("{model} window must be positive")));
     }
     Ok(window)
 }
@@ -95,11 +93,7 @@ impl Predictor for TrimmedMean {
 /// Shared machinery for the adaptive-window models: evaluate each candidate
 /// window by replaying one-step forecasts over the history and keep the window
 /// with the lowest squared error, then forecast with it.
-fn adaptive_predict(
-    history: &[f64],
-    candidates: &[usize],
-    summary: impl Fn(&[f64]) -> f64,
-) -> f64 {
+fn adaptive_predict(history: &[f64], candidates: &[usize], summary: impl Fn(&[f64]) -> f64) -> f64 {
     debug_assert!(!candidates.is_empty());
     let mut best_w = candidates[0];
     let mut best_err = f64::INFINITY;
@@ -160,9 +154,7 @@ impl Predictor for AdaptiveMean {
     }
 
     fn predict(&self, history: &[f64]) -> f64 {
-        adaptive_predict(history, &self.candidates, |w| {
-            w.iter().sum::<f64>() / w.len() as f64
-        })
+        adaptive_predict(history, &self.candidates, |w| w.iter().sum::<f64>() / w.len() as f64)
     }
 }
 

@@ -51,11 +51,8 @@ impl Predictor for Tendency {
         }
         let start = n.saturating_sub(self.window + 1);
         let recent = &history[start..];
-        let mean_step = recent
-            .windows(2)
-            .map(|w| (w[1] - w[0]).abs())
-            .sum::<f64>()
-            / (recent.len() - 1) as f64;
+        let mean_step =
+            recent.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (recent.len() - 1) as f64;
         cur + direction * mean_step
     }
 }

@@ -32,10 +32,7 @@ impl PredictorPool {
         if specs.is_empty() {
             return Err(PredictorError::InvalidParameter("pool must contain a model".into()));
         }
-        let models = specs
-            .iter()
-            .map(|s| s.build(train))
-            .collect::<Result<Vec<_>>>()?;
+        let models = specs.iter().map(|s| s.build(train)).collect::<Result<Vec<_>>>()?;
         Ok(Self { models, specs: specs.to_vec() })
     }
 
@@ -140,7 +137,9 @@ impl PredictorPool {
     /// Identifies the best predictor for one step: the model whose forecast has
     /// the smallest absolute error against `actual` (the paper's §7.2.1
     /// labelling rule). Ties break toward the lower id, making labels
-    /// deterministic.
+    /// deterministic. A non-finite error (NaN forecast or actual) ranks after
+    /// every finite one, so corrupted inputs degrade the label rather than
+    /// aborting the whole training pass.
     ///
     /// # Panics
     ///
@@ -151,12 +150,7 @@ impl PredictorPool {
         let best = forecasts
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                (*a - actual)
-                    .abs()
-                    .partial_cmp(&(*b - actual).abs())
-                    .expect("forecasts are finite")
-            })
+            .min_by(|(_, a), (_, b)| (*a - actual).abs().total_cmp(&(*b - actual).abs()))
             .map(|(i, _)| PredictorId(i))
             .expect("pool is non-empty");
         (best, forecasts)
@@ -165,9 +159,7 @@ impl PredictorPool {
 
 impl std::fmt::Debug for PredictorPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PredictorPool")
-            .field("models", &self.names())
-            .finish()
+        f.debug_struct("PredictorPool").field("models", &self.names()).finish()
     }
 }
 

@@ -100,11 +100,7 @@ impl ModelSpec {
     /// 3 = SW_AVG. `order` is both the AR order and the SW_AVG window (the
     /// paper uses the prediction window `m` for both).
     pub fn standard_pool(order: usize) -> Vec<ModelSpec> {
-        vec![
-            ModelSpec::Last,
-            ModelSpec::Ar { order },
-            ModelSpec::SwAvg { window: order },
-        ]
+        vec![ModelSpec::Last, ModelSpec::Ar { order }, ModelSpec::SwAvg { window: order }]
     }
 
     /// The extended pool: the standard three plus the NWS-style family and the

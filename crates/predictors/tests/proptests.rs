@@ -1,21 +1,29 @@
-//! Property-based tests for the predictor pool.
+//! Randomized property tests for the predictor pool.
+//!
+//! Seeded `simrng` loops replace the original proptest strategies so the
+//! suite runs without external crates; every case is deterministic per seed.
 
-use proptest::prelude::*;
+use simrng::{Rng64, Xoshiro256pp};
 
 use predictors::models::{Ar, Ewma, Last, SlidingMedian, SwAvg, TrimmedMean};
 use predictors::{ModelSpec, Predictor, PredictorPool};
 
-fn history() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1e3f64..1e3, 5..60)
+fn random_vec(rng: &mut Xoshiro256pp, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.uniform(lo, hi)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn history(rng: &mut Xoshiro256pp) -> Vec<f64> {
+    let n = 5 + rng.next_below(55) as usize;
+    random_vec(rng, n, -1e3, 1e3)
+}
 
-    /// Summary models stay within the history's range (they interpolate,
-    /// never extrapolate).
-    #[test]
-    fn summary_models_stay_in_range(h in history()) {
+/// Summary models stay within the history's range (they interpolate,
+/// never extrapolate).
+#[test]
+fn summary_models_stay_in_range() {
+    let mut rng = Xoshiro256pp::seed_from_u64(401);
+    for _ in 0..96 {
+        let h = history(&mut rng);
         let lo = h.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = h.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for model in [
@@ -26,14 +34,23 @@ proptest! {
             Box::new(Ewma::new(0.4).unwrap()),
         ] {
             let p = model.predict(&h);
-            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{} gave {p} outside [{lo}, {hi}]", model.name());
+            assert!(
+                p >= lo - 1e-9 && p <= hi + 1e-9,
+                "{} gave {p} outside [{lo}, {hi}]",
+                model.name()
+            );
         }
     }
+}
 
-    /// Translation equivariance: predicting shifted history shifts summary
-    /// model forecasts by the same amount.
-    #[test]
-    fn summary_models_are_translation_equivariant(h in history(), shift in -100.0f64..100.0) {
+/// Translation equivariance: predicting shifted history shifts summary
+/// model forecasts by the same amount.
+#[test]
+fn summary_models_are_translation_equivariant() {
+    let mut rng = Xoshiro256pp::seed_from_u64(402);
+    for _ in 0..96 {
+        let h = history(&mut rng);
+        let shift = rng.uniform(-100.0, 100.0);
         let shifted: Vec<f64> = h.iter().map(|x| x + shift).collect();
         for model in [
             Box::new(Last) as Box<dyn Predictor>,
@@ -43,42 +60,58 @@ proptest! {
         ] {
             let a = model.predict(&h);
             let b = model.predict(&shifted);
-            prop_assert!((b - (a + shift)).abs() < 1e-6, "{}", model.name());
+            assert!((b - (a + shift)).abs() < 1e-6, "{}", model.name());
         }
     }
+}
 
-    /// AR forecasts are finite and the fit is deterministic.
-    #[test]
-    fn ar_fit_finite_and_deterministic(train in proptest::collection::vec(-100f64..100.0, 20..150)) {
-        let Ok(a) = Ar::fit(&train, 4) else { return Ok(()); };
+/// AR forecasts are finite and the fit is deterministic.
+#[test]
+fn ar_fit_finite_and_deterministic() {
+    let mut rng = Xoshiro256pp::seed_from_u64(403);
+    for _ in 0..96 {
+        let n = 20 + rng.next_below(130) as usize;
+        let train = random_vec(&mut rng, n, -100.0, 100.0);
+        let Ok(a) = Ar::fit(&train, 4) else { continue };
         let b = Ar::fit(&train, 4).unwrap();
-        prop_assert_eq!(a.coefficients(), b.coefficients());
+        assert_eq!(a.coefficients(), b.coefficients());
         let p = a.predict(&train[train.len() - 4..]);
-        prop_assert!(p.is_finite());
-        prop_assert!(a.innovation_variance() >= 0.0);
+        assert!(p.is_finite());
+        assert!(a.innovation_variance() >= 0.0);
     }
+}
 
-    /// The pool's best_for really is the argmin of absolute errors.
-    #[test]
-    fn best_for_is_argmin(train in proptest::collection::vec(-100f64..100.0, 30..100), actual in -100f64..100.0) {
-        let Ok(pool) = PredictorPool::standard(&train, 5) else { return Ok(()); };
+/// The pool's best_for really is the argmin of absolute errors.
+#[test]
+fn best_for_is_argmin() {
+    let mut rng = Xoshiro256pp::seed_from_u64(404);
+    for _ in 0..96 {
+        let n = 30 + rng.next_below(70) as usize;
+        let train = random_vec(&mut rng, n, -100.0, 100.0);
+        let actual = rng.uniform(-100.0, 100.0);
+        let Ok(pool) = PredictorPool::standard(&train, 5) else { continue };
         let h = &train[..10];
         let (best, forecasts) = pool.best_for(h, actual);
         let best_err = (forecasts[best.0] - actual).abs();
         for f in &forecasts {
-            prop_assert!(best_err <= (f - actual).abs() + 1e-12);
+            assert!(best_err <= (f - actual).abs() + 1e-12);
         }
     }
+}
 
-    /// Every extended-pool model respects min_history and returns finite
-    /// forecasts on any sufficient history.
-    #[test]
-    fn extended_pool_total_on_valid_inputs(train in proptest::collection::vec(-100f64..100.0, 40..120)) {
+/// Every extended-pool model respects min_history and returns finite
+/// forecasts on any sufficient history.
+#[test]
+fn extended_pool_total_on_valid_inputs() {
+    let mut rng = Xoshiro256pp::seed_from_u64(405);
+    for _ in 0..96 {
+        let n = 40 + rng.next_below(80) as usize;
+        let train = random_vec(&mut rng, n, -100.0, 100.0);
         let specs = ModelSpec::extended_pool(5);
-        let Ok(pool) = PredictorPool::from_specs(&specs, &train) else { return Ok(()); };
+        let Ok(pool) = PredictorPool::from_specs(&specs, &train) else { continue };
         let h = &train[..pool.min_history() + 3];
         for (id, f) in pool.ids().zip(pool.predict_all(h)) {
-            prop_assert!(f.is_finite(), "{}", pool.name(id));
+            assert!(f.is_finite(), "{}", pool.name(id));
         }
     }
 }

@@ -30,7 +30,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod dist;
 mod splitmix;
 mod xoshiro;

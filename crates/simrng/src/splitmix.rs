@@ -40,10 +40,7 @@ mod tests {
         // implementation (Vigna, prng.di.unimi.it).
         let mut rng = SplitMix64::new(1234567);
         let got = [rng.next_u64(), rng.next_u64(), rng.next_u64()];
-        assert_eq!(
-            got,
-            [6457827717110365317, 3203168211198807973, 9817491932198370423]
-        );
+        assert_eq!(got, [6457827717110365317, 3203168211198807973, 9817491932198370423]);
     }
 
     #[test]

@@ -39,12 +39,8 @@ impl Xoshiro256pp {
     /// that will not overlap for 2¹²⁸ draws each — enough to hand one stream to
     /// every parallel simulation worker.
     pub fn jump(&mut self) {
-        const JUMP: [u64; 4] = [
-            0x180EC6D33CFD0ABA,
-            0xD5A61266F0C9392C,
-            0xA9582618E03FC9AA,
-            0x39ABDC4529B1661C,
-        ];
+        const JUMP: [u64; 4] =
+            [0x180EC6D33CFD0ABA, 0xD5A61266F0C9392C, 0xA9582618E03FC9AA, 0x39ABDC4529B1661C];
         let mut acc = [0u64; 4];
         for &word in &JUMP {
             for bit in 0..64 {
@@ -76,10 +72,7 @@ impl Rng64 for Xoshiro256pp {
     #[inline]
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

@@ -17,7 +17,6 @@
 //! * [`diff`] — differencing/integration for the ARI extension models.
 #![warn(missing_docs)]
 
-
 pub mod diff;
 pub mod metrics;
 pub mod normalize;

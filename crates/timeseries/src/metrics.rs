@@ -15,12 +15,7 @@ use crate::{Result, TsError};
 pub fn mse(predicted: &[f64], observed: &[f64]) -> Result<f64> {
     check_pair("mse", predicted, observed)?;
     let n = predicted.len() as f64;
-    Ok(predicted
-        .iter()
-        .zip(observed)
-        .map(|(p, o)| (p - o).powi(2))
-        .sum::<f64>()
-        / n)
+    Ok(predicted.iter().zip(observed).map(|(p, o)| (p - o).powi(2)).sum::<f64>() / n)
 }
 
 /// Root mean squared error.
@@ -40,12 +35,7 @@ pub fn rmse(predicted: &[f64], observed: &[f64]) -> Result<f64> {
 pub fn mae(predicted: &[f64], observed: &[f64]) -> Result<f64> {
     check_pair("mae", predicted, observed)?;
     let n = predicted.len() as f64;
-    Ok(predicted
-        .iter()
-        .zip(observed)
-        .map(|(p, o)| (p - o).abs())
-        .sum::<f64>()
-        / n)
+    Ok(predicted.iter().zip(observed).map(|(p, o)| (p - o).abs()).sum::<f64>() / n)
 }
 
 /// Mean absolute percentage error, skipping observations that are exactly zero

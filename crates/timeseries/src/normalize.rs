@@ -5,12 +5,10 @@
 //! (§6.2). [`ZScore`] is therefore an explicit fitted object rather than a
 //! stateless function: fit once on training data, apply everywhere.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{stats, Result, TsError};
 
 /// A fitted z-score transform: `z = (x - mean) / std`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ZScore {
     mean: f64,
     std: f64,

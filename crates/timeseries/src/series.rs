@@ -1,7 +1,5 @@
 //! The [`Series`] container: equally-spaced observations plus timing metadata.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Result, TsError};
 
 /// An equally-spaced time series.
@@ -11,7 +9,7 @@ use crate::{Result, TsError};
 /// along so the `vmsim` profiler can reconstruct the paper's
 /// `[vmID, deviceID, timeStamp, metricName]` keying, but all numerical code
 /// operates on the raw `values` slice.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     values: Vec<f64>,
     start_secs: u64,

@@ -72,7 +72,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
         return Err(TsError::InvalidArgument(format!("quantile {q} outside [0, 1]")));
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("series values are finite"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -100,7 +100,7 @@ pub fn trimmed_mean(xs: &[f64], alpha: f64) -> Result<f64> {
         return median(xs);
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("series values are finite"));
+    sorted.sort_by(f64::total_cmp);
     Ok(mean(&sorted[k..xs.len() - k]))
 }
 
@@ -225,18 +225,12 @@ mod tests {
     #[test]
     fn autocorrelation_constant_is_degenerate() {
         let xs = [2.0; 10];
-        assert!(matches!(
-            autocorrelation(&xs, 1),
-            Err(TsError::Degenerate(_))
-        ));
+        assert!(matches!(autocorrelation(&xs, 1), Err(TsError::Degenerate(_))));
     }
 
     #[test]
     fn autocovariance_length_check() {
-        assert!(matches!(
-            autocovariance(&[1.0, 2.0], 2),
-            Err(TsError::TooShort { .. })
-        ));
+        assert!(matches!(autocovariance(&[1.0, 2.0], 2), Err(TsError::TooShort { .. })));
     }
 
     #[test]

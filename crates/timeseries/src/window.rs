@@ -124,14 +124,8 @@ mod tests {
     #[test]
     fn validation() {
         let data = [1.0, 2.0];
-        assert!(matches!(
-            Frames::new(&data, 0),
-            Err(TsError::InvalidArgument(_))
-        ));
-        assert!(matches!(
-            Frames::new(&data, 3),
-            Err(TsError::TooShort { .. })
-        ));
+        assert!(matches!(Frames::new(&data, 0), Err(TsError::InvalidArgument(_))));
+        assert!(matches!(Frames::new(&data, 3), Err(TsError::TooShort { .. })));
     }
 
     #[test]

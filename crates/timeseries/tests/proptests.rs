@@ -1,109 +1,154 @@
-//! Property-based tests for the time-series substrate.
+//! Randomized property tests for the time-series substrate.
+//!
+//! Seeded `simrng` loops replace the original proptest strategies so the
+//! suite runs without external crates; every case is deterministic per seed.
 
-use proptest::prelude::*;
+use simrng::{Rng64, Xoshiro256pp};
 
 use timeseries::{diff, metrics, stats, Frames, Series, ZScore};
 
-fn values() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1e4f64..1e4, 2..200)
+fn random_vec(rng: &mut Xoshiro256pp, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.uniform(lo, hi)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn values(rng: &mut Xoshiro256pp) -> Vec<f64> {
+    let n = 2 + rng.next_below(198) as usize;
+    random_vec(rng, n, -1e4, 1e4)
+}
 
-    /// Fitting and applying z-score yields zero mean / unit variance (or pure
-    /// centering for constant data), and inverts exactly.
-    #[test]
-    fn zscore_normalises_and_inverts(xs in values()) {
+/// Fitting and applying z-score yields zero mean / unit variance (or pure
+/// centering for constant data), and inverts exactly.
+#[test]
+fn zscore_normalises_and_inverts() {
+    let mut rng = Xoshiro256pp::seed_from_u64(301);
+    for _ in 0..96 {
+        let xs = values(&mut rng);
         let z = ZScore::fit(&xs).unwrap();
         let t = z.apply_slice(&xs);
         let scale = xs.iter().map(|v| v.abs()).fold(1.0, f64::max);
-        prop_assert!(stats::mean(&t).abs() < 1e-9);
+        assert!(stats::mean(&t).abs() < 1e-9);
         if z.std() > 1e-9 * scale {
-            prop_assert!((stats::variance(&t) - 1.0).abs() < 1e-6);
+            assert!((stats::variance(&t) - 1.0).abs() < 1e-6);
         }
         let back = z.invert_slice(&t);
         for (a, b) in back.iter().zip(&xs) {
-            prop_assert!((a - b).abs() < 1e-9 * scale);
+            assert!((a - b).abs() < 1e-9 * scale);
         }
     }
+}
 
-    /// difference / integrate round-trips.
-    #[test]
-    fn difference_integrate_round_trip(xs in values()) {
+/// difference / integrate round-trips.
+#[test]
+fn difference_integrate_round_trip() {
+    let mut rng = Xoshiro256pp::seed_from_u64(302);
+    for _ in 0..96 {
+        let xs = values(&mut rng);
         let d = diff::difference(&xs).unwrap();
         let back = diff::integrate(xs[0], &d);
         let scale = xs.iter().map(|v| v.abs()).fold(1.0, f64::max);
-        prop_assert_eq!(back.len(), xs.len());
+        assert_eq!(back.len(), xs.len());
         for (a, b) in back.iter().zip(&xs) {
-            prop_assert!((a - b).abs() < 1e-8 * scale);
+            assert!((a - b).abs() < 1e-8 * scale);
         }
     }
+}
 
-    /// Frames cover the series exactly once per offset and targets align.
-    #[test]
-    fn frames_cover_and_align(xs in values(), m in 1usize..10) {
-        prop_assume!(xs.len() > m);
+/// Frames cover the series exactly once per offset and targets align.
+#[test]
+fn frames_cover_and_align() {
+    let mut rng = Xoshiro256pp::seed_from_u64(303);
+    for _ in 0..96 {
+        let xs = values(&mut rng);
+        let m = 1 + rng.next_below(9) as usize;
+        if xs.len() <= m {
+            continue;
+        }
         let frames = Frames::new(&xs, m).unwrap();
-        prop_assert_eq!(frames.count(), xs.len() - m + 1);
+        assert_eq!(frames.count(), xs.len() - m + 1);
         for (i, (w, target)) in frames.with_targets().enumerate() {
-            prop_assert_eq!(w, &xs[i..i + m]);
-            prop_assert_eq!(target, xs[i + m]);
+            assert_eq!(w, &xs[i..i + m]);
+            assert_eq!(target, xs[i + m]);
         }
     }
+}
 
-    /// MSE >= MAE² (Jensen) and RMSE² == MSE.
-    #[test]
-    fn metric_inequalities(
-        a in proptest::collection::vec(-100.0f64..100.0, 1..50),
-        shift in proptest::collection::vec(-10.0f64..10.0, 50),
-    ) {
-        let b: Vec<f64> = a.iter().zip(&shift).map(|(x, s)| x + s).collect();
+/// MSE >= MAE² (Jensen) and RMSE² == MSE.
+#[test]
+fn metric_inequalities() {
+    let mut rng = Xoshiro256pp::seed_from_u64(304);
+    for _ in 0..96 {
+        let n = 1 + rng.next_below(49) as usize;
+        let a = random_vec(&mut rng, n, -100.0, 100.0);
+        let b: Vec<f64> = a.iter().map(|x| x + rng.uniform(-10.0, 10.0)).collect();
         let mse = metrics::mse(&a, &b).unwrap();
         let mae = metrics::mae(&a, &b).unwrap();
         let rmse = metrics::rmse(&a, &b).unwrap();
-        prop_assert!(mse + 1e-12 >= mae * mae);
-        prop_assert!((rmse * rmse - mse).abs() < 1e-9 * mse.max(1.0));
+        assert!(mse + 1e-12 >= mae * mae);
+        assert!((rmse * rmse - mse).abs() < 1e-9 * mse.max(1.0));
     }
+}
 
-    /// Autocovariance is maximal at lag zero.
-    #[test]
-    fn autocovariance_peak_at_zero(xs in proptest::collection::vec(-50f64..50.0, 10..120)) {
+/// Autocovariance is maximal at lag zero.
+#[test]
+fn autocovariance_peak_at_zero() {
+    let mut rng = Xoshiro256pp::seed_from_u64(305);
+    for _ in 0..96 {
+        let n = 10 + rng.next_below(110) as usize;
+        let xs = random_vec(&mut rng, n, -50.0, 50.0);
         let max_lag = 5.min(xs.len() - 1);
         let acov = stats::autocovariance(&xs, max_lag).unwrap();
         for &c in &acov[1..] {
-            prop_assert!(c.abs() <= acov[0] + 1e-9);
+            assert!(c.abs() <= acov[0] + 1e-9);
         }
     }
+}
 
-    /// Quantiles are monotone in q and bounded by min/max.
-    #[test]
-    fn quantiles_monotone(xs in proptest::collection::vec(-50f64..50.0, 1..60)) {
+/// Quantiles are monotone in q and bounded by min/max.
+#[test]
+fn quantiles_monotone() {
+    let mut rng = Xoshiro256pp::seed_from_u64(306);
+    for _ in 0..96 {
+        let n = 1 + rng.next_below(59) as usize;
+        let xs = random_vec(&mut rng, n, -50.0, 50.0);
         let q25 = stats::quantile(&xs, 0.25).unwrap();
         let q50 = stats::quantile(&xs, 0.5).unwrap();
         let q75 = stats::quantile(&xs, 0.75).unwrap();
-        prop_assert!(q25 <= q50 && q50 <= q75);
-        prop_assert!(q25 >= stats::min(&xs).unwrap() - 1e-12);
-        prop_assert!(q75 <= stats::max(&xs).unwrap() + 1e-12);
+        assert!(q25 <= q50 && q50 <= q75);
+        assert!(q25 >= stats::min(&xs).unwrap() - 1e-12);
+        assert!(q75 <= stats::max(&xs).unwrap() + 1e-12);
     }
+}
 
-    /// Trimmed mean lies between min and max and equals mean at alpha = 0.
-    #[test]
-    fn trimmed_mean_bounds(xs in proptest::collection::vec(-50f64..50.0, 1..60), alpha in 0.0f64..0.49) {
+/// Trimmed mean lies between min and max and equals mean at alpha = 0.
+#[test]
+fn trimmed_mean_bounds() {
+    let mut rng = Xoshiro256pp::seed_from_u64(307);
+    for _ in 0..96 {
+        let n = 1 + rng.next_below(59) as usize;
+        let xs = random_vec(&mut rng, n, -50.0, 50.0);
+        let alpha = rng.uniform(0.0, 0.49);
         let t = stats::trimmed_mean(&xs, alpha).unwrap();
-        prop_assert!(t >= stats::min(&xs).unwrap() - 1e-12);
-        prop_assert!(t <= stats::max(&xs).unwrap() + 1e-12);
+        assert!(t >= stats::min(&xs).unwrap() - 1e-12);
+        assert!(t <= stats::max(&xs).unwrap() + 1e-12);
         let plain = stats::trimmed_mean(&xs, 0.0).unwrap();
-        prop_assert!((plain - stats::mean(&xs)).abs() < 1e-9);
+        assert!((plain - stats::mean(&xs)).abs() < 1e-9);
     }
+}
 
-    /// Series slicing preserves values and timestamps.
-    #[test]
-    fn series_slice_consistency(xs in values(), start in 0usize..20, len in 1usize..20) {
+/// Series slicing preserves values and timestamps.
+#[test]
+fn series_slice_consistency() {
+    let mut rng = Xoshiro256pp::seed_from_u64(308);
+    for _ in 0..96 {
+        let xs = values(&mut rng);
+        let start = rng.next_below(20) as usize;
+        let len = 1 + rng.next_below(19) as usize;
         let series = Series::new(xs.clone(), 1000, 60).unwrap();
-        prop_assume!(start + len <= series.len());
+        if start + len > series.len() {
+            continue;
+        }
         let sub = series.slice(start..start + len).unwrap();
-        prop_assert_eq!(sub.values(), &xs[start..start + len]);
-        prop_assert_eq!(sub.timestamp(0), series.timestamp(start));
+        assert_eq!(sub.values(), &xs[start..start + len]);
+        assert_eq!(sub.timestamp(0), series.timestamp(start));
     }
 }

@@ -11,13 +11,12 @@
 
 use std::collections::BTreeMap;
 
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
+use crate::lock::RwLock;
 
 use crate::metric::{MetricKind, VmId};
 
 /// One stored prediction, possibly not yet reconciled with its observation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictionRecord {
     /// Forecast value.
     pub predicted: f64,
@@ -51,9 +50,10 @@ impl PredictionDatabase {
         predicted: f64,
         model: usize,
     ) {
-        self.records
-            .write()
-            .insert((vm, metric, timestamp_secs), PredictionRecord { predicted, observed: None, model });
+        self.records.write().insert(
+            (vm, metric, timestamp_secs),
+            PredictionRecord { predicted, observed: None, model },
+        );
     }
 
     /// Reconciles a stored forecast with the observed value. Returns `false`
@@ -76,7 +76,12 @@ impl PredictionDatabase {
     }
 
     /// Fetches one record.
-    pub fn get(&self, vm: VmId, metric: MetricKind, timestamp_secs: u64) -> Option<PredictionRecord> {
+    pub fn get(
+        &self,
+        vm: VmId,
+        metric: MetricKind,
+        timestamp_secs: u64,
+    ) -> Option<PredictionRecord> {
         self.records.read().get(&(vm, metric, timestamp_secs)).copied()
     }
 

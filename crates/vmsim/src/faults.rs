@@ -1,0 +1,399 @@
+//! Deterministic fault injection for monitor streams.
+//!
+//! Real `vmkusage`-style collectors do not deliver the clean, gap-free
+//! per-minute streams the rest of this crate synthesises: agents restart and
+//! drop samples, sensors wedge and repeat their last reading, counters
+//! overflow into sentinel values, and transport layers duplicate or corrupt
+//! records. [`FaultInjector`] reproduces those failure modes *deterministically*
+//! (driven by [`simrng`], like every other source of randomness in this crate)
+//! so the serving layer's fault tolerance can be exercised and regression
+//! tested against byte-identical corrupted streams.
+//!
+//! The injector transforms a clean `(minute, value)` reading into zero, one,
+//! or two emitted readings:
+//!
+//! * **dropped samples / gaps** — the reading vanishes; multi-sample gaps
+//!   model agent restarts;
+//! * **NaN readings** — the value is replaced by `f64::NAN`;
+//! * **sentinel values** — the value is replaced by a fixed out-of-band
+//!   constant (collectors often emit `-1` or `65535` on read failure);
+//! * **stuck-at-last-value** — the sensor repeats the previous clean value
+//!   for a run of samples;
+//! * **spike outliers** — the value is scaled far outside its normal range;
+//! * **duplicated readings** — the same `(minute, value)` is emitted twice.
+
+use simrng::{Rng64, Xoshiro256pp};
+
+use crate::{Result, VmSimError};
+
+/// Which fault (if any) the injector applied to a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Sample passed through untouched.
+    None,
+    /// Sample was dropped (possibly as part of a multi-sample gap).
+    Dropped,
+    /// Value replaced with `f64::NAN`.
+    Nan,
+    /// Value replaced with the configured sentinel constant.
+    Sentinel,
+    /// Value replaced with the previous clean value (stuck sensor).
+    Stuck,
+    /// Value multiplied into a spike outlier.
+    Spike,
+    /// Sample emitted twice.
+    Duplicated,
+}
+
+/// Per-fault-type injection rates and shape parameters.
+///
+/// All rates are per-sample probabilities in `[0, 1]`. The default is a
+/// fault-free pass-through; [`FaultConfig::uniform`] sets every rate at once
+/// for sweep experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a sample is dropped outright.
+    pub drop_rate: f64,
+    /// Probability a multi-sample gap (agent restart) starts at a sample.
+    pub gap_rate: f64,
+    /// Maximum gap length in samples (uniform in `1..=max_gap_len`).
+    pub max_gap_len: usize,
+    /// Probability a value is replaced with NaN.
+    pub nan_rate: f64,
+    /// Probability a value is replaced with `sentinel_value`.
+    pub sentinel_rate: f64,
+    /// The out-of-band constant used for sentinel faults.
+    pub sentinel_value: f64,
+    /// Probability a stuck-at-last-value run starts at a sample.
+    pub stuck_rate: f64,
+    /// Maximum stuck-run length in samples (uniform in `1..=max_stuck_len`).
+    pub max_stuck_len: usize,
+    /// Probability a value becomes a spike outlier.
+    pub spike_rate: f64,
+    /// Spike multiplier: the faulted value is `value * spike_factor`
+    /// (sign-alternating per spike).
+    pub spike_factor: f64,
+    /// Probability a sample is emitted twice.
+    pub duplicate_rate: f64,
+}
+
+impl Default for FaultConfig {
+    /// Fault-free pass-through with the conventional shape parameters.
+    fn default() -> Self {
+        Self {
+            drop_rate: 0.0,
+            gap_rate: 0.0,
+            max_gap_len: 10,
+            nan_rate: 0.0,
+            sentinel_rate: 0.0,
+            sentinel_value: -1.0,
+            stuck_rate: 0.0,
+            max_stuck_len: 8,
+            spike_rate: 0.0,
+            spike_factor: 25.0,
+            duplicate_rate: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Every fault type enabled at the same per-sample `rate` — the sweep
+    /// configuration used by the fault drills.
+    pub fn uniform(rate: f64) -> Self {
+        Self {
+            drop_rate: rate,
+            gap_rate: rate / 4.0,
+            nan_rate: rate,
+            sentinel_rate: rate,
+            stuck_rate: rate / 4.0,
+            spike_rate: rate,
+            duplicate_rate: rate,
+            ..Self::default()
+        }
+    }
+
+    /// Validates rates and shape parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmSimError::InvalidQuery`] for a rate outside `[0, 1]`, a
+    /// non-finite sentinel/spike parameter, or a zero gap/stuck length.
+    pub fn validate(&self) -> Result<()> {
+        for (name, rate) in [
+            ("drop_rate", self.drop_rate),
+            ("gap_rate", self.gap_rate),
+            ("nan_rate", self.nan_rate),
+            ("sentinel_rate", self.sentinel_rate),
+            ("stuck_rate", self.stuck_rate),
+            ("spike_rate", self.spike_rate),
+            ("duplicate_rate", self.duplicate_rate),
+        ] {
+            if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+                return Err(VmSimError::InvalidQuery(format!(
+                    "{name} must be in [0, 1], got {rate}"
+                )));
+            }
+        }
+        if !self.sentinel_value.is_finite() || !self.spike_factor.is_finite() {
+            return Err(VmSimError::InvalidQuery(
+                "sentinel_value and spike_factor must be finite".into(),
+            ));
+        }
+        if self.max_gap_len == 0 || self.max_stuck_len == 0 {
+            return Err(VmSimError::InvalidQuery(
+                "max_gap_len and max_stuck_len must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Counts of injected faults, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Samples dropped (single drops plus gap members).
+    pub dropped: usize,
+    /// Values replaced with NaN.
+    pub nans: usize,
+    /// Values replaced with the sentinel constant.
+    pub sentinels: usize,
+    /// Values stuck at the previous clean reading.
+    pub stuck: usize,
+    /// Values turned into spike outliers.
+    pub spikes: usize,
+    /// Samples duplicated.
+    pub duplicated: usize,
+}
+
+impl FaultCounts {
+    /// Total faults injected across all kinds.
+    pub fn total(&self) -> usize {
+        self.dropped + self.nans + self.sentinels + self.stuck + self.spikes + self.duplicated
+    }
+}
+
+/// A deterministic, stateful corruptor of monitor streams.
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: Xoshiro256pp,
+    stuck_value: f64,
+    gap_remaining: usize,
+    stuck_remaining: usize,
+    spike_sign: f64,
+    counts: FaultCounts,
+}
+
+impl FaultInjector {
+    /// Creates an injector from a validated config and a seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmSimError::InvalidQuery`] if the config is invalid.
+    pub fn new(config: FaultConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+            stuck_value: 0.0,
+            gap_remaining: 0,
+            stuck_remaining: 0,
+            spike_sign: 1.0,
+            counts: FaultCounts::default(),
+        })
+    }
+
+    /// Corrupts one clean `(minute, value)` reading. Returns the readings the
+    /// downstream consumer actually sees: empty for a drop, one entry for a
+    /// pass-through or value fault, two entries for a duplication.
+    pub fn corrupt(&mut self, minute: u64, value: f64) -> Vec<(u64, f64, FaultKind)> {
+        // Continuing multi-sample states take precedence over fresh draws so
+        // gap and stuck-run lengths are honoured exactly.
+        if self.gap_remaining > 0 {
+            self.gap_remaining -= 1;
+            self.counts.dropped += 1;
+            return Vec::new();
+        }
+        if self.stuck_remaining > 0 {
+            self.stuck_remaining -= 1;
+            self.counts.stuck += 1;
+            // A stuck sensor repeats the reading it wedged on.
+            return vec![(minute, self.stuck_value, FaultKind::Stuck)];
+        }
+
+        if self.rng.bernoulli(self.config.gap_rate) {
+            let len = 1 + self.rng.next_below(self.config.max_gap_len as u64) as usize;
+            self.gap_remaining = len - 1;
+            self.counts.dropped += 1;
+            return Vec::new();
+        }
+        if self.rng.bernoulli(self.config.drop_rate) {
+            self.counts.dropped += 1;
+            return Vec::new();
+        }
+        if self.rng.bernoulli(self.config.stuck_rate) {
+            let len = 1 + self.rng.next_below(self.config.max_stuck_len as u64) as usize;
+            self.stuck_remaining = len - 1;
+            self.stuck_value = value;
+            self.counts.stuck += 1;
+            return vec![(minute, value, FaultKind::Stuck)];
+        }
+        if self.rng.bernoulli(self.config.nan_rate) {
+            self.counts.nans += 1;
+            return vec![(minute, f64::NAN, FaultKind::Nan)];
+        }
+        if self.rng.bernoulli(self.config.sentinel_rate) {
+            self.counts.sentinels += 1;
+            return vec![(minute, self.config.sentinel_value, FaultKind::Sentinel)];
+        }
+        if self.rng.bernoulli(self.config.spike_rate) {
+            self.counts.spikes += 1;
+            self.spike_sign = -self.spike_sign;
+            let spiked = value * self.config.spike_factor * self.spike_sign;
+            return vec![(minute, spiked, FaultKind::Spike)];
+        }
+        if self.rng.bernoulli(self.config.duplicate_rate) {
+            self.counts.duplicated += 1;
+            return vec![(minute, value, FaultKind::None), (minute, value, FaultKind::Duplicated)];
+        }
+        vec![(minute, value, FaultKind::None)]
+    }
+
+    /// Corrupts a whole clean series starting at `start_minute`, returning the
+    /// corrupted `(minute, value)` stream (fault kinds elided).
+    pub fn corrupt_series(&mut self, values: &[f64], start_minute: u64) -> Vec<(u64, f64)> {
+        let mut out = Vec::with_capacity(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            for (minute, value, _) in self.corrupt(start_minute + i as u64, v) {
+                out.push((minute, value));
+            }
+        }
+        out
+    }
+
+    /// Faults injected so far, by kind.
+    pub fn counts(&self) -> &FaultCounts {
+        &self.counts
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("config", &self.config)
+            .field("counts", &self.counts)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 10.0 + (i as f64 * 0.3).sin()).collect()
+    }
+
+    #[test]
+    fn zero_rates_pass_through_unchanged() {
+        let mut inj = FaultInjector::new(FaultConfig::default(), 1).unwrap();
+        let s = series(100);
+        let out = inj.corrupt_series(&s, 0);
+        assert_eq!(out.len(), 100);
+        for (i, (minute, v)) in out.iter().enumerate() {
+            assert_eq!(*minute, i as u64);
+            assert_eq!(*v, s[i]);
+        }
+        assert_eq!(inj.counts().total(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = series(500);
+        let config = FaultConfig::uniform(0.1);
+        let a = FaultInjector::new(config.clone(), 7).unwrap().corrupt_series(&s, 0);
+        let b = FaultInjector::new(config, 7).unwrap().corrupt_series(&s, 0);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.0, y.0);
+            assert!(x.1 == y.1 || (x.1.is_nan() && y.1.is_nan()));
+        }
+    }
+
+    #[test]
+    fn rates_are_approximately_honoured() {
+        let s = series(20_000);
+        let config = FaultConfig { nan_rate: 0.1, ..FaultConfig::default() };
+        let mut inj = FaultInjector::new(config, 11).unwrap();
+        inj.corrupt_series(&s, 0);
+        let rate = inj.counts().nans as f64 / s.len() as f64;
+        assert!((rate - 0.1).abs() < 0.01, "nan rate {rate}");
+    }
+
+    #[test]
+    fn drops_shorten_and_duplicates_lengthen() {
+        let s = series(5_000);
+        let mut dropper =
+            FaultInjector::new(FaultConfig { drop_rate: 0.2, ..FaultConfig::default() }, 3)
+                .unwrap();
+        assert!(dropper.corrupt_series(&s, 0).len() < s.len());
+        let mut duper =
+            FaultInjector::new(FaultConfig { duplicate_rate: 0.2, ..FaultConfig::default() }, 3)
+                .unwrap();
+        assert!(duper.corrupt_series(&s, 0).len() > s.len());
+    }
+
+    #[test]
+    fn stuck_runs_repeat_the_wedged_value() {
+        let config = FaultConfig { stuck_rate: 1.0, max_stuck_len: 5, ..FaultConfig::default() };
+        let mut inj = FaultInjector::new(config, 9).unwrap();
+        let s: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let out = inj.corrupt_series(&s, 0);
+        // Every emitted value within a run equals the run's first value.
+        assert_eq!(out.len(), 20);
+        assert!(inj.counts().stuck > 0);
+        // The stream contains repeated values that the clean ramp never has.
+        let repeats = out.windows(2).filter(|w| w[0].1 == w[1].1).count();
+        assert!(repeats > 0);
+    }
+
+    #[test]
+    fn gaps_drop_consecutive_minutes() {
+        let config = FaultConfig { gap_rate: 0.05, max_gap_len: 6, ..FaultConfig::default() };
+        let mut inj = FaultInjector::new(config, 13).unwrap();
+        let s = series(2_000);
+        let out = inj.corrupt_series(&s, 0);
+        assert!(out.len() < s.len());
+        // Minutes stay strictly increasing (drops leave holes, never reorder).
+        for w in out.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(FaultConfig { nan_rate: 1.5, ..FaultConfig::default() }.validate().is_err());
+        assert!(FaultConfig { drop_rate: -0.1, ..FaultConfig::default() }.validate().is_err());
+        assert!(FaultConfig { max_gap_len: 0, ..FaultConfig::default() }.validate().is_err());
+        assert!(FaultConfig { sentinel_value: f64::NAN, ..FaultConfig::default() }
+            .validate()
+            .is_err());
+        assert!(FaultInjector::new(FaultConfig { spike_rate: 2.0, ..FaultConfig::default() }, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn uniform_sets_every_rate() {
+        let c = FaultConfig::uniform(0.08);
+        assert_eq!(c.nan_rate, 0.08);
+        assert_eq!(c.drop_rate, 0.08);
+        assert_eq!(c.spike_rate, 0.08);
+        assert_eq!(c.duplicate_rate, 0.08);
+        assert!(c.gap_rate > 0.0 && c.stuck_rate > 0.0);
+        c.validate().unwrap();
+    }
+}

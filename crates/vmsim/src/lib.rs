@@ -26,14 +26,18 @@
 //! * [`db`] — the prediction database keyed `[vmID, metric, timeStamp]`
 //!   with the audit queries the Quality Assuror runs;
 //! * [`traceset`] — one call that reproduces the paper's full 60-trace corpus
-//!   (5 VMs × 12 metrics at the paper's durations and intervals).
+//!   (5 VMs × 12 metrics at the paper's durations and intervals);
+//! * [`faults`] — deterministic fault injection (drops, gaps, NaNs, sentinels,
+//!   stuck sensors, spikes, duplicates) for exercising the serving layer's
+//!   fault tolerance.
 //!
 //! Everything is deterministic per seed: `paper_traces(seed)` always yields
 //! byte-identical series.
 #![warn(missing_docs)]
 
-
 pub mod db;
+pub mod faults;
+pub(crate) mod lock;
 pub mod metric;
 pub mod monitor;
 pub mod profiler;
@@ -44,6 +48,7 @@ pub mod tiered;
 pub mod traceset;
 pub mod workload;
 
+pub use faults::{FaultConfig, FaultCounts, FaultInjector, FaultKind};
 pub use metric::{MetricKind, VmId};
 pub use monitor::MonitorAgent;
 pub use profiler::Profiler;

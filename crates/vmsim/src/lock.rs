@@ -1,0 +1,34 @@
+//! Thin `std::sync::RwLock` wrapper with the ergonomic, non-poisoning API the
+//! database modules use: `.read()`/`.write()` return guards directly. A
+//! poisoned lock (a writer panicked) is recovered rather than propagated —
+//! the databases hold plain sample buffers, which stay structurally valid
+//! even if a panicking writer left a partial logical update behind.
+
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+/// Reader-writer lock whose guards are acquired infallibly.
+#[derive(Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock around `value`.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires shared read access, recovering from poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access, recovering from poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("RwLock").field(&*self.read()).finish()
+    }
+}

@@ -1,9 +1,7 @@
 //! The performance-metric catalogue (paper Table 1 / Table 2 row names).
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a guest virtual machine (paper: `vmID`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VmId(pub u32);
 
 impl std::fmt::Display for VmId {
@@ -17,7 +15,7 @@ impl std::fmt::Display for VmId {
 /// The device association (paper: `deviceID`) is implied by the variant —
 /// e.g. `Nic1Rx` and `Nic1Tx` belong to NIC 1 — and exposed by
 /// [`MetricKind::device`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum MetricKind {
     /// CPU seconds consumed per sampling interval (vmkusage `usedsec`).
     CpuUsedSec,

@@ -119,9 +119,7 @@ impl VmProfile {
     pub fn build(self, seed: u64) -> VmWorkload {
         // Derive per-metric seeds from (vm, metric, master seed) so profiles
         // are independent and stable under reordering.
-        let base = seed
-            .wrapping_mul(0x9E3779B97F4A7C15)
-            .wrapping_add(self.vm_id().0 as u64);
+        let base = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(self.vm_id().0 as u64);
         let s = move |i: u64| base.wrapping_add(i.wrapping_mul(0x2545F4914F6CDD1D));
         let sample = (self.profile_interval_secs() / 60) as f64;
 
@@ -183,7 +181,15 @@ fn boxed(s: impl Signal + 'static) -> Box<dyn Signal> {
 /// minutes. Regime dwell defaults to 48 samples and quiet level holds to ~12
 /// samples, the values at which the diag_recipe calibration showed the
 /// LARPredictor matching the best single model while NWS lags.
-fn switchy(base: f64, scale: f64, sample: f64, s0: u64, s1: u64, s2: u64, hi: f64) -> Box<dyn Signal> {
+fn switchy(
+    base: f64,
+    scale: f64,
+    sample: f64,
+    s0: u64,
+    s1: u64,
+    s2: u64,
+    hi: f64,
+) -> Box<dyn Signal> {
     let dwell = 48.0 * sample;
     positive(
         vec![
@@ -340,10 +346,7 @@ fn vm1_signals(s: impl Fn(u64) -> u64, sample: f64) -> BTreeMap<MetricKind, Box<
         bursty(2.0, 10.0 * sample, 40.0 * sample, 20.0, 1.0, s(7), s(8), 512.0),
     );
     map.insert(MetricKind::Nic1Rx, switchy(50.0, 18.0, sample, s(9), s(10), s(11), 2000.0));
-    map.insert(
-        MetricKind::Nic1Tx,
-        smooth(70.0, 10.0, 25.0, 60.0, s(12), 2000.0),
-    );
+    map.insert(MetricKind::Nic1Tx, smooth(70.0, 10.0, 25.0, 60.0, s(12), 2000.0));
     // NIC2: GridFTP transfers — heavy on-off bursts.
     map.insert(
         MetricKind::Nic2Rx,
@@ -364,10 +367,7 @@ fn vm1_signals(s: impl Fn(u64) -> u64, sample: f64) -> BTreeMap<MetricKind, Box<
             3000.0,
         ),
     );
-    map.insert(
-        MetricKind::Vd1Write,
-        smooth(15.0, 4.0, 6.0, 200.0, s(18), 3000.0),
-    );
+    map.insert(MetricKind::Vd1Write, smooth(15.0, 4.0, 6.0, 200.0, s(18), 3000.0));
     map.insert(MetricKind::Vd2Read, switchy(14.0, 5.0, sample, s(19), s(20), s(21), 800.0));
     map.insert(
         MetricKind::Vd2Write,
@@ -487,10 +487,7 @@ fn vm3_signals(s: impl Fn(u64) -> u64, sample: f64) -> BTreeMap<MetricKind, Box<
     map.insert(MetricKind::Vd2Read, switchy(4.0, 1.2, sample, s(10), s(11), s(12), 100.0));
     map.insert(
         MetricKind::Vd2Write,
-        positive(
-            vec![boxed(Spikes::new(0.02, 3.0, 2.6, s(13))), boxed(Constant(0.5))],
-            50.0,
-        ),
+        positive(vec![boxed(Spikes::new(0.02, 3.0, 2.6, s(13))), boxed(Constant(0.5))], 50.0),
     );
     map
 }
@@ -498,10 +495,7 @@ fn vm3_signals(s: impl Fn(u64) -> u64, sample: f64) -> BTreeMap<MetricKind, Box<
 /// VM4: web + list + wiki — strong diurnal cycle, correlated NIC/disk.
 fn vm4_signals(s: impl Fn(u64) -> u64, sample: f64) -> BTreeMap<MetricKind, Box<dyn Signal>> {
     let mut map: BTreeMap<MetricKind, Box<dyn Signal>> = BTreeMap::new();
-    map.insert(
-        MetricKind::CpuUsedSec,
-        smooth(15.0, 3.5, 10.0, 420.0, s(0), 100.0),
-    );
+    map.insert(MetricKind::CpuUsedSec, smooth(15.0, 3.5, 10.0, 420.0, s(0), 100.0));
     map.insert(MetricKind::CpuReady, switchy(5.0, 1.8, sample, s(1), s(2), s(3), 100.0));
     map.insert(
         MetricKind::MemSize,
@@ -516,7 +510,11 @@ fn vm4_signals(s: impl Fn(u64) -> u64, sample: f64) -> BTreeMap<MetricKind, Box<
         positive(
             vec![
                 boxed(Constant(150.0)),
-                boxed(Diurnal { amplitude: 120.0, period_minutes: DAY as f64, phase_minutes: 420.0 }),
+                boxed(Diurnal {
+                    amplitude: 120.0,
+                    period_minutes: DAY as f64,
+                    phase_minutes: 420.0,
+                }),
                 boxed(ArNoise::new(0.85, 35.0, s(8))),
                 boxed(Spikes::new(0.03, 120.0, 2.1, s(9))),
             ],
@@ -528,7 +526,11 @@ fn vm4_signals(s: impl Fn(u64) -> u64, sample: f64) -> BTreeMap<MetricKind, Box<
         positive(
             vec![
                 boxed(Constant(300.0)),
-                boxed(Diurnal { amplitude: 250.0, period_minutes: DAY as f64, phase_minutes: 430.0 }),
+                boxed(Diurnal {
+                    amplitude: 250.0,
+                    period_minutes: DAY as f64,
+                    phase_minutes: 430.0,
+                }),
                 boxed(ArNoise::new(0.85, 70.0, s(10))),
                 boxed(Spikes::new(0.03, 220.0, 2.1, s(11))),
             ],
@@ -550,7 +552,11 @@ fn vm4_signals(s: impl Fn(u64) -> u64, sample: f64) -> BTreeMap<MetricKind, Box<
         positive(
             vec![
                 boxed(Constant(20.0)),
-                boxed(Diurnal { amplitude: 15.0, period_minutes: DAY as f64, phase_minutes: 460.0 }),
+                boxed(Diurnal {
+                    amplitude: 15.0,
+                    period_minutes: DAY as f64,
+                    phase_minutes: 460.0,
+                }),
                 boxed(ArNoise::new(0.85, 5.0, s(19))),
                 boxed(Spikes::new(0.08, 28.0, 2.4, s(20))),
             ],
@@ -568,10 +574,7 @@ fn vm4_signals(s: impl Fn(u64) -> u64, sample: f64) -> BTreeMap<MetricKind, Box<
 /// VM5: plain web server; NIC1 unused, VD2 read-side dead.
 fn vm5_signals(s: impl Fn(u64) -> u64, sample: f64) -> BTreeMap<MetricKind, Box<dyn Signal>> {
     let mut map: BTreeMap<MetricKind, Box<dyn Signal>> = BTreeMap::new();
-    map.insert(
-        MetricKind::CpuUsedSec,
-        smooth(8.0, 2.0, 6.0, 380.0, s(0), 100.0),
-    );
+    map.insert(MetricKind::CpuUsedSec, smooth(8.0, 2.0, 6.0, 380.0, s(0), 100.0));
     map.insert(MetricKind::CpuReady, switchy(3.0, 1.2, sample, s(1), s(2), s(3), 100.0));
     map.insert(
         MetricKind::MemSize,
@@ -589,7 +592,11 @@ fn vm5_signals(s: impl Fn(u64) -> u64, sample: f64) -> BTreeMap<MetricKind, Box<
         positive(
             vec![
                 boxed(Constant(90.0)),
-                boxed(Diurnal { amplitude: 80.0, period_minutes: DAY as f64, phase_minutes: 380.0 }),
+                boxed(Diurnal {
+                    amplitude: 80.0,
+                    period_minutes: DAY as f64,
+                    phase_minutes: 380.0,
+                }),
                 boxed(ArNoise::new(0.85, 30.0, s(8))),
             ],
             5000.0,
@@ -597,10 +604,7 @@ fn vm5_signals(s: impl Fn(u64) -> u64, sample: f64) -> BTreeMap<MetricKind, Box<
     );
     map.insert(MetricKind::Nic2Tx, switchy(180.0, 60.0, sample, s(9), s(10), s(11), 10_000.0));
     map.insert(MetricKind::Vd1Read, switchy(15.0, 5.0, sample, s(12), s(13), s(14), 1000.0));
-    map.insert(
-        MetricKind::Vd1Write,
-        smooth(12.0, 2.5, 8.0, 400.0, s(15), 1000.0),
-    );
+    map.insert(MetricKind::Vd1Write, smooth(12.0, 2.5, 8.0, 400.0, s(15), 1000.0));
     // VD2 read dead (paper NaN), write carries sparse log flushes.
     map.insert(MetricKind::Vd2Read, dead());
     map.insert(

@@ -6,11 +6,11 @@
 //! data every five minutes with an average of the one-minute statistics".
 //!
 //! Writers (the monitor agent) and readers (the profiler) may run from
-//! different threads; streams are guarded by a `parking_lot::RwLock`.
+//! different threads; streams are guarded by an `RwLock`.
 
 use std::collections::HashMap;
 
-use parking_lot::RwLock;
+use crate::lock::RwLock;
 
 use crate::metric::{MetricKind, VmId};
 use crate::{Result, VmSimError};
@@ -67,10 +67,7 @@ impl RoundRobinDatabase {
 
     /// Number of retained samples for a stream (0 if absent).
     pub fn len(&self, vm: VmId, metric: MetricKind) -> usize {
-        self.streams
-            .read()
-            .get(&(vm, metric))
-            .map_or(0, |s| s.samples.len())
+        self.streams.read().get(&(vm, metric)).map_or(0, |s| s.samples.len())
     }
 
     /// Whether the database holds no streams at all.
@@ -120,9 +117,9 @@ impl RoundRobinDatabase {
             )));
         }
         let streams = self.streams.read();
-        let stream = streams.get(&(vm, metric)).ok_or_else(|| {
-            VmSimError::UnknownStream(format!("{vm}/{metric}"))
-        })?;
+        let stream = streams
+            .get(&(vm, metric))
+            .ok_or_else(|| VmSimError::UnknownStream(format!("{vm}/{metric}")))?;
         let last = stream.first_minute + stream.samples.len() as u64;
         if start_minute < stream.first_minute || end_minute > last {
             return Err(VmSimError::InvalidQuery(format!(

@@ -276,7 +276,14 @@ impl StepLevel {
     ///
     /// Panics if the bounds are invalid, `start` is outside them, or
     /// `mean_dwell <= 0`.
-    pub fn new(start: f64, step_sigma: f64, mean_dwell: f64, min: f64, max: f64, seed: u64) -> Self {
+    pub fn new(
+        start: f64,
+        step_sigma: f64,
+        mean_dwell: f64,
+        min: f64,
+        max: f64,
+        seed: u64,
+    ) -> Self {
         assert!(min <= max && (min..=max).contains(&start), "step bounds invalid");
         Self {
             dwell: Exponential::with_mean(mean_dwell).expect("mean_dwell must be positive"),
@@ -402,7 +409,13 @@ impl RegimeSwitch {
     pub fn new(regimes: Vec<Box<dyn Signal>>, mean_dwell: f64, seed: u64) -> Self {
         assert!(!regimes.is_empty(), "RegimeSwitch needs at least one regime");
         assert!(mean_dwell >= 1.0, "mean dwell must be >= 1 minute");
-        Self { regimes, current: 0, mean_dwell, drift: None, rng: Xoshiro256pp::seed_from_u64(seed) }
+        Self {
+            regimes,
+            current: 0,
+            mean_dwell,
+            drift: None,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+        }
     }
 
     /// Creates a *drifting* two-plus-regime switcher: when a dwell expires,
@@ -622,8 +635,7 @@ mod tests {
 
     #[test]
     fn regime_switch_changes_levels() {
-        let regimes: Vec<Box<dyn Signal>> =
-            vec![Box::new(Constant(0.0)), Box::new(Constant(10.0))];
+        let regimes: Vec<Box<dyn Signal>> = vec![Box::new(Constant(0.0)), Box::new(Constant(10.0))];
         let mut s = RegimeSwitch::new(regimes, 20.0, 5);
         let xs = run(&mut s, 2000);
         let low = xs.iter().filter(|&&x| x == 0.0).count();

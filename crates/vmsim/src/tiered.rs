@@ -14,7 +14,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use parking_lot::RwLock;
+use crate::lock::RwLock;
 
 use crate::metric::{MetricKind, VmId};
 use crate::{Result, VmSimError};
@@ -290,7 +290,7 @@ mod tests {
     fn week_archive_outlives_the_day_archive() {
         let db = TieredDatabase::vmkusage_layout();
         ramp(&db, 3 * 1440); // three days
-        // Day-one data: evicted from raw and 5-minute archives, alive at 30.
+                             // Day-one data: evicted from raw and 5-minute archives, alive at 30.
         assert!(db.query(VM, M, 0, 60, 5).is_err());
         let day1 = db.query(VM, M, 0, 60, 30).unwrap();
         assert_eq!(day1.len(), 2);
@@ -315,15 +315,12 @@ mod tests {
     fn query_validation_and_unknown_streams() {
         let db = TieredDatabase::vmkusage_layout();
         ramp(&db, 60);
-        assert!(matches!(
-            db.query(VmId(9), M, 0, 10, 5),
-            Err(VmSimError::UnknownStream(_))
-        ));
+        assert!(matches!(db.query(VmId(9), M, 0, 10, 5), Err(VmSimError::UnknownStream(_))));
         assert!(db.query(VM, M, 0, 10, 0).is_err());
         assert!(db.query(VM, M, 10, 10, 5).is_err());
         assert!(db.query(VM, M, 3, 13, 5).is_err()); // misaligned start
         assert!(db.query(VM, M, 0, 7, 5).is_err()); // misaligned span
-        // Interval 7 is servable from the raw archive while retained...
+                                                    // Interval 7 is servable from the raw archive while retained...
         assert_eq!(db.query(VM, M, 0, 14, 7).unwrap().len(), 2);
         // ...but once the raw rows are evicted, no coarser archive divides 7.
         let old = TieredDatabase::vmkusage_layout();

@@ -145,11 +145,7 @@ mod tests {
     fn dead_streams_are_flat_and_live_streams_vary() {
         let traces = paper_traces(3);
         let find = |label: &str| {
-            traces
-                .iter()
-                .find(|(k, _)| k.label() == label)
-                .map(|(_, s)| s.clone())
-                .unwrap()
+            traces.iter().find(|(k, _)| k.label() == label).map(|(_, s)| s.clone()).unwrap()
         };
         let dead = find("VM3/NIC2_received");
         assert!(timeseries::stats::variance(dead.values()) < 1e-12);

@@ -70,12 +70,8 @@ impl JobSchedule {
                     JobClass::Short => {
                         (rng.uniform(1.0 / 60.0, 2.0 / 60.0), rng.uniform(0.5, 1.0), 0.2, 0.1)
                     }
-                    JobClass::Medium => {
-                        (rng.uniform(2.0, 10.0), rng.uniform(0.4, 0.9), 1.0, 0.5)
-                    }
-                    JobClass::Long => {
-                        (rng.uniform(45.0, 50.0), rng.uniform(0.6, 1.0), 2.0, 1.0)
-                    }
+                    JobClass::Medium => (rng.uniform(2.0, 10.0), rng.uniform(0.4, 0.9), 1.0, 0.5),
+                    JobClass::Long => (rng.uniform(45.0, 50.0), rng.uniform(0.6, 1.0), 2.0, 1.0),
                 };
                 Job {
                     start_minute,
@@ -170,21 +166,9 @@ mod tests {
     fn paper_mix_has_310_jobs_with_correct_proportions() {
         let s = JobSchedule::paper_mix(310, WEEK, 1);
         assert_eq!(s.jobs().len(), 310);
-        let medium = s
-            .jobs()
-            .iter()
-            .filter(|j| (2.0..=10.0).contains(&j.duration_minutes))
-            .count();
-        let long = s
-            .jobs()
-            .iter()
-            .filter(|j| (45.0..=50.0).contains(&j.duration_minutes))
-            .count();
-        let short = s
-            .jobs()
-            .iter()
-            .filter(|j| j.duration_minutes < 0.05)
-            .count();
+        let medium = s.jobs().iter().filter(|j| (2.0..=10.0).contains(&j.duration_minutes)).count();
+        let long = s.jobs().iter().filter(|j| (45.0..=50.0).contains(&j.duration_minutes)).count();
+        let short = s.jobs().iter().filter(|j| j.duration_minutes < 0.05).count();
         assert_eq!(medium, 12); // round(310 * 0.0387)
         assert_eq!(long, 8); // round(310 * 0.0258)
         assert_eq!(short, 290);
@@ -246,9 +230,8 @@ mod tests {
         let mut cpu = JobLoadSignal::new(schedule.clone(), LoadDimension::Cpu);
         let mut disk = JobLoadSignal::new(schedule.clone(), LoadDimension::Disk);
         // Long jobs make some minutes busy on both dimensions simultaneously.
-        let busy: Vec<u64> = (0..WEEK)
-            .filter(|&m| cpu.sample(m) > 0.0 && disk.sample(m) > 0.0)
-            .collect();
+        let busy: Vec<u64> =
+            (0..WEEK).filter(|&m| cpu.sample(m) > 0.0 && disk.sample(m) > 0.0).collect();
         assert!(!busy.is_empty());
     }
 

@@ -21,19 +21,14 @@ fn figure1_pipeline_end_to_end() {
     // Warm up half a day, then run a live loop of 5-minute intervals:
     // "predict" with a trivial persistence forecast, store, reconcile, audit.
     agent.run(720);
-    let mut last = profiler
-        .extract(vm, MetricKind::CpuUsedSec, 715, 720, 5)
-        .unwrap()
-        .values()[0];
+    let mut last = profiler.extract(vm, MetricKind::CpuUsedSec, 715, 720, 5).unwrap().values()[0];
     for step in 0..48 {
         agent.run(5);
         let now = 720 + (step + 1) * 5;
         let ts = now * 60;
         pdb.store_prediction(vm, MetricKind::CpuUsedSec, ts, last, 0);
-        let observed = profiler
-            .extract(vm, MetricKind::CpuUsedSec, now - 5, now, 5)
-            .unwrap()
-            .values()[0];
+        let observed =
+            profiler.extract(vm, MetricKind::CpuUsedSec, now - 5, now, 5).unwrap().values()[0];
         assert!(pdb.record_observation(vm, MetricKind::CpuUsedSec, ts, observed));
         last = observed;
     }
@@ -78,18 +73,12 @@ fn profiler_reads_concurrently_with_monitor_writes() {
 #[test]
 fn two_vm_monitor_keeps_streams_separate_and_complete() {
     let rrd = Arc::new(RoundRobinDatabase::new(3000));
-    let mut agent = MonitorAgent::new(
-        vec![VmProfile::Vm4.build(3), VmProfile::Vm5.build(3)],
-        rrd.clone(),
-    );
+    let mut agent =
+        MonitorAgent::new(vec![VmProfile::Vm4.build(3), VmProfile::Vm5.build(3)], rrd.clone());
     agent.run(1440);
     let profiler = Profiler::new(rrd);
-    let vm4 = profiler
-        .extract(VmProfile::Vm4.vm_id(), MetricKind::Nic1Tx, 0, 1440, 5)
-        .unwrap();
-    let vm5 = profiler
-        .extract(VmProfile::Vm5.vm_id(), MetricKind::Nic1Tx, 0, 1440, 5)
-        .unwrap();
+    let vm4 = profiler.extract(VmProfile::Vm4.vm_id(), MetricKind::Nic1Tx, 0, 1440, 5).unwrap();
+    let vm5 = profiler.extract(VmProfile::Vm5.vm_id(), MetricKind::Nic1Tx, 0, 1440, 5).unwrap();
     assert_eq!(vm4.len(), 288);
     assert_eq!(vm5.len(), 288);
     // VM5's NIC1 is a dead device; VM4's carries the diurnal web traffic.

@@ -1,64 +1,79 @@
-//! Property-based tests for the monitoring substrate.
+//! Randomized property tests for the monitoring substrate.
+//!
+//! Seeded `simrng` loops replace the original proptest strategies so the
+//! suite runs without external crates; every case is deterministic per seed.
 
-use proptest::prelude::*;
+use simrng::{Rng64, Xoshiro256pp};
 
 use vmsim::metric::{MetricKind, VmId};
 use vmsim::profiles::VmProfile;
 use vmsim::rrd::RoundRobinDatabase;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// RRD consolidation equals the mean of the underlying minutes for any
-    /// aligned query.
-    #[test]
-    fn consolidation_is_exact_average(
-        values in proptest::collection::vec(0f64..100.0, 30..200),
-        interval in 1u64..10,
-        offset in 0u64..20,
-    ) {
+/// RRD consolidation equals the mean of the underlying minutes for any
+/// aligned query.
+#[test]
+fn consolidation_is_exact_average() {
+    let mut rng = Xoshiro256pp::seed_from_u64(501);
+    for _ in 0..32 {
+        let n = 30 + rng.next_below(170) as usize;
+        let values: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 100.0)).collect();
+        let interval = 1 + rng.next_below(9);
+        let offset = rng.next_below(20);
         let rrd = RoundRobinDatabase::new(values.len() + 1);
         for (minute, v) in values.iter().enumerate() {
             rrd.record(VmId(1), MetricKind::CpuUsedSec, minute as u64, *v);
         }
         let len = values.len() as u64;
-        prop_assume!(offset + interval <= len);
+        if offset + interval > len {
+            continue;
+        }
         let span = ((len - offset) / interval) * interval;
-        prop_assume!(span > 0);
+        if span == 0 {
+            continue;
+        }
         let out = rrd
             .consolidated(VmId(1), MetricKind::CpuUsedSec, offset, offset + span, interval)
             .unwrap();
         for (b, chunk) in out.iter().zip(values[offset as usize..].chunks(interval as usize)) {
             let mean = chunk[..interval as usize].iter().sum::<f64>() / interval as f64;
-            prop_assert!((b - mean).abs() < 1e-9);
+            assert!((b - mean).abs() < 1e-9);
         }
     }
+}
 
-    /// Ring retention: after N + K writes the first K minutes are gone and
-    /// the remaining window reads back exactly.
-    #[test]
-    fn ring_eviction_window(capacity in 5usize..40, extra in 1usize..40) {
+/// Ring retention: after N + K writes the first K minutes are gone and
+/// the remaining window reads back exactly.
+#[test]
+fn ring_eviction_window() {
+    let mut rng = Xoshiro256pp::seed_from_u64(502);
+    for _ in 0..32 {
+        let capacity = 5 + rng.next_below(35) as usize;
+        let extra = 1 + rng.next_below(39) as usize;
         let rrd = RoundRobinDatabase::new(capacity);
         let total = capacity + extra;
         for minute in 0..total {
             rrd.record(VmId(2), MetricKind::Nic1Rx, minute as u64, minute as f64);
         }
         let (lo, hi) = rrd.range(VmId(2), MetricKind::Nic1Rx).unwrap();
-        prop_assert_eq!(lo, extra as u64);
-        prop_assert_eq!(hi, (total - 1) as u64);
+        assert_eq!(lo, extra as u64);
+        assert_eq!(hi, (total - 1) as u64);
         let data = rrd.consolidated(VmId(2), MetricKind::Nic1Rx, lo, hi + 1, 1).unwrap();
         for (i, v) in data.iter().enumerate() {
-            prop_assert_eq!(*v, (extra + i) as f64);
+            assert_eq!(*v, (extra + i) as f64);
         }
     }
+}
 
-    /// Profiles are deterministic per seed and differ across seeds.
-    #[test]
-    fn profile_determinism(seed in 0u64..500) {
+/// Profiles are deterministic per seed and differ across seeds.
+#[test]
+fn profile_determinism() {
+    let mut rng = Xoshiro256pp::seed_from_u64(503);
+    for _ in 0..32 {
+        let seed = rng.next_below(500);
         let mut a = VmProfile::Vm5.build(seed);
         let mut b = VmProfile::Vm5.build(seed);
         for minute in 0..50 {
-            prop_assert_eq!(a.sample_all(minute), b.sample_all(minute));
+            assert_eq!(a.sample_all(minute), b.sample_all(minute));
         }
     }
 }

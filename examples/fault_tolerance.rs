@@ -1,0 +1,85 @@
+//! Fault tolerance: serving a corrupted monitor stream through the guarded
+//! online stack.
+//!
+//! A VM CPU trace is corrupted at increasing fault rates — dropped samples,
+//! multi-minute gaps, NaN reads, sentinel constants, stuck sensors, spike
+//! outliers, and duplicated samples, all injected deterministically by
+//! `vmsim::FaultInjector`. Each faulted stream is served by
+//! `Sanitizer` → `OnlineLarp`: the sanitizer repairs the timeline, the
+//! degradation ladder (k-NN choice → lowest-error pool member → last-value
+//! persistence) keeps forecasts flowing, and quarantine + retrain backoff
+//! contain misbehaving predictors.
+//!
+//! Run with: `cargo run --release --example fault_tolerance`
+
+use larpredictor::larp::{GuardedLarp, IngestConfig, LarpConfig, QualityAssuror};
+use larpredictor::vmsim::{self, FaultConfig, FaultInjector, MetricKind, VmProfile};
+
+const TRAIN_SIZE: usize = 96;
+const SEED: u64 = 7;
+
+fn main() {
+    let clean = vmsim::traceset::vm_traces(VmProfile::Vm2, SEED)
+        .into_iter()
+        .find(|(k, _)| k.metric == MetricKind::CpuUsedSec)
+        .map(|(_, s)| s.values().to_vec())
+        .expect("VM2 exposes a CPU trace");
+    println!("VM2 CPU trace: {} samples\n", clean.len());
+    println!(
+        "{:>10} {:>9} {:>10} {:>10} {:>12} {:>11}",
+        "fault rate", "injected", "sanitized", "forecasts", "availability", "mse"
+    );
+
+    for rate in [0.0, 0.02, 0.05, 0.10, 0.20] {
+        let mut injector =
+            FaultInjector::new(FaultConfig::uniform(rate), SEED).expect("valid fault config");
+        let stream = injector.corrupt_series(&clean, 0);
+
+        let mut stack = GuardedLarp::new(
+            IngestConfig::default(),
+            LarpConfig::paper(5),
+            TRAIN_SIZE,
+            QualityAssuror::new(40.0, 12, 6).expect("valid QA parameters"),
+        )
+        .expect("valid stack config");
+
+        let mut steps = 0usize;
+        let mut forecasts = 0usize;
+        let mut pending: Option<f64> = None;
+        let mut sq_sum = 0.0;
+        let mut scored = 0usize;
+        for &(minute, value) in &stream {
+            for step in stack.ingest(minute, value) {
+                steps += 1;
+                if let (Some(f), true) = (pending.take(), value.is_finite()) {
+                    sq_sum += (f - value).powi(2);
+                    scored += 1;
+                }
+                if let Some(f) = step.forecast {
+                    assert!(f.is_finite(), "the ladder never emits non-finite forecasts");
+                    forecasts += 1;
+                    pending = Some(f);
+                }
+            }
+        }
+        // Forecasts start at the training step itself, so the first
+        // TRAIN_SIZE - 1 steps are the only ineligible ones.
+        let post_warmup = steps.saturating_sub(TRAIN_SIZE - 1).max(1);
+        println!(
+            "{:>9.0}% {:>9} {:>10} {:>10} {:>11.1}% {:>11.3}",
+            rate * 100.0,
+            injector.counts().total(),
+            stack.sanitizer().stats().faults_sanitized(),
+            forecasts,
+            100.0 * forecasts as f64 / post_warmup as f64,
+            sq_sum / scored.max(1) as f64,
+        );
+    }
+
+    println!(
+        "\nEven at a 20% combined fault rate the stack keeps serving finite\n\
+         forecasts: the sanitizer absorbs timeline damage (gaps, duplicates,\n\
+         NaN, sentinels, spikes) and the degradation ladder covers whatever\n\
+         reaches the predictor pool."
+    );
+}

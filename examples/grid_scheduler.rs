@@ -17,10 +17,8 @@ const CPU_HEADROOM: f64 = 9.0;
 fn main() {
     // VM1: grid head node, 7 days at 30-minute resolution (336 points).
     let traces = vmsim::traceset::vm_traces(VmProfile::Vm1, 77);
-    let (_, cpu) = traces
-        .iter()
-        .find(|(k, _)| k.label() == "VM1/CPU_usedsec")
-        .expect("corpus contains CPU");
+    let (_, cpu) =
+        traces.iter().find(|(k, _)| k.label() == "VM1/CPU_usedsec").expect("corpus contains CPU");
 
     // Train on the first half of the week (paper settings for VM1: m = 16).
     let split = cpu.len() / 2;

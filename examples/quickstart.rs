@@ -37,10 +37,7 @@ fn main() {
 
     println!("\n{:<12} {:>10} {:>12} {:>8}", "selector", "norm. MSE", "model execs", "acc");
     let acc = |run| forecasting_accuracy(run, &oracle).unwrap() * 100.0;
-    println!(
-        "{:<12} {:>10.4} {:>12} {:>7.1}%",
-        "P-LAR", oracle.oracle_mse, "-", 100.0
-    );
+    println!("{:<12} {:>10.4} {:>12} {:>7.1}%", "P-LAR", oracle.oracle_mse, "-", 100.0);
     for run in [&lar, &nws, &wnws] {
         println!(
             "{:<12} {:>10.4} {:>12} {:>7.1}%",

@@ -48,10 +48,8 @@ fn main() {
         pdb.store_prediction(vm, metric, ts, forecast, chosen.0);
 
         // The interval completes; reconcile with the observed consolidation.
-        let observed = profiler
-            .extract(vm, metric, now_minute - 5, now_minute, 5)
-            .unwrap()
-            .values()[0];
+        let observed =
+            profiler.extract(vm, metric, now_minute - 5, now_minute, 5).unwrap().values()[0];
         pdb.record_observation(vm, metric, ts, observed);
         history.push(observed);
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI gate: everything the hosted workflow runs, offline-safe.
+# Usage: scripts/ci.sh [--quick]
+#   --quick skips the release build (debug build + tests only).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$QUICK" -eq 0 ]]; then
+  echo "==> cargo build --release"
+  cargo build --release
+fi
+
+echo "==> cargo test -q (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI gate passed."

@@ -38,10 +38,7 @@ fn oracle_headroom_exists_on_every_live_trace() {
     // P-LAR strictly below the best single model (the paper's premise that
     // selection has something to gain) on the vast majority of traces.
     let reports = vm_reports(VmProfile::Vm2, 2, 99);
-    let with_headroom = reports
-        .iter()
-        .filter(|r| r.mse_plar < r.best_single_mse() * 0.95)
-        .count();
+    let with_headroom = reports.iter().filter(|r| r.mse_plar < r.best_single_mse() * 0.95).count();
     assert!(
         with_headroom * 10 >= reports.len() * 8,
         "headroom on {with_headroom}/{} traces",
@@ -68,11 +65,8 @@ fn lar_beats_nws_on_some_traces_and_stays_close_elsewhere() {
     // And not catastrophically worse in aggregate. (Per-trace ratios can
     // spike on heavy-tailed folds where one burst dominates the MSE, so the
     // guard is on the mean ratio, not the worst trace.)
-    let mean_ratio = reports
-        .iter()
-        .filter(|r| r.mse_nws > 1e-9)
-        .map(|r| r.mse_lar / r.mse_nws)
-        .sum::<f64>()
-        / reports.len() as f64;
+    let mean_ratio =
+        reports.iter().filter(|r| r.mse_nws > 1e-9).map(|r| r.mse_lar / r.mse_nws).sum::<f64>()
+            / reports.len() as f64;
     assert!(mean_ratio < 1.6, "mean LAR/NWS ratio {mean_ratio:.3}");
 }

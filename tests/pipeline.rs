@@ -16,10 +16,7 @@ fn vm2() -> Vec<(vmsim::TraceKey, timeseries::Series)> {
 fn full_pipeline_on_monitored_trace() {
     // Simulator -> monitor -> RRD -> profiler -> LARPredictor -> evaluation.
     let traces = vm2();
-    let (_, series) = traces
-        .iter()
-        .find(|(k, _)| k.metric == MetricKind::CpuUsedSec)
-        .unwrap();
+    let (_, series) = traces.iter().find(|(k, _)| k.metric == MetricKind::CpuUsedSec).unwrap();
     assert_eq!(series.len(), 288);
 
     let values = series.values();
@@ -47,10 +44,7 @@ fn full_pipeline_on_monitored_trace() {
 #[test]
 fn lar_runs_one_model_per_step_nws_runs_all() {
     let traces = vm2();
-    let (_, series) = traces
-        .iter()
-        .find(|(k, _)| k.metric == MetricKind::Nic1Rx)
-        .unwrap();
+    let (_, series) = traces.iter().find(|(k, _)| k.metric == MetricKind::Nic1Rx).unwrap();
     let values = series.values();
     let split = values.len() / 2;
     let config = LarpConfig::paper(5);
@@ -71,10 +65,7 @@ fn lar_runs_one_model_per_step_nws_runs_all() {
 #[test]
 fn static_selectors_reproduce_per_model_columns() {
     let traces = vm2();
-    let (_, series) = traces
-        .iter()
-        .find(|(k, _)| k.metric == MetricKind::Vd1Read)
-        .unwrap();
+    let (_, series) = traces.iter().find(|(k, _)| k.metric == MetricKind::Vd1Read).unwrap();
     let values = series.values();
     let split = values.len() / 2;
     let config = LarpConfig::paper(5);
@@ -85,21 +76,14 @@ fn static_selectors_reproduce_per_model_columns() {
     for id in pool.ids() {
         let mut s = Static::new(id, pool.name(id));
         let run = run_selector_scored(&mut s, pool, 5, &norm, split).unwrap();
-        assert!(
-            (run.mse - oracle.per_model_mse[id.0]).abs() < 1e-12,
-            "{}",
-            pool.name(id)
-        );
+        assert!((run.mse - oracle.per_model_mse[id.0]).abs() < 1e-12, "{}", pool.name(id));
     }
 }
 
 #[test]
 fn windowed_selector_is_distinct_from_cumulative() {
     let traces = vm2();
-    let (_, series) = traces
-        .iter()
-        .find(|(k, _)| k.metric == MetricKind::CpuReady)
-        .unwrap();
+    let (_, series) = traces.iter().find(|(k, _)| k.metric == MetricKind::CpuReady).unwrap();
     let values = series.values();
     let split = values.len() / 2;
     let config = LarpConfig::paper(5);
@@ -118,10 +102,7 @@ fn windowed_selector_is_distinct_from_cumulative() {
 #[test]
 fn trace_report_protocol_is_reproducible_and_ordered() {
     let traces = vm2();
-    let (key, series) = traces
-        .iter()
-        .find(|(k, _)| k.metric == MetricKind::CpuReady)
-        .unwrap();
+    let (key, series) = traces.iter().find(|(k, _)| k.metric == MetricKind::CpuReady).unwrap();
     let config = LarpConfig::paper(5);
     let a = TraceReport::evaluate(key.label(), series.values(), &config, 5, 99).unwrap();
     let b = TraceReport::evaluate(key.label(), series.values(), &config, 5, 99).unwrap();
@@ -160,10 +141,7 @@ fn extended_pool_lowers_the_oracle_bound() {
     // More experts => a strictly better perfect-selection bound (the premise
     // of the paper's future-work section).
     let traces = vm2();
-    let (_, series) = traces
-        .iter()
-        .find(|(k, _)| k.metric == MetricKind::Nic1Tx)
-        .unwrap();
+    let (_, series) = traces.iter().find(|(k, _)| k.metric == MetricKind::Nic1Tx).unwrap();
     let values = series.values();
     let split = values.len() / 2;
 

@@ -1,6 +1,9 @@
-//! Property-based integration tests over the public API (proptest).
+//! Randomized property-style integration tests over the public API.
+//!
+//! Seeded `simrng` loops replace the original proptest strategies so the
+//! suite runs without external crates; every case is deterministic per seed.
 
-use proptest::prelude::*;
+use simrng::{Rng64, Xoshiro256pp};
 
 use larpredictor::larp::{
     eval::{observed_best_scored, run_selector_scored},
@@ -10,110 +13,125 @@ use larpredictor::larp::{
 use larpredictor::predictors::{ModelSpec, PredictorPool};
 use larpredictor::timeseries::{metrics, ZScore};
 
-/// Arbitrary finite, bounded series long enough for the default config.
-fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1e3f64..1e3, 60..200)
+fn random_vec(rng: &mut Xoshiro256pp, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.uniform(lo, hi)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Arbitrary finite, bounded series long enough for the default config.
+fn series(rng: &mut Xoshiro256pp) -> Vec<f64> {
+    let n = 60 + rng.next_below(140) as usize;
+    random_vec(rng, n, -1e3, 1e3)
+}
 
-    /// The P-LAR oracle lower-bounds every selector on every series.
-    #[test]
-    fn oracle_is_universal_lower_bound(values in series_strategy()) {
+/// The P-LAR oracle lower-bounds every selector on every series.
+#[test]
+fn oracle_is_universal_lower_bound() {
+    let mut rng = Xoshiro256pp::seed_from_u64(601);
+    for _ in 0..48 {
+        let values = series(&mut rng);
         let split = values.len() / 2;
         let config = LarpConfig::paper(5);
         // Training can legitimately fail on degenerate random data; skip.
-        let Ok(model) = TrainedLarp::train(&values[..split], &config) else {
-            return Ok(());
-        };
+        let Ok(model) = TrainedLarp::train(&values[..split], &config) else { continue };
         let norm = model.zscore().apply_slice(&values);
         let pool = model.pool();
         let oracle = observed_best_scored(pool, 5, &norm, split).unwrap();
         let lar = run_selector_scored(&mut model.selector(), pool, 5, &norm, split).unwrap();
-        prop_assert!(oracle.oracle_mse <= lar.mse + 1e-9);
+        assert!(oracle.oracle_mse <= lar.mse + 1e-9);
         for id in pool.ids() {
             let mut s = Static::new(id, pool.name(id));
             let run = run_selector_scored(&mut s, pool, 5, &norm, split).unwrap();
-            prop_assert!(oracle.oracle_mse <= run.mse + 1e-9);
+            assert!(oracle.oracle_mse <= run.mse + 1e-9);
         }
     }
+}
 
-    /// Selection is always a valid pool member and deterministic.
-    #[test]
-    fn selection_is_valid_and_deterministic(values in series_strategy(), at in 10usize..50) {
+/// Selection is always a valid pool member and deterministic.
+#[test]
+fn selection_is_valid_and_deterministic() {
+    let mut rng = Xoshiro256pp::seed_from_u64(602);
+    for _ in 0..48 {
+        let values = series(&mut rng);
+        let at = 10 + rng.next_below(40) as usize;
         let split = values.len() / 2;
         let config = LarpConfig::paper(5);
-        let Ok(model) = TrainedLarp::train(&values[..split], &config) else {
-            return Ok(());
-        };
+        let Ok(model) = TrainedLarp::train(&values[..split], &config) else { continue };
         let norm = model.zscore().apply_slice(&values);
         let t = at.min(norm.len() - 1).max(5);
         let a = model.select(&norm[..t]).unwrap();
         let b = model.select(&norm[..t]).unwrap();
-        prop_assert_eq!(a, b);
-        prop_assert!(a.0 < model.pool().len());
+        assert_eq!(a, b);
+        assert!(a.0 < model.pool().len());
     }
+}
 
-    /// Z-normalisation with train coefficients round-trips raw forecasts.
-    #[test]
-    fn raw_forecasts_invert_normalisation(values in series_strategy()) {
+/// Z-normalisation with train coefficients round-trips raw forecasts.
+#[test]
+fn raw_forecasts_invert_normalisation() {
+    let mut rng = Xoshiro256pp::seed_from_u64(603);
+    for _ in 0..48 {
+        let values = series(&mut rng);
         let split = values.len() / 2;
         let config = LarpConfig::paper(5);
-        let Ok(model) = TrainedLarp::train(&values[..split], &config) else {
-            return Ok(());
-        };
+        let Ok(model) = TrainedLarp::train(&values[..split], &config) else { continue };
         let history = &values[split..];
         if history.len() < 5 {
-            return Ok(());
+            continue;
         }
         let (id_raw, raw) = model.predict_next_raw(history).unwrap();
         let norm_hist = model.zscore().apply_slice(history);
         let (id_norm, z) = model.predict_next(&norm_hist).unwrap();
-        prop_assert_eq!(id_raw, id_norm);
-        prop_assert!((model.zscore().invert(z) - raw).abs() < 1e-9);
+        assert_eq!(id_raw, id_norm);
+        assert!((model.zscore().invert(z) - raw).abs() < 1e-9);
     }
+}
 
-    /// A pool built from any valid spec subset predicts finite values.
-    #[test]
-    fn pools_always_produce_finite_forecasts(
-        values in proptest::collection::vec(-100f64..100.0, 80..150),
-        order in 2usize..6,
-    ) {
+/// A pool built from any valid spec subset predicts finite values.
+#[test]
+fn pools_always_produce_finite_forecasts() {
+    let mut rng = Xoshiro256pp::seed_from_u64(604);
+    for _ in 0..48 {
+        let n = 80 + rng.next_below(70) as usize;
+        let values = random_vec(&mut rng, n, -100.0, 100.0);
+        let order = 2 + rng.next_below(4) as usize;
         let specs = ModelSpec::extended_pool(order);
-        let Ok(pool) = PredictorPool::from_specs(&specs, &values) else {
-            return Ok(());
-        };
+        let Ok(pool) = PredictorPool::from_specs(&specs, &values) else { continue };
         let h = &values[..pool.min_history().max(order + 2)];
         for f in pool.predict_all(h) {
-            prop_assert!(f.is_finite());
+            assert!(f.is_finite());
         }
     }
+}
 
-    /// MSE is translation-invariant in the pair and zero iff identical.
-    #[test]
-    fn mse_metric_axioms(
-        xs in proptest::collection::vec(-50f64..50.0, 1..40),
-        shift in -10f64..10.0,
-    ) {
+/// MSE is translation-invariant in the pair and zero iff identical.
+#[test]
+fn mse_metric_axioms() {
+    let mut rng = Xoshiro256pp::seed_from_u64(605);
+    for _ in 0..48 {
+        let n = 1 + rng.next_below(39) as usize;
+        let xs = random_vec(&mut rng, n, -50.0, 50.0);
+        let shift = rng.uniform(-10.0, 10.0);
         let ys: Vec<f64> = xs.iter().map(|x| x + shift).collect();
         let m = metrics::mse(&xs, &ys).unwrap();
-        prop_assert!((m - shift * shift).abs() < 1e-9);
-        prop_assert!(metrics::mse(&xs, &xs).unwrap() == 0.0);
+        assert!((m - shift * shift).abs() < 1e-9);
+        assert!(metrics::mse(&xs, &xs).unwrap() == 0.0);
     }
+}
 
-    /// ZScore(train) applied to any data is an affine map with the fitted
-    /// coefficients.
-    #[test]
-    fn zscore_is_affine(
-        train in proptest::collection::vec(-100f64..100.0, 2..60),
-        x in -1e4f64..1e4,
-    ) {
+/// ZScore(train) applied to any data is an affine map with the fitted
+/// coefficients.
+#[test]
+fn zscore_is_affine() {
+    let mut rng = Xoshiro256pp::seed_from_u64(606);
+    for _ in 0..48 {
+        let n = 2 + rng.next_below(58) as usize;
+        let train = random_vec(&mut rng, n, -100.0, 100.0);
+        let x = rng.uniform(-1e4, 1e4);
         let z = ZScore::fit(&train).unwrap();
         let a = z.apply(x);
-        prop_assert!((z.invert(a) - x).abs() < 1e-6 * x.abs().max(1.0));
+        assert!((z.invert(a) - x).abs() < 1e-6 * x.abs().max(1.0));
         // Affine: apply(x) - apply(0) is linear in x.
         let slope = z.apply(1.0) - z.apply(0.0);
-        prop_assert!((z.apply(x) - (z.apply(0.0) + slope * x)).abs() < 1e-6 * x.abs().max(1.0));
+        assert!((z.apply(x) - (z.apply(0.0) + slope * x)).abs() < 1e-6 * x.abs().max(1.0));
     }
 }
