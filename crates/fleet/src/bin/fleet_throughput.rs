@@ -1,0 +1,137 @@
+//! Diagnostic: fleet serving throughput on synthetic multi-VM traces.
+//!
+//! Registers `--streams` heterogeneous vmsim workloads (per-stream seeds via
+//! `vmsim::fleet`), drives `--samples` rounds of batched pushes through a
+//! `--shards`-worker engine with lossless (Block) backpressure, then reports
+//! throughput, push-latency percentiles and the fleet health rollup as one
+//! JSON object on stdout.
+//!
+//! Run with:
+//! `cargo run --release -p fleet --bin fleet_throughput -- --streams 1000 --samples 60 --shards 4`
+
+use std::time::Instant;
+
+use fleet::{BackpressurePolicy, FleetConfig, FleetEngine, StreamId};
+use vmsim::fleet_signal;
+
+/// Samples per timed `push_batch` call.
+const PUSH_CHUNK: usize = 256;
+
+struct Args {
+    streams: u64,
+    samples: u64,
+    shards: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { streams: 1000, samples: 60, shards: 4, seed: 2007 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("{name} expects an unsigned integer"))
+        };
+        match flag.as_str() {
+            "--streams" => args.streams = take("--streams"),
+            "--samples" => args.samples = take("--samples"),
+            "--shards" => args.shards = take("--shards") as usize,
+            "--seed" => args.seed = take("--seed"),
+            other => panic!("unknown flag {other}; supported: --streams --samples --shards --seed"),
+        }
+    }
+    args
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args = parse_args();
+    let engine = FleetEngine::new(FleetConfig {
+        shards: args.shards,
+        // Lossless under sustained overload: the producer stalls instead of
+        // dropping samples, so the measured rate is the true serving rate.
+        backpressure: BackpressurePolicy::Block,
+        queue_capacity: 8192,
+        fleet_seed: args.seed,
+        ..FleetConfig::default()
+    })
+    .expect("valid fleet config");
+
+    let mut signals: Vec<_> = (0..args.streams)
+        .map(|id| {
+            engine.register(id).expect("fresh stream id");
+            fleet_signal(args.seed, id)
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut push_us: Vec<f64> = Vec::with_capacity(
+        (args.streams * args.samples) as usize / PUSH_CHUNK + args.samples as usize,
+    );
+    let mut batch: Vec<(StreamId, f64)> = Vec::with_capacity(PUSH_CHUNK);
+    for minute in 0..args.samples {
+        for (id, signal) in signals.iter_mut().enumerate() {
+            batch.push((id as StreamId, signal.sample(minute)));
+            if batch.len() == PUSH_CHUNK {
+                let t = Instant::now();
+                engine.push_batch(&batch);
+                push_us.push(t.elapsed().as_secs_f64() * 1e6);
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            let t = Instant::now();
+            engine.push_batch(&batch);
+            push_us.push(t.elapsed().as_secs_f64() * 1e6);
+            batch.clear();
+        }
+    }
+    engine.flush();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let health = engine.health();
+    let total_samples = args.streams * args.samples;
+    let mut all_finite = true;
+    for id in 0..args.streams {
+        let info = engine.stream_info(id).expect("registered stream");
+        if info.last_forecast.is_some_and(|f| !f.is_finite()) {
+            all_finite = false;
+        }
+    }
+    push_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+
+    println!("{{");
+    println!("  \"streams\": {},", args.streams);
+    println!("  \"samples_per_stream\": {},", args.samples);
+    println!("  \"shards\": {},", args.shards);
+    println!("  \"seed\": {},", args.seed);
+    println!("  \"elapsed_sec\": {:.3},", elapsed);
+    println!("  \"samples_per_sec\": {:.0},", total_samples as f64 / elapsed);
+    println!("  \"streams_per_sec\": {:.1},", args.streams as f64 / elapsed);
+    println!("  \"push_batch_size\": {PUSH_CHUNK},");
+    println!("  \"push_p50_us\": {:.1},", percentile(&push_us, 0.50));
+    println!("  \"push_p99_us\": {:.1},", percentile(&push_us, 0.99));
+    println!("  \"accepted\": {},", health.pushes.accepted);
+    println!("  \"rejected\": {},", health.pushes.rejected);
+    println!("  \"dropped\": {},", health.pushes.dropped);
+    println!("  \"steps\": {},", health.steps);
+    println!("  \"forecasts\": {},", health.forecasts);
+    println!("  \"nonfinite_forecasts\": {},", health.nonfinite_forecasts);
+    println!("  \"retrains\": {},", health.retrains);
+    println!("  \"degraded_streams\": {},", health.degraded_streams());
+    println!("  \"quarantined_streams\": {},", health.quarantined_streams());
+    println!("  \"all_forecasts_finite\": {all_finite}");
+    println!("}}");
+
+    assert_eq!(health.pushes.accepted, total_samples, "Block backpressure must be lossless");
+    assert_eq!(health.nonfinite_forecasts, 0, "non-finite forecast escaped the fleet");
+    assert!(all_finite, "non-finite last forecast observed");
+}

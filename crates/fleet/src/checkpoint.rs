@@ -1,0 +1,179 @@
+//! Fleet checkpoint codec.
+//!
+//! A checkpoint captures every registered stream's complete serving state —
+//! trained model, sanitizer memory, quarantine clocks, QA window — so a fleet
+//! can be killed and restored warm, without retraining a single model.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   8 bytes  b"FLEETCKP"
+//! version u32      1
+//! count   u64      number of streams
+//! then per stream, sorted by ascending StreamId:
+//!   id          u64
+//!   next_minute u64
+//!   len         u64   length of the guarded snapshot
+//!   bytes       len   larp::snapshot encoding of the GuardedLarp
+//! ```
+//!
+//! Sorting by id makes the bytes a pure function of the fleet's logical state:
+//! two fleets serving the same streams checkpoint identically even when run
+//! with different shard counts.
+
+use larp::GuardedLarp;
+
+use crate::{FleetError, Result, StreamId};
+
+const MAGIC: [u8; 8] = *b"FLEETCKP";
+const VERSION: u32 = 1;
+
+/// One stream's checkpointed state, decoded.
+pub(crate) struct StreamCheckpoint {
+    pub(crate) id: StreamId,
+    pub(crate) next_minute: u64,
+    pub(crate) guarded: GuardedLarp,
+}
+
+fn err(msg: impl Into<String>) -> FleetError {
+    FleetError::Checkpoint(msg.into())
+}
+
+/// Encodes streams (already sorted by id) into checkpoint bytes.
+pub(crate) fn encode(streams: &[(StreamId, u64, Vec<u8>)]) -> Vec<u8> {
+    debug_assert!(streams.windows(2).all(|w| w[0].0 < w[1].0), "streams must be sorted by id");
+    let body: usize = streams.iter().map(|(_, _, b)| 24 + b.len()).sum();
+    let mut out = Vec::with_capacity(20 + body);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(streams.len() as u64).to_le_bytes());
+    for (id, next_minute, bytes) in streams {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&next_minute.to_le_bytes());
+        out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    out
+}
+
+/// Decodes checkpoint bytes back into per-stream state.
+///
+/// Rejects malformed input (bad magic/version, truncation, trailing bytes,
+/// duplicate or unsorted ids) with [`FleetError::Checkpoint`] — never panics.
+pub(crate) fn decode(bytes: &[u8]) -> Result<Vec<StreamCheckpoint>> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+        let end = pos.checked_add(n).ok_or_else(|| err("length overflow"))?;
+        if end > bytes.len() {
+            return Err(err(format!(
+                "truncated checkpoint: need {end} bytes, have {}",
+                bytes.len()
+            )));
+        }
+        let s = &bytes[*pos..end];
+        *pos = end;
+        Ok(s)
+    };
+    let take_u64 = |pos: &mut usize| -> Result<u64> {
+        let s = take(pos, 8)?;
+        Ok(u64::from_le_bytes(s.try_into().expect("slice is 8 bytes")))
+    };
+
+    if take(&mut pos, 8)? != MAGIC {
+        return Err(err("bad magic: not a fleet checkpoint"));
+    }
+    let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("slice is 4 bytes"));
+    if version != VERSION {
+        return Err(err(format!("unsupported checkpoint version {version}")));
+    }
+    let count = take_u64(&mut pos)?;
+    // Each stream costs at least 24 header bytes: an OOM guard for corrupt counts.
+    if (count as u128) * 24 > (bytes.len() - pos) as u128 {
+        return Err(err(format!("corrupt stream count {count}")));
+    }
+
+    let mut out = Vec::with_capacity(count as usize);
+    let mut prev: Option<StreamId> = None;
+    for _ in 0..count {
+        let id = take_u64(&mut pos)?;
+        if prev.is_some_and(|p| p >= id) {
+            return Err(err(format!("stream ids not strictly ascending at {id}")));
+        }
+        prev = Some(id);
+        let next_minute = take_u64(&mut pos)?;
+        let len = take_u64(&mut pos)?;
+        let snap =
+            take(&mut pos, usize::try_from(len).map_err(|_| err("snapshot length overflow"))?)?;
+        let guarded =
+            GuardedLarp::from_snapshot_bytes(snap).map_err(|e| err(format!("stream {id}: {e}")))?;
+        out.push(StreamCheckpoint { id, next_minute, guarded });
+    }
+    if pos != bytes.len() {
+        return Err(err(format!("{} trailing bytes after checkpoint", bytes.len() - pos)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamConfig;
+
+    fn guarded_bytes() -> Vec<u8> {
+        let mut g = StreamConfig::default().build().unwrap();
+        for m in 0..60u64 {
+            g.ingest(m, 40.0 + (m as f64 * 0.4).sin() * 5.0);
+        }
+        g.to_snapshot_bytes()
+    }
+
+    #[test]
+    fn empty_fleet_round_trips() {
+        let bytes = encode(&[]);
+        assert!(decode(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn streams_round_trip() {
+        let snap = guarded_bytes();
+        let bytes = encode(&[(3, 60, snap.clone()), (9, 12, snap.clone())]);
+        let streams = decode(&bytes).unwrap();
+        assert_eq!(streams.len(), 2);
+        assert_eq!((streams[0].id, streams[0].next_minute), (3, 60));
+        assert_eq!((streams[1].id, streams[1].next_minute), (9, 12));
+        assert_eq!(streams[0].guarded.to_snapshot_bytes(), snap);
+    }
+
+    #[test]
+    fn malformed_bytes_error_instead_of_panicking() {
+        assert!(decode(b"").is_err());
+        assert!(decode(b"NOTACKPT").is_err());
+        let good = encode(&[(1, 5, guarded_bytes())]);
+        for cut in [0, 7, 8, 11, 12, 19, 20, 27, 35, good.len() - 1] {
+            assert!(decode(&good[..cut]).is_err(), "truncation at {cut} must fail");
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode(&trailing).is_err());
+        // Corrupt the count field to something absurd: must be rejected, not
+        // allocated.
+        let mut huge = good;
+        huge[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode(&huge).is_err());
+    }
+
+    #[test]
+    fn unsorted_ids_rejected() {
+        let snap = guarded_bytes();
+        let sorted = encode(&[(2, 0, snap.clone()), (7, 0, snap)]);
+        let mut swapped = sorted;
+        // Swap the two id fields (offsets 20 and 20+24+snap_len).
+        let first_id = 20;
+        let snap_len =
+            u64::from_le_bytes(swapped[first_id + 16..first_id + 24].try_into().unwrap()) as usize;
+        let second_id = first_id + 24 + snap_len;
+        swapped[first_id..first_id + 8].copy_from_slice(&7u64.to_le_bytes());
+        swapped[second_id..second_id + 8].copy_from_slice(&2u64.to_le_bytes());
+        assert!(decode(&swapped).is_err());
+    }
+}

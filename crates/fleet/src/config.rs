@@ -1,0 +1,149 @@
+//! Fleet engine and per-stream configuration.
+
+use larp::{GuardedLarp, IngestConfig, LarpConfig, OnlineLarp, QualityAssuror, ResilienceConfig};
+
+use crate::{FleetError, Result};
+
+/// What a shard does when a sample arrives and its queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Reject the new sample (the caller sees it in
+    /// [`crate::PushReport::rejected`]). Freshness-preserving for the samples
+    /// already queued; the default.
+    #[default]
+    RejectNew,
+    /// Drop the oldest queued sample to make room. Latency-preserving: the
+    /// queue always holds the freshest data.
+    DropOldest,
+    /// Block the pushing thread until the worker frees space. Lossless, at
+    /// the cost of coupling producer latency to worker throughput.
+    Block,
+}
+
+/// Engine-level configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of shards = number of worker threads. Stream→shard assignment
+    /// is a pure hash, so results are deterministic given seed + shard count.
+    pub shards: usize,
+    /// Bounded capacity of each shard's ingest queue, in samples.
+    pub queue_capacity: usize,
+    /// Policy when a shard queue is full.
+    pub backpressure: BackpressurePolicy,
+    /// Seed for the shard-assignment hash (and, by convention, for the
+    /// per-stream trace generators driving the fleet in tests and benches).
+    pub fleet_seed: u64,
+    /// Maximum samples a worker drains from its queue per lock acquisition.
+    pub batch_drain: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 1024,
+            backpressure: BackpressurePolicy::RejectNew,
+            fleet_seed: 2007,
+            batch_drain: 64,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] for zero shards, capacity or
+    /// drain size.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(FleetError::InvalidConfig("shards must be >= 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(FleetError::InvalidConfig("queue_capacity must be >= 1".into()));
+        }
+        if self.batch_drain == 0 {
+            return Err(FleetError::InvalidConfig("batch_drain must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Per-stream serving configuration: everything needed to build one
+/// [`GuardedLarp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Ingestion sanitization policy.
+    pub ingest: IngestConfig,
+    /// LARPredictor configuration.
+    pub larp: LarpConfig,
+    /// Samples per (re)training window.
+    pub train_size: usize,
+    /// QA rolling-MSE retrain threshold (normalized units).
+    pub qa_threshold: f64,
+    /// QA audit window length.
+    pub qa_window: usize,
+    /// QA audit period.
+    pub qa_period: usize,
+    /// Fault-tolerance policy.
+    pub resilience: ResilienceConfig,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            ingest: IngestConfig::default(),
+            larp: LarpConfig::default(),
+            train_size: 40,
+            qa_threshold: 2.0,
+            qa_window: 8,
+            qa_period: 4,
+            resilience: ResilienceConfig::default(),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Builds the guarded serving stack for one stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from the larp layers.
+    pub fn build(&self) -> Result<GuardedLarp> {
+        let qa = QualityAssuror::new(self.qa_threshold, self.qa_window, self.qa_period)?;
+        let online = OnlineLarp::with_resilience(
+            self.larp.clone(),
+            self.train_size,
+            qa,
+            self.resilience.clone(),
+        )?;
+        Ok(GuardedLarp::from_parts(self.ingest.clone(), online)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate_and_build() {
+        FleetConfig::default().validate().unwrap();
+        StreamConfig::default().build().unwrap();
+    }
+
+    #[test]
+    fn zero_values_rejected() {
+        assert!(FleetConfig { shards: 0, ..FleetConfig::default() }.validate().is_err());
+        assert!(FleetConfig { queue_capacity: 0, ..FleetConfig::default() }.validate().is_err());
+        assert!(FleetConfig { batch_drain: 0, ..FleetConfig::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn bad_stream_config_propagates() {
+        let bad = StreamConfig { train_size: 1, ..StreamConfig::default() };
+        assert!(bad.build().is_err());
+        let bad = StreamConfig { qa_threshold: -1.0, ..StreamConfig::default() };
+        assert!(bad.build().is_err());
+    }
+}

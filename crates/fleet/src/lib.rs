@@ -1,0 +1,87 @@
+//! Fleet serving engine: sharded multi-stream online prediction.
+//!
+//! The paper's prototype serves *one* VM metric stream; a production resource
+//! manager watches thousands (every VM × every metric). This crate scales the
+//! serving layer out: a [`FleetEngine`] owns N independent
+//! [`larp::GuardedLarp`] instances behind stable [`StreamId`]s, sharded
+//! across a fixed pool of worker threads.
+//!
+//! Design properties:
+//!
+//! * **Deterministic sharding** — a stream's shard is a pure hash of
+//!   `(fleet_seed, stream_id)` ([`shard::shard_of`]); no work stealing, so
+//!   per-stream sample order is exactly enqueue order and fleet results are
+//!   reproducible given seed + shard count.
+//! * **Batched ingestion with backpressure** — [`FleetEngine::push_batch`]
+//!   fans samples out to per-shard bounded queues; a full queue rejects new
+//!   samples, drops the oldest, or blocks, per [`BackpressurePolicy`].
+//! * **Stream lifecycle** — register / evict / idle-expiry sweep
+//!   ([`FleetEngine::sweep_idle`]).
+//! * **Checkpointing** — [`FleetEngine::checkpoint`] serializes every
+//!   stream's full serving state (via `larp::snapshot`);
+//!   [`FleetEngine::restore`] warm-starts a fleet from those bytes without
+//!   retraining a single model, even onto a different shard count.
+//! * **Health surface** — [`FleetEngine::health`] aggregates per-shard queue
+//!   depths, degraded/quarantined stream counts and rolled-up
+//!   [`larp::OnlineCounters`] into one [`FleetHealth`].
+//!
+//! The `fleet_throughput` binary drives a synthetic multi-VM fleet
+//! (`vmsim::fleet`) through the engine and reports streams/sec and push
+//! latency percentiles as JSON.
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod config;
+pub mod engine;
+pub mod health;
+pub mod shard;
+
+pub use config::{BackpressurePolicy, FleetConfig, StreamConfig};
+pub use engine::{FleetEngine, StreamInfo};
+pub use health::{FleetHealth, PushReport, ShardHealth};
+pub use shard::shard_of;
+
+/// Stable identifier of one prediction stream within a fleet.
+pub type StreamId = u64;
+
+/// Errors from fleet configuration, lifecycle and checkpointing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// An invalid engine or stream configuration value.
+    InvalidConfig(String),
+    /// The stream id is not registered.
+    UnknownStream(StreamId),
+    /// The stream id is already registered.
+    DuplicateStream(StreamId),
+    /// A malformed or incompatible checkpoint.
+    Checkpoint(String),
+    /// Propagated failure from the serving substrate.
+    Serving(String),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            FleetError::UnknownStream(id) => write!(f, "unknown stream {id}"),
+            FleetError::DuplicateStream(id) => write!(f, "stream {id} already registered"),
+            FleetError::Checkpoint(m) => write!(f, "checkpoint failure: {m}"),
+            FleetError::Serving(m) => write!(f, "serving failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<larp::LarpError> for FleetError {
+    fn from(e: larp::LarpError) -> Self {
+        match e {
+            larp::LarpError::InvalidConfig(m) => FleetError::InvalidConfig(m),
+            larp::LarpError::Snapshot(m) => FleetError::Checkpoint(m),
+            other => FleetError::Serving(other.to_string()),
+        }
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, FleetError>;

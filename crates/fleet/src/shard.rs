@@ -1,0 +1,205 @@
+//! Shard assignment and per-shard serving state.
+//!
+//! Each shard owns a bounded ingest queue (std `Mutex` + `Condvar`s — no
+//! external dependencies) and a map of the streams assigned to it. Exactly
+//! one worker thread drains each shard, so samples of one stream are always
+//! processed in enqueue order — the property that makes fleet runs
+//! reproducible.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use larp::{GuardedLarp, HealthState};
+use simrng::{Rng64, SplitMix64};
+
+use crate::StreamId;
+
+/// Assigns a stream to a shard: a pure hash of `(fleet_seed, stream_id)`.
+///
+/// Stable across runs and registration order; only `shards` itself changes
+/// the layout. The double SplitMix64 pass gives full avalanche over the
+/// typically small consecutive stream ids, keeping the assignment balanced.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn shard_of(fleet_seed: u64, stream_id: StreamId, shards: usize) -> usize {
+    assert!(shards > 0, "shard_of requires at least one shard");
+    let whitened = SplitMix64::new(fleet_seed).next_u64();
+    let h = SplitMix64::new(whitened ^ stream_id).next_u64();
+    (h % shards as u64) as usize
+}
+
+/// One queued sample.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Job {
+    pub(crate) stream: StreamId,
+    /// Explicit sample minute; `None` auto-advances the stream's clock.
+    pub(crate) minute: Option<u64>,
+    pub(crate) value: f64,
+    /// Engine-wide push sequence number at enqueue, for idle-expiry.
+    pub(crate) seq: u64,
+}
+
+/// Mutex-protected queue interior.
+pub(crate) struct QueueInner {
+    pub(crate) items: VecDeque<Job>,
+    /// Set once at engine drop; workers exit after draining.
+    pub(crate) shutdown: bool,
+    /// True while the worker is processing a drained batch — `flush` must
+    /// wait for this, not just for an empty queue.
+    pub(crate) busy: bool,
+}
+
+/// Serving state of one stream within its shard.
+pub(crate) struct StreamSlot {
+    pub(crate) guarded: GuardedLarp,
+    /// Minute assigned to the next auto-clocked sample.
+    pub(crate) next_minute: u64,
+    /// Engine push sequence of the most recently processed sample.
+    pub(crate) last_seq: u64,
+    /// Clean samples that reached the predictor.
+    pub(crate) steps: u64,
+    /// Forecasts served.
+    pub(crate) forecasts: u64,
+    /// Non-finite forecasts that escaped the serving stack (must stay 0; the
+    /// fleet counts rather than trusts).
+    pub(crate) nonfinite: u64,
+    /// Health of the most recent step.
+    pub(crate) last_health: HealthState,
+    /// Most recent forecast.
+    pub(crate) last_forecast: Option<f64>,
+}
+
+impl StreamSlot {
+    pub(crate) fn new(guarded: GuardedLarp, next_minute: u64) -> Self {
+        Self {
+            guarded,
+            next_minute,
+            last_seq: 0,
+            steps: 0,
+            forecasts: 0,
+            nonfinite: 0,
+            last_health: HealthState::Healthy,
+            last_forecast: None,
+        }
+    }
+
+    /// Feeds one sample through the guarded stack, updating serving stats.
+    pub(crate) fn feed(&mut self, job: &Job) {
+        let minute = job.minute.unwrap_or(self.next_minute);
+        self.next_minute = self.next_minute.max(minute.saturating_add(1));
+        self.last_seq = job.seq;
+        for step in self.guarded.ingest(minute, job.value) {
+            self.steps += 1;
+            self.last_health = step.health;
+            if let Some(f) = step.forecast {
+                self.forecasts += 1;
+                self.last_forecast = Some(f);
+                if !f.is_finite() {
+                    self.nonfinite += 1;
+                }
+            }
+        }
+    }
+}
+
+/// One shard: bounded queue + stream map + wakeup plumbing.
+pub(crate) struct ShardState {
+    pub(crate) queue: Mutex<QueueInner>,
+    /// Signalled when samples are enqueued or shutdown is ordered.
+    pub(crate) not_empty: Condvar,
+    /// Signalled when the worker frees queue space.
+    pub(crate) space: Condvar,
+    /// Signalled when the queue is empty and the worker idle.
+    pub(crate) drained: Condvar,
+    pub(crate) streams: Mutex<HashMap<StreamId, StreamSlot>>,
+    /// Samples addressed to unregistered streams (dropped, counted).
+    pub(crate) unknown_dropped: AtomicU64,
+}
+
+impl ShardState {
+    pub(crate) fn new() -> Self {
+        Self {
+            queue: Mutex::new(QueueInner { items: VecDeque::new(), shutdown: false, busy: false }),
+            not_empty: Condvar::new(),
+            space: Condvar::new(),
+            drained: Condvar::new(),
+            streams: Mutex::new(HashMap::new()),
+            unknown_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The worker loop: drain up to `batch_drain` samples, feed them, repeat
+    /// until shutdown with an empty queue.
+    pub(crate) fn worker_loop(&self, batch_drain: usize) {
+        let mut batch: Vec<Job> = Vec::with_capacity(batch_drain);
+        loop {
+            {
+                let mut q = self.queue.lock().expect("shard queue poisoned");
+                while q.items.is_empty() && !q.shutdown {
+                    q = self.not_empty.wait(q).expect("shard queue poisoned");
+                }
+                if q.items.is_empty() {
+                    // Shutdown with nothing left to do.
+                    q.busy = false;
+                    self.drained.notify_all();
+                    return;
+                }
+                q.busy = true;
+                let n = q.items.len().min(batch_drain);
+                batch.extend(q.items.drain(..n));
+            }
+            self.space.notify_all();
+
+            {
+                let mut streams = self.streams.lock().expect("shard stream map poisoned");
+                for job in &batch {
+                    match streams.get_mut(&job.stream) {
+                        Some(slot) => slot.feed(job),
+                        None => {
+                            self.unknown_dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            batch.clear();
+
+            let mut q = self.queue.lock().expect("shard queue poisoned");
+            if q.items.is_empty() {
+                q.busy = false;
+                self.drained.notify_all();
+                if q.shutdown {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for id in 0..500u64 {
+            let s = shard_of(42, id, 7);
+            assert!(s < 7);
+            assert_eq!(s, shard_of(42, id, 7), "assignment must be pure");
+        }
+    }
+
+    #[test]
+    fn shard_of_depends_on_seed() {
+        let moved = (0..200u64).filter(|&id| shard_of(1, id, 8) != shard_of(2, id, 8)).count();
+        assert!(moved > 100, "only {moved}/200 streams moved between seeds");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        shard_of(0, 0, 0);
+    }
+}

@@ -150,21 +150,21 @@ impl IngestStats {
 /// A streaming `(minute, value)` repair stage in front of [`OnlineLarp`].
 #[derive(Debug)]
 pub struct Sanitizer {
-    config: IngestConfig,
+    pub(crate) config: IngestConfig,
     /// Minute of the last accepted sample.
-    last_minute: Option<u64>,
+    pub(crate) last_minute: Option<u64>,
     /// Value of the last emitted sample.
-    last_value: Option<f64>,
+    pub(crate) last_value: Option<f64>,
     /// Raw (pre-repair) value of the last accepted reading, for stuck-sensor
     /// detection — repairs must not mask a wedged sensor.
-    last_raw: Option<f64>,
+    pub(crate) last_raw: Option<f64>,
     /// Recent emitted values, for the robust envelope.
-    recent: VecDeque<f64>,
+    pub(crate) recent: VecDeque<f64>,
     /// Length of the current identical-value run.
-    stuck_len: usize,
+    pub(crate) stuck_len: usize,
     /// Whether the current run has already been counted.
-    stuck_counted: bool,
-    stats: IngestStats,
+    pub(crate) stuck_counted: bool,
+    pub(crate) stats: IngestStats,
 }
 
 impl Sanitizer {
@@ -323,8 +323,8 @@ impl Sanitizer {
 /// An [`OnlineLarp`] behind a [`Sanitizer`]: the one-call serving stack for
 /// faulted `(minute, value)` monitor streams.
 pub struct GuardedLarp {
-    sanitizer: Sanitizer,
-    online: OnlineLarp,
+    pub(crate) sanitizer: Sanitizer,
+    pub(crate) online: OnlineLarp,
 }
 
 impl GuardedLarp {

@@ -57,6 +57,7 @@ pub mod online;
 pub mod parallel;
 pub mod qa;
 pub mod selector;
+pub mod snapshot;
 
 pub use config::{LarpConfig, ResilienceConfig};
 pub use diagnose::{assess, Applicability, Recommendation};
@@ -76,6 +77,8 @@ pub enum LarpError {
     InvalidConfig(String),
     /// Propagated failure from a substrate crate.
     Substrate(String),
+    /// A malformed or incompatible serialized snapshot.
+    Snapshot(String),
 }
 
 impl std::fmt::Display for LarpError {
@@ -84,6 +87,7 @@ impl std::fmt::Display for LarpError {
             LarpError::InsufficientData(m) => write!(f, "insufficient data: {m}"),
             LarpError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
             LarpError::Substrate(m) => write!(f, "substrate failure: {m}"),
+            LarpError::Snapshot(m) => write!(f, "snapshot failure: {m}"),
         }
     }
 }

@@ -16,12 +16,12 @@ use crate::{LarpError, Result};
 /// coefficients, the fitted predictor pool, the PCA projection (if enabled)
 /// and the labelled k-NN index. Create with [`TrainedLarp::train`].
 pub struct TrainedLarp {
-    config: LarpConfig,
-    zscore: ZScore,
-    pool: PredictorPool,
-    pca: Option<Pca>,
-    knn: KnnClassifier,
-    train_len: usize,
+    pub(crate) config: LarpConfig,
+    pub(crate) zscore: ZScore,
+    pub(crate) pool: PredictorPool,
+    pub(crate) pca: Option<Pca>,
+    pub(crate) knn: KnnClassifier,
+    pub(crate) train_len: usize,
 }
 
 impl TrainedLarp {

@@ -79,43 +79,46 @@ pub struct OnlineCounters {
 
 /// Per-pool-member quarantine bookkeeping.
 #[derive(Debug, Clone, Copy, Default)]
-struct PredictorHealth {
+pub(crate) struct PredictorHealth {
     /// Consecutive divergence strikes.
-    strikes: usize,
+    pub(crate) strikes: usize,
     /// Step clock until which the predictor is benched.
-    quarantined_until: Option<u64>,
+    pub(crate) quarantined_until: Option<u64>,
     /// How often this predictor has been quarantined (drives the backoff).
-    times_quarantined: u32,
+    pub(crate) times_quarantined: u32,
 }
 
 /// A self-retraining, fault-tolerant streaming LARPredictor.
+///
+/// Fields are `pub(crate)` so `crate::snapshot` can serialize and rebuild the
+/// exact serving state without retraining.
 pub struct OnlineLarp {
-    config: LarpConfig,
-    resilience: ResilienceConfig,
-    qa: QualityAssuror,
+    pub(crate) config: LarpConfig,
+    pub(crate) resilience: ResilienceConfig,
+    pub(crate) qa: QualityAssuror,
     /// Most recent observations (raw scale), bounded by
     /// [`ResilienceConfig::max_history`].
-    history: Vec<f64>,
+    pub(crate) history: Vec<f64>,
     /// Total observations consumed (unlike `history.len()`, never truncated).
-    seen: usize,
+    pub(crate) seen: usize,
     /// How many most-recent points each (re)training uses.
-    train_size: usize,
-    model: Option<TrainedLarp>,
+    pub(crate) train_size: usize,
+    pub(crate) model: Option<TrainedLarp>,
     /// The forecast made for the not-yet-seen next value, with its producer,
     /// for QA scoring and divergence attribution (`None` producer =
     /// persistence fallback).
-    pending: Option<(Option<PredictorId>, f64)>,
-    retrain_count: usize,
+    pub(crate) pending: Option<(Option<PredictorId>, f64)>,
+    pub(crate) retrain_count: usize,
     /// Step clock (one tick per push), the time base for quarantine expiry
     /// and retrain backoff.
-    clock: u64,
-    predictor_health: Vec<PredictorHealth>,
-    tracker: Option<PoolErrorTracker>,
-    counters: OnlineCounters,
-    consecutive_retrain_failures: u32,
+    pub(crate) clock: u64,
+    pub(crate) predictor_health: Vec<PredictorHealth>,
+    pub(crate) tracker: Option<PoolErrorTracker>,
+    pub(crate) counters: OnlineCounters,
+    pub(crate) consecutive_retrain_failures: u32,
     /// Earliest clock at which another training attempt is allowed.
-    next_retrain_at: u64,
-    retrain_pending: bool,
+    pub(crate) next_retrain_at: u64,
+    pub(crate) retrain_pending: bool,
 }
 
 impl OnlineLarp {

@@ -33,13 +33,13 @@ pub enum AuditOutcome {
 /// Rolling-window MSE auditor with a retraining threshold.
 #[derive(Debug, Clone)]
 pub struct QualityAssuror {
-    threshold: f64,
-    audit_window: usize,
-    audit_period: usize,
-    errors: VecDeque<f64>,
-    since_audit: usize,
-    audits: usize,
-    retrains_signalled: usize,
+    pub(crate) threshold: f64,
+    pub(crate) audit_window: usize,
+    pub(crate) audit_period: usize,
+    pub(crate) errors: VecDeque<f64>,
+    pub(crate) since_audit: usize,
+    pub(crate) audits: usize,
+    pub(crate) retrains_signalled: usize,
 }
 
 impl QualityAssuror {

@@ -106,6 +106,19 @@ impl KnnClassifier {
         self.backend
     }
 
+    /// The indexed training points, in insertion order. Together with
+    /// [`labels`](Self::labels), `k` and the backend these fully describe the
+    /// classifier — feed them back through [`KnnClassifier::fit`] to restore
+    /// a serialized instance.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// The training labels, parallel to [`points`](Self::points).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
     /// Feature dimension.
     pub fn dim(&self) -> usize {
         self.points[0].len()

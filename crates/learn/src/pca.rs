@@ -88,6 +88,63 @@ impl Pca {
         Self::fit(data, n)
     }
 
+    /// Reconstructs a fitted projection from its parts (the accessors are the
+    /// inverse), for serialized-model restore without refitting.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::InvalidParameter`] for an empty projection or a
+    ///   non-finite `total_variance`;
+    /// * [`LearnError::ShapeMismatch`] if `mean`/`eigenvalues` lengths do not
+    ///   match the projection matrix.
+    pub fn from_parts(
+        mean: Vec<f64>,
+        components: Matrix,
+        eigenvalues: Vec<f64>,
+        total_variance: f64,
+    ) -> Result<Self> {
+        if components.rows() == 0 || components.cols() == 0 {
+            return Err(LearnError::InvalidParameter(
+                "PCA restore needs a non-empty projection matrix".into(),
+            ));
+        }
+        if !total_variance.is_finite() {
+            return Err(LearnError::InvalidParameter(format!(
+                "PCA total variance must be finite, got {total_variance}"
+            )));
+        }
+        if mean.len() != components.cols() {
+            return Err(LearnError::ShapeMismatch(format!(
+                "mean dim {} vs projection input dim {}",
+                mean.len(),
+                components.cols()
+            )));
+        }
+        if eigenvalues.len() != components.rows() {
+            return Err(LearnError::ShapeMismatch(format!(
+                "{} eigenvalues vs {} components",
+                eigenvalues.len(),
+                components.rows()
+            )));
+        }
+        Ok(Self { mean, components, eigenvalues, total_variance })
+    }
+
+    /// The training mean vector `μ`.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The `n × d` projection matrix (rows are unit eigenvectors).
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
+    /// Total training variance (sum of all covariance eigenvalues).
+    pub fn total_variance(&self) -> f64 {
+        self.total_variance
+    }
+
     /// Number of retained components `n`.
     pub fn n_components(&self) -> usize {
         self.components.rows()

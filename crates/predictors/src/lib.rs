@@ -91,4 +91,14 @@ pub trait Predictor: Send + Sync {
     /// Implementations may panic if `history.len() < self.min_history()`;
     /// callers go through [`PredictorPool`], which checks once per step.
     fn predict(&self, history: &[f64]) -> f64;
+
+    /// Train-derived state as a flat `f64` vector, for serialization.
+    ///
+    /// Empty for the non-parametric models (their behaviour is fully
+    /// described by their [`ModelSpec`]); the fitted models (AR/ARI) encode
+    /// their coefficients here. [`ModelSpec::rebuild`] is the inverse: spec +
+    /// fitted state reproduces the model without retraining.
+    fn fitted_state(&self) -> Vec<f64> {
+        Vec::new()
+    }
 }

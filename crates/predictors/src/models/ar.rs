@@ -85,6 +85,36 @@ impl Ar {
         }
     }
 
+    /// Reconstructs a fitted model from previously extracted parameters
+    /// (the inverse of [`Ar::fitted_state`] via `Predictor`), without
+    /// touching training data.
+    ///
+    /// # Errors
+    ///
+    /// * [`PredictorError::InvalidParameter`] for an empty coefficient
+    ///   vector or non-finite `mean`/`innovation_variance`/coefficients.
+    pub fn from_parts(
+        coefficients: Vec<f64>,
+        mean: f64,
+        innovation_variance: f64,
+        degenerate: bool,
+    ) -> Result<Self> {
+        if coefficients.is_empty() {
+            return Err(PredictorError::InvalidParameter(
+                "AR restore needs at least one coefficient".into(),
+            ));
+        }
+        if coefficients.iter().any(|c| !c.is_finite())
+            || !mean.is_finite()
+            || !innovation_variance.is_finite()
+        {
+            return Err(PredictorError::InvalidParameter(
+                "AR restore parameters must be finite".into(),
+            ));
+        }
+        Ok(Self { order: coefficients.len(), coefficients, mean, innovation_variance, degenerate })
+    }
+
     /// The model order `p`.
     pub fn order(&self) -> usize {
         self.order
@@ -130,6 +160,16 @@ impl Predictor for Ar {
         }
         acc
     }
+
+    fn fitted_state(&self) -> Vec<f64> {
+        // Layout: [mean, innovation_variance, degenerate, φ₁..φ_p].
+        let mut out = Vec::with_capacity(3 + self.coefficients.len());
+        out.push(self.mean);
+        out.push(self.innovation_variance);
+        out.push(if self.degenerate { 1.0 } else { 0.0 });
+        out.extend_from_slice(&self.coefficients);
+        out
+    }
 }
 
 /// ARI(p, d): AR fitted on the `d`-times differenced series, with forecasts
@@ -163,6 +203,21 @@ impl Ari {
             }
         })?;
         Ok(Self { ar: Ar::fit(&diffed, order)?, diff_order })
+    }
+
+    /// Reconstructs a fitted ARI from an [`Ar`] restored via
+    /// [`Ar::from_parts`] and the differencing order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::InvalidParameter`] if `diff_order == 0`.
+    pub fn from_parts(ar: Ar, diff_order: usize) -> Result<Self> {
+        if diff_order == 0 {
+            return Err(PredictorError::InvalidParameter(
+                "ARI with d = 0 is plain AR; use Ar::from_parts".into(),
+            ));
+        }
+        Ok(Self { ar, diff_order })
     }
 
     /// The differencing order `d`.
@@ -203,6 +258,11 @@ impl Predictor for Ari {
             forecast = timeseries::diff::integrate_next(last, forecast);
         }
         forecast
+    }
+
+    fn fitted_state(&self) -> Vec<f64> {
+        // The inner AR's layout; diff_order lives in the spec.
+        self.ar.fitted_state()
     }
 }
 

@@ -55,6 +55,43 @@ impl PredictorPool {
         Self::from_specs(&ModelSpec::extended_pool(order), train)
     }
 
+    /// Reconstructs a fitted pool from specs plus the per-member fitted state
+    /// previously extracted with [`PredictorPool::fitted_states`] — no
+    /// training data, no refitting.
+    ///
+    /// # Errors
+    ///
+    /// * [`PredictorError::InvalidParameter`] for an empty spec list or a
+    ///   state list whose length differs from the spec list;
+    /// * propagated [`ModelSpec::rebuild`] errors.
+    pub fn from_fitted(specs: &[ModelSpec], states: &[Vec<f64>]) -> Result<Self> {
+        if specs.is_empty() {
+            return Err(PredictorError::InvalidParameter("pool must contain a model".into()));
+        }
+        if specs.len() != states.len() {
+            return Err(PredictorError::InvalidParameter(format!(
+                "{} specs vs {} fitted states",
+                specs.len(),
+                states.len()
+            )));
+        }
+        let models =
+            specs.iter().zip(states).map(|(s, st)| s.rebuild(st)).collect::<Result<Vec<_>>>()?;
+        Ok(Self { models, specs: specs.to_vec() })
+    }
+
+    /// Every member's train-derived state, in pool order (empty vectors for
+    /// the non-parametric models). Together with the specs this fully
+    /// describes the fitted pool.
+    pub fn fitted_states(&self) -> Vec<Vec<f64>> {
+        self.models.iter().map(|m| m.fitted_state()).collect()
+    }
+
+    /// All specs in pool order.
+    pub fn specs(&self) -> &[ModelSpec] {
+        &self.specs
+    }
+
     /// Number of models in the pool.
     pub fn len(&self) -> usize {
         self.models.len()

@@ -96,6 +96,39 @@ impl ModelSpec {
         })
     }
 
+    /// Reinstantiates the model from a previously extracted
+    /// [`Predictor::fitted_state`](crate::Predictor::fitted_state) vector,
+    /// without training data — the restore half of model serialization.
+    ///
+    /// Non-parametric models ignore `state` (their spec is their identity);
+    /// AR/ARI decode `[mean, innovation_variance, degenerate, φ₁..φ_p]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation errors, plus
+    /// [`crate::PredictorError::InvalidParameter`] for an AR/ARI state vector
+    /// whose coefficient count disagrees with the spec's order.
+    pub fn rebuild(&self, state: &[f64]) -> Result<Box<dyn Predictor>> {
+        let decode_ar = |state: &[f64], order: usize, model: &'static str| -> Result<Ar> {
+            if state.len() != 3 + order {
+                return Err(crate::PredictorError::InvalidParameter(format!(
+                    "{model}({order}) state needs {} values, got {}",
+                    3 + order,
+                    state.len()
+                )));
+            }
+            Ar::from_parts(state[3..].to_vec(), state[0], state[1], state[2] != 0.0)
+        };
+        Ok(match self {
+            ModelSpec::Ar { order } => Box::new(decode_ar(state, *order, "AR")?),
+            ModelSpec::Ari { order, diff } => {
+                Box::new(Ari::from_parts(decode_ar(state, *order, "ARI")?, *diff)?)
+            }
+            // Everything else carries no fitted state: rebuild from the spec.
+            _ => self.build(&[])?,
+        })
+    }
+
     /// The paper's three-model pool in figure order: 1 = LAST, 2 = AR,
     /// 3 = SW_AVG. `order` is both the AR order and the SW_AVG window (the
     /// paper uses the prediction window `m` for both).

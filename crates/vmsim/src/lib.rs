@@ -29,7 +29,10 @@
 //!   (5 VMs × 12 metrics at the paper's durations and intervals);
 //! * [`faults`] — deterministic fault injection (drops, gaps, NaNs, sentinels,
 //!   stuck sensors, spikes, duplicates) for exercising the serving layer's
-//!   fault tolerance.
+//!   fault tolerance;
+//! * [`fleet`] — per-stream deterministic trace fan-out: seeds and workload
+//!   generators derived purely from `(fleet_seed, stream_id)`, independent of
+//!   shard layout, for fleet-scale serving experiments.
 //!
 //! Everything is deterministic per seed: `paper_traces(seed)` always yields
 //! byte-identical series.
@@ -37,6 +40,7 @@
 
 pub mod db;
 pub mod faults;
+pub mod fleet;
 pub(crate) mod lock;
 pub mod metric;
 pub mod monitor;
@@ -49,6 +53,7 @@ pub mod traceset;
 pub mod workload;
 
 pub use faults::{FaultConfig, FaultCounts, FaultInjector, FaultKind};
+pub use fleet::{fleet_signal, fleet_trace, stream_seed};
 pub use metric::{MetricKind, VmId};
 pub use monitor::MonitorAgent;
 pub use profiler::Profiler;

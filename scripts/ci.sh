@@ -25,4 +25,9 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+if [[ "$QUICK" -eq 0 ]]; then
+  echo "==> fleet_throughput smoke (1000 streams, 4 shards)"
+  cargo run --release -p fleet --bin fleet_throughput -- --streams 1000 --samples 50 --shards 4
+fi
+
 echo "CI gate passed."

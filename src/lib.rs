@@ -20,6 +20,8 @@
 //! * [`linalg`] — the numerical kernels (Jacobi eigensolver, Levinson–Durbin);
 //! * [`vmsim`] — the simulated VM monitoring testbed (5 VM profiles,
 //!   12 metrics each, monitor agent, round-robin database, profiler);
+//! * [`fleet`] — the sharded multi-stream serving engine (batching,
+//!   backpressure, lifecycle, fleet-wide checkpointing);
 //! * [`simrng`] — deterministic RNG + distributions used everywhere.
 //!
 //! ## Quickstart
@@ -42,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub use fleet;
 pub use larp;
 pub use learn;
 pub use linalg;
