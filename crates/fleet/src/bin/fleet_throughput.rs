@@ -12,6 +12,7 @@
 use std::time::Instant;
 
 use fleet::{BackpressurePolicy, FleetConfig, FleetEngine, StreamId};
+use obs::percentile_sorted;
 use vmsim::fleet_signal;
 
 /// Samples per timed `push_batch` call.
@@ -42,14 +43,6 @@ fn parse_args() -> Args {
         }
     }
     args
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
 }
 
 fn main() {
@@ -117,8 +110,11 @@ fn main() {
     println!("  \"samples_per_sec\": {:.0},", total_samples as f64 / elapsed);
     println!("  \"streams_per_sec\": {:.1},", args.streams as f64 / elapsed);
     println!("  \"push_batch_size\": {PUSH_CHUNK},");
-    println!("  \"push_p50_us\": {:.1},", percentile(&push_us, 0.50));
-    println!("  \"push_p99_us\": {:.1},", percentile(&push_us, 0.99));
+    // Ceil-rank percentiles (obs::percentile_sorted): the tail estimate
+    // never understates — p99 of 100 samples is the maximum, not the 99th
+    // smallest as the old nearest-rank rounding reported.
+    println!("  \"push_p50_us\": {:.1},", percentile_sorted(&push_us, 0.50).unwrap_or(0.0));
+    println!("  \"push_p99_us\": {:.1},", percentile_sorted(&push_us, 0.99).unwrap_or(0.0));
     println!("  \"accepted\": {},", health.pushes.accepted);
     println!("  \"rejected\": {},", health.pushes.rejected);
     println!("  \"dropped\": {},", health.pushes.dropped);
@@ -128,7 +124,10 @@ fn main() {
     println!("  \"retrains\": {},", health.retrains);
     println!("  \"degraded_streams\": {},", health.degraded_streams());
     println!("  \"quarantined_streams\": {},", health.quarantined_streams());
-    println!("  \"all_forecasts_finite\": {all_finite}");
+    println!("  \"all_forecasts_finite\": {all_finite},");
+    // The registry-backed metric dump (events omitted to keep the artifact
+    // small); the full exposition lives in the obs_dump binary.
+    println!("  \"obs\": {}", obs::expo::json(engine.registry(), None));
     println!("}}");
 
     assert_eq!(health.pushes.accepted, total_samples, "Block backpressure must be lossless");

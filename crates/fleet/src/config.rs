@@ -35,6 +35,10 @@ pub struct FleetConfig {
     pub fleet_seed: u64,
     /// Maximum samples a worker drains from its queue per lock acquisition.
     pub batch_drain: usize,
+    /// Capacity of the engine's bounded event-trace ring
+    /// ([`crate::FleetEngine::events`]); overflow evicts the oldest events
+    /// and counts them.
+    pub event_capacity: usize,
 }
 
 impl Default for FleetConfig {
@@ -45,6 +49,7 @@ impl Default for FleetConfig {
             backpressure: BackpressurePolicy::RejectNew,
             fleet_seed: 2007,
             batch_drain: 64,
+            event_capacity: 1024,
         }
     }
 }
@@ -65,6 +70,9 @@ impl FleetConfig {
         }
         if self.batch_drain == 0 {
             return Err(FleetError::InvalidConfig("batch_drain must be >= 1".into()));
+        }
+        if self.event_capacity == 0 {
+            return Err(FleetError::InvalidConfig("event_capacity must be >= 1".into()));
         }
         Ok(())
     }
@@ -137,6 +145,7 @@ mod tests {
         assert!(FleetConfig { shards: 0, ..FleetConfig::default() }.validate().is_err());
         assert!(FleetConfig { queue_capacity: 0, ..FleetConfig::default() }.validate().is_err());
         assert!(FleetConfig { batch_drain: 0, ..FleetConfig::default() }.validate().is_err());
+        assert!(FleetConfig { event_capacity: 0, ..FleetConfig::default() }.validate().is_err());
     }
 
     #[test]

@@ -4,12 +4,15 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use larp::HealthState;
+use obs::{expo, EventKind, EventRing, Registry};
 
 use crate::checkpoint;
 use crate::config::{BackpressurePolicy, FleetConfig, StreamConfig};
 use crate::health::{merge_counters, FleetHealth, PushReport, ShardHealth};
+use crate::observe::FleetObs;
 use crate::shard::{shard_of, Job, ShardState, StreamSlot};
 use crate::{FleetError, Result, StreamId};
 
@@ -19,9 +22,7 @@ struct EngineShared {
     shards: Vec<ShardState>,
     /// Monotonic count of push attempts, the idle-expiry clock.
     push_seq: AtomicU64,
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    dropped: AtomicU64,
+    obs: FleetObs,
 }
 
 /// Sharded multi-stream serving engine. See the crate docs for the design.
@@ -77,13 +78,12 @@ impl FleetEngine {
         config.validate()?;
         // Fail fast on a default stream config that can never build.
         default_stream.build()?;
+        let obs = FleetObs::new(config.event_capacity);
         let shared = Arc::new(EngineShared {
-            shards: (0..config.shards).map(|_| ShardState::new()).collect(),
+            shards: (0..config.shards).map(|i| ShardState::new(i, &obs.registry)).collect(),
             config,
             push_seq: AtomicU64::new(0),
-            accepted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
+            obs,
         });
         let workers = (0..shared.config.shards)
             .map(|i| {
@@ -124,7 +124,8 @@ impl FleetEngine {
     /// Returns [`FleetError::DuplicateStream`] if `id` is already registered
     /// and propagates stream-construction failures.
     pub fn register_with(&self, id: StreamId, config: &StreamConfig) -> Result<()> {
-        let guarded = config.build()?;
+        let mut guarded = config.build()?;
+        guarded.attach_obs(self.shared.obs.larp.for_stream(id));
         let shard = &self.shared.shards[self.shard_for(id)];
         let mut streams = shard.streams.lock().expect("shard stream map poisoned");
         if streams.contains_key(&id) {
@@ -143,7 +144,10 @@ impl FleetEngine {
     pub fn evict(&self, id: StreamId) -> Result<()> {
         let shard = &self.shared.shards[self.shard_for(id)];
         let mut streams = shard.streams.lock().expect("shard stream map poisoned");
-        streams.remove(&id).map(|_| ()).ok_or(FleetError::UnknownStream(id))
+        streams.remove(&id).map(|_| ()).ok_or(FleetError::UnknownStream(id))?;
+        self.shared.obs.evictions.inc();
+        self.shared.obs.events.push(Some(id), EventKind::StreamEvicted { idle: false });
+        Ok(())
     }
 
     /// Whether `id` is currently registered.
@@ -173,8 +177,9 @@ impl FleetEngine {
         let seq = self.shared.push_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let job = Job { stream: id, minute: Some(minute), value, seq };
         let mut report = PushReport::default();
+        let started = Instant::now();
         self.enqueue(self.shard_for(id), &[job], &mut report);
-        self.account(report);
+        self.account(report, started);
         report
     }
 
@@ -192,21 +197,27 @@ impl FleetEngine {
             grouped[self.shard_for(id)].push(Job { stream: id, minute: None, value, seq });
         }
         let mut report = PushReport::default();
+        let started = Instant::now();
         for (shard, jobs) in grouped.iter().enumerate() {
             if !jobs.is_empty() {
                 self.enqueue(shard, jobs, &mut report);
             }
         }
-        self.account(report);
+        self.account(report, started);
         report
     }
 
     /// Enqueues jobs on one shard, applying the backpressure policy per
     /// sample. Holds the queue lock once for the whole group.
+    ///
+    /// Backpressure events are traced once per call with the sample counts,
+    /// not once per sample — overflow is bursty and a per-sample event would
+    /// flood the ring exactly when it matters most.
     fn enqueue(&self, shard: usize, jobs: &[Job], report: &mut PushReport) {
         let s = &self.shared.shards[shard];
         let cap = self.shared.config.queue_capacity;
         let policy = self.shared.config.backpressure;
+        let before = *report;
         let mut q = s.queue.lock().expect("shard queue poisoned");
         for job in jobs {
             if q.items.len() >= cap {
@@ -233,14 +244,27 @@ impl FleetEngine {
             q.items.push_back(*job);
             report.accepted += 1;
         }
+        s.queue_depth.set(q.items.len() as f64);
         drop(q);
         s.not_empty.notify_one();
+        let dropped = report.dropped - before.dropped;
+        if dropped > 0 {
+            let kind = EventKind::BackpressureDrop { shard: shard as u64, count: dropped };
+            self.shared.obs.events.push(None, kind);
+        }
+        let rejected = report.rejected - before.rejected;
+        if rejected > 0 {
+            let kind = EventKind::BackpressureReject { shard: shard as u64, count: rejected };
+            self.shared.obs.events.push(None, kind);
+        }
     }
 
-    fn account(&self, report: PushReport) {
-        self.shared.accepted.fetch_add(report.accepted, Ordering::Relaxed);
-        self.shared.rejected.fetch_add(report.rejected, Ordering::Relaxed);
-        self.shared.dropped.fetch_add(report.dropped, Ordering::Relaxed);
+    fn account(&self, report: PushReport, started: Instant) {
+        let obs = &self.shared.obs;
+        obs.enqueue_us.record(started.elapsed().as_micros() as f64);
+        obs.push_accepted.add(report.accepted);
+        obs.push_rejected.add(report.rejected);
+        obs.push_dropped.add(report.dropped);
     }
 
     /// Blocks until every queued sample has been fully processed.
@@ -274,6 +298,10 @@ impl FleetEngine {
             });
         }
         evicted.sort_unstable();
+        for &id in &evicted {
+            self.shared.obs.evictions.inc();
+            self.shared.obs.events.push(Some(id), EventKind::StreamEvicted { idle: true });
+        }
         evicted
     }
 
@@ -305,9 +333,9 @@ impl FleetEngine {
     pub fn health(&self) -> FleetHealth {
         let mut health = FleetHealth {
             pushes: PushReport {
-                accepted: self.shared.accepted.load(Ordering::Relaxed),
-                rejected: self.shared.rejected.load(Ordering::Relaxed),
-                dropped: self.shared.dropped.load(Ordering::Relaxed),
+                accepted: self.shared.obs.push_accepted.get(),
+                rejected: self.shared.obs.push_rejected.get(),
+                dropped: self.shared.obs.push_dropped.get(),
             },
             ..FleetHealth::default()
         };
@@ -318,7 +346,7 @@ impl FleetEngine {
                 shard: i,
                 queue_depth,
                 streams: streams.len(),
-                unknown_dropped: s.unknown_dropped.load(Ordering::Relaxed),
+                unknown_dropped: s.unknown_dropped.get(),
                 ..ShardHealth::default()
             };
             for slot in streams.values() {
@@ -356,7 +384,12 @@ impl FleetEngine {
             }
         }
         streams.sort_unstable_by_key(|(id, _, _)| *id);
-        checkpoint::encode(&streams)
+        let bytes = checkpoint::encode(&streams);
+        self.shared.obs.checkpoints.inc();
+        let kind =
+            EventKind::CheckpointSave { streams: streams.len() as u64, bytes: bytes.len() as u64 };
+        self.shared.obs.events.push(None, kind);
+        bytes
     }
 
     /// Warm-starts a fleet from checkpoint bytes: every stream resumes with
@@ -375,12 +408,41 @@ impl FleetEngine {
     pub fn restore(config: FleetConfig, bytes: &[u8]) -> Result<Self> {
         let streams = checkpoint::decode(bytes)?;
         let engine = Self::new(config)?;
+        let restored = streams.len() as u64;
         for st in streams {
+            let mut guarded = st.guarded;
+            guarded.attach_obs(engine.shared.obs.larp.for_stream(st.id));
             let shard = &engine.shared.shards[engine.shard_for(st.id)];
             let mut map = shard.streams.lock().expect("shard stream map poisoned");
-            map.insert(st.id, StreamSlot::new(st.guarded, st.next_minute));
+            map.insert(st.id, StreamSlot::new(guarded, st.next_minute));
         }
+        engine.shared.obs.restores.inc();
+        let kind = EventKind::CheckpointRestore { streams: restored, bytes: bytes.len() as u64 };
+        engine.shared.obs.events.push(None, kind);
         Ok(engine)
+    }
+
+    /// The metric registry backing this engine's instrumentation. Exposes
+    /// the fleet-wide `fleet_*` and `larp_*` metric sets (DESIGN.md §5).
+    pub fn registry(&self) -> &Registry {
+        &self.shared.obs.registry
+    }
+
+    /// The engine's bounded event ring (selector decisions, quarantine and
+    /// backpressure transitions, checkpoints, evictions).
+    pub fn events(&self) -> &EventRing {
+        &self.shared.obs.events
+    }
+
+    /// Prometheus text exposition of the current metrics plus the ring's
+    /// meta-counters.
+    pub fn prometheus(&self) -> String {
+        expo::prometheus(&self.shared.obs.registry, Some(&self.shared.obs.events))
+    }
+
+    /// JSON dump of the current metrics and the retained events.
+    pub fn obs_json(&self) -> String {
+        expo::json(&self.shared.obs.registry, Some(&self.shared.obs.events))
     }
 }
 
@@ -514,6 +576,58 @@ mod tests {
         assert_eq!(report.accepted, 200);
         assert_eq!(report.rejected + report.dropped, 0);
         assert_eq!(engine.stream_info(1).unwrap().steps, 200);
+    }
+
+    #[test]
+    fn single_batch_overflow_counts_are_exact() {
+        // `enqueue` holds the shard's queue lock for the whole batch, so one
+        // push_batch against one shard sees deterministic policy outcomes:
+        // the worker cannot drain mid-batch. Capacity 2, 5 samples.
+        let batch: Vec<(StreamId, f64)> = (0..5).map(|i| (1u64, i as f64)).collect();
+
+        let reject = FleetEngine::new(FleetConfig {
+            shards: 1,
+            queue_capacity: 2,
+            backpressure: BackpressurePolicy::RejectNew,
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        let r = reject.push_batch(&batch);
+        assert_eq!((r.accepted, r.rejected, r.dropped), (2, 3, 0));
+        reject.flush();
+        let h = reject.health();
+        // Exactly-once: the engine-wide counters equal the per-call report,
+        // and every accepted sample reached a worker (here: all unroutable).
+        assert_eq!(h.pushes, r);
+        assert_eq!(h.unknown_dropped(), 2);
+        let events = reject.events().recent();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == obs::EventKind::BackpressureReject { shard: 0, count: 3 }),
+            "one reject event with the per-call count: {events:?}"
+        );
+
+        let drop_oldest = FleetEngine::new(FleetConfig {
+            shards: 1,
+            queue_capacity: 2,
+            backpressure: BackpressurePolicy::DropOldest,
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        let r = drop_oldest.push_batch(&batch);
+        assert_eq!((r.accepted, r.rejected, r.dropped), (5, 0, 3));
+        drop_oldest.flush();
+        let h = drop_oldest.health();
+        assert_eq!(h.pushes, r);
+        // accepted = enqueued, not retained: 3 of the 5 were evicted before
+        // a worker saw them, so only 2 reached the unknown-stream counter.
+        assert_eq!(h.unknown_dropped(), 2);
+        assert!(drop_oldest
+            .events()
+            .recent()
+            .iter()
+            .any(|e| e.kind == obs::EventKind::BackpressureDrop { shard: 0, count: 3 }));
     }
 
     #[test]

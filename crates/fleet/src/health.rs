@@ -3,15 +3,24 @@
 use larp::OnlineCounters;
 
 /// Outcome of one [`crate::FleetEngine::push_batch`] call.
+///
+/// Accounting is exactly-once per sample *decision*: every sample of the
+/// batch lands in `accepted` or `rejected` (never both), and `dropped`
+/// counts queued samples evicted by `DropOldest` — which may include samples
+/// accepted by an earlier call, so `accepted` means "enqueued", not
+/// "retained until processing".
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PushReport {
-    /// Samples enqueued for processing.
+    /// Samples enqueued for processing (under `DropOldest` some may later be
+    /// evicted before a worker serves them; see [`PushReport::dropped`]).
     pub accepted: u64,
     /// Samples refused because a queue was full
-    /// ([`crate::BackpressurePolicy::RejectNew`]).
+    /// ([`crate::BackpressurePolicy::RejectNew`]), or pushed during engine
+    /// shutdown under `Block`.
     pub rejected: u64,
     /// Older queued samples evicted to make room
-    /// ([`crate::BackpressurePolicy::DropOldest`]).
+    /// ([`crate::BackpressurePolicy::DropOldest`]). Attributed to the call
+    /// that forced the eviction, not the one that enqueued the victim.
     pub dropped: u64,
 }
 

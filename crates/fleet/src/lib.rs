@@ -24,16 +24,24 @@
 //! * **Health surface** — [`FleetEngine::health`] aggregates per-shard queue
 //!   depths, degraded/quarantined stream counts and rolled-up
 //!   [`larp::OnlineCounters`] into one [`FleetHealth`].
+//! * **Observability** — every engine owns an [`obs::Registry`] and event
+//!   ring: larp serving outcomes, backpressure accounting, enqueue latency,
+//!   per-shard queue depth and checkpoint traffic are recorded continuously
+//!   and exposed via [`FleetEngine::prometheus`] / [`FleetEngine::obs_json`]
+//!   (metric naming scheme: DESIGN.md §5).
 //!
 //! The `fleet_throughput` binary drives a synthetic multi-VM fleet
 //! (`vmsim::fleet`) through the engine and reports streams/sec and push
-//! latency percentiles as JSON.
+//! latency percentiles as JSON (including the registry snapshot); `obs_dump`
+//! dumps a fault-injected fleet's full observability surface in either
+//! exposition format.
 #![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod health;
+mod observe;
 pub mod shard;
 
 pub use config::{BackpressurePolicy, FleetConfig, StreamConfig};

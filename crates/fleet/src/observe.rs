@@ -1,0 +1,61 @@
+//! Fleet-level observability: the engine's metric registry and event ring.
+//!
+//! One [`FleetObs`] is built per engine. It owns the [`Registry`] every
+//! metric handle is registered on, the bounded [`EventRing`] transitions are
+//! traced into, and the base [`larp::LarpObs`] whose per-stream clones
+//! (`for_stream`) every registered stream records through — so the `larp_*`
+//! metric set rolls up fleet-wide with zero aggregation code.
+//!
+//! Metric set (naming scheme in DESIGN.md §5):
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `fleet_push_accepted_total` | counter | samples enqueued |
+//! | `fleet_push_rejected_total` | counter | samples refused (queue full) |
+//! | `fleet_push_dropped_total` | counter | queued samples evicted for room |
+//! | `fleet_stream_evictions_total` | counter | streams evicted (any cause) |
+//! | `fleet_checkpoints_total` | counter | checkpoints serialized |
+//! | `fleet_restores_total` | counter | engines restored from bytes |
+//! | `fleet_push_enqueue_us` | histogram | enqueue wall-clock per push call |
+//! | `fleet_shard<i>_queue_depth` | gauge | samples waiting on shard *i* |
+//! | `fleet_shard<i>_unknown_dropped_total` | counter | unroutable samples |
+
+use larp::LarpObs;
+use obs::{Counter, EventRing, Histogram, Registry};
+
+/// The engine's observability bundle: registry, event ring, and the metric
+/// handles the engine itself records into.
+pub(crate) struct FleetObs {
+    pub(crate) registry: Registry,
+    pub(crate) events: EventRing,
+    /// Base recorder for the shared `larp_*` metric set; streams attach
+    /// `larp.for_stream(id)` clones.
+    pub(crate) larp: LarpObs,
+    pub(crate) push_accepted: Counter,
+    pub(crate) push_rejected: Counter,
+    pub(crate) push_dropped: Counter,
+    pub(crate) evictions: Counter,
+    pub(crate) checkpoints: Counter,
+    pub(crate) restores: Counter,
+    pub(crate) enqueue_us: Histogram,
+}
+
+impl FleetObs {
+    pub(crate) fn new(event_capacity: usize) -> Self {
+        let registry = Registry::new();
+        let events = EventRing::new(event_capacity);
+        let larp = LarpObs::register(&registry).with_events(events.clone());
+        Self {
+            larp,
+            push_accepted: registry.counter("fleet_push_accepted_total"),
+            push_rejected: registry.counter("fleet_push_rejected_total"),
+            push_dropped: registry.counter("fleet_push_dropped_total"),
+            evictions: registry.counter("fleet_stream_evictions_total"),
+            checkpoints: registry.counter("fleet_checkpoints_total"),
+            restores: registry.counter("fleet_restores_total"),
+            enqueue_us: registry.histogram("fleet_push_enqueue_us"),
+            registry,
+            events,
+        }
+    }
+}

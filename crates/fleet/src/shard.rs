@@ -7,10 +7,10 @@
 //! reproducible.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 use larp::{GuardedLarp, HealthState};
+use obs::{Counter, Gauge, Registry};
 use simrng::{Rng64, SplitMix64};
 
 use crate::StreamId;
@@ -116,18 +116,21 @@ pub(crate) struct ShardState {
     pub(crate) drained: Condvar,
     pub(crate) streams: Mutex<HashMap<StreamId, StreamSlot>>,
     /// Samples addressed to unregistered streams (dropped, counted).
-    pub(crate) unknown_dropped: AtomicU64,
+    pub(crate) unknown_dropped: Counter,
+    /// Samples currently waiting in this shard's queue.
+    pub(crate) queue_depth: Gauge,
 }
 
 impl ShardState {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(index: usize, registry: &Registry) -> Self {
         Self {
             queue: Mutex::new(QueueInner { items: VecDeque::new(), shutdown: false, busy: false }),
             not_empty: Condvar::new(),
             space: Condvar::new(),
             drained: Condvar::new(),
             streams: Mutex::new(HashMap::new()),
-            unknown_dropped: AtomicU64::new(0),
+            unknown_dropped: registry.counter(&format!("fleet_shard{index}_unknown_dropped_total")),
+            queue_depth: registry.gauge(&format!("fleet_shard{index}_queue_depth")),
         }
     }
 
@@ -150,6 +153,7 @@ impl ShardState {
                 q.busy = true;
                 let n = q.items.len().min(batch_drain);
                 batch.extend(q.items.drain(..n));
+                self.queue_depth.set(q.items.len() as f64);
             }
             self.space.notify_all();
 
@@ -159,7 +163,7 @@ impl ShardState {
                     match streams.get_mut(&job.stream) {
                         Some(slot) => slot.feed(job),
                         None => {
-                            self.unknown_dropped.fetch_add(1, Ordering::Relaxed);
+                            self.unknown_dropped.inc();
                         }
                     }
                 }

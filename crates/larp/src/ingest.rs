@@ -355,10 +355,25 @@ impl GuardedLarp {
         Ok(Self { sanitizer: Sanitizer::new(ingest)?, online })
     }
 
+    /// Attaches a registry-backed recorder to the stack (see
+    /// [`OnlineLarp::attach_obs`]). Sanitizer repairs are recorded as
+    /// `larp_faults_sanitized_total` deltas per ingested reading.
+    pub fn attach_obs(&mut self, obs: crate::observe::LarpObs) {
+        self.online.attach_obs(obs);
+    }
+
     /// Ingests one raw reading; returns one [`OnlineStep`] per clean sample
     /// that reached the predictor (empty for dropped readings).
     pub fn ingest(&mut self, minute: u64, value: f64) -> Vec<OnlineStep> {
-        self.sanitizer.ingest(minute, value).into_iter().map(|v| self.online.push(v)).collect()
+        let before = self.sanitizer.stats.faults_sanitized();
+        let clean = self.sanitizer.ingest(minute, value);
+        let repairs = self.sanitizer.stats.faults_sanitized() - before;
+        if repairs > 0 {
+            if let Some(obs) = self.online.obs() {
+                obs.record_sanitized(repairs as u64);
+            }
+        }
+        clean.into_iter().map(|v| self.online.push(v)).collect()
     }
 
     /// The sanitizer layer.

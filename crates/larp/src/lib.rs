@@ -53,6 +53,7 @@ pub mod eval;
 pub mod ingest;
 pub mod labeler;
 pub mod model;
+pub mod observe;
 pub mod online;
 pub mod parallel;
 pub mod qa;
@@ -64,6 +65,7 @@ pub use diagnose::{assess, Applicability, Recommendation};
 pub use eval::{run_selector, SelectorRun, TraceReport};
 pub use ingest::{GapFill, GuardedLarp, IngestConfig, IngestStats, OutlierPolicy, Sanitizer};
 pub use model::TrainedLarp;
+pub use observe::LarpObs;
 pub use online::{HealthState, OnlineCounters, OnlineLarp, OnlineStep};
 pub use qa::QualityAssuror;
 pub use selector::Selector;

@@ -1,0 +1,243 @@
+//! Registry-backed observability for the online serving stack.
+//!
+//! [`LarpObs`] bundles the metric handles and (optionally) the event ring
+//! one serving stack records into. It is label-free by design: every stream
+//! of a fleet holds clones of the *same* named counters, so fleet-wide
+//! rollups fall out of the registry with zero aggregation code, while
+//! [`LarpObs::for_stream`] tags the *events* with the stream id so traces
+//! stay attributable.
+//!
+//! Metric set (naming scheme in DESIGN.md §5):
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `larp_selections_total` | counter | healthy k-NN-selected forecasts |
+//! | `larp_degraded_steps_total` | counter | forecasts by a fallback member |
+//! | `larp_fallback_steps_total` | counter | last-value persistence forecasts |
+//! | `larp_quarantines_total` | counter | pool members benched |
+//! | `larp_quarantine_exits_total` | counter | quarantines expired |
+//! | `larp_retrains_total` | counter | successful (re)trainings |
+//! | `larp_retrain_failures_total` | counter | failed training attempts |
+//! | `larp_nonfinite_forecasts_total` | counter | non-finite forecasts caught |
+//! | `larp_faults_sanitized_total` | counter | ingestion repairs performed |
+//! | `larp_retrain_us` | histogram | wall-clock (re)training time, µs |
+//!
+//! Hot-path budget: one counter increment per step plus one `Cell`
+//! comparison; events fire only on *transitions* (the selector's choice or
+//! the serving rung changed), never per sample.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use obs::{Counter, EventKind, EventRing, Histogram, Registry, ServingRung};
+
+use crate::online::HealthState;
+
+/// The serving ladder state an emitted event describes.
+fn rung_of(health: HealthState) -> ServingRung {
+    match health {
+        HealthState::Healthy => ServingRung::Primary,
+        HealthState::Degraded => ServingRung::Degraded,
+        HealthState::Fallback => ServingRung::Persistence,
+    }
+}
+
+/// Packs a `(chosen, rung)` serving choice into a non-zero u64 so the
+/// previous choice fits in one atomic (0 = no step served yet). Layout:
+/// bit 63 set, bit 62 = chosen is Some, bits 60–61 = rung, bits 0–59 = the
+/// chosen pool index (pool sizes are single digits in practice).
+fn pack_choice(chosen: Option<u64>, rung: ServingRung) -> u64 {
+    let rung_bits = match rung {
+        ServingRung::Primary => 0u64,
+        ServingRung::Degraded => 1,
+        ServingRung::Persistence => 2,
+    };
+    let (flag, idx) = match chosen {
+        Some(i) => (1u64, i & ((1 << 60) - 1)),
+        None => (0, 0),
+    };
+    (1 << 63) | (flag << 62) | (rung_bits << 60) | idx
+}
+
+/// The rung encoded by [`pack_choice`].
+fn unpack_rung(packed: u64) -> ServingRung {
+    match (packed >> 60) & 0b11 {
+        0 => ServingRung::Primary,
+        1 => ServingRung::Degraded,
+        _ => ServingRung::Persistence,
+    }
+}
+
+/// Metric handles (shared, label-free) plus per-stream event context for one
+/// serving stack. Attach with [`crate::OnlineLarp::attach_obs`] or
+/// [`crate::GuardedLarp::attach_obs`].
+#[derive(Debug)]
+pub struct LarpObs {
+    stream: Option<u64>,
+    selections: Counter,
+    degraded_steps: Counter,
+    fallback_steps: Counter,
+    quarantines: Counter,
+    quarantine_exits: Counter,
+    retrains: Counter,
+    retrain_failures: Counter,
+    nonfinite: Counter,
+    sanitized: Counter,
+    retrain_us: Histogram,
+    events: Option<EventRing>,
+    /// Last `(chosen, rung)` served, packed via [`pack_choice`] (0 = none),
+    /// for transition-only event emission. Runtime-only: deliberately not
+    /// part of any snapshot.
+    last_choice: AtomicU64,
+}
+
+impl LarpObs {
+    /// Registers (or re-uses — registration is idempotent) the `larp_*`
+    /// metric set on `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            stream: None,
+            selections: registry.counter("larp_selections_total"),
+            degraded_steps: registry.counter("larp_degraded_steps_total"),
+            fallback_steps: registry.counter("larp_fallback_steps_total"),
+            quarantines: registry.counter("larp_quarantines_total"),
+            quarantine_exits: registry.counter("larp_quarantine_exits_total"),
+            retrains: registry.counter("larp_retrains_total"),
+            retrain_failures: registry.counter("larp_retrain_failures_total"),
+            nonfinite: registry.counter("larp_nonfinite_forecasts_total"),
+            sanitized: registry.counter("larp_faults_sanitized_total"),
+            retrain_us: registry.histogram("larp_retrain_us"),
+            events: None,
+            last_choice: AtomicU64::new(0),
+        }
+    }
+
+    /// Routes transition events into `ring` (metrics alone otherwise).
+    #[must_use]
+    pub fn with_events(mut self, ring: EventRing) -> Self {
+        self.events = Some(ring);
+        self
+    }
+
+    /// A recorder sharing these metric cells whose events carry `id` —
+    /// what a fleet attaches to each of its streams.
+    pub fn for_stream(&self, id: u64) -> Self {
+        Self {
+            stream: Some(id),
+            events: self.events.clone(),
+            last_choice: AtomicU64::new(0),
+            selections: self.selections.clone(),
+            degraded_steps: self.degraded_steps.clone(),
+            fallback_steps: self.fallback_steps.clone(),
+            quarantines: self.quarantines.clone(),
+            quarantine_exits: self.quarantine_exits.clone(),
+            retrains: self.retrains.clone(),
+            retrain_failures: self.retrain_failures.clone(),
+            nonfinite: self.nonfinite.clone(),
+            sanitized: self.sanitized.clone(),
+            retrain_us: self.retrain_us.clone(),
+        }
+    }
+
+    fn emit(&self, kind: EventKind) {
+        if let Some(ring) = &self.events {
+            ring.push(self.stream, kind);
+        }
+    }
+
+    /// Records one served step; emits events only when the selection or the
+    /// serving rung changed since the previous step.
+    pub(crate) fn record_step(&self, chosen: Option<u64>, health: HealthState) {
+        let rung = rung_of(health);
+        match health {
+            HealthState::Healthy => self.selections.inc(),
+            HealthState::Degraded => self.degraded_steps.inc(),
+            HealthState::Fallback => self.fallback_steps.inc(),
+        }
+        let now = pack_choice(chosen, rung);
+        let before = self.last_choice.swap(now, Ordering::Relaxed);
+        if before != now {
+            if before != 0 {
+                let prev_rung = unpack_rung(before);
+                if prev_rung != rung {
+                    self.emit(EventKind::DegradationTransition { from: prev_rung, to: rung });
+                }
+            }
+            self.emit(EventKind::SelectorDecision { predictor: chosen, rung });
+        }
+    }
+
+    pub(crate) fn record_quarantine(&self, predictor: usize, until_step: u64) {
+        self.quarantines.inc();
+        self.emit(EventKind::QuarantineEnter { predictor: predictor as u64, until_step });
+    }
+
+    pub(crate) fn record_quarantine_exit(&self, predictor: usize) {
+        self.quarantine_exits.inc();
+        self.emit(EventKind::QuarantineExit { predictor: predictor as u64 });
+    }
+
+    pub(crate) fn record_retrain_success(&self, duration_us: u64) {
+        self.retrains.inc();
+        self.retrain_us.record(duration_us as f64);
+        self.emit(EventKind::RetrainSucceeded { duration_us });
+    }
+
+    pub(crate) fn record_retrain_failure(&self, consecutive: u64) {
+        self.retrain_failures.inc();
+        self.emit(EventKind::RetrainFailed { consecutive });
+    }
+
+    pub(crate) fn record_nonfinite(&self) {
+        self.nonfinite.inc();
+    }
+
+    pub(crate) fn record_sanitized(&self, repairs: u64) {
+        self.sanitized.add(repairs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roll_up_across_streams() {
+        let registry = Registry::new();
+        let base = LarpObs::register(&registry);
+        let a = base.for_stream(1);
+        let b = base.for_stream(2);
+        a.record_step(Some(0), HealthState::Healthy);
+        b.record_step(Some(1), HealthState::Healthy);
+        b.record_step(None, HealthState::Fallback);
+        assert_eq!(a.selections.get(), 2, "streams share the fleet-wide cell");
+        assert_eq!(b.fallback_steps.get(), 1);
+    }
+
+    #[test]
+    fn events_fire_on_transitions_only() {
+        let registry = Registry::new();
+        let ring = EventRing::new(64);
+        let o = LarpObs::register(&registry).with_events(ring.clone()).for_stream(7);
+        for _ in 0..5 {
+            o.record_step(Some(2), HealthState::Healthy);
+        }
+        assert_eq!(ring.recorded(), 1, "steady state is silent");
+        o.record_step(Some(1), HealthState::Degraded);
+        // A rung change emits both the transition and the new decision.
+        assert_eq!(ring.recorded(), 3);
+        let events = ring.recent();
+        assert_eq!(events[1].kind.name(), "degradation_transition");
+        assert_eq!(events[2].kind.name(), "selector_decision");
+        assert_eq!(events[2].stream, Some(7));
+    }
+
+    #[test]
+    fn registration_is_reentrant() {
+        let registry = Registry::new();
+        let a = LarpObs::register(&registry);
+        let b = LarpObs::register(&registry);
+        a.record_nonfinite();
+        b.record_nonfinite();
+        assert_eq!(a.nonfinite.get(), 2);
+    }
+}

@@ -29,6 +29,7 @@ use predictors::PredictorId;
 
 use crate::config::{LarpConfig, ResilienceConfig};
 use crate::model::TrainedLarp;
+use crate::observe::LarpObs;
 use crate::qa::{AuditOutcome, QualityAssuror};
 use crate::selector::PoolErrorTracker;
 use crate::{LarpError, Result};
@@ -119,6 +120,9 @@ pub struct OnlineLarp {
     /// Earliest clock at which another training attempt is allowed.
     pub(crate) next_retrain_at: u64,
     pub(crate) retrain_pending: bool,
+    /// Registry-backed recorder; runtime-only (never snapshotted, restored
+    /// instances start unattached).
+    pub(crate) obs: Option<LarpObs>,
 }
 
 impl OnlineLarp {
@@ -180,7 +184,21 @@ impl OnlineLarp {
             consecutive_retrain_failures: 0,
             next_retrain_at: 0,
             retrain_pending: false,
+            obs: None,
         })
+    }
+
+    /// Attaches a registry-backed recorder: selection outcomes, quarantine
+    /// and retrain activity are mirrored into its metrics and event ring
+    /// from this step on. The recorder is runtime state — snapshots neither
+    /// carry nor require one.
+    pub fn attach_obs(&mut self, obs: LarpObs) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached recorder, if any.
+    pub fn obs(&self) -> Option<&LarpObs> {
+        self.obs.as_ref()
     }
 
     /// Feeds one raw observation; returns the forecast for the next one.
@@ -223,10 +241,13 @@ impl OnlineLarp {
         }
 
         // 3. Re-admit predictors whose quarantine has expired.
-        for h in &mut self.predictor_health {
+        for (id, h) in self.predictor_health.iter_mut().enumerate() {
             if h.quarantined_until.is_some_and(|until| self.clock >= until) {
                 h.quarantined_until = None;
                 h.strikes = 0;
+                if let Some(obs) = &self.obs {
+                    obs.record_quarantine_exit(id);
+                }
             }
         }
 
@@ -236,6 +257,12 @@ impl OnlineLarp {
             HealthState::Healthy => {}
             HealthState::Degraded => self.counters.degraded_steps += 1,
             HealthState::Fallback => self.counters.fallback_steps += 1,
+        }
+        if forecast.is_some() {
+            // Warmup steps (no forecast yet) are not selection outcomes.
+            if let Some(obs) = &self.obs {
+                obs.record_step(chosen.map(|c| c.0 as u64), health);
+            }
         }
         if let Some(f) = forecast {
             self.pending = Some((chosen, f));
@@ -250,6 +277,9 @@ impl OnlineLarp {
             // Defensive: the ladder never emits non-finite forecasts, but a
             // poisoned one must never reach the QA window or the caller twice.
             self.counters.nonfinite_forecasts += 1;
+            if let Some(obs) = &self.obs {
+                obs.record_nonfinite();
+            }
             self.retrain_pending = true;
             if let Some(id) = producer {
                 self.quarantine(id);
@@ -285,6 +315,7 @@ impl OnlineLarp {
     /// substrate's numerics carry NaN through rather than erroring) counts as
     /// a failure too: installing it would poison every forecast.
     fn try_retrain(&mut self) -> bool {
+        let started = std::time::Instant::now();
         let start = self.history.len().saturating_sub(self.train_size);
         let trained =
             TrainedLarp::train(&self.history[start..], &self.config).ok().filter(|model| {
@@ -303,12 +334,18 @@ impl OnlineLarp {
                 self.qa.reset();
                 self.retrain_pending = false;
                 self.consecutive_retrain_failures = 0;
+                if let Some(obs) = &self.obs {
+                    obs.record_retrain_success(started.elapsed().as_micros() as u64);
+                }
                 true
             }
             None => {
                 self.counters.retrain_failures += 1;
                 let exp = self.consecutive_retrain_failures.min(16);
                 self.consecutive_retrain_failures += 1;
+                if let Some(obs) = &self.obs {
+                    obs.record_retrain_failure(self.consecutive_retrain_failures as u64);
+                }
                 let delay = self
                     .resilience
                     .retrain_backoff_base
@@ -388,6 +425,9 @@ impl OnlineLarp {
                 // post-train probe keeps a still-poisoned window from
                 // installing, so this cannot churn).
                 self.counters.nonfinite_forecasts += 1;
+                if let Some(obs) = &self.obs {
+                    obs.record_nonfinite();
+                }
                 self.retrain_pending = true;
                 self.quarantine(id);
                 None
@@ -407,10 +447,14 @@ impl OnlineLarp {
             .quarantine_base
             .saturating_mul(1usize << exp)
             .min(self.resilience.quarantine_cap);
-        h.quarantined_until = Some(self.clock + duration as u64);
+        let until = self.clock + duration as u64;
+        h.quarantined_until = Some(until);
         h.times_quarantined += 1;
         h.strikes = 0;
         self.counters.quarantines += 1;
+        if let Some(obs) = &self.obs {
+            obs.record_quarantine(id.0, until);
+        }
     }
 
     /// Manually benches a pool member (operational override; also the

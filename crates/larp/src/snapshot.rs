@@ -651,6 +651,7 @@ fn get_online(r: &mut Reader) -> Result<OnlineLarp> {
         consecutive_retrain_failures,
         next_retrain_at,
         retrain_pending,
+        obs: None,
     })
 }
 

@@ -1,0 +1,378 @@
+//! Metric primitives: counters, gauges, log-linear histograms, and the
+//! ceil-rank percentile rule they all share.
+//!
+//! Every handle is a thin `Arc` over atomics: cloning is cheap, recording is
+//! lock-free, and a handle stays valid (and keeps aggregating) independently
+//! of the [`crate::Registry`] that minted it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Linear sub-buckets per power-of-two decade (log-linear layout). Bounds
+/// the histogram's relative quantile error at `1/SUBS` = 6.25%.
+const SUBS: usize = 16;
+/// Highest power-of-two decade; values ≥ 2^40 (~12.7 days in µs) clamp into
+/// the last bucket.
+const MAX_EXP: usize = 40;
+/// Bucket 0 covers `[0, 1)`; then `SUBS` buckets per decade.
+const BUCKETS: usize = 1 + MAX_EXP * SUBS;
+
+/// Ceil-rank percentile of an ascending-sorted sample.
+///
+/// Uses the conservative zero-based rank `ceil((n-1)·p)`: the tail is never
+/// underestimated (p99 of 100 samples reports the maximum, where the
+/// round-to-nearest rule this replaces reported the 99th-smallest). `p` is
+/// clamped to `[0, 1]`; an empty slice yields `None`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let idx = (((sorted.len() - 1) as f64) * p).ceil() as usize;
+    Some(sorted[idx.min(sorted.len() - 1)])
+}
+
+/// A monotonic event counter. Clone freely; all clones share one cell.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero (registry-independent; tests and ad-hoc use).
+    pub fn new() -> Self {
+        Self(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An f64 gauge (last-write-wins). Clone freely; all clones share one cell.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+
+    /// Sets the gauge. Non-finite values are ignored — a NaN must never
+    /// reach an exposition.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if value.is_finite() {
+            self.0.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct HistogramInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// f64 bits; CAS-accumulated.
+    sum: AtomicU64,
+    /// f64 bits of the smallest recorded value.
+    min: AtomicU64,
+    /// f64 bits of the largest recorded value.
+    max: AtomicU64,
+    /// Non-finite or negative samples refused (they would corrupt quantiles).
+    invalid: AtomicU64,
+}
+
+/// A log-linear bucketed histogram for non-negative samples (latencies in
+/// µs, sizes in bytes): 16 linear sub-buckets per power-of-two decade, so
+/// any quantile is exact in rank and within 6.25% in value. Clone freely;
+/// all clones share the same cells.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// Maps a sample to its bucket index.
+fn bucket_of(value: f64) -> usize {
+    if value < 1.0 {
+        return 0;
+    }
+    let exp = (value.log2().floor() as usize).min(MAX_EXP - 1);
+    let sub = (((value / (1u64 << exp) as f64) - 1.0) * SUBS as f64) as usize;
+    1 + exp * SUBS + sub.min(SUBS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (the value a quantile that lands in
+/// the bucket reports, before clamping to the observed min/max).
+fn bucket_upper(i: usize) -> f64 {
+    if i == 0 {
+        return 1.0;
+    }
+    let exp = (i - 1) / SUBS;
+    let sub = (i - 1) % SUBS;
+    (1u64 << exp) as f64 * (1.0 + (sub + 1) as f64 / SUBS as f64)
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self(Arc::new(HistogramInner {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            invalid: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one sample. Non-finite or negative samples are refused and
+    /// counted in [`HistogramSnapshot::invalid`].
+    pub fn record(&self, value: f64) {
+        if !value.is_finite() || value < 0.0 {
+            self.0.invalid.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.0.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.0.sum, |s| s + value);
+        atomic_f64_update(&self.0.min, |m| m.min(value));
+        atomic_f64_update(&self.0.max, |m| m.max(value));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of all cells, for quantiles and exposition.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.0.sum.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.0.min.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.0.max.load(Ordering::Relaxed)),
+            invalid: self.0.invalid.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        write!(f, "Histogram(count={}, sum={}, min={}, max={})", s.count, s.sum, s.min, s.max)
+    }
+}
+
+/// A point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (log-linear layout).
+    buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded samples.
+    pub sum: f64,
+    /// Smallest recorded sample (`+inf` when empty).
+    pub min: f64,
+    /// Largest recorded sample (`-inf` when empty).
+    pub max: f64,
+    /// Samples refused as non-finite or negative.
+    pub invalid: u64,
+}
+
+impl HistogramSnapshot {
+    /// Ceil-rank quantile: exact in rank, within one bucket (6.25%) in
+    /// value, and always inside `[min, max]` of the recorded samples. `None`
+    /// when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        if p == 0.0 {
+            return Some(self.min);
+        }
+        // Zero-based ceil rank, same rule as `percentile_sorted`.
+        let rank = (((self.count - 1) as f64) * p).ceil() as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                return Some(bucket_upper(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Mean of the recorded samples; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+            .collect()
+    }
+}
+
+/// CAS loop applying `f` to an f64 stored as bits.
+fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        c.add(0);
+        assert_eq!(c.get(), 5);
+        let shared = c.clone();
+        shared.inc();
+        assert_eq!(c.get(), 6, "clones share the cell");
+
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(3.25);
+        assert_eq!(g.get(), 3.25);
+        g.set(f64::NAN);
+        assert_eq!(g.get(), 3.25, "NaN must never be stored");
+    }
+
+    #[test]
+    fn bucket_layout_is_monotonic_and_covering() {
+        let mut prev_upper = 0.0;
+        for i in 0..BUCKETS {
+            let u = bucket_upper(i);
+            assert!(u > prev_upper, "bucket {i}: {u} <= {prev_upper}");
+            prev_upper = u;
+        }
+        // Every representable sample maps to a bucket whose bound covers it.
+        for v in [0.0, 0.5, 1.0, 1.9, 2.0, 3.7, 100.0, 1e6, 1e9, 1e13] {
+            let b = bucket_of(v);
+            assert!(b < BUCKETS);
+            if v < (1u64 << MAX_EXP) as f64 {
+                assert!(bucket_upper(b) >= v, "bucket {b} upper {} < {v}", bucket_upper(b));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_rank_exact_and_bounded() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v as f64);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+        for (p, exact) in [(0.5, 500.5), (0.9, 900.0), (0.99, 990.0), (1.0, 1000.0)] {
+            let got = s.percentile(p).unwrap();
+            assert!(got >= s.min && got <= s.max, "p{p}: {got} outside [min,max]");
+            let rel = (got - exact).abs() / exact;
+            assert!(rel < 0.07, "p{p}: {got} vs {exact} (rel {rel})");
+        }
+        assert_eq!(s.percentile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn histogram_refuses_invalid_samples() {
+        let h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(-1.0);
+        h.record(f64::INFINITY);
+        h.record(2.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.invalid, 3);
+        assert_eq!(s.percentile(0.99), Some(2.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.percentile(0.5), None);
+        assert_eq!(s.mean(), None);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn percentile_sorted_uses_ceil_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_sorted(&v, 0.0), Some(1.0));
+        // Ceil rank never underestimates: p99 of 100 samples is the max
+        // (round-to-nearest, which this replaces, reported 99.0 here).
+        assert_eq!(percentile_sorted(&v, 0.99), Some(100.0));
+        assert_eq!(percentile_sorted(&v, 0.5), Some(51.0));
+        assert_eq!(percentile_sorted(&v, 1.0), Some(100.0));
+        assert_eq!(percentile_sorted(&[], 0.5), None);
+        assert_eq!(percentile_sorted(&[7.0], 0.99), Some(7.0));
+    }
+
+    #[test]
+    fn sum_and_mean_accumulate() {
+        let h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!((s.sum - 10.0).abs() < 1e-12);
+        assert_eq!(s.mean(), Some(2.5));
+    }
+}

@@ -1,0 +1,208 @@
+//! The metric registry: names → shared metric handles.
+//!
+//! A [`Registry`] is the rendezvous point between recorders and expositions.
+//! Registration is idempotent — asking for an existing name returns a handle
+//! to the same cells, which is how label-free per-stream recorders roll up
+//! into fleet-wide totals: every stream registers (or receives a clone of)
+//! the same named counter. The registry's internal lock is held only during
+//! registration and [`Registry::snapshot`]; recording through a handle never
+//! touches it.
+
+use std::sync::{Arc, Mutex};
+
+use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: String,
+    metric: Metric,
+}
+
+/// A named collection of metrics. Clone freely; clones share the same set.
+#[derive(Clone)]
+pub struct Registry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+/// One metric's point-in-time value, from [`Registry::snapshot`].
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// A monotonic counter.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Current count.
+        value: u64,
+    },
+    /// An f64 gauge.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Current value.
+        value: f64,
+    },
+    /// A histogram, captured whole.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Bucket counts, sum, min/max and quantile access.
+        snapshot: HistogramSnapshot,
+    },
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self { entries: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    /// Returns the counter named `name`, creating it at zero if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind —
+    /// that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            match &e.metric {
+                Metric::Counter(c) => return c.clone(),
+                _ => panic!("metric {name} already registered with a different kind"),
+            }
+        }
+        let c = Counter::new();
+        entries.push(Entry { name: name.to_string(), metric: Metric::Counter(c.clone()) });
+        c
+    }
+
+    /// Returns the gauge named `name`, creating it at zero if absent.
+    ///
+    /// # Panics
+    ///
+    /// Same kind-mismatch condition as [`Registry::counter`].
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            match &e.metric {
+                Metric::Gauge(g) => return g.clone(),
+                _ => panic!("metric {name} already registered with a different kind"),
+            }
+        }
+        let g = Gauge::new();
+        entries.push(Entry { name: name.to_string(), metric: Metric::Gauge(g.clone()) });
+        g
+    }
+
+    /// Returns the histogram named `name`, creating it empty if absent.
+    ///
+    /// # Panics
+    ///
+    /// Same kind-mismatch condition as [`Registry::counter`].
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            match &e.metric {
+                Metric::Histogram(h) => return h.clone(),
+                _ => panic!("metric {name} already registered with a different kind"),
+            }
+        }
+        let h = Histogram::new();
+        entries.push(Entry { name: name.to_string(), metric: Metric::Histogram(h.clone()) });
+        h
+    }
+
+    /// Point-in-time values of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricValue> {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut out: Vec<MetricValue> = entries
+            .iter()
+            .map(|e| match &e.metric {
+                Metric::Counter(c) => MetricValue::Counter { name: e.name.clone(), value: c.get() },
+                Metric::Gauge(g) => MetricValue::Gauge { name: e.name.clone(), value: g.get() },
+                Metric::Histogram(h) => {
+                    MetricValue::Histogram { name: e.name.clone(), snapshot: h.snapshot() }
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| metric_name(a).cmp(metric_name(b)));
+        out
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("registry poisoned").len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The name of a snapshotted metric.
+pub(crate) fn metric_name(m: &MetricValue) -> &str {
+    match m {
+        MetricValue::Counter { name, .. }
+        | MetricValue::Gauge { name, .. }
+        | MetricValue::Histogram { name, .. } => name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same name must alias the same cell");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b_total").add(2);
+        r.gauge("a_depth").set(1.5);
+        r.histogram("c_us").record(10.0);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(metric_name).collect();
+        assert_eq!(names, vec!["a_depth", "b_total", "c_us"]);
+    }
+
+    #[test]
+    fn handles_outlive_cheaply_cloned_registries() {
+        let r = Registry::new();
+        let c = r.counter("kept_total");
+        let r2 = r.clone();
+        drop(r);
+        c.add(3);
+        match &r2.snapshot()[0] {
+            MetricValue::Counter { value, .. } => assert_eq!(*value, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Randomized property tests for the metric primitives: histogram quantile
+//! bounds across arbitrary distributions, and counter/histogram correctness
+//! under concurrent writers (plain threads — the primitives are lock-free
+//! atomics, so the only synchronization under test is their own).
+
+use obs::{percentile_sorted, Registry};
+use simrng::{Rng64, SplitMix64};
+
+/// Draws a value from one of several shapes so the histogram's log-linear
+/// buckets are exercised from the sub-1.0 bucket up to the huge decades.
+fn draw(rng: &mut SplitMix64, shape: u64) -> f64 {
+    let u = rng.next_f64();
+    match shape {
+        0 => u,           // uniform [0, 1): the linear bucket
+        1 => u * 1_000.0, // uniform spread over ten decades
+        2 => {
+            (-u.max(1e-12).ln()).exp2() // heavy right tail
+            * 8.0
+        }
+        _ => 1e9 * u * u, // extreme magnitudes
+    }
+}
+
+#[test]
+fn histogram_percentiles_stay_within_min_max_for_any_distribution() {
+    for seed in 0..20u64 {
+        let mut rng = SplitMix64::new(0xA11CE ^ seed);
+        let registry = Registry::new();
+        let h = registry.histogram("prop_h");
+        let mut values = Vec::with_capacity(512);
+        let shape = seed % 4;
+        for _ in 0..512 {
+            let v = draw(&mut rng, shape);
+            h.record(v);
+            values.push(v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let s = h.snapshot();
+        assert_eq!(s.count, 512);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100u32 {
+            let p = f64::from(i) / 100.0;
+            let q = s.percentile(p).unwrap();
+            assert!(
+                (s.min..=s.max).contains(&q),
+                "seed {seed} p{i}: {q} outside [{}, {}]",
+                s.min,
+                s.max
+            );
+            assert!(q >= prev, "seed {seed}: percentile not monotone at p{i}");
+            prev = q;
+            // The log-linear layout bounds relative quantile error by the
+            // sub-bucket width (1/16) for values past the linear bucket.
+            let exact = percentile_sorted(&values, p).unwrap();
+            if exact >= 1.0 {
+                assert!(
+                    q >= exact * (1.0 - 1.0 / 16.0) && q <= exact * (1.0 + 1.0 / 16.0),
+                    "seed {seed} p{i}: {q} vs exact {exact}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn histogram_sum_and_extremes_match_the_recorded_set() {
+    for seed in 0..10u64 {
+        let mut rng = SplitMix64::new(0xB0B ^ seed);
+        let registry = Registry::new();
+        let h = registry.histogram("prop_sum");
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for _ in 0..1000 {
+            let v = draw(&mut rng, seed % 4);
+            h.record(v);
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert!((s.sum - sum).abs() <= sum.abs() * 1e-9);
+        assert_eq!(s.min, min);
+        assert_eq!(s.max, max);
+        assert_eq!(s.invalid, 0);
+    }
+}
+
+#[test]
+fn counters_are_exact_under_concurrent_increments() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let registry = Registry::new();
+    // Pre-register so every thread shares the same cells.
+    registry.counter("prop_inc");
+    registry.counter("prop_add");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                // Re-registration from each thread must resolve to the same
+                // cell (the rollup property the fleet relies on).
+                let inc = registry.counter("prop_inc");
+                let add = registry.counter("prop_add");
+                for i in 0..PER_THREAD {
+                    inc.inc();
+                    add.add((t as u64 + i) % 3);
+                }
+            });
+        }
+    });
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(registry.counter("prop_inc").get(), total);
+    let expected_add: u64 =
+        (0..THREADS as u64).map(|t| (0..PER_THREAD).map(|i| (t + i) % 3).sum::<u64>()).sum();
+    assert_eq!(registry.counter("prop_add").get(), expected_add);
+}
+
+#[test]
+fn histograms_lose_nothing_under_concurrent_recording() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 5_000;
+    let registry = Registry::new();
+    registry.histogram("prop_conc");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                let h = registry.histogram("prop_conc");
+                let mut rng = SplitMix64::new(0xC0FFEE + t as u64);
+                for _ in 0..PER_THREAD {
+                    h.record(rng.next_f64() * 100.0);
+                }
+            });
+        }
+    });
+    let s = registry.histogram("prop_conc").snapshot();
+    assert_eq!(s.count, (THREADS * PER_THREAD) as u64);
+    assert_eq!(s.invalid, 0);
+    assert!(s.min >= 0.0 && s.max < 100.0);
+    // The CAS-accumulated sum must equal the sum of what was recorded to
+    // within f64 reassociation error.
+    assert!(s.sum > 0.0 && s.sum < 100.0 * (THREADS * PER_THREAD) as f64);
+}

@@ -130,9 +130,17 @@ pub struct WindowedMse {
     window: usize,
     errors: std::collections::VecDeque<f64>,
     sum_sq: f64,
+    /// Evictions since the running sum was last recomputed exactly. Add-then-
+    /// subtract leaks rounding residue (catastrophic absorption when a huge
+    /// error passes through the window), so the sum is rebuilt from the
+    /// retained errors every [`Self::RESUM_PERIOD`] evictions.
+    since_resum: usize,
 }
 
 impl WindowedMse {
+    /// Evictions between exact recomputations of the running sum.
+    const RESUM_PERIOD: usize = 1024;
+
     /// Creates an accumulator that remembers the last `window` squared errors.
     ///
     /// # Errors
@@ -142,7 +150,7 @@ impl WindowedMse {
         if window == 0 {
             return Err(TsError::InvalidArgument("WindowedMse: window must be positive".into()));
         }
-        Ok(Self { window, errors: std::collections::VecDeque::new(), sum_sq: 0.0 })
+        Ok(Self { window, errors: std::collections::VecDeque::new(), sum_sq: 0.0, since_resum: 0 })
     }
 
     /// Records one (prediction, observation) pair, evicting the oldest error
@@ -153,10 +161,11 @@ impl WindowedMse {
         self.errors.push_back(sq);
         self.sum_sq += sq;
         if self.errors.len() > self.window {
-            // Recompute instead of subtracting to avoid drift over long runs.
             self.sum_sq -= self.errors.pop_front().expect("non-empty after push");
-            if self.errors.len().is_multiple_of(1024) {
+            self.since_resum += 1;
+            if self.since_resum >= Self::RESUM_PERIOD {
                 self.sum_sq = self.errors.iter().sum();
+                self.since_resum = 0;
             }
         }
     }
@@ -239,6 +248,37 @@ mod tests {
     }
 
     #[test]
+    fn cumulative_mse_streaming_matches_batch_over_long_runs() {
+        // Property check: the streaming accumulator must agree with the batch
+        // formula after arbitrarily long runs, across magnitudes from 1e-4 to
+        // 1e4 (seeded LCG keeps the data deterministic).
+        for seed in 0..5u64 {
+            let mut state = 0x243F_6A88_85A3_08D3 ^ seed.wrapping_mul(0x9E37_79B9);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let scale = 10f64.powi(seed as i32 * 2 - 4);
+            let n = 100_000;
+            let mut acc = CumulativeMse::new();
+            let mut pred = Vec::with_capacity(n);
+            let mut obs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let p = next() * scale;
+                let o = next() * scale;
+                acc.record(p, o);
+                pred.push(p);
+                obs.push(o);
+            }
+            let batch = mse(&pred, &obs).unwrap();
+            let streaming = acc.mse().unwrap();
+            let rel = (streaming - batch).abs() / batch;
+            assert!(rel < 1e-12, "seed {seed}: streaming {streaming} vs batch {batch}");
+            assert_eq!(acc.count(), n);
+        }
+    }
+
+    #[test]
     fn windowed_mse_tracks_only_recent_errors() {
         let mut acc = WindowedMse::new(2).unwrap();
         assert_eq!(acc.mse(), None);
@@ -262,5 +302,32 @@ mod tests {
         // Last three squared errors: i = 9997, 9998, 9999 -> i%7 = 1, 2, 3.
         let expect = (1.0 + 4.0 + 9.0) / 3.0;
         assert!((acc.mse().unwrap() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_mse_survives_spiky_million_record_stream() {
+        // Catastrophic-absorption stress: periodic 1e6-magnitude errors pass
+        // through the window, and each O(1) addition made while the huge
+        // squared error dominates the running sum loses its low bits. Without
+        // periodic exact resummation the residue accumulates far past 1e-9.
+        let window = 100;
+        let mut acc = WindowedMse::new(window).unwrap();
+        let mut last = std::collections::VecDeque::with_capacity(window + 1);
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        for i in 0..1_000_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let spike = i > 0 && i < 900_000 && i % 10_000 == 0;
+            let observed = if spike { 1e6 } else { noise };
+            acc.record(0.0, observed);
+            last.push_back(observed);
+            if last.len() > window {
+                last.pop_front();
+            }
+        }
+        let obs: Vec<f64> = last.iter().copied().collect();
+        let batch = mse(&vec![0.0; window], &obs).unwrap();
+        let got = acc.mse().unwrap();
+        assert!((got - batch).abs() < 1e-9, "windowed {got} vs batch {batch}");
     }
 }

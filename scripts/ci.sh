@@ -28,6 +28,23 @@ cargo test --workspace -q
 if [[ "$QUICK" -eq 0 ]]; then
   echo "==> fleet_throughput smoke (1000 streams, 4 shards)"
   cargo run --release -p fleet --bin fleet_throughput -- --streams 1000 --samples 50 --shards 4
+
+  echo "==> obs_dump smoke (fault-injected fleet, both exposition formats)"
+  # JSON: the bin validates its own output with obs::expo::validate_json
+  # (strict parser, rejects NaN/Infinity) before printing; we additionally
+  # assert the core metric families made it into the dump.
+  OBS_JSON="$(cargo run --release -q -p fleet --bin obs_dump -- --streams 8 --samples 120 --shards 2 --format json)"
+  for metric in larp_selections_total larp_faults_sanitized_total \
+                fleet_push_accepted_total fleet_push_enqueue_us \
+                recorded; do
+    grep -q "\"$metric\"" <<<"$OBS_JSON" || { echo "obs_dump JSON missing $metric"; exit 1; }
+  done
+  # Prometheus: every sample line must carry a finite, non-negative value.
+  OBS_PROM="$(cargo run --release -q -p fleet --bin obs_dump -- --streams 8 --samples 120 --shards 2 --format prometheus)"
+  grep -q '^larp_selections_total ' <<<"$OBS_PROM" || { echo "obs_dump prometheus missing larp_selections_total"; exit 1; }
+  if grep -v '^#' <<<"$OBS_PROM" | awk '{v=$NF} v != v+0 || v < 0 {print "bad sample: " $0; bad=1} END {exit bad}'; then :; else
+    echo "obs_dump prometheus has NaN or negative samples"; exit 1
+  fi
 fi
 
 echo "CI gate passed."
