@@ -4,7 +4,10 @@
 //! `vmsim::fleet`), drives `--samples` rounds of batched pushes through a
 //! `--shards`-worker engine with lossless (Block) backpressure, then reports
 //! throughput, push-latency percentiles and the fleet health rollup as one
-//! JSON object on stdout.
+//! JSON object on stdout. With `--duration SECONDS` the run is time-boxed
+//! instead: full rounds are pushed until the budget elapses (at least one
+//! round always runs, and rounds finish once started — sample accounting
+//! stays exact).
 //!
 //! Run with:
 //! `cargo run --release -p fleet --bin fleet_throughput -- --streams 1000 --samples 60 --shards 4`
@@ -23,10 +26,12 @@ struct Args {
     samples: u64,
     shards: usize,
     seed: u64,
+    /// Wall-clock budget in seconds; caps the run at round granularity.
+    duration: Option<f64>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { streams: 1000, samples: 60, shards: 4, seed: 2007 };
+    let mut args = Args { streams: 1000, samples: 60, shards: 4, seed: 2007, duration: None };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut take = |name: &str| {
@@ -39,7 +44,18 @@ fn parse_args() -> Args {
             "--samples" => args.samples = take("--samples"),
             "--shards" => args.shards = take("--shards") as usize,
             "--seed" => args.seed = take("--seed"),
-            other => panic!("unknown flag {other}; supported: --streams --samples --shards --seed"),
+            "--duration" => {
+                let v = it.next().unwrap_or_else(|| panic!("--duration expects a value"));
+                let secs = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|d| d.is_finite() && *d > 0.0)
+                    .unwrap_or_else(|| panic!("--duration expects positive seconds, got {v}"));
+                args.duration = Some(secs);
+            }
+            other => panic!(
+                "unknown flag {other}; supported: --streams --samples --shards --seed --duration"
+            ),
         }
     }
     args
@@ -66,11 +82,19 @@ fn main() {
         .collect();
 
     let started = Instant::now();
+    let deadline = args.duration.map(|d| started + std::time::Duration::from_secs_f64(d));
     let mut push_us: Vec<f64> = Vec::with_capacity(
         (args.streams * args.samples) as usize / PUSH_CHUNK + args.samples as usize,
     );
     let mut batch: Vec<(StreamId, f64)> = Vec::with_capacity(PUSH_CHUNK);
+    let mut rounds = 0u64;
     for minute in 0..args.samples {
+        // Time-boxing cuts between rounds, never inside one, so every
+        // registered stream sees the same number of samples.
+        if minute > 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+        rounds += 1;
         for (id, signal) in signals.iter_mut().enumerate() {
             batch.push((id as StreamId, signal.sample(minute)));
             if batch.len() == PUSH_CHUNK {
@@ -91,7 +115,7 @@ fn main() {
     let elapsed = started.elapsed().as_secs_f64();
 
     let health = engine.health();
-    let total_samples = args.streams * args.samples;
+    let total_samples = args.streams * rounds;
     let mut all_finite = true;
     for id in 0..args.streams {
         let info = engine.stream_info(id).expect("registered stream");
@@ -103,7 +127,7 @@ fn main() {
 
     println!("{{");
     println!("  \"streams\": {},", args.streams);
-    println!("  \"samples_per_stream\": {},", args.samples);
+    println!("  \"samples_per_stream\": {rounds},");
     println!("  \"shards\": {},", args.shards);
     println!("  \"seed\": {},", args.seed);
     println!("  \"elapsed_sec\": {:.3},", elapsed);

@@ -232,6 +232,13 @@ impl FleetEngine {
                     }
                     BackpressurePolicy::Block => {
                         while q.items.len() >= cap && !q.shutdown {
+                            // The queue is full, so the worker has work: wake
+                            // it before sleeping, or it may still be parked in
+                            // its own not_empty wait (this call's notify only
+                            // comes after the whole group is enqueued) and
+                            // producer and worker deadlock waiting on each
+                            // other.
+                            s.not_empty.notify_one();
                             q = s.space.wait(q).expect("shard queue poisoned");
                         }
                         if q.shutdown {
@@ -576,6 +583,43 @@ mod tests {
         assert_eq!(report.accepted, 200);
         assert_eq!(report.rejected + report.dropped, 0);
         assert_eq!(engine.stream_info(1).unwrap().steps, 200);
+    }
+
+    #[test]
+    fn block_backpressure_survives_batches_larger_than_the_queue() {
+        // Regression: a single push_batch overfilling a queue used to
+        // deadlock under `Block` — the producer parked on `space` before
+        // the group's `not_empty` notify ever woke the worker. Concurrent
+        // producers widen the window, so use two.
+        let engine = std::sync::Arc::new(
+            FleetEngine::new(FleetConfig {
+                shards: 2,
+                queue_capacity: 8,
+                backpressure: BackpressurePolicy::Block,
+                ..FleetConfig::default()
+            })
+            .unwrap(),
+        );
+        for id in 0..6 {
+            engine.register(id).unwrap();
+        }
+        let batch: Vec<(StreamId, f64)> =
+            (0..500).map(|i| (i % 6, 40.0 + (i as f64 * 0.01).sin())).collect();
+        let producers: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = std::sync::Arc::clone(&engine);
+                let batch = batch.clone();
+                std::thread::spawn(move || engine.push_batch(&batch))
+            })
+            .collect();
+        let mut report = PushReport::default();
+        for p in producers {
+            report.merge(p.join().expect("producer must not deadlock"));
+        }
+        engine.flush();
+        assert_eq!(report.accepted, 1000);
+        assert_eq!(report.rejected + report.dropped, 0);
+        assert_eq!(engine.health().steps, 1000);
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Benchmark: N concurrent client connections driving a fault-injected
+//! fleet through the netserve wire protocol on localhost.
+//!
+//! Starts a server (binary + HTTP ports, both ephemeral) over a
+//! Block-backpressure engine, registers `--streams` streams, then runs
+//! `--clients` worker threads for `--duration` seconds. Each worker owns a
+//! [`netserve::Client`] and a disjoint subset of streams, pushes
+//! fault-corrupted samples (vmsim `FaultInjector`: NaN, sentinels, spikes,
+//! stuck values, duplicates, drops) in `--batch`-sized `PushBatch` requests,
+//! and times every round trip. Every 32 batches it also issues a `Predict`.
+//!
+//! While the load runs, the main thread scrapes `/metrics` and `/healthz`
+//! over the HTTP shim and validates them (finite Prometheus samples; the
+//! strict no-NaN JSON parser for `/healthz`). The run ends with a `Health`
+//! poll, a `Checkpoint` download and a wire `Shutdown`, then prints one
+//! self-validated JSON report and writes it to `--out`
+//! (default `results/BENCH_net.json`).
+//!
+//! Run with:
+//! `cargo run --release -p netserve --bin net_loadgen -- --clients 8 --streams 200 --shards 4 --duration 3`
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fleet::{BackpressurePolicy, FleetConfig, FleetEngine};
+use netserve::{Client, ClientConfig, Server, ServerConfig};
+use obs::percentile_sorted;
+use vmsim::{fleet_signal, FaultConfig, FaultInjector};
+
+struct Args {
+    clients: usize,
+    streams: u64,
+    shards: usize,
+    duration: f64,
+    batch: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 8,
+        streams: 200,
+        shards: 4,
+        duration: 3.0,
+        batch: 64,
+        seed: 2007,
+        out: "results/BENCH_net.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| it.next().unwrap_or_else(|| panic!("{name} expects a value"));
+        let uint = |name: &str, v: String| {
+            v.parse::<u64>().unwrap_or_else(|_| panic!("{name} expects an unsigned integer"))
+        };
+        match flag.as_str() {
+            "--clients" => args.clients = uint("--clients", take("--clients")) as usize,
+            "--streams" => args.streams = uint("--streams", take("--streams")),
+            "--shards" => args.shards = uint("--shards", take("--shards")) as usize,
+            "--duration" => {
+                let v = take("--duration");
+                args.duration = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|d| d.is_finite() && *d > 0.0)
+                    .unwrap_or_else(|| panic!("--duration expects positive seconds, got {v}"));
+            }
+            "--batch" => args.batch = (uint("--batch", take("--batch")) as usize).max(1),
+            "--seed" => args.seed = uint("--seed", take("--seed")),
+            "--out" => args.out = take("--out"),
+            other => panic!(
+                "unknown flag {other}; supported: --clients --streams --shards --duration \
+                 --batch --seed --out"
+            ),
+        }
+    }
+    assert!(args.clients >= 1, "--clients must be >= 1");
+    assert!(args.streams >= 1, "--streams must be >= 1");
+    args
+}
+
+/// Per-worker tallies returned to the aggregator.
+#[derive(Default)]
+struct WorkerStats {
+    rtt_us: Vec<f64>,
+    push_requests: u64,
+    predict_requests: u64,
+    samples_pushed: u64,
+    accepted: u64,
+    rejected: u64,
+    dropped: u64,
+}
+
+fn worker(
+    addr: std::net::SocketAddr,
+    ids: Vec<u64>,
+    seed: u64,
+    batch_size: usize,
+    deadline: Instant,
+) -> WorkerStats {
+    let mut client = Client::connect(addr, ClientConfig::default()).expect("worker connects");
+    // Per-stream corrupted generators: signal + injector + local clock.
+    let mut gens: Vec<_> = ids
+        .iter()
+        .map(|&id| {
+            let injector = FaultInjector::new(FaultConfig::uniform(0.05), seed ^ (id << 1) | 1)
+                .expect("valid fault config");
+            (id, fleet_signal(seed, id), injector, 0u64)
+        })
+        .collect();
+    let mut stats = WorkerStats::default();
+    let mut batch: Vec<(u64, f64)> = Vec::with_capacity(batch_size);
+    let mut next_gen = 0usize;
+    let mut predict_rotor = 0usize;
+    while Instant::now() < deadline {
+        batch.clear();
+        while batch.len() < batch_size {
+            let gen_count = gens.len();
+            let (id, signal, injector, minute) = &mut gens[next_gen];
+            next_gen = (next_gen + 1) % gen_count;
+            let clean = signal.sample(*minute);
+            // The injector may drop the sample, duplicate it, or corrupt its
+            // value; the wire batch is auto-clocked so only values travel.
+            for (_, value, _) in injector.corrupt(*minute, clean) {
+                batch.push((*id, value));
+            }
+            *minute += 1;
+        }
+        let t = Instant::now();
+        let outcome = client.push_batch(&batch).expect("push_batch round trip");
+        stats.rtt_us.push(t.elapsed().as_secs_f64() * 1e6);
+        stats.push_requests += 1;
+        stats.samples_pushed += batch.len() as u64;
+        stats.accepted += outcome.accepted;
+        stats.rejected += outcome.rejected;
+        stats.dropped += outcome.dropped;
+        if stats.push_requests.is_multiple_of(32) {
+            let id = gens[predict_rotor % gens.len()].0;
+            predict_rotor += 1;
+            let t = Instant::now();
+            client.predict(id).expect("predict round trip");
+            stats.rtt_us.push(t.elapsed().as_secs_f64() * 1e6);
+            stats.predict_requests += 1;
+        }
+    }
+    stats
+}
+
+/// Minimal HTTP GET over a raw socket; returns (status, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+        .map_err(|e| format!("connect: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| format!("recv: {e}"))?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("unparsable status line in {raw:.60}"))?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Every non-comment Prometheus sample line must carry a finite,
+/// non-negative value.
+fn prometheus_is_sane(text: &str) -> bool {
+    !text.is_empty()
+        && text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).all(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .is_some_and(|v| v.is_finite() && v >= 0.0)
+        })
+}
+
+fn main() {
+    let args = parse_args();
+    let engine = Arc::new(
+        FleetEngine::new(FleetConfig {
+            shards: args.shards,
+            // Lossless under sustained overload so the measured sample rate
+            // is the true end-to-end serving rate.
+            backpressure: BackpressurePolicy::Block,
+            queue_capacity: 8192,
+            fleet_seed: args.seed,
+            ..FleetConfig::default()
+        })
+        .expect("valid fleet config"),
+    );
+    let mut server = Server::start(
+        Arc::clone(&engine),
+        ServerConfig { max_connections: args.clients + 8, ..ServerConfig::default() },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+    let http_addr = server.http_addr().expect("http shim enabled");
+
+    let mut setup = Client::connect(addr, ClientConfig::default()).expect("setup client");
+    for id in 0..args.streams {
+        setup.register(id).expect("fresh stream id");
+    }
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(args.duration);
+    let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|w| {
+                let ids: Vec<u64> =
+                    (0..args.streams).filter(|id| (*id as usize) % args.clients == w).collect();
+                let seed = args.seed;
+                let batch = args.batch;
+                scope.spawn(move || worker(addr, ids, seed, batch, deadline))
+            })
+            .collect();
+
+        // While the fleet is under load, scrape the observability port.
+        let (hz_status, hz_body) = http_get(http_addr, "/healthz").expect("healthz scrape");
+        let healthz_ok = hz_status == 200 && obs::expo::validate_json(&hz_body).is_ok();
+        let (m_status, m_body) = http_get(http_addr, "/metrics").expect("metrics scrape");
+        let metrics_ok = m_status == 200
+            && prometheus_is_sane(&m_body)
+            && m_body.contains("net_op_push_batch_total")
+            && m_body.contains("net_connections");
+        assert!(healthz_ok, "healthz scrape failed: status {hz_status}, body {hz_body}");
+        assert!(metrics_ok, "metrics scrape failed: status {m_status}");
+
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Post-run control-plane traffic on the setup connection.
+    let health = setup.health().expect("health");
+    let checkpoint = setup.checkpoint().expect("checkpoint");
+    setup.shutdown_server().expect("wire shutdown acked");
+    server.shutdown();
+
+    let mut rtt_us: Vec<f64> = Vec::new();
+    let mut total = WorkerStats::default();
+    for s in stats {
+        rtt_us.extend_from_slice(&s.rtt_us);
+        total.push_requests += s.push_requests;
+        total.predict_requests += s.predict_requests;
+        total.samples_pushed += s.samples_pushed;
+        total.accepted += s.accepted;
+        total.rejected += s.rejected;
+        total.dropped += s.dropped;
+    }
+    rtt_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pct = |p: f64| percentile_sorted(&rtt_us, p).unwrap_or(0.0);
+    let requests = total.push_requests + total.predict_requests;
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"clients\": {},\n", args.clients));
+    out.push_str(&format!("  \"streams\": {},\n", args.streams));
+    out.push_str(&format!("  \"shards\": {},\n", args.shards));
+    out.push_str(&format!("  \"batch\": {},\n", args.batch));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!("  \"duration_sec\": {elapsed:.3},\n"));
+    out.push_str(&format!("  \"requests\": {requests},\n"));
+    out.push_str(&format!("  \"push_requests\": {},\n", total.push_requests));
+    out.push_str(&format!("  \"predict_requests\": {},\n", total.predict_requests));
+    out.push_str(&format!("  \"samples_pushed\": {},\n", total.samples_pushed));
+    out.push_str(&format!("  \"req_per_sec\": {:.0},\n", requests as f64 / elapsed));
+    out.push_str(&format!(
+        "  \"samples_per_sec\": {:.0},\n",
+        total.samples_pushed as f64 / elapsed
+    ));
+    // Ceil-rank round-trip percentiles over every timed request.
+    out.push_str(&format!("  \"rtt_p50_us\": {:.1},\n", pct(0.50)));
+    out.push_str(&format!("  \"rtt_p90_us\": {:.1},\n", pct(0.90)));
+    out.push_str(&format!("  \"rtt_p99_us\": {:.1},\n", pct(0.99)));
+    out.push_str(&format!("  \"accepted\": {},\n", total.accepted));
+    out.push_str(&format!("  \"rejected\": {},\n", total.rejected));
+    out.push_str(&format!("  \"dropped\": {},\n", total.dropped));
+    out.push_str(&format!("  \"fleet_steps\": {},\n", health.steps));
+    out.push_str(&format!("  \"fleet_forecasts\": {},\n", health.forecasts));
+    out.push_str(&format!("  \"nonfinite_forecasts\": {},\n", health.nonfinite_forecasts));
+    out.push_str(&format!("  \"degraded_streams\": {},\n", health.degraded_streams));
+    out.push_str(&format!("  \"quarantined_streams\": {},\n", health.quarantined_streams));
+    out.push_str(&format!("  \"checkpoint_bytes\": {},\n", checkpoint.len()));
+    out.push_str("  \"healthz_ok\": true,\n");
+    out.push_str("  \"metrics_scrape_ok\": true,\n");
+    out.push_str(&format!("  \"obs\": {}\n", obs::expo::json(engine.registry(), None)));
+    out.push('}');
+
+    obs::expo::validate_json(&out)
+        .unwrap_or_else(|e| panic!("net_loadgen produced invalid JSON: {e}"));
+    println!("{out}");
+    if let Err(e) = std::fs::write(&args.out, &out) {
+        eprintln!("warning: could not write {}: {e}", args.out);
+    }
+
+    assert_eq!(total.rejected, 0, "Block backpressure must be lossless");
+    assert_eq!(health.nonfinite_forecasts, 0, "non-finite forecast escaped the fleet");
+    assert_eq!(
+        health.pushes.accepted, total.accepted,
+        "every worker-accepted sample must be visible in the fleet rollup"
+    );
+}

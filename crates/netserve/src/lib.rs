@@ -1,0 +1,87 @@
+//! Remote serving: a binary wire protocol over TCP exposing a
+//! [`fleet::FleetEngine`] to the network.
+//!
+//! The fleet engine scales serving across threads; this crate scales it
+//! across *machines*. Consumers — schedulers, provisioners, dashboards —
+//! talk a small length-prefixed, versioned, CRC-checked binary protocol
+//! (frame layout and tables: DESIGN.md §6) instead of linking the engine
+//! in-process:
+//!
+//! * [`wire`] — the frame codec. Every frame carries a protocol version,
+//!   an opcode, a client correlation id, an opcode-specific payload, and a
+//!   CRC-32 trailer; declared lengths are validated against a cap *before*
+//!   allocation, so malformed or hostile input costs bytes, not memory.
+//! * [`msg`] — the message vocabulary: eleven request opcodes
+//!   (`Hello`/`Register`/`RegisterWith`/`Push`/`PushBatch`/`Predict`/
+//!   `StreamInfo`/`Health`/`Checkpoint`/`Evict`/`Shutdown`) and a typed
+//!   error-code table covering framing, addressing, configuration,
+//!   backpressure and lifecycle failures.
+//! * [`server`] — a `std::net` TCP server: bounded-connection acceptor,
+//!   one reader thread per connection (clients may pipeline), engine
+//!   backpressure mapped onto wire errors, graceful drain-and-join
+//!   shutdown, and a second-port HTTP/1.1 shim serving Prometheus
+//!   `/metrics` and `/healthz`. Fully instrumented through the engine's
+//!   own [`obs`] registry (`net_*` metric set) and event ring.
+//! * [`client`] — a blocking client with connect/request timeouts,
+//!   exponential-backoff reconnect, and a batched push API.
+//!
+//! The `net_loadgen` binary drives N concurrent client connections against
+//! a fault-injected fleet and emits `results/BENCH_net.json` (request and
+//! sample throughput, ceil-rank round-trip latency percentiles).
+#![warn(missing_docs)]
+
+pub mod client;
+mod http;
+pub mod msg;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientConfig, ServerInfo};
+pub use msg::{
+    ErrorCode, HealthReply, OpCode, PredictReply, PushOutcome, Request, Response, StreamInfoReply,
+    StreamTuning,
+};
+pub use server::{Server, ServerConfig};
+pub use wire::{Frame, WireError, PROTOCOL_VERSION};
+
+/// Errors surfaced by the client (and server construction).
+#[derive(Debug)]
+pub enum NetError {
+    /// Connectivity failure (resolve, connect, send, receive) — after the
+    /// client's retry budget is exhausted.
+    Io(String),
+    /// The server answered with a typed error.
+    Server {
+        /// The wire error code.
+        code: ErrorCode,
+        /// Server-provided context.
+        detail: String,
+    },
+    /// The peer violated the protocol (undecodable response, correlation
+    /// mismatch, unexpected response kind).
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(m) => write!(f, "io: {m}"),
+            NetError::Server { code, detail } => {
+                write!(f, "server error {}: {detail}", code.name())
+            }
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl NetError {
+    /// The typed server error code, when this is a server-side error.
+    pub fn server_code(&self) -> Option<ErrorCode> {
+        match self {
+            NetError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}

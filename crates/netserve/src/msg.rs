@@ -1,0 +1,946 @@
+//! Request/response vocabulary: opcodes, typed error codes, and the
+//! payload encodings for every message (tables in DESIGN.md §6).
+//!
+//! A request frame carries an [`OpCode`]; its response carries either the
+//! *reply* opcode `0x80 | request_opcode` ([`REPLY_BIT`]) with an
+//! opcode-specific payload, or [`ERROR_OPCODE`] with an [`ErrorCode`] and a
+//! short human-readable detail string. Payload decoding is strict: wrong
+//! lengths, trailing bytes, bad enum discriminants and invalid UTF-8 all
+//! map to [`ErrorCode::MalformedPayload`] — never a panic.
+
+use larp::HealthState;
+
+/// Response opcode bit: a reply to opcode `op` carries `REPLY_BIT | op`.
+pub const REPLY_BIT: u8 = 0x80;
+
+/// Opcode of an error response.
+pub const ERROR_OPCODE: u8 = 0xFF;
+
+/// Longest accepted string field (client name, error detail) in bytes.
+pub const MAX_STRING: usize = 1024;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpCode {
+    /// Handshake: client announces itself, server answers with its shape.
+    Hello = 0x01,
+    /// Register a stream with the server's default configuration.
+    Register = 0x02,
+    /// Register a stream with explicit tuning ([`StreamTuning`]).
+    RegisterWith = 0x03,
+    /// Push one sample (auto-clocked or with an explicit minute).
+    Push = 0x04,
+    /// Push a batch of auto-clocked samples.
+    PushBatch = 0x05,
+    /// Read a stream's latest forecast and health.
+    Predict = 0x06,
+    /// Read a stream's full serving view.
+    StreamInfo = 0x07,
+    /// Read the fleet-wide health rollup.
+    Health = 0x08,
+    /// Download a full fleet checkpoint (FLEETCKP bytes).
+    Checkpoint = 0x09,
+    /// Evict a stream.
+    Evict = 0x0A,
+    /// Ask the server to shut down gracefully.
+    Shutdown = 0x0B,
+}
+
+impl OpCode {
+    /// All opcodes, in wire order.
+    pub const ALL: [OpCode; 11] = [
+        OpCode::Hello,
+        OpCode::Register,
+        OpCode::RegisterWith,
+        OpCode::Push,
+        OpCode::PushBatch,
+        OpCode::Predict,
+        OpCode::StreamInfo,
+        OpCode::Health,
+        OpCode::Checkpoint,
+        OpCode::Evict,
+        OpCode::Shutdown,
+    ];
+
+    /// Decodes an opcode byte.
+    pub fn from_u8(b: u8) -> Option<OpCode> {
+        OpCode::ALL.into_iter().find(|op| *op as u8 == b)
+    }
+
+    /// Stable snake_case name (metric names interpolate this).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpCode::Hello => "hello",
+            OpCode::Register => "register",
+            OpCode::RegisterWith => "register_with",
+            OpCode::Push => "push",
+            OpCode::PushBatch => "push_batch",
+            OpCode::Predict => "predict",
+            OpCode::StreamInfo => "stream_info",
+            OpCode::Health => "health",
+            OpCode::Checkpoint => "checkpoint",
+            OpCode::Evict => "evict",
+            OpCode::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Typed error codes carried by error responses (table in DESIGN.md §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Undecodable frame: bad CRC, truncation, or undersized length. The
+    /// server closes the connection after sending this — framing is lost.
+    BadFrame = 1,
+    /// The frame's protocol version is not supported. Connection closed.
+    UnsupportedVersion = 2,
+    /// Valid frame, unknown opcode byte. Connection stays open.
+    UnknownOpcode = 3,
+    /// Valid frame, undecodable payload. Connection stays open.
+    MalformedPayload = 4,
+    /// Declared frame length exceeds the server's cap. Connection closed
+    /// before any allocation.
+    PayloadTooLarge = 5,
+    /// The addressed stream is not registered.
+    UnknownStream = 6,
+    /// The stream id is already registered.
+    DuplicateStream = 7,
+    /// Stream tuning failed validation.
+    InvalidConfig = 8,
+    /// The engine refused the sample(s) under backpressure
+    /// (`RejectNew`: queue full; `DropOldest` reports drops in the push
+    /// outcome instead).
+    Backpressure = 9,
+    /// Checkpoint serialization/restore failure.
+    Checkpoint = 10,
+    /// The server is shutting down and no longer serves requests.
+    ShuttingDown = 11,
+    /// The server is at its connection limit.
+    TooManyConnections = 12,
+    /// Unexpected server-side failure.
+    Internal = 13,
+}
+
+impl ErrorCode {
+    /// Decodes an error-code word.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        [
+            BadFrame,
+            UnsupportedVersion,
+            UnknownOpcode,
+            MalformedPayload,
+            PayloadTooLarge,
+            UnknownStream,
+            DuplicateStream,
+            InvalidConfig,
+            Backpressure,
+            Checkpoint,
+            ShuttingDown,
+            TooManyConnections,
+            Internal,
+        ]
+        .into_iter()
+        .find(|c| *c as u16 == v)
+    }
+
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::UnknownOpcode => "unknown_opcode",
+            ErrorCode::MalformedPayload => "malformed_payload",
+            ErrorCode::PayloadTooLarge => "payload_too_large",
+            ErrorCode::UnknownStream => "unknown_stream",
+            ErrorCode::DuplicateStream => "duplicate_stream",
+            ErrorCode::InvalidConfig => "invalid_config",
+            ErrorCode::Backpressure => "backpressure",
+            ErrorCode::Checkpoint => "checkpoint",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::TooManyConnections => "too_many_connections",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// Wire-settable subset of [`fleet::StreamConfig`]: the per-stream tunables
+/// a remote consumer is allowed to pick. Everything else (ingest policy,
+/// larp internals, resilience) stays server-side configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamTuning {
+    /// Samples per (re)training window.
+    pub train_size: u32,
+    /// QA audit window length.
+    pub qa_window: u32,
+    /// QA audit period.
+    pub qa_period: u32,
+    /// QA rolling-MSE retrain threshold (normalized units).
+    pub qa_threshold: f64,
+}
+
+impl From<&fleet::StreamConfig> for StreamTuning {
+    fn from(c: &fleet::StreamConfig) -> Self {
+        Self {
+            train_size: c.train_size as u32,
+            qa_window: c.qa_window as u32,
+            qa_period: c.qa_period as u32,
+            qa_threshold: c.qa_threshold,
+        }
+    }
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake; `client` is a short self-identification string.
+    Hello {
+        /// Client-chosen name (truncated to [`MAX_STRING`] bytes).
+        client: String,
+    },
+    /// Register `id` with the server's default stream configuration.
+    Register {
+        /// Stream id.
+        id: u64,
+    },
+    /// Register `id` with explicit tuning.
+    RegisterWith {
+        /// Stream id.
+        id: u64,
+        /// Wire-settable stream tunables.
+        tuning: StreamTuning,
+    },
+    /// Push one sample.
+    Push {
+        /// Stream id.
+        id: u64,
+        /// Explicit minute; `None` auto-advances the stream clock.
+        minute: Option<u64>,
+        /// Sample value.
+        value: f64,
+    },
+    /// Push a batch of auto-clocked samples.
+    PushBatch {
+        /// `(stream id, value)` pairs, pushed in order.
+        samples: Vec<(u64, f64)>,
+    },
+    /// Read `id`'s latest forecast and health.
+    Predict {
+        /// Stream id.
+        id: u64,
+    },
+    /// Read `id`'s full serving view.
+    StreamInfo {
+        /// Stream id.
+        id: u64,
+    },
+    /// Read the fleet-wide health rollup.
+    Health,
+    /// Download a checkpoint.
+    Checkpoint,
+    /// Evict `id`.
+    Evict {
+        /// Stream id.
+        id: u64,
+    },
+    /// Graceful server shutdown.
+    Shutdown,
+}
+
+/// Latest-forecast view served by `Predict`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictReply {
+    /// Most recent forecast, if the stream has produced one.
+    pub forecast: Option<f64>,
+    /// Health of the stream's most recent step.
+    pub health: HealthState,
+    /// Clean samples that reached the predictor.
+    pub steps: u64,
+    /// Forecasts served so far.
+    pub forecasts: u64,
+}
+
+/// Full serving view served by `StreamInfo`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamInfoReply {
+    /// Shard serving this stream.
+    pub shard: u32,
+    /// Clean samples that reached the predictor.
+    pub steps: u64,
+    /// Forecasts served.
+    pub forecasts: u64,
+    /// Minute assigned to the next auto-clocked sample.
+    pub next_minute: u64,
+    /// Health of the most recent step.
+    pub health: HealthState,
+    /// Most recent forecast, if any.
+    pub last_forecast: Option<f64>,
+    /// (Re)trainings performed.
+    pub retrains: u64,
+}
+
+/// Push outcome: the engine's per-call backpressure accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PushOutcome {
+    /// Samples enqueued.
+    pub accepted: u64,
+    /// Samples refused (queue full under `RejectNew`).
+    pub rejected: u64,
+    /// Older queued samples evicted (`DropOldest`).
+    pub dropped: u64,
+}
+
+impl From<fleet::PushReport> for PushOutcome {
+    fn from(r: fleet::PushReport) -> Self {
+        Self { accepted: r.accepted, rejected: r.rejected, dropped: r.dropped }
+    }
+}
+
+/// Fleet-wide rollup served by `Health`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthReply {
+    /// Registered streams.
+    pub streams: u64,
+    /// Shard (worker) count.
+    pub shards: u16,
+    /// Cumulative push outcomes since engine start.
+    pub pushes: PushOutcome,
+    /// Clean samples that reached a predictor.
+    pub steps: u64,
+    /// Forecasts served.
+    pub forecasts: u64,
+    /// Non-finite forecasts that escaped a serving stack (should be 0).
+    pub nonfinite_forecasts: u64,
+    /// (Re)trainings across the fleet.
+    pub retrains: u64,
+    /// Streams currently degraded.
+    pub degraded_streams: u64,
+    /// Streams with a quarantined pool member.
+    pub quarantined_streams: u64,
+    /// Samples waiting in shard queues right now.
+    pub queue_depth: u64,
+    /// Samples addressed to unregistered streams.
+    pub unknown_dropped: u64,
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake answer.
+    Hello {
+        /// Server protocol version.
+        version: u8,
+        /// Shard (worker) count.
+        shards: u16,
+        /// Streams currently registered.
+        streams: u64,
+    },
+    /// Stream registered.
+    Register,
+    /// Stream registered with tuning.
+    RegisterWith,
+    /// Single-sample push accepted (rejections surface as
+    /// [`ErrorCode::Backpressure`] errors instead).
+    Push(PushOutcome),
+    /// Batch push outcome (partial acceptance is not an error).
+    PushBatch(PushOutcome),
+    /// Latest forecast and health.
+    Predict(PredictReply),
+    /// Full serving view.
+    StreamInfo(StreamInfoReply),
+    /// Fleet-wide rollup.
+    Health(HealthReply),
+    /// FLEETCKP checkpoint bytes.
+    Checkpoint(Vec<u8>),
+    /// Stream evicted.
+    Evict,
+    /// Shutdown acknowledged; the server drains and stops after this.
+    Shutdown,
+    /// Typed failure.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Short human-readable context.
+        detail: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Encoding helpers
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    // Truncate on a char boundary to fit the cap.
+    let mut end = s.len().min(MAX_STRING);
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    put_u16(out, end as u16);
+    out.extend_from_slice(&s.as_bytes()[..end]);
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    out.push(v.is_some() as u8);
+    put_f64(out, v.unwrap_or(0.0));
+}
+
+fn health_to_u8(h: HealthState) -> u8 {
+    match h {
+        HealthState::Healthy => 0,
+        HealthState::Degraded => 1,
+        HealthState::Fallback => 2,
+    }
+}
+
+/// Strict little-endian payload reader; every decode error carries the
+/// field name so wire bugs are diagnosable from the error response alone.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type Malformed = String;
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], Malformed> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("truncated payload reading {what}"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, Malformed> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u16(&mut self, what: &str) -> Result<u16, Malformed> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")))
+    }
+    fn u32(&mut self, what: &str) -> Result<u32, Malformed> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self, what: &str) -> Result<u64, Malformed> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+    fn f64(&mut self, what: &str) -> Result<f64, Malformed> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, Malformed> {
+        let len = self.u16(what)? as usize;
+        if len > MAX_STRING {
+            return Err(format!("{what} length {len} exceeds cap {MAX_STRING}"));
+        }
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what} is not UTF-8"))
+    }
+
+    fn opt_f64(&mut self, what: &str) -> Result<Option<f64>, Malformed> {
+        match self.u8(what)? {
+            0 => {
+                self.f64(what)?;
+                Ok(None)
+            }
+            1 => Ok(Some(self.f64(what)?)),
+            other => Err(format!("{what} presence flag {other} is neither 0 nor 1")),
+        }
+    }
+
+    fn health(&mut self, what: &str) -> Result<HealthState, Malformed> {
+        match self.u8(what)? {
+            0 => Ok(HealthState::Healthy),
+            1 => Ok(HealthState::Degraded),
+            2 => Ok(HealthState::Fallback),
+            other => Err(format!("{what} health discriminant {other} out of range")),
+        }
+    }
+
+    fn done(self, what: &str) -> Result<(), Malformed> {
+        if self.pos != self.buf.len() {
+            return Err(format!("{} trailing bytes after {what}", self.buf.len() - self.pos));
+        }
+        Ok(())
+    }
+}
+
+impl Request {
+    /// The request's opcode.
+    pub fn opcode(&self) -> OpCode {
+        match self {
+            Request::Hello { .. } => OpCode::Hello,
+            Request::Register { .. } => OpCode::Register,
+            Request::RegisterWith { .. } => OpCode::RegisterWith,
+            Request::Push { .. } => OpCode::Push,
+            Request::PushBatch { .. } => OpCode::PushBatch,
+            Request::Predict { .. } => OpCode::Predict,
+            Request::StreamInfo { .. } => OpCode::StreamInfo,
+            Request::Health => OpCode::Health,
+            Request::Checkpoint => OpCode::Checkpoint,
+            Request::Evict { .. } => OpCode::Evict,
+            Request::Shutdown => OpCode::Shutdown,
+        }
+    }
+
+    /// Encodes the payload bytes for this request.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Hello { client } => put_str(&mut out, client),
+            Request::Register { id } | Request::Predict { id } | Request::Evict { id } => {
+                put_u64(&mut out, *id)
+            }
+            Request::StreamInfo { id } => put_u64(&mut out, *id),
+            Request::RegisterWith { id, tuning } => {
+                put_u64(&mut out, *id);
+                put_u32(&mut out, tuning.train_size);
+                put_u32(&mut out, tuning.qa_window);
+                put_u32(&mut out, tuning.qa_period);
+                put_f64(&mut out, tuning.qa_threshold);
+            }
+            Request::Push { id, minute, value } => {
+                put_u64(&mut out, *id);
+                out.push(minute.is_some() as u8);
+                put_u64(&mut out, minute.unwrap_or(0));
+                put_f64(&mut out, *value);
+            }
+            Request::PushBatch { samples } => {
+                put_u32(&mut out, samples.len() as u32);
+                for (id, value) in samples {
+                    put_u64(&mut out, *id);
+                    put_f64(&mut out, *value);
+                }
+            }
+            Request::Health | Request::Checkpoint | Request::Shutdown => {}
+        }
+        out
+    }
+
+    /// Decodes a request from its opcode byte and payload.
+    ///
+    /// # Errors
+    ///
+    /// `UnknownOpcode` for an unrecognized byte, `MalformedPayload` (with a
+    /// field-level detail string) for anything undecodable.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Request, (ErrorCode, String)> {
+        let op = OpCode::from_u8(opcode)
+            .ok_or((ErrorCode::UnknownOpcode, format!("opcode {opcode:#04x}")))?;
+        let mut c = Cur::new(payload);
+        let malformed = |m: Malformed| (ErrorCode::MalformedPayload, m);
+        let req = match op {
+            OpCode::Hello => Request::Hello { client: c.string("client name").map_err(malformed)? },
+            OpCode::Register => Request::Register { id: c.u64("stream id").map_err(malformed)? },
+            OpCode::RegisterWith => Request::RegisterWith {
+                id: c.u64("stream id").map_err(malformed)?,
+                tuning: StreamTuning {
+                    train_size: c.u32("train_size").map_err(malformed)?,
+                    qa_window: c.u32("qa_window").map_err(malformed)?,
+                    qa_period: c.u32("qa_period").map_err(malformed)?,
+                    qa_threshold: c.f64("qa_threshold").map_err(malformed)?,
+                },
+            },
+            OpCode::Push => {
+                let id = c.u64("stream id").map_err(malformed)?;
+                let has_minute = c.u8("minute flag").map_err(malformed)?;
+                let minute = c.u64("minute").map_err(malformed)?;
+                let value = c.f64("value").map_err(malformed)?;
+                let minute = match has_minute {
+                    0 => None,
+                    1 => Some(minute),
+                    other => {
+                        return Err(malformed(format!("minute flag {other} is neither 0 nor 1")))
+                    }
+                };
+                Request::Push { id, minute, value }
+            }
+            OpCode::PushBatch => {
+                let count = c.u32("sample count").map_err(malformed)? as usize;
+                // Each sample is 16 bytes; the cursor bounds-checks, so a
+                // lying count fails on the first missing sample rather than
+                // pre-allocating `count` slots.
+                let mut samples = Vec::with_capacity(count.min(payload.len() / 16 + 1));
+                for i in 0..count {
+                    let id = c.u64(&format!("sample {i} id")).map_err(malformed)?;
+                    let value = c.f64(&format!("sample {i} value")).map_err(malformed)?;
+                    samples.push((id, value));
+                }
+                Request::PushBatch { samples }
+            }
+            OpCode::Predict => Request::Predict { id: c.u64("stream id").map_err(malformed)? },
+            OpCode::StreamInfo => {
+                Request::StreamInfo { id: c.u64("stream id").map_err(malformed)? }
+            }
+            OpCode::Health => Request::Health,
+            OpCode::Checkpoint => Request::Checkpoint,
+            OpCode::Evict => Request::Evict { id: c.u64("stream id").map_err(malformed)? },
+            OpCode::Shutdown => Request::Shutdown,
+        };
+        c.done(op.name()).map_err(malformed)?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// The response's wire opcode (`REPLY_BIT | op`, or [`ERROR_OPCODE`]).
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Response::Hello { .. } => REPLY_BIT | OpCode::Hello as u8,
+            Response::Register => REPLY_BIT | OpCode::Register as u8,
+            Response::RegisterWith => REPLY_BIT | OpCode::RegisterWith as u8,
+            Response::Push(_) => REPLY_BIT | OpCode::Push as u8,
+            Response::PushBatch(_) => REPLY_BIT | OpCode::PushBatch as u8,
+            Response::Predict(_) => REPLY_BIT | OpCode::Predict as u8,
+            Response::StreamInfo(_) => REPLY_BIT | OpCode::StreamInfo as u8,
+            Response::Health(_) => REPLY_BIT | OpCode::Health as u8,
+            Response::Checkpoint(_) => REPLY_BIT | OpCode::Checkpoint as u8,
+            Response::Evict => REPLY_BIT | OpCode::Evict as u8,
+            Response::Shutdown => REPLY_BIT | OpCode::Shutdown as u8,
+            Response::Error { .. } => ERROR_OPCODE,
+        }
+    }
+
+    /// Encodes the payload bytes for this response.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Hello { version, shards, streams } => {
+                out.push(*version);
+                put_u16(&mut out, *shards);
+                put_u64(&mut out, *streams);
+            }
+            Response::Register | Response::RegisterWith | Response::Evict | Response::Shutdown => {}
+            Response::Push(o) | Response::PushBatch(o) => {
+                put_u64(&mut out, o.accepted);
+                put_u64(&mut out, o.rejected);
+                put_u64(&mut out, o.dropped);
+            }
+            Response::Predict(p) => {
+                put_opt_f64(&mut out, p.forecast);
+                out.push(health_to_u8(p.health));
+                put_u64(&mut out, p.steps);
+                put_u64(&mut out, p.forecasts);
+            }
+            Response::StreamInfo(s) => {
+                put_u32(&mut out, s.shard);
+                put_u64(&mut out, s.steps);
+                put_u64(&mut out, s.forecasts);
+                put_u64(&mut out, s.next_minute);
+                out.push(health_to_u8(s.health));
+                put_opt_f64(&mut out, s.last_forecast);
+                put_u64(&mut out, s.retrains);
+            }
+            Response::Health(h) => {
+                put_u64(&mut out, h.streams);
+                put_u16(&mut out, h.shards);
+                put_u64(&mut out, h.pushes.accepted);
+                put_u64(&mut out, h.pushes.rejected);
+                put_u64(&mut out, h.pushes.dropped);
+                put_u64(&mut out, h.steps);
+                put_u64(&mut out, h.forecasts);
+                put_u64(&mut out, h.nonfinite_forecasts);
+                put_u64(&mut out, h.retrains);
+                put_u64(&mut out, h.degraded_streams);
+                put_u64(&mut out, h.quarantined_streams);
+                put_u64(&mut out, h.queue_depth);
+                put_u64(&mut out, h.unknown_dropped);
+            }
+            Response::Checkpoint(bytes) => out.extend_from_slice(bytes),
+            Response::Error { code, detail } => {
+                put_u16(&mut out, *code as u16);
+                put_str(&mut out, detail);
+            }
+        }
+        out
+    }
+
+    /// Decodes a response from its wire opcode and payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first decode failure.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Response, String> {
+        if opcode == ERROR_OPCODE {
+            let mut c = Cur::new(payload);
+            let code_word = c.u16("error code")?;
+            let code = ErrorCode::from_u16(code_word)
+                .ok_or_else(|| format!("unknown error code {code_word}"))?;
+            let detail = c.string("error detail")?;
+            c.done("error")?;
+            return Ok(Response::Error { code, detail });
+        }
+        let op = OpCode::from_u8(opcode & !REPLY_BIT)
+            .filter(|_| opcode & REPLY_BIT != 0)
+            .ok_or_else(|| format!("unknown response opcode {opcode:#04x}"))?;
+        let mut c = Cur::new(payload);
+        let resp = match op {
+            OpCode::Hello => Response::Hello {
+                version: c.u8("server version")?,
+                shards: c.u16("shards")?,
+                streams: c.u64("streams")?,
+            },
+            OpCode::Register => Response::Register,
+            OpCode::RegisterWith => Response::RegisterWith,
+            OpCode::Push | OpCode::PushBatch => {
+                let o = PushOutcome {
+                    accepted: c.u64("accepted")?,
+                    rejected: c.u64("rejected")?,
+                    dropped: c.u64("dropped")?,
+                };
+                if op == OpCode::Push {
+                    Response::Push(o)
+                } else {
+                    Response::PushBatch(o)
+                }
+            }
+            OpCode::Predict => Response::Predict(PredictReply {
+                forecast: c.opt_f64("forecast")?,
+                health: c.health("health")?,
+                steps: c.u64("steps")?,
+                forecasts: c.u64("forecasts")?,
+            }),
+            OpCode::StreamInfo => Response::StreamInfo(StreamInfoReply {
+                shard: c.u32("shard")?,
+                steps: c.u64("steps")?,
+                forecasts: c.u64("forecasts")?,
+                next_minute: c.u64("next_minute")?,
+                health: c.health("health")?,
+                last_forecast: c.opt_f64("last_forecast")?,
+                retrains: c.u64("retrains")?,
+            }),
+            OpCode::Health => Response::Health(HealthReply {
+                streams: c.u64("streams")?,
+                shards: c.u16("shards")?,
+                pushes: PushOutcome {
+                    accepted: c.u64("accepted")?,
+                    rejected: c.u64("rejected")?,
+                    dropped: c.u64("dropped")?,
+                },
+                steps: c.u64("steps")?,
+                forecasts: c.u64("forecasts")?,
+                nonfinite_forecasts: c.u64("nonfinite_forecasts")?,
+                retrains: c.u64("retrains")?,
+                degraded_streams: c.u64("degraded_streams")?,
+                quarantined_streams: c.u64("quarantined_streams")?,
+                queue_depth: c.u64("queue_depth")?,
+                unknown_dropped: c.u64("unknown_dropped")?,
+            }),
+            OpCode::Checkpoint => return Ok(Response::Checkpoint(payload.to_vec())),
+            OpCode::Evict => Response::Evict,
+            OpCode::Shutdown => Response::Shutdown,
+        };
+        c.done(op.name())?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_round_trip(req: Request) {
+        let payload = req.encode_payload();
+        let decoded = Request::decode(req.opcode() as u8, &payload).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    fn response_round_trip(resp: Response) {
+        let payload = resp.encode_payload();
+        let decoded = Response::decode(resp.opcode(), &payload).unwrap();
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        request_round_trip(Request::Hello { client: "loadgen-3".into() });
+        request_round_trip(Request::Register { id: 7 });
+        request_round_trip(Request::RegisterWith {
+            id: 8,
+            tuning: StreamTuning { train_size: 40, qa_window: 8, qa_period: 4, qa_threshold: 2.0 },
+        });
+        request_round_trip(Request::Push { id: 1, minute: None, value: 42.5 });
+        request_round_trip(Request::Push { id: 1, minute: Some(99), value: -0.0 });
+        request_round_trip(Request::PushBatch { samples: vec![] });
+        request_round_trip(Request::PushBatch {
+            samples: (0..100).map(|i| (i as u64, i as f64 * 0.5)).collect(),
+        });
+        request_round_trip(Request::Predict { id: 3 });
+        request_round_trip(Request::StreamInfo { id: u64::MAX });
+        request_round_trip(Request::Health);
+        request_round_trip(Request::Checkpoint);
+        request_round_trip(Request::Evict { id: 12 });
+        request_round_trip(Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        response_round_trip(Response::Hello { version: 1, shards: 4, streams: 200 });
+        response_round_trip(Response::Register);
+        response_round_trip(Response::RegisterWith);
+        response_round_trip(Response::Push(PushOutcome { accepted: 1, rejected: 0, dropped: 0 }));
+        response_round_trip(Response::PushBatch(PushOutcome {
+            accepted: 200,
+            rejected: 5,
+            dropped: 3,
+        }));
+        response_round_trip(Response::Predict(PredictReply {
+            forecast: Some(51.25),
+            health: HealthState::Degraded,
+            steps: 120,
+            forecasts: 80,
+        }));
+        response_round_trip(Response::Predict(PredictReply {
+            forecast: None,
+            health: HealthState::Healthy,
+            steps: 0,
+            forecasts: 0,
+        }));
+        response_round_trip(Response::StreamInfo(StreamInfoReply {
+            shard: 3,
+            steps: 5,
+            forecasts: 2,
+            next_minute: 6,
+            health: HealthState::Fallback,
+            last_forecast: Some(-1.5),
+            retrains: 1,
+        }));
+        response_round_trip(Response::Health(HealthReply {
+            streams: 200,
+            shards: 4,
+            pushes: PushOutcome { accepted: 10, rejected: 1, dropped: 2 },
+            steps: 9,
+            forecasts: 8,
+            nonfinite_forecasts: 0,
+            retrains: 3,
+            degraded_streams: 1,
+            quarantined_streams: 0,
+            queue_depth: 17,
+            unknown_dropped: 4,
+        }));
+        response_round_trip(Response::Checkpoint(vec![1, 2, 3, 4]));
+        response_round_trip(Response::Evict);
+        response_round_trip(Response::Shutdown);
+        response_round_trip(Response::Error {
+            code: ErrorCode::UnknownStream,
+            detail: "stream 9".into(),
+        });
+    }
+
+    #[test]
+    fn unknown_opcode_is_typed() {
+        match Request::decode(0x7E, &[]) {
+            Err((ErrorCode::UnknownOpcode, _)) => {}
+            other => panic!("expected UnknownOpcode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let mut payload = Request::Register { id: 3 }.encode_payload();
+        payload.push(0);
+        match Request::decode(OpCode::Register as u8, &payload) {
+            Err((ErrorCode::MalformedPayload, detail)) => {
+                assert!(detail.contains("trailing"), "{detail}")
+            }
+            other => panic!("expected MalformedPayload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lying_batch_count_fails_without_preallocation() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 16]); // one real sample
+        match Request::decode(OpCode::PushBatch as u8, &payload) {
+            Err((ErrorCode::MalformedPayload, _)) => {}
+            other => panic!("expected MalformedPayload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_name_the_missing_field() {
+        let full = Request::Push { id: 1, minute: Some(5), value: 2.0 }.encode_payload();
+        for cut in 0..full.len() {
+            match Request::decode(OpCode::Push as u8, &full[..cut]) {
+                Err((ErrorCode::MalformedPayload, _)) => {}
+                other => panic!("cut {cut}: expected MalformedPayload, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_discriminants_are_malformed() {
+        // Push with minute flag 2.
+        let mut p = Vec::new();
+        p.extend_from_slice(&1u64.to_le_bytes());
+        p.push(2);
+        p.extend_from_slice(&0u64.to_le_bytes());
+        p.extend_from_slice(&1.0f64.to_le_bytes());
+        assert!(matches!(
+            Request::decode(OpCode::Push as u8, &p),
+            Err((ErrorCode::MalformedPayload, _))
+        ));
+        // Predict reply with health discriminant 9.
+        let mut r = Response::Predict(PredictReply {
+            forecast: Some(1.0),
+            health: HealthState::Healthy,
+            steps: 0,
+            forecasts: 0,
+        })
+        .encode_payload();
+        r[9] = 9;
+        assert!(Response::decode(REPLY_BIT | OpCode::Predict as u8, &r).is_err());
+    }
+
+    #[test]
+    fn overlong_strings_truncate_on_encode_and_reject_on_decode() {
+        let long = "x".repeat(MAX_STRING + 500);
+        let payload = Request::Hello { client: long }.encode_payload();
+        match Request::decode(OpCode::Hello as u8, &payload).unwrap() {
+            Request::Hello { client } => assert_eq!(client.len(), MAX_STRING),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A hand-forged over-cap length word is rejected.
+        let mut forged = Vec::new();
+        forged.extend_from_slice(&((MAX_STRING + 1) as u16).to_le_bytes());
+        forged.extend_from_slice(&vec![b'a'; MAX_STRING + 1]);
+        assert!(matches!(
+            Request::decode(OpCode::Hello as u8, &forged),
+            Err((ErrorCode::MalformedPayload, _))
+        ));
+    }
+
+    #[test]
+    fn opcode_and_error_tables_are_self_consistent() {
+        for op in OpCode::ALL {
+            assert_eq!(OpCode::from_u8(op as u8), Some(op));
+            assert!(!op.name().is_empty());
+        }
+        assert_eq!(OpCode::from_u8(0x00), None);
+        assert_eq!(OpCode::from_u8(0x0C), None);
+        for code in 1..=13u16 {
+            let c = ErrorCode::from_u16(code).expect("contiguous error codes");
+            assert_eq!(c as u16, code);
+        }
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(14), None);
+    }
+}

@@ -1,0 +1,512 @@
+//! The TCP server: bounded-connection acceptor, per-connection reader
+//! threads, engine dispatch, and graceful shutdown.
+//!
+//! One [`Server`] fronts one shared [`FleetEngine`]. The acceptor thread
+//! hands each connection to its own reader thread, which decodes frames,
+//! dispatches them against the engine, and writes responses in request
+//! order — so clients may pipeline requests freely. Engine backpressure
+//! surfaces as data, not as stalls: a rejected single-sample push becomes a
+//! typed [`ErrorCode::Backpressure`] error, a partially-accepted batch
+//! returns its accept/reject/drop counts.
+//!
+//! Shutdown (via [`Server::shutdown`] or the wire `Shutdown` opcode) stops
+//! the acceptor, lets every connection finish the request it is serving,
+//! unblocks idle readers by shutting their sockets' read side, joins all
+//! threads, and flushes the engine so every accepted sample is processed.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fleet::{FleetEngine, FleetError, StreamConfig};
+use obs::{Counter, EventKind, EventRing, Gauge, Histogram};
+
+use crate::msg::{
+    ErrorCode, HealthReply, OpCode, PredictReply, Request, Response, StreamInfoReply,
+};
+use crate::wire::{self, Frame, WireError, MAX_REQUEST_PAYLOAD, PROTOCOL_VERSION};
+use crate::{http, NetError};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address for the binary protocol; port 0 picks an ephemeral port
+    /// (read it back from [`Server::addr`]).
+    pub addr: String,
+    /// Bind address for the HTTP observability shim (`/metrics`,
+    /// `/healthz`); `None` disables it.
+    pub http_addr: Option<String>,
+    /// Maximum concurrently-open protocol connections; further clients get
+    /// a [`ErrorCode::TooManyConnections`] error and are closed.
+    pub max_connections: usize,
+    /// Cap on one request frame's payload, in bytes. Frames declaring more
+    /// are rejected before allocation and the connection is closed.
+    pub max_frame_payload: usize,
+    /// Stream configuration used by `Register` and as the base that
+    /// `RegisterWith` tuning is applied onto.
+    pub stream_defaults: StreamConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            http_addr: Some("127.0.0.1:0".into()),
+            max_connections: 64,
+            max_frame_payload: MAX_REQUEST_PAYLOAD,
+            stream_defaults: StreamConfig::default(),
+        }
+    }
+}
+
+/// Per-opcode and connection-level instrumentation, registered on the
+/// engine's registry so one scrape covers engine and network.
+pub(crate) struct NetObs {
+    pub(crate) op_total: [Counter; OpCode::ALL.len()],
+    pub(crate) request_us: Histogram,
+    pub(crate) connections: Gauge,
+    pub(crate) connections_total: Counter,
+    pub(crate) conn_rejected: Counter,
+    pub(crate) errors: Counter,
+    pub(crate) malformed: Counter,
+    pub(crate) disconnects: Counter,
+    pub(crate) http_requests: Counter,
+}
+
+impl NetObs {
+    fn new(registry: &obs::Registry) -> Self {
+        Self {
+            op_total: OpCode::ALL
+                .map(|op| registry.counter(&format!("net_op_{}_total", op.name()))),
+            request_us: registry.histogram("net_request_us"),
+            connections: registry.gauge("net_connections"),
+            connections_total: registry.counter("net_connections_total"),
+            conn_rejected: registry.counter("net_conn_rejected_total"),
+            errors: registry.counter("net_errors_total"),
+            malformed: registry.counter("net_malformed_frames_total"),
+            disconnects: registry.counter("net_disconnects_total"),
+            http_requests: registry.counter("net_http_requests_total"),
+        }
+    }
+}
+
+/// State shared by the acceptor, connection threads, and the HTTP shim.
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<FleetEngine>,
+    pub(crate) config: ServerConfig,
+    pub(crate) obs: NetObs,
+    pub(crate) events: EventRing,
+    pub(crate) shutdown: AtomicBool,
+    /// Open protocol connections, by connection id: the stored stream clone
+    /// is what shutdown uses to unblock a reader parked in `read`.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    next_conn_id: AtomicU64,
+    open_conns: AtomicU64,
+    addr: SocketAddr,
+    pub(crate) http_addr: Option<SocketAddr>,
+}
+
+impl Shared {
+    pub(crate) fn open_connections(&self) -> u64 {
+        self.open_conns.load(Ordering::Relaxed)
+    }
+
+    /// Flips the shutdown flag and unblocks everything that could be parked
+    /// in a blocking syscall: idle readers (socket read-shutdown) and the
+    /// two accept loops (a throwaway self-connection each). Idempotent;
+    /// joining is [`Server::shutdown`]'s job.
+    pub(crate) fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for stream in self.conns.lock().expect("conns map poisoned").values() {
+            let _ = stream.shutdown(SockShutdown::Read);
+        }
+        let wake = |addr: SocketAddr| {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+        };
+        wake(self.addr);
+        if let Some(addr) = self.http_addr {
+            wake(addr);
+        }
+    }
+}
+
+/// A running network server over one [`FleetEngine`].
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    http: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds both listeners and starts the acceptor (and, if configured,
+    /// the HTTP shim) threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] if a bind fails.
+    pub fn start(engine: Arc<FleetEngine>, config: ServerConfig) -> Result<Server, NetError> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| NetError::Io(format!("bind {}: {e}", config.addr)))?;
+        let addr = listener.local_addr().map_err(|e| NetError::Io(e.to_string()))?;
+        let http_listener = match &config.http_addr {
+            Some(a) => Some(
+                TcpListener::bind(a).map_err(|e| NetError::Io(format!("bind http {a}: {e}")))?,
+            ),
+            None => None,
+        };
+        let http_addr = match &http_listener {
+            Some(l) => Some(l.local_addr().map_err(|e| NetError::Io(e.to_string()))?),
+            None => None,
+        };
+
+        let obs = NetObs::new(engine.registry());
+        let events = engine.events().clone();
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            obs,
+            events,
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            conn_threads: Mutex::new(Vec::new()),
+            next_conn_id: AtomicU64::new(1),
+            open_conns: AtomicU64::new(0),
+            addr,
+            http_addr,
+        });
+
+        let acceptor = {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("netserve-accept".into())
+                .spawn(move || accept_loop(&s, &listener))
+                .map_err(|e| NetError::Io(format!("spawn acceptor: {e}")))?
+        };
+        let http = match http_listener {
+            Some(l) => {
+                let s = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("netserve-http".into())
+                        .spawn(move || http::serve(&s, &l))
+                        .map_err(|e| NetError::Io(format!("spawn http: {e}")))?,
+                )
+            }
+            None => None,
+        };
+        Ok(Server { shared, acceptor: Some(acceptor), http })
+    }
+
+    /// The bound protocol address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The bound HTTP shim address, if enabled.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.shared.http_addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<FleetEngine> {
+        &self.shared.engine
+    }
+
+    /// Currently open protocol connections.
+    pub fn open_connections(&self) -> u64 {
+        self.shared.open_connections()
+    }
+
+    /// Whether shutdown has begun (via [`Server::shutdown`] or the wire
+    /// `Shutdown` opcode).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Gracefully stops the server: stops accepting, lets every connection
+    /// finish its in-flight request, joins all threads, and flushes the
+    /// engine so every accepted sample is fully processed. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.http.take() {
+            let _ = h.join();
+        }
+        let threads: Vec<_> =
+            self.shared.conn_threads.lock().expect("conn threads poisoned").drain(..).collect();
+        for h in threads {
+            let _ = h.join();
+        }
+        self.shared.engine.flush();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        // Reap finished connection threads so the handle list tracks open
+        // connections, not historical ones.
+        shared.conn_threads.lock().expect("conn threads poisoned").retain(|h| !h.is_finished());
+
+        if shared.open_conns.load(Ordering::Relaxed) >= shared.config.max_connections as u64 {
+            shared.obs.conn_rejected.inc();
+            refuse_connection(stream);
+            continue;
+        }
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let Ok(clone) = stream.try_clone() else { continue };
+        shared.conns.lock().expect("conns map poisoned").insert(conn_id, clone);
+        let n = shared.open_conns.fetch_add(1, Ordering::Relaxed) + 1;
+        shared.obs.connections.set(n as f64);
+        shared.obs.connections_total.inc();
+        shared.events.push(None, EventKind::NetConnOpened { conn: conn_id });
+
+        let s = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("netserve-conn-{conn_id}"))
+            .spawn(move || connection_loop(&s, stream, conn_id));
+        match handle {
+            Ok(h) => shared.conn_threads.lock().expect("conn threads poisoned").push(h),
+            Err(_) => close_connection(shared, conn_id, 0),
+        }
+    }
+}
+
+/// Tells an over-limit client why it is being dropped, best-effort.
+fn refuse_connection(mut stream: TcpStream) {
+    let resp = Response::Error {
+        code: ErrorCode::TooManyConnections,
+        detail: "connection limit reached".into(),
+    };
+    let frame = Frame { opcode: resp.opcode(), request_id: 0, payload: resp.encode_payload() };
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.write_all(&wire::encode(&frame));
+}
+
+/// Removes a connection from the shared map and updates gauge + events.
+fn close_connection(shared: &Arc<Shared>, conn_id: u64, requests: u64) {
+    shared.conns.lock().expect("conns map poisoned").remove(&conn_id);
+    let n = shared.open_conns.fetch_sub(1, Ordering::Relaxed) - 1;
+    shared.obs.connections.set(n as f64);
+    shared.events.push(None, EventKind::NetConnClosed { conn: conn_id, requests });
+}
+
+fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream, conn_id: u64) {
+    let _ = stream.set_nodelay(true);
+    let mut requests = 0u64;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match wire::read_frame(&mut stream, shared.config.max_frame_payload) {
+            Ok(frame) => {
+                requests += 1;
+                let started = Instant::now();
+                let (response, after) = dispatch(shared, &frame);
+                let out = Frame {
+                    opcode: response.opcode(),
+                    request_id: frame.request_id,
+                    payload: response.encode_payload(),
+                };
+                if matches!(response, Response::Error { .. }) {
+                    shared.obs.errors.inc();
+                }
+                let write_ok = wire::write_frame(&mut stream, &out).is_ok();
+                shared.obs.request_us.record(started.elapsed().as_micros() as f64);
+                match after {
+                    AfterReply::Continue if write_ok => {}
+                    AfterReply::Continue => {
+                        shared.obs.disconnects.inc();
+                        break;
+                    }
+                    AfterReply::Close => break,
+                    AfterReply::ShutdownServer => {
+                        shared.begin_shutdown();
+                        break;
+                    }
+                }
+            }
+            Err(WireError::Closed) => break,
+            Err(WireError::Io(_)) => {
+                // Mid-frame EOF or reset: the peer vanished (or shutdown
+                // unparked us). Not malformed — nothing decodable arrived.
+                if !shared.shutdown.load(Ordering::SeqCst) {
+                    shared.obs.disconnects.inc();
+                }
+                break;
+            }
+            Err(e) => {
+                // Undecodable frame: answer with a typed error, then close —
+                // after a framing error the byte stream cannot be trusted.
+                let code = match e {
+                    WireError::TooLarge { .. } => ErrorCode::PayloadTooLarge,
+                    WireError::BadVersion(_) => ErrorCode::UnsupportedVersion,
+                    WireError::TooShort(_)
+                    | WireError::BadCrc { .. }
+                    | WireError::BadReserved(_) => ErrorCode::BadFrame,
+                    WireError::Closed | WireError::Io(_) => unreachable!("handled above"),
+                };
+                shared.obs.malformed.inc();
+                shared
+                    .events
+                    .push(None, EventKind::NetMalformedFrame { conn: conn_id, code: code as u64 });
+                let resp = Response::Error { code, detail: e.to_string() };
+                let frame =
+                    Frame { opcode: resp.opcode(), request_id: 0, payload: resp.encode_payload() };
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+                let _ = wire::write_frame(&mut stream, &frame);
+                break;
+            }
+        }
+    }
+    close_connection(shared, conn_id, requests);
+}
+
+/// What the connection loop does after writing the response.
+enum AfterReply {
+    Continue,
+    Close,
+    ShutdownServer,
+}
+
+/// Decodes and serves one request against the engine.
+fn dispatch(shared: &Arc<Shared>, frame: &Frame) -> (Response, AfterReply) {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        let resp = Response::Error {
+            code: ErrorCode::ShuttingDown,
+            detail: "server is shutting down".into(),
+        };
+        return (resp, AfterReply::Close);
+    }
+    let request = match Request::decode(frame.opcode, &frame.payload) {
+        Ok(r) => r,
+        Err((code, detail)) => {
+            if code == ErrorCode::MalformedPayload {
+                shared.obs.malformed.inc();
+            }
+            return (Response::Error { code, detail }, AfterReply::Continue);
+        }
+    };
+    shared.obs.op_total
+        [OpCode::ALL.iter().position(|op| *op == request.opcode()).expect("opcode is in table")]
+    .inc();
+
+    let engine = &shared.engine;
+    let fleet_err = |e: FleetError| {
+        let code = match &e {
+            FleetError::UnknownStream(_) => ErrorCode::UnknownStream,
+            FleetError::DuplicateStream(_) => ErrorCode::DuplicateStream,
+            FleetError::InvalidConfig(_) => ErrorCode::InvalidConfig,
+            FleetError::Checkpoint(_) => ErrorCode::Checkpoint,
+            FleetError::Serving(_) => ErrorCode::Internal,
+        };
+        Response::Error { code, detail: e.to_string() }
+    };
+
+    let response = match request {
+        Request::Hello { .. } => Response::Hello {
+            version: PROTOCOL_VERSION,
+            shards: engine.config().shards as u16,
+            streams: engine.stream_count() as u64,
+        },
+        Request::Register { id } => {
+            match engine.register_with(id, &shared.config.stream_defaults) {
+                Ok(()) => Response::Register,
+                Err(e) => fleet_err(e),
+            }
+        }
+        Request::RegisterWith { id, tuning } => {
+            let config = StreamConfig {
+                train_size: tuning.train_size as usize,
+                qa_window: tuning.qa_window as usize,
+                qa_period: tuning.qa_period as usize,
+                qa_threshold: tuning.qa_threshold,
+                ..shared.config.stream_defaults.clone()
+            };
+            match engine.register_with(id, &config) {
+                Ok(()) => Response::RegisterWith,
+                Err(e) => fleet_err(e),
+            }
+        }
+        Request::Push { id, minute, value } => {
+            let report = match minute {
+                Some(m) => engine.push_at(id, m, value),
+                None => engine.push(id, value),
+            };
+            if report.rejected > 0 {
+                Response::Error {
+                    code: ErrorCode::Backpressure,
+                    detail: format!("stream {id}: queue full, sample rejected"),
+                }
+            } else {
+                Response::Push(report.into())
+            }
+        }
+        Request::PushBatch { samples } => Response::PushBatch(engine.push_batch(&samples).into()),
+        Request::Predict { id } => match engine.stream_info(id) {
+            Ok(info) => Response::Predict(PredictReply {
+                forecast: info.last_forecast,
+                health: info.health,
+                steps: info.steps,
+                forecasts: info.forecasts,
+            }),
+            Err(e) => fleet_err(e),
+        },
+        Request::StreamInfo { id } => match engine.stream_info(id) {
+            Ok(info) => Response::StreamInfo(StreamInfoReply {
+                shard: info.shard as u32,
+                steps: info.steps,
+                forecasts: info.forecasts,
+                next_minute: info.next_minute,
+                health: info.health,
+                last_forecast: info.last_forecast,
+                retrains: info.retrains as u64,
+            }),
+            Err(e) => fleet_err(e),
+        },
+        Request::Health => {
+            let h = engine.health();
+            Response::Health(HealthReply {
+                streams: h.streams as u64,
+                shards: engine.config().shards as u16,
+                pushes: h.pushes.into(),
+                steps: h.steps,
+                forecasts: h.forecasts,
+                nonfinite_forecasts: h.nonfinite_forecasts,
+                retrains: h.retrains,
+                degraded_streams: h.degraded_streams() as u64,
+                quarantined_streams: h.quarantined_streams() as u64,
+                queue_depth: h.shards.iter().map(|s| s.queue_depth as u64).sum(),
+                unknown_dropped: h.unknown_dropped(),
+            })
+        }
+        Request::Checkpoint => Response::Checkpoint(engine.checkpoint()),
+        Request::Evict { id } => match engine.evict(id) {
+            Ok(()) => Response::Evict,
+            Err(e) => fleet_err(e),
+        },
+        Request::Shutdown => return (Response::Shutdown, AfterReply::ShutdownServer),
+    };
+    (response, AfterReply::Continue)
+}

@@ -1,0 +1,184 @@
+//! Hostile-input hardening: corrupt CRCs, truncated frames, oversized
+//! declared lengths, unknown opcodes, and seeded random/mutated byte
+//! streams. The server must answer with a typed error or close cleanly —
+//! never panic, never allocate what a forged length field declares.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fleet::{FleetConfig, FleetEngine};
+use netserve::wire::{self, Frame};
+use netserve::{Client, ClientConfig, ErrorCode, OpCode, Response, Server, ServerConfig};
+use simrng::{Rng64, Xoshiro256pp};
+
+fn start_server() -> Server {
+    let engine = Arc::new(
+        FleetEngine::new(FleetConfig { shards: 1, fleet_seed: 13, ..FleetConfig::default() })
+            .expect("valid fleet config"),
+    );
+    Server::start(engine, ServerConfig { http_addr: None, ..ServerConfig::default() })
+        .expect("server starts")
+}
+
+fn raw_conn(server: &Server) -> TcpStream {
+    let stream = TcpStream::connect(server.addr()).expect("raw connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream
+}
+
+/// Reads the typed error the server answers with before closing.
+fn read_error(stream: &mut TcpStream) -> ErrorCode {
+    let reply = wire::read_frame(stream, 1 << 20).expect("server answers before closing");
+    assert_eq!(reply.request_id, 0, "framing errors are connection-level (request_id 0)");
+    match Response::decode(reply.opcode, &reply.payload).expect("decodable error frame") {
+        Response::Error { code, .. } => code,
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+}
+
+/// After the error the connection must be closed (framing state is lost).
+fn assert_closed(stream: &mut TcpStream) {
+    match wire::read_frame(stream, 1 << 20) {
+        Err(wire::WireError::Closed) => {}
+        other => panic!("connection must close after a framing error, got {other:?}"),
+    }
+}
+
+/// The server survives whatever the test threw at it.
+fn assert_still_serving(server: &Server) {
+    let config = ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        request_timeout: Duration::from_secs(5),
+        max_attempts: 2,
+        reconnect_base: Duration::from_millis(5),
+        ..ClientConfig::default()
+    };
+    let mut client = Client::connect(server.addr(), config).expect("server still accepts");
+    client.health().expect("server still answers");
+}
+
+#[test]
+fn corrupt_crc_gets_bad_frame_then_close() {
+    let server = start_server();
+    let mut stream = raw_conn(&server);
+    let frame = Frame { opcode: OpCode::Health as u8, request_id: 9, payload: Vec::new() };
+    let mut bytes = wire::encode(&frame);
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xA5; // corrupt the CRC trailer
+    stream.write_all(&bytes).expect("send");
+    assert_eq!(read_error(&mut stream), ErrorCode::BadFrame);
+    assert_closed(&mut stream);
+    assert_still_serving(&server);
+    assert!(server.engine().registry().counter("net_malformed_frames_total").get() >= 1);
+}
+
+#[test]
+fn truncated_frame_is_a_clean_disconnect() {
+    let server = start_server();
+    let mut stream = raw_conn(&server);
+    let frame = Frame { opcode: OpCode::Health as u8, request_id: 1, payload: vec![0; 64] };
+    let bytes = wire::encode(&frame);
+    stream.write_all(&bytes[..bytes.len() / 2]).expect("send half a frame");
+    stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+    // No decodable frame ever arrived: no reply, just a close.
+    assert_closed(&mut stream);
+    assert_still_serving(&server);
+}
+
+#[test]
+fn oversized_declared_length_is_rejected_before_allocation() {
+    let server = start_server();
+    let mut stream = raw_conn(&server);
+    // A forged prefix declaring ~4 GiB. The server must reject from the
+    // 4-byte declaration alone — were it to allocate, this test would OOM
+    // long before the assertion fails.
+    stream.write_all(&u32::MAX.to_le_bytes()).expect("send forged length");
+    assert_eq!(read_error(&mut stream), ErrorCode::PayloadTooLarge);
+    assert_closed(&mut stream);
+    assert_still_serving(&server);
+}
+
+#[test]
+fn unknown_opcode_keeps_the_connection_usable() {
+    let server = start_server();
+    let mut stream = raw_conn(&server);
+    // Valid framing, nonsense opcode: a *request* error, not a framing
+    // error — the byte stream is still in sync, so the connection lives.
+    let bogus = Frame { opcode: 0x77, request_id: 3, payload: vec![1, 2, 3] };
+    stream.write_all(&wire::encode(&bogus)).expect("send");
+    let reply = wire::read_frame(&mut stream, 1 << 20).expect("typed answer");
+    assert_eq!(reply.request_id, 3, "request-level errors keep their correlation id");
+    match Response::decode(reply.opcode, &reply.payload).expect("decodable") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownOpcode),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // Same connection, valid request: still served.
+    let health = Frame { opcode: OpCode::Health as u8, request_id: 4, payload: Vec::new() };
+    stream.write_all(&wire::encode(&health)).expect("send");
+    let reply = wire::read_frame(&mut stream, 1 << 20).expect("health reply");
+    assert_eq!(reply.request_id, 4);
+    assert!(matches!(
+        Response::decode(reply.opcode, &reply.payload).expect("decodable"),
+        Response::Health(_)
+    ));
+}
+
+#[test]
+fn malformed_payload_keeps_the_connection_usable() {
+    let server = start_server();
+    let mut stream = raw_conn(&server);
+    // Push opcode with a garbage payload: framing is fine, decoding isn't.
+    let bogus = Frame { opcode: OpCode::Push as u8, request_id: 5, payload: vec![0xFF; 3] };
+    stream.write_all(&wire::encode(&bogus)).expect("send");
+    let reply = wire::read_frame(&mut stream, 1 << 20).expect("typed answer");
+    assert_eq!(reply.request_id, 5);
+    match Response::decode(reply.opcode, &reply.payload).expect("decodable") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::MalformedPayload),
+        other => panic!("expected error, got {other:?}"),
+    }
+    let health = Frame { opcode: OpCode::Health as u8, request_id: 6, payload: Vec::new() };
+    stream.write_all(&wire::encode(&health)).expect("send");
+    assert_eq!(wire::read_frame(&mut stream, 1 << 20).expect("still served").request_id, 6);
+}
+
+/// Property test: seeded random byte blasts and bit-mutated valid frames.
+/// Whatever arrives, the server answers with a typed error or closes — and
+/// keeps serving fresh connections afterwards.
+#[test]
+fn fuzzed_byte_streams_never_take_the_server_down() {
+    let server = start_server();
+    let mut rng = Xoshiro256pp::seed_from_u64(0xF417);
+
+    for round in 0..60 {
+        let mut stream = raw_conn(&server);
+        let garbage: Vec<u8> = if round % 2 == 0 {
+            // Pure noise, 1..=256 bytes.
+            let len = 1 + (rng.next_u64() % 256) as usize;
+            (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect()
+        } else {
+            // A valid frame with 1..=4 mutated bytes — the harder case,
+            // because most of the frame still looks plausible.
+            let payload: Vec<u8> = (0..(rng.next_u64() % 48) as usize)
+                .map(|_| (rng.next_u64() & 0xFF) as u8)
+                .collect();
+            let frame = Frame {
+                opcode: OpCode::ALL[(rng.next_u64() % OpCode::ALL.len() as u64) as usize] as u8,
+                request_id: rng.next_u64(),
+                payload,
+            };
+            let mut bytes = wire::encode(&frame);
+            for _ in 0..=(rng.next_u64() % 4) {
+                let at = (rng.next_u64() % bytes.len() as u64) as usize;
+                bytes[at] ^= (1 << (rng.next_u64() % 8)) as u8;
+            }
+            bytes
+        };
+        let _ = stream.write_all(&garbage);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        // Drain whatever the server says until it closes; must never hang.
+        while wire::read_frame(&mut stream, 1 << 20).is_ok() {}
+    }
+    assert_still_serving(&server);
+}

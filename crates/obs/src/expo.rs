@@ -136,6 +136,13 @@ fn event_json(e: &Event) -> String {
             format!("\"streams\": {streams}, \"bytes\": {bytes}")
         }
         EventKind::StreamEvicted { idle } => format!("\"idle\": {idle}"),
+        EventKind::NetConnOpened { conn } => format!("\"conn\": {conn}"),
+        EventKind::NetConnClosed { conn, requests } => {
+            format!("\"conn\": {conn}, \"requests\": {requests}")
+        }
+        EventKind::NetMalformedFrame { conn, code } => {
+            format!("\"conn\": {conn}, \"code\": {code}")
+        }
     };
     format!(
         "{{\"seq\": {}, \"stream\": {stream}, \"kind\": {}, {payload}}}",
@@ -300,6 +307,9 @@ mod tests {
             EventKind::SelectorDecision { predictor: Some(2), rung: ServingRung::Degraded },
         );
         ring.push(None, EventKind::CheckpointSave { streams: 10, bytes: 4096 });
+        ring.push(None, EventKind::NetConnOpened { conn: 5 });
+        ring.push(None, EventKind::NetMalformedFrame { conn: 5, code: 1 });
+        ring.push(None, EventKind::NetConnClosed { conn: 5, requests: 0 });
         ring
     }
 
@@ -310,7 +320,7 @@ mod tests {
         assert!(text.contains("fleet_shard0_queue_depth 7\n"));
         assert!(text.contains("fleet_push_enqueue_us_count 4\n"));
         assert!(text.contains("_bucket{le=\"+Inf\"} 4"));
-        assert!(text.contains("obs_events_recorded_total 3"));
+        assert!(text.contains("obs_events_recorded_total 6"));
         // Every non-comment line is `name[{le}] <finite number>`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let value = line.rsplit(' ').next().unwrap();
@@ -335,7 +345,9 @@ mod tests {
     fn json_dump_validates_and_contains_all_sections() {
         let text = json(&sample_registry(), Some(&sample_ring()));
         validate_json(&text).expect("exposition must parse");
-        for key in ["counters", "gauges", "histograms", "events", "p99", "quarantine_enter"] {
+        for key in
+            ["counters", "gauges", "histograms", "events", "p99", "quarantine_enter", "net_conn"]
+        {
             assert!(text.contains(key), "missing {key} in {text}");
         }
         assert!(!text.contains("NaN") && !text.contains("inf"), "non-finite leaked: {text}");

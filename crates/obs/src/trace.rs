@@ -108,6 +108,27 @@ pub enum EventKind {
         /// True for idle-sweep expiry, false for explicit eviction.
         idle: bool,
     },
+    /// A network client connection was accepted.
+    NetConnOpened {
+        /// Server-assigned connection id.
+        conn: u64,
+    },
+    /// A network client connection ended (clean or not).
+    NetConnClosed {
+        /// Server-assigned connection id.
+        conn: u64,
+        /// Requests served on this connection.
+        requests: u64,
+    },
+    /// A frame failed to decode (bad CRC, truncation, oversized length,
+    /// unsupported version); the connection is usually closed after this.
+    NetMalformedFrame {
+        /// Server-assigned connection id.
+        conn: u64,
+        /// The wire error code sent back (see the netserve crate's
+        /// error-code table).
+        code: u64,
+    },
 }
 
 impl EventKind {
@@ -125,6 +146,9 @@ impl EventKind {
             EventKind::CheckpointSave { .. } => "checkpoint_save",
             EventKind::CheckpointRestore { .. } => "checkpoint_restore",
             EventKind::StreamEvicted { .. } => "stream_evicted",
+            EventKind::NetConnOpened { .. } => "net_conn_opened",
+            EventKind::NetConnClosed { .. } => "net_conn_closed",
+            EventKind::NetMalformedFrame { .. } => "net_malformed_frame",
         }
     }
 }
@@ -253,5 +277,8 @@ mod tests {
             "selector_decision"
         );
         assert_eq!(ServingRung::Degraded.name(), "degraded");
+        assert_eq!(EventKind::NetConnOpened { conn: 1 }.name(), "net_conn_opened");
+        assert_eq!(EventKind::NetConnClosed { conn: 1, requests: 9 }.name(), "net_conn_closed");
+        assert_eq!(EventKind::NetMalformedFrame { conn: 1, code: 2 }.name(), "net_malformed_frame");
     }
 }

@@ -1,0 +1,95 @@
+//! Remote serving: the fleet engine behind a TCP wire protocol.
+//!
+//! Starts a netserve server on an ephemeral localhost port, then talks to
+//! it the way a remote scheduler would — through a [`netserve::Client`],
+//! never touching the engine in-process: register a stream, push a noisy
+//! workload trace, read predictions, poll fleet health, download a
+//! checkpoint, and finally ask the server to shut down over the wire.
+//!
+//! Run with: `cargo run --example remote_serving`
+
+use std::sync::Arc;
+
+use fleet::{FleetConfig, FleetEngine};
+use netserve::{Client, ClientConfig, Server, ServerConfig};
+use vmsim::fleet_signal;
+
+fn main() {
+    // Server side: a 2-shard fleet engine fronted by the wire protocol.
+    // Port 0 picks an ephemeral port; a real deployment would bind a fixed
+    // address, e.g. "0.0.0.0:7070".
+    let engine = Arc::new(
+        FleetEngine::new(FleetConfig { shards: 2, fleet_seed: 42, ..FleetConfig::default() })
+            .expect("valid fleet config"),
+    );
+    let server =
+        Server::start(Arc::clone(&engine), ServerConfig::default()).expect("server starts");
+    println!("serving on     {}", server.addr());
+    if let Some(http) = server.http_addr() {
+        println!("observability  http://{http}/metrics and /healthz");
+    }
+
+    // Client side: everything below uses only the network address.
+    let mut client =
+        Client::connect(server.addr(), ClientConfig::default()).expect("client connects");
+    let info = client.server_info().expect("handshake completed");
+    println!(
+        "handshake      protocol v{} | {} shards | {} streams",
+        info.version, info.shards, info.streams
+    );
+
+    // One VM's CPU-load stream: register, then feed an hour of samples.
+    let vm = 7001;
+    client.register(vm).expect("register stream");
+    let mut signal = fleet_signal(42, vm);
+    let samples: Vec<(u64, f64)> = (0..600).map(|minute| (vm, signal.sample(minute))).collect();
+    for chunk in samples.chunks(128) {
+        let outcome = client.push_batch(chunk).expect("push batch");
+        assert_eq!(outcome.rejected, 0, "default policy never rejects here");
+    }
+
+    // Ingestion is asynchronous: push_batch acks once samples are queued,
+    // and shard workers drain in the background. Poll fleet health until
+    // every sample has been applied so the reads below are settled.
+    while client.health().expect("health").steps < samples.len() as u64 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    let prediction = client.predict(vm).expect("predict");
+    println!(
+        "prediction     vm {vm}: forecast {:?} | health {:?} | {} steps served",
+        prediction.forecast, prediction.health, prediction.steps
+    );
+
+    let info = client.stream_info(vm).expect("stream info");
+    println!(
+        "stream info    shard {} | next minute {} | retrains {}",
+        info.shard, info.next_minute, info.retrains
+    );
+
+    let health = client.health().expect("health");
+    println!(
+        "fleet health   {} streams | {} shards | {} steps | {} forecasts | {} degraded",
+        health.streams, health.shards, health.steps, health.forecasts, health.degraded_streams
+    );
+
+    // Disaster-recovery path: the checkpoint travels over the wire and can
+    // seed a fresh engine (even with a different shard count) elsewhere.
+    let snapshot = client.checkpoint().expect("checkpoint");
+    let restored = FleetEngine::restore(
+        FleetConfig { shards: 4, fleet_seed: 42, ..FleetConfig::default() },
+        &snapshot,
+    )
+    .expect("restore from wire bytes");
+    println!(
+        "checkpoint     {} bytes over the wire; restored onto {} shards with {} streams",
+        snapshot.len(),
+        4,
+        restored.stream_count()
+    );
+
+    // Graceful remote shutdown: the ack is the last frame served.
+    client.shutdown_server().expect("shutdown acked");
+    drop(server); // joins acceptor, HTTP shim, and connection threads
+    println!("shutdown       drained and joined; done");
+}

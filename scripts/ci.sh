@@ -45,6 +45,20 @@ if [[ "$QUICK" -eq 0 ]]; then
   if grep -v '^#' <<<"$OBS_PROM" | awk '{v=$NF} v != v+0 || v < 0 {print "bad sample: " $0; bad=1} END {exit bad}'; then :; else
     echo "obs_dump prometheus has NaN or negative samples"; exit 1
   fi
+  echo "==> net_loadgen smoke (wire protocol server + 8 clients, short burst)"
+  # Starts an ephemeral netserve server in-process, drives 8 client
+  # connections for ~1s, scrapes /metrics and /healthz from the HTTP shim
+  # mid-run, self-validates the JSON report (strict no-NaN parser), and
+  # asserts lossless ingestion. The scrape results surface as fields we can
+  # grep without racing an external curl against an ephemeral port.
+  NET_JSON="$(cargo run --release -q -p netserve --bin net_loadgen -- \
+      --clients 8 --streams 200 --shards 4 --duration 1 \
+      --out target/BENCH_net_ci.json)"
+  for field in '"healthz_ok": true' '"metrics_scrape_ok": true' \
+               '"rejected": 0' '"rtt_p99_us"' '"samples_per_sec"' \
+               '"net_op_push_batch_total"'; do
+    grep -qF "$field" <<<"$NET_JSON" || { echo "net_loadgen report missing $field"; exit 1; }
+  done
 fi
 
 echo "CI gate passed."
