@@ -1,0 +1,85 @@
+//! The perf gate behind the zero-allocation hot path: once a stream is warm
+//! (trained, scratch sized, rolling state primed), the steady-state
+//! sanitize → normalize → classify → predict step must not touch the heap.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator for this test
+//! binary; the test warms a guarded stack past training, then asserts that
+//! thousands of further steps perform zero allocations. Regressions here are
+//! invisible to correctness tests but show up directly as fleet throughput
+//! loss, so this pins the property rather than the symptom.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use larp::{GuardedLarp, IngestConfig, LarpConfig, QualityAssuror, Scratch};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// A smooth but non-trivial signal: no gaps, no outliers, so the sanitizer
+/// passes every value through and the predictor stays healthy.
+fn signal(minute: u64) -> f64 {
+    40.0 + (minute as f64 * 0.17).sin() * 6.0 + (minute as f64 * 0.031).cos() * 2.5
+}
+
+#[test]
+fn steady_state_online_step_does_not_allocate() {
+    // A QA threshold this high never signals a retrain, so the measured
+    // window exercises exactly the steady-state serving path.
+    let qa = QualityAssuror::new(1e12, 8, 4).expect("valid QA config");
+    let mut guarded = GuardedLarp::new(IngestConfig::default(), LarpConfig::default(), 40, qa)
+        .expect("valid guarded stack");
+    let mut scratch = Scratch::new();
+    let mut steps = Vec::new();
+
+    // Warm-up: initial training, scratch sizing, QA window growth, first
+    // ring compactions and rolling resummations all happen here.
+    for minute in 0..2048u64 {
+        guarded.ingest_into(minute, signal(minute), &mut scratch, &mut steps);
+    }
+    let retrains_before = guarded.online().retrain_count();
+    assert!(retrains_before >= 1, "stream must be trained before measurement");
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let mut forecasts = 0u64;
+    for minute in 2048..6144u64 {
+        guarded.ingest_into(minute, signal(minute), &mut scratch, &mut steps);
+        forecasts += steps.iter().filter(|s| s.forecast.is_some()).count() as u64;
+    }
+    let allocations = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+
+    // The measured window must have done real serving work, entirely on the
+    // steady-state path.
+    assert_eq!(forecasts, 4096, "every measured step should forecast");
+    assert_eq!(
+        guarded.online().retrain_count(),
+        retrains_before,
+        "a retrain inside the measured window would invalidate the steady-state claim"
+    );
+    assert_eq!(allocations, 0, "steady-state online step allocated {allocations} times");
+}

@@ -7,7 +7,9 @@
 //! JSON object on stdout. With `--duration SECONDS` the run is time-boxed
 //! instead: full rounds are pushed until the budget elapses (at least one
 //! round always runs, and rounds finish once started — sample accounting
-//! stays exact).
+//! stays exact). With `--ab` the binary instead runs interleaved pairs of
+//! scratch-reuse and allocating engines (the `reuse_scratch` config knob) and
+//! reports the per-arm throughputs plus the median speedup.
 //!
 //! Run with:
 //! `cargo run --release -p fleet --bin fleet_throughput -- --streams 1000 --samples 60 --shards 4`
@@ -28,10 +30,13 @@ struct Args {
     seed: u64,
     /// Wall-clock budget in seconds; caps the run at round granularity.
     duration: Option<f64>,
+    /// Interleaved A/B: alternate scratch-reuse and allocating engines.
+    ab: bool,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { streams: 1000, samples: 60, shards: 4, seed: 2007, duration: None };
+    let mut args =
+        Args { streams: 1000, samples: 60, shards: 4, seed: 2007, duration: None, ab: false };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut take = |name: &str| {
@@ -44,6 +49,7 @@ fn parse_args() -> Args {
             "--samples" => args.samples = take("--samples"),
             "--shards" => args.shards = take("--shards") as usize,
             "--seed" => args.seed = take("--seed"),
+            "--ab" => args.ab = true,
             "--duration" => {
                 let v = it.next().unwrap_or_else(|| panic!("--duration expects a value"));
                 let secs = v
@@ -54,15 +60,94 @@ fn parse_args() -> Args {
                 args.duration = Some(secs);
             }
             other => panic!(
-                "unknown flag {other}; supported: --streams --samples --shards --seed --duration"
+                "unknown flag {other}; supported: --streams --samples --shards --seed --duration --ab"
             ),
         }
     }
     args
 }
 
+/// One complete lossless run with the given scratch policy; returns
+/// samples/sec. Used by the interleaved A/B mode, where per-push latency
+/// tracking would only add noise to the comparison.
+fn run_arm(args: &Args, reuse_scratch: bool) -> f64 {
+    let engine = FleetEngine::new(FleetConfig {
+        shards: args.shards,
+        backpressure: BackpressurePolicy::Block,
+        queue_capacity: 8192,
+        fleet_seed: args.seed,
+        reuse_scratch,
+        ..FleetConfig::default()
+    })
+    .expect("valid fleet config");
+    let mut signals: Vec<_> = (0..args.streams)
+        .map(|id| {
+            engine.register(id).expect("fresh stream id");
+            fleet_signal(args.seed, id)
+        })
+        .collect();
+    let started = Instant::now();
+    let mut batch: Vec<(StreamId, f64)> = Vec::with_capacity(PUSH_CHUNK);
+    for minute in 0..args.samples {
+        for (id, signal) in signals.iter_mut().enumerate() {
+            batch.push((id as StreamId, signal.sample(minute)));
+            if batch.len() == PUSH_CHUNK {
+                engine.push_batch(&batch);
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            engine.push_batch(&batch);
+            batch.clear();
+        }
+    }
+    engine.flush();
+    let elapsed = started.elapsed().as_secs_f64();
+    let total = args.streams * args.samples;
+    let health = engine.health();
+    assert_eq!(health.pushes.accepted, total, "Block backpressure must be lossless");
+    assert_eq!(health.nonfinite_forecasts, 0, "non-finite forecast escaped the fleet");
+    total as f64 / elapsed
+}
+
+/// Interleaved A/B: alternate reuse/alloc engines so scheduler drift and
+/// thermal state land on both arms equally, then compare medians.
+fn run_ab(args: &Args) {
+    const PAIRS: usize = 3;
+    let mut reuse = Vec::with_capacity(PAIRS);
+    let mut alloc = Vec::with_capacity(PAIRS);
+    for _ in 0..PAIRS {
+        reuse.push(run_arm(args, true));
+        alloc.push(run_arm(args, false));
+    }
+    let median = |xs: &[f64]| {
+        let mut s = xs.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("throughputs are finite"));
+        s[s.len() / 2]
+    };
+    let (reuse_med, alloc_med) = (median(&reuse), median(&alloc));
+    let join = |xs: &[f64]| xs.iter().map(|v| format!("{v:.0}")).collect::<Vec<_>>().join(", ");
+    println!("{{");
+    println!("  \"mode\": \"ab\",");
+    println!("  \"streams\": {},", args.streams);
+    println!("  \"samples_per_stream\": {},", args.samples);
+    println!("  \"shards\": {},", args.shards);
+    println!("  \"seed\": {},", args.seed);
+    println!("  \"pairs\": {PAIRS},");
+    println!("  \"reuse_scratch_sps\": [{}],", join(&reuse));
+    println!("  \"alloc_sps\": [{}],", join(&alloc));
+    println!("  \"reuse_scratch_median_sps\": {reuse_med:.0},");
+    println!("  \"alloc_median_sps\": {alloc_med:.0},");
+    println!("  \"speedup\": {:.3}", reuse_med / alloc_med);
+    println!("}}");
+}
+
 fn main() {
     let args = parse_args();
+    if args.ab {
+        run_ab(&args);
+        return;
+    }
     let engine = FleetEngine::new(FleetConfig {
         shards: args.shards,
         // Lossless under sustained overload: the producer stalls instead of

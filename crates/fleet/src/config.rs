@@ -39,6 +39,11 @@ pub struct FleetConfig {
     /// ([`crate::FleetEngine::events`]); overflow evicts the oldest events
     /// and counts them.
     pub event_capacity: usize,
+    /// Reuse one scratch arena per shard worker across every stream it
+    /// serves, making the steady-state feed path allocation-free. `false`
+    /// reverts to per-sample allocation — kept only as the control arm for
+    /// A/B throughput measurement (`fleet_throughput --ab`).
+    pub reuse_scratch: bool,
 }
 
 impl Default for FleetConfig {
@@ -50,6 +55,7 @@ impl Default for FleetConfig {
             fleet_seed: 2007,
             batch_drain: 64,
             event_capacity: 1024,
+            reuse_scratch: true,
         }
     }
 }

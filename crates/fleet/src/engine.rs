@@ -90,7 +90,9 @@ impl FleetEngine {
                 let s = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("fleet-shard-{i}"))
-                    .spawn(move || s.shards[i].worker_loop(s.config.batch_drain))
+                    .spawn(move || {
+                        s.shards[i].worker_loop(s.config.batch_drain, s.config.reuse_scratch)
+                    })
                     .map_err(|e| FleetError::Serving(format!("cannot spawn shard worker: {e}")))
             })
             .collect::<Result<Vec<_>>>()?;
@@ -190,21 +192,35 @@ impl FleetEngine {
     /// shard's worker preserves queue order, so per-stream processing order
     /// equals push order regardless of shard count.
     pub fn push_batch(&self, batch: &[(StreamId, f64)]) -> PushReport {
-        let shards = self.shared.config.shards;
-        let mut grouped: Vec<Vec<Job>> = vec![Vec::new(); shards];
-        for &(id, value) in batch {
-            let seq = self.shared.push_seq.fetch_add(1, Ordering::Relaxed) + 1;
-            grouped[self.shard_for(id)].push(Job { stream: id, minute: None, value, seq });
+        // The per-shard grouping buffers persist per producer thread: a
+        // steady producer pays the grouping allocation once, not per batch.
+        thread_local! {
+            static GROUPED: std::cell::RefCell<Vec<Vec<Job>>> =
+                const { std::cell::RefCell::new(Vec::new()) };
         }
-        let mut report = PushReport::default();
-        let started = Instant::now();
-        for (shard, jobs) in grouped.iter().enumerate() {
-            if !jobs.is_empty() {
-                self.enqueue(shard, jobs, &mut report);
+        GROUPED.with(|cell| {
+            let mut grouped = cell.borrow_mut();
+            let shards = self.shared.config.shards;
+            if grouped.len() < shards {
+                grouped.resize_with(shards, Vec::new);
             }
-        }
-        self.account(report, started);
-        report
+            for g in grouped.iter_mut() {
+                g.clear();
+            }
+            for &(id, value) in batch {
+                let seq = self.shared.push_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                grouped[self.shard_for(id)].push(Job { stream: id, minute: None, value, seq });
+            }
+            let mut report = PushReport::default();
+            let started = Instant::now();
+            for (shard, jobs) in grouped.iter().enumerate().take(shards) {
+                if !jobs.is_empty() {
+                    self.enqueue(shard, jobs, &mut report);
+                }
+            }
+            self.account(report, started);
+            report
+        })
     }
 
     /// Enqueues jobs on one shard, applying the backpressure policy per
@@ -689,6 +705,34 @@ mod tests {
         assert!(!engine.contains(2));
         // A generous horizon evicts nothing.
         assert!(engine.sweep_idle(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_allocating_path() {
+        // The reuse_scratch knob trades allocation for none — never results.
+        // Drive the same workload through both arms and compare every
+        // stream's serving outcome exactly.
+        let run = |reuse_scratch: bool| {
+            let engine = FleetEngine::new(FleetConfig {
+                shards: 2,
+                backpressure: BackpressurePolicy::Block,
+                reuse_scratch,
+                ..FleetConfig::default()
+            })
+            .unwrap();
+            for id in 0..6u64 {
+                engine.register(id).unwrap();
+            }
+            for m in 0..120u64 {
+                let batch: Vec<(StreamId, f64)> = (0..6)
+                    .map(|id| (id, 40.0 + ((m * 7 + id) as f64 * 0.23).sin() * 9.0))
+                    .collect();
+                engine.push_batch(&batch);
+            }
+            engine.flush();
+            (0..6).map(|id| engine.stream_info(id).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 
-use larp::{GuardedLarp, HealthState};
+use larp::{GuardedLarp, HealthState, OnlineStep, Scratch};
 use obs::{Counter, Gauge, Registry};
 use simrng::{Rng64, SplitMix64};
 
@@ -86,20 +86,48 @@ impl StreamSlot {
         }
     }
 
-    /// Feeds one sample through the guarded stack, updating serving stats.
+    /// Feeds one sample through the guarded stack, allocating per call.
+    /// The control arm for A/B measurement; serving workers use
+    /// [`feed_with`](Self::feed_with).
     pub(crate) fn feed(&mut self, job: &Job) {
+        let minute = self.clock(job);
+        for step in self.guarded.ingest(minute, job.value) {
+            self.absorb(&step);
+        }
+    }
+
+    /// Feeds one sample through the guarded stack reusing the worker's
+    /// scratch arena and step buffer — the allocation-free serving path.
+    pub(crate) fn feed_with(
+        &mut self,
+        job: &Job,
+        scratch: &mut Scratch,
+        steps: &mut Vec<OnlineStep>,
+    ) {
+        let minute = self.clock(job);
+        self.guarded.ingest_into(minute, job.value, scratch, steps);
+        for step in steps.iter() {
+            self.absorb(step);
+        }
+    }
+
+    /// Advances the stream clock for `job`, returning the sample minute.
+    fn clock(&mut self, job: &Job) -> u64 {
         let minute = job.minute.unwrap_or(self.next_minute);
         self.next_minute = self.next_minute.max(minute.saturating_add(1));
         self.last_seq = job.seq;
-        for step in self.guarded.ingest(minute, job.value) {
-            self.steps += 1;
-            self.last_health = step.health;
-            if let Some(f) = step.forecast {
-                self.forecasts += 1;
-                self.last_forecast = Some(f);
-                if !f.is_finite() {
-                    self.nonfinite += 1;
-                }
+        minute
+    }
+
+    /// Folds one serving step into the slot's tallies.
+    fn absorb(&mut self, step: &OnlineStep) {
+        self.steps += 1;
+        self.last_health = step.health;
+        if let Some(f) = step.forecast {
+            self.forecasts += 1;
+            self.last_forecast = Some(f);
+            if !f.is_finite() {
+                self.nonfinite += 1;
             }
         }
     }
@@ -136,8 +164,14 @@ impl ShardState {
 
     /// The worker loop: drain up to `batch_drain` samples, feed them, repeat
     /// until shutdown with an empty queue.
-    pub(crate) fn worker_loop(&self, batch_drain: usize) {
+    ///
+    /// With `reuse_scratch` the worker owns one scratch arena and step buffer
+    /// shared across every stream it serves — slots only borrow them for the
+    /// duration of one sample, so the steady-state loop never allocates.
+    pub(crate) fn worker_loop(&self, batch_drain: usize, reuse_scratch: bool) {
         let mut batch: Vec<Job> = Vec::with_capacity(batch_drain);
+        let mut scratch = Scratch::new();
+        let mut steps: Vec<OnlineStep> = Vec::new();
         loop {
             {
                 let mut q = self.queue.lock().expect("shard queue poisoned");
@@ -161,6 +195,9 @@ impl ShardState {
                 let mut streams = self.streams.lock().expect("shard stream map poisoned");
                 for job in &batch {
                     match streams.get_mut(&job.stream) {
+                        Some(slot) if reuse_scratch => {
+                            slot.feed_with(job, &mut scratch, &mut steps);
+                        }
                         Some(slot) => slot.feed(job),
                         None => {
                             self.unknown_dropped.inc();

@@ -25,6 +25,7 @@ use std::collections::VecDeque;
 use timeseries::stats;
 
 use crate::config::LarpConfig;
+use crate::model::Scratch;
 use crate::online::{OnlineLarp, OnlineStep};
 use crate::qa::QualityAssuror;
 use crate::{LarpError, Result};
@@ -165,6 +166,13 @@ pub struct Sanitizer {
     /// Whether the current run has already been counted.
     pub(crate) stuck_counted: bool,
     pub(crate) stats: IngestStats,
+    /// Sorted mirror of `recent`, maintained incrementally (binary-search
+    /// insert/remove per sample — far cheaper than re-sorting the window for
+    /// every median). Runtime-only, never snapshotted; rebuilt on restore.
+    /// Kept empty when the outlier policy never reads it.
+    pub(crate) robust_scratch: Vec<f64>,
+    /// Absolute-deviation buffer for the MAD (runtime-only scratch).
+    pub(crate) dev_scratch: Vec<f64>,
 }
 
 impl Sanitizer {
@@ -184,6 +192,8 @@ impl Sanitizer {
             stuck_len: 0,
             stuck_counted: false,
             stats: IngestStats::default(),
+            robust_scratch: Vec::new(),
+            dev_scratch: Vec::new(),
         })
     }
 
@@ -191,13 +201,23 @@ impl Sanitizer {
     /// in time order (empty for a dropped duplicate, more than one when a gap
     /// is filled). Every returned value is finite.
     pub fn ingest(&mut self, minute: u64, value: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.ingest_into(minute, value, &mut out);
+        out
+    }
+
+    /// [`Sanitizer::ingest`] writing the clean values into a caller-owned
+    /// buffer (cleared first) instead of allocating a fresh `Vec` per
+    /// reading.
+    pub fn ingest_into(&mut self, minute: u64, value: f64, out: &mut Vec<f64>) {
+        out.clear();
         self.stats.received += 1;
 
         // Duplicates and time reversals are transport artifacts: drop them.
         if let Some(last) = self.last_minute {
             if minute <= last {
                 self.stats.duplicates_dropped += 1;
-                return Vec::new();
+                return;
             }
         }
 
@@ -207,10 +227,9 @@ impl Sanitizer {
             // wait for a real value but advance time so a later reading at
             // this minute counts as a duplicate.
             self.last_minute = Some(minute);
-            return Vec::new();
+            return;
         };
 
-        let mut out = Vec::with_capacity(1);
         if let (Some(last_minute), Some(last_value)) = (self.last_minute, self.last_value) {
             let missing = (minute - last_minute).saturating_sub(1) as usize;
             if missing > 0 {
@@ -235,14 +254,34 @@ impl Sanitizer {
         self.last_minute = Some(minute);
         self.last_value = Some(repaired);
         self.last_raw = Some(value);
-        for &v in &out {
+        let keep_mirror = matches!(self.config.outlier, OutlierPolicy::MadClamp { .. });
+        for &v in out.iter() {
             self.recent.push_back(v);
+            if keep_mirror {
+                let at = self.robust_scratch.partition_point(|&x| x.total_cmp(&v).is_lt());
+                self.robust_scratch.insert(at, v);
+            }
             if self.recent.len() > self.config.robust_window {
-                self.recent.pop_front();
+                let evicted = self.recent.pop_front().expect("len > window >= 4");
+                if keep_mirror {
+                    let at =
+                        self.robust_scratch.partition_point(|&x| x.total_cmp(&evicted).is_lt());
+                    debug_assert!(self.robust_scratch[at].to_bits() == evicted.to_bits());
+                    self.robust_scratch.remove(at);
+                }
             }
         }
         self.stats.emitted += out.len();
-        out
+    }
+
+    /// Rebuilds the sorted mirror of `recent` after a snapshot restore (the
+    /// mirror is runtime-only state and is never serialized).
+    pub(crate) fn rebuild_robust_mirror(&mut self) {
+        self.robust_scratch.clear();
+        if matches!(self.config.outlier, OutlierPolicy::MadClamp { .. }) {
+            self.robust_scratch.extend(self.recent.iter().copied());
+            self.robust_scratch.sort_unstable_by(f64::total_cmp);
+        }
     }
 
     /// Repairs one value: NaN/sentinel replacement, then outlier clamping.
@@ -269,12 +308,18 @@ impl Sanitizer {
         if self.recent.len() < self.config.robust_window / 2 {
             return value;
         }
-        let window: Vec<f64> = self.recent.iter().copied().collect();
-        let Ok(med) = stats::median(&window) else {
+        // `robust_scratch` is a sorted mirror of the window, so the median is
+        // a direct read; a median is invariant to input order, so the mirror
+        // gives bit-identical answers to re-sorting the window each time. The
+        // MAD goes through an O(n) selection rather than a sort — also
+        // order-invariant, also bit-identical (see `stats::quantile_select`).
+        debug_assert_eq!(self.robust_scratch.len(), self.recent.len());
+        let Ok(med) = stats::quantile_sorted(&self.robust_scratch, 0.5) else {
             return value;
         };
-        let deviations: Vec<f64> = window.iter().map(|x| (x - med).abs()).collect();
-        let Ok(mad) = stats::median(&deviations) else {
+        self.dev_scratch.clear();
+        self.dev_scratch.extend(self.robust_scratch.iter().map(|x| (x - med).abs()));
+        let Ok(mad) = stats::quantile_select(&mut self.dev_scratch, 0.5) else {
             return value;
         };
         // 1.4826 · MAD estimates sigma for Gaussian data; the floor keeps a
@@ -365,15 +410,42 @@ impl GuardedLarp {
     /// Ingests one raw reading; returns one [`OnlineStep`] per clean sample
     /// that reached the predictor (empty for dropped readings).
     pub fn ingest(&mut self, minute: u64, value: f64) -> Vec<OnlineStep> {
+        // Reuse the online layer's internal scratch (moved out and back — a
+        // pointer swap) so only the returned Vec allocates.
+        let mut scratch = std::mem::take(&mut self.online.scratch);
+        let mut out = Vec::new();
+        self.ingest_into(minute, value, &mut scratch, &mut out);
+        self.online.scratch = scratch;
+        out
+    }
+
+    /// [`GuardedLarp::ingest`] with caller-owned buffers: the steps land in
+    /// `out` (cleared first) and all sanitizer/predictor work runs in
+    /// `scratch`. The fleet serving layer keeps one scratch and one step
+    /// buffer per shard worker, making its steady-state feed allocation-free.
+    pub fn ingest_into(
+        &mut self,
+        minute: u64,
+        value: f64,
+        scratch: &mut Scratch,
+        out: &mut Vec<OnlineStep>,
+    ) {
+        out.clear();
         let before = self.sanitizer.stats.faults_sanitized();
-        let clean = self.sanitizer.ingest(minute, value);
+        // The clean buffer moves out of the scratch so the rest of the
+        // scratch can be lent to the per-value push below.
+        let mut clean = std::mem::take(&mut scratch.clean);
+        self.sanitizer.ingest_into(minute, value, &mut clean);
         let repairs = self.sanitizer.stats.faults_sanitized() - before;
         if repairs > 0 {
             if let Some(obs) = self.online.obs() {
                 obs.record_sanitized(repairs as u64);
             }
         }
-        clean.into_iter().map(|v| self.online.push(v)).collect()
+        for &v in &clean {
+            out.push(self.online.push_with(v, scratch));
+        }
+        scratch.clean = clean;
     }
 
     /// The sanitizer layer.

@@ -68,7 +68,11 @@ pub fn label_windows_parallel(
     }
     let frames = prepare(pool, train, window)?;
     let total = frames.count_with_targets();
-    if threads == 1 || total < 4 * threads {
+    // Spawning a thread costs far more than labelling a few dozen tiny
+    // windows: the online serving path retrains on ~40-sample tails, and
+    // fanning those out ate the entire retrain budget in thread setup. Only
+    // go wide when there is real work to split.
+    if threads == 1 || total < 256 {
         return label_windows(pool, train, window);
     }
     let chunk = total.div_ceil(threads);

@@ -57,6 +57,7 @@ pub mod observe;
 pub mod online;
 pub mod parallel;
 pub mod qa;
+mod ring;
 pub mod selector;
 pub mod snapshot;
 
@@ -64,7 +65,7 @@ pub use config::{LarpConfig, ResilienceConfig};
 pub use diagnose::{assess, Applicability, Recommendation};
 pub use eval::{run_selector, SelectorRun, TraceReport};
 pub use ingest::{GapFill, GuardedLarp, IngestConfig, IngestStats, OutlierPolicy, Sanitizer};
-pub use model::TrainedLarp;
+pub use model::{Scratch, TrainedLarp};
 pub use observe::LarpObs;
 pub use online::{HealthState, OnlineCounters, OnlineLarp, OnlineStep};
 pub use qa::QualityAssuror;

@@ -10,6 +10,45 @@ use crate::labeler::label_windows_parallel;
 use crate::selector::KnnSelector;
 use crate::{LarpError, Result};
 
+/// Caller-owned reusable buffers for the allocation-free serving path.
+///
+/// One `Scratch` per stream (or per shard worker, reused across the streams it
+/// serves) lets the steady-state push → classify → predict cycle run without
+/// touching the heap: every `_into` method writes into these buffers instead
+/// of returning fresh `Vec`s. Buffers keep their capacity across calls, so
+/// after the first few steps every field is a straight reuse.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Projected feature vector (PCA output, or the raw window when reduction
+    /// is disabled).
+    pub(crate) features: Vec<f64>,
+    /// The k nearest `(label, squared distance)` pairs.
+    pub(crate) neighbors: Vec<(usize, f64)>,
+    /// Per-pool-member vote counts for ranked selection.
+    pub(crate) votes: Vec<usize>,
+    /// Per-pool-member nearest-neighbour distance for ranked selection.
+    pub(crate) nearest: Vec<f64>,
+    /// Ranked predictor ids, most preferred first.
+    pub(crate) ranked: Vec<PredictorId>,
+    /// Rolling window for iterated horizon forecasting.
+    pub(crate) rolling: Vec<f64>,
+    /// Sanitized values produced by one ingest step.
+    pub(crate) clean: Vec<f64>,
+}
+
+impl Scratch {
+    /// Creates an empty scratch; buffers grow to their steady-state sizes on
+    /// first use and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ranking produced by the last [`TrainedLarp::select_ranked_into`].
+    pub fn ranked(&self) -> &[PredictorId] {
+        &self.ranked
+    }
+}
+
 /// A LARPredictor after its training phase (paper §6.1).
 ///
 /// Holds everything the testing phase needs: the train-derived z-score
@@ -129,6 +168,18 @@ impl TrainedLarp {
     /// Returns [`LarpError::InvalidConfig`] if `window.len()` differs from the
     /// configured `m`.
     pub fn features_for(&self, window: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.features_for_into(window, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`TrainedLarp::features_for`] writing into a caller-owned buffer
+    /// (cleared first) instead of allocating.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TrainedLarp::features_for`].
+    pub fn features_for_into(&self, window: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if window.len() != self.config.window {
             return Err(LarpError::InvalidConfig(format!(
                 "window length {} does not match configured m = {}",
@@ -136,10 +187,14 @@ impl TrainedLarp {
                 self.config.window
             )));
         }
-        Ok(match &self.pca {
-            Some(p) => p.transform(window)?,
-            None => window.to_vec(),
-        })
+        match &self.pca {
+            Some(p) => p.transform_into(window, out)?,
+            None => {
+                out.clear();
+                out.extend_from_slice(window);
+            }
+        }
+        Ok(())
     }
 
     /// Testing-phase selection (paper §6.2): forecasts the best predictor for
@@ -175,6 +230,20 @@ impl TrainedLarp {
     ///
     /// Returns [`LarpError::InsufficientData`] if `history` is shorter than `m`.
     pub fn select_ranked(&self, history: &[f64]) -> Result<Vec<PredictorId>> {
+        let mut scratch = Scratch::new();
+        self.select_ranked_into(history, &mut scratch)?;
+        Ok(scratch.ranked)
+    }
+
+    /// [`TrainedLarp::select_ranked`] writing into caller-owned scratch; the
+    /// ranking lands in [`Scratch::ranked`]. Allocation-free once the scratch
+    /// buffers have reached their steady-state sizes (a pool-sized ranking
+    /// sorts with insertion sort, which needs no buffer).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TrainedLarp::select_ranked`].
+    pub fn select_ranked_into(&self, history: &[f64], scratch: &mut Scratch) -> Result<()> {
         let m = self.config.window;
         if history.len() < m {
             return Err(LarpError::InsufficientData(format!(
@@ -183,13 +252,16 @@ impl TrainedLarp {
             )));
         }
         let window = &history[history.len() - m..];
-        let features = self.features_for(window)?;
-        let neighbors = self.knn.neighbors(&features)?;
+        let Scratch { features, neighbors, votes, nearest, ranked, .. } = scratch;
+        self.features_for_into(window, features)?;
+        self.knn.neighbors_into(features, neighbors)?;
 
         // (votes, nearest distance) per pool member.
-        let mut votes = vec![0usize; self.pool.len()];
-        let mut nearest = vec![f64::INFINITY; self.pool.len()];
-        for (label, dist) in neighbors {
+        votes.clear();
+        votes.resize(self.pool.len(), 0);
+        nearest.clear();
+        nearest.resize(self.pool.len(), f64::INFINITY);
+        for &(label, dist) in neighbors.iter() {
             if label < self.pool.len() {
                 votes[label] += 1;
                 if dist < nearest[label] {
@@ -197,11 +269,15 @@ impl TrainedLarp {
                 }
             }
         }
-        let mut order: Vec<usize> = (0..self.pool.len()).collect();
-        order.sort_by(|&a, &b| {
-            votes[b].cmp(&votes[a]).then(nearest[a].total_cmp(&nearest[b])).then(a.cmp(&b))
+        ranked.clear();
+        ranked.extend((0..self.pool.len()).map(PredictorId));
+        ranked.sort_by(|a, b| {
+            votes[b.0]
+                .cmp(&votes[a.0])
+                .then(nearest[a.0].total_cmp(&nearest[b.0]))
+                .then(a.0.cmp(&b.0))
         });
-        Ok(order.into_iter().map(PredictorId).collect())
+        Ok(())
     }
 
     /// Runs one specific pool member on a *raw-scale* history: normalises with
@@ -230,6 +306,34 @@ impl TrainedLarp {
         }
         let normalized = self.zscore.apply_slice(history);
         Ok(self.zscore.invert(self.pool.predict_one(id, &normalized)))
+    }
+
+    /// [`TrainedLarp::predict_with`] on an already-*normalised* history: runs
+    /// one pool member and de-normalises the forecast, without re-normalising
+    /// the input. The serving layer feeds this from the normalised history it
+    /// maintains incrementally, which turns the per-step cost from
+    /// `O(history)` (a full `apply_slice` pass plus its allocation) into the
+    /// predictor's own window-sized work.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TrainedLarp::predict_with`].
+    pub fn predict_with_normalized(&self, id: PredictorId, normalized: &[f64]) -> Result<f64> {
+        if id.0 >= self.pool.len() {
+            return Err(LarpError::InvalidConfig(format!(
+                "predictor id {} outside pool of {} models",
+                id.0,
+                self.pool.len()
+            )));
+        }
+        if normalized.len() < self.config.window {
+            return Err(LarpError::InsufficientData(format!(
+                "prediction needs a window of {} points, got {}",
+                self.config.window,
+                normalized.len()
+            )));
+        }
+        Ok(self.zscore.invert(self.pool.predict_one(id, normalized)))
     }
 
     /// Runs one testing-phase step on a *normalised* history: selects the best
@@ -273,6 +377,28 @@ impl TrainedLarp {
         history: &[f64],
         horizon: usize,
     ) -> Result<Vec<(PredictorId, f64)>> {
+        let mut scratch = Scratch::new();
+        let mut out = Vec::with_capacity(horizon);
+        self.predict_horizon_into(history, horizon, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`TrainedLarp::predict_horizon`] writing the `(chosen model, forecast)`
+    /// pairs into a caller-owned `out` (cleared first) and doing all rolling
+    /// window and classification work in `scratch` — no per-call allocation
+    /// once the buffers are warm.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TrainedLarp::predict_horizon`].
+    pub fn predict_horizon_into(
+        &self,
+        history: &[f64],
+        horizon: usize,
+        scratch: &mut Scratch,
+        out: &mut Vec<(PredictorId, f64)>,
+    ) -> Result<()> {
+        out.clear();
         if horizon == 0 {
             return Err(LarpError::InvalidConfig("horizon must be >= 1".into()));
         }
@@ -283,16 +409,20 @@ impl TrainedLarp {
                 history.len()
             )));
         }
-        // Keep only the window the models can see; extend it step by step.
-        let mut rolling: Vec<f64> = history[history.len() - m..].to_vec();
-        let mut out = Vec::with_capacity(horizon);
+        // Keep only the window the models can see; slide it step by step.
+        let Scratch { features, neighbors, rolling, .. } = scratch;
+        rolling.clear();
+        rolling.extend_from_slice(&history[history.len() - m..]);
         for _ in 0..horizon {
-            let (id, forecast) = self.predict_next(&rolling)?;
+            self.features_for_into(rolling, features)?;
+            let id = PredictorId(self.knn.classify_into(features, neighbors)?);
+            let forecast = self.pool.predict_one(id, rolling);
             out.push((id, forecast));
-            rolling.push(forecast);
-            rolling.remove(0);
+            rolling.copy_within(1.., 0);
+            let newest = rolling.len() - 1;
+            rolling[newest] = forecast;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// [`TrainedLarp::predict_horizon`] on a raw-scale history, returning
@@ -336,7 +466,12 @@ impl std::fmt::Debug for TrainedLarp {
 /// Labelling thread count: the available parallelism, capped at 8 (labelling
 /// is memory-bandwidth-bound beyond that for these tiny windows).
 pub(crate) fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+    // available_parallelism re-reads cgroup quota files on every call on
+    // Linux — tens of microseconds, which dwarfed a 40-sample retrain.
+    // Parallelism doesn't change under us; resolve it once.
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS
+        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1))
 }
 
 #[cfg(test)]
@@ -522,6 +657,40 @@ mod tests {
         }
         assert!(model.predict_with(PredictorId(7), history).is_err());
         assert!(model.predict_with(PredictorId(0), &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_equivalents_bit_for_bit() {
+        let s = regime_series(400);
+        let model = TrainedLarp::train(&s[..200], &LarpConfig::default()).unwrap();
+        let norm = model.zscore().apply_slice(&s[200..]);
+        let mut scratch = Scratch::new();
+        let mut horizon = Vec::new();
+        for t in 5..norm.len() {
+            let h = &norm[..t];
+            let window = &h[t - 5..];
+
+            let features = model.features_for(window).unwrap();
+            model.features_for_into(window, &mut scratch.features).unwrap();
+            assert_eq!(scratch.features, features);
+
+            model.select_ranked_into(h, &mut scratch).unwrap();
+            assert_eq!(scratch.ranked(), model.select_ranked(h).unwrap());
+
+            model.predict_horizon_into(h, 4, &mut scratch, &mut horizon).unwrap();
+            assert_eq!(horizon, model.predict_horizon(h, 4).unwrap());
+        }
+        // predict_with_normalized must agree with predict_with on the same
+        // normalised bytes.
+        let raw = &s[200..260];
+        let normalized = model.zscore().apply_slice(raw);
+        for id in 0..3 {
+            let a = model.predict_with(PredictorId(id), raw).unwrap();
+            let b = model.predict_with_normalized(PredictorId(id), &normalized).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(model.predict_with_normalized(PredictorId(9), &normalized).is_err());
+        assert!(model.predict_with_normalized(PredictorId(0), &normalized[..2]).is_err());
     }
 
     #[test]

@@ -26,11 +26,13 @@
 //!   the loop keeps [`OnlineCounters`] for observability.
 
 use predictors::PredictorId;
+use timeseries::RollingMoments;
 
 use crate::config::{LarpConfig, ResilienceConfig};
-use crate::model::TrainedLarp;
+use crate::model::{Scratch, TrainedLarp};
 use crate::observe::LarpObs;
 use crate::qa::{AuditOutcome, QualityAssuror};
+use crate::ring::HistoryRing;
 use crate::selector::PoolErrorTracker;
 use crate::{LarpError, Result};
 
@@ -99,7 +101,18 @@ pub struct OnlineLarp {
     pub(crate) qa: QualityAssuror,
     /// Most recent observations (raw scale), bounded by
     /// [`ResilienceConfig::max_history`].
-    pub(crate) history: Vec<f64>,
+    pub(crate) history: HistoryRing,
+    /// The same observations normalised with the *current* model's train
+    /// coefficients, maintained incrementally (one `ZScore::apply` per push,
+    /// rebuilt wholesale on retrain/restore). Empty while no model is
+    /// trained. This is what lets the serving path skip the per-step
+    /// `apply_slice` pass over the whole history.
+    pub(crate) norm: HistoryRing,
+    /// Incremental mean/variance over the most recent `train_size` samples
+    /// (runtime-only diagnostic; rebuilt from history on restore).
+    pub(crate) rolling: RollingMoments,
+    /// Internal scratch backing [`OnlineLarp::push`]; runtime-only.
+    pub(crate) scratch: Scratch,
     /// Total observations consumed (unlike `history.len()`, never truncated).
     pub(crate) seen: usize,
     /// How many most-recent points each (re)training uses.
@@ -169,9 +182,13 @@ impl OnlineLarp {
         }
         Ok(Self {
             config,
-            resilience,
             qa,
-            history: Vec::new(),
+            history: HistoryRing::new(resilience.max_history),
+            norm: HistoryRing::new(resilience.max_history),
+            rolling: RollingMoments::new(train_size)
+                .expect("train_size validated >= window + 2 above"),
+            scratch: Scratch::new(),
+            resilience,
             seen: 0,
             train_size,
             model: None,
@@ -214,6 +231,19 @@ impl OnlineLarp {
     ///
     /// The returned forecast, when present, is always finite.
     pub fn push(&mut self, value: f64) -> OnlineStep {
+        // Route through the internal scratch (moved out and back so the
+        // buffers can be borrowed alongside `self` — a pointer swap, not a
+        // copy).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let step = self.push_with(value, &mut scratch);
+        self.scratch = scratch;
+        step
+    }
+
+    /// [`OnlineLarp::push`] with caller-owned scratch buffers: the serving
+    /// layer keeps one [`Scratch`] per worker and reuses it across every
+    /// stream it serves, making the steady-state step allocation-free.
+    pub fn push_with(&mut self, value: f64, scratch: &mut Scratch) -> OnlineStep {
         self.clock += 1;
 
         // 1. Score the pending forecast.
@@ -222,11 +252,13 @@ impl OnlineLarp {
         }
 
         self.history.push(value);
-        self.seen += 1;
-        if self.resilience.max_history != 0 && self.history.len() > self.resilience.max_history {
-            let excess = self.history.len() - self.resilience.max_history;
-            self.history.drain(..excess);
+        if let Some(model) = &self.model {
+            // Keep the normalised mirror in lockstep (same capacity, same
+            // eviction) so downstream never re-normalises the whole history.
+            self.norm.push(model.zscore().apply(value));
         }
+        self.rolling.push(value);
+        self.seen += 1;
 
         // Keep the fallback error accounting warm while anything is benched.
         if self.any_quarantined() {
@@ -252,7 +284,7 @@ impl OnlineLarp {
         }
 
         // 4. Forecast via the ladder.
-        let (forecast, chosen, health) = self.forecast_next();
+        let (forecast, chosen, health) = self.forecast_next(scratch);
         match health {
             HealthState::Healthy => {}
             HealthState::Degraded => self.counters.degraded_steps += 1,
@@ -317,19 +349,20 @@ impl OnlineLarp {
     fn try_retrain(&mut self) -> bool {
         let started = std::time::Instant::now();
         let start = self.history.len().saturating_sub(self.train_size);
-        let trained =
-            TrainedLarp::train(&self.history[start..], &self.config).ok().filter(|model| {
-                matches!(
-                    model.predict_next_raw(&self.history[start..]),
-                    Ok((_, f)) if f.is_finite()
-                )
-            });
+        let tail = &self.history.as_slice()[start..];
+        let trained = TrainedLarp::train(tail, &self.config).ok().filter(|model| {
+            matches!(
+                model.predict_next_raw(tail),
+                Ok((_, f)) if f.is_finite()
+            )
+        });
         match trained {
             Some(model) => {
                 let pool_len = model.pool().len();
                 self.predictor_health = vec![PredictorHealth::default(); pool_len];
                 self.tracker = PoolErrorTracker::new(pool_len, self.config.window.max(8)).ok();
                 self.model = Some(model);
+                self.rebuild_norm();
                 self.retrain_count += 1;
                 self.qa.reset();
                 self.retrain_pending = false;
@@ -359,7 +392,10 @@ impl OnlineLarp {
 
     /// Walks the degradation ladder for the next forecast. The returned
     /// forecast, when present, is finite.
-    fn forecast_next(&mut self) -> (Option<f64>, Option<PredictorId>, HealthState) {
+    fn forecast_next(
+        &mut self,
+        scratch: &mut Scratch,
+    ) -> (Option<f64>, Option<PredictorId>, HealthState) {
         if self.model.is_none() || self.history.len() < self.config.window {
             // Before the first successful training: dark during warmup (no
             // training attempted yet), persistence once training has been
@@ -374,20 +410,21 @@ impl OnlineLarp {
             return (None, None, HealthState::Healthy);
         }
 
-        // Rung 1: the k-NN choice, if not quarantined.
-        let ranked = {
+        // Rung 1: the k-NN choice, if not quarantined. The current window is
+        // already normalised in the mirror ring; no re-normalisation pass.
+        let first = {
             let model = self.model.as_ref().expect("model checked above");
-            let m = self.config.window;
-            let window = &self.history[self.history.len() - m..];
-            let normalized = model.zscore().apply_slice(window);
-            model.select_ranked(&normalized)
+            let norm = self.norm.as_slice();
+            let window = &norm[norm.len() - self.config.window..];
+            match model.select_ranked_into(window, scratch) {
+                Ok(()) => scratch.ranked().first().copied(),
+                Err(_) => None,
+            }
         };
-        if let Ok(ranked) = ranked {
-            if let Some(&first) = ranked.first() {
-                if !self.is_quarantined(first) {
-                    if let Some(f) = self.checked_predict(first) {
-                        return (Some(f), Some(first), HealthState::Healthy);
-                    }
+        if let Some(first) = first {
+            if !self.is_quarantined(first) {
+                if let Some(f) = self.checked_predict(first) {
+                    return (Some(f), Some(first), HealthState::Healthy);
                 }
             }
         }
@@ -416,7 +453,10 @@ impl OnlineLarp {
     /// Runs one pool member and validates its output; a non-finite or failed
     /// forecast quarantines the producer and yields `None`.
     fn checked_predict(&mut self, id: PredictorId) -> Option<f64> {
-        let forecast = self.model.as_ref().and_then(|m| m.predict_with(id, &self.history).ok());
+        let forecast = self
+            .model
+            .as_ref()
+            .and_then(|m| m.predict_with_normalized(id, self.norm.as_slice()).ok());
         match forecast {
             Some(f) if f.is_finite() => Some(f),
             _ => {
@@ -506,9 +546,42 @@ impl OnlineLarp {
             return;
         }
         let start = upto.saturating_sub(4 * m);
-        let normalized = model.zscore().apply_slice(&self.history[start..upto]);
+        // The mirror ring is in lockstep with the raw history whenever a
+        // model exists, so the normalised lookback is a plain subslice.
+        let normalized = &self.norm[start..upto];
         let actual = model.zscore().apply(value);
-        tracker.observe(model.pool(), &normalized, actual);
+        tracker.observe(model.pool(), normalized, actual);
+    }
+
+    /// Rebuilds the normalised mirror ring from the raw history with the
+    /// current model's coefficients (or empties it when no model exists).
+    /// Called after every successful (re)train and after snapshot restore.
+    pub(crate) fn rebuild_norm(&mut self) {
+        self.norm.clear();
+        if let Some(model) = &self.model {
+            for &v in self.history.as_slice() {
+                self.norm.push(model.zscore().apply(v));
+            }
+        }
+    }
+
+    /// Rebuilds all runtime-only derived state (the normalised mirror and the
+    /// rolling moments) from the serialized fields; used by snapshot restore.
+    pub(crate) fn rebuild_runtime(&mut self) {
+        self.rolling =
+            RollingMoments::new(self.train_size).expect("train_size validated at construction");
+        let tail = self.history.len().saturating_sub(self.train_size);
+        for &v in &self.history.as_slice()[tail..] {
+            self.rolling.push(v);
+        }
+        self.rebuild_norm();
+    }
+
+    /// Incrementally maintained mean/variance over the most recent
+    /// `train_size` observations — the normalisation coefficients a retrain
+    /// would derive right now, available in O(1) without a history pass.
+    pub fn rolling_moments(&self) -> &RollingMoments {
+        &self.rolling
     }
 
     /// Number of (re)trainings performed, including the initial one.

@@ -1,0 +1,188 @@
+//! A fixed-capacity sliding buffer for the online history.
+//!
+//! [`OnlineLarp`](crate::OnlineLarp) needs its recent history as one
+//! contiguous `&[f64]` (the pool predictors and the trainer take slices), but
+//! the old `Vec` + `drain(..excess)` bound moved the entire history left by
+//! one slot on every steady-state push — `O(len)` per sample. [`HistoryRing`]
+//! keeps the same logical contents contiguous while amortising eviction:
+//! values append at the tail, a start cursor advances past evicted ones, and
+//! the buffer compacts with one `copy_within` only after `cap` evictions.
+//! Steady-state cost is O(1) per push with zero heap allocation (the backing
+//! `Vec` is pre-sized to hold `2·cap` values and never grows past it).
+
+/// A contiguous sliding window over the most recent `cap` values
+/// (`cap == 0` means unbounded — plain append-only storage).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct HistoryRing {
+    buf: Vec<f64>,
+    /// Index of the logically-first retained value in `buf`.
+    start: usize,
+    cap: usize,
+}
+
+impl HistoryRing {
+    /// Creates a ring retaining the last `cap` values (0 = unbounded).
+    pub(crate) fn new(cap: usize) -> Self {
+        // 2·cap backing: each slot between compactions absorbs one eviction,
+        // so the copy_within runs once per cap pushes — amortised O(1).
+        let buf = if cap == 0 { Vec::new() } else { Vec::with_capacity(2 * cap) };
+        Self { buf, start: 0, cap }
+    }
+
+    /// Builds a ring from logical contents (used by snapshot restore); keeps
+    /// at most the last `cap` values.
+    pub(crate) fn from_vec(mut values: Vec<f64>, cap: usize) -> Self {
+        if cap != 0 && values.len() > cap {
+            let excess = values.len() - cap;
+            values.drain(..excess);
+        }
+        let mut ring = Self::new(cap);
+        ring.buf.extend_from_slice(&values);
+        ring
+    }
+
+    /// Appends one value, evicting the oldest when over capacity.
+    pub(crate) fn push(&mut self, value: f64) {
+        self.buf.push(value);
+        if self.cap != 0 && self.buf.len() - self.start > self.cap {
+            self.start += 1;
+            if self.start >= self.cap {
+                // Compact: shift the retained window back to the front. The
+                // backing buffer never exceeds 2·cap, so `push` above never
+                // reallocates either.
+                self.buf.copy_within(self.start.., 0);
+                self.buf.truncate(self.buf.len() - self.start);
+                self.start = 0;
+            }
+        }
+    }
+
+    /// Number of retained values.
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether nothing is retained.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retained values, oldest first, as one contiguous slice.
+    pub(crate) fn as_slice(&self) -> &[f64] {
+        &self.buf[self.start..]
+    }
+
+    /// The most recent value.
+    pub(crate) fn last(&self) -> Option<&f64> {
+        self.buf.last()
+    }
+
+    /// Drops all retained values (capacity preserved).
+    pub(crate) fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+
+    /// The retention capacity (0 = unbounded).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+impl std::ops::Index<std::ops::Range<usize>> for HistoryRing {
+    type Output = [f64];
+    fn index(&self, r: std::ops::Range<usize>) -> &[f64] {
+        &self.as_slice()[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_ring_is_append_only() {
+        let mut r = HistoryRing::new(0);
+        for i in 0..100 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.len(), 100);
+        assert_eq!(r.as_slice()[0], 0.0);
+        assert_eq!(*r.last().unwrap(), 99.0);
+    }
+
+    #[test]
+    fn bounded_ring_matches_vec_drain_reference() {
+        // The ring must present exactly the contents the old Vec+drain code
+        // kept, at every step, across several capacities.
+        for cap in [1, 2, 3, 7, 64] {
+            let mut ring = HistoryRing::new(cap);
+            let mut reference: Vec<f64> = Vec::new();
+            for i in 0..(cap * 10 + 3) {
+                let v = (i as f64) * 0.5 - 3.0;
+                ring.push(v);
+                reference.push(v);
+                if reference.len() > cap {
+                    let excess = reference.len() - cap;
+                    reference.drain(..excess);
+                }
+                assert_eq!(ring.as_slice(), reference.as_slice(), "cap {cap}, step {i}");
+                assert_eq!(ring.len(), reference.len());
+                assert_eq!(ring.last(), reference.last());
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_never_reallocates() {
+        let cap = 32;
+        let mut r = HistoryRing::new(cap);
+        for i in 0..cap {
+            r.push(i as f64);
+        }
+        let ptr = r.buf.as_ptr();
+        let backing = r.buf.capacity();
+        for i in 0..10_000 {
+            r.push(i as f64);
+        }
+        assert_eq!(ptr, r.buf.as_ptr(), "backing buffer moved");
+        assert_eq!(backing, r.buf.capacity(), "backing buffer grew");
+        assert_eq!(r.len(), cap);
+    }
+
+    #[test]
+    fn from_vec_truncates_to_cap() {
+        let r = HistoryRing::from_vec((0..10).map(f64::from).collect(), 4);
+        assert_eq!(r.as_slice(), &[6.0, 7.0, 8.0, 9.0]);
+        let r = HistoryRing::from_vec(vec![1.0, 2.0], 4);
+        assert_eq!(r.as_slice(), &[1.0, 2.0]);
+        let r = HistoryRing::from_vec(vec![1.0, 2.0, 3.0], 0);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.cap(), 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut r = HistoryRing::new(8);
+        for i in 0..20 {
+            r.push(i as f64);
+        }
+        let backing = r.buf.capacity();
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.buf.capacity(), backing);
+        r.push(5.0);
+        assert_eq!(r.as_slice(), &[5.0]);
+    }
+
+    #[test]
+    fn range_indexing_matches_slice() {
+        let mut r = HistoryRing::new(4);
+        for i in 0..9 {
+            r.push(i as f64);
+        }
+        assert_eq!(&r[1..3], &[6.0, 7.0]);
+    }
+}

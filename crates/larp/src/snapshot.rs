@@ -40,13 +40,14 @@ use std::collections::VecDeque;
 use learn::{KnnBackend, KnnClassifier, Pca};
 use linalg::Matrix;
 use predictors::{ModelSpec, PredictorId, PredictorPool};
-use timeseries::ZScore;
+use timeseries::{RollingMoments, ZScore};
 
 use crate::config::{FeatureReduction, LarpConfig, ResilienceConfig};
 use crate::ingest::{GapFill, GuardedLarp, IngestConfig, IngestStats, OutlierPolicy, Sanitizer};
-use crate::model::TrainedLarp;
+use crate::model::{Scratch, TrainedLarp};
 use crate::online::{OnlineCounters, OnlineLarp, PredictorHealth};
 use crate::qa::QualityAssuror;
+use crate::ring::HistoryRing;
 use crate::selector::PoolErrorTracker;
 use crate::{LarpError, Result};
 
@@ -462,8 +463,11 @@ fn put_trained(w: &mut Writer, m: &TrainedLarp) {
         KnnBackend::BruteForce => 0,
         KnnBackend::KdTree => 1,
     });
-    w.usize(m.knn.points().len());
-    for p in m.knn.points() {
+    // The k-NN index stores its points as one flat row-major buffer; emit
+    // them point-by-point to keep the wire layout identical to the nested
+    // representation this format was defined with.
+    w.usize(m.knn.len());
+    for p in m.knn.points_flat().chunks_exact(m.knn.dim()) {
         w.f64_seq(p.iter());
     }
     for &label in m.knn.labels() {
@@ -541,7 +545,7 @@ fn put_online(w: &mut Writer, o: &OnlineLarp) {
     put_larp_config(w, &o.config);
     put_resilience(w, &o.resilience);
     put_qa(w, &o.qa);
-    w.f64_seq(o.history.iter());
+    w.f64_seq(o.history.as_slice().iter());
     w.usize(o.seen);
     w.usize(o.train_size);
     match &o.model {
@@ -630,15 +634,30 @@ fn get_online(r: &mut Reader) -> Result<OnlineLarp> {
             )));
         }
     }
+    // The same integrity bounds the constructor enforces; a snapshot written
+    // by a live instance always satisfies them.
+    let min_train = config.window + config.k.max(2);
+    if train_size < min_train {
+        return Err(err(format!("train_size {train_size} below minimum {min_train}")));
+    }
+    if resilience.max_history != 0 && resilience.max_history < train_size {
+        return Err(err(format!(
+            "max_history {} cannot hold train_size {train_size}",
+            resilience.max_history
+        )));
+    }
     // The fallback error tracker is advisory, windowed state; it restarts
     // cold exactly as it does after a retrain.
     let tracker =
         model.as_ref().and_then(|m| PoolErrorTracker::new(m.pool.len(), config.window.max(8)).ok());
-    Ok(OnlineLarp {
+    let mut online = OnlineLarp {
         config,
-        resilience,
         qa,
-        history,
+        history: HistoryRing::from_vec(history, resilience.max_history),
+        norm: HistoryRing::new(resilience.max_history),
+        rolling: RollingMoments::new(train_size).expect("train_size validated above"),
+        scratch: Scratch::new(),
+        resilience,
         seen,
         train_size,
         model,
@@ -652,7 +671,11 @@ fn get_online(r: &mut Reader) -> Result<OnlineLarp> {
         next_retrain_at,
         retrain_pending,
         obs: None,
-    })
+    };
+    // Derived runtime state (normalised mirror, rolling moments) is not part
+    // of the wire format; rebuild it from the restored fields.
+    online.rebuild_runtime();
+    Ok(online)
 }
 
 fn put_sanitizer(w: &mut Writer, s: &Sanitizer) {
@@ -676,7 +699,7 @@ fn put_sanitizer(w: &mut Writer, s: &Sanitizer) {
 
 fn get_sanitizer(r: &mut Reader) -> Result<Sanitizer> {
     let config = get_ingest_config(r)?;
-    Ok(Sanitizer {
+    let mut sanitizer = Sanitizer {
         config,
         last_minute: r.opt_u64()?,
         last_value: r.opt_f64()?,
@@ -695,7 +718,11 @@ fn get_sanitizer(r: &mut Reader) -> Result<Sanitizer> {
             outliers_clamped: r.usize()?,
             stuck_runs: r.usize()?,
         },
-    })
+        robust_scratch: Vec::new(),
+        dev_scratch: Vec::new(),
+    };
+    sanitizer.rebuild_robust_mirror();
+    Ok(sanitizer)
 }
 
 impl OnlineLarp {

@@ -6,6 +6,12 @@
 //! space is 2-dimensional, which is k-d tree territory: expected query time is
 //! `O(log N)` for the trace sizes used here. The `bench` crate measures the
 //! crossover against brute force.
+//!
+//! Points live in a flat row-major `Arc<[f64]>` shared with whoever built the
+//! tree (the classifier, typically): the tree itself stores only the node
+//! arena plus indices, never a second copy of the coordinates.
+
+use std::sync::Arc;
 
 use linalg::vecops::squared_distance;
 
@@ -22,10 +28,11 @@ struct Node {
     right: Option<usize>,
 }
 
-/// An exact k-d tree over owned points.
+/// An exact k-d tree over a shared flat point buffer.
 #[derive(Debug, Clone)]
 pub struct KdTree {
-    points: Vec<Vec<f64>>,
+    /// Row-major `len × dim` coordinates, shared (not copied) with the owner.
+    points: Arc<[f64]>,
     nodes: Vec<Node>,
     root: Option<usize>,
     dim: usize,
@@ -44,9 +51,6 @@ impl KdTree {
             return Err(LearnError::InsufficientData("KdTree over no points".into()));
         }
         let dim = points[0].len();
-        if dim == 0 {
-            return Err(LearnError::ShapeMismatch("KdTree points must have dimension >= 1".into()));
-        }
         for (i, p) in points.iter().enumerate() {
             if p.len() != dim {
                 return Err(LearnError::ShapeMismatch(format!(
@@ -55,10 +59,45 @@ impl KdTree {
                 )));
             }
         }
-        let mut tree = Self { nodes: Vec::with_capacity(points.len()), points, root: None, dim };
-        let mut idx: Vec<usize> = (0..tree.points.len()).collect();
+        let mut flat = Vec::with_capacity(points.len() * dim);
+        for p in &points {
+            flat.extend_from_slice(p);
+        }
+        Self::build_flat(flat.into(), dim)
+    }
+
+    /// Builds a tree over an already-flat row-major buffer without copying it;
+    /// the tree holds a reference to `points`, so a classifier can share one
+    /// buffer between its own point store and the index.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::InsufficientData`] if `points` is empty;
+    /// * [`LearnError::ShapeMismatch`] if `dim == 0` or `points.len()` is not
+    ///   a multiple of `dim`.
+    pub fn build_flat(points: Arc<[f64]>, dim: usize) -> Result<Self> {
+        if dim == 0 {
+            return Err(LearnError::ShapeMismatch("KdTree points must have dimension >= 1".into()));
+        }
+        if points.is_empty() {
+            return Err(LearnError::InsufficientData("KdTree over no points".into()));
+        }
+        if !points.len().is_multiple_of(dim) {
+            return Err(LearnError::ShapeMismatch(format!(
+                "flat buffer of {} values is not a multiple of dim {dim}",
+                points.len()
+            )));
+        }
+        let n = points.len() / dim;
+        let mut tree = Self { nodes: Vec::with_capacity(n), points, root: None, dim };
+        let mut idx: Vec<usize> = (0..n).collect();
         tree.root = tree.build_rec(&mut idx, 0);
         Ok(tree)
+    }
+
+    /// Coordinates of point `i`.
+    fn point(&self, i: usize) -> &[f64] {
+        &self.points[i * self.dim..(i + 1) * self.dim]
     }
 
     fn build_rec(&mut self, idx: &mut [usize], depth: usize) -> Option<usize> {
@@ -70,8 +109,10 @@ impl KdTree {
         // Median split: O(n) selection on the axis coordinate.
         // total_cmp: a NaN coordinate (corrupted upstream data) degrades the
         // split instead of panicking the build.
+        let points = &self.points;
+        let dim = self.dim;
         idx.select_nth_unstable_by(mid, |&a, &b| {
-            self.points[a][axis].total_cmp(&self.points[b][axis])
+            points[a * dim + axis].total_cmp(&points[b * dim + axis])
         });
         let point = idx[mid];
         let node_id = self.nodes.len();
@@ -87,7 +128,7 @@ impl KdTree {
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.points.len() / self.dim
     }
 
     /// Whether the tree is empty (never true after construction).
@@ -111,6 +152,23 @@ impl KdTree {
     /// * [`LearnError::InvalidParameter`] if `k == 0`;
     /// * [`LearnError::ShapeMismatch`] if `query.len() != dim()`.
     pub fn nearest(&self, query: &[f64], k: usize) -> Result<Vec<(usize, f64)>> {
+        let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+        self.nearest_into(query, k, &mut best)?;
+        Ok(best)
+    }
+
+    /// [`KdTree::nearest`] into a caller-owned buffer (cleared first). A
+    /// buffer with capacity `k + 1` never reallocates.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KdTree::nearest`].
+    pub fn nearest_into(
+        &self,
+        query: &[f64],
+        k: usize,
+        best: &mut Vec<(usize, f64)>,
+    ) -> Result<()> {
         if k == 0 {
             return Err(LearnError::InvalidParameter("k must be >= 1".into()));
         }
@@ -121,18 +179,18 @@ impl KdTree {
                 self.dim
             )));
         }
-        let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
-        self.search(self.root, query, k, &mut best);
-        Ok(best)
+        best.clear();
+        self.search(self.root, query, k, best);
+        Ok(())
     }
 
     fn search(&self, node: Option<usize>, query: &[f64], k: usize, best: &mut Vec<(usize, f64)>) {
         let Some(id) = node else { return };
         let n = &self.nodes[id];
-        let d = squared_distance(query, &self.points[n.point]);
+        let d = squared_distance(query, self.point(n.point));
         Self::offer(best, k, (n.point, d));
 
-        let axis_delta = query[n.axis] - self.points[n.point][n.axis];
+        let axis_delta = query[n.axis] - self.point(n.point)[n.axis];
         let (near, far) = if axis_delta <= 0.0 { (n.left, n.right) } else { (n.right, n.left) };
         self.search(near, query, k, best);
         // Prune: only descend the far side if the splitting plane is closer
@@ -147,8 +205,20 @@ impl KdTree {
         }
     }
 
-    /// Inserts a candidate into the sorted top-k buffer.
-    fn offer(best: &mut Vec<(usize, f64)>, k: usize, cand: (usize, f64)) {
+    /// Inserts a candidate into the sorted top-k buffer. Shared with the
+    /// brute-force backend so both produce identical selection semantics.
+    pub(crate) fn offer(best: &mut Vec<(usize, f64)>, k: usize, cand: (usize, f64)) {
+        // A candidate ranking at or past position k would be inserted and
+        // immediately popped — reject it with one comparison instead of a
+        // binary search plus an insert memmove. With a full buffer this is
+        // the common case: almost every point of a linear scan loses to the
+        // current k-th neighbour.
+        if best.len() == k {
+            let worst = best[k - 1];
+            if worst.1.total_cmp(&cand.1).then(worst.0.cmp(&cand.0)).is_lt() {
+                return;
+            }
+        }
         // Order: ascending distance, then ascending index for determinism.
         let pos = best
             .binary_search_by(|probe| {
@@ -245,9 +315,21 @@ mod tests {
         assert!(KdTree::build(vec![]).is_err());
         assert!(KdTree::build(vec![vec![]]).is_err());
         assert!(KdTree::build(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(KdTree::build_flat(vec![1.0, 2.0, 3.0].into(), 2).is_err());
+        assert!(KdTree::build_flat(Vec::new().into(), 2).is_err());
         let tree = KdTree::build(vec![vec![0.0, 0.0]]).unwrap();
         assert!(tree.nearest(&[0.0], 1).is_err());
         assert!(tree.nearest(&[0.0, 0.0], 0).is_err());
+    }
+
+    #[test]
+    fn flat_build_shares_the_buffer() {
+        let flat: Arc<[f64]> = vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0].into();
+        let tree = KdTree::build_flat(Arc::clone(&flat), 2).unwrap();
+        assert_eq!(tree.len(), 3);
+        // Two handles to the same allocation: tree's copy plus ours.
+        assert_eq!(Arc::strong_count(&flat), 2);
+        assert!(std::ptr::eq(tree.points.as_ptr(), flat.as_ptr()));
     }
 
     #[test]

@@ -6,6 +6,19 @@
 //! search — brute force (`O(N)` per query, what the paper uses) and a k-d tree
 //! (`O(log N)` expected, the fast alternative the paper cites) — and a test
 //! asserts they classify identically.
+//!
+//! # Hot-path layout
+//!
+//! Training points live in one flat row-major `Arc<[f64]>` (stride =
+//! [`dim`](KnnClassifier::dim)) shared with the k-d tree backend, so the
+//! index never stores a second copy and queries walk contiguous memory
+//! instead of chasing per-point heap pointers. The brute-force search keeps a
+//! bounded top-`k` buffer (sorted insertion, as the k-d tree does) rather
+//! than sorting all `N` candidates, and the `_into` query variants write into
+//! caller-owned scratch so the steady-state serving path performs no heap
+//! allocation.
+
+use std::sync::Arc;
 
 use linalg::vecops::squared_distance;
 
@@ -25,10 +38,12 @@ pub enum KnnBackend {
     KdTree,
 }
 
-/// A fitted k-NN classifier.
+/// A fitted k-NN classifier over a flat struct-of-arrays point store.
 pub struct KnnClassifier {
     k: usize,
-    points: Vec<Vec<f64>>,
+    /// Row-major `len × dim` training points, shared with the k-d tree.
+    points: Arc<[f64]>,
+    dim: usize,
     labels: Vec<usize>,
     n_classes: usize,
     backend: KnnBackend,
@@ -50,35 +65,69 @@ impl KnnClassifier {
         k: usize,
         backend: KnnBackend,
     ) -> Result<Self> {
-        if k == 0 {
-            return Err(LearnError::InvalidParameter("k must be >= 1".into()));
-        }
         if points.is_empty() {
             return Err(LearnError::InsufficientData("k-NN with no training points".into()));
         }
-        if points.len() != labels.len() {
-            return Err(LearnError::ShapeMismatch(format!(
-                "{} points vs {} labels",
-                points.len(),
-                labels.len()
-            )));
-        }
         let dim = points[0].len();
-        if dim == 0 {
-            return Err(LearnError::ShapeMismatch("points must have dimension >= 1".into()));
-        }
         if let Some(i) = points.iter().position(|p| p.len() != dim) {
             return Err(LearnError::ShapeMismatch(format!(
                 "point {i} has dim {}, expected {dim}",
                 points[i].len()
             )));
         }
+        let mut flat = Vec::with_capacity(points.len() * dim);
+        for p in &points {
+            flat.extend_from_slice(p);
+        }
+        Self::fit_flat(flat, dim, labels, k, backend)
+    }
+
+    /// [`KnnClassifier::fit`] over an already-flat row-major point buffer
+    /// (`points.len() == n · dim`) — the zero-copy path used by snapshot
+    /// restore and by training code that builds features flat to begin with.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KnnClassifier::fit`], plus
+    /// [`LearnError::ShapeMismatch`] if `points.len()` is not a multiple of
+    /// `dim`.
+    pub fn fit_flat(
+        points: Vec<f64>,
+        dim: usize,
+        labels: Vec<usize>,
+        k: usize,
+        backend: KnnBackend,
+    ) -> Result<Self> {
+        if k == 0 {
+            return Err(LearnError::InvalidParameter("k must be >= 1".into()));
+        }
+        if points.is_empty() {
+            return Err(LearnError::InsufficientData("k-NN with no training points".into()));
+        }
+        if dim == 0 {
+            return Err(LearnError::ShapeMismatch("points must have dimension >= 1".into()));
+        }
+        if !points.len().is_multiple_of(dim) {
+            return Err(LearnError::ShapeMismatch(format!(
+                "flat buffer of {} values is not a multiple of dim {dim}",
+                points.len()
+            )));
+        }
+        let n = points.len() / dim;
+        if n != labels.len() {
+            return Err(LearnError::ShapeMismatch(format!(
+                "{n} points vs {} labels",
+                labels.len()
+            )));
+        }
         let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        let points: Arc<[f64]> = points.into();
         let tree = match backend {
-            KnnBackend::KdTree => Some(KdTree::build(points.clone())?),
+            // The tree shares the flat buffer — no second copy of the points.
+            KnnBackend::KdTree => Some(KdTree::build_flat(Arc::clone(&points), dim)?),
             KnnBackend::BruteForce => None,
         };
-        Ok(Self { k, points, labels, n_classes, backend, tree })
+        Ok(Self { k, points, dim, labels, n_classes, backend, tree })
     }
 
     /// The configured neighbour count `k`.
@@ -88,12 +137,12 @@ impl KnnClassifier {
 
     /// Number of indexed training points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.labels.len()
     }
 
     /// Whether the classifier has no training points (never after `fit`).
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.labels.is_empty()
     }
 
     /// Number of distinct classes (max label + 1).
@@ -106,22 +155,31 @@ impl KnnClassifier {
         self.backend
     }
 
-    /// The indexed training points, in insertion order. Together with
-    /// [`labels`](Self::labels), `k` and the backend these fully describe the
-    /// classifier — feed them back through [`KnnClassifier::fit`] to restore
-    /// a serialized instance.
-    pub fn points(&self) -> &[Vec<f64>] {
+    /// The flat row-major training points (`len() · dim()` values, insertion
+    /// order). Together with [`labels`](Self::labels), `k` and the backend
+    /// these fully describe the classifier — feed them back through
+    /// [`KnnClassifier::fit_flat`] to restore a serialized instance.
+    pub fn points_flat(&self) -> &[f64] {
         &self.points
     }
 
-    /// The training labels, parallel to [`points`](Self::points).
+    /// One training point by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.points[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The training labels, parallel to [`points_flat`](Self::points_flat).
     pub fn labels(&self) -> &[usize] {
         &self.labels
     }
 
     /// Feature dimension.
     pub fn dim(&self) -> usize {
-        self.points[0].len()
+        self.dim
     }
 
     /// Returns the `k` nearest `(label, squared_distance)` pairs, nearest first.
@@ -130,28 +188,42 @@ impl KnnClassifier {
     ///
     /// Returns [`LearnError::ShapeMismatch`] if `query.len() != dim()`.
     pub fn neighbors(&self, query: &[f64]) -> Result<Vec<(usize, f64)>> {
-        if query.len() != self.dim() {
+        let mut out = Vec::with_capacity(self.k + 1);
+        self.neighbors_into(query, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`KnnClassifier::neighbors`] into a caller-owned buffer (cleared
+    /// first). A buffer with capacity `k + 1` never reallocates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::ShapeMismatch`] if `query.len() != dim()`.
+    pub fn neighbors_into(&self, query: &[f64], out: &mut Vec<(usize, f64)>) -> Result<()> {
+        if query.len() != self.dim {
             return Err(LearnError::ShapeMismatch(format!(
                 "query dim {} vs training dim {}",
                 query.len(),
-                self.dim()
+                self.dim
             )));
         }
-        let idx_dist: Vec<(usize, f64)> = match (&self.tree, self.backend) {
-            (Some(tree), KnnBackend::KdTree) => tree.nearest(query, self.k)?,
+        out.clear();
+        match (&self.tree, self.backend) {
+            (Some(tree), KnnBackend::KdTree) => tree.nearest_into(query, self.k, out)?,
             _ => {
-                let mut all: Vec<(usize, f64)> = self
-                    .points
-                    .iter()
-                    .enumerate()
-                    .map(|(i, p)| (i, squared_distance(query, p)))
-                    .collect();
-                all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-                all.truncate(self.k);
-                all
+                // Bounded top-k selection: same sorted-insertion buffer the
+                // k-d tree uses, identical (index, distance) output to the
+                // old sort-all-N-then-truncate (both realise the k smallest
+                // under the total order (distance, index)).
+                for (i, p) in self.points.chunks_exact(self.dim).enumerate() {
+                    KdTree::offer(out, self.k, (i, squared_distance(query, p)));
+                }
             }
-        };
-        Ok(idx_dist.into_iter().map(|(i, d)| (self.labels[i], d)).collect())
+        }
+        for entry in out.iter_mut() {
+            entry.0 = self.labels[entry.0];
+        }
+        Ok(())
     }
 
     /// Classifies one query by majority vote among its `k` nearest neighbours.
@@ -160,8 +232,19 @@ impl KnnClassifier {
     ///
     /// Returns [`LearnError::ShapeMismatch`] if `query.len() != dim()`.
     pub fn classify(&self, query: &[f64]) -> Result<usize> {
-        let neighbors = self.neighbors(query)?;
-        Ok(majority_vote(&neighbors).expect("k >= 1 guarantees a neighbour"))
+        let mut scratch = Vec::with_capacity(self.k + 1);
+        self.classify_into(query, &mut scratch)
+    }
+
+    /// [`KnnClassifier::classify`] using a caller-owned neighbour buffer, for
+    /// allocation-free repeated queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::ShapeMismatch`] if `query.len() != dim()`.
+    pub fn classify_into(&self, query: &[f64], scratch: &mut Vec<(usize, f64)>) -> Result<usize> {
+        self.neighbors_into(query, scratch)?;
+        Ok(majority_vote(scratch).expect("k >= 1 guarantees a neighbour"))
     }
 
     /// Classifies a batch of queries, splitting the work across `threads`
@@ -180,7 +263,8 @@ impl KnnClassifier {
             return Ok(Vec::new());
         }
         if threads == 1 || queries.len() < 2 * threads {
-            return queries.iter().map(|q| self.classify(q)).collect();
+            let mut scratch = Vec::with_capacity(self.k + 1);
+            return queries.iter().map(|q| self.classify_into(q, &mut scratch)).collect();
         }
         let chunk = queries.len().div_ceil(threads);
         let results = std::thread::scope(|s| {
@@ -188,7 +272,10 @@ impl KnnClassifier {
                 .chunks(chunk)
                 .map(|part| {
                     s.spawn(move || {
-                        part.iter().map(|q| self.classify(q)).collect::<Result<Vec<_>>>()
+                        let mut scratch = Vec::with_capacity(self.k + 1);
+                        part.iter()
+                            .map(|q| self.classify_into(q, &mut scratch))
+                            .collect::<Result<Vec<_>>>()
                     })
                 })
                 .collect();
@@ -205,7 +292,7 @@ impl std::fmt::Debug for KnnClassifier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KnnClassifier")
             .field("k", &self.k)
-            .field("points", &self.points.len())
+            .field("points", &self.len())
             .field("classes", &self.n_classes)
             .field("backend", &self.backend)
             .finish()
@@ -261,6 +348,52 @@ mod tests {
     }
 
     #[test]
+    fn bounded_topk_matches_full_sort_reference() {
+        // Satellite pin: the bounded top-k selection must return exactly the
+        // (index, distance) pairs the old sort-everything path produced —
+        // byte-for-byte, including tie order. Labels are set to the point
+        // indices so `neighbors` exposes indices directly. Duplicated points
+        // force exact distance ties.
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
+        let mut pts: Vec<Vec<f64>> =
+            (0..200).map(|_| vec![rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)]).collect();
+        for i in 0..20 {
+            let dup = pts[i * 3].clone();
+            pts.push(dup);
+        }
+        let n = pts.len();
+        let labels: Vec<usize> = (0..n).collect();
+        for k in [1, 3, 7, 50, n + 5] {
+            let knn =
+                KnnClassifier::fit(pts.clone(), labels.clone(), k, KnnBackend::BruteForce).unwrap();
+            for _ in 0..50 {
+                let q = vec![rng.uniform(-6.0, 6.0), rng.uniform(-6.0, 6.0)];
+                // The old implementation: score all N, full sort, truncate.
+                let mut reference: Vec<(usize, f64)> =
+                    pts.iter().enumerate().map(|(i, p)| (i, squared_distance(&q, p))).collect();
+                reference.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                reference.truncate(k);
+                assert_eq!(knn.neighbors(&q).unwrap(), reference, "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_into_reuses_the_buffer_without_reallocating() {
+        let (pts, labels) = blobs(9, 120);
+        let knn = KnnClassifier::fit(pts, labels, 5, KnnBackend::BruteForce).unwrap();
+        let mut buf = Vec::with_capacity(6);
+        let ptr = buf.as_ptr();
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
+        for _ in 0..100 {
+            let q = [rng.uniform(-8.0, 8.0), rng.uniform(-8.0, 8.0)];
+            knn.neighbors_into(&q, &mut buf).unwrap();
+            assert_eq!(buf.len(), 5);
+        }
+        assert_eq!(ptr, buf.as_ptr(), "k+1-capacity buffer must never grow");
+    }
+
+    #[test]
     fn neighbors_are_sorted_nearest_first() {
         let (pts, labels) = blobs(4, 50);
         let knn = KnnClassifier::fit(pts, labels, 5, KnnBackend::BruteForce).unwrap();
@@ -277,6 +410,21 @@ mod tests {
         let knn = KnnClassifier::fit(pts, vec![0, 0, 1], 9, KnnBackend::BruteForce).unwrap();
         // All three points vote: 0 wins 2:1.
         assert_eq!(knn.classify(&[0.5]).unwrap(), 0);
+    }
+
+    #[test]
+    fn flat_fit_matches_nested_fit() {
+        let (pts, labels) = blobs(11, 60);
+        let flat: Vec<f64> = pts.iter().flatten().copied().collect();
+        let nested = KnnClassifier::fit(pts, labels.clone(), 3, KnnBackend::KdTree).unwrap();
+        let from_flat = KnnClassifier::fit_flat(flat, 2, labels, 3, KnnBackend::KdTree).unwrap();
+        assert_eq!(nested.points_flat(), from_flat.points_flat());
+        assert_eq!(nested.dim(), from_flat.dim());
+        for i in 0..nested.len() {
+            assert_eq!(nested.point(i), from_flat.point(i));
+        }
+        let q = [0.5, -0.5];
+        assert_eq!(nested.neighbors(&q).unwrap(), from_flat.neighbors(&q).unwrap());
     }
 
     #[test]
@@ -312,6 +460,19 @@ mod tests {
             KnnBackend::BruteForce
         )
         .is_err());
+        // Flat-specific shapes.
+        assert!(KnnClassifier::fit_flat(
+            vec![1.0, 2.0, 3.0],
+            2,
+            vec![0],
+            1,
+            KnnBackend::BruteForce
+        )
+        .is_err());
+        assert!(
+            KnnClassifier::fit_flat(vec![1.0, 2.0], 0, vec![0], 1, KnnBackend::BruteForce).is_err()
+        );
+        assert!(KnnClassifier::fit_flat(vec![], 2, vec![], 1, KnnBackend::BruteForce).is_err());
     }
 
     #[test]

@@ -174,6 +174,20 @@ impl Pca {
     ///
     /// Returns [`LearnError::ShapeMismatch`] if `x.len() != input_dim()`.
     pub fn transform(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.n_components());
+        self.transform_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Pca::transform`] into a caller-owned buffer (cleared first), for
+    /// allocation-free repeated projection. Bit-identical to `transform`:
+    /// each output is the same left-to-right dot product of a component row
+    /// with the centered input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::ShapeMismatch`] if `x.len() != input_dim()`.
+    pub fn transform_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if x.len() != self.input_dim() {
             return Err(LearnError::ShapeMismatch(format!(
                 "PCA::transform: expected dim {}, got {}",
@@ -181,8 +195,16 @@ impl Pca {
                 x.len()
             )));
         }
-        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
-        self.components.matvec(&centered).map_err(|e| LearnError::Numerical(e.to_string()))
+        out.clear();
+        for c in 0..self.n_components() {
+            let row = self.components.row(c);
+            let mut acc = 0.0;
+            for ((&w, &a), &m) in row.iter().zip(x).zip(&self.mean) {
+                acc += w * (a - m);
+            }
+            out.push(acc);
+        }
+        Ok(())
     }
 
     /// Projects every row of `data`, producing an `N × n` matrix.

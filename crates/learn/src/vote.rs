@@ -11,31 +11,37 @@
 ///
 /// Returns `None` for an empty neighbour list.
 pub fn majority_vote(neighbors: &[(usize, f64)]) -> Option<usize> {
-    if neighbors.is_empty() {
-        return None;
-    }
-    // Count votes and remember each class's best (smallest) distance.
-    let mut tally: Vec<(usize, usize, f64)> = Vec::new(); // (label, count, best_dist)
-    for &(label, dist) in neighbors {
-        match tally.iter_mut().find(|(l, _, _)| *l == label) {
-            Some(entry) => {
-                entry.1 += 1;
-                if dist < entry.2 {
-                    entry.2 = dist;
+    // Allocation-free O(k²) tally: k is tiny (3 in the paper's configuration),
+    // so two nested scans beat building a tally table on the heap. Each label
+    // is scored at its first occurrence only.
+    let mut winner: Option<(usize, usize, f64)> = None; // (label, count, best_dist)
+    for (i, &(label, dist)) in neighbors.iter().enumerate() {
+        if neighbors[..i].iter().any(|&(seen, _)| seen == label) {
+            continue; // already tallied at its first occurrence
+        }
+        let mut count = 1;
+        let mut best = dist;
+        for &(other, d) in &neighbors[i + 1..] {
+            if other == label {
+                count += 1;
+                if d < best {
+                    best = d;
                 }
             }
-            None => tally.push((label, 1, dist)),
+        }
+        // Max count first, then min distance, then min label.
+        let beats = match winner {
+            None => true,
+            Some((w_label, w_count, w_best)) => {
+                count > w_count
+                    || (count == w_count && (best < w_best || (best == w_best && label < w_label)))
+            }
+        };
+        if beats {
+            winner = Some((label, count, best));
         }
     }
-    tally
-        .into_iter()
-        .min_by(|a, b| {
-            // Max count first, then min distance, then min label.
-            b.1.cmp(&a.1)
-                .then(a.2.partial_cmp(&b.2).expect("distances are finite"))
-                .then(a.0.cmp(&b.0))
-        })
-        .map(|(label, _, _)| label)
+    winner.map(|(label, _, _)| label)
 }
 
 #[cfg(test)]

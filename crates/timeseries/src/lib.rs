@@ -20,11 +20,13 @@
 pub mod diff;
 pub mod metrics;
 pub mod normalize;
+pub mod rolling;
 pub mod series;
 pub mod stats;
 pub mod window;
 
 pub use normalize::ZScore;
+pub use rolling::RollingMoments;
 pub use series::Series;
 pub use window::Frames;
 

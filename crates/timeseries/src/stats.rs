@@ -73,11 +73,58 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
     }
     let mut sorted = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
+    quantile_sorted(&sorted, q)
+}
+
+/// [`quantile`] over a slice already sorted ascending by [`f64::total_cmp`] —
+/// the allocation-free entry point for callers that keep their own sorted
+/// scratch buffer.
+///
+/// # Errors
+///
+/// Same conditions as [`quantile`].
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Result<f64> {
+    if sorted.is_empty() {
+        return Err(TsError::TooShort { what: "quantile", needed: 1, got: 0 });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(TsError::InvalidArgument(format!("quantile {q} outside [0, 1]")));
+    }
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
     Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// [`quantile`] via in-place selection instead of a full sort — `O(n)` and
+/// bit-identical to [`quantile_sorted`] over the sorted input: selection
+/// surfaces exactly the order statistics the interpolation reads. Reorders
+/// `xs`; for callers whose buffer is already sorted, use [`quantile_sorted`].
+///
+/// # Errors
+///
+/// Same conditions as [`quantile`].
+pub fn quantile_select(xs: &mut [f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(TsError::TooShort { what: "quantile", needed: 1, got: 0 });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(TsError::InvalidArgument(format!("quantile {q} outside [0, 1]")));
+    }
+    let pos = q * (xs.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    let (_, &mut lo_v, rest) = xs.select_nth_unstable_by(lo, |a, b| a.total_cmp(b));
+    let hi_v = if hi == lo {
+        lo_v
+    } else {
+        // hi == lo + 1: the next order statistic is the minimum of the
+        // partition right of the pivot.
+        rest.iter().copied().min_by(f64::total_cmp).expect("hi < len: right partition non-empty")
+    };
+    Ok(lo_v * (1.0 - frac) + hi_v * frac)
 }
 
 /// α-trimmed mean: drops the `floor(alpha * n)` smallest and largest values
@@ -184,6 +231,28 @@ mod tests {
         assert!((quantile(&xs, 1.0 / 3.0).unwrap() - 2.0).abs() < 1e-12);
         assert!(quantile(&xs, 1.5).is_err());
         assert!(quantile(&xs, -0.1).is_err());
+    }
+
+    #[test]
+    fn quantile_select_is_bit_identical_to_sorting_quantile() {
+        // Pseudo-random slices of every parity and size, every interpolation
+        // regime: selection must reproduce the sort-based result exactly.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 200.0 - 100.0
+        };
+        for len in 1..40usize {
+            let xs: Vec<f64> = (0..len).map(|_| next()).collect();
+            for q in [0.0, 0.25, 1.0 / 3.0, 0.5, 0.77, 0.99, 1.0] {
+                let expect = quantile(&xs, q).unwrap();
+                let mut scratch = xs.clone();
+                let got = quantile_select(&mut scratch, q).unwrap();
+                assert_eq!(got.to_bits(), expect.to_bits(), "len {len}, q {q}");
+            }
+        }
+        assert!(quantile_select(&mut [], 0.5).is_err());
+        assert!(quantile_select(&mut [1.0], 1.5).is_err());
     }
 
     #[test]

@@ -26,8 +26,22 @@ echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
 if [[ "$QUICK" -eq 0 ]]; then
-  echo "==> fleet_throughput smoke (1000 streams, 4 shards)"
-  cargo run --release -p fleet --bin fleet_throughput -- --streams 1000 --samples 50 --shards 4
+  echo "==> fleet_throughput smoke + bench-regression gate (1000 streams, 4 shards)"
+  # Brief run, then compare samples/sec against the committed baseline in
+  # results/BENCH_fleet.json. The 60% floor is deliberately loose — it
+  # tolerates host differences and scheduler noise while still catching the
+  # kind of order-of-magnitude regression an accidental allocation or a
+  # quadratic slip in the hot path produces.
+  FLEET_JSON="$(cargo run --release -q -p fleet --bin fleet_throughput -- --streams 1000 --samples 50 --shards 4)"
+  echo "$FLEET_JSON"
+  SMOKE_SPS="$(grep -o '"samples_per_sec": [0-9]*' <<<"$FLEET_JSON" | grep -o '[0-9]*$')"
+  BASELINE_SPS="$(grep -o '"samples_per_sec": [0-9]*' results/BENCH_fleet.json | grep -o '[0-9]*$')"
+  FLOOR=$(( BASELINE_SPS * 60 / 100 ))
+  if [[ "$SMOKE_SPS" -lt "$FLOOR" ]]; then
+    echo "fleet_throughput regression: $SMOKE_SPS samples/s < 60% of committed baseline $BASELINE_SPS"
+    exit 1
+  fi
+  echo "fleet_throughput: $SMOKE_SPS samples/s (baseline $BASELINE_SPS, floor $FLOOR)"
 
   echo "==> obs_dump smoke (fault-injected fleet, both exposition formats)"
   # JSON: the bin validates its own output with obs::expo::validate_json
