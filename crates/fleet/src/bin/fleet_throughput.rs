@@ -9,14 +9,17 @@
 //! round always runs, and rounds finish once started — sample accounting
 //! stays exact). With `--ab` the binary instead runs interleaved pairs of
 //! scratch-reuse and allocating engines (the `reuse_scratch` config knob) and
-//! reports the per-arm throughputs plus the median speedup.
+//! reports the per-arm throughputs plus the median speedup. With
+//! `--ab-durability` the pairs are durability-on (WAL behind every ack,
+//! default `OnRotate` fsync) versus durability-off engines, reporting the
+//! throughput retained by the durable path — the WAL's full serving-path tax.
 //!
 //! Run with:
 //! `cargo run --release -p fleet --bin fleet_throughput -- --streams 1000 --samples 60 --shards 4`
 
 use std::time::Instant;
 
-use fleet::{BackpressurePolicy, FleetConfig, FleetEngine, StreamId};
+use fleet::{BackpressurePolicy, DurabilityConfig, FleetConfig, FleetEngine, StreamId};
 use obs::percentile_sorted;
 use vmsim::fleet_signal;
 
@@ -32,11 +35,20 @@ struct Args {
     duration: Option<f64>,
     /// Interleaved A/B: alternate scratch-reuse and allocating engines.
     ab: bool,
+    /// Interleaved A/B: alternate durability-on and durability-off engines.
+    ab_durability: bool,
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { streams: 1000, samples: 60, shards: 4, seed: 2007, duration: None, ab: false };
+    let mut args = Args {
+        streams: 1000,
+        samples: 60,
+        shards: 4,
+        seed: 2007,
+        duration: None,
+        ab: false,
+        ab_durability: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut take = |name: &str| {
@@ -50,6 +62,7 @@ fn parse_args() -> Args {
             "--shards" => args.shards = take("--shards") as usize,
             "--seed" => args.seed = take("--seed"),
             "--ab" => args.ab = true,
+            "--ab-durability" => args.ab_durability = true,
             "--duration" => {
                 let v = it.next().unwrap_or_else(|| panic!("--duration expects a value"));
                 let secs = v
@@ -60,23 +73,26 @@ fn parse_args() -> Args {
                 args.duration = Some(secs);
             }
             other => panic!(
-                "unknown flag {other}; supported: --streams --samples --shards --seed --duration --ab"
+                "unknown flag {other}; supported: --streams --samples --shards --seed --duration \
+                 --ab --ab-durability"
             ),
         }
     }
     args
 }
 
-/// One complete lossless run with the given scratch policy; returns
-/// samples/sec. Used by the interleaved A/B mode, where per-push latency
-/// tracking would only add noise to the comparison.
-fn run_arm(args: &Args, reuse_scratch: bool) -> f64 {
+/// One complete lossless run with the given scratch policy and optional
+/// durability; returns samples/sec. Used by the interleaved A/B modes,
+/// where per-push latency tracking would only add noise to the comparison.
+fn run_arm_with(args: &Args, reuse_scratch: bool, durability: Option<DurabilityConfig>) -> f64 {
+    let durable = durability.is_some();
     let engine = FleetEngine::new(FleetConfig {
         shards: args.shards,
         backpressure: BackpressurePolicy::Block,
         queue_capacity: 8192,
         fleet_seed: args.seed,
         reuse_scratch,
+        durability,
         ..FleetConfig::default()
     })
     .expect("valid fleet config");
@@ -101,13 +117,30 @@ fn run_arm(args: &Args, reuse_scratch: bool) -> f64 {
             batch.clear();
         }
     }
-    engine.flush();
+    if durable {
+        // The durable arm pays its whole bill inside the timed region: the
+        // drain ends with a WAL fsync.
+        engine.flush_durable().expect("durable drain");
+    } else {
+        engine.flush();
+    }
     let elapsed = started.elapsed().as_secs_f64();
     let total = args.streams * args.samples;
     let health = engine.health();
     assert_eq!(health.pushes.accepted, total, "Block backpressure must be lossless");
     assert_eq!(health.nonfinite_forecasts, 0, "non-finite forecast escaped the fleet");
+    if durable {
+        assert_eq!(
+            engine.registry().counter("fleet_wal_failures_total").get(),
+            0,
+            "durable arm dropped WAL appends"
+        );
+    }
     total as f64 / elapsed
+}
+
+fn run_arm(args: &Args, reuse_scratch: bool) -> f64 {
+    run_arm_with(args, reuse_scratch, None)
 }
 
 /// Interleaved A/B: alternate reuse/alloc engines so scheduler drift and
@@ -142,10 +175,51 @@ fn run_ab(args: &Args) {
     println!("}}");
 }
 
+/// Interleaved A/B: durability-on versus durability-off. The headline
+/// number is `durable_retained` — the fraction of in-memory throughput the
+/// WAL-backed serving path keeps.
+fn run_ab_durability(args: &Args) {
+    const PAIRS: usize = 3;
+    let base = std::env::temp_dir().join(format!("fleet-ab-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut durable = Vec::with_capacity(PAIRS);
+    let mut plain = Vec::with_capacity(PAIRS);
+    for pair in 0..PAIRS {
+        let dir = base.join(format!("pair{pair}"));
+        durable.push(run_arm_with(args, true, Some(DurabilityConfig::new(dir))));
+        plain.push(run_arm_with(args, true, None));
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    let median = |xs: &[f64]| {
+        let mut s = xs.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("throughputs are finite"));
+        s[s.len() / 2]
+    };
+    let (durable_med, plain_med) = (median(&durable), median(&plain));
+    let join = |xs: &[f64]| xs.iter().map(|v| format!("{v:.0}")).collect::<Vec<_>>().join(", ");
+    println!("{{");
+    println!("  \"mode\": \"ab_durability\",");
+    println!("  \"streams\": {},", args.streams);
+    println!("  \"samples_per_stream\": {},", args.samples);
+    println!("  \"shards\": {},", args.shards);
+    println!("  \"seed\": {},", args.seed);
+    println!("  \"pairs\": {PAIRS},");
+    println!("  \"durable_sps\": [{}],", join(&durable));
+    println!("  \"plain_sps\": [{}],", join(&plain));
+    println!("  \"durable_median_sps\": {durable_med:.0},");
+    println!("  \"plain_median_sps\": {plain_med:.0},");
+    println!("  \"durable_retained\": {:.3}", durable_med / plain_med);
+    println!("}}");
+}
+
 fn main() {
     let args = parse_args();
     if args.ab {
         run_ab(&args);
+        return;
+    }
+    if args.ab_durability {
+        run_ab_durability(&args);
         return;
     }
     let engine = FleetEngine::new(FleetConfig {

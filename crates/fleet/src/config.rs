@@ -1,6 +1,9 @@
 //! Fleet engine and per-stream configuration.
 
+use std::path::PathBuf;
+
 use larp::{GuardedLarp, IngestConfig, LarpConfig, OnlineLarp, QualityAssuror, ResilienceConfig};
+use store::FsyncPolicy;
 
 use crate::{FleetError, Result};
 
@@ -18,6 +21,66 @@ pub enum BackpressurePolicy {
     /// Block the pushing thread until the worker frees space. Lossless, at
     /// the cost of coupling producer latency to worker throughput.
     Block,
+}
+
+/// Durable-ingestion configuration: where the engine's trace store lives
+/// and how aggressively it syncs.
+///
+/// With durability enabled every accepted push is appended to a write-ahead
+/// log *before* the push call returns — the ack implies the sample is
+/// recoverable. [`crate::FleetEngine::recover`] rebuilds the serving state
+/// from the newest durable checkpoint plus the WAL tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityConfig {
+    /// Directory holding the WAL segments, archive sidecar, and checkpoint
+    /// file. Created if missing; must not already hold a WAL when starting
+    /// fresh (use [`crate::FleetEngine::recover`] for an existing one).
+    pub dir: PathBuf,
+    /// When the WAL fsyncs. The default (`OnRotate`) survives process
+    /// crashes — `kill -9` loses nothing the OS accepted — but trades
+    /// power-loss durability for append latency.
+    pub fsync: FsyncPolicy,
+    /// WAL segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// Keep WAL segments after a durable checkpoint covers them instead of
+    /// deleting them (e.g. for offline replay or audits).
+    pub retain_segments: bool,
+    /// Raw samples retained per stream in the store's memtable.
+    pub memtable_rows: usize,
+    /// Take a durable checkpoint automatically after this many WAL records
+    /// (0 disables the background checkpointer; call
+    /// [`crate::FleetEngine::checkpoint_durable`] yourself).
+    pub auto_checkpoint_records: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with default knobs (crash-safe `OnRotate`
+    /// fsync, 8 MiB segments, manual checkpointing).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::OnRotate,
+            segment_bytes: 8 << 20,
+            retain_segments: false,
+            memtable_rows: 256,
+            auto_checkpoint_records: 0,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] for zero-sized knobs.
+    pub fn validate(&self) -> Result<()> {
+        if self.segment_bytes == 0 {
+            return Err(FleetError::InvalidConfig("durability segment_bytes must be >= 1".into()));
+        }
+        if self.memtable_rows == 0 {
+            return Err(FleetError::InvalidConfig("durability memtable_rows must be >= 1".into()));
+        }
+        Ok(())
+    }
 }
 
 /// Engine-level configuration.
@@ -44,6 +107,9 @@ pub struct FleetConfig {
     /// reverts to per-sample allocation — kept only as the control arm for
     /// A/B throughput measurement (`fleet_throughput --ab`).
     pub reuse_scratch: bool,
+    /// Durable ingestion (WAL-before-ack + checkpoint/recovery). `None`
+    /// keeps the engine purely in-memory, the previous behavior.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for FleetConfig {
@@ -56,6 +122,7 @@ impl Default for FleetConfig {
             batch_drain: 64,
             event_capacity: 1024,
             reuse_scratch: true,
+            durability: None,
         }
     }
 }
@@ -79,6 +146,9 @@ impl FleetConfig {
         }
         if self.event_capacity == 0 {
             return Err(FleetError::InvalidConfig("event_capacity must be >= 1".into()));
+        }
+        if let Some(d) = &self.durability {
+            d.validate()?;
         }
         Ok(())
     }
@@ -152,6 +222,17 @@ mod tests {
         assert!(FleetConfig { queue_capacity: 0, ..FleetConfig::default() }.validate().is_err());
         assert!(FleetConfig { batch_drain: 0, ..FleetConfig::default() }.validate().is_err());
         assert!(FleetConfig { event_capacity: 0, ..FleetConfig::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn durability_knobs_validate() {
+        let good = DurabilityConfig::new("/tmp/ignored");
+        assert!(good.validate().is_ok());
+        let bad = DurabilityConfig { segment_bytes: 0, ..DurabilityConfig::new("/tmp/ignored") };
+        let cfg = FleetConfig { durability: Some(bad), ..FleetConfig::default() };
+        assert!(cfg.validate().is_err());
+        let bad = DurabilityConfig { memtable_rows: 0, ..DurabilityConfig::new("/tmp/ignored") };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Durable-ingestion plumbing: the checkpoint file wrapper, the per-engine
+//! durability state, and the recovery summary.
+//!
+//! The engine's durable state is three files in one directory (the
+//! [`crate::DurabilityConfig::dir`]):
+//!
+//! * **WAL segments + `MANIFEST`** — every accepted push, appended before
+//!   the ack (owned by [`store::TraceStore`]).
+//! * **`ARCHIVE`** — the store's memtable + RRD tier sidecar.
+//! * **`CHECKPOINT`** — the fleet checkpoint (`FLEETCKP` bytes) wrapped in a
+//!   `STORCKP1` frame carrying the WAL sequence it covers and a CRC:
+//!
+//! ```text
+//! magic   8B  "STORCKP1"
+//! seq     u64 highest WAL sequence the checkpoint covers
+//! len     u64 payload length
+//! payload     FLEETCKP bytes (see crate::checkpoint)
+//! crc     u32 CRC-32/IEEE over everything above
+//! ```
+//!
+//! Writes are atomic (tmp + rename + directory fsync). A corrupt checkpoint
+//! degrades to WAL-only recovery — counted, never a panic.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::RwLock;
+
+use store::{crc32, TraceStore};
+
+use crate::config::DurabilityConfig;
+
+pub(crate) const CHECKPOINT_FILE: &str = "CHECKPOINT";
+const CKPT_MAGIC: &[u8; 8] = b"STORCKP1";
+
+/// What [`crate::FleetEngine::recover`] found and rebuilt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// WAL sequence the loaded checkpoint covered (0 = none).
+    pub checkpoint_seq: u64,
+    /// Streams restored from the checkpoint.
+    pub checkpoint_streams: u64,
+    /// The checkpoint file existed but failed validation and was discarded
+    /// (recovery degraded to WAL-only replay).
+    pub checkpoint_corrupt: bool,
+    /// The store's archive sidecar was corrupt and discarded.
+    pub archive_corrupt: bool,
+    /// WAL records replayed past the checkpoint.
+    pub replayed_records: u64,
+    /// Samples fed back into the serving engine from the replayed records.
+    pub replayed_samples: u64,
+    /// Records lost to sequence gaps (corruption, missing segments).
+    pub gap_records: u64,
+    /// The final segment ended in a partial record (normal after a crash).
+    pub torn_tail: bool,
+    /// Segments abandoned mid-scan due to corruption.
+    pub corrupt_segments: u64,
+    /// Segments named by the manifest but absent on disk.
+    pub missing_segments: u64,
+    /// Replayed samples addressed to streams unknown at that point in the
+    /// log (only possible downstream of a gap).
+    pub unknown_replayed: u64,
+}
+
+impl RecoverySummary {
+    /// True when the log was contiguous: nothing lost, nothing unroutable.
+    pub fn clean(&self) -> bool {
+        !self.checkpoint_corrupt
+            && !self.archive_corrupt
+            && self.gap_records == 0
+            && self.corrupt_segments == 0
+            && self.missing_segments == 0
+            && self.unknown_replayed == 0
+    }
+}
+
+/// Per-engine durable state, held inside the engine's shared block.
+pub(crate) struct DurabilityState {
+    pub(crate) store: TraceStore,
+    /// Push/register/evict hold `read()` across enqueue + WAL append;
+    /// durable checkpoints hold `write()` so the checkpoint bytes and the
+    /// covered WAL sequence describe the same quiesced state.
+    pub(crate) gate: RwLock<()>,
+    pub(crate) config: DurabilityConfig,
+    pub(crate) ckpt_path: PathBuf,
+    /// WAL records appended since the last durable checkpoint; the
+    /// background checkpointer's trigger.
+    pub(crate) records_since_ckpt: AtomicU64,
+    /// Orders the background checkpointer to exit.
+    pub(crate) ckpt_stop: AtomicBool,
+}
+
+impl DurabilityState {
+    pub(crate) fn new(store: TraceStore, config: DurabilityConfig) -> Self {
+        let ckpt_path = config.dir.join(CHECKPOINT_FILE);
+        Self {
+            store,
+            gate: RwLock::new(()),
+            config,
+            ckpt_path,
+            records_since_ckpt: AtomicU64::new(0),
+            ckpt_stop: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Outcome of reading the checkpoint file.
+pub(crate) enum CheckpointFile {
+    /// No checkpoint yet (fresh store, or crash before the first one).
+    Missing,
+    /// The file exists but fails validation; recovery degrades to WAL-only.
+    Corrupt,
+    /// A valid checkpoint covering WAL records `1..=seq`.
+    Loaded { seq: u64, payload: Vec<u8> },
+}
+
+/// Atomically writes the `STORCKP1`-wrapped checkpoint.
+pub(crate) fn write_checkpoint_file(path: &Path, seq: u64, payload: &[u8]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(28 + payload.len());
+    buf.extend_from_slice(CKPT_MAGIC);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(&buf)?;
+    f.sync_data()?;
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and validates the checkpoint file. Corruption is a recoverable
+/// outcome, not an error — only real I/O failures propagate.
+pub(crate) fn read_checkpoint_file(path: &Path) -> std::io::Result<CheckpointFile> {
+    let buf = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(CheckpointFile::Missing),
+        Err(e) => return Err(e),
+    };
+    if buf.len() < 28 || &buf[..8] != CKPT_MAGIC {
+        return Ok(CheckpointFile::Corrupt);
+    }
+    let body = &buf[..buf.len() - 4];
+    let carried = u32::from_le_bytes(buf[buf.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(body) != carried {
+        return Ok(CheckpointFile::Corrupt);
+    }
+    let seq = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(body[16..24].try_into().expect("8 bytes")) as usize;
+    if body.len() - 24 != len {
+        return Ok(CheckpointFile::Corrupt);
+    }
+    Ok(CheckpointFile::Loaded { seq, payload: body[24..].to_vec() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("fleet-ckpt-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn checkpoint_file_round_trips() {
+        let path = temp_path("roundtrip");
+        write_checkpoint_file(&path, 77, b"fleet checkpoint bytes").unwrap();
+        match read_checkpoint_file(&path).unwrap() {
+            CheckpointFile::Loaded { seq, payload } => {
+                assert_eq!(seq, 77);
+                assert_eq!(payload, b"fleet checkpoint bytes");
+            }
+            _ => panic!("expected a loaded checkpoint"),
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_and_corrupt_are_recoverable_outcomes() {
+        let path = temp_path("corrupt");
+        let _ = fs::remove_file(&path);
+        assert!(matches!(read_checkpoint_file(&path).unwrap(), CheckpointFile::Missing));
+        write_checkpoint_file(&path, 5, b"payload").unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_checkpoint_file(&path).unwrap(), CheckpointFile::Corrupt));
+        // Every truncation is Corrupt or Missing, never a panic.
+        write_checkpoint_file(&path, 5, b"payload").unwrap();
+        let good = fs::read(&path).unwrap();
+        for cut in 0..good.len() {
+            fs::write(&path, &good[..cut]).unwrap();
+            assert!(matches!(read_checkpoint_file(&path).unwrap(), CheckpointFile::Corrupt));
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn summary_clean_flags_any_damage() {
+        assert!(RecoverySummary::default().clean());
+        let dirty = RecoverySummary { gap_records: 1, ..RecoverySummary::default() };
+        assert!(!dirty.clean());
+        let dirty = RecoverySummary { checkpoint_corrupt: true, ..RecoverySummary::default() };
+        assert!(!dirty.clean());
+    }
+}

@@ -4,13 +4,15 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use larp::HealthState;
 use obs::{expo, EventKind, EventRing, Registry};
+use store::{RegisterTuning, StoreOptions, TraceStore, WalOptions, WalRecord};
 
 use crate::checkpoint;
-use crate::config::{BackpressurePolicy, FleetConfig, StreamConfig};
+use crate::config::{BackpressurePolicy, DurabilityConfig, FleetConfig, StreamConfig};
+use crate::durability::{self, CheckpointFile, DurabilityState, RecoverySummary};
 use crate::health::{merge_counters, FleetHealth, PushReport, ShardHealth};
 use crate::observe::FleetObs;
 use crate::shard::{shard_of, Job, ShardState, StreamSlot};
@@ -23,6 +25,72 @@ struct EngineShared {
     /// Monotonic count of push attempts, the idle-expiry clock.
     push_seq: AtomicU64,
     obs: FleetObs,
+    /// Durable-ingestion state; `None` for a purely in-memory engine.
+    durability: Option<DurabilityState>,
+}
+
+impl EngineShared {
+    /// Blocks until every queued sample has been fully processed.
+    fn flush_shards(&self) {
+        for s in &self.shards {
+            let mut q = s.queue.lock().expect("shard queue poisoned");
+            while !q.items.is_empty() || q.busy {
+                q = s.drained.wait(q).expect("shard queue poisoned");
+            }
+        }
+    }
+
+    /// Serializes every stream's serving state (sorted by id). Callers
+    /// flush/quiesce first; returns the bytes and the stream count.
+    fn checkpoint_payload(&self) -> (Vec<u8>, u64) {
+        let mut streams: Vec<(StreamId, u64, Vec<u8>)> = Vec::new();
+        for s in &self.shards {
+            let map = s.streams.lock().expect("shard stream map poisoned");
+            for (id, slot) in map.iter() {
+                streams.push((*id, slot.next_minute, slot.guarded.to_snapshot_bytes()));
+            }
+        }
+        streams.sort_unstable_by_key(|(id, _, _)| *id);
+        let count = streams.len() as u64;
+        (checkpoint::encode(&streams), count)
+    }
+}
+
+/// Builds the store options a [`DurabilityConfig`] describes.
+fn store_options(d: &DurabilityConfig) -> StoreOptions {
+    StoreOptions {
+        wal: WalOptions {
+            segment_bytes: d.segment_bytes,
+            fsync: d.fsync,
+            retain_segments: d.retain_segments,
+            ..WalOptions::default()
+        },
+        memtable_rows: d.memtable_rows,
+        ..StoreOptions::default()
+    }
+}
+
+/// Takes a durable checkpoint: quiesces producers via the gate, drains the
+/// queues, persists checkpoint + archive sidecar, then truncates covered WAL
+/// segments. Shared by [`FleetEngine::checkpoint_durable`] and the
+/// background checkpointer.
+fn checkpoint_durable_inner(shared: &EngineShared) -> Result<u64> {
+    let d = shared
+        .durability
+        .as_ref()
+        .ok_or_else(|| FleetError::InvalidConfig("durability is not configured".into()))?;
+    let _gate = d.gate.write().expect("durability gate poisoned");
+    shared.flush_shards();
+    let (payload, streams) = shared.checkpoint_payload();
+    let seq = d.store.persist_archive()?;
+    durability::write_checkpoint_file(&d.ckpt_path, seq, &payload)
+        .map_err(|e| FleetError::Durability(format!("checkpoint write: {e}")))?;
+    d.store.truncate_upto(seq)?;
+    d.records_since_ckpt.store(0, Ordering::Relaxed);
+    shared.obs.checkpoints.inc();
+    let kind = EventKind::CheckpointSave { streams, bytes: payload.len() as u64 };
+    shared.obs.events.push(None, kind);
+    Ok(seq)
 }
 
 /// Sharded multi-stream serving engine. See the crate docs for the design.
@@ -34,6 +102,8 @@ pub struct FleetEngine {
     shared: Arc<EngineShared>,
     default_stream: StreamConfig,
     workers: Vec<JoinHandle<()>>,
+    /// Background durable-checkpoint thread, when auto-checkpointing is on.
+    checkpointer: Option<JoinHandle<()>>,
 }
 
 /// A point-in-time view of one stream's serving state.
@@ -70,12 +140,33 @@ impl FleetEngine {
 
     /// Starts an engine with an explicit default per-stream configuration.
     ///
+    /// With [`FleetConfig::durability`] set this creates a *fresh* durable
+    /// store — the directory must not already hold a WAL (use
+    /// [`recover`](Self::recover) for one that does).
+    ///
     /// # Errors
     ///
     /// Returns [`FleetError::InvalidConfig`] if either configuration is
-    /// invalid.
+    /// invalid and [`FleetError::Durability`] if the store cannot be created.
     pub fn with_stream_defaults(config: FleetConfig, default_stream: StreamConfig) -> Result<Self> {
         config.validate()?;
+        let state = match &config.durability {
+            Some(dcfg) => {
+                let trace = TraceStore::create(&dcfg.dir, store_options(dcfg))?;
+                Some(DurabilityState::new(trace, dcfg.clone()))
+            }
+            None => None,
+        };
+        Self::build(config, default_stream, state)
+    }
+
+    /// Spawns workers around an already-validated configuration and an
+    /// already-opened durable store (if any).
+    fn build(
+        config: FleetConfig,
+        default_stream: StreamConfig,
+        durability: Option<DurabilityState>,
+    ) -> Result<Self> {
         // Fail fast on a default stream config that can never build.
         default_stream.build()?;
         let obs = FleetObs::new(config.event_capacity);
@@ -84,6 +175,7 @@ impl FleetEngine {
             config,
             push_seq: AtomicU64::new(0),
             obs,
+            durability,
         });
         let workers = (0..shared.config.shards)
             .map(|i| {
@@ -96,7 +188,172 @@ impl FleetEngine {
                     .map_err(|e| FleetError::Serving(format!("cannot spawn shard worker: {e}")))
             })
             .collect::<Result<Vec<_>>>()?;
-        Ok(Self { shared, default_stream, workers })
+        let checkpointer = Self::spawn_checkpointer(&shared);
+        Ok(Self { shared, default_stream, workers, checkpointer })
+    }
+
+    /// Starts the background durable-checkpoint thread, if configured.
+    fn spawn_checkpointer(shared: &Arc<EngineShared>) -> Option<JoinHandle<()>> {
+        let every = shared.durability.as_ref()?.config.auto_checkpoint_records;
+        if every == 0 {
+            return None;
+        }
+        let s = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("fleet-checkpointer".into())
+            .spawn(move || {
+                let d = s.durability.as_ref().expect("checkpointer requires durability");
+                while !d.ckpt_stop.load(Ordering::Relaxed) {
+                    if d.records_since_ckpt.load(Ordering::Relaxed) >= every {
+                        // A failed checkpoint leaves the trigger count
+                        // untouched, so the next tick retries.
+                        let _ = checkpoint_durable_inner(&s);
+                    }
+                    std::thread::park_timeout(Duration::from_millis(20));
+                }
+            })
+            .expect("spawn fleet checkpointer");
+        Some(handle)
+    }
+
+    /// Rebuilds an engine from its durable state: loads the newest valid
+    /// checkpoint (degrading to WAL-only replay if it is corrupt or
+    /// missing), replays the WAL tail through the serving slots, and reopens
+    /// the log on a fresh segment. `config` may use a different shard count
+    /// than the crashed engine — streams re-shard by the pure hash and the
+    /// replay is bit-identical either way. Call with the same
+    /// `default_stream` the crashed engine used so replayed registrations
+    /// rebuild identical serving stacks.
+    ///
+    /// Corruption (torn tails, bit flips, missing segments) degrades to the
+    /// last valid record and is counted in the returned [`RecoverySummary`]
+    /// (and the `fleet_wal_gap_records_total` counter) — it is never a
+    /// panic and never an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] if `config.durability` is unset
+    /// and [`FleetError::Durability`] if the store directory is missing or
+    /// unreadable.
+    pub fn recover(
+        config: FleetConfig,
+        default_stream: StreamConfig,
+    ) -> Result<(Self, RecoverySummary)> {
+        config.validate()?;
+        let dcfg = config
+            .durability
+            .clone()
+            .ok_or_else(|| FleetError::InvalidConfig("recover requires durability".into()))?;
+        if !dcfg.dir.is_dir() {
+            return Err(FleetError::Durability(format!(
+                "recover: store directory {} does not exist",
+                dcfg.dir.display()
+            )));
+        }
+        let mut summary = RecoverySummary::default();
+        let ckpt_path = dcfg.dir.join(durability::CHECKPOINT_FILE);
+        let (start_after, payload) = match durability::read_checkpoint_file(&ckpt_path)
+            .map_err(|e| FleetError::Durability(format!("checkpoint read: {e}")))?
+        {
+            CheckpointFile::Loaded { seq, payload } => (seq, Some(payload)),
+            CheckpointFile::Missing => (0, None),
+            CheckpointFile::Corrupt => {
+                summary.checkpoint_corrupt = true;
+                (0, None)
+            }
+        };
+        let mut tail: Vec<(u64, WalRecord)> = Vec::new();
+        let (trace, recovered) =
+            TraceStore::recover(&dcfg.dir, store_options(&dcfg), start_after, |seq, rec| {
+                tail.push((seq, rec));
+            })?;
+        summary.checkpoint_seq = start_after;
+        summary.archive_corrupt = recovered.archive_corrupt;
+        summary.replayed_records = recovered.wal.replayed;
+        summary.gap_records = recovered.wal.gap_records;
+        summary.torn_tail = recovered.wal.torn_tail;
+        summary.corrupt_segments = recovered.wal.corrupt_segments;
+        summary.missing_segments = recovered.wal.missing_segments;
+
+        let state = DurabilityState::new(trace, dcfg);
+        let engine = Self::build(config, default_stream, Some(state))?;
+
+        if let Some(payload) = payload {
+            let streams = checkpoint::decode(&payload)?;
+            summary.checkpoint_streams = streams.len() as u64;
+            for st in streams {
+                let mut guarded = st.guarded;
+                guarded.attach_obs(engine.shared.obs.larp.for_stream(st.id));
+                let shard = &engine.shared.shards[engine.shard_for(st.id)];
+                let mut map = shard.streams.lock().expect("shard stream map poisoned");
+                map.insert(st.id, StreamSlot::new(guarded, st.next_minute));
+            }
+            engine.shared.obs.restores.inc();
+            let kind = EventKind::CheckpointRestore {
+                streams: summary.checkpoint_streams,
+                bytes: payload.len() as u64,
+            };
+            engine.shared.obs.events.push(None, kind);
+        }
+
+        for (_seq, rec) in &tail {
+            engine.replay_record(rec, &mut summary);
+        }
+        if let Some(d) = engine.shared.durability.as_ref() {
+            d.records_since_ckpt.store(tail.len() as u64, Ordering::Relaxed);
+        }
+        engine.shared.obs.wal_recoveries.inc();
+        engine.shared.obs.wal_gap_records.add(summary.gap_records);
+        let kind = EventKind::WalRecovery {
+            replayed: summary.replayed_records,
+            gaps: summary.gap_records,
+        };
+        engine.shared.obs.events.push(None, kind);
+        Ok((engine, summary))
+    }
+
+    /// Applies one replayed WAL record directly to the serving slots —
+    /// bypassing the queues (the workers are idle during recovery) and the
+    /// WAL itself (replay must not re-log what it reads).
+    fn replay_record(&self, rec: &WalRecord, summary: &mut RecoverySummary) {
+        match rec {
+            WalRecord::Samples(samples) => {
+                for s in samples {
+                    summary.replayed_samples += 1;
+                    let shard = &self.shared.shards[self.shard_for(s.stream)];
+                    let mut map = shard.streams.lock().expect("shard stream map poisoned");
+                    match map.get_mut(&s.stream) {
+                        Some(slot) => slot.feed(&Job {
+                            stream: s.stream,
+                            minute: s.minute,
+                            value: s.value,
+                            seq: 0,
+                        }),
+                        // Live workers drop unknown-stream samples too, so
+                        // this reproduces the uninterrupted outcome; a
+                        // *registered* stream can only be missing here
+                        // downstream of a WAL gap.
+                        None => summary.unknown_replayed += 1,
+                    }
+                }
+            }
+            WalRecord::Register { id, tuning } => {
+                let cfg = StreamConfig {
+                    train_size: tuning.train_size as usize,
+                    qa_window: tuning.qa_window as usize,
+                    qa_period: tuning.qa_period as usize,
+                    qa_threshold: tuning.qa_threshold,
+                    ..self.default_stream.clone()
+                };
+                // A collision with a checkpointed stream can only follow a
+                // WAL gap; keep the richer checkpointed state.
+                let _ = self.insert_stream(*id, &cfg);
+            }
+            WalRecord::Evict { id } => {
+                let shard = &self.shared.shards[self.shard_for(*id)];
+                shard.streams.lock().expect("shard stream map poisoned").remove(id);
+            }
+        }
     }
 
     /// The engine configuration.
@@ -119,13 +376,41 @@ impl FleetEngine {
         self.register_with(id, &cfg)
     }
 
-    /// Registers a new stream with an explicit configuration.
+    /// Registers a new stream with an explicit configuration. With
+    /// durability on, the registration is WAL-logged before this returns.
     ///
     /// # Errors
     ///
-    /// Returns [`FleetError::DuplicateStream`] if `id` is already registered
-    /// and propagates stream-construction failures.
+    /// Returns [`FleetError::DuplicateStream`] if `id` is already
+    /// registered, propagates stream-construction failures, and returns
+    /// [`FleetError::Durability`] if the WAL append fails (the registration
+    /// is rolled back).
     pub fn register_with(&self, id: StreamId, config: &StreamConfig) -> Result<()> {
+        let _gate = self.gate_read();
+        self.insert_stream(id, config)?;
+        if let Some(d) = self.shared.durability.as_ref() {
+            let tuning = RegisterTuning {
+                train_size: config.train_size as u32,
+                qa_window: config.qa_window as u32,
+                qa_period: config.qa_period as u32,
+                qa_threshold: config.qa_threshold,
+            };
+            if let Err(e) = d.store.append_register(id, &tuning) {
+                // Roll back: an unlogged stream would vanish on recovery
+                // while the caller believes it exists.
+                let shard = &self.shared.shards[self.shard_for(id)];
+                shard.streams.lock().expect("shard stream map poisoned").remove(&id);
+                self.shared.obs.wal_failures.inc();
+                return Err(e.into());
+            }
+            d.records_since_ckpt.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Builds and inserts one stream slot (no WAL traffic — shared by the
+    /// logged register path and recovery replay).
+    fn insert_stream(&self, id: StreamId, config: &StreamConfig) -> Result<()> {
         let mut guarded = config.build()?;
         guarded.attach_obs(self.shared.obs.larp.for_stream(id));
         let shard = &self.shared.shards[self.shard_for(id)];
@@ -138,18 +423,70 @@ impl FleetEngine {
     }
 
     /// Evicts a stream, discarding its serving state. Samples still queued
-    /// for it are dropped by the worker (counted as unknown).
+    /// for it are dropped by the worker (counted as unknown). With
+    /// durability on, the eviction is WAL-logged.
     ///
     /// # Errors
     ///
-    /// Returns [`FleetError::UnknownStream`] if `id` is not registered.
+    /// Returns [`FleetError::UnknownStream`] if `id` is not registered and
+    /// [`FleetError::Durability`] if the WAL append fails — the in-memory
+    /// eviction already took effect, but recovery may resurrect the stream.
     pub fn evict(&self, id: StreamId) -> Result<()> {
+        let _gate = self.gate_read();
         let shard = &self.shared.shards[self.shard_for(id)];
         let mut streams = shard.streams.lock().expect("shard stream map poisoned");
         streams.remove(&id).map(|_| ()).ok_or(FleetError::UnknownStream(id))?;
+        drop(streams);
         self.shared.obs.evictions.inc();
         self.shared.obs.events.push(Some(id), EventKind::StreamEvicted { idle: false });
+        if let Some(d) = self.shared.durability.as_ref() {
+            if let Err(e) = d.store.append_evict(id) {
+                self.shared.obs.wal_failures.inc();
+                return Err(e.into());
+            }
+            d.records_since_ckpt.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(())
+    }
+
+    /// Holds the durability gate open for one ingest operation (no-op
+    /// without durability). Checkpoints take the write side, so everything
+    /// done under this guard lands either entirely before or entirely after
+    /// a checkpoint's cut.
+    fn gate_read(&self) -> Option<std::sync::RwLockReadGuard<'_, ()>> {
+        self.shared.durability.as_ref().map(|d| d.gate.read().expect("durability gate poisoned"))
+    }
+
+    /// Appends accepted samples to the WAL (no-op without durability). A
+    /// failed append marks the report: the samples are already enqueued and
+    /// will be served, but are not durable until the next checkpoint.
+    fn wal_append_samples(&self, samples: &[store::Sample], report: &mut PushReport) {
+        let Some(d) = self.shared.durability.as_ref() else { return };
+        if samples.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        match d.store.append_samples(samples) {
+            Ok(info) => {
+                let obs = &self.shared.obs;
+                obs.wal_append_us.record(t0.elapsed().as_micros() as f64);
+                obs.wal_records.inc();
+                if info.fsynced {
+                    obs.wal_fsyncs.inc();
+                }
+                if info.rotated {
+                    obs.wal_rotations.inc();
+                    // Rotation precedes the write, so the fresh segment
+                    // starts at this record's sequence.
+                    obs.events.push(None, EventKind::WalRotation { segment: info.seq });
+                }
+                d.records_since_ckpt.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                report.wal_failed = true;
+                self.shared.obs.wal_failures.inc();
+            }
+        }
     }
 
     /// Whether `id` is currently registered.
@@ -176,11 +513,16 @@ impl FleetEngine {
     /// Pushes one sample with an explicit minute timestamp (for replaying
     /// recorded or fault-injected traces whose gaps matter).
     pub fn push_at(&self, id: StreamId, minute: u64, value: f64) -> PushReport {
+        let _gate = self.gate_read();
         let seq = self.shared.push_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let job = Job { stream: id, minute: Some(minute), value, seq };
         let mut report = PushReport::default();
         let started = Instant::now();
-        self.enqueue(self.shard_for(id), &[job], &mut report);
+        self.enqueue(self.shard_for(id), &[job], &mut report, None);
+        if report.accepted > 0 {
+            let sample = store::Sample { stream: id, minute: Some(minute), value };
+            self.wal_append_samples(&[sample], &mut report);
+        }
         self.account(report, started);
         report
     }
@@ -199,6 +541,7 @@ impl FleetEngine {
                 const { std::cell::RefCell::new(Vec::new()) };
         }
         GROUPED.with(|cell| {
+            let _gate = self.gate_read();
             let mut grouped = cell.borrow_mut();
             let shards = self.shared.config.shards;
             if grouped.len() < shards {
@@ -213,10 +556,15 @@ impl FleetEngine {
             }
             let mut report = PushReport::default();
             let started = Instant::now();
+            let mut wal_buf: Option<Vec<store::Sample>> =
+                self.shared.durability.as_ref().map(|_| Vec::with_capacity(batch.len()));
             for (shard, jobs) in grouped.iter().enumerate().take(shards) {
                 if !jobs.is_empty() {
-                    self.enqueue(shard, jobs, &mut report);
+                    self.enqueue(shard, jobs, &mut report, wal_buf.as_mut());
                 }
+            }
+            if let Some(buf) = &wal_buf {
+                self.wal_append_samples(buf, &mut report);
             }
             self.account(report, started);
             report
@@ -229,7 +577,13 @@ impl FleetEngine {
     /// Backpressure events are traced once per call with the sample counts,
     /// not once per sample — overflow is bursty and a per-sample event would
     /// flood the ring exactly when it matters most.
-    fn enqueue(&self, shard: usize, jobs: &[Job], report: &mut PushReport) {
+    fn enqueue(
+        &self,
+        shard: usize,
+        jobs: &[Job],
+        report: &mut PushReport,
+        mut wal: Option<&mut Vec<store::Sample>>,
+    ) {
         let s = &self.shared.shards[shard];
         let cap = self.shared.config.queue_capacity;
         let policy = self.shared.config.backpressure;
@@ -266,6 +620,9 @@ impl FleetEngine {
             }
             q.items.push_back(*job);
             report.accepted += 1;
+            if let Some(w) = wal.as_deref_mut() {
+                w.push(store::Sample { stream: job.stream, minute: job.minute, value: job.value });
+            }
         }
         s.queue_depth.set(q.items.len() as f64);
         drop(q);
@@ -292,12 +649,73 @@ impl FleetEngine {
 
     /// Blocks until every queued sample has been fully processed.
     pub fn flush(&self) {
-        for s in &self.shared.shards {
-            let mut q = s.queue.lock().expect("shard queue poisoned");
-            while !q.items.is_empty() || q.busy {
-                q = s.drained.wait(q).expect("shard queue poisoned");
-            }
+        self.shared.flush_shards();
+    }
+
+    /// Drains every queue to the serving state *and* the durable store, then
+    /// fsyncs the WAL: after this returns, every acked sample survives even
+    /// power loss. The graceful-shutdown hook — netserve's drain path calls
+    /// it before joining. Without durability this is just
+    /// [`flush`](Self::flush).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Durability`] if the fsync fails.
+    pub fn flush_durable(&self) -> Result<()> {
+        self.flush();
+        if let Some(d) = self.shared.durability.as_ref() {
+            d.store.flush();
+            d.store.sync()?;
         }
+        Ok(())
+    }
+
+    /// Takes a durable checkpoint: quiesces producers, drains the queues,
+    /// writes the fleet checkpoint and archive sidecar atomically, then
+    /// truncates the WAL segments the checkpoint covers. Returns the covered
+    /// WAL sequence. Recovery time is proportional to the WAL tail past the
+    /// last checkpoint, so checkpoint cadence bounds restart latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] without durability and
+    /// [`FleetError::Durability`] on store failures.
+    pub fn checkpoint_durable(&self) -> Result<u64> {
+        checkpoint_durable_inner(&self.shared)
+    }
+
+    /// Durable-store counters (WAL records, fsyncs, compactions, …), or
+    /// `None` without durability.
+    pub fn store_stats(&self) -> Option<store::StoreStats> {
+        self.shared.durability.as_ref().map(|d| d.store.stats())
+    }
+
+    /// Raw retained samples of `stream` in `[from, to]` minutes from the
+    /// durable store's memtable, or `None` without durability. Call
+    /// [`flush`](Self::flush) first for an up-to-date view (the store
+    /// compacts in the background).
+    pub fn trace_raw(&self, stream: StreamId, from: u64, to: u64) -> Option<Vec<(u64, f64)>> {
+        self.shared.durability.as_ref().map(|d| {
+            d.store.flush();
+            d.store.query_raw(stream, from, to)
+        })
+    }
+
+    /// Consolidated RRD rows of `stream` for `[start, end)` minutes at
+    /// `interval` from the durable store's tier cascade (vmkusage layout:
+    /// 1-min×2h → 5-min×24h → 30-min×7d), or `None` without durability or
+    /// when no tier retains the range.
+    pub fn trace_archive(
+        &self,
+        stream: StreamId,
+        start_minute: u64,
+        end_minute: u64,
+        interval_minutes: u64,
+    ) -> Option<Vec<f64>> {
+        self.shared.durability.as_ref().and_then(|d| {
+            d.store.flush();
+            d.store.query_archive(stream, start_minute, end_minute, interval_minutes)
+        })
     }
 
     /// Evicts streams that have not received a sample within the last
@@ -307,6 +725,7 @@ impl FleetEngine {
     /// but never pushed have an activity mark of zero and expire like any
     /// other idle stream.
     pub fn sweep_idle(&self, max_idle: u64) -> Vec<StreamId> {
+        let _gate = self.gate_read();
         self.flush();
         let now = self.shared.push_seq.load(Ordering::Relaxed);
         let mut evicted = Vec::new();
@@ -324,6 +743,13 @@ impl FleetEngine {
         for &id in &evicted {
             self.shared.obs.evictions.inc();
             self.shared.obs.events.push(Some(id), EventKind::StreamEvicted { idle: true });
+            if let Some(d) = self.shared.durability.as_ref() {
+                if d.store.append_evict(id).is_err() {
+                    self.shared.obs.wal_failures.inc();
+                } else {
+                    d.records_since_ckpt.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         evicted
     }
@@ -359,6 +785,7 @@ impl FleetEngine {
                 accepted: self.shared.obs.push_accepted.get(),
                 rejected: self.shared.obs.push_rejected.get(),
                 dropped: self.shared.obs.push_dropped.get(),
+                wal_failed: self.shared.obs.wal_failures.get() > 0,
             },
             ..FleetHealth::default()
         };
@@ -399,18 +826,9 @@ impl FleetEngine {
     /// restores cleanly onto 2 — see [`restore`](Self::restore).
     pub fn checkpoint(&self) -> Vec<u8> {
         self.flush();
-        let mut streams: Vec<(StreamId, u64, Vec<u8>)> = Vec::new();
-        for s in &self.shared.shards {
-            let map = s.streams.lock().expect("shard stream map poisoned");
-            for (id, slot) in map.iter() {
-                streams.push((*id, slot.next_minute, slot.guarded.to_snapshot_bytes()));
-            }
-        }
-        streams.sort_unstable_by_key(|(id, _, _)| *id);
-        let bytes = checkpoint::encode(&streams);
+        let (bytes, streams) = self.shared.checkpoint_payload();
         self.shared.obs.checkpoints.inc();
-        let kind =
-            EventKind::CheckpointSave { streams: streams.len() as u64, bytes: bytes.len() as u64 };
+        let kind = EventKind::CheckpointSave { streams, bytes: bytes.len() as u64 };
         self.shared.obs.events.push(None, kind);
         bytes
     }
@@ -471,6 +889,15 @@ impl FleetEngine {
 
 impl Drop for FleetEngine {
     fn drop(&mut self) {
+        // Stop the background checkpointer first so no checkpoint races the
+        // worker shutdown.
+        if let Some(handle) = self.checkpointer.take() {
+            if let Some(d) = self.shared.durability.as_ref() {
+                d.ckpt_stop.store(true, Ordering::Relaxed);
+            }
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
         for s in &self.shared.shards {
             let mut q = s.queue.lock().expect("shard queue poisoned");
             q.shutdown = true;
@@ -733,6 +1160,207 @@ mod tests {
             (0..6).map(|id| engine.stream_info(id).unwrap()).collect::<Vec<_>>()
         };
         assert_eq!(run(true), run(false));
+    }
+
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("fleet-durable-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_config(dir: &std::path::Path, shards: usize) -> FleetConfig {
+        FleetConfig {
+            shards,
+            backpressure: BackpressurePolicy::Block,
+            durability: Some(DurabilityConfig::new(dir)),
+            ..FleetConfig::default()
+        }
+    }
+
+    /// Drives a deterministic workload; returns the per-stream infos.
+    fn drive(engine: &FleetEngine, streams: u64, minutes: u64) -> Vec<StreamInfo> {
+        for m in 0..minutes {
+            let batch: Vec<(StreamId, f64)> = (0..streams)
+                .map(|id| (id, 40.0 + ((m * 13 + id * 7) as f64 * 0.21).sin() * 9.0))
+                .collect();
+            engine.push_batch(&batch);
+        }
+        engine.flush();
+        (0..streams).map(|id| engine.stream_info(id).unwrap()).collect()
+    }
+
+    #[test]
+    fn durable_engine_logs_and_recovers_bit_identically() {
+        let dir = temp_store_dir("roundtrip");
+        let engine = FleetEngine::new(durable_config(&dir, 2)).unwrap();
+        for id in 0..4u64 {
+            engine.register(id).unwrap();
+        }
+        let before = drive(&engine, 4, 150);
+        let report = engine.push(0, 41.5);
+        assert!(!report.wal_failed);
+        engine.flush();
+        let before0 = engine.stream_info(0).unwrap();
+        // Simulate a crash: drop without checkpointing.
+        drop(engine);
+
+        let (back, summary) =
+            FleetEngine::recover(durable_config(&dir, 2), StreamConfig::default()).unwrap();
+        assert!(summary.clean(), "clean log must recover cleanly: {summary:?}");
+        assert_eq!(summary.checkpoint_seq, 0);
+        assert_eq!(summary.replayed_samples, 4 * 150 + 1);
+        back.flush();
+        for (id, want) in before.iter().enumerate().skip(1) {
+            assert_eq!(&back.stream_info(id as u64).unwrap(), want, "stream {id}");
+        }
+        assert_eq!(back.stream_info(0).unwrap(), before0);
+        // The recovery event is visible.
+        assert!(back
+            .events()
+            .recent()
+            .iter()
+            .any(|e| matches!(e.kind, obs::EventKind::WalRecovery { gaps: 0, .. })));
+        drop(back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_checkpoint_truncates_and_recovery_replays_only_the_tail() {
+        let dir = temp_store_dir("ckpt");
+        let engine = FleetEngine::new(durable_config(&dir, 2)).unwrap();
+        for id in 0..3u64 {
+            engine.register(id).unwrap();
+        }
+        drive(&engine, 3, 100);
+        let seq = engine.checkpoint_durable().unwrap();
+        assert_eq!(seq, 3 + 100, "3 register records + 100 batch records");
+        drive(&engine, 3, 20);
+        let expected = drive(&engine, 3, 0);
+        drop(engine);
+
+        let (back, summary) =
+            FleetEngine::recover(durable_config(&dir, 2), StreamConfig::default()).unwrap();
+        assert_eq!(summary.checkpoint_seq, seq);
+        assert_eq!(summary.checkpoint_streams, 3);
+        assert_eq!(summary.replayed_records, 20, "only the tail replays");
+        assert!(summary.clean());
+        back.flush();
+        for id in 0..3u64 {
+            let got = back.stream_info(id).unwrap();
+            let want = &expected[id as usize];
+            // Steps/forecast tallies restart at a checkpoint restore, but the
+            // serving outcome must match exactly.
+            assert_eq!(got.next_minute, want.next_minute, "stream {id}");
+            assert_eq!(got.last_forecast, want.last_forecast, "stream {id}");
+            assert_eq!(got.health, want.health, "stream {id}");
+        }
+        // The tiered archive survived via the sidecar: a 5-minute query over
+        // the full range answers.
+        assert!(back.trace_archive(0, 0, 120, 5).is_some());
+        drop(back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_onto_different_shard_count_is_bit_identical() {
+        let dir = temp_store_dir("reshard");
+        let engine = FleetEngine::new(durable_config(&dir, 4)).unwrap();
+        for id in 0..6u64 {
+            engine.register(id).unwrap();
+        }
+        drive(&engine, 6, 80);
+        engine.checkpoint_durable().unwrap();
+        drive(&engine, 6, 40);
+        let want = drive(&engine, 6, 0);
+        drop(engine);
+
+        // Recover onto 1 shard: re-sharding composes with WAL replay.
+        let (back, summary) =
+            FleetEngine::recover(durable_config(&dir, 1), StreamConfig::default()).unwrap();
+        assert!(summary.clean());
+        back.flush();
+        for id in 0..6u64 {
+            let got = back.stream_info(id).unwrap();
+            assert_eq!(got.next_minute, want[id as usize].next_minute, "stream {id}");
+            assert_eq!(got.last_forecast, want[id as usize].last_forecast, "stream {id}");
+        }
+        drop(back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evictions_and_explicit_minutes_replay() {
+        let dir = temp_store_dir("lifecycle");
+        let engine = FleetEngine::new(durable_config(&dir, 2)).unwrap();
+        engine.register(1).unwrap();
+        engine.register(2).unwrap();
+        for m in 0..60u64 {
+            engine.push_at(1, m * 2, 30.0 + (m as f64 * 0.4).cos() * 5.0);
+            engine.push(2, 55.0);
+        }
+        engine.evict(2).unwrap();
+        engine.flush();
+        let want = engine.stream_info(1).unwrap();
+        drop(engine);
+
+        let (back, summary) =
+            FleetEngine::recover(durable_config(&dir, 2), StreamConfig::default()).unwrap();
+        assert!(summary.clean());
+        back.flush();
+        assert_eq!(back.stream_info(1).unwrap(), want);
+        assert!(!back.contains(2), "eviction must replay");
+        drop(back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_durable_engine_refuses_an_occupied_dir() {
+        let dir = temp_store_dir("occupied");
+        let engine = FleetEngine::new(durable_config(&dir, 1)).unwrap();
+        engine.register(1).unwrap();
+        drop(engine);
+        assert!(matches!(
+            FleetEngine::new(durable_config(&dir, 1)),
+            Err(FleetError::Durability(_))
+        ));
+        // recover() on a missing dir is also an error.
+        let missing = temp_store_dir("missing");
+        assert!(matches!(
+            FleetEngine::recover(durable_config(&missing, 1), StreamConfig::default()),
+            Err(FleetError::Durability(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_checkpointer_fires_and_truncates() {
+        let dir = temp_store_dir("auto");
+        let mut config = durable_config(&dir, 1);
+        if let Some(d) = config.durability.as_mut() {
+            d.auto_checkpoint_records = 50;
+        }
+        let engine = FleetEngine::new(config).unwrap();
+        engine.register(1).unwrap();
+        for m in 0..200u64 {
+            engine.push(1, 20.0 + m as f64 * 0.05);
+        }
+        engine.flush();
+        // Wait (bounded) for the background checkpointer to land one.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.shared.obs.checkpoints.get() == 0 {
+            assert!(Instant::now() < deadline, "auto checkpoint never fired");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        drop(engine);
+        let (back, summary) =
+            FleetEngine::recover(durable_config(&dir, 1), StreamConfig::default()).unwrap();
+        assert!(summary.checkpoint_seq > 0, "recovery starts from the auto checkpoint");
+        assert!(summary.clean());
+        drop(back);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub struct PushReport {
     /// ([`crate::BackpressurePolicy::DropOldest`]). Attributed to the call
     /// that forced the eviction, not the one that enqueued the victim.
     pub dropped: u64,
+    /// The write-ahead log append for this call failed: the accepted samples
+    /// are being served from memory but are *not* durable — a crash before
+    /// the next successful checkpoint loses them. Always `false` when the
+    /// engine runs without durability.
+    pub wal_failed: bool,
 }
 
 impl PushReport {
@@ -30,6 +35,7 @@ impl PushReport {
         self.accepted += other.accepted;
         self.rejected += other.rejected;
         self.dropped += other.dropped;
+        self.wal_failed |= other.wal_failed;
     }
 }
 
@@ -110,9 +116,9 @@ mod tests {
 
     #[test]
     fn push_report_merges() {
-        let mut a = PushReport { accepted: 3, rejected: 1, dropped: 0 };
-        a.merge(PushReport { accepted: 2, rejected: 0, dropped: 5 });
-        assert_eq!(a, PushReport { accepted: 5, rejected: 1, dropped: 5 });
+        let mut a = PushReport { accepted: 3, rejected: 1, ..PushReport::default() };
+        a.merge(PushReport { accepted: 2, dropped: 5, wal_failed: true, ..PushReport::default() });
+        assert_eq!(a, PushReport { accepted: 5, rejected: 1, dropped: 5, wal_failed: true });
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!   stream's full serving state (via `larp::snapshot`);
 //!   [`FleetEngine::restore`] warm-starts a fleet from those bytes without
 //!   retraining a single model, even onto a different shard count.
+//! * **Durability** — with [`DurabilityConfig`] set, every accepted push is
+//!   appended to a crash-safe write-ahead log *before* the call returns;
+//!   [`FleetEngine::checkpoint_durable`] persists checkpoint + archive
+//!   sidecar and truncates the log, and [`FleetEngine::recover`] rebuilds
+//!   the fleet bit-identically from checkpoint + WAL tail after a crash
+//!   (DESIGN.md §8).
 //! * **Health surface** — [`FleetEngine::health`] aggregates per-shard queue
 //!   depths, degraded/quarantined stream counts and rolled-up
 //!   [`larp::OnlineCounters`] into one [`FleetHealth`].
@@ -39,15 +45,18 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod durability;
 pub mod engine;
 pub mod health;
 mod observe;
 pub mod shard;
 
-pub use config::{BackpressurePolicy, FleetConfig, StreamConfig};
+pub use config::{BackpressurePolicy, DurabilityConfig, FleetConfig, StreamConfig};
+pub use durability::RecoverySummary;
 pub use engine::{FleetEngine, StreamInfo};
 pub use health::{FleetHealth, PushReport, ShardHealth};
 pub use shard::shard_of;
+pub use store::FsyncPolicy;
 
 /// Stable identifier of one prediction stream within a fleet.
 pub type StreamId = u64;
@@ -65,6 +74,9 @@ pub enum FleetError {
     Checkpoint(String),
     /// Propagated failure from the serving substrate.
     Serving(String),
+    /// A durable-store failure (WAL append, checkpoint persistence, or
+    /// recovery).
+    Durability(String),
 }
 
 impl std::fmt::Display for FleetError {
@@ -75,11 +87,18 @@ impl std::fmt::Display for FleetError {
             FleetError::DuplicateStream(id) => write!(f, "stream {id} already registered"),
             FleetError::Checkpoint(m) => write!(f, "checkpoint failure: {m}"),
             FleetError::Serving(m) => write!(f, "serving failure: {m}"),
+            FleetError::Durability(m) => write!(f, "durability failure: {m}"),
         }
     }
 }
 
 impl std::error::Error for FleetError {}
+
+impl From<store::StoreError> for FleetError {
+    fn from(e: store::StoreError) -> Self {
+        FleetError::Durability(e.to_string())
+    }
+}
 
 impl From<larp::LarpError> for FleetError {
     fn from(e: larp::LarpError) -> Self {

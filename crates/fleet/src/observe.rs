@@ -19,6 +19,18 @@
 //! | `fleet_push_enqueue_us` | histogram | enqueue wall-clock per push call |
 //! | `fleet_shard<i>_queue_depth` | gauge | samples waiting on shard *i* |
 //! | `fleet_shard<i>_unknown_dropped_total` | counter | unroutable samples |
+//!
+//! With durability enabled the engine additionally mirrors its trace store:
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `fleet_wal_records_total` | counter | WAL records appended |
+//! | `fleet_wal_failures_total` | counter | WAL appends that failed (ack carried `wal_failed`) |
+//! | `fleet_wal_fsyncs_total` | counter | appends that fsynced the segment |
+//! | `fleet_wal_rotations_total` | counter | segment rotations |
+//! | `fleet_wal_recoveries_total` | counter | successful `recover` calls |
+//! | `fleet_wal_gap_records_total` | counter | records lost to WAL gaps at recovery |
+//! | `fleet_wal_append_us` | histogram | WAL append wall-clock per push call |
 
 use larp::LarpObs;
 use obs::{Counter, EventRing, Histogram, Registry};
@@ -38,6 +50,13 @@ pub(crate) struct FleetObs {
     pub(crate) checkpoints: Counter,
     pub(crate) restores: Counter,
     pub(crate) enqueue_us: Histogram,
+    pub(crate) wal_records: Counter,
+    pub(crate) wal_failures: Counter,
+    pub(crate) wal_fsyncs: Counter,
+    pub(crate) wal_rotations: Counter,
+    pub(crate) wal_recoveries: Counter,
+    pub(crate) wal_gap_records: Counter,
+    pub(crate) wal_append_us: Histogram,
 }
 
 impl FleetObs {
@@ -54,6 +73,13 @@ impl FleetObs {
             checkpoints: registry.counter("fleet_checkpoints_total"),
             restores: registry.counter("fleet_restores_total"),
             enqueue_us: registry.histogram("fleet_push_enqueue_us"),
+            wal_records: registry.counter("fleet_wal_records_total"),
+            wal_failures: registry.counter("fleet_wal_failures_total"),
+            wal_fsyncs: registry.counter("fleet_wal_fsyncs_total"),
+            wal_rotations: registry.counter("fleet_wal_rotations_total"),
+            wal_recoveries: registry.counter("fleet_wal_recoveries_total"),
+            wal_gap_records: registry.counter("fleet_wal_gap_records_total"),
+            wal_append_us: registry.histogram("fleet_wal_append_us"),
             registry,
             events,
         }

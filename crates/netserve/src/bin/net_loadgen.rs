@@ -16,17 +16,25 @@
 //! self-validated JSON report and writes it to `--out`
 //! (default `results/BENCH_net.json`).
 //!
+//! With `--record <dir>` the session is also mirrored into a replayable
+//! recorded-trace WAL (the `store` crate's segment format): one `Register`
+//! record per stream, then one `Samples` record per acked batch. The run
+//! self-validates the trace by re-recovering it and checking every record
+//! reads back gap-free.
+//!
 //! Run with:
 //! `cargo run --release -p netserve --bin net_loadgen -- --clients 8 --streams 200 --shards 4 --duration 3`
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use fleet::{BackpressurePolicy, FleetConfig, FleetEngine};
 use netserve::{Client, ClientConfig, Server, ServerConfig};
 use obs::percentile_sorted;
+use store::{RegisterTuning, Sample, Wal, WalOptions, WalRecord};
 use vmsim::{fleet_signal, FaultConfig, FaultInjector};
 
 struct Args {
@@ -37,6 +45,7 @@ struct Args {
     batch: usize,
     seed: u64,
     out: String,
+    record: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +57,7 @@ fn parse_args() -> Args {
         batch: 64,
         seed: 2007,
         out: "results/BENCH_net.json".to_string(),
+        record: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -70,9 +80,10 @@ fn parse_args() -> Args {
             "--batch" => args.batch = (uint("--batch", take("--batch")) as usize).max(1),
             "--seed" => args.seed = uint("--seed", take("--seed")),
             "--out" => args.out = take("--out"),
+            "--record" => args.record = Some(take("--record")),
             other => panic!(
                 "unknown flag {other}; supported: --clients --streams --shards --duration \
-                 --batch --seed --out"
+                 --batch --seed --out --record"
             ),
         }
     }
@@ -99,6 +110,7 @@ fn worker(
     seed: u64,
     batch_size: usize,
     deadline: Instant,
+    recorder: Option<Arc<Mutex<Wal>>>,
 ) -> WorkerStats {
     let mut client = Client::connect(addr, ClientConfig::default()).expect("worker connects");
     // Per-stream corrupted generators: signal + injector + local clock.
@@ -131,6 +143,16 @@ fn worker(
         let t = Instant::now();
         let outcome = client.push_batch(&batch).expect("push_batch round trip");
         stats.rtt_us.push(t.elapsed().as_secs_f64() * 1e6);
+        if let Some(wal) = &recorder {
+            // Record the acked batch exactly as it traveled: auto-clocked
+            // (stream, value) pairs, one WAL record per wire request.
+            let samples: Vec<Sample> = batch
+                .iter()
+                .map(|&(stream, value)| Sample { stream, minute: None, value })
+                .collect();
+            let mut wal = wal.lock().expect("recorder poisoned");
+            wal.append_samples(&samples).expect("trace record append");
+        }
         stats.push_requests += 1;
         stats.samples_pushed += batch.len() as u64;
         stats.accepted += outcome.accepted;
@@ -206,6 +228,27 @@ fn main() {
         setup.register(id).expect("fresh stream id");
     }
 
+    // --record: mirror the session into a replayable WAL trace (store's
+    // segment format) — registrations first, then every acked batch.
+    let recorder: Option<Arc<Mutex<Wal>>> = args.record.as_deref().map(|dir| {
+        let dir = Path::new(dir);
+        if dir.exists() {
+            std::fs::remove_dir_all(dir).expect("clear stale trace dir");
+        }
+        let mut wal = Wal::create(dir, WalOptions::default()).expect("create trace WAL");
+        let defaults = &ServerConfig::default().stream_defaults;
+        let tuning = RegisterTuning {
+            train_size: defaults.train_size as u32,
+            qa_window: defaults.qa_window as u32,
+            qa_period: defaults.qa_period as u32,
+            qa_threshold: defaults.qa_threshold,
+        };
+        for id in 0..args.streams {
+            wal.append_register(id, &tuning).expect("trace register append");
+        }
+        Arc::new(Mutex::new(wal))
+    });
+
     let started = Instant::now();
     let deadline = started + Duration::from_secs_f64(args.duration);
     let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
@@ -215,7 +258,8 @@ fn main() {
                     (0..args.streams).filter(|id| (*id as usize) % args.clients == w).collect();
                 let seed = args.seed;
                 let batch = args.batch;
-                scope.spawn(move || worker(addr, ids, seed, batch, deadline))
+                let recorder = recorder.clone();
+                scope.spawn(move || worker(addr, ids, seed, batch, deadline, recorder))
             })
             .collect();
 
@@ -239,6 +283,27 @@ fn main() {
     let checkpoint = setup.checkpoint().expect("checkpoint");
     setup.shutdown_server().expect("wire shutdown acked");
     server.shutdown();
+
+    // Finalize the recorded trace, then prove it replays: re-scan the WAL
+    // and require every appended record back, gap-free.
+    let recorded = recorder.map(|wal| {
+        let wal = Arc::try_unwrap(wal).ok().expect("workers have released the recorder");
+        let mut wal = wal.into_inner().expect("recorder poisoned");
+        wal.sync().expect("trace fsync");
+        let appended = wal.stats();
+        drop(wal);
+        let dir = Path::new(args.record.as_deref().expect("record path"));
+        let mut samples = 0u64;
+        let (_wal, report) = Wal::recover(dir, WalOptions::default(), 0, |_seq, rec| {
+            if let WalRecord::Samples(s) = rec {
+                samples += s.len() as u64;
+            }
+        })
+        .expect("recorded trace replays");
+        assert_eq!(report.replayed, appended.records, "recorded trace lost records");
+        assert_eq!(report.gap_records, 0, "recorded trace has gaps");
+        (appended.records, samples, appended.bytes)
+    });
 
     let mut rtt_us: Vec<f64> = Vec::new();
     let mut total = WorkerStats::default();
@@ -286,6 +351,11 @@ fn main() {
     out.push_str(&format!("  \"checkpoint_bytes\": {},\n", checkpoint.len()));
     out.push_str("  \"healthz_ok\": true,\n");
     out.push_str("  \"metrics_scrape_ok\": true,\n");
+    if let Some((records, samples, bytes)) = recorded {
+        out.push_str(&format!("  \"trace_records\": {records},\n"));
+        out.push_str(&format!("  \"trace_samples\": {samples},\n"));
+        out.push_str(&format!("  \"trace_bytes\": {bytes},\n"));
+    }
     out.push_str(&format!("  \"obs\": {}\n", obs::expo::json(engine.registry(), None)));
     out.push('}');
 
@@ -297,6 +367,12 @@ fn main() {
     }
 
     assert_eq!(total.rejected, 0, "Block backpressure must be lossless");
+    if let Some((_, trace_samples, _)) = recorded {
+        assert_eq!(
+            trace_samples, total.samples_pushed,
+            "the recorded trace must carry every pushed sample"
+        );
+    }
     assert_eq!(health.nonfinite_forecasts, 0, "non-finite forecast escaped the fleet");
     assert_eq!(
         health.pushes.accepted, total.accepted,

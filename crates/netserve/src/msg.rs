@@ -120,6 +120,10 @@ pub enum ErrorCode {
     TooManyConnections = 12,
     /// Unexpected server-side failure.
     Internal = 13,
+    /// A durable-store failure: the WAL append behind an ack failed (the
+    /// samples are served from memory but are not crash-safe), or a
+    /// durable checkpoint / recovery operation failed.
+    Durability = 14,
 }
 
 impl ErrorCode {
@@ -140,6 +144,7 @@ impl ErrorCode {
             ShuttingDown,
             TooManyConnections,
             Internal,
+            Durability,
         ]
         .into_iter()
         .find(|c| *c as u16 == v)
@@ -161,6 +166,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::TooManyConnections => "too_many_connections",
             ErrorCode::Internal => "internal",
+            ErrorCode::Durability => "durability",
         }
     }
 }
@@ -936,11 +942,11 @@ mod tests {
         }
         assert_eq!(OpCode::from_u8(0x00), None);
         assert_eq!(OpCode::from_u8(0x0C), None);
-        for code in 1..=13u16 {
+        for code in 1..=14u16 {
             let c = ErrorCode::from_u16(code).expect("contiguous error codes");
             assert_eq!(c as u16, code);
         }
         assert_eq!(ErrorCode::from_u16(0), None);
-        assert_eq!(ErrorCode::from_u16(14), None);
+        assert_eq!(ErrorCode::from_u16(15), None);
     }
 }

@@ -246,7 +246,13 @@ impl Server {
         for h in threads {
             let _ = h.join();
         }
-        self.shared.engine.flush();
+        // Drain to durable state: flush_durable pushes every queued sample
+        // through the serving slots and the trace store, then fsyncs the WAL
+        // (a plain flush on engines without durability). A failed fsync here
+        // has no client left to tell, so it surfaces on `net_errors_total`.
+        if self.shared.engine.flush_durable().is_err() {
+            self.shared.obs.errors.inc();
+        }
     }
 }
 
@@ -420,6 +426,7 @@ fn dispatch(shared: &Arc<Shared>, frame: &Frame) -> (Response, AfterReply) {
             FleetError::InvalidConfig(_) => ErrorCode::InvalidConfig,
             FleetError::Checkpoint(_) => ErrorCode::Checkpoint,
             FleetError::Serving(_) => ErrorCode::Internal,
+            FleetError::Durability(_) => ErrorCode::Durability,
         };
         Response::Error { code, detail: e.to_string() }
     };
@@ -459,11 +466,32 @@ fn dispatch(shared: &Arc<Shared>, frame: &Frame) -> (Response, AfterReply) {
                     code: ErrorCode::Backpressure,
                     detail: format!("stream {id}: queue full, sample rejected"),
                 }
+            } else if report.wal_failed {
+                // The sample is being served from memory but its WAL append
+                // failed: the ack must say so, or the client would treat a
+                // non-durable write as crash-safe.
+                Response::Error {
+                    code: ErrorCode::Durability,
+                    detail: format!("stream {id}: accepted but WAL append failed (not durable)"),
+                }
             } else {
                 Response::Push(report.into())
             }
         }
-        Request::PushBatch { samples } => Response::PushBatch(engine.push_batch(&samples).into()),
+        Request::PushBatch { samples } => {
+            let report = engine.push_batch(&samples);
+            if report.wal_failed {
+                Response::Error {
+                    code: ErrorCode::Durability,
+                    detail: format!(
+                        "{} samples accepted but WAL append failed (not durable)",
+                        report.accepted
+                    ),
+                }
+            } else {
+                Response::PushBatch(report.into())
+            }
+        }
         Request::Predict { id } => match engine.stream_info(id) {
             Ok(info) => Response::Predict(PredictReply {
                 forecast: info.last_forecast,

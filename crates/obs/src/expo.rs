@@ -143,6 +143,10 @@ fn event_json(e: &Event) -> String {
         EventKind::NetMalformedFrame { conn, code } => {
             format!("\"conn\": {conn}, \"code\": {code}")
         }
+        EventKind::WalRecovery { replayed, gaps } => {
+            format!("\"replayed\": {replayed}, \"gaps\": {gaps}")
+        }
+        EventKind::WalRotation { segment } => format!("\"segment\": {segment}"),
     };
     format!(
         "{{\"seq\": {}, \"stream\": {stream}, \"kind\": {}, {payload}}}",

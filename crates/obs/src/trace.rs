@@ -129,6 +129,18 @@ pub enum EventKind {
         /// error-code table).
         code: u64,
     },
+    /// A write-ahead log was recovered after a restart or crash.
+    WalRecovery {
+        /// Records replayed past the checkpoint.
+        replayed: u64,
+        /// Records lost to sequence gaps (corruption, missing segments).
+        gaps: u64,
+    },
+    /// The write-ahead log rotated to a fresh segment.
+    WalRotation {
+        /// First sequence number of the new segment.
+        segment: u64,
+    },
 }
 
 impl EventKind {
@@ -149,6 +161,8 @@ impl EventKind {
             EventKind::NetConnOpened { .. } => "net_conn_opened",
             EventKind::NetConnClosed { .. } => "net_conn_closed",
             EventKind::NetMalformedFrame { .. } => "net_malformed_frame",
+            EventKind::WalRecovery { .. } => "wal_recovery",
+            EventKind::WalRotation { .. } => "wal_rotation",
         }
     }
 }

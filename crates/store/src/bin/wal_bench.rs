@@ -1,0 +1,176 @@
+//! WAL append-latency microbenchmark.
+//!
+//! Appends batches of samples under each fsync policy and reports per-append
+//! latency percentiles as JSON (committed as `results/BENCH_wal.json`).
+//!
+//! ```text
+//! wal_bench [--records N] [--batch N] [--segment-bytes N] [--dir PATH]
+//! ```
+//!
+//! The `always` arm runs a reduced record count: every append pays a real
+//! fsync, and the point is the per-append latency distribution, not a long
+//! soak.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use store::{FsyncPolicy, Sample, Wal, WalOptions};
+
+struct Args {
+    records: u64,
+    batch: usize,
+    segment_bytes: u64,
+    dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { records: 200_000, batch: 8, segment_bytes: 8 << 20, dir: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--records" => args.records = val().parse().expect("--records"),
+            "--batch" => args.batch = val().parse().expect("--batch"),
+            "--segment-bytes" => args.segment_bytes = val().parse().expect("--segment-bytes"),
+            "--dir" => args.dir = Some(PathBuf::from(val())),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: wal_bench [--records N] [--batch N] [--segment-bytes N] [--dir PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Ceil-rank percentile over a sorted slice (same convention as
+/// `obs::percentile_sorted`, inlined to keep the store dependency-free).
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1] as f64
+}
+
+struct ArmResult {
+    name: &'static str,
+    records: u64,
+    elapsed_sec: f64,
+    appends_per_sec: f64,
+    samples_per_sec: f64,
+    bytes: u64,
+    fsyncs: u64,
+    rotations: u64,
+    lat_us: Vec<u64>,
+}
+
+fn run_arm(
+    name: &'static str,
+    policy: FsyncPolicy,
+    records: u64,
+    args: &Args,
+    base: &std::path::Path,
+) -> ArmResult {
+    let dir = base.join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let options =
+        WalOptions { segment_bytes: args.segment_bytes, fsync: policy, ..WalOptions::default() };
+    let mut wal = Wal::create(&dir, options).expect("create wal");
+
+    // Deterministic synthetic batch; values vary per append via splitmix so
+    // the records are not trivially compressible by the page cache path.
+    let mut batch: Vec<Sample> = (0..args.batch)
+        .map(|i| Sample { stream: i as u64 % 64, minute: None, value: 0.0 })
+        .collect();
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+
+    let mut lat_us = Vec::with_capacity(records as usize);
+    let start = Instant::now();
+    for i in 0..records {
+        for s in &mut batch {
+            s.minute = Some(i);
+            s.value = (next() >> 11) as f64 / (1u64 << 53) as f64;
+        }
+        let t0 = Instant::now();
+        wal.append_samples(&batch).expect("append");
+        lat_us.push(t0.elapsed().as_micros() as u64);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = wal.stats();
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    lat_us.sort_unstable();
+    ArmResult {
+        name,
+        records,
+        elapsed_sec: elapsed,
+        appends_per_sec: records as f64 / elapsed,
+        samples_per_sec: records as f64 * args.batch as f64 / elapsed,
+        bytes: stats.bytes,
+        fsyncs: stats.fsyncs,
+        rotations: stats.rotations,
+        lat_us,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let base = args
+        .dir
+        .clone()
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("wal-bench-{}", std::process::id())));
+
+    let arms = [
+        run_arm("rotate", FsyncPolicy::OnRotate, args.records, &args, &base),
+        run_arm("every256", FsyncPolicy::EveryRecords(256), args.records, &args, &base),
+        // Every append fsyncs: keep this arm short.
+        run_arm("always", FsyncPolicy::Always, (args.records / 100).clamp(100, 2000), &args, &base),
+    ];
+    let _ = std::fs::remove_dir_all(&base);
+
+    println!("{{");
+    println!("  \"batch\": {},", args.batch);
+    println!("  \"segment_bytes\": {},", args.segment_bytes);
+    println!("  \"arms\": [");
+    for (i, arm) in arms.iter().enumerate() {
+        let l = &arm.lat_us;
+        println!("    {{");
+        println!("      \"fsync\": \"{}\",", arm.name);
+        println!("      \"records\": {},", arm.records);
+        println!("      \"elapsed_sec\": {:.3},", arm.elapsed_sec);
+        println!("      \"appends_per_sec\": {:.0},", arm.appends_per_sec);
+        println!("      \"samples_per_sec\": {:.0},", arm.samples_per_sec);
+        println!("      \"wal_bytes\": {},", arm.bytes);
+        println!("      \"fsyncs\": {},", arm.fsyncs);
+        println!("      \"rotations\": {},", arm.rotations);
+        println!(
+            "      \"wal_append_us\": {{\"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \"p999\": {:.1}, \"max\": {}}}",
+            percentile(l, 50.0),
+            percentile(l, 90.0),
+            percentile(l, 99.0),
+            percentile(l, 99.9),
+            l.last().copied().unwrap_or(0)
+        );
+        println!("    }}{}", if i + 1 < arms.len() { "," } else { "" });
+    }
+    println!("  ]");
+    println!("}}");
+}

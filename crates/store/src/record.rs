@@ -1,0 +1,393 @@
+//! WAL record codec: length-prefixed, CRC-checked, sequence-numbered.
+//!
+//! Every durable operation travels as one record (all integers
+//! little-endian), following the netserve wire-framing idiom:
+//!
+//! ```text
+//! len    u32    byte length of the body (everything between len and crc)
+//! body:
+//!   seq    u64    monotonically increasing, contiguous (+1 per record)
+//!   kind   u8     record kind (see below)
+//!   payload ...   kind-specific encoding
+//! crc    u32    CRC-32/IEEE over the body
+//! ```
+//!
+//! Kinds:
+//!
+//! | kind | record | payload |
+//! |---|---|---|
+//! | 1 | `Samples` | `count u32`, then per sample: `stream u64`, `flag u8` (1 = explicit minute follows), `[minute u64]`, `value u64` (f64 bits) |
+//! | 2 | `Register` | `id u64`, `train_size u32`, `qa_window u32`, `qa_period u32`, `qa_threshold u64` (f64 bits) |
+//! | 3 | `Evict` | `id u64` |
+//!
+//! Decoding never panics and never allocates more than the *declared and
+//! validated* length: the length field is checked against the reader's cap
+//! before anything is sliced, and the sample count is cross-checked against
+//! the remaining payload bytes before the vector is reserved — a forged
+//! count costs the reader a comparison, not memory.
+
+use crate::crc::crc32;
+
+/// Fixed body-header length: seq + kind.
+pub const RECORD_HEADER_LEN: usize = 9;
+
+/// Cap on one record's payload: 4 MiB, comfortably above the largest sample
+/// batch the fleet engine pushes while still bounding a corrupt length.
+pub const MAX_RECORD_PAYLOAD: usize = 4 << 20;
+
+/// Smallest on-disk footprint of one encoded sample (stream + flag + value).
+const MIN_SAMPLE_LEN: usize = 17;
+
+/// One logged sample: the exact triple the fleet push path accepted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Stream id.
+    pub stream: u64,
+    /// Explicit sample minute; `None` means auto-clocked at replay, exactly
+    /// as the live push was.
+    pub minute: Option<u64>,
+    /// Sample value (NaN and friends round-trip bit-exactly).
+    pub value: f64,
+}
+
+/// The wire-tunable registration quadruple (the same subset netserve's
+/// `RegisterWith` exposes); everything else of a stream's configuration is
+/// the serving engine's default and need not be logged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegisterTuning {
+    /// Samples per (re)training window.
+    pub train_size: u32,
+    /// QA audit window length.
+    pub qa_window: u32,
+    /// QA audit period.
+    pub qa_period: u32,
+    /// QA rolling-MSE retrain threshold.
+    pub qa_threshold: f64,
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A batch of accepted samples.
+    Samples(Vec<Sample>),
+    /// A stream registration.
+    Register {
+        /// Stream id.
+        id: u64,
+        /// Tunables captured at registration.
+        tuning: RegisterTuning,
+    },
+    /// A stream eviction.
+    Evict {
+        /// Stream id.
+        id: u64,
+    },
+}
+
+const KIND_SAMPLES: u8 = 1;
+const KIND_REGISTER: u8 = 2;
+const KIND_EVICT: u8 = 3;
+
+/// Why a record failed to decode.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecordError {
+    /// The buffer ends inside a record: at a segment tail this is a torn
+    /// write, mid-stream it is truncation. Either way nothing decodable
+    /// remains at this offset.
+    Truncated,
+    /// The declared body length is outside `[RECORD_HEADER_LEN,
+    /// RECORD_HEADER_LEN + max_payload]`.
+    BadLength(u32),
+    /// CRC mismatch: the record was corrupted at rest.
+    BadCrc,
+    /// CRC passed but the payload does not decode (unknown kind, forged
+    /// count, trailing bytes) — corruption that happens to preserve the CRC
+    /// field, or a version skew.
+    BadPayload,
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Truncated => write!(f, "record truncated"),
+            RecordError::BadLength(n) => write!(f, "record body length {n} out of bounds"),
+            RecordError::BadCrc => write!(f, "record crc mismatch"),
+            RecordError::BadPayload => write!(f, "record payload undecodable"),
+        }
+    }
+}
+
+/// Encodes one `Samples` record directly from a borrowed slice into `out`
+/// (cleared first). The hot append path: no intermediate [`WalRecord`] is
+/// built.
+pub fn encode_samples_into(out: &mut Vec<u8>, seq: u64, samples: &[Sample]) {
+    out.clear();
+    let payload_len: usize = 4 + samples
+        .iter()
+        .map(|s| MIN_SAMPLE_LEN + if s.minute.is_some() { 8 } else { 0 })
+        .sum::<usize>();
+    reserve_frame(out, payload_len);
+    begin_body(out, seq, KIND_SAMPLES);
+    out.extend_from_slice(&(samples.len() as u32).to_le_bytes());
+    for s in samples {
+        out.extend_from_slice(&s.stream.to_le_bytes());
+        match s.minute {
+            Some(m) => {
+                out.push(1);
+                out.extend_from_slice(&m.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&s.value.to_bits().to_le_bytes());
+    }
+    finish_frame(out);
+}
+
+/// Encodes one `Register` record into `out` (cleared first).
+pub fn encode_register_into(out: &mut Vec<u8>, seq: u64, id: u64, tuning: &RegisterTuning) {
+    out.clear();
+    reserve_frame(out, 8 + 4 + 4 + 4 + 8);
+    begin_body(out, seq, KIND_REGISTER);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&tuning.train_size.to_le_bytes());
+    out.extend_from_slice(&tuning.qa_window.to_le_bytes());
+    out.extend_from_slice(&tuning.qa_period.to_le_bytes());
+    out.extend_from_slice(&tuning.qa_threshold.to_bits().to_le_bytes());
+    finish_frame(out);
+}
+
+/// Encodes one `Evict` record into `out` (cleared first).
+pub fn encode_evict_into(out: &mut Vec<u8>, seq: u64, id: u64) {
+    out.clear();
+    reserve_frame(out, 8);
+    begin_body(out, seq, KIND_EVICT);
+    out.extend_from_slice(&id.to_le_bytes());
+    finish_frame(out);
+}
+
+/// Encodes any record (convenience over the `_into` functions).
+pub fn encode(seq: u64, record: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    match record {
+        WalRecord::Samples(samples) => encode_samples_into(&mut out, seq, samples),
+        WalRecord::Register { id, tuning } => encode_register_into(&mut out, seq, *id, tuning),
+        WalRecord::Evict { id } => encode_evict_into(&mut out, seq, *id),
+    }
+    out
+}
+
+fn reserve_frame(out: &mut Vec<u8>, payload_len: usize) {
+    out.reserve(4 + RECORD_HEADER_LEN + payload_len + 4);
+    // Length placeholder, patched by finish_frame.
+    out.extend_from_slice(&0u32.to_le_bytes());
+}
+
+fn begin_body(out: &mut Vec<u8>, seq: u64, kind: u8) {
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.push(kind);
+}
+
+fn finish_frame(out: &mut Vec<u8>) {
+    let body_len = out.len() - 4;
+    assert!(body_len <= RECORD_HEADER_LEN + MAX_RECORD_PAYLOAD, "record exceeds payload cap");
+    out[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    let crc = crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Decodes one record from the front of `buf`, returning the sequence
+/// number, the record, and the bytes consumed.
+///
+/// `Err(Truncated)` means the buffer ends inside the record; all other
+/// errors are permanent for this offset. Never panics, never allocates past
+/// the validated declared length.
+pub fn decode(
+    buf: &[u8],
+    max_payload: usize,
+) -> std::result::Result<(u64, WalRecord, usize), RecordError> {
+    if buf.len() < 4 {
+        return Err(RecordError::Truncated);
+    }
+    let body_len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    if body_len < RECORD_HEADER_LEN || body_len > RECORD_HEADER_LEN + max_payload {
+        return Err(RecordError::BadLength(body_len as u32));
+    }
+    let total = 4 + body_len + 4;
+    if buf.len() < total {
+        return Err(RecordError::Truncated);
+    }
+    let body = &buf[4..4 + body_len];
+    let carried = u32::from_le_bytes(buf[4 + body_len..total].try_into().expect("4 bytes"));
+    if crc32(body) != carried {
+        return Err(RecordError::BadCrc);
+    }
+    let seq = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+    let kind = body[8];
+    let payload = &body[RECORD_HEADER_LEN..];
+    let record = decode_payload(kind, payload).ok_or(RecordError::BadPayload)?;
+    Ok((seq, record, total))
+}
+
+/// Decodes a CRC-verified payload; `None` for anything undecodable.
+fn decode_payload(kind: u8, payload: &[u8]) -> Option<WalRecord> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        let end = pos.checked_add(n)?;
+        let s = payload.get(*pos..end)?;
+        *pos = end;
+        Some(s)
+    };
+    let take_u64 =
+        |pos: &mut usize| take(pos, 8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")));
+    let take_u32 =
+        |pos: &mut usize| take(pos, 4).map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")));
+
+    let record = match kind {
+        KIND_SAMPLES => {
+            let count = take_u32(&mut pos)? as usize;
+            // A forged count cannot out-allocate the payload it arrived in.
+            if count * MIN_SAMPLE_LEN > payload.len().saturating_sub(pos) {
+                return None;
+            }
+            let mut samples = Vec::with_capacity(count);
+            for _ in 0..count {
+                let stream = take_u64(&mut pos)?;
+                let minute = match take(&mut pos, 1)?[0] {
+                    0 => None,
+                    1 => Some(take_u64(&mut pos)?),
+                    _ => return None,
+                };
+                let value = f64::from_bits(take_u64(&mut pos)?);
+                samples.push(Sample { stream, minute, value });
+            }
+            WalRecord::Samples(samples)
+        }
+        KIND_REGISTER => WalRecord::Register {
+            id: take_u64(&mut pos)?,
+            tuning: RegisterTuning {
+                train_size: take_u32(&mut pos)?,
+                qa_window: take_u32(&mut pos)?,
+                qa_period: take_u32(&mut pos)?,
+                qa_threshold: f64::from_bits(take_u64(&mut pos)?),
+            },
+        },
+        KIND_EVICT => WalRecord::Evict { id: take_u64(&mut pos)? },
+        _ => return None,
+    };
+    // Trailing payload bytes mean the record was not written by this codec.
+    (pos == payload.len()).then_some(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> WalRecord {
+        WalRecord::Samples(vec![
+            Sample { stream: 7, minute: None, value: 41.5 },
+            Sample { stream: 9, minute: Some(1440), value: f64::NAN },
+            Sample { stream: u64::MAX, minute: Some(0), value: -0.0 },
+        ])
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        let records = [
+            sample_record(),
+            WalRecord::Samples(Vec::new()),
+            WalRecord::Register {
+                id: 3,
+                tuning: RegisterTuning {
+                    train_size: 40,
+                    qa_window: 8,
+                    qa_period: 4,
+                    qa_threshold: 2.0,
+                },
+            },
+            WalRecord::Evict { id: 12 },
+        ];
+        for (i, rec) in records.iter().enumerate() {
+            let bytes = encode(i as u64 + 1, rec);
+            let (seq, decoded, used) = decode(&bytes, MAX_RECORD_PAYLOAD).unwrap();
+            assert_eq!(seq, i as u64 + 1);
+            assert_eq!(used, bytes.len());
+            // PartialEq is false for NaN; compare through the encoder.
+            assert_eq!(encode(seq, &decoded), bytes, "record {i} did not round trip");
+        }
+    }
+
+    #[test]
+    fn incomplete_prefixes_report_truncation() {
+        let bytes = encode(5, &sample_record());
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode(&bytes[..cut], MAX_RECORD_PAYLOAD).unwrap_err(),
+                RecordError::Truncated,
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_body_bit_flip_is_caught() {
+        let bytes = encode(5, &sample_record());
+        for byte in 4..bytes.len() - 4 {
+            for bit in 0..8 {
+                let mut m = bytes.clone();
+                m[byte] ^= 1 << bit;
+                assert!(
+                    decode(&m, MAX_RECORD_PAYLOAD).is_err(),
+                    "flip {byte}.{bit} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forged_length_rejected_before_allocation() {
+        let mut bytes = encode(5, &sample_record());
+        bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode(&bytes, MAX_RECORD_PAYLOAD).unwrap_err(),
+            RecordError::BadLength(u32::MAX)
+        );
+        bytes[..4].copy_from_slice(&3u32.to_le_bytes());
+        assert_eq!(decode(&bytes, MAX_RECORD_PAYLOAD).unwrap_err(), RecordError::BadLength(3));
+    }
+
+    #[test]
+    fn forged_sample_count_rejected_after_crc_repair() {
+        // Patch the count field to a huge value and re-CRC so only the
+        // payload validation can catch it: the decoder must reject without
+        // reserving a huge vector.
+        let mut bytes = encode(5, &sample_record());
+        let count_at = 4 + RECORD_HEADER_LEN;
+        bytes[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let body_end = bytes.len() - 4;
+        let crc = crc32(&bytes[4..body_end]);
+        bytes[body_end..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode(&bytes, MAX_RECORD_PAYLOAD).unwrap_err(), RecordError::BadPayload);
+    }
+
+    #[test]
+    fn unknown_kind_and_trailing_bytes_rejected() {
+        let rewrite_crc = |bytes: &mut Vec<u8>| {
+            let body_end = bytes.len() - 4;
+            let crc = crc32(&bytes[4..body_end]);
+            bytes[body_end..].copy_from_slice(&crc.to_le_bytes());
+        };
+        let mut bytes = encode(5, &WalRecord::Evict { id: 1 });
+        bytes[4 + 8] = 99; // kind byte
+        rewrite_crc(&mut bytes);
+        assert_eq!(decode(&bytes, MAX_RECORD_PAYLOAD).unwrap_err(), RecordError::BadPayload);
+
+        // An Evict with one extra payload byte: CRC fine, payload not.
+        let mut bytes = encode(5, &WalRecord::Evict { id: 1 });
+        let crc_at = bytes.len() - 4;
+        bytes.insert(crc_at, 0xAB);
+        let body_len = (bytes.len() - 8) as u32;
+        bytes[..4].copy_from_slice(&body_len.to_le_bytes());
+        rewrite_crc(&mut bytes);
+        assert_eq!(decode(&bytes, MAX_RECORD_PAYLOAD).unwrap_err(), RecordError::BadPayload);
+    }
+}

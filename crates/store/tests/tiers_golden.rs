@@ -1,0 +1,115 @@
+//! Golden cross-check: `store::TieredArchive` against the original
+//! `vmsim::TieredDatabase`. The store's per-stream archive claims the exact
+//! `vmkusage` consolidation semantics the simulator implements; this test
+//! feeds identical sample sequences into both and demands bit-identical
+//! consolidated rows for every tier and query interval, through retention
+//! eviction and partial buckets alike.
+
+use simrng::{Rng64, Xoshiro256pp};
+use store::{vmkusage_tiers, TieredArchive};
+use vmsim::metric::{MetricKind, VmId};
+use vmsim::tiered::TieredDatabase;
+
+const VM: VmId = VmId(1);
+const METRIC: MetricKind = MetricKind::CpuUsedSec;
+
+/// Feeds the same `minutes`-long trace into both implementations and
+/// returns them, along with the recorded values.
+fn feed(minutes: u64, seed: u64) -> (TieredArchive, TieredDatabase, Vec<f64>) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut archive = TieredArchive::new(vmkusage_tiers()).expect("valid layout");
+    let database = TieredDatabase::vmkusage_layout();
+    let mut values = Vec::with_capacity(minutes as usize);
+    for minute in 0..minutes {
+        // A drifting daily shape with noise: averages exercise the full
+        // mantissa, so any summation-order difference would show up.
+        let value = 50.0
+            + 30.0 * ((minute as f64) * std::f64::consts::TAU / 1440.0).sin()
+            + (rng.next_u64() % 1000) as f64 * 0.013;
+        archive.record(minute, value);
+        database.record(VM, METRIC, minute, value);
+        values.push(value);
+    }
+    (archive, database, values)
+}
+
+/// Every aligned query both sides can serve must agree bit-for-bit; a range
+/// one side refuses the other must refuse too.
+fn cross_check(archive: &TieredArchive, database: &TieredDatabase, minutes: u64) {
+    let mut served = 0u64;
+    for interval in [1u64, 5, 30] {
+        let mut start = 0u64;
+        while start < minutes {
+            let end = (start + interval * 7).min(minutes / interval * interval);
+            if end > start {
+                let from_archive = archive.query(start, end, interval);
+                let from_database = database.query(VM, METRIC, start, end, interval).ok();
+                match (&from_archive, &from_database) {
+                    (Some(a), Some(d)) => {
+                        let a_bits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+                        let d_bits: Vec<u64> = d.iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(
+                            a_bits, d_bits,
+                            "[{start}, {end}) @ {interval}m diverged: {a:?} vs {d:?}"
+                        );
+                        served += 1;
+                    }
+                    (None, None) => {} // both evicted it — also agreement
+                    _ => panic!(
+                        "[{start}, {end}) @ {interval}m: archive={from_archive:?}, \
+                         database={from_database:?} — one side served what the other refused"
+                    ),
+                }
+            }
+            start += interval * 97; // odd stride: hit many alignments
+        }
+    }
+    assert!(served > 0, "cross-check never exercised a served query");
+}
+
+#[test]
+fn short_trace_matches_vmsim_before_any_eviction() {
+    let minutes = 90; // inside every tier's retention
+    let (archive, database, values) = feed(minutes, 0x601d_0001);
+    cross_check(&archive, &database, minutes);
+    // The raw tier is the values themselves.
+    let raw = archive.query(0, minutes, 1).expect("raw tier retains everything");
+    assert_eq!(raw.len(), values.len());
+    for (got, want) in raw.iter().zip(&values) {
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+}
+
+#[test]
+fn day_long_trace_matches_vmsim_through_fine_tier_eviction() {
+    // 1500 minutes: the 1-minute tier (120 rows) has rotated many times and
+    // the 5-minute tier (288 rows) has just started evicting.
+    let minutes = 1500;
+    let (archive, database, _) = feed(minutes, 0x601d_0002);
+    cross_check(&archive, &database, minutes);
+    // Old ranges fall out of the fine tier and get served coarser, exactly
+    // like vmsim: minute 0 at interval 1 is gone, at interval 30 it lives.
+    assert!(archive.query(0, 30, 1).is_none());
+    assert!(archive.query(0, 30, 30).is_some());
+}
+
+#[test]
+fn week_long_trace_matches_vmsim_at_full_retention() {
+    // 7 days fills the 30-minute tier to its 336-row capacity.
+    let minutes = 7 * 1440 + 123;
+    let (archive, database, _) = feed(minutes, 0x601d_0003);
+    cross_check(&archive, &database, minutes);
+    let (first, last) = archive.tier_range(2).expect("coarse tier populated");
+    assert_eq!(last - first + 1, 7 * 48, "coarse tier at capacity");
+}
+
+#[test]
+fn partial_buckets_stay_invisible_on_both_sides() {
+    // 1443 minutes: 3 minutes into an unfinished 5-minute bucket and an
+    // unfinished 30-minute bucket. Neither side may serve the open bucket.
+    let minutes = 1443;
+    let (archive, database, _) = feed(minutes, 0x601d_0004);
+    cross_check(&archive, &database, minutes);
+    assert!(archive.query(1440, 1445, 5).is_none());
+    assert!(database.query(VM, METRIC, 1440, 1445, 5).is_err());
+}

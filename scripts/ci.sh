@@ -73,6 +73,32 @@ if [[ "$QUICK" -eq 0 ]]; then
                '"net_op_push_batch_total"'; do
     grep -qF "$field" <<<"$NET_JSON" || { echo "net_loadgen report missing $field"; exit 1; }
   done
+
+  echo "==> crash_recovery kill-test (kill -9 a durable server mid-traffic, replay, verify)"
+  # Spawns a durable netserve server as a child process, kill -9s it while a
+  # client is pushing, recovers the WAL + checkpoint, and asserts zero acked
+  # batches lost and bit-identical post-recovery forecasts against an
+  # uninterrupted reference engine. The binary exits non-zero on any loss.
+  CRASH_JSON="$(cargo run --release -q -p netserve --bin crash_recovery -- \
+      --out target/BENCH_recovery_ci.json)"
+  echo "$CRASH_JSON"
+  for field in '"acked_batches"' '"recovered_batches"' '"bit_identical": true' \
+               '"gap_records": 0'; do
+    grep -qF "$field" <<<"$CRASH_JSON" || { echo "crash_recovery report missing $field"; exit 1; }
+  done
+
+  echo "==> durable-path throughput gate (interleaved durability A/B)"
+  # The committed baseline (results/BENCH_wal.json) holds the honest number;
+  # this floor is deliberately loose — it catches the durable path falling
+  # off a cliff (sync-per-append, accidental copies), not scheduler noise.
+  AB_JSON="$(cargo run --release -q -p fleet --bin fleet_throughput -- \
+      --streams 500 --samples 60 --shards 4 --ab-durability)"
+  echo "$AB_JSON"
+  RETAINED="$(grep -o '"durable_retained": [0-9.]*' <<<"$AB_JSON" | grep -o '[0-9.]*$')"
+  if ! awk -v r="$RETAINED" 'BEGIN { exit (r >= 0.5) ? 0 : 1 }'; then
+    echo "durable path retained only ${RETAINED}x of in-memory throughput (< 0.5 floor)"
+    exit 1
+  fi
 fi
 
 echo "CI gate passed."

@@ -21,7 +21,9 @@
 //! * [`vmsim`] — the simulated VM monitoring testbed (5 VM profiles,
 //!   12 metrics each, monitor agent, round-robin database, profiler);
 //! * [`fleet`] — the sharded multi-stream serving engine (batching,
-//!   backpressure, lifecycle, fleet-wide checkpointing);
+//!   backpressure, lifecycle, fleet-wide checkpointing, durable ingestion);
+//! * [`store`] — the durable trace store (crash-safe segmented WAL,
+//!   memtable, tiered vmkusage-style RRD archives);
 //! * [`simrng`] — deterministic RNG + distributions used everywhere.
 //!
 //! ## Quickstart
@@ -50,5 +52,6 @@ pub use learn;
 pub use linalg;
 pub use predictors;
 pub use simrng;
+pub use store;
 pub use timeseries;
 pub use vmsim;
