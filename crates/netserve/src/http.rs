@@ -1,81 +1,88 @@
 //! Minimal HTTP/1.1 shim on a second port: `/metrics` (Prometheus text
 //! from the engine's registry) and `/healthz` (a small JSON liveness
-//! document). Just enough HTTP for `curl` and a Prometheus scraper — each
-//! request is served inline on the shim thread with a short read timeout
-//! and a capped request head, then the connection is closed
-//! (`Connection: close`).
+//! document). Just enough HTTP for `curl` and a Prometheus scraper — the
+//! shim is a second listener on the *same* reactor loops as the binary
+//! protocol, so a scrape costs one connection slot, not a thread. The
+//! request head is capped, one response is served, and the connection is
+//! closed (`Connection: close`).
 
-use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
+
+use reactor::{AcceptDecision, ConnCtx, Handler, Service, Verdict};
 
 use crate::server::Shared;
 
 /// Longest accepted request head (request line + headers), in bytes.
 const MAX_HEAD: usize = 4096;
 
-/// Accept loop for the observability port; exits when shutdown begins.
-pub(crate) fn serve(shared: &Arc<Shared>, listener: &TcpListener) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        if let Ok(stream) = stream {
-            shared.obs.http_requests.inc();
-            let _ = handle(shared, stream);
-        }
+/// Accept policy for the observability port: always accept (scrapes must
+/// work under connection pressure), reap stalled scrapers quickly.
+pub(crate) struct HttpService {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl Service for HttpService {
+    fn on_accept(&self, _conn_id: u64, _peer: SocketAddr) -> AcceptDecision {
+        self.shared.obs.http_requests.inc();
+        AcceptDecision::Accept(Box::new(HttpConn { shared: Arc::clone(&self.shared) }))
+    }
+
+    fn idle_timeout(&self) -> Option<Duration> {
+        Some(Duration::from_secs(2))
     }
 }
 
-fn handle(shared: &Arc<Shared>, mut stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+/// One scrape connection: buffer the head, answer once, close.
+struct HttpConn {
+    shared: Arc<Shared>,
+}
 
-    let mut head = Vec::with_capacity(256);
-    let mut buf = [0u8; 512];
-    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
-        if head.len() >= MAX_HEAD {
-            return respond(&mut stream, 431, "text/plain", "request head too large");
+impl Handler for HttpConn {
+    fn on_readable(&mut self, conn: &mut ConnCtx<'_>) -> Verdict {
+        let head = conn.input();
+        let complete = head.windows(4).any(|w| w == b"\r\n\r\n");
+        if !complete && head.len() < MAX_HEAD {
+            return Verdict::Continue;
         }
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            break;
-        }
-        head.extend_from_slice(&buf[..n]);
-    }
-    let request_line = head.split(|&b| b == b'\r').next().unwrap_or(b"");
-    let mut parts = std::str::from_utf8(request_line).unwrap_or("").split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    if method != "GET" {
-        return respond(&mut stream, 405, "text/plain", "only GET is served here");
-    }
-    match path {
-        "/metrics" => {
-            let body = shared.engine.prometheus();
-            respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
-        }
-        "/healthz" => {
-            let body = format!(
-                "{{\"status\": \"ok\", \"streams\": {}, \"connections\": {}, \
-                 \"shutting_down\": {}}}",
-                shared.engine.stream_count(),
-                shared.open_connections(),
-                shared.shutdown.load(Ordering::SeqCst),
-            );
-            respond(&mut stream, 200, "application/json", &body)
-        }
-        _ => respond(&mut stream, 404, "text/plain", "try /metrics or /healthz"),
+        let response = if !complete {
+            respond(431, "text/plain", "request head too large")
+        } else {
+            let request_line = head.split(|&b| b == b'\r').next().unwrap_or(b"");
+            let mut parts = std::str::from_utf8(request_line).unwrap_or("").split_whitespace();
+            let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            if method != "GET" {
+                respond(405, "text/plain", "only GET is served here")
+            } else {
+                match path {
+                    "/metrics" => {
+                        let body = self.shared.engine.prometheus();
+                        respond(200, "text/plain; version=0.0.4", &body)
+                    }
+                    "/healthz" => {
+                        let body = format!(
+                            "{{\"status\": \"ok\", \"streams\": {}, \"connections\": {}, \
+                             \"shutting_down\": {}}}",
+                            self.shared.engine.stream_count(),
+                            self.shared.open_connections(),
+                            self.shared.shutdown.load(Ordering::SeqCst),
+                        );
+                        respond(200, "application/json", &body)
+                    }
+                    _ => respond(404, "text/plain", "try /metrics or /healthz"),
+                }
+            }
+        };
+        let consumed = conn.input().len();
+        conn.consume(consumed);
+        conn.write(response);
+        Verdict::Close
     }
 }
 
-fn respond(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
+fn respond(status: u16, content_type: &str, body: &str) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         404 => "Not Found",
@@ -83,11 +90,12 @@ fn respond(
         431 => "Request Header Fields Too Large",
         _ => "Error",
     };
-    let head = format!(
+    let mut out = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
 }

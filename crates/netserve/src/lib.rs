@@ -16,12 +16,16 @@
 //!   `StreamInfo`/`Health`/`Checkpoint`/`Evict`/`Shutdown`) and a typed
 //!   error-code table covering framing, addressing, configuration,
 //!   backpressure and lifecycle failures.
-//! * [`server`] — a `std::net` TCP server: bounded-connection acceptor,
-//!   one reader thread per connection (clients may pipeline), engine
-//!   backpressure mapped onto wire errors, graceful drain-and-join
-//!   shutdown, and a second-port HTTP/1.1 shim serving Prometheus
-//!   `/metrics` and `/healthz`. Fully instrumented through the engine's
-//!   own [`obs`] registry (`net_*` metric set) and event ring.
+//! * [`server`] — an event-driven TCP server on the [`reactor`] crate's
+//!   epoll loops: sharded accept across per-core event loops, an
+//!   edge-triggered per-connection state machine with streaming zero-copy
+//!   frame decode (clients may pipeline), bounded connections, engine
+//!   backpressure mapped onto wire errors, idle/slow-reader reaping off a
+//!   timer wheel, graceful drain-then-`flush_durable` shutdown, and a
+//!   second-port HTTP/1.1 shim serving Prometheus `/metrics` and
+//!   `/healthz` off the same loops. Fully instrumented through the
+//!   engine's own [`obs`] registry (`net_*` and `reactor_*` metric sets)
+//!   and event ring.
 //! * [`client`] — a blocking client with connect/request timeouts,
 //!   exponential-backoff reconnect, and a batched push API.
 //!

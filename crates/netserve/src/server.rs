@@ -1,34 +1,40 @@
-//! The TCP server: bounded-connection acceptor, per-connection reader
-//! threads, engine dispatch, and graceful shutdown.
+//! The TCP server: a reactor-backed, event-driven serving path.
 //!
-//! One [`Server`] fronts one shared [`FleetEngine`]. The acceptor thread
-//! hands each connection to its own reader thread, which decodes frames,
-//! dispatches them against the engine, and writes responses in request
-//! order — so clients may pipeline requests freely. Engine backpressure
-//! surfaces as data, not as stalls: a rejected single-sample push becomes a
-//! typed [`ErrorCode::Backpressure`] error, a partially-accepted batch
-//! returns its accept/reject/drop counts.
+//! One [`Server`] fronts one shared [`FleetEngine`]. Instead of a thread
+//! per connection, a [`reactor::Reactor`] multiplexes every connection
+//! across a small set of per-core event loops: the listener is registered
+//! in every loop with `EPOLLEXCLUSIVE` (sharded accept), connections are
+//! placed round-robin, and each one runs an edge-triggered state machine —
+//! read buffer → streaming zero-copy frame decode ([`wire::decode_ref`]) →
+//! engine dispatch → response queue flushed with vectored writes. Write
+//! backpressure parks output and re-registers interest; idle connections
+//! are reaped off a timer wheel; pipelining works because responses are
+//! queued in request order.
 //!
-//! Shutdown (via [`Server::shutdown`] or the wire `Shutdown` opcode) stops
-//! the acceptor, lets every connection finish the request it is serving,
-//! unblocks idle readers by shutting their sockets' read side, joins all
-//! threads, and flushes the engine so every accepted sample is processed.
+//! Engine backpressure surfaces as data, not stalls: a rejected push
+//! becomes a typed [`ErrorCode::Backpressure`] error, a partially-accepted
+//! batch returns its accept/reject/drop counts.
+//!
+//! Shutdown (via [`Server::shutdown`] or the wire `Shutdown` opcode) is a
+//! reactor drain: listeners deregister, every connection's queued
+//! responses are flushed before its close, loops join, and the engine's
+//! `flush_durable` runs so every accepted sample is processed and fsynced.
 
-use std::collections::HashMap;
-use std::io::Write;
-use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fleet::{FleetEngine, FleetError, StreamConfig};
 use obs::{Counter, EventKind, EventRing, Gauge, Histogram};
+use reactor::{
+    AcceptDecision, CloseReason, ConnCtx, Handler, Reactor, ReactorBuilder, ReactorConfig, Verdict,
+};
 
 use crate::msg::{
     ErrorCode, HealthReply, OpCode, PredictReply, Request, Response, StreamInfoReply,
 };
-use crate::wire::{self, Frame, WireError, MAX_REQUEST_PAYLOAD, PROTOCOL_VERSION};
+use crate::wire::{self, WireError, MAX_REQUEST_PAYLOAD, PROTOCOL_VERSION};
 use crate::{http, NetError};
 
 /// Server configuration.
@@ -49,6 +55,14 @@ pub struct ServerConfig {
     /// Stream configuration used by `Register` and as the base that
     /// `RegisterWith` tuning is applied onto.
     pub stream_defaults: StreamConfig,
+    /// Event-loop threads; `0` sizes to the machine (one per core, capped
+    /// at 8).
+    pub event_loops: usize,
+    /// Reap protocol connections that send nothing for this long. A peer
+    /// that trickle-reads a response without ever draining it counts as
+    /// idle too — slow readers cannot pin buffers forever. `None` disables
+    /// reaping.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -59,12 +73,14 @@ impl Default for ServerConfig {
             max_connections: 64,
             max_frame_payload: MAX_REQUEST_PAYLOAD,
             stream_defaults: StreamConfig::default(),
+            event_loops: 0,
+            idle_timeout: Some(Duration::from_secs(60)),
         }
     }
 }
 
-/// Per-opcode and connection-level instrumentation, registered on the
-/// engine's registry so one scrape covers engine and network.
+/// Per-opcode, connection-level, and reactor instrumentation, registered
+/// on the engine's registry so one scrape covers engine and network.
 pub(crate) struct NetObs {
     pub(crate) op_total: [Counter; OpCode::ALL.len()],
     pub(crate) request_us: Histogram,
@@ -74,11 +90,21 @@ pub(crate) struct NetObs {
     pub(crate) errors: Counter,
     pub(crate) malformed: Counter,
     pub(crate) disconnects: Counter,
+    pub(crate) idle_reaped: Counter,
     pub(crate) http_requests: Counter,
+    /// Time spent in `epoll_wait` when it returned work.
+    pub(crate) poll_us: Histogram,
+    /// Per-flush socket write latency.
+    pub(crate) flush_us: Histogram,
+    pub(crate) flush_bytes: Counter,
+    pub(crate) readiness_events: Counter,
+    pub(crate) backpressure: Counter,
+    /// Open connections per event loop (accept-shard balance).
+    pub(crate) loop_connections: Vec<Gauge>,
 }
 
 impl NetObs {
-    fn new(registry: &obs::Registry) -> Self {
+    fn new(registry: &obs::Registry, loops: usize) -> Self {
         Self {
             op_total: OpCode::ALL
                 .map(|op| registry.counter(&format!("net_op_{}_total", op.name()))),
@@ -89,23 +115,28 @@ impl NetObs {
             errors: registry.counter("net_errors_total"),
             malformed: registry.counter("net_malformed_frames_total"),
             disconnects: registry.counter("net_disconnects_total"),
+            idle_reaped: registry.counter("net_idle_reaped_total"),
             http_requests: registry.counter("net_http_requests_total"),
+            poll_us: registry.histogram("reactor_poll_us"),
+            flush_us: registry.histogram("reactor_flush_us"),
+            flush_bytes: registry.counter("reactor_flush_bytes_total"),
+            readiness_events: registry.counter("reactor_events_total"),
+            backpressure: registry.counter("reactor_backpressure_total"),
+            loop_connections: (0..loops)
+                .map(|i| registry.gauge(&format!("reactor_loop{i}_connections")))
+                .collect(),
         }
     }
 }
 
-/// State shared by the acceptor, connection threads, and the HTTP shim.
+/// State shared by the protocol handlers, the HTTP shim, and the server
+/// handle.
 pub(crate) struct Shared {
     pub(crate) engine: Arc<FleetEngine>,
     pub(crate) config: ServerConfig,
     pub(crate) obs: NetObs,
     pub(crate) events: EventRing,
     pub(crate) shutdown: AtomicBool,
-    /// Open protocol connections, by connection id: the stored stream clone
-    /// is what shutdown uses to unblock a reader parked in `read`.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    conn_threads: Mutex<Vec<JoinHandle<()>>>,
-    next_conn_id: AtomicU64,
     open_conns: AtomicU64,
     addr: SocketAddr,
     pub(crate) http_addr: Option<SocketAddr>,
@@ -115,42 +146,184 @@ impl Shared {
     pub(crate) fn open_connections(&self) -> u64 {
         self.open_conns.load(Ordering::Relaxed)
     }
+}
 
-    /// Flips the shutdown flag and unblocks everything that could be parked
-    /// in a blocking syscall: idle readers (socket read-shutdown) and the
-    /// two accept loops (a throwaway self-connection each). Idempotent;
-    /// joining is [`Server::shutdown`]'s job.
-    pub(crate) fn begin_shutdown(&self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
+/// Routes the reactor's loop instrumentation into the `obs` registry.
+struct ReactorObs {
+    shared: Arc<Shared>,
+}
+
+impl reactor::Observer for ReactorObs {
+    fn on_poll(&self, _loop_idx: usize, events: usize, wait_us: u64) {
+        if events > 0 {
+            self.shared.obs.poll_us.record(wait_us as f64);
+            self.shared.obs.readiness_events.add(events as u64);
         }
-        for stream in self.conns.lock().expect("conns map poisoned").values() {
-            let _ = stream.shutdown(SockShutdown::Read);
+    }
+    fn on_flush(&self, _loop_idx: usize, bytes: usize, flush_us: u64) {
+        self.shared.obs.flush_us.record(flush_us as f64);
+        self.shared.obs.flush_bytes.add(bytes as u64);
+    }
+    fn on_conn_count(&self, loop_idx: usize, open: usize) {
+        if let Some(g) = self.shared.obs.loop_connections.get(loop_idx) {
+            g.set(open as f64);
         }
-        let wake = |addr: SocketAddr| {
-            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
-        };
-        wake(self.addr);
-        if let Some(addr) = self.http_addr {
-            wake(addr);
+    }
+    fn on_write_backpressure(&self, _loop_idx: usize) {
+        self.shared.obs.backpressure.inc();
+    }
+}
+
+/// Encodes a standalone typed-error frame.
+fn error_frame(code: ErrorCode, detail: &str, request_id: u64) -> Vec<u8> {
+    let resp = Response::Error { code, detail: detail.into() };
+    wire::encode(&wire::Frame { opcode: resp.opcode(), request_id, payload: resp.encode_payload() })
+}
+
+/// The binary protocol's accept policy: connection cap and shutdown
+/// refusals, gauge and event bookkeeping.
+struct ProtoService {
+    shared: Arc<Shared>,
+}
+
+impl reactor::Service for ProtoService {
+    fn on_accept(&self, conn_id: u64, _peer: SocketAddr) -> AcceptDecision {
+        let shared = &self.shared;
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return AcceptDecision::Reject(error_frame(
+                ErrorCode::ShuttingDown,
+                "server is shutting down",
+                0,
+            ));
         }
+        if shared.open_conns.load(Ordering::Relaxed) >= shared.config.max_connections as u64 {
+            shared.obs.conn_rejected.inc();
+            return AcceptDecision::Reject(error_frame(
+                ErrorCode::TooManyConnections,
+                "connection limit reached",
+                0,
+            ));
+        }
+        let n = shared.open_conns.fetch_add(1, Ordering::Relaxed) + 1;
+        shared.obs.connections.set(n as f64);
+        shared.obs.connections_total.inc();
+        shared.events.push(None, EventKind::NetConnOpened { conn: conn_id });
+        AcceptDecision::Accept(Box::new(ProtoConn {
+            shared: Arc::clone(shared),
+            conn_id,
+            requests: 0,
+            mid_frame: false,
+        }))
+    }
+
+    fn idle_timeout(&self) -> Option<Duration> {
+        self.shared.config.idle_timeout
+    }
+}
+
+/// One protocol connection's state machine: streaming decode off the
+/// reactor's read buffer, dispatch, responses queued in request order.
+struct ProtoConn {
+    shared: Arc<Shared>,
+    conn_id: u64,
+    requests: u64,
+    /// The buffer currently ends inside a frame — an EOF now is a
+    /// mid-frame disconnect, not a clean close.
+    mid_frame: bool,
+}
+
+impl Handler for ProtoConn {
+    fn on_readable(&mut self, conn: &mut ConnCtx<'_>) -> Verdict {
+        loop {
+            let started = Instant::now();
+            // The decode borrows the input buffer; everything that
+            // outlives the borrow (response, consumed count) is owned.
+            let step = match wire::decode_ref(conn.input(), self.shared.config.max_frame_payload) {
+                Ok(None) => {
+                    self.mid_frame = !conn.input().is_empty();
+                    return Verdict::Continue;
+                }
+                Ok(Some((frame, used))) => {
+                    let request_id = frame.request_id;
+                    let (response, after) = dispatch(&self.shared, frame.opcode, frame.payload);
+                    Ok((request_id, response, after, used))
+                }
+                Err(e) => Err(e),
+            };
+            match step {
+                Ok((request_id, response, after, used)) => {
+                    self.requests += 1;
+                    self.mid_frame = false;
+                    conn.consume(used);
+                    if matches!(response, Response::Error { .. }) {
+                        self.shared.obs.errors.inc();
+                    }
+                    conn.write(wire::encode(&wire::Frame {
+                        opcode: response.opcode(),
+                        request_id,
+                        payload: response.encode_payload(),
+                    }));
+                    self.shared.obs.request_us.record(started.elapsed().as_micros() as f64);
+                    match after {
+                        AfterReply::Continue => {}
+                        AfterReply::Close => return Verdict::Close,
+                        AfterReply::ShutdownServer => {
+                            // Mirror the flag before the reactor drain so
+                            // `is_shutting_down` and `/healthz` agree.
+                            self.shared.shutdown.store(true, Ordering::SeqCst);
+                            return Verdict::Shutdown;
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Undecodable frame: answer with a typed error on the
+                    // connection-level id 0, then close — after a framing
+                    // error the byte stream cannot be trusted.
+                    let code = match e {
+                        WireError::TooLarge { .. } => ErrorCode::PayloadTooLarge,
+                        WireError::BadVersion(_) => ErrorCode::UnsupportedVersion,
+                        _ => ErrorCode::BadFrame,
+                    };
+                    self.shared.obs.malformed.inc();
+                    self.shared.events.push(
+                        None,
+                        EventKind::NetMalformedFrame { conn: self.conn_id, code: code as u64 },
+                    );
+                    conn.write(error_frame(code, &e.to_string(), 0));
+                    return Verdict::Close;
+                }
+            }
+        }
+    }
+
+    fn on_close(&mut self, reason: CloseReason) {
+        match reason {
+            CloseReason::Error => self.shared.obs.disconnects.inc(),
+            CloseReason::PeerClosed if self.mid_frame => self.shared.obs.disconnects.inc(),
+            CloseReason::IdleTimeout => self.shared.obs.idle_reaped.inc(),
+            _ => {}
+        }
+        let n = self.shared.open_conns.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.shared.obs.connections.set(n as f64);
+        self.shared
+            .events
+            .push(None, EventKind::NetConnClosed { conn: self.conn_id, requests: self.requests });
     }
 }
 
 /// A running network server over one [`FleetEngine`].
 pub struct Server {
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
-    http: Option<JoinHandle<()>>,
+    reactor: Option<Reactor>,
 }
 
 impl Server {
-    /// Binds both listeners and starts the acceptor (and, if configured,
-    /// the HTTP shim) threads.
+    /// Binds both listeners and starts the reactor's event loops (the HTTP
+    /// shim, if configured, rides the same loops as a second listener).
     ///
     /// # Errors
     ///
-    /// Returns [`NetError::Io`] if a bind fails.
+    /// Returns [`NetError::Io`] if a bind or the reactor start fails.
     pub fn start(engine: Arc<FleetEngine>, config: ServerConfig) -> Result<Server, NetError> {
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| NetError::Io(format!("bind {}: {e}", config.addr)))?;
@@ -166,7 +339,10 @@ impl Server {
             None => None,
         };
 
-        let obs = NetObs::new(engine.registry());
+        let reactor_config =
+            ReactorConfig { loops: config.event_loops, ..ReactorConfig::default() };
+        let nloops = resolved_loops(config.event_loops);
+        let obs = NetObs::new(engine.registry(), nloops);
         let events = engine.events().clone();
         let shared = Arc::new(Shared {
             engine,
@@ -174,34 +350,25 @@ impl Server {
             obs,
             events,
             shutdown: AtomicBool::new(false),
-            conns: Mutex::new(HashMap::new()),
-            conn_threads: Mutex::new(Vec::new()),
-            next_conn_id: AtomicU64::new(1),
             open_conns: AtomicU64::new(0),
             addr,
             http_addr,
         });
 
-        let acceptor = {
-            let s = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("netserve-accept".into())
-                .spawn(move || accept_loop(&s, &listener))
-                .map_err(|e| NetError::Io(format!("spawn acceptor: {e}")))?
-        };
-        let http = match http_listener {
-            Some(l) => {
-                let s = Arc::clone(&shared);
-                Some(
-                    std::thread::Builder::new()
-                        .name("netserve-http".into())
-                        .spawn(move || http::serve(&s, &l))
-                        .map_err(|e| NetError::Io(format!("spawn http: {e}")))?,
-                )
-            }
-            None => None,
-        };
-        Ok(Server { shared, acceptor: Some(acceptor), http })
+        let io_err = |e: std::io::Error| NetError::Io(format!("reactor: {e}"));
+        let mut builder = ReactorBuilder::new(reactor_config)
+            .listen(listener, Arc::new(ProtoService { shared: Arc::clone(&shared) }))
+            .map_err(io_err)?;
+        if let Some(l) = http_listener {
+            builder = builder
+                .listen(l, Arc::new(http::HttpService { shared: Arc::clone(&shared) }))
+                .map_err(io_err)?;
+        }
+        let reactor = builder
+            .observer(Arc::new(ReactorObs { shared: Arc::clone(&shared) }))
+            .start()
+            .map_err(io_err)?;
+        Ok(Server { shared, reactor: Some(reactor) })
     }
 
     /// The bound protocol address (resolves ephemeral ports).
@@ -230,21 +397,13 @@ impl Server {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Gracefully stops the server: stops accepting, lets every connection
-    /// finish its in-flight request, joins all threads, and flushes the
-    /// engine so every accepted sample is fully processed. Idempotent.
+    /// Gracefully stops the server: the reactor deregisters its listeners,
+    /// flushes every connection's queued responses, closes them, and its
+    /// loops join; then the engine drains to durable state. Idempotent.
     pub fn shutdown(&mut self) {
-        self.shared.begin_shutdown();
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.http.take() {
-            let _ = h.join();
-        }
-        let threads: Vec<_> =
-            self.shared.conn_threads.lock().expect("conn threads poisoned").drain(..).collect();
-        for h in threads {
-            let _ = h.join();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(mut reactor) = self.reactor.take() {
+            reactor.shutdown();
         }
         // Drain to durable state: flush_durable pushes every queued sample
         // through the serving slots and the trace store, then fsyncs the WAL
@@ -262,134 +421,16 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let stream = match stream {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        // Reap finished connection threads so the handle list tracks open
-        // connections, not historical ones.
-        shared.conn_threads.lock().expect("conn threads poisoned").retain(|h| !h.is_finished());
-
-        if shared.open_conns.load(Ordering::Relaxed) >= shared.config.max_connections as u64 {
-            shared.obs.conn_rejected.inc();
-            refuse_connection(stream);
-            continue;
-        }
-        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
-        let Ok(clone) = stream.try_clone() else { continue };
-        shared.conns.lock().expect("conns map poisoned").insert(conn_id, clone);
-        let n = shared.open_conns.fetch_add(1, Ordering::Relaxed) + 1;
-        shared.obs.connections.set(n as f64);
-        shared.obs.connections_total.inc();
-        shared.events.push(None, EventKind::NetConnOpened { conn: conn_id });
-
-        let s = Arc::clone(shared);
-        let handle = std::thread::Builder::new()
-            .name(format!("netserve-conn-{conn_id}"))
-            .spawn(move || connection_loop(&s, stream, conn_id));
-        match handle {
-            Ok(h) => shared.conn_threads.lock().expect("conn threads poisoned").push(h),
-            Err(_) => close_connection(shared, conn_id, 0),
-        }
+/// Mirrors the reactor's auto-sizing so per-loop gauges can be registered
+/// up front.
+fn resolved_loops(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
     }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
 }
 
-/// Tells an over-limit client why it is being dropped, best-effort.
-fn refuse_connection(mut stream: TcpStream) {
-    let resp = Response::Error {
-        code: ErrorCode::TooManyConnections,
-        detail: "connection limit reached".into(),
-    };
-    let frame = Frame { opcode: resp.opcode(), request_id: 0, payload: resp.encode_payload() };
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-    let _ = stream.write_all(&wire::encode(&frame));
-}
-
-/// Removes a connection from the shared map and updates gauge + events.
-fn close_connection(shared: &Arc<Shared>, conn_id: u64, requests: u64) {
-    shared.conns.lock().expect("conns map poisoned").remove(&conn_id);
-    let n = shared.open_conns.fetch_sub(1, Ordering::Relaxed) - 1;
-    shared.obs.connections.set(n as f64);
-    shared.events.push(None, EventKind::NetConnClosed { conn: conn_id, requests });
-}
-
-fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream, conn_id: u64) {
-    let _ = stream.set_nodelay(true);
-    let mut requests = 0u64;
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        match wire::read_frame(&mut stream, shared.config.max_frame_payload) {
-            Ok(frame) => {
-                requests += 1;
-                let started = Instant::now();
-                let (response, after) = dispatch(shared, &frame);
-                let out = Frame {
-                    opcode: response.opcode(),
-                    request_id: frame.request_id,
-                    payload: response.encode_payload(),
-                };
-                if matches!(response, Response::Error { .. }) {
-                    shared.obs.errors.inc();
-                }
-                let write_ok = wire::write_frame(&mut stream, &out).is_ok();
-                shared.obs.request_us.record(started.elapsed().as_micros() as f64);
-                match after {
-                    AfterReply::Continue if write_ok => {}
-                    AfterReply::Continue => {
-                        shared.obs.disconnects.inc();
-                        break;
-                    }
-                    AfterReply::Close => break,
-                    AfterReply::ShutdownServer => {
-                        shared.begin_shutdown();
-                        break;
-                    }
-                }
-            }
-            Err(WireError::Closed) => break,
-            Err(WireError::Io(_)) => {
-                // Mid-frame EOF or reset: the peer vanished (or shutdown
-                // unparked us). Not malformed — nothing decodable arrived.
-                if !shared.shutdown.load(Ordering::SeqCst) {
-                    shared.obs.disconnects.inc();
-                }
-                break;
-            }
-            Err(e) => {
-                // Undecodable frame: answer with a typed error, then close —
-                // after a framing error the byte stream cannot be trusted.
-                let code = match e {
-                    WireError::TooLarge { .. } => ErrorCode::PayloadTooLarge,
-                    WireError::BadVersion(_) => ErrorCode::UnsupportedVersion,
-                    WireError::TooShort(_)
-                    | WireError::BadCrc { .. }
-                    | WireError::BadReserved(_) => ErrorCode::BadFrame,
-                    WireError::Closed | WireError::Io(_) => unreachable!("handled above"),
-                };
-                shared.obs.malformed.inc();
-                shared
-                    .events
-                    .push(None, EventKind::NetMalformedFrame { conn: conn_id, code: code as u64 });
-                let resp = Response::Error { code, detail: e.to_string() };
-                let frame =
-                    Frame { opcode: resp.opcode(), request_id: 0, payload: resp.encode_payload() };
-                let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-                let _ = wire::write_frame(&mut stream, &frame);
-                break;
-            }
-        }
-    }
-    close_connection(shared, conn_id, requests);
-}
-
-/// What the connection loop does after writing the response.
+/// What the connection state machine does after queueing the response.
 enum AfterReply {
     Continue,
     Close,
@@ -397,7 +438,7 @@ enum AfterReply {
 }
 
 /// Decodes and serves one request against the engine.
-fn dispatch(shared: &Arc<Shared>, frame: &Frame) -> (Response, AfterReply) {
+fn dispatch(shared: &Shared, opcode: u8, payload: &[u8]) -> (Response, AfterReply) {
     if shared.shutdown.load(Ordering::SeqCst) {
         let resp = Response::Error {
             code: ErrorCode::ShuttingDown,
@@ -405,7 +446,7 @@ fn dispatch(shared: &Arc<Shared>, frame: &Frame) -> (Response, AfterReply) {
         };
         return (resp, AfterReply::Close);
     }
-    let request = match Request::decode(frame.opcode, &frame.payload) {
+    let request = match Request::decode(opcode, payload) {
         Ok(r) => r,
         Err((code, detail)) => {
             if code == ErrorCode::MalformedPayload {

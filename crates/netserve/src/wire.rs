@@ -154,6 +154,19 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
     out
 }
 
+/// One decoded frame whose payload borrows the receive buffer — the
+/// zero-copy twin of [`Frame`] used on the server's streaming decode path,
+/// where the payload is dispatched and answered before the buffer advances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRef<'a> {
+    /// Opcode byte (request, reply, or error — see [`crate::msg`]).
+    pub opcode: u8,
+    /// Client-chosen correlation id, echoed in responses.
+    pub request_id: u64,
+    /// Opcode-specific payload bytes, borrowed from the input slice.
+    pub payload: &'a [u8],
+}
+
 /// Decodes one frame from a byte slice, returning the frame and the bytes
 /// consumed. `Ok(None)` means the slice holds only a frame prefix so far
 /// (feed more bytes); errors are permanent for this input.
@@ -162,6 +175,22 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
 /// tests drive: the length field is validated against `max_payload` before
 /// anything is sliced.
 pub fn decode(buf: &[u8], max_payload: usize) -> Result<Option<(Frame, usize)>, WireError> {
+    match decode_ref(buf, max_payload)? {
+        Some((f, used)) => Ok(Some((
+            Frame { opcode: f.opcode, request_id: f.request_id, payload: f.payload.to_vec() },
+            used,
+        ))),
+        None => Ok(None),
+    }
+}
+
+/// [`decode`] without the payload copy: the returned [`FrameRef`] borrows
+/// `buf`. Same validation order — the declared length is checked against
+/// `max_payload` before anything is sliced.
+pub fn decode_ref(
+    buf: &[u8],
+    max_payload: usize,
+) -> Result<Option<(FrameRef<'_>, usize)>, WireError> {
     if buf.len() < 4 {
         return Ok(None);
     }
@@ -173,7 +202,15 @@ pub fn decode(buf: &[u8], max_payload: usize) -> Result<Option<(Frame, usize)>, 
     }
     let body = &buf[4..4 + body_len];
     let carried = u32::from_le_bytes(buf[4 + body_len..total].try_into().expect("4 bytes"));
-    decode_body(body, carried).map(|f| Some((f, total)))
+    check_body(body, carried)?;
+    Ok(Some((
+        FrameRef {
+            opcode: body[1],
+            request_id: u64::from_le_bytes(body[4..12].try_into().expect("8 bytes")),
+            payload: &body[HEADER_LEN..],
+        },
+        total,
+    )))
 }
 
 /// Validates a declared body length against the fixed header size and the
@@ -188,8 +225,8 @@ fn check_len(body_len: u32, max_payload: usize) -> Result<(), WireError> {
     Ok(())
 }
 
-/// Verifies the CRC and splits a frame body into its parts.
-fn decode_body(body: &[u8], carried_crc: u32) -> Result<Frame, WireError> {
+/// Verifies the CRC, version, and reserved field of a frame body.
+fn check_body(body: &[u8], carried_crc: u32) -> Result<(), WireError> {
     let actual = crc32(body);
     if actual != carried_crc {
         return Err(WireError::BadCrc { expected: carried_crc, actual });
@@ -204,6 +241,12 @@ fn decode_body(body: &[u8], carried_crc: u32) -> Result<Frame, WireError> {
     if reserved != 0 {
         return Err(WireError::BadReserved(reserved));
     }
+    Ok(())
+}
+
+/// Verifies the CRC and splits a frame body into its parts.
+fn decode_body(body: &[u8], carried_crc: u32) -> Result<Frame, WireError> {
+    check_body(body, carried_crc)?;
     Ok(Frame {
         opcode: body[1],
         request_id: u64::from_le_bytes(body[4..12].try_into().expect("8 bytes")),
@@ -276,6 +319,20 @@ mod tests {
             assert_eq!(used, bytes.len());
             let mut cursor = std::io::Cursor::new(&bytes);
             assert_eq!(read_frame(&mut cursor, 1 << 20).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn decode_ref_matches_decode_without_copying() {
+        let f = frame(0x05, 77, b"zero-copy");
+        let bytes = encode(&f);
+        let (r, used) = decode_ref(&bytes, 1 << 20).unwrap().expect("complete frame");
+        assert_eq!(r.opcode, f.opcode);
+        assert_eq!(r.request_id, f.request_id);
+        assert_eq!(r.payload, &f.payload[..]);
+        assert_eq!(used, bytes.len());
+        for cut in 0..bytes.len() {
+            assert!(decode_ref(&bytes[..cut], 1 << 20).unwrap().is_none(), "cut {cut}");
         }
     }
 

@@ -1,0 +1,272 @@
+//! Connection buffers: a compacting read buffer the streaming decoder
+//! consumes from, and a segment write queue flushed with vectored writes.
+
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
+
+/// Initial read-buffer capacity per connection.
+const READ_INIT: usize = 16 * 1024;
+/// A drained read buffer larger than this shrinks back, so one burst (or a
+/// slow-loris feeding a huge declared frame) does not pin memory forever.
+const READ_SHRINK_OVER: usize = 256 * 1024;
+
+/// Compacting read buffer: bytes arrive at the tail, the protocol consumes
+/// from the head, and the window slides without reallocating in steady
+/// state.
+pub struct ReadBuf {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl ReadBuf {
+    /// An empty buffer (first fill allocates).
+    pub fn new() -> ReadBuf {
+        ReadBuf { buf: Vec::new(), start: 0, end: 0 }
+    }
+
+    /// The unconsumed bytes.
+    pub fn input(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Unconsumed byte count.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether all received bytes were consumed.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Marks `n` head bytes consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`ReadBuf::len`] — consuming bytes that never
+    /// arrived is a protocol-driver bug.
+    pub fn consume(&mut self, n: usize) {
+        assert!(n <= self.len(), "consume({n}) exceeds buffered {}", self.len());
+        self.start += n;
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+            if self.buf.len() > READ_SHRINK_OVER {
+                self.buf = Vec::new();
+            }
+        }
+    }
+
+    /// Reads once from `r` into spare tail capacity (compacting or growing
+    /// as needed), appending up to `max` bytes. Returns the byte count
+    /// (`Ok(0)` is end-of-stream).
+    pub fn fill_from(&mut self, r: &mut impl Read, max: usize) -> io::Result<usize> {
+        let want = max.clamp(1, READ_INIT.max(max.min(READ_INIT * 4)));
+        if self.buf.len() - self.end < want {
+            if self.start > 0 {
+                // Slide the live window to the front.
+                self.buf.copy_within(self.start..self.end, 0);
+                self.end -= self.start;
+                self.start = 0;
+            }
+            if self.buf.len() - self.end < want {
+                let grow = (self.end + want).max(self.buf.len() * 2).max(READ_INIT);
+                self.buf.resize(grow, 0);
+            }
+        }
+        let n = r.read(&mut self.buf[self.end..self.end + want])?;
+        self.end += n;
+        Ok(n)
+    }
+}
+
+impl Default for ReadBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// How a flush attempt left the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushStatus {
+    /// Everything queued hit the socket.
+    Done,
+    /// The socket stopped accepting bytes (kernel buffer full) — re-arm
+    /// write interest and come back on writability.
+    Pending,
+}
+
+/// Outbound segment queue. Responses are queued as owned byte vectors
+/// (already-encoded frames) and flushed with `writev`-style vectored
+/// writes, so a pipelined burst of replies costs one syscall, not one per
+/// frame.
+pub struct WriteQueue {
+    segments: VecDeque<Vec<u8>>,
+    /// Bytes of the front segment already written.
+    head: usize,
+    /// Total unwritten bytes across all segments.
+    queued: usize,
+}
+
+/// Most segments handed to one vectored write.
+const MAX_IOVEC: usize = 64;
+
+impl WriteQueue {
+    /// An empty queue.
+    pub fn new() -> WriteQueue {
+        WriteQueue { segments: VecDeque::new(), head: 0, queued: 0 }
+    }
+
+    /// Queues one encoded segment (empties are dropped).
+    pub fn push(&mut self, bytes: Vec<u8>) {
+        if !bytes.is_empty() {
+            self.queued += bytes.len();
+            self.segments.push_back(bytes);
+        }
+    }
+
+    /// Unwritten bytes.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// Writes as much as the socket accepts. Returns the flush status and
+    /// how many bytes moved; `WouldBlock` is not an error (it is what
+    /// [`FlushStatus::Pending`] means).
+    pub fn flush(&mut self, w: &mut impl Write) -> io::Result<(FlushStatus, usize)> {
+        let mut moved = 0usize;
+        while !self.segments.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> =
+                Vec::with_capacity(self.segments.len().min(MAX_IOVEC));
+            for (i, seg) in self.segments.iter().take(MAX_IOVEC).enumerate() {
+                let from = if i == 0 { self.head } else { 0 };
+                slices.push(IoSlice::new(&seg[from..]));
+            }
+            let n = match w.write_vectored(&slices) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok((FlushStatus::Pending, moved))
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            moved += n;
+            self.queued -= n;
+            self.advance(n);
+        }
+        Ok((FlushStatus::Done, moved))
+    }
+
+    fn advance(&mut self, mut n: usize) {
+        while n > 0 {
+            let remaining =
+                self.segments.front().expect("bytes written imply a segment").len() - self.head;
+            if n >= remaining {
+                n -= remaining;
+                self.head = 0;
+                self.segments.pop_front();
+            } else {
+                self.head += n;
+                n = 0;
+            }
+        }
+    }
+}
+
+impl Default for WriteQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_buf_slides_and_grows() {
+        let mut buf = ReadBuf::new();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let mut src = std::io::Cursor::new(&data[..]);
+        let mut seen = Vec::new();
+        loop {
+            let n = buf.fill_from(&mut src, 4096).expect("read");
+            if n == 0 {
+                break;
+            }
+            // Consume in awkward strides to force sliding compaction.
+            while buf.len() >= 1000 {
+                seen.extend_from_slice(&buf.input()[..1000]);
+                buf.consume(1000);
+            }
+        }
+        seen.extend_from_slice(buf.input());
+        let l = buf.len();
+        buf.consume(l);
+        assert_eq!(seen, data);
+        assert!(buf.is_empty());
+    }
+
+    /// A writer that accepts at most `cap` bytes per call — a socket whose
+    /// kernel buffer keeps filling.
+    struct Dribble {
+        out: Vec<u8>,
+        cap: usize,
+        block_next: bool,
+    }
+
+    impl Write for Dribble {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            if self.block_next {
+                self.block_next = false;
+                return Err(io::Error::from(io::ErrorKind::WouldBlock));
+            }
+            let n = data.len().min(self.cap);
+            self.out.extend_from_slice(&data[..n]);
+            self.block_next = true;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_queue_survives_partial_and_blocked_writes() {
+        let mut q = WriteQueue::new();
+        let mut expect = Vec::new();
+        for i in 0..50u32 {
+            let seg: Vec<u8> = (0..(i % 7 + 1) * 13).map(|b| (b + i) as u8).collect();
+            expect.extend_from_slice(&seg);
+            q.push(seg);
+        }
+        q.push(Vec::new()); // empties are dropped
+        let total = q.queued_bytes();
+        assert_eq!(total, expect.len());
+
+        let mut sink = Dribble { out: Vec::new(), cap: 17, block_next: false };
+        let mut rounds = 0;
+        loop {
+            match q.flush(&mut sink).expect("flush") {
+                (FlushStatus::Done, _) => break,
+                (FlushStatus::Pending, _) => rounds += 1,
+            }
+            assert!(rounds < 10_000, "flush must make progress");
+        }
+        assert_eq!(sink.out, expect);
+        assert!(q.is_empty());
+        assert_eq!(q.queued_bytes(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Safe wrapper over one epoll instance: an interest set plus a wait call.
+
+use std::io;
+use std::os::fd::{AsRawFd, OwnedFd, RawFd};
+
+use crate::sys;
+
+/// What a registration wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake on readable (or incoming connection).
+    pub readable: bool,
+    /// Wake on writable.
+    pub writable: bool,
+    /// Edge-triggered delivery (one wake per readiness *transition*; the
+    /// consumer must drain to `EAGAIN`).
+    pub edge: bool,
+    /// Exclusive wakeup across epoll instances watching the same
+    /// descriptor (listeners shared by several loops).
+    pub exclusive: bool,
+}
+
+impl Interest {
+    /// Edge-triggered read interest — the per-connection default.
+    pub const READ: Interest =
+        Interest { readable: true, writable: false, edge: true, exclusive: false };
+
+    /// Edge-triggered read+write interest (write backpressure engaged).
+    pub const READ_WRITE: Interest =
+        Interest { readable: true, writable: true, edge: true, exclusive: false };
+
+    /// Level-triggered exclusive accept interest for shared listeners.
+    pub const ACCEPT: Interest =
+        Interest { readable: true, writable: false, edge: false, exclusive: true };
+
+    fn bits(self) -> u32 {
+        // EPOLLEXCLUSIVE rejects every flag except IN/OUT/ET/WAKEUP with
+        // EINVAL, so half-close interest only applies to plain conns.
+        let mut ev = if self.exclusive { 0 } else { sys::EPOLLRDHUP };
+        if self.readable {
+            ev |= sys::EPOLLIN;
+        }
+        if self.writable {
+            ev |= sys::EPOLLOUT;
+        }
+        if self.edge {
+            ev |= sys::EPOLLET;
+        }
+        if self.exclusive {
+            ev |= sys::EPOLLEXCLUSIVE;
+        }
+        ev
+    }
+}
+
+/// One readiness record out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Ready {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    /// Readable (or peer half-closed — reads will observe it).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup: the descriptor is dead or dying; the owner should
+    /// attempt a final read (errors surface there) and close.
+    pub error: bool,
+}
+
+/// One epoll instance.
+pub struct Poller {
+    epfd: OwnedFd,
+    events: Vec<sys::EpollEvent>,
+}
+
+impl Poller {
+    /// Creates the epoll instance with room for `capacity` readiness
+    /// records per wait.
+    pub fn new(capacity: usize) -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::epoll_create()?,
+            events: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(8)],
+        })
+    }
+
+    /// Registers `fd` with `interest`, tagging its readiness with `token`.
+    pub fn add(&self, fd: RawFd, interest: Interest, token: u64) -> io::Result<()> {
+        sys::epoll_add(self.epfd.as_raw_fd(), fd, interest.bits(), token)
+    }
+
+    /// Re-registers `fd` with a new interest set (backpressure on/off).
+    pub fn modify(&self, fd: RawFd, interest: Interest, token: u64) -> io::Result<()> {
+        sys::epoll_modify(self.epfd.as_raw_fd(), fd, interest.bits(), token)
+    }
+
+    /// Stops watching `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        sys::epoll_delete(self.epfd.as_raw_fd(), fd)
+    }
+
+    /// Waits up to `timeout_ms` (`None` = forever) and invokes `sink` for
+    /// each readiness record. Returns how many records arrived.
+    pub fn wait(
+        &mut self,
+        timeout_ms: Option<u32>,
+        mut sink: impl FnMut(Ready),
+    ) -> io::Result<usize> {
+        let timeout = timeout_ms.map_or(-1i32, |t| t.min(i32::MAX as u32) as i32);
+        let n = sys::epoll_wait_fd(self.epfd.as_raw_fd(), &mut self.events, timeout)?;
+        for ev in &self.events[..n] {
+            let bits = ev.events;
+            sink(Ready {
+                token: ev.data,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                error: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn socket_readability_is_reported_with_its_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut poller = Poller::new(16).expect("poller");
+        poller.add(listener.as_raw_fd(), Interest::READ, 7).expect("add listener");
+
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let mut seen = Vec::new();
+        while seen.is_empty() {
+            poller.wait(Some(1000), |r| seen.push(r.token)).expect("wait");
+        }
+        assert_eq!(seen, vec![7]);
+
+        let (server_side, _) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+        poller.add(server_side.as_raw_fd(), Interest::READ, 9).expect("add conn");
+        client.write_all(b"ping").expect("send");
+        let mut tokens = Vec::new();
+        while !tokens.contains(&9) {
+            poller.wait(Some(1000), |r| tokens.push(r.token)).expect("wait");
+        }
+    }
+}

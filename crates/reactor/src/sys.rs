@@ -1,0 +1,141 @@
+//! Raw Linux syscall surface: `epoll` and `eventfd`, declared directly
+//! against the C runtime every Rust binary already links — no crates, same
+//! no-deps discipline as the rest of the workspace.
+//!
+//! Everything above this module works in terms of [`OwnedFd`], so descriptor
+//! lifetimes are handled by std; the only unsafe here is the FFI boundary
+//! itself. Failures map to `std::io::Error::last_os_error()`.
+
+use std::io;
+use std::os::fd::{FromRawFd, OwnedFd, RawFd};
+use std::os::raw::c_int;
+
+/// Readiness: data to read.
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported, never requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Exclusive wakeup: one waiter per event across epoll instances sharing a
+/// descriptor — the sharded-accept primitive.
+pub const EPOLLEXCLUSIVE: u32 = 1 << 28;
+/// Edge-triggered delivery.
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// One `struct epoll_event`. Packed on x86-64, where the kernel ABI lacks
+/// the natural 8-byte alignment of `data`.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLL*`).
+    pub events: u32,
+    /// Caller-chosen token, echoed verbatim on readiness.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)`.
+pub fn epoll_create() -> io::Result<OwnedFd> {
+    let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+    // SAFETY: epoll_create1 returned a fresh descriptor we now own.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// `epoll_ctl(ADD)`: start watching `fd` for `events`, tagging readiness
+/// with `token`.
+pub fn epoll_add(epfd: RawFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data: token };
+    cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &mut ev) }).map(drop)
+}
+
+/// `epoll_ctl(MOD)`: change the interest set for an already-watched `fd`.
+pub fn epoll_modify(epfd: RawFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data: token };
+    cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &mut ev) }).map(drop)
+}
+
+/// `epoll_ctl(DEL)`: stop watching `fd`.
+pub fn epoll_delete(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    let mut ev = EpollEvent { events: 0, data: 0 };
+    cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(drop)
+}
+
+/// `epoll_wait`: blocks up to `timeout_ms` (`-1` = forever), filling
+/// `events`; returns how many readiness records arrived. `EINTR` surfaces
+/// as `Ok(0)` so callers simply re-enter their loop.
+pub fn epoll_wait_fd(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) };
+    if n < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(n as usize)
+}
+
+/// `eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)` — the cross-thread wake pipe.
+pub fn eventfd_create() -> io::Result<OwnedFd> {
+    let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+    // SAFETY: eventfd returned a fresh descriptor we now own.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn epoll_event_matches_kernel_abi() {
+        let expected = if cfg!(target_arch = "x86_64") { 12 } else { 16 };
+        assert_eq!(std::mem::size_of::<EpollEvent>(), expected);
+    }
+
+    #[test]
+    fn eventfd_readiness_round_trips_through_epoll() {
+        let ep = epoll_create().expect("epoll");
+        let ef = eventfd_create().expect("eventfd");
+        epoll_add(ep.as_raw_fd(), ef.as_raw_fd(), EPOLLIN, 42).expect("add");
+
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        // Nothing pending: a zero timeout returns immediately, empty.
+        assert_eq!(epoll_wait_fd(ep.as_raw_fd(), &mut events, 0).expect("wait"), 0);
+
+        // Writing the eventfd makes it readable.
+        let mut f = std::fs::File::from(ef);
+        std::io::Write::write_all(&mut f, &1u64.to_ne_bytes()).expect("wake");
+        let n = epoll_wait_fd(ep.as_raw_fd(), &mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        let (data, bits) = { (events[0].data, events[0].events) };
+        assert_eq!(data, 42);
+        assert_ne!(bits & EPOLLIN, 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Hierarchical timer wheel for coarse connection deadlines.
+//!
+//! Four levels of 64 slots over an 8 ms tick: level 0 resolves ~half a
+//! second, each higher level is 64× coarser, topping out around 37 hours
+//! (longer deadlines clamp). Insertion and cascade are O(1) amortized;
+//! there is no explicit cancel — owners carry a generation and simply
+//! ignore stale expirations (idle timers re-arm from the connection's
+//! `last_activity` instead of being rescheduled on every byte).
+
+/// log2 of the tick length in milliseconds (8 ms ticks).
+const TICK_BITS: u32 = 3;
+/// log2 of the slots per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels.
+const LEVELS: usize = 4;
+
+/// One pending timer.
+#[derive(Debug, Clone, Copy)]
+struct Timer {
+    /// Absolute deadline, in ticks.
+    deadline: u64,
+    /// Caller token (e.g. connection slot | generation).
+    key: u64,
+}
+
+/// The wheel. Time is externally supplied milliseconds (monotonic, from
+/// the owning loop's clock); the wheel only ever compares and shifts it.
+pub struct TimerWheel {
+    /// `LEVELS * SLOTS` buckets, level-major.
+    slots: Vec<Vec<Timer>>,
+    /// Last tick `advance` fully processed.
+    now: u64,
+    /// Pending timers across all buckets.
+    len: usize,
+}
+
+impl TimerWheel {
+    /// An empty wheel starting at time zero.
+    pub fn new() -> TimerWheel {
+        TimerWheel { slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(), now: 0, len: 0 }
+    }
+
+    /// Pending timer count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket(&self, deadline: u64) -> usize {
+        // Distance decides the level; the deadline's own digits pick the
+        // slot, so a cascade drops an entry one level at the right time.
+        let delta = deadline.saturating_sub(self.now);
+        for level in 0..LEVELS {
+            let span = 1u64 << (SLOT_BITS * (level as u32 + 1));
+            if delta < span || level == LEVELS - 1 {
+                let slot = (deadline >> (SLOT_BITS * level as u32)) as usize & (SLOTS - 1);
+                return level * SLOTS + slot;
+            }
+        }
+        unreachable!("last level accepts any delta")
+    }
+
+    /// Schedules `key` to expire at `deadline_ms` (clamped to now+1 tick if
+    /// already past; far futures clamp into the top level).
+    pub fn schedule(&mut self, key: u64, deadline_ms: u64) {
+        // Ceil to a tick so nothing ever fires early.
+        let ticks = (deadline_ms + (1 << TICK_BITS) - 1) >> TICK_BITS;
+        let deadline = ticks.max(self.now + 1);
+        let bucket = self.bucket(deadline);
+        self.slots[bucket].push(Timer { deadline, key });
+        self.len += 1;
+    }
+
+    /// Advances the wheel to `now_ms`, pushing every expired key into
+    /// `expired` (in expiry order across ticks, unordered within one).
+    pub fn advance(&mut self, now_ms: u64, expired: &mut Vec<u64>) {
+        let target = now_ms >> TICK_BITS;
+        if self.len == 0 {
+            self.now = self.now.max(target);
+            return;
+        }
+        while self.now < target {
+            self.now += 1;
+            let tick = self.now;
+            // Cascade higher levels on their boundaries first, so their
+            // entries land in the level-0 slot this tick drains.
+            for level in 1..LEVELS {
+                if tick.trailing_zeros() >= SLOT_BITS * level as u32 {
+                    let slot = (tick >> (SLOT_BITS * level as u32)) as usize & (SLOTS - 1);
+                    let entries = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+                    for t in entries {
+                        self.len -= 1;
+                        if t.deadline <= tick {
+                            expired.push(t.key);
+                        } else {
+                            let bucket = self.bucket(t.deadline);
+                            self.slots[bucket].push(t);
+                            self.len += 1;
+                        }
+                    }
+                } else {
+                    break;
+                }
+            }
+            let slot = tick as usize & (SLOTS - 1);
+            let entries = &mut self.slots[slot];
+            if entries.is_empty() {
+                continue;
+            }
+            // Entries parked here from a clamped far future re-circulate.
+            let mut keep = Vec::new();
+            for t in entries.drain(..) {
+                if t.deadline <= tick {
+                    expired.push(t.key);
+                    self.len -= 1;
+                } else {
+                    keep.push(t);
+                }
+            }
+            self.slots[slot] = keep;
+        }
+    }
+
+    /// Milliseconds until the next possible expiry (an upper bound good
+    /// for a poll timeout: never sleeps past a deadline, may wake at a
+    /// cascade boundary early). `None` when no timers are pending.
+    pub fn next_timeout_ms(&self, now_ms: u64) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let now = now_ms >> TICK_BITS;
+        // Scan the level-0 window ahead of `now`; the earliest nonempty
+        // slot bounds the sleep. Anything in higher levels cascades no
+        // sooner than the next level-0 rotation boundary.
+        let mut horizon = SLOTS as u64 - (now & (SLOTS as u64 - 1)).max(1);
+        for ahead in 1..=horizon {
+            let tick = self.now.max(now) + ahead;
+            if !self.slots[tick as usize & (SLOTS - 1)].is_empty() {
+                horizon = ahead;
+                break;
+            }
+        }
+        let wake_tick = self.now.max(now) + horizon;
+        Some((wake_tick << TICK_BITS).saturating_sub(now_ms).max(1))
+    }
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(wheel: &mut TimerWheel, now: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        wheel.advance(now, &mut out);
+        out
+    }
+
+    #[test]
+    fn near_deadline_fires_on_time_never_early() {
+        let mut wheel = TimerWheel::new();
+        wheel.schedule(1, 100);
+        assert!(drain(&mut wheel, 96).is_empty(), "must not fire before the deadline");
+        assert_eq!(drain(&mut wheel, 110), vec![1]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn deadlines_across_levels_fire_in_order() {
+        let mut wheel = TimerWheel::new();
+        // Level 0 (<512ms), level 1 (<32s), level 2 (<35min), level 3.
+        wheel.schedule(10, 40);
+        wheel.schedule(11, 5_000);
+        wheel.schedule(12, 120_000);
+        wheel.schedule(13, 3_600_000);
+        assert_eq!(wheel.len(), 4);
+
+        let mut fired = Vec::new();
+        let mut t = 0;
+        while t <= 3_700_000 {
+            wheel.advance(t, &mut fired);
+            t += 256; // uneven stride exercises multi-tick catch-up
+        }
+        assert_eq!(fired, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn every_deadline_fires_within_one_tick_of_its_time() {
+        let mut wheel = TimerWheel::new();
+        // A pseudo-random spray of deadlines over ~90 seconds.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut deadlines = Vec::new();
+        for key in 0..500u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let d = x % 90_000;
+            deadlines.push((key, d));
+            wheel.schedule(key, d);
+        }
+        let mut fired_at = vec![None; 500];
+        let mut expired = Vec::new();
+        for now in (0..100_000).step_by(8) {
+            expired.clear();
+            wheel.advance(now, &mut expired);
+            for &k in &expired {
+                fired_at[k as usize] = Some(now);
+            }
+        }
+        for (key, deadline) in deadlines {
+            let at = fired_at[key as usize].expect("every timer fires");
+            assert!(at + 16 >= deadline, "timer {key} fired early: {at} < {deadline}");
+            assert!(at <= deadline + 16, "timer {key} fired late: {at} > {deadline}");
+        }
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn next_timeout_bounds_the_sleep() {
+        let mut wheel = TimerWheel::new();
+        assert_eq!(wheel.next_timeout_ms(0), None);
+        wheel.schedule(1, 100);
+        let t = wheel.next_timeout_ms(0).expect("pending timer");
+        assert!(t <= 104, "sleep {t} must not overshoot the 100ms deadline");
+        // A far deadline still yields a bounded (cascade-boundary) sleep.
+        let mut far = TimerWheel::new();
+        far.schedule(2, 3_600_000);
+        let t = far.next_timeout_ms(0).expect("pending timer");
+        assert!(t <= (SLOTS as u64) << TICK_BITS, "sleep {t} capped at one rotation");
+    }
+
+    #[test]
+    fn clock_jumps_with_no_timers_are_cheap_and_correct() {
+        let mut wheel = TimerWheel::new();
+        let mut out = Vec::new();
+        wheel.advance(10_000_000, &mut out); // long idle stall
+        wheel.schedule(5, 10_000_050);
+        wheel.advance(10_000_200, &mut out);
+        assert_eq!(out, vec![5]);
+    }
+}

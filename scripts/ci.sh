@@ -59,19 +59,58 @@ if [[ "$QUICK" -eq 0 ]]; then
   if grep -v '^#' <<<"$OBS_PROM" | awk '{v=$NF} v != v+0 || v < 0 {print "bad sample: " $0; bad=1} END {exit bad}'; then :; else
     echo "obs_dump prometheus has NaN or negative samples"; exit 1
   fi
-  echo "==> net_loadgen smoke (wire protocol server + 8 clients, short burst)"
-  # Starts an ephemeral netserve server in-process, drives 8 client
-  # connections for ~1s, scrapes /metrics and /healthz from the HTTP shim
-  # mid-run, self-validates the JSON report (strict no-NaN parser), and
-  # asserts lossless ingestion. The scrape results surface as fields we can
-  # grep without racing an external curl against an ephemeral port.
+  echo "==> net_loadgen smoke + bench-regression gate (reactor server, 8 conns)"
+  # Starts an ephemeral netserve server on the reactor event loops, drives 8
+  # pipelined connections for ~1s (first 0.25s excluded as warmup), scrapes
+  # /metrics and /healthz from the HTTP shim mid-run, self-validates the
+  # JSON report (strict no-NaN parser), and asserts lossless ingestion.
   NET_JSON="$(cargo run --release -q -p netserve --bin net_loadgen -- \
-      --clients 8 --streams 200 --shards 4 --duration 1 \
+      --conns 8 --streams 200 --shards 4 --duration 1 --warmup 0.25 \
       --out target/BENCH_net_ci.json)"
   for field in '"healthz_ok": true' '"metrics_scrape_ok": true' \
                '"rejected": 0' '"rtt_p99_us"' '"samples_per_sec"' \
                '"net_op_push_batch_total"'; do
     grep -qF "$field" <<<"$NET_JSON" || { echo "net_loadgen report missing $field"; exit 1; }
+  done
+  # Regression gate against the committed 8-connection sweep point in
+  # results/BENCH_net.json. Floors/ceilings are deliberately loose (the
+  # bench host shows +/-25% run-to-run noise and CI runs hot after a full
+  # build): 40% throughput floor catches an accidental per-request
+  # allocation or a lost fast path; 5x p99 ceiling catches the event loop
+  # stalling (a blocking call on the loop shows up as 10-100x, not 5x).
+  NET_BASE_POINT="$(grep -o '{"conns": 8,[^}]*}' results/BENCH_net.json)"
+  NET_BASE_SPS="$(grep -o '"samples_per_sec": [0-9]*' <<<"$NET_BASE_POINT" | grep -o '[0-9]*$')"
+  NET_BASE_P99="$(grep -o '"rtt_p99_us": [0-9]*' <<<"$NET_BASE_POINT" | grep -o '[0-9]*$')"
+  NET_SPS="$(grep -o '"samples_per_sec": [0-9]*' <<<"$NET_JSON" | head -1 | grep -o '[0-9]*$')"
+  NET_P99="$(grep -o '"rtt_p99_us": [0-9]*' <<<"$NET_JSON" | head -1 | grep -o '[0-9]*$')"
+  NET_FLOOR=$(( NET_BASE_SPS * 40 / 100 ))
+  NET_CEIL=$(( NET_BASE_P99 * 5 ))
+  if [[ "$NET_SPS" -lt "$NET_FLOOR" ]]; then
+    echo "net serving regression: $NET_SPS samples/s < 40% of committed baseline $NET_BASE_SPS"
+    exit 1
+  fi
+  if [[ "$NET_P99" -gt "$NET_CEIL" ]]; then
+    echo "net latency regression: rtt_p99 ${NET_P99}us > 5x committed baseline ${NET_BASE_P99}us"
+    exit 1
+  fi
+  echo "net_loadgen: $NET_SPS samples/s (floor $NET_FLOOR), rtt_p99 ${NET_P99}us (ceiling $NET_CEIL)"
+
+  echo "==> connection-storm smoke (1000 simultaneous connections)"
+  # 1000 clients connect at once, all must handshake, the HTTP shim must
+  # still answer /healthz (and report the full count) under the storm, and
+  # teardown must drain the connection gauge back to zero. Needs ~2k fds;
+  # raise the soft limit if the hard limit allows, otherwise scale down.
+  STORM_N=1000
+  HARD_FD="$(ulimit -Hn)"
+  if [[ "$HARD_FD" != "unlimited" && "$HARD_FD" -lt 2200 ]]; then
+    STORM_N=$(( (HARD_FD - 200) / 2 ))
+    echo "fd hard limit $HARD_FD too low for 1000 conns; storming $STORM_N instead"
+  fi
+  ulimit -n "$(ulimit -Hn)" 2>/dev/null || true
+  STORM_JSON="$(cargo run --release -q -p netserve --bin net_loadgen -- --storm "$STORM_N")"
+  echo "$STORM_JSON"
+  for field in "\"storm_conns\": $STORM_N" '"healthz_ok": true' '"teardown_ok": true'; do
+    grep -qF "$field" <<<"$STORM_JSON" || { echo "storm report missing $field"; exit 1; }
   done
 
   echo "==> crash_recovery kill-test (kill -9 a durable server mid-traffic, replay, verify)"
