@@ -110,6 +110,13 @@ pub struct FleetConfig {
     /// Durable ingestion (WAL-before-ack + checkpoint/recovery). `None`
     /// keeps the engine purely in-memory, the previous behavior.
     pub durability: Option<DurabilityConfig>,
+    /// Directory for the cold-stream hibernation spill file (DESIGN.md §11).
+    /// When set, [`crate::FleetEngine::hibernate_idle`] can move idle
+    /// streams' serving state out of memory; the next sample restores it
+    /// bit-identically. The spill file is a cache: it never participates in
+    /// recovery and is truncated on every engine start. `None` disables
+    /// hibernation.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for FleetConfig {
@@ -123,6 +130,7 @@ impl Default for FleetConfig {
             event_capacity: 1024,
             reuse_scratch: true,
             durability: None,
+            spill_dir: None,
         }
     }
 }

@@ -61,6 +61,10 @@ pub struct RecoverySummary {
     /// Replayed samples addressed to streams unknown at that point in the
     /// log (only possible downstream of a gap).
     pub unknown_replayed: u64,
+    /// Eviction records replayed from the WAL tail. An eviction whose WAL
+    /// append failed live (`fleet_wal_failures_total`, `wal_append_failed`
+    /// event) is missing here — the recovered fleet resurrects that stream.
+    pub replayed_evicts: u64,
 }
 
 impl RecoverySummary {
@@ -89,6 +93,10 @@ pub(crate) struct DurabilityState {
     pub(crate) records_since_ckpt: AtomicU64,
     /// Orders the background checkpointer to exit.
     pub(crate) ckpt_stop: AtomicBool,
+    /// Test hook: fail the next WAL append (register/evict paths) as if the
+    /// underlying store errored. Set via
+    /// `FleetEngine::debug_fail_next_wal_append`; consumed on first use.
+    pub(crate) fail_next_append: AtomicBool,
 }
 
 impl DurabilityState {
@@ -101,7 +109,18 @@ impl DurabilityState {
             ckpt_path,
             records_since_ckpt: AtomicU64::new(0),
             ckpt_stop: AtomicBool::new(false),
+            fail_next_append: AtomicBool::new(false),
         }
+    }
+
+    /// Appends an eviction record, honoring the injected-failure hook.
+    pub(crate) fn append_evict(&self, id: u64) -> store::Result<store::AppendInfo> {
+        if self.fail_next_append.swap(false, std::sync::atomic::Ordering::Relaxed) {
+            return Err(store::StoreError::Io(std::io::Error::other(
+                "injected WAL append failure",
+            )));
+        }
+        self.store.append_evict(id)
     }
 }
 

@@ -1,21 +1,22 @@
 //! The fleet engine: worker threads, stream lifecycle, batched ingestion,
 //! flush/checkpoint/restore, and the health rollup.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use larp::HealthState;
+use larp::{GuardedLarp, HealthState, StreamMemReport};
 use obs::{expo, EventKind, EventRing, Registry};
-use store::{RegisterTuning, StoreOptions, TraceStore, WalOptions, WalRecord};
+use store::{BlobStore, RegisterTuning, StoreOptions, TraceStore, WalOptions, WalRecord};
 
 use crate::checkpoint;
 use crate::config::{BackpressurePolicy, DurabilityConfig, FleetConfig, StreamConfig};
 use crate::durability::{self, CheckpointFile, DurabilityState, RecoverySummary};
 use crate::health::{merge_counters, FleetHealth, PushReport, ShardHealth};
 use crate::observe::FleetObs;
-use crate::shard::{shard_of, Job, ShardState, StreamSlot};
+use crate::shard::{shard_of, Job, Removed, ShardState, StreamSlot, Tombstone};
 use crate::{FleetError, Result, StreamId};
 
 /// State shared between the engine handle and its worker threads.
@@ -27,6 +28,14 @@ struct EngineShared {
     obs: FleetObs,
     /// Durable-ingestion state; `None` for a purely in-memory engine.
     durability: Option<DurabilityState>,
+    /// Spill store for hibernated streams; `None` without
+    /// [`FleetConfig::spill_dir`]. Lock order: a shard's stream table first,
+    /// then the spill store — every site follows it, so the pair cannot
+    /// deadlock.
+    spill: Option<Mutex<BlobStore>>,
+    /// Fleet-wide PCA basis interner: streams trained on identical windows
+    /// share one basis allocation (DESIGN.md §11).
+    interner: Arc<learn::PcaInterner>,
 }
 
 impl EngineShared {
@@ -42,17 +51,128 @@ impl EngineShared {
 
     /// Serializes every stream's serving state (sorted by id). Callers
     /// flush/quiesce first; returns the bytes and the stream count.
-    fn checkpoint_payload(&self) -> (Vec<u8>, u64) {
+    ///
+    /// Hibernated streams are inlined by reading their spill blobs — a blob
+    /// *is* a guarded snapshot, so no wake is needed — which makes the bytes
+    /// independent of which streams happen to be hibernated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Checkpoint`] if a hibernated stream's blob is
+    /// missing or unreadable (the checkpoint would silently drop it).
+    fn checkpoint_payload(&self) -> Result<(Vec<u8>, u64)> {
         let mut streams: Vec<(StreamId, u64, Vec<u8>)> = Vec::new();
         for s in &self.shards {
-            let map = s.streams.lock().expect("shard stream map poisoned");
-            for (id, slot) in map.iter() {
-                streams.push((*id, slot.next_minute, slot.guarded.to_snapshot_bytes()));
+            let table = s.streams.lock().expect("shard stream table poisoned");
+            for (id, slot) in table.iter_live() {
+                streams.push((id, slot.next_minute, slot.guarded.to_snapshot_bytes()));
+            }
+            for (id, tomb) in table.iter_tombs() {
+                let spill = self.spill.as_ref().expect("hibernated stream implies a spill store");
+                match spill.lock().expect("spill store poisoned").get(id) {
+                    Ok(Some(bytes)) => streams.push((id, tomb.next_minute, bytes)),
+                    Ok(None) => {
+                        return Err(FleetError::Checkpoint(format!(
+                            "hibernated stream {id} has no spill blob"
+                        )))
+                    }
+                    Err(e) => {
+                        return Err(FleetError::Checkpoint(format!(
+                            "hibernated stream {id}: spill read failed: {e}"
+                        )))
+                    }
+                }
             }
         }
         streams.sort_unstable_by_key(|(id, _, _)| *id);
         let count = streams.len() as u64;
-        (checkpoint::encode(&streams), count)
+        Ok((checkpoint::encode(&streams), count))
+    }
+}
+
+/// Restores a hibernated stream's serving stack from the spill store, called
+/// by shard workers when a sample arrives for a tombstoned stream. `None`
+/// (counted in `fleet_wake_failures_total`) means the spilled state is gone
+/// or unreadable; the worker drops the stream rather than serving from a
+/// half-reset stack.
+fn wake_guarded(shared: &EngineShared, id: StreamId, _tomb: &Tombstone) -> Option<GuardedLarp> {
+    let spill = shared.spill.as_ref()?;
+    let bytes = match spill.lock().expect("spill store poisoned").get(id) {
+        Ok(Some(b)) => b,
+        Ok(None) | Err(_) => {
+            shared.obs.wake_failures.inc();
+            return None;
+        }
+    };
+    match GuardedLarp::from_snapshot_bytes(&bytes) {
+        Ok(mut guarded) => {
+            guarded.attach_obs(shared.obs.larp.for_stream(id));
+            guarded.attach_interner(Arc::clone(&shared.interner));
+            spill.lock().expect("spill store poisoned").delete(id);
+            shared.obs.wakes.inc();
+            let kind = EventKind::StreamWoken { bytes: bytes.len() as u64 };
+            shared.obs.events.push(Some(id), kind);
+            Some(guarded)
+        }
+        Err(_) => {
+            shared.obs.wake_failures.inc();
+            None
+        }
+    }
+}
+
+/// Resident set size of this process in bytes, read from
+/// `/proc/self/statm` (pages × 4096, the page size on every platform this
+/// repo targets). `None` off Linux or if the file is unreadable.
+pub fn process_resident_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * 4096)
+}
+
+/// Fleet-wide memory accounting, from [`FleetEngine::mem_report`]
+/// (DESIGN.md §11).
+#[derive(Debug, Clone, Default)]
+pub struct FleetMemReport {
+    /// Streams with their full serving stack resident.
+    pub live_streams: usize,
+    /// Streams spilled to the hibernation store (tombstone-only resident).
+    pub hibernated_streams: usize,
+    /// Component-wise sum over every *live* stream's serving stack. Its
+    /// `pca_bytes` counts each handle's basis once per stream — use
+    /// [`FleetMemReport::pca_unique_bytes`] for the deduplicated footprint.
+    pub stream: StreamMemReport,
+    /// Deduplicated PCA basis bytes (interned bases counted once).
+    pub pca_unique_bytes: usize,
+    /// PCA basis handles across live streams (handles − unique = shared).
+    pub pca_handles: usize,
+    /// Stream-table overhead: index buckets + both slabs + free lists.
+    pub table_bytes: usize,
+    /// Live bytes in the hibernation spill file (on disk, not resident).
+    pub spill_live_bytes: u64,
+    /// Garbage bytes in the spill file awaiting compaction.
+    pub spill_dead_bytes: u64,
+    /// Process RSS at report time, when the platform exposes it.
+    pub resident_bytes: Option<u64>,
+}
+
+impl FleetMemReport {
+    /// Accounted heap bytes: per-stream components with the PCA dedup
+    /// applied, plus table overhead. Excludes queues, scratch arenas and
+    /// allocator slack — compare against [`FleetMemReport::resident_bytes`]
+    /// to see what the accounting misses.
+    pub fn heap_total(&self) -> usize {
+        self.stream.total() - self.stream.pca_bytes + self.pca_unique_bytes + self.table_bytes
+    }
+
+    /// Accounted resident bytes per registered stream (live + hibernated).
+    pub fn bytes_per_stream(&self) -> f64 {
+        let n = self.live_streams + self.hibernated_streams;
+        if n == 0 {
+            0.0
+        } else {
+            self.heap_total() as f64 / n as f64
+        }
     }
 }
 
@@ -81,7 +201,7 @@ fn checkpoint_durable_inner(shared: &EngineShared) -> Result<u64> {
         .ok_or_else(|| FleetError::InvalidConfig("durability is not configured".into()))?;
     let _gate = d.gate.write().expect("durability gate poisoned");
     shared.flush_shards();
-    let (payload, streams) = shared.checkpoint_payload();
+    let (payload, streams) = shared.checkpoint_payload()?;
     let seq = d.store.persist_archive()?;
     durability::write_checkpoint_file(&d.ckpt_path, seq, &payload)
         .map_err(|e| FleetError::Durability(format!("checkpoint write: {e}")))?;
@@ -170,12 +290,28 @@ impl FleetEngine {
         // Fail fast on a default stream config that can never build.
         default_stream.build()?;
         let obs = FleetObs::new(config.event_capacity);
+        // The spill file is a cache, never a durable artifact: open()
+        // truncates it, so hibernated state cannot leak across engine
+        // lifetimes or confuse recovery.
+        let spill = match &config.spill_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| {
+                    FleetError::InvalidConfig(format!("spill_dir {}: {e}", dir.display()))
+                })?;
+                let blob = BlobStore::open(dir.join("HIBERNATE.blob"))
+                    .map_err(|e| FleetError::Durability(format!("spill store: {e}")))?;
+                Some(Mutex::new(blob))
+            }
+            None => None,
+        };
         let shared = Arc::new(EngineShared {
             shards: (0..config.shards).map(|i| ShardState::new(i, &obs.registry)).collect(),
             config,
             push_seq: AtomicU64::new(0),
             obs,
             durability,
+            spill,
+            interner: Arc::new(learn::PcaInterner::new()),
         });
         let workers = (0..shared.config.shards)
             .map(|i| {
@@ -183,7 +319,8 @@ impl FleetEngine {
                 std::thread::Builder::new()
                     .name(format!("fleet-shard-{i}"))
                     .spawn(move || {
-                        s.shards[i].worker_loop(s.config.batch_drain, s.config.reuse_scratch)
+                        let wake = |id: StreamId, tomb: &Tombstone| wake_guarded(&s, id, tomb);
+                        s.shards[i].worker_loop(s.config.batch_drain, s.config.reuse_scratch, &wake)
                     })
                     .map_err(|e| FleetError::Serving(format!("cannot spawn shard worker: {e}")))
             })
@@ -282,11 +419,7 @@ impl FleetEngine {
             let streams = checkpoint::decode(&payload)?;
             summary.checkpoint_streams = streams.len() as u64;
             for st in streams {
-                let mut guarded = st.guarded;
-                guarded.attach_obs(engine.shared.obs.larp.for_stream(st.id));
-                let shard = &engine.shared.shards[engine.shard_for(st.id)];
-                let mut map = shard.streams.lock().expect("shard stream map poisoned");
-                map.insert(st.id, StreamSlot::new(guarded, st.next_minute));
+                engine.insert_restored(st.id, st.guarded, st.next_minute);
             }
             engine.shared.obs.restores.inc();
             let kind = EventKind::CheckpointRestore {
@@ -321,8 +454,8 @@ impl FleetEngine {
                 for s in samples {
                     summary.replayed_samples += 1;
                     let shard = &self.shared.shards[self.shard_for(s.stream)];
-                    let mut map = shard.streams.lock().expect("shard stream map poisoned");
-                    match map.get_mut(&s.stream) {
+                    let mut table = shard.streams.lock().expect("shard stream table poisoned");
+                    match table.get_live_mut(s.stream) {
                         Some(slot) => slot.feed(&Job {
                             stream: s.stream,
                             minute: s.minute,
@@ -332,7 +465,8 @@ impl FleetEngine {
                         // Live workers drop unknown-stream samples too, so
                         // this reproduces the uninterrupted outcome; a
                         // *registered* stream can only be missing here
-                        // downstream of a WAL gap.
+                        // downstream of a WAL gap — or downstream of a
+                        // replayed eviction, which must not resurrect it.
                         None => summary.unknown_replayed += 1,
                     }
                 }
@@ -350,8 +484,9 @@ impl FleetEngine {
                 let _ = self.insert_stream(*id, &cfg);
             }
             WalRecord::Evict { id } => {
+                summary.replayed_evicts += 1;
                 let shard = &self.shared.shards[self.shard_for(*id)];
-                shard.streams.lock().expect("shard stream map poisoned").remove(id);
+                shard.streams.lock().expect("shard stream table poisoned").remove(*id);
             }
         }
     }
@@ -399,8 +534,10 @@ impl FleetEngine {
                 // Roll back: an unlogged stream would vanish on recovery
                 // while the caller believes it exists.
                 let shard = &self.shared.shards[self.shard_for(id)];
-                shard.streams.lock().expect("shard stream map poisoned").remove(&id);
+                shard.streams.lock().expect("shard stream table poisoned").remove(id);
                 self.shared.obs.wal_failures.inc();
+                let kind = EventKind::WalAppendFailed { kind: 1 };
+                self.shared.obs.events.push(Some(id), kind);
                 return Err(e.into());
             }
             d.records_since_ckpt.fetch_add(1, Ordering::Relaxed);
@@ -413,13 +550,23 @@ impl FleetEngine {
     fn insert_stream(&self, id: StreamId, config: &StreamConfig) -> Result<()> {
         let mut guarded = config.build()?;
         guarded.attach_obs(self.shared.obs.larp.for_stream(id));
+        guarded.attach_interner(Arc::clone(&self.shared.interner));
         let shard = &self.shared.shards[self.shard_for(id)];
-        let mut streams = shard.streams.lock().expect("shard stream map poisoned");
-        if streams.contains_key(&id) {
+        let mut streams = shard.streams.lock().expect("shard stream table poisoned");
+        if !streams.insert(id, StreamSlot::new(guarded, 0)) {
             return Err(FleetError::DuplicateStream(id));
         }
-        streams.insert(id, StreamSlot::new(guarded, 0));
         Ok(())
+    }
+
+    /// Inserts one deserialized stream (checkpoint restore / recovery),
+    /// re-attaching observability and the shared PCA interner.
+    fn insert_restored(&self, id: StreamId, mut guarded: GuardedLarp, next_minute: u64) {
+        guarded.attach_obs(self.shared.obs.larp.for_stream(id));
+        guarded.attach_interner(Arc::clone(&self.shared.interner));
+        let shard = &self.shared.shards[self.shard_for(id)];
+        let mut streams = shard.streams.lock().expect("shard stream table poisoned");
+        streams.insert(id, StreamSlot::new(guarded, next_minute));
     }
 
     /// Evicts a stream, discarding its serving state. Samples still queued
@@ -434,14 +581,21 @@ impl FleetEngine {
     pub fn evict(&self, id: StreamId) -> Result<()> {
         let _gate = self.gate_read();
         let shard = &self.shared.shards[self.shard_for(id)];
-        let mut streams = shard.streams.lock().expect("shard stream map poisoned");
-        streams.remove(&id).map(|_| ()).ok_or(FleetError::UnknownStream(id))?;
+        let mut streams = shard.streams.lock().expect("shard stream table poisoned");
+        let removed = streams.remove(id).ok_or(FleetError::UnknownStream(id))?;
         drop(streams);
+        if matches!(removed, Removed::Hibernated(_)) {
+            if let Some(spill) = self.shared.spill.as_ref() {
+                spill.lock().expect("spill store poisoned").delete(id);
+            }
+        }
         self.shared.obs.evictions.inc();
         self.shared.obs.events.push(Some(id), EventKind::StreamEvicted { idle: false });
         if let Some(d) = self.shared.durability.as_ref() {
-            if let Err(e) = d.store.append_evict(id) {
+            if let Err(e) = d.append_evict(id) {
                 self.shared.obs.wal_failures.inc();
+                let kind = EventKind::WalAppendFailed { kind: 2 };
+                self.shared.obs.events.push(Some(id), kind);
                 return Err(e.into());
             }
             d.records_since_ckpt.fetch_add(1, Ordering::Relaxed);
@@ -489,18 +643,18 @@ impl FleetEngine {
         }
     }
 
-    /// Whether `id` is currently registered.
+    /// Whether `id` is currently registered (live or hibernated).
     pub fn contains(&self, id: StreamId) -> bool {
         let shard = &self.shared.shards[self.shard_for(id)];
-        shard.streams.lock().expect("shard stream map poisoned").contains_key(&id)
+        shard.streams.lock().expect("shard stream table poisoned").contains(id)
     }
 
-    /// Number of registered streams.
+    /// Number of registered streams (live + hibernated).
     pub fn stream_count(&self) -> usize {
         self.shared
             .shards
             .iter()
-            .map(|s| s.streams.lock().expect("shard stream map poisoned").len())
+            .map(|s| s.streams.lock().expect("shard stream table poisoned").len())
             .sum()
     }
 
@@ -718,43 +872,113 @@ impl FleetEngine {
         })
     }
 
-    /// Evicts streams that have not received a sample within the last
-    /// `max_idle` push attempts (engine-wide), returning the evicted ids.
+    /// Evicts streams that have not received a sample (or an info probe —
+    /// see [`stream_info`](Self::stream_info)) within the last `max_idle`
+    /// push attempts (engine-wide), returning the evicted ids. Hibernated
+    /// streams expire on the same clock; their spill blobs are dropped.
     ///
     /// Flushes first so queued samples count as activity. Streams registered
     /// but never pushed have an activity mark of zero and expire like any
     /// other idle stream.
+    ///
+    /// A failed WAL eviction append is *not* silent: it counts in
+    /// `fleet_wal_failures_total` and traces a `wal_append_failed` event —
+    /// recovery will resurrect that stream, and an operator who never learns
+    /// of it gets a fleet that disagrees with its log.
     pub fn sweep_idle(&self, max_idle: u64) -> Vec<StreamId> {
         let _gate = self.gate_read();
         self.flush();
         let now = self.shared.push_seq.load(Ordering::Relaxed);
         let mut evicted = Vec::new();
         for s in &self.shared.shards {
-            let mut streams = s.streams.lock().expect("shard stream map poisoned");
-            streams.retain(|id, slot| {
-                let keep = now.saturating_sub(slot.last_seq) <= max_idle;
-                if !keep {
-                    evicted.push(*id);
+            let mut streams = s.streams.lock().expect("shard stream table poisoned");
+            let idle: Vec<StreamId> = streams
+                .iter_live()
+                .map(|(id, slot)| (id, slot.last_seq))
+                .chain(streams.iter_tombs().map(|(id, tomb)| (id, tomb.last_seq)))
+                .filter(|&(_, last)| now.saturating_sub(last) > max_idle)
+                .map(|(id, _)| id)
+                .collect();
+            for id in idle {
+                if let Some(Removed::Hibernated(_)) = streams.remove(id) {
+                    if let Some(spill) = self.shared.spill.as_ref() {
+                        spill.lock().expect("spill store poisoned").delete(id);
+                    }
                 }
-                keep
-            });
+                evicted.push(id);
+            }
         }
         evicted.sort_unstable();
         for &id in &evicted {
             self.shared.obs.evictions.inc();
             self.shared.obs.events.push(Some(id), EventKind::StreamEvicted { idle: true });
             if let Some(d) = self.shared.durability.as_ref() {
-                if d.store.append_evict(id).is_err() {
-                    self.shared.obs.wal_failures.inc();
-                } else {
-                    d.records_since_ckpt.fetch_add(1, Ordering::Relaxed);
+                match d.append_evict(id) {
+                    Ok(_) => {
+                        d.records_since_ckpt.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        self.shared.obs.wal_failures.inc();
+                        let kind = EventKind::WalAppendFailed { kind: 2 };
+                        self.shared.obs.events.push(Some(id), kind);
+                    }
                 }
             }
         }
         evicted
     }
 
-    /// A point-in-time view of one stream.
+    /// Spills streams idle for more than `max_idle` push attempts to the
+    /// hibernation store, leaving only a small resident tombstone. The next
+    /// sample for a hibernated stream restores its serving stack
+    /// bit-identically; [`stream_info`](Self::stream_info) answers from the
+    /// tombstone without waking it. Returns the newly hibernated ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] without
+    /// [`FleetConfig::spill_dir`] and [`FleetError::Durability`] if a spill
+    /// write fails — the affected stream stays live (losing serving state to
+    /// save memory is never the right trade).
+    pub fn hibernate_idle(&self, max_idle: u64) -> Result<Vec<StreamId>> {
+        let spill = self.shared.spill.as_ref().ok_or_else(|| {
+            FleetError::InvalidConfig("hibernation requires FleetConfig::spill_dir".into())
+        })?;
+        let _gate = self.gate_read();
+        self.flush();
+        let now = self.shared.push_seq.load(Ordering::Relaxed);
+        let mut hibernated = Vec::new();
+        for s in &self.shared.shards {
+            let mut streams = s.streams.lock().expect("shard stream table poisoned");
+            let idle: Vec<StreamId> = streams
+                .iter_live()
+                .filter(|(_, slot)| now.saturating_sub(slot.last_seq) > max_idle)
+                .map(|(id, _)| id)
+                .collect();
+            for id in idle {
+                let slot = streams.hibernate(id).expect("listed as live");
+                let bytes = slot.guarded.to_snapshot_bytes();
+                let put = spill.lock().expect("spill store poisoned").put(id, &bytes);
+                if let Err(e) = put {
+                    streams.wake(id, slot.guarded);
+                    return Err(FleetError::Durability(format!("spill write: {e}")));
+                }
+                self.shared.obs.hibernations.inc();
+                let kind = EventKind::StreamHibernated { bytes: bytes.len() as u64 };
+                self.shared.obs.events.push(Some(id), kind);
+                hibernated.push(id);
+            }
+        }
+        hibernated.sort_unstable();
+        Ok(hibernated)
+    }
+
+    /// A point-in-time view of one stream. Hibernated streams answer from
+    /// their resident tombstone — an info probe never forces a wake.
+    ///
+    /// Reading counts as activity: the probe refreshes the stream's idle
+    /// clock, so a predict-only consumer polling forecasts does not lose its
+    /// stream to [`sweep_idle`](Self::sweep_idle) mid-use.
     ///
     /// Call [`flush`](Self::flush) first for an up-to-date view.
     ///
@@ -763,17 +987,33 @@ impl FleetEngine {
     /// Returns [`FleetError::UnknownStream`] if `id` is not registered.
     pub fn stream_info(&self, id: StreamId) -> Result<StreamInfo> {
         let shard = self.shard_for(id);
-        let streams = self.shared.shards[shard].streams.lock().expect("shard stream map poisoned");
-        let slot = streams.get(&id).ok_or(FleetError::UnknownStream(id))?;
+        let now = self.shared.push_seq.load(Ordering::Relaxed);
+        let mut streams =
+            self.shared.shards[shard].streams.lock().expect("shard stream table poisoned");
+        if let Some(slot) = streams.get_live_mut(id) {
+            slot.last_seq = slot.last_seq.max(now);
+            return Ok(StreamInfo {
+                id,
+                shard,
+                steps: slot.steps,
+                forecasts: slot.forecasts,
+                next_minute: slot.next_minute,
+                health: slot.last_health,
+                last_forecast: slot.last_forecast,
+                retrains: slot.guarded.online().retrain_count(),
+            });
+        }
+        let tomb = streams.tombstone_mut(id).ok_or(FleetError::UnknownStream(id))?;
+        tomb.last_seq = tomb.last_seq.max(now);
         Ok(StreamInfo {
             id,
             shard,
-            steps: slot.steps,
-            forecasts: slot.forecasts,
-            next_minute: slot.next_minute,
-            health: slot.last_health,
-            last_forecast: slot.last_forecast,
-            retrains: slot.guarded.online().retrain_count(),
+            steps: tomb.steps,
+            forecasts: tomb.forecasts,
+            next_minute: tomb.next_minute,
+            health: tomb.last_health,
+            last_forecast: tomb.last_forecast,
+            retrains: tomb.retrains,
         })
     }
 
@@ -791,15 +1031,16 @@ impl FleetEngine {
         };
         for (i, s) in self.shared.shards.iter().enumerate() {
             let queue_depth = s.queue.lock().expect("shard queue poisoned").items.len();
-            let streams = s.streams.lock().expect("shard stream map poisoned");
+            let streams = s.streams.lock().expect("shard stream table poisoned");
             let mut sh = ShardHealth {
                 shard: i,
                 queue_depth,
                 streams: streams.len(),
+                hibernated: streams.hibernated_len(),
                 unknown_dropped: s.unknown_dropped.get(),
                 ..ShardHealth::default()
             };
-            for slot in streams.values() {
+            for (_, slot) in streams.iter_live() {
                 if slot.last_health != HealthState::Healthy {
                     sh.degraded_streams += 1;
                 }
@@ -813,24 +1054,87 @@ impl FleetEngine {
                 health.retrains += online.retrain_count() as u64;
                 merge_counters(&mut health.counters, online.counters());
             }
+            for (_, tomb) in streams.iter_tombs() {
+                if tomb.last_health != HealthState::Healthy {
+                    sh.degraded_streams += 1;
+                }
+                health.steps += tomb.steps;
+                health.forecasts += tomb.forecasts;
+                health.nonfinite_forecasts += tomb.nonfinite;
+                health.retrains += tomb.retrains as u64;
+                // Fault counters travel inside the spilled snapshot and
+                // rejoin the rollup when the stream wakes.
+            }
             health.streams += sh.streams;
+            health.hibernated += sh.hibernated;
             health.shards.push(sh);
         }
         health
     }
 
-    /// Flushes, then serializes every stream's full serving state.
+    /// Fleet-wide memory accounting: what every stream's serving state costs
+    /// resident, with interned PCA bases deduplicated (DESIGN.md §11). Call
+    /// [`flush`](Self::flush) first for a settled view.
+    pub fn mem_report(&self) -> FleetMemReport {
+        let mut report = FleetMemReport::default();
+        let mut seen_bases = HashSet::new();
+        for s in &self.shared.shards {
+            let table = s.streams.lock().expect("shard stream table poisoned");
+            report.live_streams += table.live_len();
+            report.hibernated_streams += table.hibernated_len();
+            report.table_bytes += table.heap_bytes();
+            for (_, slot) in table.iter_live() {
+                report.stream.accumulate(&slot.guarded.mem_report());
+                if let Some(pca) = slot.guarded.pca_shared() {
+                    if seen_bases.insert(Arc::as_ptr(pca) as usize) {
+                        report.pca_unique_bytes += pca.heap_bytes();
+                    }
+                    report.pca_handles += 1;
+                }
+            }
+        }
+        if let Some(spill) = self.shared.spill.as_ref() {
+            let blob = spill.lock().expect("spill store poisoned");
+            report.spill_live_bytes = blob.live_bytes();
+            report.spill_dead_bytes = blob.dead_bytes();
+        }
+        report.resident_bytes = process_resident_bytes();
+        report
+    }
+
+    /// Test hook: make the next WAL eviction/registration append fail as if
+    /// the store errored. Returns `false` (and arms nothing) without
+    /// durability.
+    #[doc(hidden)]
+    pub fn debug_fail_next_wal_append(&self) -> bool {
+        match self.shared.durability.as_ref() {
+            Some(d) => {
+                d.fail_next_append.store(true, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Flushes, then serializes every stream's full serving state —
+    /// hibernated streams included (their spill blobs are inlined, so the
+    /// bytes are independent of which streams happen to be cold).
     ///
     /// The bytes depend only on the fleet's logical state (streams are sorted
     /// by id), not on the shard count, so a checkpoint taken on 8 shards
     /// restores cleanly onto 2 — see [`restore`](Self::restore).
-    pub fn checkpoint(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Checkpoint`] if a hibernated stream's spill
+    /// blob is missing or unreadable.
+    pub fn checkpoint(&self) -> Result<Vec<u8>> {
         self.flush();
-        let (bytes, streams) = self.shared.checkpoint_payload();
+        let (bytes, streams) = self.shared.checkpoint_payload()?;
         self.shared.obs.checkpoints.inc();
         let kind = EventKind::CheckpointSave { streams, bytes: bytes.len() as u64 };
         self.shared.obs.events.push(None, kind);
-        bytes
+        Ok(bytes)
     }
 
     /// Warm-starts a fleet from checkpoint bytes: every stream resumes with
@@ -851,11 +1155,7 @@ impl FleetEngine {
         let engine = Self::new(config)?;
         let restored = streams.len() as u64;
         for st in streams {
-            let mut guarded = st.guarded;
-            guarded.attach_obs(engine.shared.obs.larp.for_stream(st.id));
-            let shard = &engine.shared.shards[engine.shard_for(st.id)];
-            let mut map = shard.streams.lock().expect("shard stream map poisoned");
-            map.insert(st.id, StreamSlot::new(guarded, st.next_minute));
+            engine.insert_restored(st.id, st.guarded, st.next_minute);
         }
         engine.shared.obs.restores.inc();
         let kind = EventKind::CheckpointRestore { streams: restored, bytes: bytes.len() as u64 };

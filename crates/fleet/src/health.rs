@@ -46,8 +46,11 @@ pub struct ShardHealth {
     pub shard: usize,
     /// Samples currently waiting in the shard's queue.
     pub queue_depth: usize,
-    /// Streams assigned to this shard.
+    /// Streams assigned to this shard (live + hibernated).
     pub streams: usize,
+    /// Streams of this shard currently hibernated (serving state spilled;
+    /// only a tombstone resident).
+    pub hibernated: usize,
     /// Streams whose most recent step was served degraded (a fallback pool
     /// member) or by last-value persistence.
     pub degraded_streams: usize,
@@ -62,8 +65,13 @@ pub struct ShardHealth {
 pub struct FleetHealth {
     /// Per-shard breakdown, indexed by shard.
     pub shards: Vec<ShardHealth>,
-    /// Registered streams across all shards.
+    /// Registered streams across all shards (live + hibernated).
     pub streams: usize,
+    /// Hibernated streams across all shards. Their step/forecast tallies are
+    /// included in the rollup below; their fault counters rejoin
+    /// [`FleetHealth::counters`] when they wake (the live values travel
+    /// inside the spilled snapshot).
+    pub hibernated: usize,
     /// Cumulative push outcomes since engine start.
     pub pushes: PushReport,
     /// Clean samples that reached a predictor.
@@ -132,6 +140,7 @@ mod tests {
                     degraded_streams: 1,
                     quarantined_streams: 0,
                     unknown_dropped: 4,
+                    ..ShardHealth::default()
                 },
                 ShardHealth {
                     shard: 1,
@@ -140,6 +149,7 @@ mod tests {
                     degraded_streams: 1,
                     quarantined_streams: 2,
                     unknown_dropped: 0,
+                    ..ShardHealth::default()
                 },
             ],
             ..FleetHealth::default()

@@ -53,7 +53,7 @@ pub mod shard;
 
 pub use config::{BackpressurePolicy, DurabilityConfig, FleetConfig, StreamConfig};
 pub use durability::RecoverySummary;
-pub use engine::{FleetEngine, StreamInfo};
+pub use engine::{process_resident_bytes, FleetEngine, FleetMemReport, StreamInfo};
 pub use health::{FleetHealth, PushReport, ShardHealth};
 pub use shard::shard_of;
 pub use store::FsyncPolicy;

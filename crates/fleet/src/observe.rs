@@ -31,6 +31,14 @@
 //! | `fleet_wal_recoveries_total` | counter | successful `recover` calls |
 //! | `fleet_wal_gap_records_total` | counter | records lost to WAL gaps at recovery |
 //! | `fleet_wal_append_us` | histogram | WAL append wall-clock per push call |
+//!
+//! Hibernation (DESIGN.md §11):
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `fleet_hibernations_total` | counter | streams spilled to the blob store |
+//! | `fleet_wakes_total` | counter | hibernated streams restored on demand |
+//! | `fleet_wake_failures_total` | counter | spilled state unreadable; stream dropped |
 
 use larp::LarpObs;
 use obs::{Counter, EventRing, Histogram, Registry};
@@ -57,6 +65,9 @@ pub(crate) struct FleetObs {
     pub(crate) wal_recoveries: Counter,
     pub(crate) wal_gap_records: Counter,
     pub(crate) wal_append_us: Histogram,
+    pub(crate) hibernations: Counter,
+    pub(crate) wakes: Counter,
+    pub(crate) wake_failures: Counter,
 }
 
 impl FleetObs {
@@ -80,6 +91,9 @@ impl FleetObs {
             wal_recoveries: registry.counter("fleet_wal_recoveries_total"),
             wal_gap_records: registry.counter("fleet_wal_gap_records_total"),
             wal_append_us: registry.histogram("fleet_wal_append_us"),
+            hibernations: registry.counter("fleet_hibernations_total"),
+            wakes: registry.counter("fleet_wakes_total"),
+            wake_failures: registry.counter("fleet_wake_failures_total"),
             registry,
             events,
         }

@@ -103,7 +103,7 @@ fn prometheus_exposition_is_wellformed_and_complete() {
 #[test]
 fn json_exposition_validates_and_carries_events() {
     let engine = faulted_fleet();
-    let bytes = engine.checkpoint();
+    let bytes = engine.checkpoint().expect("checkpoint");
     assert!(!bytes.is_empty());
     let dump = engine.obs_json();
     validate_json(&dump).expect("JSON exposition must parse");
@@ -127,7 +127,7 @@ fn json_exposition_validates_and_carries_events() {
 #[test]
 fn restored_fleet_keeps_recording_into_its_own_registry() {
     let engine = faulted_fleet();
-    let bytes = engine.checkpoint();
+    let bytes = engine.checkpoint().expect("checkpoint");
     let before = engine.registry().snapshot().len();
     drop(engine);
 

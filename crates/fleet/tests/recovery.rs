@@ -303,6 +303,86 @@ fn corrupt_manifest_recovers_from_directory_scan() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A WAL tail that interleaves `Samples` after `Evict` for the same id must
+/// neither panic nor resurrect the evicted stream. The interleave is easy to
+/// produce live: pushes for an unregistered stream are still accepted (and
+/// WAL-logged) — the worker drops them — so samples for an already-evicted
+/// stream land in the log after its eviction record.
+#[test]
+fn samples_after_evict_replay_without_resurrecting_the_stream() {
+    let dir = temp_dir("evict-interleave");
+    {
+        let engine = FleetEngine::new(durable_config(&dir, false)).expect("engine");
+        for id in 0..STREAMS {
+            engine.register(id).expect("register");
+        }
+        for round in 0..30 {
+            engine.push_batch(&batch_for(round));
+        }
+        engine.evict(2).expect("evict");
+        // Post-evict samples for stream 2: accepted, logged, dropped by the
+        // worker as unknown.
+        for round in 30..40 {
+            engine.push_batch(&batch_for(round));
+        }
+        engine.flush_durable().expect("drain");
+    }
+
+    let (recovered, summary) =
+        FleetEngine::recover(durable_config(&dir, false), StreamConfig::default())
+            .expect("evict interleave recovers");
+    assert_eq!(summary.replayed_evicts, 1, "{summary:?}");
+    assert!(!recovered.contains(2), "evicted stream must stay evicted");
+    assert_eq!(summary.unknown_replayed, 10, "post-evict samples drop, exactly as they did live");
+    // The surviving streams replay the full log.
+    for id in [0u64, 1, 3] {
+        let info = recovered.stream_info(id).expect("recovered stream");
+        assert_eq!(info.next_minute, 40, "stream {id}");
+    }
+    assert_serves(&recovered);
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Evict → re-register → samples for the same id: the re-registration builds
+/// a fresh serving stack and the tail samples feed it, reproducing the live
+/// outcome exactly.
+#[test]
+fn evict_then_reregister_replays_into_a_fresh_stream() {
+    let dir = temp_dir("evict-rereg");
+    let live_fp = {
+        let engine = FleetEngine::new(durable_config(&dir, false)).expect("engine");
+        for id in 0..STREAMS {
+            engine.register(id).expect("register");
+        }
+        for round in 0..30 {
+            engine.push_batch(&batch_for(round));
+        }
+        // Quiesce before evicting: an evict that races queued samples drops
+        // them live (acked but unroutable) while replay feeds them first —
+        // the comparison below needs the deterministic, drained ordering.
+        engine.flush();
+        engine.evict(2).expect("evict");
+        engine.register(2).expect("re-register");
+        for round in 30..80 {
+            engine.push_batch(&batch_for(round));
+        }
+        engine.flush_durable().expect("drain");
+        fingerprint(&engine.stream_info(2).expect("live stream"))
+    };
+
+    let (recovered, summary) =
+        FleetEngine::recover(durable_config(&dir, false), StreamConfig::default())
+            .expect("re-register interleave recovers");
+    assert_eq!(summary.replayed_evicts, 1, "{summary:?}");
+    assert!(summary.clean(), "no sample was ever unroutable: {summary:?}");
+    let info = recovered.stream_info(2).expect("re-registered stream recovered");
+    assert_eq!(fingerprint(&info), live_fp, "replay must rebuild the fresh stack identically");
+    assert_serves(&recovered);
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Random multi-file damage: whatever combination of flips lands on the
 /// store's files, recovery returns a serving engine — the one invariant
 /// corruption may never break.

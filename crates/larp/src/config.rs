@@ -136,6 +136,17 @@ pub struct ResilienceConfig {
     /// Retained history length in samples (`0` = unbounded). Must be at least
     /// the online predictor's `train_size`.
     pub max_history: usize,
+    /// Store the history and normalised-mirror rings as `f32` instead of
+    /// `f64`, halving the dominant per-stream allocation (the million-stream
+    /// memory diet, DESIGN.md §11).
+    ///
+    /// Quantization happens exactly once, on push (`value as f32`); every
+    /// read widens back to `f64`, so all downstream math runs in `f64` over
+    /// the same quantized inputs. Within a mode, serving stays fully
+    /// deterministic and snapshots restore bit-identically — but forecasts
+    /// differ between `f32` and `f64` streams, so the mode is part of the
+    /// stream's identity (serialized in the snapshot, default `false`).
+    pub f32_history: bool,
 }
 
 impl Default for ResilienceConfig {
@@ -148,6 +159,7 @@ impl Default for ResilienceConfig {
             retrain_backoff_base: 4,
             retrain_backoff_cap: 64,
             max_history: 4096,
+            f32_history: false,
         }
     }
 }

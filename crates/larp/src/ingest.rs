@@ -354,6 +354,16 @@ impl Sanitizer {
         }
     }
 
+    /// Heap bytes held by the sanitizer's window, mirror, and config, for
+    /// memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        (self.recent.capacity()
+            + self.robust_scratch.capacity()
+            + self.dev_scratch.capacity()
+            + self.config.sentinel_values.capacity())
+            * std::mem::size_of::<f64>()
+    }
+
     /// Repair counters so far.
     pub fn stats(&self) -> &IngestStats {
         &self.stats
@@ -446,6 +456,27 @@ impl GuardedLarp {
             out.push(self.online.push_with(v, scratch));
         }
         scratch.clean = clean;
+    }
+
+    /// Attaches a shared PCA interner to the online layer (see
+    /// [`OnlineLarp::attach_interner`]).
+    pub fn attach_interner(&mut self, interner: std::sync::Arc<learn::PcaInterner>) {
+        self.online.attach_interner(interner);
+    }
+
+    /// The shared handle to the online layer's PCA basis, if any (see
+    /// [`OnlineLarp::pca_shared`]).
+    pub fn pca_shared(&self) -> Option<&std::sync::Arc<learn::Pca>> {
+        self.online.pca_shared()
+    }
+
+    /// Measures the resident heap bytes of the whole guarded stack, by
+    /// component (the sanitizer lands in
+    /// [`crate::StreamMemReport::sanitizer_bytes`]).
+    pub fn mem_report(&self) -> crate::StreamMemReport {
+        let mut report = self.online.mem_report();
+        report.sanitizer_bytes = self.sanitizer.heap_bytes();
+        report
     }
 
     /// The sanitizer layer.

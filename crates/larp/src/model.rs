@@ -1,5 +1,7 @@
 //! The trained LARPredictor: normaliser + pool + PCA + k-NN, bundled.
 
+use std::sync::Arc;
+
 use learn::{KnnClassifier, Pca};
 use linalg::Matrix;
 use predictors::{PredictorId, PredictorPool};
@@ -34,6 +36,12 @@ pub struct Scratch {
     pub(crate) rolling: Vec<f64>,
     /// Sanitized values produced by one ingest step.
     pub(crate) clean: Vec<f64>,
+    /// Widened raw history for `f32`-ring streams (see
+    /// [`crate::ResilienceConfig::f32_history`]); stays empty for `f64` rings,
+    /// whose history is borrowed zero-copy.
+    pub(crate) hist64: Vec<f64>,
+    /// Widened normalised mirror for `f32`-ring streams.
+    pub(crate) norm64: Vec<f64>,
 }
 
 impl Scratch {
@@ -47,6 +55,19 @@ impl Scratch {
     pub fn ranked(&self) -> &[PredictorId] {
         &self.ranked
     }
+
+    /// Heap bytes currently held by the scratch buffers.
+    pub fn heap_bytes(&self) -> usize {
+        self.features.capacity() * 8
+            + self.neighbors.capacity() * std::mem::size_of::<(usize, f64)>()
+            + self.votes.capacity() * std::mem::size_of::<usize>()
+            + self.nearest.capacity() * 8
+            + self.ranked.capacity() * std::mem::size_of::<PredictorId>()
+            + self.rolling.capacity() * 8
+            + self.clean.capacity() * 8
+            + self.hist64.capacity() * 8
+            + self.norm64.capacity() * 8
+    }
 }
 
 /// A LARPredictor after its training phase (paper §6.1).
@@ -58,7 +79,11 @@ pub struct TrainedLarp {
     pub(crate) config: LarpConfig,
     pub(crate) zscore: ZScore,
     pub(crate) pool: PredictorPool,
-    pub(crate) pca: Option<Pca>,
+    /// Reference-counted so byte-identical bases can be interned and shared
+    /// across streams trained on similar signals (see
+    /// [`learn::PcaInterner`]) — at fleet scale many streams carry the same
+    /// workload shape and need only one resident basis.
+    pub(crate) pca: Option<Arc<Pca>>,
     pub(crate) knn: KnnClassifier,
     pub(crate) train_len: usize,
 }
@@ -111,9 +136,9 @@ impl TrainedLarp {
             Matrix::from_rows(&rows).map_err(|e| LarpError::Substrate(e.to_string()))?;
 
         let pca = match &config.reduction {
-            FeatureReduction::Pca { dims } => Some(Pca::fit(&window_matrix, *dims)?),
+            FeatureReduction::Pca { dims } => Some(Arc::new(Pca::fit(&window_matrix, *dims)?)),
             FeatureReduction::PcaFraction { min_fraction } => {
-                Some(Pca::fit_fraction(&window_matrix, *min_fraction)?)
+                Some(Arc::new(Pca::fit_fraction(&window_matrix, *min_fraction)?))
             }
             FeatureReduction::None => None,
         };
@@ -147,7 +172,33 @@ impl TrainedLarp {
 
     /// The fitted PCA projection (if reduction is enabled).
     pub fn pca(&self) -> Option<&Pca> {
+        self.pca.as_deref()
+    }
+
+    /// The shared handle to the PCA basis, for interning and for identity-
+    /// based memory accounting (a basis shared by many streams must be
+    /// counted once).
+    pub fn pca_shared(&self) -> Option<&Arc<Pca>> {
         self.pca.as_ref()
+    }
+
+    /// Replaces the PCA basis with an interned shared handle (same bytes,
+    /// possibly an existing allocation).
+    pub(crate) fn intern_pca(&mut self, interner: &learn::PcaInterner) {
+        if let Some(p) = self.pca.take() {
+            self.pca = Some(interner.intern(p));
+        }
+    }
+
+    /// Heap bytes of the model, split as `(pool + knn + config, pca)`. The
+    /// PCA share is reported separately because interned bases are shared
+    /// across streams and must be deduplicated by the fleet-level accounting.
+    pub fn heap_bytes_split(&self) -> (usize, usize) {
+        let own = self.pool.heap_bytes()
+            + self.knn.heap_bytes()
+            + self.config.pool.capacity() * std::mem::size_of::<predictors::ModelSpec>();
+        let pca = self.pca.as_deref().map_or(0, Pca::heap_bytes);
+        (own, pca)
     }
 
     /// The labelled k-NN index.
@@ -244,6 +295,23 @@ impl TrainedLarp {
     ///
     /// Same conditions as [`TrainedLarp::select_ranked`].
     pub fn select_ranked_into(&self, history: &[f64], scratch: &mut Scratch) -> Result<()> {
+        let Scratch { features, neighbors, votes, nearest, ranked, .. } = scratch;
+        self.select_ranked_fields(history, features, neighbors, votes, nearest, ranked)
+    }
+
+    /// [`TrainedLarp::select_ranked_into`] over individually borrowed scratch
+    /// fields, so a caller that sourced `history` from *another* scratch
+    /// buffer (the widened `f32`-ring mirror) can still rank without a
+    /// whole-struct borrow conflict.
+    pub(crate) fn select_ranked_fields(
+        &self,
+        history: &[f64],
+        features: &mut Vec<f64>,
+        neighbors: &mut Vec<(usize, f64)>,
+        votes: &mut Vec<usize>,
+        nearest: &mut Vec<f64>,
+        ranked: &mut Vec<PredictorId>,
+    ) -> Result<()> {
         let m = self.config.window;
         if history.len() < m {
             return Err(LarpError::InsufficientData(format!(
@@ -252,7 +320,6 @@ impl TrainedLarp {
             )));
         }
         let window = &history[history.len() - m..];
-        let Scratch { features, neighbors, votes, nearest, ranked, .. } = scratch;
         self.features_for_into(window, features)?;
         self.knn.neighbors_into(features, neighbors)?;
 

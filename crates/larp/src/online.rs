@@ -25,6 +25,9 @@
 //! * **Health surface** — every [`OnlineStep`] reports a [`HealthState`] and
 //!   the loop keeps [`OnlineCounters`] for observability.
 
+use std::sync::Arc;
+
+use learn::PcaInterner;
 use predictors::PredictorId;
 use timeseries::RollingMoments;
 
@@ -136,6 +139,63 @@ pub struct OnlineLarp {
     /// Registry-backed recorder; runtime-only (never snapshotted, restored
     /// instances start unattached).
     pub(crate) obs: Option<LarpObs>,
+    /// Fleet-shared PCA deduplication table; runtime-only (never snapshotted,
+    /// restored instances start unattached). When present, every (re)trained
+    /// model's basis is interned so byte-identical bases across streams share
+    /// one allocation.
+    pub(crate) interner: Option<Arc<PcaInterner>>,
+}
+
+/// Resident heap bytes of one stream's predictor state, by component — the
+/// accounting half of the memory diet (DESIGN.md §11). Sizes are the
+/// *capacities* actually held (what the allocator sees), not logical lengths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamMemReport {
+    /// Raw-history ring backing buffer.
+    pub history_bytes: usize,
+    /// Normalised-mirror ring backing buffer.
+    pub norm_bytes: usize,
+    /// Trained model minus the PCA basis: predictor pool state, k-NN point
+    /// store + labels + tree nodes, spec lists.
+    pub model_bytes: usize,
+    /// PCA basis. Reported separately because interned bases are shared
+    /// across streams: a fleet-level rollup must deduplicate this component
+    /// by basis identity (see [`OnlineLarp::pca_shared`]) or it overcounts.
+    pub pca_bytes: usize,
+    /// Quality-assuror error window.
+    pub qa_bytes: usize,
+    /// Per-stream scratch buffers (zero when a shard worker owns the scratch).
+    pub scratch_bytes: usize,
+    /// Fallback error tracker + per-predictor quarantine table.
+    pub tracker_bytes: usize,
+    /// Ingestion sanitizer mirror (zero for a bare [`OnlineLarp`]).
+    pub sanitizer_bytes: usize,
+}
+
+impl StreamMemReport {
+    /// Sum of every component, PCA included.
+    pub fn total(&self) -> usize {
+        self.history_bytes
+            + self.norm_bytes
+            + self.model_bytes
+            + self.pca_bytes
+            + self.qa_bytes
+            + self.scratch_bytes
+            + self.tracker_bytes
+            + self.sanitizer_bytes
+    }
+
+    /// Component-wise accumulation, for fleet-level rollups.
+    pub fn accumulate(&mut self, other: &StreamMemReport) {
+        self.history_bytes += other.history_bytes;
+        self.norm_bytes += other.norm_bytes;
+        self.model_bytes += other.model_bytes;
+        self.pca_bytes += other.pca_bytes;
+        self.qa_bytes += other.qa_bytes;
+        self.scratch_bytes += other.scratch_bytes;
+        self.tracker_bytes += other.tracker_bytes;
+        self.sanitizer_bytes += other.sanitizer_bytes;
+    }
 }
 
 impl OnlineLarp {
@@ -183,8 +243,8 @@ impl OnlineLarp {
         Ok(Self {
             config,
             qa,
-            history: HistoryRing::new(resilience.max_history),
-            norm: HistoryRing::new(resilience.max_history),
+            history: HistoryRing::new_mode(resilience.max_history, resilience.f32_history),
+            norm: HistoryRing::new_mode(resilience.max_history, resilience.f32_history),
             rolling: RollingMoments::new(train_size)
                 .expect("train_size validated >= window + 2 above"),
             scratch: Scratch::new(),
@@ -202,6 +262,7 @@ impl OnlineLarp {
             next_retrain_at: 0,
             retrain_pending: false,
             obs: None,
+            interner: None,
         })
     }
 
@@ -216,6 +277,42 @@ impl OnlineLarp {
     /// The attached recorder, if any.
     pub fn obs(&self) -> Option<&LarpObs> {
         self.obs.as_ref()
+    }
+
+    /// Attaches a shared PCA interner: the current model's basis (if any) and
+    /// every basis produced by future retrains are deduplicated through it.
+    /// Runtime state — snapshots neither carry nor require one, and interning
+    /// never changes forecasts (substitution requires bitwise equality).
+    pub fn attach_interner(&mut self, interner: Arc<PcaInterner>) {
+        if let Some(model) = &mut self.model {
+            model.intern_pca(&interner);
+        }
+        self.interner = Some(interner);
+    }
+
+    /// The shared handle to the current model's PCA basis, if any — the
+    /// identity a fleet-level memory rollup deduplicates
+    /// [`StreamMemReport::pca_bytes`] by.
+    pub fn pca_shared(&self) -> Option<&Arc<learn::Pca>> {
+        self.model.as_ref().and_then(TrainedLarp::pca_shared)
+    }
+
+    /// Measures the resident heap bytes of this stream's state, by component.
+    /// Cold path (walks fitted predictor state) — for accounting, not serving.
+    pub fn mem_report(&self) -> StreamMemReport {
+        let (model_bytes, pca_bytes) =
+            self.model.as_ref().map_or((0, 0), TrainedLarp::heap_bytes_split);
+        StreamMemReport {
+            history_bytes: self.history.heap_bytes(),
+            norm_bytes: self.norm.heap_bytes(),
+            model_bytes,
+            pca_bytes,
+            qa_bytes: self.qa.heap_bytes(),
+            scratch_bytes: self.scratch.heap_bytes(),
+            tracker_bytes: self.tracker.as_ref().map_or(0, PoolErrorTracker::heap_bytes)
+                + self.predictor_health.capacity() * std::mem::size_of::<PredictorHealth>(),
+            sanitizer_bytes: 0,
+        }
     }
 
     /// Feeds one raw observation; returns the forecast for the next one.
@@ -252,24 +349,29 @@ impl OnlineLarp {
         }
 
         self.history.push(value);
+        // In `f32` mode the ring quantized on push; every derived value must
+        // come from the *stored* reading, or an incremental update and a
+        // rebuild-from-history would disagree. In `f64` mode `stored == value`
+        // bit-for-bit.
+        let stored = self.history.last().expect("value was just pushed");
         if let Some(model) = &self.model {
             // Keep the normalised mirror in lockstep (same capacity, same
             // eviction) so downstream never re-normalises the whole history.
-            self.norm.push(model.zscore().apply(value));
+            self.norm.push(model.zscore().apply(stored));
         }
-        self.rolling.push(value);
+        self.rolling.push(stored);
         self.seen += 1;
 
         // Keep the fallback error accounting warm while anything is benched.
         if self.any_quarantined() {
-            self.observe_tracker(value);
+            self.observe_tracker(stored, &mut scratch.norm64);
         }
 
         // 2. Training, gated by the retry backoff.
         let mut retrained = false;
         let due = self.retrain_pending || self.model.is_none();
         if due && self.history.len() >= self.train_size && self.clock >= self.next_retrain_at {
-            retrained = self.try_retrain();
+            retrained = self.try_retrain(scratch);
         }
 
         // 3. Re-admit predictors whose quarantine has expired.
@@ -346,18 +448,25 @@ impl OnlineLarp {
     /// on its own training tail (possible when the window contains NaN — the
     /// substrate's numerics carry NaN through rather than erroring) counts as
     /// a failure too: installing it would poison every forecast.
-    fn try_retrain(&mut self) -> bool {
+    fn try_retrain(&mut self, scratch: &mut Scratch) -> bool {
         let started = std::time::Instant::now();
         let start = self.history.len().saturating_sub(self.train_size);
-        let tail = &self.history.as_slice()[start..];
-        let trained = TrainedLarp::train(tail, &self.config).ok().filter(|model| {
-            matches!(
-                model.predict_next_raw(tail),
-                Ok((_, f)) if f.is_finite()
-            )
-        });
+        let trained = {
+            // Zero-copy for `f64` rings; `f32` rings widen into the scratch.
+            let full = self.history.materialized(&mut scratch.hist64);
+            let tail = &full[start..];
+            TrainedLarp::train(tail, &self.config).ok().filter(|model| {
+                matches!(
+                    model.predict_next_raw(tail),
+                    Ok((_, f)) if f.is_finite()
+                )
+            })
+        };
         match trained {
-            Some(model) => {
+            Some(mut model) => {
+                if let Some(interner) = &self.interner {
+                    model.intern_pca(interner);
+                }
                 let pool_len = model.pool().len();
                 self.predictor_health = vec![PredictorHealth::default(); pool_len];
                 self.tracker = PoolErrorTracker::new(pool_len, self.config.window.max(8)).ok();
@@ -401,7 +510,7 @@ impl OnlineLarp {
             // training attempted yet), persistence once training has been
             // attempted and failed (the caller is owed *some* forecast).
             if self.model.is_none() && self.history.len() >= self.train_size {
-                if let Some(&last) = self.history.last() {
+                if let Some(last) = self.history.last() {
                     if last.is_finite() {
                         return (Some(last), None, HealthState::Fallback);
                     }
@@ -412,18 +521,20 @@ impl OnlineLarp {
 
         // Rung 1: the k-NN choice, if not quarantined. The current window is
         // already normalised in the mirror ring; no re-normalisation pass.
+        // Borrowed field-by-field so the `f32` widening buffer can live in
+        // the same scratch the ranking writes into.
         let first = {
             let model = self.model.as_ref().expect("model checked above");
-            let norm = self.norm.as_slice();
-            let window = &norm[norm.len() - self.config.window..];
-            match model.select_ranked_into(window, scratch) {
-                Ok(()) => scratch.ranked().first().copied(),
+            let Scratch { features, neighbors, votes, nearest, ranked, norm64, .. } = scratch;
+            let norm = self.norm.materialized(norm64);
+            match model.select_ranked_fields(norm, features, neighbors, votes, nearest, ranked) {
+                Ok(()) => ranked.first().copied(),
                 Err(_) => None,
             }
         };
         if let Some(first) = first {
             if !self.is_quarantined(first) {
-                if let Some(f) = self.checked_predict(first) {
+                if let Some(f) = self.checked_predict(first, &mut scratch.norm64) {
                     return (Some(f), Some(first), HealthState::Healthy);
                 }
             }
@@ -437,7 +548,7 @@ impl OnlineLarp {
                 })
             });
             let Some(id) = best else { break };
-            if let Some(f) = self.checked_predict(id) {
+            if let Some(f) = self.checked_predict(id, &mut scratch.norm64) {
                 return (Some(f), Some(id), HealthState::Degraded);
             }
             // checked_predict quarantined it; the next iteration excludes it.
@@ -445,18 +556,22 @@ impl OnlineLarp {
 
         // Rung 3: last-value persistence.
         match self.history.last() {
-            Some(&last) if last.is_finite() => (Some(last), None, HealthState::Fallback),
+            Some(last) if last.is_finite() => (Some(last), None, HealthState::Fallback),
             _ => (None, None, HealthState::Fallback),
         }
     }
 
     /// Runs one pool member and validates its output; a non-finite or failed
-    /// forecast quarantines the producer and yields `None`.
-    fn checked_predict(&mut self, id: PredictorId) -> Option<f64> {
-        let forecast = self
-            .model
-            .as_ref()
-            .and_then(|m| m.predict_with_normalized(id, self.norm.as_slice()).ok());
+    /// forecast quarantines the producer and yields `None`. `norm64` is the
+    /// widening buffer for `f32` mirror rings (untouched in `f64` mode).
+    fn checked_predict(&mut self, id: PredictorId, norm64: &mut Vec<f64>) -> Option<f64> {
+        let forecast = {
+            let Self { model, norm, .. } = &*self;
+            model.as_ref().and_then(|m| {
+                let normalized = norm.materialized(norm64);
+                m.predict_with_normalized(id, normalized).ok()
+            })
+        };
         match forecast {
             Some(f) if f.is_finite() => Some(f),
             _ => {
@@ -537,18 +652,20 @@ impl OnlineLarp {
 
     /// Feeds the fallback error tracker one revealed value (normalised into
     /// the model's training units), using the history *before* `value`.
-    fn observe_tracker(&mut self, value: f64) {
-        let Some(model) = &self.model else { return };
-        let Some(tracker) = &mut self.tracker else { return };
-        let upto = self.history.len() - 1; // `value` is already pushed
-        let m = self.config.window;
+    fn observe_tracker(&mut self, value: f64, norm64: &mut Vec<f64>) {
+        let Self { model, tracker, history, norm, config, .. } = self;
+        let Some(model) = model.as_ref() else { return };
+        let Some(tracker) = tracker.as_mut() else { return };
+        let upto = history.len() - 1; // `value` is already pushed
+        let m = config.window;
         if upto < m || !value.is_finite() {
             return;
         }
         let start = upto.saturating_sub(4 * m);
         // The mirror ring is in lockstep with the raw history whenever a
         // model exists, so the normalised lookback is a plain subslice.
-        let normalized = &self.norm[start..upto];
+        let full = norm.materialized(norm64);
+        let normalized = &full[start..upto];
         let actual = model.zscore().apply(value);
         tracker.observe(model.pool(), normalized, actual);
     }
@@ -559,7 +676,7 @@ impl OnlineLarp {
     pub(crate) fn rebuild_norm(&mut self) {
         self.norm.clear();
         if let Some(model) = &self.model {
-            for &v in self.history.as_slice() {
+            for v in self.history.iter64() {
                 self.norm.push(model.zscore().apply(v));
             }
         }
@@ -571,7 +688,7 @@ impl OnlineLarp {
         self.rolling =
             RollingMoments::new(self.train_size).expect("train_size validated at construction");
         let tail = self.history.len().saturating_sub(self.train_size);
-        for &v in &self.history.as_slice()[tail..] {
+        for v in self.history.iter64().skip(tail) {
             self.rolling.push(v);
         }
         self.rebuild_norm();

@@ -104,6 +104,11 @@ impl QualityAssuror {
         }
     }
 
+    /// Heap bytes held by the error window, for memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.errors.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Current rolling MSE (`None` before any sample).
     pub fn rolling_mse(&self) -> Option<f64> {
         if self.errors.is_empty() {

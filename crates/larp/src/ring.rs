@@ -8,58 +8,131 @@
 //! values append at the tail, a start cursor advances past evicted ones, and
 //! the buffer compacts with one `copy_within` only after `cap` evictions.
 //! Steady-state cost is O(1) per push with zero heap allocation (the backing
-//! `Vec` is pre-sized to hold `2·cap` values and never grows past it).
+//! `Vec` is sized to hold `2·cap` values on the first push and never grows
+//! past it).
+//!
+//! # Storage precision
+//!
+//! The ring stores either `f64` (default) or `f32` values. The `f32` mode
+//! halves the dominant per-stream allocation for the million-stream memory
+//! budget (DESIGN.md §11): a value is quantized once on `push`
+//! (`value as f32`) and read back widened to `f64`, so every downstream
+//! computation still runs in `f64` over the *same* quantized inputs — which
+//! keeps serve/snapshot/restore bit-identical within a mode. Reading the ring
+//! as a contiguous `&[f64]` goes through [`HistoryRing::materialized`]: a
+//! zero-copy borrow in `f64` mode, a widening copy into caller scratch in
+//! `f32` mode.
+
+/// Backing storage: full-precision or quantized.
+#[derive(Debug, Clone)]
+enum RingBuf {
+    F64(Vec<f64>),
+    F32(Vec<f32>),
+}
+
+impl Default for RingBuf {
+    fn default() -> Self {
+        RingBuf::F64(Vec::new())
+    }
+}
 
 /// A contiguous sliding window over the most recent `cap` values
 /// (`cap == 0` means unbounded — plain append-only storage).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct HistoryRing {
-    buf: Vec<f64>,
+    buf: RingBuf,
     /// Index of the logically-first retained value in `buf`.
     start: usize,
     cap: usize,
 }
 
 impl HistoryRing {
-    /// Creates a ring retaining the last `cap` values (0 = unbounded).
+    /// Creates an `f64` ring retaining the last `cap` values (0 = unbounded).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn new(cap: usize) -> Self {
-        // 2·cap backing: each slot between compactions absorbs one eviction,
-        // so the copy_within runs once per cap pushes — amortised O(1).
-        let buf = if cap == 0 { Vec::new() } else { Vec::with_capacity(2 * cap) };
+        Self::new_mode(cap, false)
+    }
+
+    /// Creates a ring in the requested storage mode. The backing buffer is
+    /// allocated lazily on the first push (`2·cap` values), so a registered
+    /// but never-pushed stream holds no ring memory at all.
+    pub(crate) fn new_mode(cap: usize, f32_mode: bool) -> Self {
+        let buf = if f32_mode { RingBuf::F32(Vec::new()) } else { RingBuf::F64(Vec::new()) };
         Self { buf, start: 0, cap }
     }
 
-    /// Builds a ring from logical contents (used by snapshot restore); keeps
-    /// at most the last `cap` values.
-    pub(crate) fn from_vec(mut values: Vec<f64>, cap: usize) -> Self {
-        if cap != 0 && values.len() > cap {
-            let excess = values.len() - cap;
-            values.drain(..excess);
+    /// Builds an `f64` ring from logical contents (used by snapshot restore);
+    /// keeps at most the last `cap` values.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn from_vec(values: Vec<f64>, cap: usize) -> Self {
+        Self::from_vec_mode(values, cap, false)
+    }
+
+    /// [`HistoryRing::from_vec`] in the requested storage mode. In `f32` mode
+    /// each value goes through the same `as f32` quantization `push` applies,
+    /// so restoring a snapshot written by an `f32` ring is exact.
+    pub(crate) fn from_vec_mode(values: Vec<f64>, cap: usize, f32_mode: bool) -> Self {
+        let mut ring = Self::new_mode(cap, f32_mode);
+        let skip = if cap != 0 && values.len() > cap { values.len() - cap } else { 0 };
+        for &v in &values[skip..] {
+            ring.push(v);
         }
-        let mut ring = Self::new(cap);
-        ring.buf.extend_from_slice(&values);
         ring
+    }
+
+    /// Whether the ring stores quantized `f32` values.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_f32(&self) -> bool {
+        matches!(self.buf, RingBuf::F32(_))
     }
 
     /// Appends one value, evicting the oldest when over capacity.
     pub(crate) fn push(&mut self, value: f64) {
-        self.buf.push(value);
-        if self.cap != 0 && self.buf.len() - self.start > self.cap {
-            self.start += 1;
-            if self.start >= self.cap {
-                // Compact: shift the retained window back to the front. The
-                // backing buffer never exceeds 2·cap, so `push` above never
-                // reallocates either.
-                self.buf.copy_within(self.start.., 0);
-                self.buf.truncate(self.buf.len() - self.start);
-                self.start = 0;
+        // 2·cap backing: each slot between compactions absorbs one eviction,
+        // so the copy_within runs once per cap pushes — amortised O(1). The
+        // reservation happens here, not at construction, so idle streams pay
+        // nothing.
+        let cap = self.cap;
+        let start = &mut self.start;
+        match &mut self.buf {
+            RingBuf::F64(buf) => {
+                if cap != 0 && buf.capacity() == 0 {
+                    buf.reserve_exact(2 * cap);
+                }
+                buf.push(value);
+                if cap != 0 && buf.len() - *start > cap {
+                    *start += 1;
+                    if *start >= cap {
+                        buf.copy_within(*start.., 0);
+                        buf.truncate(buf.len() - *start);
+                        *start = 0;
+                    }
+                }
+            }
+            RingBuf::F32(buf) => {
+                if cap != 0 && buf.capacity() == 0 {
+                    buf.reserve_exact(2 * cap);
+                }
+                buf.push(value as f32);
+                if cap != 0 && buf.len() - *start > cap {
+                    *start += 1;
+                    if *start >= cap {
+                        buf.copy_within(*start.., 0);
+                        buf.truncate(buf.len() - *start);
+                        *start = 0;
+                    }
+                }
             }
         }
     }
 
     /// Number of retained values.
     pub(crate) fn len(&self) -> usize {
-        self.buf.len() - self.start
+        let stored = match &self.buf {
+            RingBuf::F64(buf) => buf.len(),
+            RingBuf::F32(buf) => buf.len(),
+        };
+        stored - self.start
     }
 
     /// Whether nothing is retained.
@@ -68,19 +141,43 @@ impl HistoryRing {
         self.len() == 0
     }
 
-    /// The retained values, oldest first, as one contiguous slice.
-    pub(crate) fn as_slice(&self) -> &[f64] {
-        &self.buf[self.start..]
+    /// The retained values as one contiguous `&[f64]`, oldest first: a direct
+    /// borrow of the backing buffer in `f64` mode (zero copy, preserving the
+    /// allocation-free hot path), a widening copy into `scratch` in `f32`
+    /// mode (allocation-free once the scratch buffer is warm).
+    pub(crate) fn materialized<'a>(&'a self, scratch: &'a mut Vec<f64>) -> &'a [f64] {
+        match &self.buf {
+            RingBuf::F64(buf) => &buf[self.start..],
+            RingBuf::F32(buf) => {
+                scratch.clear();
+                scratch.extend(buf[self.start..].iter().map(|&v| v as f64));
+                scratch.as_slice()
+            }
+        }
+    }
+
+    /// Iterates the retained values widened to `f64`, oldest first.
+    pub(crate) fn iter64(&self) -> RingIter64<'_> {
+        match &self.buf {
+            RingBuf::F64(buf) => RingIter64::F64(buf[self.start..].iter()),
+            RingBuf::F32(buf) => RingIter64::F32(buf[self.start..].iter()),
+        }
     }
 
     /// The most recent value.
-    pub(crate) fn last(&self) -> Option<&f64> {
-        self.buf.last()
+    pub(crate) fn last(&self) -> Option<f64> {
+        match &self.buf {
+            RingBuf::F64(buf) => buf.last().copied(),
+            RingBuf::F32(buf) => buf.last().map(|&v| v as f64),
+        }
     }
 
     /// Drops all retained values (capacity preserved).
     pub(crate) fn clear(&mut self) {
-        self.buf.clear();
+        match &mut self.buf {
+            RingBuf::F64(buf) => buf.clear(),
+            RingBuf::F32(buf) => buf.clear(),
+        }
         self.start = 0;
     }
 
@@ -89,18 +186,47 @@ impl HistoryRing {
     pub(crate) fn cap(&self) -> usize {
         self.cap
     }
-}
 
-impl std::ops::Index<std::ops::Range<usize>> for HistoryRing {
-    type Output = [f64];
-    fn index(&self, r: std::ops::Range<usize>) -> &[f64] {
-        &self.as_slice()[r]
+    /// Heap bytes held by the backing buffer.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match &self.buf {
+            RingBuf::F64(buf) => buf.capacity() * std::mem::size_of::<f64>(),
+            RingBuf::F32(buf) => buf.capacity() * std::mem::size_of::<f32>(),
+        }
     }
 }
+
+/// Iterator over a ring's retained values, widened to `f64`.
+pub(crate) enum RingIter64<'a> {
+    F64(std::slice::Iter<'a, f64>),
+    F32(std::slice::Iter<'a, f32>),
+}
+
+impl Iterator for RingIter64<'_> {
+    type Item = f64;
+    fn next(&mut self) -> Option<f64> {
+        match self {
+            RingIter64::F64(it) => it.next().copied(),
+            RingIter64::F32(it) => it.next().map(|&v| v as f64),
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RingIter64::F64(it) => it.size_hint(),
+            RingIter64::F32(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for RingIter64<'_> {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn contents(r: &HistoryRing) -> Vec<f64> {
+        r.iter64().collect()
+    }
 
     #[test]
     fn unbounded_ring_is_append_only() {
@@ -109,28 +235,31 @@ mod tests {
             r.push(i as f64);
         }
         assert_eq!(r.len(), 100);
-        assert_eq!(r.as_slice()[0], 0.0);
-        assert_eq!(*r.last().unwrap(), 99.0);
+        assert_eq!(contents(&r)[0], 0.0);
+        assert_eq!(r.last().unwrap(), 99.0);
     }
 
     #[test]
     fn bounded_ring_matches_vec_drain_reference() {
         // The ring must present exactly the contents the old Vec+drain code
-        // kept, at every step, across several capacities.
-        for cap in [1, 2, 3, 7, 64] {
-            let mut ring = HistoryRing::new(cap);
-            let mut reference: Vec<f64> = Vec::new();
-            for i in 0..(cap * 10 + 3) {
-                let v = (i as f64) * 0.5 - 3.0;
-                ring.push(v);
-                reference.push(v);
-                if reference.len() > cap {
-                    let excess = reference.len() - cap;
-                    reference.drain(..excess);
+        // kept, at every step, across several capacities — in both modes.
+        for f32_mode in [false, true] {
+            for cap in [1, 2, 3, 7, 64] {
+                let mut ring = HistoryRing::new_mode(cap, f32_mode);
+                let mut reference: Vec<f64> = Vec::new();
+                for i in 0..(cap * 10 + 3) {
+                    let v = (i as f64) * 0.5 - 3.0;
+                    ring.push(v);
+                    let stored = if f32_mode { v as f32 as f64 } else { v };
+                    reference.push(stored);
+                    if reference.len() > cap {
+                        let excess = reference.len() - cap;
+                        reference.drain(..excess);
+                    }
+                    assert_eq!(contents(&ring), reference, "cap {cap}, step {i}");
+                    assert_eq!(ring.len(), reference.len());
+                    assert_eq!(ring.last(), reference.last().copied());
                 }
-                assert_eq!(ring.as_slice(), reference.as_slice(), "cap {cap}, step {i}");
-                assert_eq!(ring.len(), reference.len());
-                assert_eq!(ring.last(), reference.last());
             }
         }
     }
@@ -142,25 +271,84 @@ mod tests {
         for i in 0..cap {
             r.push(i as f64);
         }
-        let ptr = r.buf.as_ptr();
-        let backing = r.buf.capacity();
+        let RingBuf::F64(buf) = &r.buf else { panic!("f64 mode") };
+        let ptr = buf.as_ptr();
+        let backing = buf.capacity();
         for i in 0..10_000 {
             r.push(i as f64);
         }
-        assert_eq!(ptr, r.buf.as_ptr(), "backing buffer moved");
-        assert_eq!(backing, r.buf.capacity(), "backing buffer grew");
+        let RingBuf::F64(buf) = &r.buf else { panic!("f64 mode") };
+        assert_eq!(ptr, buf.as_ptr(), "backing buffer moved");
+        assert_eq!(backing, buf.capacity(), "backing buffer grew");
         assert_eq!(r.len(), cap);
+    }
+
+    #[test]
+    fn allocation_is_lazy_and_exact() {
+        // A never-pushed ring holds no heap memory; the first push reserves
+        // exactly 2·cap and steady state stays there (both modes).
+        for f32_mode in [false, true] {
+            let mut r = HistoryRing::new_mode(64, f32_mode);
+            assert_eq!(r.heap_bytes(), 0, "no allocation before first push");
+            r.push(1.0);
+            let elem = if f32_mode { 4 } else { 8 };
+            assert_eq!(r.heap_bytes(), 2 * 64 * elem);
+            for i in 0..1000 {
+                r.push(i as f64);
+            }
+            assert_eq!(r.heap_bytes(), 2 * 64 * elem, "steady state never grows");
+        }
+    }
+
+    #[test]
+    fn f32_mode_quantizes_once_and_reads_back_stably() {
+        let mut r = HistoryRing::new_mode(8, true);
+        assert!(r.is_f32());
+        let v = 0.1f64; // not f32-representable
+        r.push(v);
+        let q = v as f32 as f64;
+        assert_eq!(r.last().unwrap().to_bits(), q.to_bits());
+        // Re-quantizing the read-back value is a fixed point: pushing what we
+        // read produces the identical stored value (hibernate/restore cycles
+        // cannot drift).
+        r.push(r.last().unwrap());
+        assert_eq!(r.last().unwrap().to_bits(), q.to_bits());
+    }
+
+    #[test]
+    fn materialized_reads_identical_to_iter64() {
+        for f32_mode in [false, true] {
+            let mut r = HistoryRing::new_mode(16, f32_mode);
+            for i in 0..40 {
+                r.push((i as f64) * 0.3 - 2.0);
+            }
+            let mut scratch = Vec::new();
+            assert_eq!(r.materialized(&mut scratch), contents(&r).as_slice());
+        }
     }
 
     #[test]
     fn from_vec_truncates_to_cap() {
         let r = HistoryRing::from_vec((0..10).map(f64::from).collect(), 4);
-        assert_eq!(r.as_slice(), &[6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(contents(&r), &[6.0, 7.0, 8.0, 9.0]);
         let r = HistoryRing::from_vec(vec![1.0, 2.0], 4);
-        assert_eq!(r.as_slice(), &[1.0, 2.0]);
+        assert_eq!(contents(&r), &[1.0, 2.0]);
         let r = HistoryRing::from_vec(vec![1.0, 2.0, 3.0], 0);
         assert_eq!(r.len(), 3);
         assert_eq!(r.cap(), 0);
+    }
+
+    #[test]
+    fn from_vec_mode_round_trips_f32_contents() {
+        let values: Vec<f64> = (0..20).map(|i| (i as f64) * 0.7).collect();
+        let mut live = HistoryRing::new_mode(8, true);
+        for &v in &values {
+            live.push(v);
+        }
+        // Serializing iter64() and restoring through from_vec_mode is exact:
+        // the stored values are f32-representable, so `as f32` is lossless.
+        let restored = HistoryRing::from_vec_mode(contents(&live), 8, true);
+        assert_eq!(contents(&restored), contents(&live));
     }
 
     #[test]
@@ -169,20 +357,11 @@ mod tests {
         for i in 0..20 {
             r.push(i as f64);
         }
-        let backing = r.buf.capacity();
+        let backing = r.heap_bytes();
         r.clear();
         assert!(r.is_empty());
-        assert_eq!(r.buf.capacity(), backing);
+        assert_eq!(r.heap_bytes(), backing);
         r.push(5.0);
-        assert_eq!(r.as_slice(), &[5.0]);
-    }
-
-    #[test]
-    fn range_indexing_matches_slice() {
-        let mut r = HistoryRing::new(4);
-        for i in 0..9 {
-            r.push(i as f64);
-        }
-        assert_eq!(&r[1..3], &[6.0, 7.0]);
+        assert_eq!(contents(&r), &[5.0]);
     }
 }

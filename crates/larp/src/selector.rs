@@ -210,6 +210,12 @@ impl PoolErrorTracker {
         best.map(|(id, _)| id)
     }
 
+    /// Heap bytes held by the tracker's error windows, for memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.accumulators.capacity() * std::mem::size_of::<WindowedMse>()
+            + self.accumulators.iter().map(WindowedMse::heap_bytes).sum::<usize>()
+    }
+
     /// Number of pool members tracked.
     pub fn len(&self) -> usize {
         self.accumulators.len()

@@ -53,8 +53,18 @@ use crate::{LarpError, Result};
 
 /// Leading magic of every snapshot produced by this module.
 pub const MAGIC: [u8; 8] = *b"LARPSNAP";
-/// Current snapshot format version.
-pub const VERSION: u32 = 1;
+/// Current snapshot format version. Writers always emit the current version;
+/// the reader accepts every version listed in [`MIN_VERSION`]`..=VERSION`.
+///
+/// * **v1** — the original format.
+/// * **v2** — appends [`ResilienceConfig::f32_history`] to the resilience
+///   block (the memory-diet `f32` ring mode). History values are still
+///   written as `f64` (an `f32`-quantized value is `f64`-lossless), so the
+///   rest of the wire layout is unchanged and v1 snapshots restore
+///   bit-identically as `f64`-ring streams.
+pub const VERSION: u32 = 2;
+/// Oldest snapshot version the reader still accepts.
+pub const MIN_VERSION: u32 = 1;
 
 /// Snapshot kind: a bare [`OnlineLarp`].
 pub const KIND_ONLINE: u8 = 1;
@@ -137,28 +147,39 @@ impl Writer {
             self.f64(x);
         }
     }
+
+    pub(crate) fn f64_iter(&mut self, v: impl ExactSizeIterator<Item = f64>) {
+        self.usize(v.len());
+        for x in v {
+            self.f64(x);
+        }
+    }
 }
 
 /// Checked little-endian decoder over a snapshot byte slice.
 pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Format version declared by the snapshot being read; fields appended in
+    /// later versions are skipped (and defaulted) for older snapshots.
+    pub(crate) version: u32,
 }
 
 impl<'a> Reader<'a> {
     /// Opens a snapshot, validating magic, version and kind.
     pub(crate) fn new(bytes: &'a [u8], expected_kind: u8) -> Result<Self> {
-        let mut r = Self { buf: bytes, pos: 0 };
+        let mut r = Self { buf: bytes, pos: 0, version: 0 };
         let magic = r.take(MAGIC.len())?;
         if magic != MAGIC {
             return Err(err("not a LARPSNAP snapshot (bad magic)"));
         }
         let version = r.u32()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(err(format!(
-                "unsupported snapshot version {version} (expected {VERSION})"
+                "unsupported snapshot version {version} (expected {MIN_VERSION}..={VERSION})"
             )));
         }
+        r.version = version;
         let kind = r.u8()?;
         if kind != expected_kind {
             return Err(err(format!(
@@ -372,6 +393,7 @@ fn put_resilience(w: &mut Writer, c: &ResilienceConfig) {
     w.usize(c.retrain_backoff_base);
     w.usize(c.retrain_backoff_cap);
     w.usize(c.max_history);
+    w.bool(c.f32_history); // appended in v2
 }
 
 fn get_resilience(r: &mut Reader) -> Result<ResilienceConfig> {
@@ -383,6 +405,9 @@ fn get_resilience(r: &mut Reader) -> Result<ResilienceConfig> {
         retrain_backoff_base: r.usize()?,
         retrain_backoff_cap: r.usize()?,
         max_history: r.usize()?,
+        // v1 snapshots predate the f32 ring mode: they were written by (and
+        // restore as) f64-ring streams.
+        f32_history: if r.version >= 2 { r.bool()? } else { false },
     };
     c.validate()?;
     Ok(c)
@@ -500,7 +525,12 @@ fn get_trained(r: &mut Reader) -> Result<TrainedLarp> {
                 .map_err(|e| err(format!("PCA projection: {e}")))?;
             let eigenvalues = r.f64_seq()?;
             let total_variance = r.f64()?;
-            Some(Pca::from_parts(mean, components, eigenvalues, total_variance)?)
+            Some(std::sync::Arc::new(Pca::from_parts(
+                mean,
+                components,
+                eigenvalues,
+                total_variance,
+            )?))
         }
         t => return Err(err(format!("unknown PCA tag {t}"))),
     };
@@ -545,7 +575,9 @@ fn put_online(w: &mut Writer, o: &OnlineLarp) {
     put_larp_config(w, &o.config);
     put_resilience(w, &o.resilience);
     put_qa(w, &o.qa);
-    w.f64_seq(o.history.as_slice().iter());
+    // `f32`-ring values widen to `f64` losslessly, so one wire type serves
+    // both modes; restore re-quantizes, which is exact for these values.
+    w.f64_iter(o.history.iter64());
     w.usize(o.seen);
     w.usize(o.train_size);
     match &o.model {
@@ -653,8 +685,12 @@ fn get_online(r: &mut Reader) -> Result<OnlineLarp> {
     let mut online = OnlineLarp {
         config,
         qa,
-        history: HistoryRing::from_vec(history, resilience.max_history),
-        norm: HistoryRing::new(resilience.max_history),
+        history: HistoryRing::from_vec_mode(
+            history,
+            resilience.max_history,
+            resilience.f32_history,
+        ),
+        norm: HistoryRing::new_mode(resilience.max_history, resilience.f32_history),
         rolling: RollingMoments::new(train_size).expect("train_size validated above"),
         scratch: Scratch::new(),
         resilience,
@@ -671,6 +707,7 @@ fn get_online(r: &mut Reader) -> Result<OnlineLarp> {
         next_retrain_at,
         retrain_pending,
         obs: None,
+        interner: None,
     };
     // Derived runtime state (normalised mirror, rolling moments) is not part
     // of the wire format; rebuild it from the restored fields.

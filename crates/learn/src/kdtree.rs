@@ -131,6 +131,13 @@ impl KdTree {
         self.points.len() / self.dim
     }
 
+    /// Heap bytes held by the tree's own node storage. The point buffer is
+    /// shared with its owner (see [`KdTree::build_flat`]) and is deliberately
+    /// *not* counted here, so owner + tree accounting never double-counts it.
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+    }
+
     /// Whether the tree is empty (never true after construction).
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()

@@ -130,6 +130,15 @@ impl KnnClassifier {
         Ok(Self { k, points, dim, labels, n_classes, backend, tree })
     }
 
+    /// Heap bytes held by the classifier: the shared point store (counted
+    /// here, not again by the kd-tree that borrows it), labels, and tree
+    /// nodes. Used for per-stream memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.points.len() * std::mem::size_of::<f64>()
+            + self.labels.capacity() * std::mem::size_of::<usize>()
+            + self.tree.as_ref().map_or(0, KdTree::heap_bytes)
+    }
+
     /// The configured neighbour count `k`.
     pub fn k(&self) -> usize {
         self.k

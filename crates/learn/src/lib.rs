@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod eval;
+pub mod intern;
 pub mod kdtree;
 pub mod knn;
 pub mod pca;
@@ -25,6 +26,7 @@ pub mod scaler;
 pub mod split;
 pub mod vote;
 
+pub use intern::PcaInterner;
 pub use kdtree::KdTree;
 pub use knn::{KnnBackend, KnnClassifier};
 pub use pca::Pca;

@@ -160,6 +160,15 @@ impl Pca {
         &self.eigenvalues
     }
 
+    /// Heap bytes held by the fitted projection (mean + components +
+    /// eigenvalues), for per-stream memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        (self.mean.capacity()
+            + self.components.rows() * self.components.cols()
+            + self.eigenvalues.capacity())
+            * std::mem::size_of::<f64>()
+    }
+
     /// Fraction of total training variance captured by each retained component.
     pub fn explained_variance_ratio(&self) -> Vec<f64> {
         if self.total_variance <= 0.0 {

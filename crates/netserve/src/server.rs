@@ -570,7 +570,10 @@ fn dispatch(shared: &Shared, opcode: u8, payload: &[u8]) -> (Response, AfterRepl
                 unknown_dropped: h.unknown_dropped(),
             })
         }
-        Request::Checkpoint => Response::Checkpoint(engine.checkpoint()),
+        Request::Checkpoint => match engine.checkpoint() {
+            Ok(bytes) => Response::Checkpoint(bytes),
+            Err(e) => fleet_err(e),
+        },
         Request::Evict { id } => match engine.evict(id) {
             Ok(()) => Response::Evict,
             Err(e) => fleet_err(e),

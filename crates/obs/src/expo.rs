@@ -147,6 +147,10 @@ fn event_json(e: &Event) -> String {
             format!("\"replayed\": {replayed}, \"gaps\": {gaps}")
         }
         EventKind::WalRotation { segment } => format!("\"segment\": {segment}"),
+        EventKind::WalAppendFailed { kind } => format!("\"kind\": {kind}"),
+        EventKind::StreamHibernated { bytes } | EventKind::StreamWoken { bytes } => {
+            format!("\"bytes\": {bytes}")
+        }
     };
     format!(
         "{{\"seq\": {}, \"stream\": {stream}, \"kind\": {}, {payload}}}",

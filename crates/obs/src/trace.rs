@@ -141,6 +141,24 @@ pub enum EventKind {
         /// First sequence number of the new segment.
         segment: u64,
     },
+    /// A WAL append failed: the in-memory state advanced without a durable
+    /// record of it (recovery may disagree with the live engine).
+    WalAppendFailed {
+        /// Record kind that failed: 0 = samples, 1 = register, 2 = evict.
+        kind: u64,
+    },
+    /// A stream's serving state was spilled to the hibernation store; only
+    /// a tombstone stays resident.
+    StreamHibernated {
+        /// Size of the spilled snapshot in bytes.
+        bytes: u64,
+    },
+    /// A hibernated stream's serving state was restored from the spill
+    /// store.
+    StreamWoken {
+        /// Size of the restored snapshot in bytes.
+        bytes: u64,
+    },
 }
 
 impl EventKind {
@@ -163,6 +181,9 @@ impl EventKind {
             EventKind::NetMalformedFrame { .. } => "net_malformed_frame",
             EventKind::WalRecovery { .. } => "wal_recovery",
             EventKind::WalRotation { .. } => "wal_rotation",
+            EventKind::WalAppendFailed { .. } => "wal_append_failed",
+            EventKind::StreamHibernated { .. } => "stream_hibernated",
+            EventKind::StreamWoken { .. } => "stream_woken",
         }
     }
 }

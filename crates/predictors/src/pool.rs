@@ -92,6 +92,17 @@ impl PredictorPool {
         &self.specs
     }
 
+    /// Approximate heap bytes held by the fitted pool: the boxed model list,
+    /// the spec list, and every member's fitted state. Walks `fitted_state`
+    /// (which allocates transiently), so this is for cold-path memory
+    /// accounting only — never call it from the serving loop.
+    pub fn heap_bytes(&self) -> usize {
+        let state_doubles: usize = self.models.iter().map(|m| m.fitted_state().len()).sum();
+        self.models.capacity() * std::mem::size_of::<Box<dyn Predictor>>()
+            + self.specs.capacity() * std::mem::size_of::<ModelSpec>()
+            + state_doubles * std::mem::size_of::<f64>()
+    }
+
     /// Number of models in the pool.
     pub fn len(&self) -> usize {
         self.models.len()

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod archive;
+pub mod blob;
 pub mod crc;
 pub mod memtable;
 pub mod record;
@@ -36,6 +37,7 @@ pub mod store;
 pub mod tiers;
 pub mod wal;
 
+pub use blob::BlobStore;
 pub use crc::crc32;
 pub use memtable::Memtable;
 pub use record::{RegisterTuning, Sample, WalRecord, MAX_RECORD_PAYLOAD};

@@ -178,6 +178,11 @@ impl WindowedMse {
             Some(self.sum_sq / self.errors.len() as f64)
         }
     }
+
+    /// Heap bytes held by the error window, for memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.errors.capacity() * std::mem::size_of::<f64>()
+    }
 }
 
 #[cfg(test)]

@@ -43,6 +43,38 @@ if [[ "$QUICK" -eq 0 ]]; then
   fi
   echo "fleet_throughput: $SMOKE_SPS samples/s (baseline $BASELINE_SPS, floor $FLOOR)"
 
+  echo "==> mem_bench steady-state + bytes/stream regression gate (20000 streams)"
+  # Steady-state fleet (hot working set live, cold majority hibernated) under
+  # the diet config; the headline bytes_per_stream is accounted heap over all
+  # registered streams. The 120% ceiling against the committed baseline in
+  # results/BENCH_mem.json catches per-stream state quietly growing back —
+  # the accounting is deterministic (capacities, not RSS), so the margin only
+  # needs to absorb allocator-rounding differences, not scheduler noise.
+  MEM_JSON="$(cargo run --release -q -p fleet --bin mem_bench -- --streams 20000)"
+  echo "$MEM_JSON"
+  MEM_BPS="$(grep -o '"bytes_per_stream": [0-9]*' <<<"$MEM_JSON" | grep -o '[0-9]*$')"
+  MEM_BASE="$(grep -o '"bytes_per_stream": [0-9]*' results/BENCH_mem.json | grep -o '[0-9]*$')"
+  MEM_CEIL=$(( MEM_BASE * 120 / 100 ))
+  if [[ "$MEM_BPS" -gt "$MEM_CEIL" ]]; then
+    echo "memory regression: $MEM_BPS bytes/stream > 120% of committed baseline $MEM_BASE"
+    exit 1
+  fi
+  echo "mem_bench: $MEM_BPS bytes/stream (baseline $MEM_BASE, ceiling $MEM_CEIL)"
+
+  echo "==> 1M-stream hibernation smoke under a fixed RSS cap (~4 min)"
+  # One million diet streams cycle through the engine cohort by cohort
+  # (register, train, hibernate), so only one cohort's serving stacks are
+  # ever resident; the bin samples /proc/self/statm after every cohort and
+  # exits non-zero the moment RSS crosses the cap. Reference-container peak
+  # is ~950 MiB; the 1200 MiB cap leaves headroom for allocator variation
+  # while staying far below the ~5.5 GiB a million live streams would cost.
+  SMOKE_JSON="$(cargo run --release -q -p fleet --bin mem_bench -- \
+      --smoke1m --rounds 36 --cohort 50000 --rss-cap-mb 1200)"
+  echo "$SMOKE_JSON"
+  for field in '"streams_total": 1000000' '"rss_cap_ok": true' '"probe_woken": true'; do
+    grep -qF "$field" <<<"$SMOKE_JSON" || { echo "1M smoke report missing $field"; exit 1; }
+  done
+
   echo "==> obs_dump smoke (fault-injected fleet, both exposition formats)"
   # JSON: the bin validates its own output with obs::expo::validate_json
   # (strict parser, rejects NaN/Infinity) before printing; we additionally
