@@ -1,0 +1,369 @@
+//! [`ClusterClient`]: a ring-aware client over the netserve wire.
+//!
+//! The client holds the same ring blob the servers do, so routing is a
+//! local hash — no proxy hop, no metadata service. What makes it safe:
+//!
+//! * **Sequenced sends** — every sample gets a per-stream sequence
+//!   (1, 2, 3, …). Sends are at-least-once: any failure keeps samples in
+//!   a pending queue and retries them. The server's dedup table plus the
+//!   `last_seqs` echo turn that into exactly-once ingestion, even when an
+//!   ack was lost or the stream moved to a node that never saw this
+//!   client.
+//! * **Redirect following** — a `NotOwner` error carries the owning
+//!   node's address verbatim; the client re-sends there immediately,
+//!   which is what keeps requests flowing *during* a migration fence,
+//!   before any ring update is published. Mixed-ownership batches split
+//!   per stream mid-drain so partial progress is never blocked.
+//! * **Ring refresh** — on I/O errors or exhausted redirects the client
+//!   asks any reachable node for a newer ring (`RingInfo`) and re-routes.
+//!   A dead node therefore costs one refresh round, not a stuck client.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use netserve::{Client, ClientConfig, ErrorCode, NetError};
+
+use crate::ring::Ring;
+use crate::ClusterError;
+
+/// Cluster client configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterClientConfig {
+    /// Per-connection netserve client configuration. `client_name` is the
+    /// dedup identity — two processes sharing a name share send cursors.
+    pub net: ClientConfig,
+    /// Full routing rounds (send → refresh ring → re-send) before a push
+    /// or request gives up. The product with `retry_pause` bounds how
+    /// long an outage the client rides out.
+    pub route_attempts: u32,
+    /// Pause between routing rounds.
+    pub retry_pause: Duration,
+    /// `NotOwner` redirects followed within one routing round.
+    pub redirect_hops: u32,
+}
+
+impl Default for ClusterClientConfig {
+    fn default() -> Self {
+        Self {
+            net: ClientConfig {
+                connect_timeout: Duration::from_secs(1),
+                request_timeout: Duration::from_secs(5),
+                max_attempts: 1,
+                ..ClientConfig::default()
+            },
+            route_attempts: 40,
+            retry_pause: Duration::from_millis(250),
+            redirect_hops: 4,
+        }
+    }
+}
+
+/// Accounting for one [`ClusterClient::push`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PushStats {
+    /// Samples newly applied by owners.
+    pub accepted: u64,
+    /// Samples a server dropped as already applied (retries made
+    /// harmless).
+    pub deduped: u64,
+    /// Transient failures ridden out (reconnects, refresh rounds).
+    pub retries: u64,
+}
+
+/// A ring-aware, exactly-once cluster client.
+pub struct ClusterClient {
+    config: ClusterClientConfig,
+    ring: Ring,
+    seeds: Vec<String>,
+    conns: HashMap<String, Client>,
+    /// Per-stream send cursor: sequences assigned so far.
+    seqs: HashMap<u64, u64>,
+    /// Per-stream acked cursor, advanced by `last_seqs` echoes.
+    acked: HashMap<u64, u64>,
+    /// Samples assigned a sequence but not yet acked.
+    pending: Vec<SeqSample>,
+}
+
+/// A `(stream id, sequence, value)` triple awaiting an ack.
+type SeqSample = (u64, u64, f64);
+
+impl ClusterClient {
+    /// Connects to the cluster: the first seed that serves a ring wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Routing`] when no seed answers with a
+    /// decodable, installed ring.
+    pub fn connect(
+        seeds: &[String],
+        config: ClusterClientConfig,
+    ) -> Result<ClusterClient, ClusterError> {
+        let mut client = ClusterClient {
+            config,
+            ring: Ring::new(0, 1, vec![crate::NodeInfo { name: "?".into(), addr: "?".into() }])?,
+            seeds: seeds.to_vec(),
+            conns: HashMap::new(),
+            seqs: HashMap::new(),
+            acked: HashMap::new(),
+            pending: Vec::new(),
+        };
+        for addr in seeds {
+            let Ok(conn) = client.conn(addr) else { continue };
+            let Ok((version, blob)) = conn.ring_info() else {
+                client.conns.remove(addr);
+                continue;
+            };
+            if version == 0 {
+                continue;
+            }
+            if let Ok(ring) = Ring::decode(&blob) {
+                client.ring = ring;
+                return Ok(client);
+            }
+        }
+        Err(ClusterError::Routing("no seed node served an installed ring".into()))
+    }
+
+    /// The ring the client is routing by.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Samples assigned a sequence but not yet acked by an owner.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Registers a stream on its owning node (engine defaults).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError`] when the owner stays unreachable or
+    /// refuses the registration.
+    pub fn register(&mut self, id: u64) -> Result<(), ClusterError> {
+        self.on_owner(id, |c| c.register(id))
+    }
+
+    /// Fetches the owner's forecast for a stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError`] when the owner stays unreachable or does
+    /// not know the stream.
+    pub fn predict(&mut self, id: u64) -> Result<netserve::PredictReply, ClusterError> {
+        self.on_owner(id, |c| c.predict(id))
+    }
+
+    /// Fetches the owner's serving view of a stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError`] when the owner stays unreachable or does
+    /// not know the stream.
+    pub fn stream_info(&mut self, id: u64) -> Result<netserve::StreamInfoReply, ClusterError> {
+        self.on_owner(id, |c| c.stream_info(id))
+    }
+
+    /// Pushes samples exactly once: assigns sequences, routes by ring
+    /// owner, follows redirects, retries transient failures until every
+    /// sample is acked (or the retry budget runs out — in which case the
+    /// samples stay pending and the next push resumes them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Routing`] on an exhausted retry budget and
+    /// [`ClusterError::Net`] for hard server errors (bad config, eviction
+    /// races).
+    pub fn push(&mut self, samples: &[(u64, f64)]) -> Result<PushStats, ClusterError> {
+        for &(id, value) in samples {
+            let seq = self.seqs.entry(id).or_insert(0);
+            *seq += 1;
+            self.pending.push((id, *seq, value));
+        }
+        self.flush_pending()
+    }
+
+    fn drop_acked(&mut self) {
+        let acked = &self.acked;
+        self.pending.retain(|(id, seq, _)| *seq > acked.get(id).copied().unwrap_or(0));
+    }
+
+    fn flush_pending(&mut self) -> Result<PushStats, ClusterError> {
+        let mut stats = PushStats::default();
+        let mut attempts = 0u32;
+        loop {
+            self.drop_acked();
+            if self.pending.is_empty() {
+                return Ok(stats);
+            }
+            let mut groups: HashMap<String, Vec<SeqSample>> = HashMap::new();
+            for sample in &self.pending {
+                let addr = self.ring.owner_of(sample.0).addr.clone();
+                groups.entry(addr).or_default().push(*sample);
+            }
+            let mut ordered: Vec<(String, Vec<SeqSample>)> = groups.into_iter().collect();
+            ordered.sort_by(|a, b| a.0.cmp(&b.0));
+            for (addr, batch) in ordered {
+                match self.send_group(&addr, &batch, &mut stats) {
+                    Ok(()) => {}
+                    Err(e @ ClusterError::Net(_)) => return Err(e),
+                    Err(_) => stats.retries += 1,
+                }
+            }
+            self.drop_acked();
+            if self.pending.is_empty() {
+                return Ok(stats);
+            }
+            attempts += 1;
+            if attempts >= self.config.route_attempts {
+                return Err(ClusterError::Routing(format!(
+                    "{} samples unacked after {attempts} routing rounds",
+                    self.pending.len()
+                )));
+            }
+            std::thread::sleep(self.config.retry_pause);
+            self.refresh_ring();
+        }
+    }
+
+    /// Sends one owner-grouped batch, following redirects. A `NotOwner`
+    /// on a batch spanning streams (mid-drain mixed ownership) splits it
+    /// per stream so the already-moved streams make progress.
+    fn send_group(
+        &mut self,
+        addr: &str,
+        batch: &[SeqSample],
+        stats: &mut PushStats,
+    ) -> Result<(), ClusterError> {
+        let mut target = addr.to_string();
+        for _hop in 0..=self.config.redirect_hops {
+            let remaining: Vec<SeqSample> = batch
+                .iter()
+                .filter(|(id, seq, _)| *seq > self.acked.get(id).copied().unwrap_or(0))
+                .copied()
+                .collect();
+            if remaining.is_empty() {
+                return Ok(());
+            }
+            let outcome = match self.conn(&target) {
+                Ok(conn) => conn.push_seq(&remaining),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(o) => {
+                    stats.accepted += o.outcome.accepted;
+                    stats.deduped += o.deduped;
+                    for (id, seq) in o.last_seqs {
+                        let e = self.acked.entry(id).or_insert(0);
+                        *e = (*e).max(seq);
+                    }
+                    return Ok(());
+                }
+                Err(NetError::Server { code: ErrorCode::NotOwner, detail }) => {
+                    let mut ids: Vec<u64> = remaining.iter().map(|(id, _, _)| *id).collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    if ids.len() > 1 {
+                        for id in ids {
+                            let sub: Vec<SeqSample> =
+                                remaining.iter().filter(|(s, _, _)| *s == id).copied().collect();
+                            let owner = self.ring.owner_of(id).addr.clone();
+                            self.send_group(&owner, &sub, stats)?;
+                        }
+                        return Ok(());
+                    }
+                    target = detail;
+                }
+                Err(e @ NetError::Server { .. }) => return Err(ClusterError::Net(e)),
+                Err(_) => {
+                    self.conns.remove(&target);
+                    return Err(ClusterError::Routing(format!("send to {target} failed")));
+                }
+            }
+        }
+        Err(ClusterError::Routing(format!("redirect chase from {addr} exhausted")))
+    }
+
+    /// Runs a request against a stream's owner, following redirects and
+    /// refreshing the ring across routing rounds.
+    fn on_owner<T>(
+        &mut self,
+        id: u64,
+        mut op: impl FnMut(&mut Client) -> Result<T, NetError>,
+    ) -> Result<T, ClusterError> {
+        let mut attempts = 0u32;
+        loop {
+            let mut target = self.ring.owner_of(id).addr.clone();
+            let mut hops = 0u32;
+            loop {
+                let result = match self.conn(&target) {
+                    Ok(conn) => op(conn),
+                    Err(e) => Err(e),
+                };
+                match result {
+                    Ok(value) => return Ok(value),
+                    Err(NetError::Server { code: ErrorCode::NotOwner, detail }) => {
+                        hops += 1;
+                        if hops > self.config.redirect_hops {
+                            break;
+                        }
+                        target = detail;
+                    }
+                    Err(e @ NetError::Server { .. }) => return Err(ClusterError::Net(e)),
+                    Err(_) => {
+                        self.conns.remove(&target);
+                        break;
+                    }
+                }
+            }
+            attempts += 1;
+            if attempts >= self.config.route_attempts {
+                return Err(ClusterError::Routing(format!(
+                    "stream {id}: owner unreachable after {attempts} routing rounds"
+                )));
+            }
+            std::thread::sleep(self.config.retry_pause);
+            self.refresh_ring();
+        }
+    }
+
+    /// Adopts the newest ring any reachable node serves. Returns whether
+    /// a newer ring was adopted.
+    pub fn refresh_ring(&mut self) -> bool {
+        let mut candidates: Vec<String> = self.ring.alive().map(|n| n.addr.clone()).collect();
+        for seed in &self.seeds {
+            if !candidates.contains(seed) {
+                candidates.push(seed.clone());
+            }
+        }
+        let mut adopted = false;
+        for addr in candidates {
+            let info = match self.conn(&addr) {
+                Ok(conn) => conn.ring_info(),
+                Err(e) => Err(e),
+            };
+            match info {
+                Ok((version, blob)) if version > self.ring.version() => {
+                    if let Ok(ring) = Ring::decode(&blob) {
+                        self.ring = ring;
+                        adopted = true;
+                        break;
+                    }
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    self.conns.remove(&addr);
+                }
+            }
+        }
+        adopted
+    }
+
+    fn conn(&mut self, addr: &str) -> Result<&mut Client, NetError> {
+        if !self.conns.contains_key(addr) {
+            let client = Client::connect(addr, self.config.net.clone())?;
+            self.conns.insert(addr.to_string(), client);
+        }
+        Ok(self.conns.get_mut(addr).expect("connection inserted above"))
+    }
+}

@@ -1,0 +1,87 @@
+//! Cluster tier: consistent-hash placement, live stream migration, and
+//! warm-standby failover for a fleet of [`netserve`] nodes.
+//!
+//! The fleet engine scales serving across threads; netserve across
+//! machines behind one listener. This crate scales it across *nodes*
+//! without a coordinator in the data path:
+//!
+//! * [`ring`] — a consistent-hash ring (virtual nodes, deterministic
+//!   `StreamId → node` placement) shared verbatim by servers and clients.
+//!   Rings are versioned, CRC-framed blobs; every node serves its copy
+//!   through the `RingInfo` opcode and refuses stale installs, so the
+//!   newest ring wins everywhere without consensus.
+//! * [`client`] — [`ClusterClient`], a ring-aware client that routes
+//!   register/push/predict to the owning node, follows `NotOwner`
+//!   redirects while a migration fence is up, and retries sequenced
+//!   pushes with at-least-once sends that the server-side dedup table
+//!   turns into exactly-once ingestion.
+//! * [`node`] — [`ClusterNode`], a netserve server plus the cluster
+//!   plumbing: ring hooks for redirects, a warm-standby feeder thread
+//!   streaming snapshot deltas and WAL-tail records to the ring
+//!   successor, standby buffering for peers, and failover takeover that
+//!   materializes a dead peer's streams from buffered state plus the
+//!   dead node's on-disk WAL tail.
+//! * [`feed`] — the standby feed codec ([`FeedChunk`]): snapshot-delta
+//!   and WAL-tail chunks, CRC-framed, sized under the wire's request cap.
+//!
+//! Placement, migration and failover share one invariant: a stream's
+//! state is bit-exact wherever it lands. Migration moves LARPSNAP blobs
+//! over the wire and arms the gaining node's dedup floor; failover
+//! restores the same blobs from standby and replays the WAL tail beyond
+//! them; `cluster_bench` proves a `kill -9` mid-traffic loses no acked
+//! sample and converges bit-identically with an uninterrupted
+//! single-engine reference (DESIGN.md §12).
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod feed;
+pub mod node;
+pub mod ring;
+
+pub use client::{ClusterClient, ClusterClientConfig, PushStats};
+pub use feed::FeedChunk;
+pub use node::{ClusterNode, NodeConfig};
+pub use ring::{HandoffKind, NodeInfo, Ring};
+
+/// Errors surfaced by the cluster tier.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Ring construction, codec, or membership failure.
+    Ring(String),
+    /// A network operation failed terminally (after redirects/retries).
+    Net(netserve::NetError),
+    /// A local engine operation failed.
+    Fleet(fleet::FleetError),
+    /// Routing gave up: samples or requests left unacked after the retry
+    /// budget, e.g. the owner stayed unreachable and no newer ring showed
+    /// up.
+    Routing(String),
+    /// Node-side failure (feeder, standby, takeover).
+    Node(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Ring(m) => write!(f, "ring: {m}"),
+            ClusterError::Net(e) => write!(f, "net: {e}"),
+            ClusterError::Fleet(e) => write!(f, "fleet: {e}"),
+            ClusterError::Routing(m) => write!(f, "routing: {m}"),
+            ClusterError::Node(m) => write!(f, "node: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<netserve::NetError> for ClusterError {
+    fn from(e: netserve::NetError) -> Self {
+        ClusterError::Net(e)
+    }
+}
+
+impl From<fleet::FleetError> for ClusterError {
+    fn from(e: fleet::FleetError) -> Self {
+        ClusterError::Fleet(e)
+    }
+}

@@ -117,6 +117,12 @@ pub struct FleetConfig {
     /// recovery and is truncated on every engine start. `None` disables
     /// hibernation.
     pub spill_dir: Option<PathBuf>,
+    /// Automatic hibernation policy: streams idle (no accepted push) for at
+    /// least this long are hibernated by the engine's background maintenance
+    /// thread, without any [`crate::FleetEngine::hibernate_idle`] calls from
+    /// the application. Requires `spill_dir`. `None` (the default) keeps
+    /// hibernation manual.
+    pub auto_hibernate_idle: Option<std::time::Duration>,
 }
 
 impl Default for FleetConfig {
@@ -131,6 +137,7 @@ impl Default for FleetConfig {
             reuse_scratch: true,
             durability: None,
             spill_dir: None,
+            auto_hibernate_idle: None,
         }
     }
 }
@@ -157,6 +164,16 @@ impl FleetConfig {
         }
         if let Some(d) = &self.durability {
             d.validate()?;
+        }
+        if let Some(idle) = self.auto_hibernate_idle {
+            if self.spill_dir.is_none() {
+                return Err(FleetError::InvalidConfig(
+                    "auto_hibernate_idle requires spill_dir".into(),
+                ));
+            }
+            if idle.is_zero() {
+                return Err(FleetError::InvalidConfig("auto_hibernate_idle must be > 0".into()));
+            }
         }
         Ok(())
     }
@@ -241,6 +258,25 @@ mod tests {
         assert!(cfg.validate().is_err());
         let bad = DurabilityConfig { memtable_rows: 0, ..DurabilityConfig::new("/tmp/ignored") };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn auto_hibernate_requires_spill_dir_and_nonzero_idle() {
+        let idle = Some(std::time::Duration::from_secs(60));
+        let bad = FleetConfig { auto_hibernate_idle: idle, ..FleetConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = FleetConfig {
+            auto_hibernate_idle: Some(std::time::Duration::ZERO),
+            spill_dir: Some("/tmp/ignored".into()),
+            ..FleetConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let good = FleetConfig {
+            auto_hibernate_idle: idle,
+            spill_dir: Some("/tmp/ignored".into()),
+            ..FleetConfig::default()
+        };
+        assert!(good.validate().is_ok());
     }
 
     #[test]

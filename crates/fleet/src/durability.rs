@@ -89,10 +89,8 @@ pub(crate) struct DurabilityState {
     pub(crate) config: DurabilityConfig,
     pub(crate) ckpt_path: PathBuf,
     /// WAL records appended since the last durable checkpoint; the
-    /// background checkpointer's trigger.
+    /// background maintenance thread's checkpoint trigger.
     pub(crate) records_since_ckpt: AtomicU64,
-    /// Orders the background checkpointer to exit.
-    pub(crate) ckpt_stop: AtomicBool,
     /// Test hook: fail the next WAL append (register/evict paths) as if the
     /// underlying store errored. Set via
     /// `FleetEngine::debug_fail_next_wal_append`; consumed on first use.
@@ -108,7 +106,6 @@ impl DurabilityState {
             config,
             ckpt_path,
             records_since_ckpt: AtomicU64::new(0),
-            ckpt_stop: AtomicBool::new(false),
             fail_next_append: AtomicBool::new(false),
         }
     }

@@ -1,8 +1,8 @@
 //! The fleet engine: worker threads, stream lifecycle, batched ingestion,
 //! flush/checkpoint/restore, and the health rollup.
 
-use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -25,6 +25,9 @@ struct EngineShared {
     shards: Vec<ShardState>,
     /// Monotonic count of push attempts, the idle-expiry clock.
     push_seq: AtomicU64,
+    /// Orders the background maintenance thread (auto-checkpoint +
+    /// auto-hibernate) to exit.
+    maint_stop: AtomicBool,
     obs: FleetObs,
     /// Durable-ingestion state; `None` for a purely in-memory engine.
     durability: Option<DurabilityState>,
@@ -213,6 +216,43 @@ fn checkpoint_durable_inner(shared: &EngineShared) -> Result<u64> {
     Ok(seq)
 }
 
+/// Spills streams idle for more than `max_idle` push attempts. Shared by
+/// [`FleetEngine::hibernate_idle`] and the background maintenance thread's
+/// automatic policy.
+fn hibernate_idle_inner(shared: &EngineShared, max_idle: u64) -> Result<Vec<StreamId>> {
+    let spill = shared.spill.as_ref().ok_or_else(|| {
+        FleetError::InvalidConfig("hibernation requires FleetConfig::spill_dir".into())
+    })?;
+    let _gate =
+        shared.durability.as_ref().map(|d| d.gate.read().expect("durability gate poisoned"));
+    shared.flush_shards();
+    let now = shared.push_seq.load(Ordering::Relaxed);
+    let mut hibernated = Vec::new();
+    for s in &shared.shards {
+        let mut streams = s.streams.lock().expect("shard stream table poisoned");
+        let idle: Vec<StreamId> = streams
+            .iter_live()
+            .filter(|(_, slot)| now.saturating_sub(slot.last_seq) > max_idle)
+            .map(|(id, _)| id)
+            .collect();
+        for id in idle {
+            let slot = streams.hibernate(id).expect("listed as live");
+            let bytes = slot.guarded.to_snapshot_bytes();
+            let put = spill.lock().expect("spill store poisoned").put(id, &bytes);
+            if let Err(e) = put {
+                streams.wake(id, slot.guarded);
+                return Err(FleetError::Durability(format!("spill write: {e}")));
+            }
+            shared.obs.hibernations.inc();
+            let kind = EventKind::StreamHibernated { bytes: bytes.len() as u64 };
+            shared.obs.events.push(Some(id), kind);
+            hibernated.push(id);
+        }
+    }
+    hibernated.sort_unstable();
+    Ok(hibernated)
+}
+
 /// Sharded multi-stream serving engine. See the crate docs for the design.
 ///
 /// All ingestion methods take `&self`; an engine can be shared across
@@ -222,8 +262,9 @@ pub struct FleetEngine {
     shared: Arc<EngineShared>,
     default_stream: StreamConfig,
     workers: Vec<JoinHandle<()>>,
-    /// Background durable-checkpoint thread, when auto-checkpointing is on.
-    checkpointer: Option<JoinHandle<()>>,
+    /// Background maintenance thread (auto-checkpoint and/or
+    /// auto-hibernate), when either policy is configured.
+    maintenance: Option<JoinHandle<()>>,
 }
 
 /// A point-in-time view of one stream's serving state.
@@ -308,6 +349,7 @@ impl FleetEngine {
             shards: (0..config.shards).map(|i| ShardState::new(i, &obs.registry)).collect(),
             config,
             push_seq: AtomicU64::new(0),
+            maint_stop: AtomicBool::new(false),
             obs,
             durability,
             spill,
@@ -325,31 +367,73 @@ impl FleetEngine {
                     .map_err(|e| FleetError::Serving(format!("cannot spawn shard worker: {e}")))
             })
             .collect::<Result<Vec<_>>>()?;
-        let checkpointer = Self::spawn_checkpointer(&shared);
-        Ok(Self { shared, default_stream, workers, checkpointer })
+        let maintenance = Self::spawn_maintenance(&shared);
+        Ok(Self { shared, default_stream, workers, maintenance })
     }
 
-    /// Starts the background durable-checkpoint thread, if configured.
-    fn spawn_checkpointer(shared: &Arc<EngineShared>) -> Option<JoinHandle<()>> {
-        let every = shared.durability.as_ref()?.config.auto_checkpoint_records;
-        if every == 0 {
+    /// Starts the background maintenance thread, if any periodic policy is
+    /// configured: automatic durable checkpoints
+    /// ([`DurabilityConfig::auto_checkpoint_records`]) and/or automatic
+    /// hibernation ([`FleetConfig::auto_hibernate_idle`]).
+    fn spawn_maintenance(shared: &Arc<EngineShared>) -> Option<JoinHandle<()>> {
+        let every =
+            shared.durability.as_ref().map(|d| d.config.auto_checkpoint_records).unwrap_or(0);
+        let auto_hibernate = shared.config.auto_hibernate_idle;
+        if every == 0 && auto_hibernate.is_none() {
             return None;
         }
         let s = Arc::clone(shared);
         let handle = std::thread::Builder::new()
-            .name("fleet-checkpointer".into())
+            .name("fleet-maintenance".into())
             .spawn(move || {
-                let d = s.durability.as_ref().expect("checkpointer requires durability");
-                while !d.ckpt_stop.load(Ordering::Relaxed) {
-                    if d.records_since_ckpt.load(Ordering::Relaxed) >= every {
-                        // A failed checkpoint leaves the trigger count
-                        // untouched, so the next tick retries.
-                        let _ = checkpoint_durable_inner(&s);
+                // The idle policy is wall-clock but the engine's idle marks
+                // are push sequence numbers; periodic (Instant, push_seq)
+                // snapshots translate between the two — a stream is idle for
+                // `auto_hibernate` if its last activity predates the newest
+                // snapshot that old.
+                let mut clock: VecDeque<(Instant, u64)> = VecDeque::new();
+                let mut last_sweep = Instant::now();
+                let sweep_every =
+                    auto_hibernate.map(|idle| (idle / 4).max(Duration::from_millis(50)));
+                while !s.maint_stop.load(Ordering::Relaxed) {
+                    if every > 0 {
+                        let d = s.durability.as_ref().expect("auto-checkpoint needs durability");
+                        if d.records_since_ckpt.load(Ordering::Relaxed) >= every {
+                            // A failed checkpoint leaves the trigger count
+                            // untouched, so the next tick retries.
+                            let _ = checkpoint_durable_inner(&s);
+                        }
+                    }
+                    if let (Some(idle), Some(period)) = (auto_hibernate, sweep_every) {
+                        let now = Instant::now();
+                        clock.push_back((now, s.push_seq.load(Ordering::Relaxed)));
+                        // Keep the front as the newest snapshot at least
+                        // `idle` old; everything older is redundant.
+                        while clock.len() > 1 && now.duration_since(clock[1].0) >= idle {
+                            clock.pop_front();
+                        }
+                        let aged = clock.front().filter(|(t, _)| now.duration_since(*t) >= idle);
+                        if now.duration_since(last_sweep) >= period {
+                            if let Some(&(_, seq_then)) = aged {
+                                last_sweep = now;
+                                let now_seq = s.push_seq.load(Ordering::Relaxed);
+                                let threshold = now_seq.saturating_sub(seq_then);
+                                s.obs.auto_hibernate_cycles.inc();
+                                if let Ok(ids) = hibernate_idle_inner(&s, threshold) {
+                                    if !ids.is_empty() {
+                                        let kind = EventKind::AutoHibernate {
+                                            hibernated: ids.len() as u64,
+                                        };
+                                        s.obs.events.push(None, kind);
+                                    }
+                                }
+                            }
+                        }
                     }
                     std::thread::park_timeout(Duration::from_millis(20));
                 }
             })
-            .expect("spawn fleet checkpointer");
+            .expect("spawn fleet maintenance thread");
         Some(handle)
     }
 
@@ -472,13 +556,14 @@ impl FleetEngine {
                 }
             }
             WalRecord::Register { id, tuning } => {
-                let cfg = StreamConfig {
+                let mut cfg = StreamConfig {
                     train_size: tuning.train_size as usize,
                     qa_window: tuning.qa_window as usize,
                     qa_period: tuning.qa_period as usize,
                     qa_threshold: tuning.qa_threshold,
                     ..self.default_stream.clone()
                 };
+                cfg.resilience.f32_history = tuning.f32_history;
                 // A collision with a checkpointed stream can only follow a
                 // WAL gap; keep the richer checkpointed state.
                 let _ = self.insert_stream(*id, &cfg);
@@ -529,6 +614,7 @@ impl FleetEngine {
                 qa_window: config.qa_window as u32,
                 qa_period: config.qa_period as u32,
                 qa_threshold: config.qa_threshold,
+                f32_history: config.resilience.f32_history,
             };
             if let Err(e) = d.store.append_register(id, &tuning) {
                 // Roll back: an unlogged stream would vanish on recovery
@@ -941,36 +1027,188 @@ impl FleetEngine {
     /// write fails — the affected stream stays live (losing serving state to
     /// save memory is never the right trade).
     pub fn hibernate_idle(&self, max_idle: u64) -> Result<Vec<StreamId>> {
-        let spill = self.shared.spill.as_ref().ok_or_else(|| {
-            FleetError::InvalidConfig("hibernation requires FleetConfig::spill_dir".into())
-        })?;
-        let _gate = self.gate_read();
+        hibernate_idle_inner(&self.shared, max_idle)
+    }
+
+    /// Flushes, then serializes one stream's complete serving state for
+    /// migration to another engine: `(next_minute, snapshot_bytes)`. The
+    /// bytes are the same LARPSNAP encoding checkpoints inline, so
+    /// [`import_stream`](Self::import_stream) restores them bit-identically.
+    /// Hibernated streams export their spill blob directly (a blob *is* a
+    /// snapshot) without waking.
+    ///
+    /// The stream stays registered here — the caller owns eviction timing
+    /// (a migration fence evicts only after the destination acknowledges).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::UnknownStream`] if `id` is not registered and
+    /// [`FleetError::Checkpoint`] if a hibernated stream's spill blob is
+    /// missing or unreadable.
+    pub fn export_stream(&self, id: StreamId) -> Result<(u64, Vec<u8>)> {
         self.flush();
-        let now = self.shared.push_seq.load(Ordering::Relaxed);
-        let mut hibernated = Vec::new();
-        for s in &self.shared.shards {
-            let mut streams = s.streams.lock().expect("shard stream table poisoned");
-            let idle: Vec<StreamId> = streams
-                .iter_live()
-                .filter(|(_, slot)| now.saturating_sub(slot.last_seq) > max_idle)
-                .map(|(id, _)| id)
-                .collect();
-            for id in idle {
-                let slot = streams.hibernate(id).expect("listed as live");
-                let bytes = slot.guarded.to_snapshot_bytes();
-                let put = spill.lock().expect("spill store poisoned").put(id, &bytes);
-                if let Err(e) = put {
-                    streams.wake(id, slot.guarded);
-                    return Err(FleetError::Durability(format!("spill write: {e}")));
+        let shard = &self.shared.shards[self.shard_for(id)];
+        let mut table = shard.streams.lock().expect("shard stream table poisoned");
+        let (next_minute, bytes) = if let Some(slot) = table.get_live_mut(id) {
+            (slot.next_minute, slot.guarded.to_snapshot_bytes())
+        } else {
+            let tomb = table.tombstone(id).ok_or(FleetError::UnknownStream(id))?;
+            let next_minute = tomb.next_minute;
+            let spill =
+                self.shared.spill.as_ref().expect("hibernated stream implies a spill store");
+            let bytes = match spill.lock().expect("spill store poisoned").get(id) {
+                Ok(Some(b)) => b,
+                Ok(None) => {
+                    return Err(FleetError::Checkpoint(format!(
+                        "hibernated stream {id} has no spill blob"
+                    )))
                 }
-                self.shared.obs.hibernations.inc();
-                let kind = EventKind::StreamHibernated { bytes: bytes.len() as u64 };
+                Err(e) => {
+                    return Err(FleetError::Checkpoint(format!(
+                        "hibernated stream {id}: spill read failed: {e}"
+                    )))
+                }
+            };
+            (next_minute, bytes)
+        };
+        drop(table);
+        self.shared.obs.stream_exports.inc();
+        let kind = EventKind::StreamExported { bytes: bytes.len() as u64 };
+        self.shared.obs.events.push(Some(id), kind);
+        Ok((next_minute, bytes))
+    }
+
+    /// Restores one exported stream bit-identically (the migration receive
+    /// path): the inverse of [`export_stream`](Self::export_stream).
+    ///
+    /// With durability on, a registration record is WAL-logged so recovery
+    /// at least knows the stream exists — but the imported *model state* is
+    /// only durable once the next checkpoint covers it (a crash in between
+    /// recovers a fresh stream with default tuning). Cluster nodes take a
+    /// durable checkpoint right after a migration or failover wave to close
+    /// that window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::DuplicateStream`] if `id` is already
+    /// registered, [`FleetError::Checkpoint`] for undecodable snapshot
+    /// bytes, and [`FleetError::Durability`] if the WAL append fails (the
+    /// import is rolled back).
+    pub fn import_stream(&self, id: StreamId, next_minute: u64, bytes: &[u8]) -> Result<()> {
+        let _gate = self.gate_read();
+        if self.contains(id) {
+            return Err(FleetError::DuplicateStream(id));
+        }
+        let guarded = GuardedLarp::from_snapshot_bytes(bytes)
+            .map_err(|e| FleetError::Checkpoint(format!("stream {id}: snapshot decode: {e}")))?;
+        let tuning = RegisterTuning {
+            train_size: self.default_stream.train_size as u32,
+            qa_window: self.default_stream.qa_window as u32,
+            qa_period: self.default_stream.qa_period as u32,
+            qa_threshold: guarded.online().qa().threshold(),
+            f32_history: guarded.online().resilience().f32_history,
+        };
+        self.insert_restored(id, guarded, next_minute);
+        if let Some(d) = self.shared.durability.as_ref() {
+            if let Err(e) = d.store.append_register(id, &tuning) {
+                let shard = &self.shared.shards[self.shard_for(id)];
+                shard.streams.lock().expect("shard stream table poisoned").remove(id);
+                self.shared.obs.wal_failures.inc();
+                let kind = EventKind::WalAppendFailed { kind: 1 };
                 self.shared.obs.events.push(Some(id), kind);
-                hibernated.push(id);
+                return Err(e.into());
+            }
+            d.records_since_ckpt.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.obs.stream_imports.inc();
+        let kind = EventKind::StreamImported { bytes: bytes.len() as u64 };
+        self.shared.obs.events.push(Some(id), kind);
+        Ok(())
+    }
+
+    /// Snapshots every stream whose state advanced since the caller's last
+    /// export — the warm-standby feeder's delta source. `seen` is the
+    /// caller's cursor (stream → `next_minute` at its last export), updated
+    /// in place; entries for streams that no longer exist are pruned. The
+    /// first call with an empty cursor exports everything.
+    ///
+    /// Returns `(covered_seq, deltas)` where `covered_seq` is the highest
+    /// WAL sequence the snapshots cover (0 without durability): a standby
+    /// holding these snapshots needs only WAL records *after* it. Producers
+    /// are quiesced for the cut (durability gate + queue drain), so every
+    /// snapshot and `covered_seq` describe one consistent state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Checkpoint`] if a hibernated stream's spill
+    /// blob is missing or unreadable.
+    #[allow(clippy::type_complexity)]
+    pub fn export_dirty(
+        &self,
+        seen: &mut HashMap<StreamId, u64>,
+    ) -> Result<(u64, Vec<(StreamId, u64, Vec<u8>)>)> {
+        let _gate = self
+            .shared
+            .durability
+            .as_ref()
+            .map(|d| d.gate.write().expect("durability gate poisoned"));
+        self.shared.flush_shards();
+        let covered_seq = self
+            .shared
+            .durability
+            .as_ref()
+            .map(|d| d.store.next_seq().saturating_sub(1))
+            .unwrap_or(0);
+        let mut deltas = Vec::new();
+        let mut alive: HashSet<StreamId> = HashSet::new();
+        for s in &self.shared.shards {
+            let table = s.streams.lock().expect("shard stream table poisoned");
+            for (id, slot) in table.iter_live() {
+                alive.insert(id);
+                if seen.get(&id) != Some(&slot.next_minute) {
+                    deltas.push((id, slot.next_minute, slot.guarded.to_snapshot_bytes()));
+                }
+            }
+            for (id, tomb) in table.iter_tombs() {
+                alive.insert(id);
+                if seen.get(&id) == Some(&tomb.next_minute) {
+                    continue;
+                }
+                let spill =
+                    self.shared.spill.as_ref().expect("hibernated stream implies a spill store");
+                match spill.lock().expect("spill store poisoned").get(id) {
+                    Ok(Some(bytes)) => deltas.push((id, tomb.next_minute, bytes)),
+                    Ok(None) => {
+                        return Err(FleetError::Checkpoint(format!(
+                            "hibernated stream {id} has no spill blob"
+                        )))
+                    }
+                    Err(e) => {
+                        return Err(FleetError::Checkpoint(format!(
+                            "hibernated stream {id}: spill read failed: {e}"
+                        )))
+                    }
+                }
             }
         }
-        hibernated.sort_unstable();
-        Ok(hibernated)
+        deltas.sort_unstable_by_key(|(id, _, _)| *id);
+        seen.retain(|id, _| alive.contains(id));
+        for (id, next_minute, _) in &deltas {
+            seen.insert(*id, *next_minute);
+        }
+        Ok((covered_seq, deltas))
+    }
+
+    /// The directory holding this engine's WAL segments, when durability is
+    /// on — the path a warm-standby feeder tails with [`store::read_tail`]
+    /// and a failover heir scans after the owner dies.
+    pub fn wal_dir(&self) -> Option<std::path::PathBuf> {
+        self.shared.durability.as_ref().map(|d| d.config.dir.clone())
+    }
+
+    /// Highest WAL sequence assigned so far (0 fresh or without durability).
+    pub fn wal_last_seq(&self) -> u64 {
+        self.shared.durability.as_ref().map(|d| d.store.next_seq().saturating_sub(1)).unwrap_or(0)
     }
 
     /// A point-in-time view of one stream. Hibernated streams answer from
@@ -1189,12 +1427,10 @@ impl FleetEngine {
 
 impl Drop for FleetEngine {
     fn drop(&mut self) {
-        // Stop the background checkpointer first so no checkpoint races the
-        // worker shutdown.
-        if let Some(handle) = self.checkpointer.take() {
-            if let Some(d) = self.shared.durability.as_ref() {
-                d.ckpt_stop.store(true, Ordering::Relaxed);
-            }
+        // Stop the background maintenance thread first so no checkpoint or
+        // hibernation sweep races the worker shutdown.
+        if let Some(handle) = self.maintenance.take() {
+            self.shared.maint_stop.store(true, Ordering::Relaxed);
             handle.thread().unpark();
             let _ = handle.join();
         }

@@ -39,6 +39,14 @@
 //! | `fleet_hibernations_total` | counter | streams spilled to the blob store |
 //! | `fleet_wakes_total` | counter | hibernated streams restored on demand |
 //! | `fleet_wake_failures_total` | counter | spilled state unreadable; stream dropped |
+//!
+//! Cluster support (DESIGN.md §12):
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `fleet_auto_hibernate_cycles_total` | counter | automatic hibernation sweeps run |
+//! | `fleet_stream_exports_total` | counter | single streams exported (migration / standby) |
+//! | `fleet_stream_imports_total` | counter | single streams imported bit-identically |
 
 use larp::LarpObs;
 use obs::{Counter, EventRing, Histogram, Registry};
@@ -68,6 +76,9 @@ pub(crate) struct FleetObs {
     pub(crate) hibernations: Counter,
     pub(crate) wakes: Counter,
     pub(crate) wake_failures: Counter,
+    pub(crate) auto_hibernate_cycles: Counter,
+    pub(crate) stream_exports: Counter,
+    pub(crate) stream_imports: Counter,
 }
 
 impl FleetObs {
@@ -94,6 +105,9 @@ impl FleetObs {
             hibernations: registry.counter("fleet_hibernations_total"),
             wakes: registry.counter("fleet_wakes_total"),
             wake_failures: registry.counter("fleet_wake_failures_total"),
+            auto_hibernate_cycles: registry.counter("fleet_auto_hibernate_cycles_total"),
+            stream_exports: registry.counter("fleet_stream_exports_total"),
+            stream_imports: registry.counter("fleet_stream_imports_total"),
             registry,
             events,
         }

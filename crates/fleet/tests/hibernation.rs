@@ -338,6 +338,61 @@ fn mem_report_accounts_the_diet() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The automatic policy: `auto_hibernate_idle` drives `hibernate_idle`
+/// from the engine's background maintenance thread — no application calls.
+#[test]
+fn auto_hibernate_policy_spills_idle_streams_on_its_own() {
+    use std::time::{Duration, Instant};
+    let dir = temp_dir("auto");
+    let engine = FleetEngine::new(FleetConfig {
+        auto_hibernate_idle: Some(Duration::from_millis(200)),
+        ..spill_config(&dir)
+    })
+    .expect("engine");
+    for id in 0..STREAMS {
+        engine.register(id).expect("register");
+    }
+    drive(&engine, 0..40);
+
+    // Keep stream 0 hot; everything else idles past the policy window and
+    // must be spilled by the maintenance thread, not by any call here.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        engine.push(0, 42.0);
+        engine.flush();
+        if engine.health().hibernated >= STREAMS as usize - 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "auto-hibernate never fired: hibernated={}",
+            engine.health().hibernated
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(engine.contains(0), "the hot stream survives");
+    for id in 1..STREAMS {
+        assert!(engine.contains(id), "hibernated stream {id} stays registered");
+    }
+
+    // The policy is obs-visible: sweep cycles counted, the batch traced.
+    let prom = engine.prometheus();
+    assert!(prom.contains("fleet_auto_hibernate_cycles_total"));
+    assert!(!prom.contains("fleet_auto_hibernate_cycles_total 0\n"), "at least one cycle ran");
+    let events = engine.events().recent();
+    assert!(
+        events.iter().any(
+            |e| matches!(e.kind, obs::EventKind::AutoHibernate { hibernated } if hibernated > 0)
+        ),
+        "missing auto_hibernate event: {events:?}"
+    );
+
+    // The spilled streams still serve: the next sample wakes them.
+    drive(&engine, 40..50);
+    assert_eq!(engine.health().hibernated, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn hibernation_requires_a_spill_dir() {
     let engine = FleetEngine::new(FleetConfig::default()).expect("engine");

@@ -414,6 +414,7 @@ fn run_point(args: &Args, conns: usize, record: Option<&str>) -> PointResult {
                 qa_window: bench.qa_window,
                 qa_period: bench.qa_period,
                 qa_threshold: bench.qa_threshold,
+                f32_history: false,
             };
             wal.append_register(id, &tuning).expect("trace register append");
         }

@@ -14,7 +14,8 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::msg::{
-    HealthReply, PredictReply, PushOutcome, Request, Response, StreamInfoReply, StreamTuning,
+    HealthReply, PredictReply, PushOutcome, PushSeqOutcome, Request, Response, StreamInfoReply,
+    StreamTuning,
 };
 use crate::wire::{self, Frame, WireError, MAX_RESPONSE_PAYLOAD};
 use crate::NetError;
@@ -258,6 +259,65 @@ impl Client {
         self.expect(&Request::PushBatch { samples: samples.to_vec() }, |r| match r {
             Response::PushBatch(o) => Some(o),
             _ => None,
+        })
+    }
+
+    /// Pushes sequenced auto-clocked samples under this client's name
+    /// ([`ClientConfig::client_name`]). The server drops samples whose
+    /// `seq` it already applied, so the at-least-once retry of this client
+    /// becomes exactly-once ingestion; the outcome echoes each touched
+    /// stream's highest applied sequence.
+    pub fn push_seq(&mut self, samples: &[(u64, u64, f64)]) -> Result<PushSeqOutcome, NetError> {
+        let client = self.config.client_name.clone();
+        self.expect(&Request::PushSeq { client, samples: samples.to_vec() }, |r| match r {
+            Response::PushSeq(o) => Some(o),
+            _ => None,
+        })
+    }
+
+    /// Reads the node's current cluster ring: `(version, encoded ring)`.
+    pub fn ring_info(&mut self) -> Result<(u64, Vec<u8>), NetError> {
+        self.expect(&Request::RingInfo, |r| match r {
+            Response::Ring { version, blob } => Some((version, blob)),
+            _ => None,
+        })
+    }
+
+    /// Installs a new cluster ring on the node.
+    pub fn ring_update(&mut self, version: u64, blob: Vec<u8>) -> Result<(), NetError> {
+        self.expect(&Request::RingUpdate { version, blob }, |r| {
+            matches!(r, Response::RingUpdate).then_some(())
+        })
+    }
+
+    /// Fences `id` on the losing node (redirecting new pushes to `dest`)
+    /// and exports its state: `(next_minute, dedup floor, snapshot)`.
+    pub fn migrate_out(&mut self, id: u64, dest: &str) -> Result<(u64, u64, Vec<u8>), NetError> {
+        self.expect(&Request::MigrateOut { id, dest: dest.into() }, |r| match r {
+            Response::MigrateOut { next_minute, floor, snapshot } => {
+                Some((next_minute, floor, snapshot))
+            }
+            _ => None,
+        })
+    }
+
+    /// Imports a migrated stream on the gaining node.
+    pub fn migrate_in(
+        &mut self,
+        id: u64,
+        next_minute: u64,
+        floor: u64,
+        snapshot: Vec<u8>,
+    ) -> Result<(), NetError> {
+        self.expect(&Request::MigrateIn { id, next_minute, floor, snapshot }, |r| {
+            matches!(r, Response::MigrateIn).then_some(())
+        })
+    }
+
+    /// Delivers one warm-standby feed chunk to the node.
+    pub fn standby_feed(&mut self, payload: Vec<u8>) -> Result<(), NetError> {
+        self.expect(&Request::StandbyFeed { payload }, |r| {
+            matches!(r, Response::StandbyFeed).then_some(())
         })
     }
 

@@ -1,0 +1,218 @@
+//! Cluster-mode server plumbing: the hook trait a cluster node implements
+//! to give the server a ring, and the sequenced-push dedup table that makes
+//! client retries exactly-once (DESIGN.md §12).
+//!
+//! The netserve crate stays ring-agnostic: it never decodes a ring blob,
+//! never picks an owner, never speaks the standby codec. A clustered server
+//! ([`crate::Server::start_clustered`]) routes those decisions through a
+//! [`ClusterHooks`] implementation (the cluster crate's node state); a
+//! plain [`crate::Server::start`] has no hooks and serves every stream.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// What a cluster node lends the server: ring state for redirects, a ring
+/// installer, and a sink for the warm-standby feed.
+///
+/// All methods are called from the server's event-loop threads and must not
+/// block on the network.
+pub trait ClusterHooks: Send + Sync {
+    /// Version of the currently installed ring (0 = none yet).
+    fn ring_version(&self) -> u64;
+
+    /// The currently installed ring, encoded (empty = none yet).
+    fn ring_blob(&self) -> Vec<u8>;
+
+    /// Installs a ring; returns a human-readable refusal (stale version,
+    /// undecodable blob) that surfaces as an `InvalidConfig` wire error.
+    fn ring_update(&self, version: u64, blob: &[u8]) -> Result<(), String>;
+
+    /// `Some(owner_addr)` when this node does not own `stream` under the
+    /// installed ring — the caller answers [`crate::msg::ErrorCode::NotOwner`]
+    /// with that address. `None` means serve it here (including when no
+    /// ring is installed yet).
+    fn redirect(&self, stream: u64) -> Option<String>;
+
+    /// Applies one warm-standby feed chunk (opaque to netserve).
+    fn standby_feed(&self, payload: &[u8]) -> Result<(), String>;
+}
+
+/// Per-`(client, stream)` sequence tracking for [`crate::msg::Request::PushSeq`]:
+/// drops retried samples that were already applied, turning the client's
+/// at-least-once retry into exactly-once ingestion.
+///
+/// Two tables:
+///
+/// * `last` — highest applied sequence per `(client, stream)`, advanced
+///   only when the engine applied the whole admitted batch.
+/// * `floor` — per-stream lower bound armed by migration/failover. The
+///   gaining node knows how many samples the stream has absorbed
+///   (`next_minute`) but not which client pushed them; since sequences
+///   count samples (1, 2, 3, …) from one logical writer per stream, any
+///   `seq <= floor` is already in the restored state.
+///
+/// Dedup assumes one in-flight sequenced batch per client name (the
+/// blocking [`crate::Client`] guarantees this per connection).
+#[derive(Default)]
+pub struct PushDedup {
+    inner: Mutex<DedupInner>,
+}
+
+#[derive(Default)]
+struct DedupInner {
+    last: HashMap<(String, u64), u64>,
+    floor: HashMap<u64, u64>,
+}
+
+/// A screened batch: what to feed the engine, what was dropped, and the
+/// commit token that advances the dedup state once the engine applied it.
+pub struct Admission {
+    /// Samples to feed, in request order, duplicates removed.
+    pub admitted: Vec<(u64, f64)>,
+    /// Samples dropped as already applied.
+    pub deduped: u64,
+    /// `(client, stream) -> highest admitted seq`, applied on commit.
+    pending: Vec<((String, u64), u64)>,
+}
+
+impl PushDedup {
+    /// An empty dedup table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Screens a sequenced batch against the table. `seq` 0 is always
+    /// admitted (unsequenced); a sequenced sample is admitted only when its
+    /// seq exceeds both the client's `last` and the stream's `floor`, with
+    /// in-batch runs (seq k, k+1, …) tracked so only true retries drop.
+    pub fn screen(&self, client: &str, samples: &[(u64, u64, f64)]) -> Admission {
+        let inner = self.inner.lock().expect("dedup lock");
+        let mut admitted = Vec::with_capacity(samples.len());
+        let mut deduped = 0u64;
+        let mut high: HashMap<u64, u64> = HashMap::new();
+        for &(id, seq, value) in samples {
+            if seq == 0 {
+                admitted.push((id, value));
+                continue;
+            }
+            let applied =
+                high.get(&id).copied().unwrap_or_else(|| self.applied_locked(&inner, client, id));
+            if seq <= applied {
+                deduped += 1;
+            } else {
+                admitted.push((id, value));
+                high.insert(id, seq);
+            }
+        }
+        drop(inner);
+        let pending = high.into_iter().map(|(id, seq)| ((client.to_string(), id), seq)).collect();
+        Admission { admitted, deduped, pending }
+    }
+
+    /// Advances the dedup state for a screened batch the engine fully
+    /// applied. Skipping the commit (partial application) leaves the state
+    /// untouched, so the client's retry is re-screened from scratch.
+    pub fn commit(&self, admission: &Admission) {
+        let mut inner = self.inner.lock().expect("dedup lock");
+        for (key, seq) in &admission.pending {
+            let e = inner.last.entry(key.clone()).or_insert(0);
+            *e = (*e).max(*seq);
+        }
+    }
+
+    /// Arms `stream`'s floor after migration or failover: any sequenced
+    /// push with `seq <= floor` is already part of the restored state.
+    pub fn set_floor(&self, stream: u64, floor: u64) {
+        let mut inner = self.inner.lock().expect("dedup lock");
+        let e = inner.floor.entry(stream).or_insert(0);
+        *e = (*e).max(floor);
+    }
+
+    /// The stream's current floor (0 if never armed).
+    pub fn floor_of(&self, stream: u64) -> u64 {
+        self.inner.lock().expect("dedup lock").floor.get(&stream).copied().unwrap_or(0)
+    }
+
+    /// Highest applied sequence for `(client, stream)` — the echo a
+    /// reconnecting client resynchronizes from.
+    pub fn last_seq(&self, client: &str, stream: u64) -> u64 {
+        let inner = self.inner.lock().expect("dedup lock");
+        self.applied_locked(&inner, client, stream)
+    }
+
+    fn applied_locked(&self, inner: &DedupInner, client: &str, stream: u64) -> u64 {
+        let last = inner.last.get(&(client.to_string(), stream)).copied().unwrap_or(0);
+        last.max(inner.floor.get(&stream).copied().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triples(id: u64, seqs: std::ops::RangeInclusive<u64>) -> Vec<(u64, u64, f64)> {
+        seqs.map(|s| (id, s, s as f64)).collect()
+    }
+
+    #[test]
+    fn fresh_batch_admits_everything_and_retry_drops_it() {
+        let dedup = PushDedup::new();
+        let batch = triples(7, 1..=5);
+        let a = dedup.screen("c", &batch);
+        assert_eq!(a.admitted.len(), 5);
+        assert_eq!(a.deduped, 0);
+        dedup.commit(&a);
+        assert_eq!(dedup.last_seq("c", 7), 5);
+
+        let retry = dedup.screen("c", &batch);
+        assert!(retry.admitted.is_empty());
+        assert_eq!(retry.deduped, 5);
+
+        // A partial retry (overlap + fresh tail) admits only the tail.
+        let tail = triples(7, 4..=8);
+        let a = dedup.screen("c", &tail);
+        assert_eq!(a.admitted.len(), 3);
+        assert_eq!(a.deduped, 2);
+        dedup.commit(&a);
+        assert_eq!(dedup.last_seq("c", 7), 8);
+    }
+
+    #[test]
+    fn uncommitted_screens_do_not_advance() {
+        let dedup = PushDedup::new();
+        let batch = triples(1, 1..=3);
+        let a = dedup.screen("c", &batch);
+        assert_eq!(a.admitted.len(), 3);
+        drop(a); // engine rejected part of the batch: no commit
+        let again = dedup.screen("c", &batch);
+        assert_eq!(again.admitted.len(), 3, "state untouched without commit");
+    }
+
+    #[test]
+    fn floors_cover_unknown_clients_and_zero_seq_bypasses() {
+        let dedup = PushDedup::new();
+        dedup.set_floor(9, 40);
+        let a = dedup.screen("never-seen", &triples(9, 35..=42));
+        assert_eq!(a.deduped, 6, "seqs 35..=40 are under the floor");
+        assert_eq!(a.admitted.len(), 2);
+        assert_eq!(dedup.last_seq("never-seen", 9), 40);
+
+        // Floors only ratchet up.
+        dedup.set_floor(9, 10);
+        assert_eq!(dedup.floor_of(9), 40);
+
+        // seq 0 is the unsequenced escape hatch.
+        let a = dedup.screen("x", &[(9, 0, 1.0), (9, 0, 2.0)]);
+        assert_eq!(a.admitted.len(), 2);
+        assert_eq!(a.deduped, 0);
+    }
+
+    #[test]
+    fn clients_are_isolated() {
+        let dedup = PushDedup::new();
+        let a = dedup.screen("a", &triples(3, 1..=4));
+        dedup.commit(&a);
+        let b = dedup.screen("b", &triples(3, 1..=4));
+        assert_eq!(b.admitted.len(), 4, "another client's seqs are its own");
+    }
+}

@@ -11,11 +11,17 @@
 //!   an opcode, a client correlation id, an opcode-specific payload, and a
 //!   CRC-32 trailer; declared lengths are validated against a cap *before*
 //!   allocation, so malformed or hostile input costs bytes, not memory.
-//! * [`msg`] — the message vocabulary: eleven request opcodes
+//! * [`msg`] — the message vocabulary: seventeen request opcodes
 //!   (`Hello`/`Register`/`RegisterWith`/`Push`/`PushBatch`/`Predict`/
-//!   `StreamInfo`/`Health`/`Checkpoint`/`Evict`/`Shutdown`) and a typed
-//!   error-code table covering framing, addressing, configuration,
-//!   backpressure and lifecycle failures.
+//!   `StreamInfo`/`Health`/`Checkpoint`/`Evict`/`Shutdown`, plus the
+//!   cluster tier's `RingInfo`/`RingUpdate`/`MigrateOut`/`MigrateIn`/
+//!   `StandbyFeed`/`PushSeq`) and a typed error-code table covering
+//!   framing, addressing, configuration, backpressure, lifecycle and
+//!   ownership failures.
+//! * [`cluster`] — cluster-mode plumbing: the [`ClusterHooks`] trait a
+//!   cluster node lends a [`Server::start_clustered`] server (ring
+//!   redirects, ring install, standby-feed sink) and the [`PushDedup`]
+//!   table that makes sequenced-push retries exactly-once.
 //! * [`server`] — an event-driven TCP server on the [`reactor`] crate's
 //!   epoll loops: sharded accept across per-core event loops, an
 //!   edge-triggered per-connection state machine with streaming zero-copy
@@ -35,15 +41,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 mod http;
 pub mod msg;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientConfig, ServerInfo};
+pub use cluster::{Admission, ClusterHooks, PushDedup};
 pub use msg::{
-    ErrorCode, HealthReply, OpCode, PredictReply, PushOutcome, Request, Response, StreamInfoReply,
-    StreamTuning,
+    ErrorCode, HealthReply, OpCode, PredictReply, PushOutcome, PushSeqOutcome, Request, Response,
+    StreamInfoReply, StreamTuning,
 };
 pub use server::{Server, ServerConfig};
 pub use wire::{Frame, WireError, PROTOCOL_VERSION};

@@ -45,11 +45,25 @@ pub enum OpCode {
     Evict = 0x0A,
     /// Ask the server to shut down gracefully.
     Shutdown = 0x0B,
+    /// Read the server's current cluster ring (version + encoded ring).
+    RingInfo = 0x0C,
+    /// Install a new cluster ring (coordinator → node).
+    RingUpdate = 0x0D,
+    /// Begin migrating a stream away: fence it, flush, export its snapshot.
+    MigrateOut = 0x0E,
+    /// Accept a migrated stream: import the snapshot, arm the dedup floor.
+    MigrateIn = 0x0F,
+    /// Warm-standby replication feed (opaque payload; codec lives in the
+    /// cluster crate).
+    StandbyFeed = 0x10,
+    /// Push a batch of auto-clocked samples with per-stream sequence
+    /// numbers for at-least-once dedup.
+    PushSeq = 0x11,
 }
 
 impl OpCode {
     /// All opcodes, in wire order.
-    pub const ALL: [OpCode; 11] = [
+    pub const ALL: [OpCode; 17] = [
         OpCode::Hello,
         OpCode::Register,
         OpCode::RegisterWith,
@@ -61,6 +75,12 @@ impl OpCode {
         OpCode::Checkpoint,
         OpCode::Evict,
         OpCode::Shutdown,
+        OpCode::RingInfo,
+        OpCode::RingUpdate,
+        OpCode::MigrateOut,
+        OpCode::MigrateIn,
+        OpCode::StandbyFeed,
+        OpCode::PushSeq,
     ];
 
     /// Decodes an opcode byte.
@@ -82,6 +102,12 @@ impl OpCode {
             OpCode::Checkpoint => "checkpoint",
             OpCode::Evict => "evict",
             OpCode::Shutdown => "shutdown",
+            OpCode::RingInfo => "ring_info",
+            OpCode::RingUpdate => "ring_update",
+            OpCode::MigrateOut => "migrate_out",
+            OpCode::MigrateIn => "migrate_in",
+            OpCode::StandbyFeed => "standby_feed",
+            OpCode::PushSeq => "push_seq",
         }
     }
 }
@@ -124,6 +150,10 @@ pub enum ErrorCode {
     /// samples are served from memory but are not crash-safe), or a
     /// durable checkpoint / recovery operation failed.
     Durability = 14,
+    /// This node does not (or no longer does) own the addressed stream.
+    /// The detail string is exactly the owning node's protocol address —
+    /// reconnect there and retry.
+    NotOwner = 15,
 }
 
 impl ErrorCode {
@@ -145,6 +175,7 @@ impl ErrorCode {
             TooManyConnections,
             Internal,
             Durability,
+            NotOwner,
         ]
         .into_iter()
         .find(|c| *c as u16 == v)
@@ -167,6 +198,7 @@ impl ErrorCode {
             ErrorCode::TooManyConnections => "too_many_connections",
             ErrorCode::Internal => "internal",
             ErrorCode::Durability => "durability",
+            ErrorCode::NotOwner => "not_owner",
         }
     }
 }
@@ -252,6 +284,52 @@ pub enum Request {
     },
     /// Graceful server shutdown.
     Shutdown,
+    /// Read the node's current cluster ring.
+    RingInfo,
+    /// Install a new cluster ring (clears migration fences).
+    RingUpdate {
+        /// Monotonic ring version; stale versions are rejected.
+        version: u64,
+        /// Encoded ring (see the cluster crate's ring codec).
+        blob: Vec<u8>,
+    },
+    /// Fence `id` against new pushes (redirecting them to `dest`), flush,
+    /// and export its snapshot for migration.
+    MigrateOut {
+        /// Stream id.
+        id: u64,
+        /// Protocol address of the gaining node; fenced pushes are
+        /// redirected there via [`ErrorCode::NotOwner`].
+        dest: String,
+    },
+    /// Import a migrated stream's snapshot on the gaining node.
+    MigrateIn {
+        /// Stream id.
+        id: u64,
+        /// The stream's restored clock.
+        next_minute: u64,
+        /// Dedup floor: sequenced pushes with `seq <= floor` are already
+        /// applied and must be dropped.
+        floor: u64,
+        /// LARPSNAP snapshot bytes.
+        snapshot: Vec<u8>,
+    },
+    /// Warm-standby replication feed record (opaque to this crate).
+    StandbyFeed {
+        /// Encoded feed chunk (cluster-crate codec).
+        payload: Vec<u8>,
+    },
+    /// Push auto-clocked samples with per-stream sequence numbers. The
+    /// server dedups on `(client, stream)`: a retried sample whose `seq`
+    /// was already applied is dropped, making retries exactly-once.
+    /// `seq` 0 is always admitted (unsequenced).
+    PushSeq {
+        /// Client identity the dedup state is keyed by.
+        client: String,
+        /// `(stream id, seq, value)` triples, pushed in order. Sequences
+        /// are per-stream, start at 1, and increment by 1 per sample.
+        samples: Vec<(u64, u64, f64)>,
+    },
 }
 
 /// Latest-forecast view served by `Predict`.
@@ -301,6 +379,19 @@ impl From<fleet::PushReport> for PushOutcome {
     fn from(r: fleet::PushReport) -> Self {
         Self { accepted: r.accepted, rejected: r.rejected, dropped: r.dropped }
     }
+}
+
+/// Outcome of a sequenced push ([`Request::PushSeq`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PushSeqOutcome {
+    /// The engine's backpressure accounting for the admitted samples.
+    pub outcome: PushOutcome,
+    /// Samples dropped as already-applied duplicates.
+    pub deduped: u64,
+    /// Per stream touched by the batch: the highest applied sequence for
+    /// this client after the batch. A reconnecting client resynchronizes
+    /// its send cursor from this echo.
+    pub last_seqs: Vec<(u64, u64)>,
 }
 
 /// Fleet-wide rollup served by `Health`.
@@ -363,6 +454,31 @@ pub enum Response {
     Evict,
     /// Shutdown acknowledged; the server drains and stops after this.
     Shutdown,
+    /// The node's current cluster ring.
+    Ring {
+        /// Monotonic ring version.
+        version: u64,
+        /// Encoded ring (cluster-crate codec).
+        blob: Vec<u8>,
+    },
+    /// Ring installed.
+    RingUpdate,
+    /// The fenced stream's exported state, ready for `MigrateIn` on the
+    /// gaining node.
+    MigrateOut {
+        /// The stream's clock at export.
+        next_minute: u64,
+        /// Dedup floor to arm on the gaining node.
+        floor: u64,
+        /// LARPSNAP snapshot bytes.
+        snapshot: Vec<u8>,
+    },
+    /// Migrated stream imported.
+    MigrateIn,
+    /// Standby feed chunk applied.
+    StandbyFeed,
+    /// Sequenced-push outcome (dedup counts and per-stream seq echoes).
+    PushSeq(PushSeqOutcome),
     /// Typed failure.
     Error {
         /// What went wrong.
@@ -461,6 +577,13 @@ impl<'a> Cur<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what} is not UTF-8"))
     }
 
+    /// Everything not yet consumed (trailing-blob fields).
+    fn rest(&mut self) -> Vec<u8> {
+        let out = self.buf[self.pos..].to_vec();
+        self.pos = self.buf.len();
+        out
+    }
+
     fn opt_f64(&mut self, what: &str) -> Result<Option<f64>, Malformed> {
         match self.u8(what)? {
             0 => {
@@ -504,6 +627,12 @@ impl Request {
             Request::Checkpoint => OpCode::Checkpoint,
             Request::Evict { .. } => OpCode::Evict,
             Request::Shutdown => OpCode::Shutdown,
+            Request::RingInfo => OpCode::RingInfo,
+            Request::RingUpdate { .. } => OpCode::RingUpdate,
+            Request::MigrateOut { .. } => OpCode::MigrateOut,
+            Request::MigrateIn { .. } => OpCode::MigrateIn,
+            Request::StandbyFeed { .. } => OpCode::StandbyFeed,
+            Request::PushSeq { .. } => OpCode::PushSeq,
         }
     }
 
@@ -536,7 +665,31 @@ impl Request {
                     put_f64(&mut out, *value);
                 }
             }
-            Request::Health | Request::Checkpoint | Request::Shutdown => {}
+            Request::Health | Request::Checkpoint | Request::Shutdown | Request::RingInfo => {}
+            Request::RingUpdate { version, blob } => {
+                put_u64(&mut out, *version);
+                out.extend_from_slice(blob);
+            }
+            Request::MigrateOut { id, dest } => {
+                put_u64(&mut out, *id);
+                put_str(&mut out, dest);
+            }
+            Request::MigrateIn { id, next_minute, floor, snapshot } => {
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *next_minute);
+                put_u64(&mut out, *floor);
+                out.extend_from_slice(snapshot);
+            }
+            Request::StandbyFeed { payload } => out.extend_from_slice(payload),
+            Request::PushSeq { client, samples } => {
+                put_str(&mut out, client);
+                put_u32(&mut out, samples.len() as u32);
+                for (id, seq, value) in samples {
+                    put_u64(&mut out, *id);
+                    put_u64(&mut out, *seq);
+                    put_f64(&mut out, *value);
+                }
+            }
         }
         out
     }
@@ -599,6 +752,37 @@ impl Request {
             OpCode::Checkpoint => Request::Checkpoint,
             OpCode::Evict => Request::Evict { id: c.u64("stream id").map_err(malformed)? },
             OpCode::Shutdown => Request::Shutdown,
+            OpCode::RingInfo => Request::RingInfo,
+            OpCode::RingUpdate => {
+                let version = c.u64("ring version").map_err(malformed)?;
+                let blob = c.rest();
+                return Ok(Request::RingUpdate { version, blob });
+            }
+            OpCode::MigrateOut => Request::MigrateOut {
+                id: c.u64("stream id").map_err(malformed)?,
+                dest: c.string("dest addr").map_err(malformed)?,
+            },
+            OpCode::MigrateIn => {
+                let id = c.u64("stream id").map_err(malformed)?;
+                let next_minute = c.u64("next_minute").map_err(malformed)?;
+                let floor = c.u64("floor").map_err(malformed)?;
+                let snapshot = c.rest();
+                return Ok(Request::MigrateIn { id, next_minute, floor, snapshot });
+            }
+            OpCode::StandbyFeed => return Ok(Request::StandbyFeed { payload: payload.to_vec() }),
+            OpCode::PushSeq => {
+                let client = c.string("client name").map_err(malformed)?;
+                let count = c.u32("sample count").map_err(malformed)? as usize;
+                // 24 bytes per sample; bounds-check instead of pre-allocating.
+                let mut samples = Vec::with_capacity(count.min(payload.len() / 24 + 1));
+                for i in 0..count {
+                    let id = c.u64(&format!("sample {i} id")).map_err(malformed)?;
+                    let seq = c.u64(&format!("sample {i} seq")).map_err(malformed)?;
+                    let value = c.f64(&format!("sample {i} value")).map_err(malformed)?;
+                    samples.push((id, seq, value));
+                }
+                Request::PushSeq { client, samples }
+            }
         };
         c.done(op.name()).map_err(malformed)?;
         Ok(req)
@@ -620,6 +804,12 @@ impl Response {
             Response::Checkpoint(_) => REPLY_BIT | OpCode::Checkpoint as u8,
             Response::Evict => REPLY_BIT | OpCode::Evict as u8,
             Response::Shutdown => REPLY_BIT | OpCode::Shutdown as u8,
+            Response::Ring { .. } => REPLY_BIT | OpCode::RingInfo as u8,
+            Response::RingUpdate => REPLY_BIT | OpCode::RingUpdate as u8,
+            Response::MigrateOut { .. } => REPLY_BIT | OpCode::MigrateOut as u8,
+            Response::MigrateIn => REPLY_BIT | OpCode::MigrateIn as u8,
+            Response::StandbyFeed => REPLY_BIT | OpCode::StandbyFeed as u8,
+            Response::PushSeq(_) => REPLY_BIT | OpCode::PushSeq as u8,
             Response::Error { .. } => ERROR_OPCODE,
         }
     }
@@ -633,7 +823,13 @@ impl Response {
                 put_u16(&mut out, *shards);
                 put_u64(&mut out, *streams);
             }
-            Response::Register | Response::RegisterWith | Response::Evict | Response::Shutdown => {}
+            Response::Register
+            | Response::RegisterWith
+            | Response::Evict
+            | Response::Shutdown
+            | Response::RingUpdate
+            | Response::MigrateIn
+            | Response::StandbyFeed => {}
             Response::Push(o) | Response::PushBatch(o) => {
                 put_u64(&mut out, o.accepted);
                 put_u64(&mut out, o.rejected);
@@ -670,6 +866,26 @@ impl Response {
                 put_u64(&mut out, h.unknown_dropped);
             }
             Response::Checkpoint(bytes) => out.extend_from_slice(bytes),
+            Response::Ring { version, blob } => {
+                put_u64(&mut out, *version);
+                out.extend_from_slice(blob);
+            }
+            Response::MigrateOut { next_minute, floor, snapshot } => {
+                put_u64(&mut out, *next_minute);
+                put_u64(&mut out, *floor);
+                out.extend_from_slice(snapshot);
+            }
+            Response::PushSeq(o) => {
+                put_u64(&mut out, o.outcome.accepted);
+                put_u64(&mut out, o.outcome.rejected);
+                put_u64(&mut out, o.outcome.dropped);
+                put_u64(&mut out, o.deduped);
+                put_u32(&mut out, o.last_seqs.len() as u32);
+                for (id, seq) in &o.last_seqs {
+                    put_u64(&mut out, *id);
+                    put_u64(&mut out, *seq);
+                }
+            }
             Response::Error { code, detail } => {
                 put_u16(&mut out, *code as u16);
                 put_str(&mut out, detail);
@@ -752,6 +968,34 @@ impl Response {
             OpCode::Checkpoint => return Ok(Response::Checkpoint(payload.to_vec())),
             OpCode::Evict => Response::Evict,
             OpCode::Shutdown => Response::Shutdown,
+            OpCode::RingInfo => {
+                let version = c.u64("ring version")?;
+                return Ok(Response::Ring { version, blob: c.rest() });
+            }
+            OpCode::RingUpdate => Response::RingUpdate,
+            OpCode::MigrateOut => {
+                let next_minute = c.u64("next_minute")?;
+                let floor = c.u64("floor")?;
+                return Ok(Response::MigrateOut { next_minute, floor, snapshot: c.rest() });
+            }
+            OpCode::MigrateIn => Response::MigrateIn,
+            OpCode::StandbyFeed => Response::StandbyFeed,
+            OpCode::PushSeq => {
+                let outcome = PushOutcome {
+                    accepted: c.u64("accepted")?,
+                    rejected: c.u64("rejected")?,
+                    dropped: c.u64("dropped")?,
+                };
+                let deduped = c.u64("deduped")?;
+                let count = c.u32("echo count")? as usize;
+                let mut last_seqs = Vec::with_capacity(count.min(payload.len() / 16 + 1));
+                for i in 0..count {
+                    let id = c.u64(&format!("echo {i} id"))?;
+                    let seq = c.u64(&format!("echo {i} seq"))?;
+                    last_seqs.push((id, seq));
+                }
+                Response::PushSeq(PushSeqOutcome { outcome, deduped, last_seqs })
+            }
         };
         c.done(op.name())?;
         Ok(resp)
@@ -794,6 +1038,22 @@ mod tests {
         request_round_trip(Request::Checkpoint);
         request_round_trip(Request::Evict { id: 12 });
         request_round_trip(Request::Shutdown);
+        request_round_trip(Request::RingInfo);
+        request_round_trip(Request::RingUpdate { version: 3, blob: vec![9, 8, 7] });
+        request_round_trip(Request::RingUpdate { version: 0, blob: vec![] });
+        request_round_trip(Request::MigrateOut { id: 4, dest: "127.0.0.1:7001".into() });
+        request_round_trip(Request::MigrateIn {
+            id: 4,
+            next_minute: 120,
+            floor: 120,
+            snapshot: vec![0xAB; 64],
+        });
+        request_round_trip(Request::StandbyFeed { payload: vec![1, 2, 3, 4, 5] });
+        request_round_trip(Request::PushSeq { client: "node-a".into(), samples: vec![] });
+        request_round_trip(Request::PushSeq {
+            client: "bench".into(),
+            samples: (0..50).map(|i| (i as u64 % 7, i as u64 + 1, i as f64 * 0.25)).collect(),
+        });
     }
 
     #[test]
@@ -844,9 +1104,29 @@ mod tests {
         response_round_trip(Response::Checkpoint(vec![1, 2, 3, 4]));
         response_round_trip(Response::Evict);
         response_round_trip(Response::Shutdown);
+        response_round_trip(Response::Ring { version: 7, blob: vec![5; 33] });
+        response_round_trip(Response::Ring { version: 0, blob: vec![] });
+        response_round_trip(Response::RingUpdate);
+        response_round_trip(Response::MigrateOut {
+            next_minute: 99,
+            floor: 99,
+            snapshot: vec![0xCD; 48],
+        });
+        response_round_trip(Response::MigrateIn);
+        response_round_trip(Response::StandbyFeed);
+        response_round_trip(Response::PushSeq(PushSeqOutcome {
+            outcome: PushOutcome { accepted: 40, rejected: 0, dropped: 0 },
+            deduped: 8,
+            last_seqs: vec![(0, 12), (3, 99)],
+        }));
+        response_round_trip(Response::PushSeq(PushSeqOutcome::default()));
         response_round_trip(Response::Error {
             code: ErrorCode::UnknownStream,
             detail: "stream 9".into(),
+        });
+        response_round_trip(Response::Error {
+            code: ErrorCode::NotOwner,
+            detail: "127.0.0.1:7002".into(),
         });
     }
 
@@ -941,12 +1221,12 @@ mod tests {
             assert!(!op.name().is_empty());
         }
         assert_eq!(OpCode::from_u8(0x00), None);
-        assert_eq!(OpCode::from_u8(0x0C), None);
-        for code in 1..=14u16 {
+        assert_eq!(OpCode::from_u8(0x12), None);
+        for code in 1..=15u16 {
             let c = ErrorCode::from_u16(code).expect("contiguous error codes");
             assert_eq!(c as u16, code);
         }
         assert_eq!(ErrorCode::from_u16(0), None);
-        assert_eq!(ErrorCode::from_u16(15), None);
+        assert_eq!(ErrorCode::from_u16(16), None);
     }
 }

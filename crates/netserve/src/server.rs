@@ -20,9 +20,10 @@
 //! responses are flushed before its close, loops join, and the engine's
 //! `flush_durable` runs so every accepted sample is processed and fsynced.
 
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use fleet::{FleetEngine, FleetError, StreamConfig};
@@ -31,8 +32,10 @@ use reactor::{
     AcceptDecision, CloseReason, ConnCtx, Handler, Reactor, ReactorBuilder, ReactorConfig, Verdict,
 };
 
+use crate::cluster::{ClusterHooks, PushDedup};
 use crate::msg::{
-    ErrorCode, HealthReply, OpCode, PredictReply, Request, Response, StreamInfoReply,
+    ErrorCode, HealthReply, OpCode, PredictReply, PushSeqOutcome, Request, Response,
+    StreamInfoReply,
 };
 use crate::wire::{self, WireError, MAX_REQUEST_PAYLOAD, PROTOCOL_VERSION};
 use crate::{http, NetError};
@@ -140,6 +143,22 @@ pub(crate) struct Shared {
     open_conns: AtomicU64,
     addr: SocketAddr,
     pub(crate) http_addr: Option<SocketAddr>,
+    /// Cluster-mode hooks (`None` on a plain server: no redirects, no ring).
+    pub(crate) cluster: Option<Arc<dyn ClusterHooks>>,
+    /// Migration fences: streams mid-`MigrateOut`, mapped to the gaining
+    /// node's address. Stream-addressed requests hold `read()` across the
+    /// engine call so `MigrateOut`'s `write()` + flush drains everything
+    /// admitted before the fence; cleared on `RingUpdate`.
+    pub(crate) fences: RwLock<HashMap<u64, String>>,
+    /// Adopted streams: arrived via `MigrateIn` ahead of the ring update
+    /// that will confirm this node as owner. Served here even while the
+    /// installed ring still names the loser (otherwise a redirected
+    /// client would ping-pong between the loser's fence and this node's
+    /// stale ring); cleared on `RingUpdate`.
+    pub(crate) adopted: RwLock<HashSet<u64>>,
+    /// Sequenced-push dedup state (shared with the cluster node so
+    /// failover can arm floors).
+    pub(crate) dedup: Arc<PushDedup>,
 }
 
 impl Shared {
@@ -325,6 +344,33 @@ impl Server {
     ///
     /// Returns [`NetError::Io`] if a bind or the reactor start fails.
     pub fn start(engine: Arc<FleetEngine>, config: ServerConfig) -> Result<Server, NetError> {
+        Server::start_inner(engine, config, None, Arc::new(PushDedup::new()))
+    }
+
+    /// Starts a cluster-mode server: stream-addressed requests are checked
+    /// against `hooks`' ring (answering [`ErrorCode::NotOwner`] with the
+    /// owner's address), `RingInfo`/`RingUpdate`/`StandbyFeed` are served
+    /// through the hooks, and `dedup` — shared with the caller so failover
+    /// can arm floors — screens sequenced pushes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] if a bind or the reactor start fails.
+    pub fn start_clustered(
+        engine: Arc<FleetEngine>,
+        config: ServerConfig,
+        hooks: Arc<dyn ClusterHooks>,
+        dedup: Arc<PushDedup>,
+    ) -> Result<Server, NetError> {
+        Server::start_inner(engine, config, Some(hooks), dedup)
+    }
+
+    fn start_inner(
+        engine: Arc<FleetEngine>,
+        config: ServerConfig,
+        cluster: Option<Arc<dyn ClusterHooks>>,
+        dedup: Arc<PushDedup>,
+    ) -> Result<Server, NetError> {
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| NetError::Io(format!("bind {}: {e}", config.addr)))?;
         let addr = listener.local_addr().map_err(|e| NetError::Io(e.to_string()))?;
@@ -353,6 +399,10 @@ impl Server {
             open_conns: AtomicU64::new(0),
             addr,
             http_addr,
+            cluster,
+            fences: RwLock::new(HashMap::new()),
+            adopted: RwLock::new(HashSet::new()),
+            dedup,
         });
 
         let io_err = |e: std::io::Error| NetError::Io(format!("reactor: {e}"));
@@ -437,6 +487,25 @@ enum AfterReply {
     ShutdownServer,
 }
 
+/// `Some(owner_addr)` when this node must not serve `id`: a migration
+/// fence wins over the ring (the handoff runs ahead of the ring update).
+fn not_owner(shared: &Shared, fences: &HashMap<u64, String>, id: u64) -> Option<String> {
+    if let Some(dest) = fences.get(&id) {
+        return Some(dest.clone());
+    }
+    if shared.adopted.read().expect("adopted").contains(&id) {
+        return None;
+    }
+    shared.cluster.as_ref().and_then(|h| h.redirect(id))
+}
+
+fn not_clustered() -> Response {
+    Response::Error {
+        code: ErrorCode::InvalidConfig,
+        detail: "server is not running in cluster mode".into(),
+    }
+}
+
 /// Decodes and serves one request against the engine.
 fn dispatch(shared: &Shared, opcode: u8, payload: &[u8]) -> (Response, AfterReply) {
     if shared.shutdown.load(Ordering::SeqCst) {
@@ -479,81 +548,162 @@ fn dispatch(shared: &Shared, opcode: u8, payload: &[u8]) -> (Response, AfterRepl
             streams: engine.stream_count() as u64,
         },
         Request::Register { id } => {
-            match engine.register_with(id, &shared.config.stream_defaults) {
-                Ok(()) => Response::Register,
-                Err(e) => fleet_err(e),
+            let fences = shared.fences.read().expect("fences");
+            if let Some(owner) = not_owner(shared, &fences, id) {
+                Response::Error { code: ErrorCode::NotOwner, detail: owner }
+            } else {
+                match engine.register_with(id, &shared.config.stream_defaults) {
+                    Ok(()) => Response::Register,
+                    Err(e) => fleet_err(e),
+                }
             }
         }
         Request::RegisterWith { id, tuning } => {
-            let config = StreamConfig {
-                train_size: tuning.train_size as usize,
-                qa_window: tuning.qa_window as usize,
-                qa_period: tuning.qa_period as usize,
-                qa_threshold: tuning.qa_threshold,
-                ..shared.config.stream_defaults.clone()
-            };
-            match engine.register_with(id, &config) {
-                Ok(()) => Response::RegisterWith,
-                Err(e) => fleet_err(e),
+            let fences = shared.fences.read().expect("fences");
+            if let Some(owner) = not_owner(shared, &fences, id) {
+                Response::Error { code: ErrorCode::NotOwner, detail: owner }
+            } else {
+                let config = StreamConfig {
+                    train_size: tuning.train_size as usize,
+                    qa_window: tuning.qa_window as usize,
+                    qa_period: tuning.qa_period as usize,
+                    qa_threshold: tuning.qa_threshold,
+                    ..shared.config.stream_defaults.clone()
+                };
+                match engine.register_with(id, &config) {
+                    Ok(()) => Response::RegisterWith,
+                    Err(e) => fleet_err(e),
+                }
             }
         }
         Request::Push { id, minute, value } => {
-            let report = match minute {
-                Some(m) => engine.push_at(id, m, value),
-                None => engine.push(id, value),
-            };
-            if report.rejected > 0 {
-                Response::Error {
-                    code: ErrorCode::Backpressure,
-                    detail: format!("stream {id}: queue full, sample rejected"),
-                }
-            } else if report.wal_failed {
-                // The sample is being served from memory but its WAL append
-                // failed: the ack must say so, or the client would treat a
-                // non-durable write as crash-safe.
-                Response::Error {
-                    code: ErrorCode::Durability,
-                    detail: format!("stream {id}: accepted but WAL append failed (not durable)"),
-                }
+            // The fence guard is held across the engine call: a concurrent
+            // MigrateOut cannot cut its snapshot between our check and our
+            // enqueue.
+            let fences = shared.fences.read().expect("fences");
+            if let Some(owner) = not_owner(shared, &fences, id) {
+                Response::Error { code: ErrorCode::NotOwner, detail: owner }
             } else {
-                Response::Push(report.into())
+                let report = match minute {
+                    Some(m) => engine.push_at(id, m, value),
+                    None => engine.push(id, value),
+                };
+                if report.rejected > 0 {
+                    Response::Error {
+                        code: ErrorCode::Backpressure,
+                        detail: format!("stream {id}: queue full, sample rejected"),
+                    }
+                } else if report.wal_failed {
+                    // The sample is being served from memory but its WAL
+                    // append failed: the ack must say so, or the client would
+                    // treat a non-durable write as crash-safe.
+                    Response::Error {
+                        code: ErrorCode::Durability,
+                        detail: format!(
+                            "stream {id}: accepted but WAL append failed (not durable)"
+                        ),
+                    }
+                } else {
+                    Response::Push(report.into())
+                }
             }
         }
         Request::PushBatch { samples } => {
-            let report = engine.push_batch(&samples);
-            if report.wal_failed {
-                Response::Error {
-                    code: ErrorCode::Durability,
-                    detail: format!(
-                        "{} samples accepted but WAL append failed (not durable)",
-                        report.accepted
-                    ),
-                }
+            let fences = shared.fences.read().expect("fences");
+            let mut ids: Vec<u64> = samples.iter().map(|s| s.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            if let Some(owner) = ids.iter().find_map(|id| not_owner(shared, &fences, *id)) {
+                Response::Error { code: ErrorCode::NotOwner, detail: owner }
             } else {
-                Response::PushBatch(report.into())
+                let report = engine.push_batch(&samples);
+                if report.wal_failed {
+                    Response::Error {
+                        code: ErrorCode::Durability,
+                        detail: format!(
+                            "{} samples accepted but WAL append failed (not durable)",
+                            report.accepted
+                        ),
+                    }
+                } else {
+                    Response::PushBatch(report.into())
+                }
             }
         }
-        Request::Predict { id } => match engine.stream_info(id) {
-            Ok(info) => Response::Predict(PredictReply {
-                forecast: info.last_forecast,
-                health: info.health,
-                steps: info.steps,
-                forecasts: info.forecasts,
-            }),
-            Err(e) => fleet_err(e),
-        },
-        Request::StreamInfo { id } => match engine.stream_info(id) {
-            Ok(info) => Response::StreamInfo(StreamInfoReply {
-                shard: info.shard as u32,
-                steps: info.steps,
-                forecasts: info.forecasts,
-                next_minute: info.next_minute,
-                health: info.health,
-                last_forecast: info.last_forecast,
-                retrains: info.retrains as u64,
-            }),
-            Err(e) => fleet_err(e),
-        },
+        Request::PushSeq { client, samples } => {
+            let fences = shared.fences.read().expect("fences");
+            // Any fenced or unowned stream fails the whole batch: the
+            // cluster client groups batches by owner, so a hit means its
+            // ring is stale and the batch must be re-routed wholesale.
+            let mut ids: Vec<u64> = samples.iter().map(|s| s.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            if let Some(owner) = ids.iter().find_map(|id| not_owner(shared, &fences, *id)) {
+                Response::Error { code: ErrorCode::NotOwner, detail: owner }
+            } else {
+                let admission = shared.dedup.screen(&client, &samples);
+                let report = engine.push_batch(&admission.admitted);
+                // Advance the dedup cursor only when the engine applied the
+                // whole admitted batch; a partial application leaves it
+                // untouched so the retry is re-screened from scratch.
+                if report.rejected == 0 && report.dropped == 0 {
+                    shared.dedup.commit(&admission);
+                }
+                drop(fences);
+                if report.wal_failed {
+                    Response::Error {
+                        code: ErrorCode::Durability,
+                        detail: format!(
+                            "{} samples accepted but WAL append failed (not durable)",
+                            report.accepted
+                        ),
+                    }
+                } else {
+                    let last_seqs =
+                        ids.iter().map(|id| (*id, shared.dedup.last_seq(&client, *id))).collect();
+                    Response::PushSeq(PushSeqOutcome {
+                        outcome: report.into(),
+                        deduped: admission.deduped,
+                        last_seqs,
+                    })
+                }
+            }
+        }
+        Request::Predict { id } => {
+            let fences = shared.fences.read().expect("fences");
+            if let Some(owner) = not_owner(shared, &fences, id) {
+                Response::Error { code: ErrorCode::NotOwner, detail: owner }
+            } else {
+                match engine.stream_info(id) {
+                    Ok(info) => Response::Predict(PredictReply {
+                        forecast: info.last_forecast,
+                        health: info.health,
+                        steps: info.steps,
+                        forecasts: info.forecasts,
+                    }),
+                    Err(e) => fleet_err(e),
+                }
+            }
+        }
+        Request::StreamInfo { id } => {
+            let fences = shared.fences.read().expect("fences");
+            if let Some(owner) = not_owner(shared, &fences, id) {
+                Response::Error { code: ErrorCode::NotOwner, detail: owner }
+            } else {
+                match engine.stream_info(id) {
+                    Ok(info) => Response::StreamInfo(StreamInfoReply {
+                        shard: info.shard as u32,
+                        steps: info.steps,
+                        forecasts: info.forecasts,
+                        next_minute: info.next_minute,
+                        health: info.health,
+                        last_forecast: info.last_forecast,
+                        retrains: info.retrains as u64,
+                    }),
+                    Err(e) => fleet_err(e),
+                }
+            }
+        }
         Request::Health => {
             let h = engine.health();
             Response::Health(HealthReply {
@@ -574,11 +724,66 @@ fn dispatch(shared: &Shared, opcode: u8, payload: &[u8]) -> (Response, AfterRepl
             Ok(bytes) => Response::Checkpoint(bytes),
             Err(e) => fleet_err(e),
         },
+        // Evict is exempt from fence/ring checks: it is the migration
+        // coordinator's cleanup on the losing node.
         Request::Evict { id } => match engine.evict(id) {
             Ok(()) => Response::Evict,
             Err(e) => fleet_err(e),
         },
         Request::Shutdown => return (Response::Shutdown, AfterReply::ShutdownServer),
+        Request::RingInfo => match &shared.cluster {
+            Some(h) => Response::Ring { version: h.ring_version(), blob: h.ring_blob() },
+            None => not_clustered(),
+        },
+        Request::RingUpdate { version, blob } => match &shared.cluster {
+            Some(h) => match h.ring_update(version, &blob) {
+                Ok(()) => {
+                    // The new ring supersedes every handoff override,
+                    // redirects and adoptions alike.
+                    shared.fences.write().expect("fences").clear();
+                    shared.adopted.write().expect("adopted").clear();
+                    Response::RingUpdate
+                }
+                Err(m) => Response::Error { code: ErrorCode::InvalidConfig, detail: m },
+            },
+            None => not_clustered(),
+        },
+        Request::MigrateOut { id, dest } => {
+            // Fence before the flush: pushes that held read() have already
+            // enqueued and drain into the snapshot; everything later is
+            // redirected at `dest`.
+            shared.fences.write().expect("fences").insert(id, dest);
+            engine.flush();
+            match engine.export_stream(id) {
+                Ok((next_minute, snapshot)) => {
+                    let floor = next_minute.max(shared.dedup.floor_of(id));
+                    Response::MigrateOut { next_minute, floor, snapshot }
+                }
+                Err(e) => {
+                    shared.fences.write().expect("fences").remove(&id);
+                    fleet_err(e)
+                }
+            }
+        }
+        Request::MigrateIn { id, next_minute, floor, snapshot } => {
+            match engine.import_stream(id, next_minute, &snapshot) {
+                // A duplicate means a coordinator retry after a lost ack:
+                // the stream is already here, the request is idempotent.
+                Ok(()) | Err(fleet::FleetError::DuplicateStream(_)) => {
+                    shared.dedup.set_floor(id, floor);
+                    shared.adopted.write().expect("adopted").insert(id);
+                    Response::MigrateIn
+                }
+                Err(e) => fleet_err(e),
+            }
+        }
+        Request::StandbyFeed { payload } => match &shared.cluster {
+            Some(h) => match h.standby_feed(&payload) {
+                Ok(()) => Response::StandbyFeed,
+                Err(m) => Response::Error { code: ErrorCode::Internal, detail: m },
+            },
+            None => not_clustered(),
+        },
     };
     (response, AfterReply::Continue)
 }

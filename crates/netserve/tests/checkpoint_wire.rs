@@ -6,12 +6,16 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use fleet::{BackpressurePolicy, FleetConfig, FleetEngine};
+use fleet::{BackpressurePolicy, FleetConfig, FleetEngine, StreamConfig};
+use larp::ResilienceConfig;
 use netserve::{Client, ClientConfig, Server, ServerConfig};
 use vmsim::fleet_signal;
 
 const SEED: u64 = 2026;
 const STREAMS: u64 = 12;
+/// Streams running f32 history rings (LARPSNAP v2 f32 mode): the wire
+/// checkpoint must carry the mode, not silently widen back to f64.
+const F32_STREAMS: [u64; 2] = [3, 7];
 const WARMUP: u64 = 300;
 const CONTINUATION: u64 = 120;
 
@@ -54,7 +58,17 @@ fn wire_checkpoint_restores_bit_identical_predictions() {
     .expect("server A starts");
     let mut client_a = client_for(&server_a);
     for id in 0..STREAMS {
-        client_a.register(id).expect("register");
+        if F32_STREAMS.contains(&id) {
+            // Resilience knobs are server-side configuration, not wire
+            // tuning: f32 streams register through the engine handle.
+            let cfg = StreamConfig {
+                resilience: ResilienceConfig { f32_history: true, ..ResilienceConfig::default() },
+                ..StreamConfig::default()
+            };
+            engine_a.register_with(id, &cfg).expect("register f32 stream");
+        } else {
+            client_a.register(id).expect("register");
+        }
     }
     push_window(&mut client_a, 0, WARMUP);
 

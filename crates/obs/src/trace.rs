@@ -159,6 +159,41 @@ pub enum EventKind {
         /// Size of the restored snapshot in bytes.
         bytes: u64,
     },
+    /// The background maintenance thread ran an automatic hibernation cycle
+    /// that spilled at least one idle stream.
+    AutoHibernate {
+        /// Streams hibernated in this cycle.
+        hibernated: u64,
+    },
+    /// A stream's serving state was exported for migration to another node.
+    StreamExported {
+        /// Size of the exported snapshot in bytes.
+        bytes: u64,
+    },
+    /// A stream's serving state was imported from another node's export.
+    StreamImported {
+        /// Size of the imported snapshot in bytes.
+        bytes: u64,
+    },
+    /// A warm-standby feed batch was accepted from a cluster peer.
+    StandbyFeed {
+        /// Stream snapshots carried by the batch.
+        streams: u64,
+        /// WAL-tail records carried by the batch.
+        records: u64,
+    },
+    /// A node took over a dead peer's streams from its standby state.
+    FailoverTakeover {
+        /// Streams materialized from standby snapshots.
+        streams: u64,
+        /// WAL-tail samples replayed to close the gap.
+        replayed: u64,
+    },
+    /// The cluster ring was replaced with a newer version.
+    RingUpdated {
+        /// Version of the adopted ring.
+        version: u64,
+    },
 }
 
 impl EventKind {
@@ -184,6 +219,12 @@ impl EventKind {
             EventKind::WalAppendFailed { .. } => "wal_append_failed",
             EventKind::StreamHibernated { .. } => "stream_hibernated",
             EventKind::StreamWoken { .. } => "stream_woken",
+            EventKind::AutoHibernate { .. } => "auto_hibernate",
+            EventKind::StreamExported { .. } => "stream_exported",
+            EventKind::StreamImported { .. } => "stream_imported",
+            EventKind::StandbyFeed { .. } => "standby_feed",
+            EventKind::FailoverTakeover { .. } => "failover_takeover",
+            EventKind::RingUpdated { .. } => "ring_updated",
         }
     }
 }

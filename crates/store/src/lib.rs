@@ -43,7 +43,7 @@ pub use memtable::Memtable;
 pub use record::{RegisterTuning, Sample, WalRecord, MAX_RECORD_PAYLOAD};
 pub use store::{Recovered, StoreOptions, StoreStats, TraceStore};
 pub use tiers::{vmkusage_tiers, TierSpec, TieredArchive};
-pub use wal::{AppendInfo, FsyncPolicy, RecoveryReport, Wal, WalOptions};
+pub use wal::{read_tail, AppendInfo, FsyncPolicy, RecoveryReport, Wal, WalOptions};
 
 /// Errors from the durable store.
 #[derive(Debug)]

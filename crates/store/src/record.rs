@@ -17,7 +17,7 @@
 //! | kind | record | payload |
 //! |---|---|---|
 //! | 1 | `Samples` | `count u32`, then per sample: `stream u64`, `flag u8` (1 = explicit minute follows), `[minute u64]`, `value u64` (f64 bits) |
-//! | 2 | `Register` | `id u64`, `train_size u32`, `qa_window u32`, `qa_period u32`, `qa_threshold u64` (f64 bits) |
+//! | 2 | `Register` | `id u64`, `train_size u32`, `qa_window u32`, `qa_period u32`, `qa_threshold u64` (f64 bits), `f32_history u8` (optional; absent in pre-cluster logs = 0) |
 //! | 3 | `Evict` | `id u64` |
 //!
 //! Decoding never panics and never allocates more than the *declared and
@@ -63,6 +63,10 @@ pub struct RegisterTuning {
     pub qa_period: u32,
     /// QA rolling-MSE retrain threshold.
     pub qa_threshold: f64,
+    /// Whether the stream stores history in f32 mode (halved ring memory).
+    /// Encoded as a trailing flag byte; records written before the flag
+    /// existed decode as `false`, matching the engine default.
+    pub f32_history: bool,
 }
 
 /// One decoded WAL record.
@@ -146,13 +150,14 @@ pub fn encode_samples_into(out: &mut Vec<u8>, seq: u64, samples: &[Sample]) {
 /// Encodes one `Register` record into `out` (cleared first).
 pub fn encode_register_into(out: &mut Vec<u8>, seq: u64, id: u64, tuning: &RegisterTuning) {
     out.clear();
-    reserve_frame(out, 8 + 4 + 4 + 4 + 8);
+    reserve_frame(out, 8 + 4 + 4 + 4 + 8 + 1);
     begin_body(out, seq, KIND_REGISTER);
     out.extend_from_slice(&id.to_le_bytes());
     out.extend_from_slice(&tuning.train_size.to_le_bytes());
     out.extend_from_slice(&tuning.qa_window.to_le_bytes());
     out.extend_from_slice(&tuning.qa_period.to_le_bytes());
     out.extend_from_slice(&tuning.qa_threshold.to_bits().to_le_bytes());
+    out.push(tuning.f32_history as u8);
     finish_frame(out);
 }
 
@@ -262,15 +267,34 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Option<WalRecord> {
             }
             WalRecord::Samples(samples)
         }
-        KIND_REGISTER => WalRecord::Register {
-            id: take_u64(&mut pos)?,
-            tuning: RegisterTuning {
-                train_size: take_u32(&mut pos)?,
-                qa_window: take_u32(&mut pos)?,
-                qa_period: take_u32(&mut pos)?,
-                qa_threshold: f64::from_bits(take_u64(&mut pos)?),
-            },
-        },
+        KIND_REGISTER => {
+            let id = take_u64(&mut pos)?;
+            let train_size = take_u32(&mut pos)?;
+            let qa_window = take_u32(&mut pos)?;
+            let qa_period = take_u32(&mut pos)?;
+            let qa_threshold = f64::from_bits(take_u64(&mut pos)?);
+            // Trailing flag byte added for f32-history streams; a record
+            // written before the flag existed simply ends here.
+            let f32_history = if pos < payload.len() {
+                match take(&mut pos, 1)?[0] {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                }
+            } else {
+                false
+            };
+            WalRecord::Register {
+                id,
+                tuning: RegisterTuning {
+                    train_size,
+                    qa_window,
+                    qa_period,
+                    qa_threshold,
+                    f32_history,
+                },
+            }
+        }
         KIND_EVICT => WalRecord::Evict { id: take_u64(&mut pos)? },
         _ => return None,
     };
@@ -302,6 +326,17 @@ mod tests {
                     qa_window: 8,
                     qa_period: 4,
                     qa_threshold: 2.0,
+                    f32_history: false,
+                },
+            },
+            WalRecord::Register {
+                id: 4,
+                tuning: RegisterTuning {
+                    train_size: 64,
+                    qa_window: 16,
+                    qa_period: 8,
+                    qa_threshold: 1.5,
+                    f32_history: true,
                 },
             },
             WalRecord::Evict { id: 12 },
@@ -367,6 +402,42 @@ mod tests {
         let crc = crc32(&bytes[4..body_end]);
         bytes[body_end..].copy_from_slice(&crc.to_le_bytes());
         assert_eq!(decode(&bytes, MAX_RECORD_PAYLOAD).unwrap_err(), RecordError::BadPayload);
+    }
+
+    /// A `Register` record written before the `f32_history` flag byte
+    /// existed (28-byte payload) must still decode, with the flag defaulting
+    /// to `false` — upgraded nodes replay pre-cluster WALs unchanged.
+    #[test]
+    fn legacy_register_without_flag_byte_decodes_as_f64() {
+        let tuning = RegisterTuning {
+            train_size: 40,
+            qa_window: 8,
+            qa_period: 4,
+            qa_threshold: 2.0,
+            f32_history: false,
+        };
+        let mut bytes = encode(9, &WalRecord::Register { id: 11, tuning });
+        // Drop the trailing flag byte and re-frame: len -1, fresh CRC.
+        let crc_at = bytes.len() - 4;
+        bytes.remove(crc_at - 1);
+        let body_len = (bytes.len() - 8) as u32;
+        bytes[..4].copy_from_slice(&body_len.to_le_bytes());
+        let body_end = bytes.len() - 4;
+        let crc = crc32(&bytes[4..body_end]);
+        bytes[body_end..].copy_from_slice(&crc.to_le_bytes());
+
+        let (seq, rec, used) = decode(&bytes, MAX_RECORD_PAYLOAD).unwrap();
+        assert_eq!(seq, 9);
+        assert_eq!(used, bytes.len());
+        assert_eq!(rec, WalRecord::Register { id: 11, tuning });
+        // A flag byte with an out-of-range value is corruption, not a bool.
+        let mut bad = encode(9, &WalRecord::Register { id: 11, tuning });
+        let flag_at = bad.len() - 5;
+        bad[flag_at] = 2;
+        let body_end = bad.len() - 4;
+        let crc = crc32(&bad[4..body_end]);
+        bad[body_end..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode(&bad, MAX_RECORD_PAYLOAD).unwrap_err(), RecordError::BadPayload);
     }
 
     #[test]

@@ -453,7 +453,13 @@ mod tests {
     }
 
     fn tuning() -> RegisterTuning {
-        RegisterTuning { train_size: 40, qa_window: 8, qa_period: 4, qa_threshold: 2.0 }
+        RegisterTuning {
+            train_size: 40,
+            qa_window: 8,
+            qa_period: 4,
+            qa_threshold: 2.0,
+            f32_history: false,
+        }
     }
 
     #[test]

@@ -505,6 +505,83 @@ fn scan_segment<F: FnMut(u64, WalRecord)>(
     }
 }
 
+/// Read-only scan of a WAL directory: delivers every valid record with
+/// `seq > start_after` to `apply` in order, without opening the log for
+/// appending, rewriting the manifest, or truncating anything.
+///
+/// This is the streaming-read primitive the cluster tier's warm-standby
+/// feeder and failover path use: a live node tails its *own* directory to
+/// forward fresh records to its ring successor (appends use plain
+/// `write_all`, so an independent reader sees them through the page cache),
+/// and a failover heir reads a *dead* node's directory to close the gap
+/// between its last standby snapshot and the final acked record. A torn
+/// record at the end of the active segment — the normal artifact of reading
+/// mid-write or after `kill -9` — is tolerated and flagged, never an error.
+///
+/// Segments whose whole range is `<= start_after` are skipped without being
+/// read. Gap accounting therefore starts at the first scanned segment.
+///
+/// # Errors
+///
+/// Returns [`StoreError::InvalidConfig`] if `dir` is not a directory and
+/// [`StoreError::Io`] for real I/O failures; corruption degrades to counted
+/// gaps in the report exactly as recovery does.
+pub fn read_tail<F: FnMut(u64, WalRecord)>(
+    dir: &Path,
+    start_after: u64,
+    mut apply: F,
+) -> Result<RecoveryReport> {
+    if !dir.is_dir() {
+        return Err(StoreError::InvalidConfig(format!("{} is not a directory", dir.display())));
+    }
+    let max_payload = record::MAX_RECORD_PAYLOAD;
+    let mut report = RecoveryReport::default();
+    let listed = match read_manifest(dir) {
+        Some(list) => list,
+        None => {
+            report.manifest_rebuilt = true;
+            scan_segment_dir(dir)?
+        }
+    };
+    let mut expected = 0u64;
+    let last_listed = listed.last().copied();
+    for (i, first_seq) in listed.iter().enumerate() {
+        // Segment i covers [first_seq, next first_seq - 1]; skip it when a
+        // later segment proves the whole range is already covered.
+        if let Some(next_first) = listed.get(i + 1) {
+            if *next_first <= start_after + 1 {
+                continue;
+            }
+        }
+        let path = dir.join(segment_name(*first_seq));
+        let data = match fs::read(&path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                report.missing_segments += 1;
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if data.len() < SEG_HEADER_LEN as usize || &data[..8] != SEG_MAGIC {
+            report.corrupt_segments += 1;
+            report.stranded_bytes += data.len() as u64;
+            continue;
+        }
+        let is_last = Some(*first_seq) == last_listed;
+        scan_segment(
+            &data[SEG_HEADER_LEN as usize..],
+            max_payload,
+            is_last,
+            start_after,
+            &mut expected,
+            &mut report,
+            &mut apply,
+        );
+    }
+    report.last_seq = if expected > 0 { expected - 1 } else { 0 };
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,7 +605,13 @@ mod tests {
         let mut wal = Wal::create(&dir, WalOptions::default()).unwrap();
         wal.append_register(
             7,
-            &RegisterTuning { train_size: 40, qa_window: 8, qa_period: 4, qa_threshold: 2.0 },
+            &RegisterTuning {
+                train_size: 40,
+                qa_window: 8,
+                qa_period: 4,
+                qa_threshold: 2.0,
+                f32_history: false,
+            },
         )
         .unwrap();
         for i in 0..50u64 {
@@ -553,6 +636,53 @@ mod tests {
             assert_eq!(*seq, i as u64 + 1);
         }
         drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_tail_streams_a_live_log_without_touching_it() {
+        let dir = temp_dir("tail");
+        let options = WalOptions { segment_bytes: 256, ..WalOptions::default() };
+        let mut wal = Wal::create(&dir, options).unwrap();
+        for i in 0..40u64 {
+            wal.append_samples(&[sample(3, i, i as f64)]).unwrap();
+        }
+        // An independent reader sees every append past its cursor while the
+        // writer's handle stays open (page-cache visibility).
+        let mut seen = Vec::new();
+        let report = read_tail(&dir, 25, |seq, _| seen.push(seq)).unwrap();
+        assert_eq!(seen, (26..=40).collect::<Vec<u64>>());
+        assert_eq!(report.replayed, 15);
+        assert_eq!(report.last_seq, 40);
+        assert_eq!(report.gap_records, 0);
+        assert!(!report.torn_tail);
+        // The read was side-effect free: the writer keeps appending with
+        // unbroken sequencing.
+        for i in 40..45u64 {
+            wal.append_samples(&[sample(3, i, i as f64)]).unwrap();
+        }
+        drop(wal);
+
+        // A partial record at the active tail — what a reader racing a
+        // writer (or scanning after kill -9) sees — is tolerated and
+        // flagged, never an error.
+        let mut segs: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+            .collect();
+        segs.sort();
+        let active = segs.last().unwrap();
+        let mut data = fs::read(active).unwrap();
+        data.extend_from_slice(&[20, 0, 0, 0, 46, 0, 0]);
+        fs::write(active, data).unwrap();
+
+        let mut seqs = Vec::new();
+        let report = read_tail(&dir, 0, |seq, _| seqs.push(seq)).unwrap();
+        assert_eq!(report.replayed, 45);
+        assert_eq!(report.last_seq, 45);
+        assert!(report.torn_tail);
+        assert_eq!(seqs, (1..=45).collect::<Vec<u64>>());
         let _ = fs::remove_dir_all(&dir);
     }
 

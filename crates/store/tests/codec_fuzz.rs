@@ -21,6 +21,7 @@ fn random_record(rng: &mut Xoshiro256pp) -> WalRecord {
                 qa_window: rng.next_u64() as u32,
                 qa_period: rng.next_u64() as u32,
                 qa_threshold: random_value(rng),
+                f32_history: rng.next_u64().is_multiple_of(2),
             },
         },
         1 => WalRecord::Evict { id: rng.next_u64() },

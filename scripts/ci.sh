@@ -158,6 +158,28 @@ if [[ "$QUICK" -eq 0 ]]; then
     grep -qF "$field" <<<"$CRASH_JSON" || { echo "crash_recovery report missing $field"; exit 1; }
   done
 
+  echo "==> cluster kill-failover smoke (3 nodes, live drain + kill -9 + warm-standby takeover)"
+  # Spawns three cluster nodes as child processes, live-drains one over the
+  # wire (MigrateOut/MigrateIn/Evict), kill -9s another mid-traffic, fails
+  # its range over to the warm-standby heir, and asserts zero acked-sample
+  # loss plus bit-identical forecasts against an uninterrupted single-engine
+  # reference. The binary exits non-zero on any loss or divergence; the gap
+  # ceiling below additionally bounds the client-visible outage (reference
+  # host measures ~0.8s — kill detection + ring publish + one retry round).
+  CLUSTER_JSON="$(cargo run --release -q -p cluster --bin cluster_bench -- \
+      --out target/BENCH_cluster_ci.json)"
+  echo "$CLUSTER_JSON"
+  for field in '"nodes": 3' '"acked_lost": 0' '"bit_identical": true' \
+               '"samples_per_sec"' '"migration_streams_per_sec"' '"failover_gap_ms"'; do
+    grep -qF "$field" <<<"$CLUSTER_JSON" || { echo "cluster_bench report missing $field"; exit 1; }
+  done
+  GAP_MS="$(grep -o '"failover_gap_ms": [0-9]*' <<<"$CLUSTER_JSON" | grep -o '[0-9]*$')"
+  if [[ "$GAP_MS" -gt 10000 ]]; then
+    echo "failover outage regression: client-visible gap ${GAP_MS}ms > 10s ceiling"
+    exit 1
+  fi
+  echo "cluster_bench: failover gap ${GAP_MS}ms (ceiling 10000ms)"
+
   echo "==> durable-path throughput gate (interleaved durability A/B)"
   # The committed baseline (results/BENCH_wal.json) holds the honest number;
   # this floor is deliberately loose — it catches the durable path falling

@@ -24,6 +24,8 @@
 //!   backpressure, lifecycle, fleet-wide checkpointing, durable ingestion);
 //! * [`store`] — the durable trace store (crash-safe segmented WAL,
 //!   memtable, tiered vmkusage-style RRD archives);
+//! * [`cluster`] — the cluster tier (consistent-hash placement, live stream
+//!   migration, warm-standby failover);
 //! * [`simrng`] — deterministic RNG + distributions used everywhere.
 //!
 //! ## Quickstart
@@ -46,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub use cluster;
 pub use fleet;
 pub use larp;
 pub use learn;
