@@ -3,6 +3,12 @@
 //! (sanitize → normalize → classify → predict). The `_into` rows are what the
 //! fleet workers actually run; the allocating rows are the pre-optimization
 //! baseline kept for comparison.
+//!
+//! With `--json` the run additionally prints one JSON object mapping every
+//! `group/name` row to its median ns/iter — the machine-readable artifact the
+//! CI regression gate compares against `results/BENCH_hotpath.json`. Kernel
+//! dispatch follows `LARP_KERNELS` as everywhere else, so the same run works
+//! for both the AVX2 and forced-scalar profiles.
 
 use std::hint::black_box;
 
@@ -12,8 +18,27 @@ use learn::{KnnBackend, KnnClassifier, Pca};
 use linalg::Matrix;
 use simrng::{Rng64, Xoshiro256pp};
 
-fn bench_knn_query() {
-    let g = BenchGroup::new("hot_knn");
+/// A [`BenchGroup`] that also records every `group/name → median ns` row for
+/// the `--json` artifact.
+struct Rec<'a> {
+    group: &'static str,
+    g: BenchGroup,
+    rows: &'a mut Vec<(String, f64)>,
+}
+
+impl<'a> Rec<'a> {
+    fn new(group: &'static str, rows: &'a mut Vec<(String, f64)>) -> Self {
+        Self { group, g: BenchGroup::new(group), rows }
+    }
+
+    fn bench<T, F: FnMut() -> T>(&mut self, name: &str, f: F) {
+        let ns = self.g.bench(name, f);
+        self.rows.push((format!("{}/{name}", self.group), ns));
+    }
+}
+
+fn bench_knn_query(rows: &mut Vec<(String, f64)>) {
+    let mut g = Rec::new("hot_knn", rows);
     let mut rng = Xoshiro256pp::seed_from_u64(7);
     // 35 points ≈ the training set a 40-sample online retrain produces.
     for n in [35usize, 1024] {
@@ -30,8 +55,8 @@ fn bench_knn_query() {
     }
 }
 
-fn bench_pca_project() {
-    let g = BenchGroup::new("hot_pca");
+fn bench_pca_project(rows: &mut Vec<(String, f64)>) {
+    let mut g = Rec::new("hot_pca", rows);
     let mut rng = Xoshiro256pp::seed_from_u64(8);
     let data: Vec<f64> = (0..512 * 5).map(|_| rng.uniform(-2.0, 2.0)).collect();
     let pca = Pca::fit(&Matrix::from_vec(512, 5, data).unwrap(), 2).unwrap();
@@ -54,8 +79,8 @@ fn warm_online() -> OnlineLarp {
     online
 }
 
-fn bench_online_step() {
-    let g = BenchGroup::new("hot_online_step");
+fn bench_online_step(rows: &mut Vec<(String, f64)>) {
+    let mut g = Rec::new("hot_online_step", rows);
     let mut online = warm_online();
     let mut minute = 512u64;
     g.bench("push_internal_scratch", || {
@@ -90,11 +115,11 @@ fn bench_online_step() {
     });
 }
 
-fn bench_retrain() {
+fn bench_retrain(rows: &mut Vec<(String, f64)>) {
     // The online serving layer retrains on a train_size (40) tail; on busy
     // fleets this happens every few steps per stream, so its cost is as much
     // part of the hot path as the per-sample step.
-    let g = BenchGroup::new("hot_retrain");
+    let mut g = Rec::new("hot_retrain", rows);
     let tail: Vec<f64> = (0..40).map(signal).collect();
     let config = LarpConfig::default();
     g.bench("train_40_tail", || larp::TrainedLarp::train(black_box(&tail), &config).unwrap());
@@ -109,15 +134,18 @@ fn bench_retrain() {
         larp::labeler::label_windows(black_box(&pool), &normalized, 5).unwrap()
     });
     let labeled = larp::labeler::label_windows(&pool, &normalized, 5).unwrap();
-    let rows: Vec<Vec<f64>> = labeled.iter().map(|lw| lw.window.clone()).collect();
-    let matrix = Matrix::from_rows(&rows).unwrap();
+    let rows_: Vec<Vec<f64>> = labeled.iter().map(|lw| lw.window.clone()).collect();
+    let matrix = Matrix::from_rows(&rows_).unwrap();
     g.bench("pca_fit_35x5", || Pca::fit(black_box(&matrix), 2).unwrap());
+    g.bench("cov_35x5", || black_box(&matrix).covariance());
+    let cov = matrix.covariance();
+    g.bench("sym_eigen_5x5", || linalg::SymEigen::decompose(black_box(&cov)).unwrap());
 }
 
-fn bench_producer_signal() {
+fn bench_producer_signal(rows: &mut Vec<(String, f64)>) {
     // What the fleet_throughput producer pays per sample before the engine
     // ever sees it.
-    let g = BenchGroup::new("hot_producer");
+    let mut g = Rec::new("hot_producer", rows);
     let mut sig = vmsim::fleet_signal(2007, 17);
     let mut minute = 0u64;
     g.bench("fleet_signal_sample", || {
@@ -127,9 +155,23 @@ fn bench_producer_signal() {
 }
 
 fn main() {
-    bench_knn_query();
-    bench_pca_project();
-    bench_online_step();
-    bench_retrain();
-    bench_producer_signal();
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    bench_knn_query(&mut rows);
+    bench_pca_project(&mut rows);
+    bench_online_step(&mut rows);
+    bench_retrain(&mut rows);
+    bench_producer_signal(&mut rows);
+    if json {
+        println!("{{");
+        println!("  \"bench\": \"hotpath_micro\",");
+        println!("  \"unit\": \"ns_per_iter_median\",");
+        println!("  \"rows\": {{");
+        for (i, (name, ns)) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            println!("    \"{name}\": {ns:.1}{comma}");
+        }
+        println!("  }}");
+        println!("}}");
+    }
 }

@@ -27,7 +27,9 @@ impl BenchGroup {
     }
 
     /// Times `f`, printing the per-iteration median of [`SAMPLES`] batches.
-    pub fn bench<T, F: FnMut() -> T>(&self, name: &str, mut f: F) {
+    /// Returns that median (ns/iter) so callers can also emit it as a
+    /// machine-readable artifact (the hotpath regression gate does).
+    pub fn bench<T, F: FnMut() -> T>(&self, name: &str, mut f: F) -> f64 {
         // Calibrate: double the batch size until one batch is long enough to
         // dominate timer overhead.
         let mut iters: u64 = 1;
@@ -53,5 +55,6 @@ impl BenchGroup {
         per_iter.sort_by(f64::total_cmp);
         let median = per_iter[SAMPLES / 2];
         println!("{}/{name:<32} {median:>14.1} ns/iter  ({iters} iters/sample)", self.name);
+        median
     }
 }

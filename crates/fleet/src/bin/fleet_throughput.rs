@@ -13,13 +13,24 @@
 //! `--ab-durability` the pairs are durability-on (WAL behind every ack,
 //! default `OnRotate` fsync) versus durability-off engines, reporting the
 //! throughput retained by the durable path — the WAL's full serving-path tax.
+//! With `--ab-retrain` the pairs are pool-retraining (`--retrain-threads`,
+//! default 2) versus inline engines; because the pool is contractually a pure
+//! scheduling change, the mode also checkpoints both arms and reports (and
+//! asserts) `bit_identical` — any serving divergence fails the run.
+//!
+//! Push-latency percentiles cover the *steady-state* rounds only: the first
+//! `train_size` rounds per stream are warmup (ring fills, initial fits) whose
+//! one-off costs would smear the tail. Warmup and steady call counts are
+//! reported alongside so the exclusion is auditable.
 //!
 //! Run with:
 //! `cargo run --release -p fleet --bin fleet_throughput -- --streams 1000 --samples 60 --shards 4`
 
 use std::time::Instant;
 
-use fleet::{BackpressurePolicy, DurabilityConfig, FleetConfig, FleetEngine, StreamId};
+use fleet::{
+    BackpressurePolicy, DurabilityConfig, FleetConfig, FleetEngine, StreamConfig, StreamId,
+};
 use obs::percentile_sorted;
 use vmsim::fleet_signal;
 
@@ -37,6 +48,10 @@ struct Args {
     ab: bool,
     /// Interleaved A/B: alternate durability-on and durability-off engines.
     ab_durability: bool,
+    /// Interleaved A/B: alternate pool-retraining and inline engines.
+    ab_retrain: bool,
+    /// Off-worker retrain pool size (0 = retrain inline on shard workers).
+    retrain_threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +63,8 @@ fn parse_args() -> Args {
         duration: None,
         ab: false,
         ab_durability: false,
+        ab_retrain: false,
+        retrain_threads: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -63,6 +80,8 @@ fn parse_args() -> Args {
             "--seed" => args.seed = take("--seed"),
             "--ab" => args.ab = true,
             "--ab-durability" => args.ab_durability = true,
+            "--ab-retrain" => args.ab_retrain = true,
+            "--retrain-threads" => args.retrain_threads = take("--retrain-threads") as usize,
             "--duration" => {
                 let v = it.next().unwrap_or_else(|| panic!("--duration expects a value"));
                 let secs = v
@@ -74,7 +93,7 @@ fn parse_args() -> Args {
             }
             other => panic!(
                 "unknown flag {other}; supported: --streams --samples --shards --seed --duration \
-                 --ab --ab-durability"
+                 --ab --ab-durability --ab-retrain --retrain-threads"
             ),
         }
     }
@@ -93,6 +112,7 @@ fn run_arm_with(args: &Args, reuse_scratch: bool, durability: Option<DurabilityC
         fleet_seed: args.seed,
         reuse_scratch,
         durability,
+        retrain_threads: args.retrain_threads,
         ..FleetConfig::default()
     })
     .expect("valid fleet config");
@@ -212,6 +232,93 @@ fn run_ab_durability(args: &Args) {
     println!("}}");
 }
 
+/// One lossless run with the given retrain-pool size; returns samples/sec
+/// plus the end-of-run checkpoint bytes, serialized *outside* the timed
+/// region, so the A/B can prove the pool changed scheduling and nothing else.
+fn run_retrain_arm(args: &Args, retrain_threads: usize) -> (f64, Vec<u8>) {
+    let engine = FleetEngine::new(FleetConfig {
+        shards: args.shards,
+        backpressure: BackpressurePolicy::Block,
+        queue_capacity: 8192,
+        fleet_seed: args.seed,
+        retrain_threads,
+        ..FleetConfig::default()
+    })
+    .expect("valid fleet config");
+    let mut signals: Vec<_> = (0..args.streams)
+        .map(|id| {
+            engine.register(id).expect("fresh stream id");
+            fleet_signal(args.seed, id)
+        })
+        .collect();
+    let started = Instant::now();
+    let mut batch: Vec<(StreamId, f64)> = Vec::with_capacity(PUSH_CHUNK);
+    for minute in 0..args.samples {
+        for (id, signal) in signals.iter_mut().enumerate() {
+            batch.push((id as StreamId, signal.sample(minute)));
+            if batch.len() == PUSH_CHUNK {
+                engine.push_batch(&batch);
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            engine.push_batch(&batch);
+            batch.clear();
+        }
+    }
+    engine.flush();
+    let elapsed = started.elapsed().as_secs_f64();
+    let total = args.streams * args.samples;
+    let health = engine.health();
+    assert_eq!(health.pushes.accepted, total, "Block backpressure must be lossless");
+    assert_eq!(health.nonfinite_forecasts, 0, "non-finite forecast escaped the fleet");
+    let checkpoint = engine.checkpoint().expect("checkpoint after drain");
+    (total as f64 / elapsed, checkpoint)
+}
+
+/// Interleaved A/B: pool-retraining versus inline engines. Beyond the
+/// throughput comparison, every pair's checkpoints must be byte-equal — the
+/// pool's bit-identity contract (DESIGN.md §13), checked on real fleet
+/// workload at full scale, under whichever kernel dispatch `LARP_KERNELS`
+/// selected.
+fn run_ab_retrain(args: &Args) {
+    const PAIRS: usize = 3;
+    let threads = if args.retrain_threads > 0 { args.retrain_threads } else { 2 };
+    let mut pooled = Vec::with_capacity(PAIRS);
+    let mut inline = Vec::with_capacity(PAIRS);
+    let mut bit_identical = true;
+    for _ in 0..PAIRS {
+        let (pool_sps, pool_ckp) = run_retrain_arm(args, threads);
+        let (inline_sps, inline_ckp) = run_retrain_arm(args, 0);
+        pooled.push(pool_sps);
+        inline.push(inline_sps);
+        bit_identical &= pool_ckp == inline_ckp;
+    }
+    let median = |xs: &[f64]| {
+        let mut s = xs.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("throughputs are finite"));
+        s[s.len() / 2]
+    };
+    let (pooled_med, inline_med) = (median(&pooled), median(&inline));
+    let join = |xs: &[f64]| xs.iter().map(|v| format!("{v:.0}")).collect::<Vec<_>>().join(", ");
+    println!("{{");
+    println!("  \"mode\": \"ab_retrain\",");
+    println!("  \"streams\": {},", args.streams);
+    println!("  \"samples_per_stream\": {},", args.samples);
+    println!("  \"shards\": {},", args.shards);
+    println!("  \"seed\": {},", args.seed);
+    println!("  \"retrain_threads\": {threads},");
+    println!("  \"pairs\": {PAIRS},");
+    println!("  \"pooled_sps\": [{}],", join(&pooled));
+    println!("  \"inline_sps\": [{}],", join(&inline));
+    println!("  \"pooled_median_sps\": {pooled_med:.0},");
+    println!("  \"inline_median_sps\": {inline_med:.0},");
+    println!("  \"speedup\": {:.3},", pooled_med / inline_med);
+    println!("  \"bit_identical\": {bit_identical}");
+    println!("}}");
+    assert!(bit_identical, "retrain pool changed serving outcomes — checkpoint bytes diverged");
+}
+
 fn main() {
     let args = parse_args();
     if args.ab {
@@ -222,6 +329,10 @@ fn main() {
         run_ab_durability(&args);
         return;
     }
+    if args.ab_retrain {
+        run_ab_retrain(&args);
+        return;
+    }
     let engine = FleetEngine::new(FleetConfig {
         shards: args.shards,
         // Lossless under sustained overload: the producer stalls instead of
@@ -229,6 +340,7 @@ fn main() {
         backpressure: BackpressurePolicy::Block,
         queue_capacity: 8192,
         fleet_seed: args.seed,
+        retrain_threads: args.retrain_threads,
         ..FleetConfig::default()
     })
     .expect("valid fleet config");
@@ -242,9 +354,14 @@ fn main() {
 
     let started = Instant::now();
     let deadline = args.duration.map(|d| started + std::time::Duration::from_secs_f64(d));
+    // Rounds before every ring holds `train_size` samples are warmup: they
+    // carry the one-off initial fits, whose latency says nothing about the
+    // steady serving path. Percentiles below come from steady rounds only.
+    let warmup_rounds = StreamConfig::default().train_size as u64;
     let mut push_us: Vec<f64> = Vec::with_capacity(
         (args.streams * args.samples) as usize / PUSH_CHUNK + args.samples as usize,
     );
+    let mut warmup_us: Vec<f64> = Vec::new();
     let mut batch: Vec<(StreamId, f64)> = Vec::with_capacity(PUSH_CHUNK);
     let mut rounds = 0u64;
     for minute in 0..args.samples {
@@ -254,19 +371,20 @@ fn main() {
             break;
         }
         rounds += 1;
+        let sink = if minute < warmup_rounds { &mut warmup_us } else { &mut push_us };
         for (id, signal) in signals.iter_mut().enumerate() {
             batch.push((id as StreamId, signal.sample(minute)));
             if batch.len() == PUSH_CHUNK {
                 let t = Instant::now();
                 engine.push_batch(&batch);
-                push_us.push(t.elapsed().as_secs_f64() * 1e6);
+                sink.push(t.elapsed().as_secs_f64() * 1e6);
                 batch.clear();
             }
         }
         if !batch.is_empty() {
             let t = Instant::now();
             engine.push_batch(&batch);
-            push_us.push(t.elapsed().as_secs_f64() * 1e6);
+            sink.push(t.elapsed().as_secs_f64() * 1e6);
             batch.clear();
         }
     }
@@ -282,6 +400,13 @@ fn main() {
             all_finite = false;
         }
     }
+    // A run shorter than the warmup window has no steady rounds; fall back
+    // to the warmup measurements rather than reporting zeros.
+    let steady_calls = push_us.len();
+    let warmup_calls = warmup_us.len();
+    if push_us.is_empty() {
+        std::mem::swap(&mut push_us, &mut warmup_us);
+    }
     push_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
 
     println!("{{");
@@ -289,6 +414,7 @@ fn main() {
     println!("  \"samples_per_stream\": {rounds},");
     println!("  \"shards\": {},", args.shards);
     println!("  \"seed\": {},", args.seed);
+    println!("  \"retrain_threads\": {},", args.retrain_threads);
     println!("  \"elapsed_sec\": {:.3},", elapsed);
     println!("  \"samples_per_sec\": {:.0},", total_samples as f64 / elapsed);
     println!("  \"streams_per_sec\": {:.1},", args.streams as f64 / elapsed);
@@ -298,6 +424,9 @@ fn main() {
     // smallest as the old nearest-rank rounding reported.
     println!("  \"push_p50_us\": {:.1},", percentile_sorted(&push_us, 0.50).unwrap_or(0.0));
     println!("  \"push_p99_us\": {:.1},", percentile_sorted(&push_us, 0.99).unwrap_or(0.0));
+    println!("  \"push_warmup_rounds\": {},", rounds.min(warmup_rounds));
+    println!("  \"push_warmup_calls\": {warmup_calls},");
+    println!("  \"push_steady_calls\": {steady_calls},");
     println!("  \"accepted\": {},", health.pushes.accepted);
     println!("  \"rejected\": {},", health.pushes.rejected);
     println!("  \"dropped\": {},", health.pushes.dropped);

@@ -123,6 +123,17 @@ pub struct FleetConfig {
     /// the application. Requires `spill_dir`. `None` (the default) keeps
     /// hibernation manual.
     pub auto_hibernate_idle: Option<std::time::Duration>,
+    /// Worker threads in the off-worker retrain pool. `0` (the default)
+    /// retrains inline on the shard worker, the previous behavior. With a
+    /// pool, a shard worker arms a retrain request, keeps serving off the old
+    /// model, and installs the fitted model before the stream's next sample —
+    /// the forecast sequence is bit-identical either way (a test and
+    /// `fleet_throughput --ab-retrain` pin this); only tail latency of pushes
+    /// that land on a retrain step changes.
+    pub retrain_threads: usize,
+    /// Retrain fits slower than this (µs) bump `larp_slow_retrains_total`
+    /// and emit a `slow_retrain` trace event.
+    pub slow_retrain_us: u64,
 }
 
 impl Default for FleetConfig {
@@ -138,6 +149,8 @@ impl Default for FleetConfig {
             durability: None,
             spill_dir: None,
             auto_hibernate_idle: None,
+            retrain_threads: 0,
+            slow_retrain_us: larp::LarpObs::DEFAULT_SLOW_RETRAIN_US,
         }
     }
 }

@@ -16,6 +16,7 @@ use crate::config::{BackpressurePolicy, DurabilityConfig, FleetConfig, StreamCon
 use crate::durability::{self, CheckpointFile, DurabilityState, RecoverySummary};
 use crate::health::{merge_counters, FleetHealth, PushReport, ShardHealth};
 use crate::observe::FleetObs;
+use crate::retrain::RetrainPool;
 use crate::shard::{shard_of, Job, Removed, ShardState, StreamSlot, Tombstone};
 use crate::{FleetError, Result, StreamId};
 
@@ -39,15 +40,29 @@ struct EngineShared {
     /// Fleet-wide PCA basis interner: streams trained on identical windows
     /// share one basis allocation (DESIGN.md §11).
     interner: Arc<learn::PcaInterner>,
+    /// Off-worker retrain pool; `None` retrains inline on the shard workers
+    /// ([`FleetConfig::retrain_threads`] == 0).
+    retrain: Option<RetrainPool>,
 }
 
 impl EngineShared {
-    /// Blocks until every queued sample has been fully processed.
+    /// Blocks until every queued sample has been fully processed, then
+    /// settles every outstanding off-worker retrain. The post-drain fence is
+    /// what keeps snapshots independent of the retrain pool: by the time any
+    /// caller serializes serving state, no stream carries an armed request or
+    /// an in-flight fit, so checkpoint bytes are bit-identical with the pool
+    /// on or off.
     fn flush_shards(&self) {
         for s in &self.shards {
             let mut q = s.queue.lock().expect("shard queue poisoned");
             while !q.items.is_empty() || q.busy {
                 q = s.drained.wait(q).expect("shard queue poisoned");
+            }
+        }
+        if let Some(pool) = &self.retrain {
+            for s in &self.shards {
+                let mut streams = s.streams.lock().expect("shard stream table poisoned");
+                streams.for_each_live_mut(|_, slot| slot.settle_retrain(&pool.stale));
             }
         }
     }
@@ -111,6 +126,7 @@ fn wake_guarded(shared: &EngineShared, id: StreamId, _tomb: &Tombstone) -> Optio
         Ok(mut guarded) => {
             guarded.attach_obs(shared.obs.larp.for_stream(id));
             guarded.attach_interner(Arc::clone(&shared.interner));
+            guarded.online_mut().set_deferred_retrain(shared.retrain.is_some());
             spill.lock().expect("spill store poisoned").delete(id);
             shared.obs.wakes.inc();
             let kind = EventKind::StreamWoken { bytes: bytes.len() as u64 };
@@ -330,7 +346,9 @@ impl FleetEngine {
     ) -> Result<Self> {
         // Fail fast on a default stream config that can never build.
         default_stream.build()?;
-        let obs = FleetObs::new(config.event_capacity);
+        let obs = FleetObs::new(config.event_capacity, config.slow_retrain_us);
+        let retrain = (config.retrain_threads > 0)
+            .then(|| RetrainPool::start(config.retrain_threads, &obs.registry));
         // The spill file is a cache, never a durable artifact: open()
         // truncates it, so hibernated state cannot leak across engine
         // lifetimes or confuse recovery.
@@ -354,6 +372,7 @@ impl FleetEngine {
             durability,
             spill,
             interner: Arc::new(learn::PcaInterner::new()),
+            retrain,
         });
         let workers = (0..shared.config.shards)
             .map(|i| {
@@ -362,7 +381,12 @@ impl FleetEngine {
                     .name(format!("fleet-shard-{i}"))
                     .spawn(move || {
                         let wake = |id: StreamId, tomb: &Tombstone| wake_guarded(&s, id, tomb);
-                        s.shards[i].worker_loop(s.config.batch_drain, s.config.reuse_scratch, &wake)
+                        s.shards[i].worker_loop(
+                            s.config.batch_drain,
+                            s.config.reuse_scratch,
+                            &wake,
+                            s.retrain.as_ref(),
+                        )
                     })
                     .map_err(|e| FleetError::Serving(format!("cannot spawn shard worker: {e}")))
             })
@@ -637,6 +661,7 @@ impl FleetEngine {
         let mut guarded = config.build()?;
         guarded.attach_obs(self.shared.obs.larp.for_stream(id));
         guarded.attach_interner(Arc::clone(&self.shared.interner));
+        guarded.online_mut().set_deferred_retrain(self.shared.retrain.is_some());
         let shard = &self.shared.shards[self.shard_for(id)];
         let mut streams = shard.streams.lock().expect("shard stream table poisoned");
         if !streams.insert(id, StreamSlot::new(guarded, 0)) {
@@ -650,6 +675,7 @@ impl FleetEngine {
     fn insert_restored(&self, id: StreamId, mut guarded: GuardedLarp, next_minute: u64) {
         guarded.attach_obs(self.shared.obs.larp.for_stream(id));
         guarded.attach_interner(Arc::clone(&self.shared.interner));
+        guarded.online_mut().set_deferred_retrain(self.shared.retrain.is_some());
         let shard = &self.shared.shards[self.shard_for(id)];
         let mut streams = shard.streams.lock().expect("shard stream table poisoned");
         streams.insert(id, StreamSlot::new(guarded, next_minute));
@@ -1443,6 +1469,14 @@ impl Drop for FleetEngine {
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // Stop the retrain pool after the shard workers are gone: a worker
+        // blocked in a cell's resolve is waiting on a fit a pool thread has
+        // already taken, and workers finish taken fits before exiting. (The
+        // steal path makes even the reverse order safe, but this keeps the
+        // dependency one-directional.)
+        if let Some(pool) = &self.shared.retrain {
+            pool.shutdown();
         }
     }
 }

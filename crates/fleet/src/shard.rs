@@ -20,12 +20,13 @@
 //! resident.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use larp::{GuardedLarp, HealthState, OnlineStep, Scratch};
 use obs::{Counter, Gauge, Registry};
 use simrng::{Rng64, SplitMix64};
 
+use crate::retrain::{RetrainCell, RetrainPool};
 use crate::StreamId;
 
 /// Assigns a stream to a shard: a pure hash of `(fleet_seed, stream_id)`.
@@ -85,6 +86,9 @@ pub(crate) struct StreamSlot {
     pub(crate) last_health: HealthState,
     /// Most recent forecast.
     pub(crate) last_forecast: Option<f64>,
+    /// A retrain handed to the off-worker pool and not yet installed.
+    /// Runtime-only: every snapshot/hibernate/migrate path settles it first.
+    pub(crate) pending_retrain: Option<Arc<RetrainCell>>,
 }
 
 impl StreamSlot {
@@ -98,6 +102,7 @@ impl StreamSlot {
             nonfinite: 0,
             last_health: HealthState::Healthy,
             last_forecast: None,
+            pending_retrain: None,
         }
     }
 
@@ -113,6 +118,32 @@ impl StreamSlot {
             nonfinite: tomb.nonfinite,
             last_health: tomb.last_health,
             last_forecast: tomb.last_forecast,
+            pending_retrain: None,
+        }
+    }
+
+    /// Resolves every outstanding retrain of this stream: first the cell the
+    /// pool holds (install, discarding if stale), then any armed-but-untaken
+    /// request (direct feed paths like WAL replay never meet a worker's
+    /// launch hook, so the fence fits them inline). After this the slot's
+    /// serving state carries no retrain debt and is safe to snapshot.
+    pub(crate) fn settle_retrain(&mut self, stale: &Counter) {
+        if let Some(cell) = self.pending_retrain.take() {
+            let outcome = cell.resolve();
+            if !self.guarded.online_mut().install_retrain(outcome) {
+                stale.inc();
+            }
+        }
+        self.guarded.online_mut().settle_retrain_now();
+    }
+
+    /// Hands an armed retrain request (if any) to the pool, holding the cell
+    /// until [`settle_retrain`](Self::settle_retrain) installs it before
+    /// this stream's next sample.
+    pub(crate) fn launch_retrain(&mut self, pool: &RetrainPool) {
+        if let Some(request) = self.guarded.online_mut().take_retrain_request() {
+            let config = self.guarded.online().config().clone();
+            self.pending_retrain = Some(pool.submit(request, config));
         }
     }
 
@@ -361,6 +392,19 @@ impl StreamTable {
         })
     }
 
+    /// Visits every live stream mutably (arbitrary order) — the
+    /// retrain-settling fences run this under the shard's streams lock.
+    pub(crate) fn for_each_live_mut(&mut self, mut f: impl FnMut(StreamId, &mut StreamSlot)) {
+        let Self { index, live, .. } = self;
+        for (id, r) in index.iter() {
+            if let SlotRef::Live(i) = r {
+                if let Some(slot) = live[*i as usize].as_mut() {
+                    f(*id, slot);
+                }
+            }
+        }
+    }
+
     /// Iterates tombstones of hibernated streams (arbitrary order).
     pub(crate) fn iter_tombs(&self) -> impl Iterator<Item = (StreamId, &Tombstone)> + '_ {
         self.index.iter().filter_map(|(id, r)| match r {
@@ -422,11 +466,15 @@ impl ShardState {
     /// spill store (deserialize + re-attach observability); `None` means the
     /// spilled state is unreadable and the stream is dropped (counted as an
     /// unknown-stream sample).
+    /// With a `retrain` pool, each job first settles the stream's outstanding
+    /// retrain (install before the next sample — the deferred contract),
+    /// feeds, then launches any newly armed request onto the pool.
     pub(crate) fn worker_loop(
         &self,
         batch_drain: usize,
         reuse_scratch: bool,
         wake: &dyn Fn(StreamId, &Tombstone) -> Option<GuardedLarp>,
+        retrain: Option<&RetrainPool>,
     ) {
         let mut batch: Vec<Job> = Vec::with_capacity(batch_drain);
         let mut scratch = Scratch::new();
@@ -471,10 +519,19 @@ impl ShardState {
                         }
                     }
                     match streams.get_live_mut(job.stream) {
-                        Some(slot) if reuse_scratch => {
-                            slot.feed_with(job, &mut scratch, &mut steps);
+                        Some(slot) => {
+                            if let Some(pool) = retrain {
+                                slot.settle_retrain(&pool.stale);
+                            }
+                            if reuse_scratch {
+                                slot.feed_with(job, &mut scratch, &mut steps);
+                            } else {
+                                slot.feed(job);
+                            }
+                            if let Some(pool) = retrain {
+                                slot.launch_retrain(pool);
+                            }
                         }
-                        Some(slot) => slot.feed(job),
                         None => {
                             self.unknown_dropped.inc();
                         }

@@ -1,0 +1,172 @@
+//! Off-worker retrain pool correctness (DESIGN.md §13).
+//!
+//! The retrain pool is a pure scheduling change: it moves the training fit
+//! off the shard worker but pins the install point (before the stream's next
+//! sample), so every serving outcome — forecasts, health, retrain counts,
+//! checkpoint bytes — must be bit-identical with the pool on or off. These
+//! tests drive a retrain-heavy workload through both arms and compare
+//! exactly, including across a checkpoint cut taken while pool fits are in
+//! flight.
+
+use fleet::{BackpressurePolicy, FleetConfig, FleetEngine, StreamConfig, StreamInfo};
+
+const STREAMS: u64 = 8;
+
+fn config(retrain_threads: usize) -> FleetConfig {
+    FleetConfig {
+        shards: 2,
+        backpressure: BackpressurePolicy::Block,
+        retrain_threads,
+        ..FleetConfig::default()
+    }
+}
+
+/// A twitchy QA so the regime change below forces repeated retrains.
+fn stream_config() -> StreamConfig {
+    StreamConfig { qa_threshold: 0.5, qa_window: 4, qa_period: 2, ..StreamConfig::default() }
+}
+
+/// Minute `m` of stream `id`: a gentle sinusoid that turns violent at minute
+/// 80, so trained models go stale and the QA orders refits.
+fn sample(id: u64, m: u64) -> f64 {
+    if m < 80 {
+        ((m * 3 + id) as f64 * 0.21).sin() * 0.1
+    } else {
+        let swing = if (m + id).is_multiple_of(2) { 40.0 } else { -40.0 };
+        swing + (id as f64) * 0.3
+    }
+}
+
+fn feed(engine: &FleetEngine, minutes: std::ops::Range<u64>) {
+    for m in minutes {
+        let batch: Vec<(u64, f64)> = (0..STREAMS).map(|id| (id, sample(id, m))).collect();
+        engine.push_batch(&batch);
+    }
+    engine.flush();
+}
+
+fn infos(engine: &FleetEngine) -> Vec<StreamInfo> {
+    (0..STREAMS).map(|id| engine.stream_info(id).unwrap()).collect()
+}
+
+#[test]
+fn pool_is_bit_identical_to_inline_retraining() {
+    let run = |retrain_threads: usize| {
+        let engine =
+            FleetEngine::with_stream_defaults(config(retrain_threads), stream_config()).unwrap();
+        for id in 0..STREAMS {
+            engine.register(id).unwrap();
+        }
+        feed(&engine, 0..160);
+        let snapshot = engine.checkpoint().unwrap();
+        (infos(&engine), snapshot)
+    };
+    let (inline_infos, inline_ckp) = run(0);
+    let (pooled_infos, pooled_ckp) = run(2);
+    let retrains: usize = inline_infos.iter().map(|i| i.retrains).sum();
+    assert!(
+        retrains > STREAMS as usize,
+        "workload must force re-training beyond the initial fit (got {retrains})"
+    );
+    assert_eq!(inline_infos, pooled_infos, "serving outcomes must not depend on the pool");
+    assert_eq!(inline_ckp, pooled_ckp, "checkpoint bytes must not depend on the pool");
+}
+
+#[test]
+fn checkpoint_fence_settles_inflight_retrains() {
+    // Cut a checkpoint right at the regime change — the point of maximum
+    // retrain traffic — restore it into an engine *without* a pool, and run
+    // both engines forward. If the fence failed to settle an in-flight fit,
+    // the restored arm would train on a different window and diverge.
+    let pooled = FleetEngine::with_stream_defaults(config(2), stream_config()).unwrap();
+    for id in 0..STREAMS {
+        pooled.register(id).unwrap();
+    }
+    feed(&pooled, 0..90);
+    let cut = pooled.checkpoint().unwrap();
+    let restored = FleetEngine::restore(config(0), &cut).unwrap();
+    feed(&pooled, 90..160);
+    feed(&restored, 90..160);
+    // Slot tallies (steps/forecasts) are engine-local and reset on restore;
+    // the serving state itself must match bit-for-bit, so compare the
+    // checkpoint payloads (serving snapshots) plus the serving-visible info.
+    assert_eq!(
+        pooled.checkpoint().unwrap(),
+        restored.checkpoint().unwrap(),
+        "restored arm's serving state diverged after the cut"
+    );
+    for (a, b) in infos(&pooled).into_iter().zip(infos(&restored)) {
+        assert_eq!(a.last_forecast, b.last_forecast, "stream {}", a.id);
+        assert_eq!(a.retrains, b.retrains, "stream {}", a.id);
+        assert_eq!(a.health, b.health, "stream {}", a.id);
+    }
+}
+
+#[test]
+fn slow_retrain_threshold_counts_and_traces() {
+    // With the threshold at zero every successful fit is "slow": the counter
+    // must track retrains and the event ring must carry slow_retrain entries
+    // with both the fit time and the threshold that flagged it.
+    let cfg = FleetConfig { slow_retrain_us: 0, ..config(2) };
+    let engine = FleetEngine::with_stream_defaults(cfg, stream_config()).unwrap();
+    for id in 0..STREAMS {
+        engine.register(id).unwrap();
+    }
+    feed(&engine, 0..160);
+    let retrains: usize = infos(&engine).iter().map(|i| i.retrains).sum();
+    let slow = engine.registry().counter("larp_slow_retrains_total").get();
+    assert!(retrains > 0, "workload must retrain");
+    assert_eq!(slow as usize, retrains, "threshold 0 must flag every successful fit");
+    let json = engine.obs_json();
+    assert!(json.contains("slow_retrain"), "event ring missing slow_retrain entries");
+    assert!(json.contains("threshold_us"), "slow_retrain payload missing threshold");
+}
+
+#[test]
+fn pool_counters_account_for_every_job() {
+    let engine = FleetEngine::with_stream_defaults(config(2), stream_config()).unwrap();
+    for id in 0..STREAMS {
+        engine.register(id).unwrap();
+    }
+    feed(&engine, 0..160);
+    let jobs = engine.registry().counter("fleet_retrain_jobs_total").get();
+    let stale = engine.registry().counter("fleet_retrain_stale_total").get();
+    let retrains: usize = infos(&engine).iter().map(|i| i.retrains).sum();
+    // Every re-train beyond each stream's initial inline fit rode the pool,
+    // and a settled queue leaves no unaccounted jobs.
+    assert!(jobs as usize >= retrains - STREAMS as usize, "pool saw too few jobs");
+    assert!(stale <= jobs, "more discards than jobs");
+    assert_eq!(engine.registry().gauge("fleet_retrain_queue_depth").get(), 0.0);
+}
+
+#[test]
+fn export_import_round_trip_with_pool_active() {
+    // Stream migration (export → import) is another snapshot path that must
+    // fence: exporting mid-retrain has to settle the fit first, and the
+    // imported stream must continue identically on an inline-mode engine.
+    let pooled = FleetEngine::with_stream_defaults(config(2), stream_config()).unwrap();
+    let inline = FleetEngine::with_stream_defaults(config(0), stream_config()).unwrap();
+    pooled.register(0).unwrap();
+    for m in 0..90 {
+        pooled.push(0, sample(0, m));
+    }
+    pooled.flush();
+    let (next_minute, bytes) = pooled.export_stream(0).unwrap();
+    inline.import_stream(0, next_minute, &bytes).unwrap();
+    for m in 90..150 {
+        pooled.push(0, sample(0, m));
+        inline.push(0, sample(0, m));
+    }
+    pooled.flush();
+    inline.flush();
+    // Compare the exported serving state after continuation: slot tallies
+    // reset at import, but the serving stack must evolve identically.
+    let (minute_a, bytes_a) = pooled.export_stream(0).unwrap();
+    let (minute_b, bytes_b) = inline.export_stream(0).unwrap();
+    assert_eq!(minute_a, minute_b);
+    assert_eq!(bytes_a, bytes_b, "migrated stream's serving state diverged from its source");
+    let a = pooled.stream_info(0).unwrap();
+    let b = inline.stream_info(0).unwrap();
+    assert_eq!(a.last_forecast, b.last_forecast);
+    assert_eq!(a.retrains, b.retrains);
+}

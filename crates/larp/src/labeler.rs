@@ -107,6 +107,57 @@ pub fn label_windows_parallel(
     Ok(results.into_iter().flatten().collect())
 }
 
+/// Labels every `(window, next-value)` pair of `train` returning the class
+/// indices only — no window copies, no per-window forecast vectors. Produces
+/// exactly `label_windows_parallel(..).iter().map(|lw| lw.label.0)` (a test
+/// pins this), but the only allocation is the returned label vector itself,
+/// which the k-NN fit consumes. This is the path the online retrain loop
+/// takes several thousand times per minute.
+///
+/// # Errors
+///
+/// Same conditions as [`label_windows_parallel`].
+pub fn label_ids(
+    pool: &PredictorPool,
+    train: &[f64],
+    window: usize,
+    threads: usize,
+) -> Result<Vec<usize>> {
+    if threads == 0 {
+        return Err(LarpError::InvalidConfig("threads must be >= 1".into()));
+    }
+    let frames = prepare(pool, train, window)?;
+    let total = frames.count_with_targets();
+    if threads == 1 || total < 256 {
+        return Ok((0..total)
+            .map(|index| pool.best_id(frames.get(index), train[index + window]).0)
+            .collect());
+    }
+    let chunk = total.div_ceil(threads);
+    let ranges: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(total)))
+        .filter(|(s, e)| s < e)
+        .collect();
+    let results = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(start, end)| {
+                let frames = &frames;
+                s.spawn(move || {
+                    (start..end)
+                        .map(|index| pool.best_id(frames.get(index), train[index + window]).0)
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("labeler worker panicked"))
+            .collect::<Vec<Vec<_>>>()
+    });
+    Ok(results.into_iter().flatten().collect())
+}
+
 fn prepare<'a>(pool: &PredictorPool, train: &'a [f64], window: usize) -> Result<Frames<'a>> {
     if window < pool.min_history() {
         return Err(LarpError::InvalidConfig(format!(
@@ -171,6 +222,24 @@ mod tests {
         for threads in [1, 2, 3, 4, 7] {
             let par = label_windows_parallel(&p, &t, 5, threads).unwrap();
             assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn label_ids_matches_labeled_windows_in_both_regimes() {
+        // Small series takes the sequential path; 300 windows with 4 threads
+        // takes the parallel fan-out. Both must agree with the window-copying
+        // reference exactly.
+        for (n, threads) in [(100, 1), (100, 4), (300, 1), (300, 4)] {
+            let t = series(n);
+            let p = pool(&t, 5);
+            let reference: Vec<usize> =
+                label_windows(&p, &t, 5).unwrap().iter().map(|lw| lw.label.0).collect();
+            assert_eq!(
+                label_ids(&p, &t, 5, threads).unwrap(),
+                reference,
+                "n={n} threads={threads}"
+            );
         }
     }
 

@@ -8,7 +8,7 @@ use predictors::{PredictorId, PredictorPool};
 use timeseries::ZScore;
 
 use crate::config::{FeatureReduction, LarpConfig};
-use crate::labeler::label_windows_parallel;
+use crate::labeler::label_ids;
 use crate::selector::KnnSelector;
 use crate::{LarpError, Result};
 
@@ -128,29 +128,43 @@ impl TrainedLarp {
         let normalized = zscore.apply_slice(train);
 
         let pool = PredictorPool::from_specs(&config.pool, &normalized)?;
-        let labeled = label_windows_parallel(&pool, &normalized, m, threads)?;
+        // Labels only — the windows themselves are overlapping subslices of
+        // `normalized`, so nothing is copied per window until the single flat
+        // matrix below. This keeps a steady-state retrain (a few dozen tiny
+        // windows, several thousand times a minute at fleet scale) down to a
+        // handful of right-sized allocations instead of ~4 per window.
+        let labels = label_ids(&pool, &normalized, m, threads)?;
+        let n_windows = labels.len();
 
-        // Window matrix for PCA: (u - m) × m.
-        let rows: Vec<Vec<f64>> = labeled.iter().map(|lw| lw.window.clone()).collect();
-        let window_matrix =
-            Matrix::from_rows(&rows).map_err(|e| LarpError::Substrate(e.to_string()))?;
+        // Flat row-major window matrix: (u - m) × m, one copy per window.
+        let mut windows = Vec::with_capacity(n_windows * m);
+        for i in 0..n_windows {
+            windows.extend_from_slice(&normalized[i..i + m]);
+        }
 
-        let pca = match &config.reduction {
-            FeatureReduction::Pca { dims } => Some(Arc::new(Pca::fit(&window_matrix, *dims)?)),
-            FeatureReduction::PcaFraction { min_fraction } => {
-                Some(Arc::new(Pca::fit_fraction(&window_matrix, *min_fraction)?))
+        let (pca, points, dim) = match &config.reduction {
+            FeatureReduction::None => (None, windows, m),
+            reduction => {
+                let window_matrix = Matrix::from_vec(n_windows, m, windows)
+                    .map_err(|e| LarpError::Substrate(e.to_string()))?;
+                let p = match reduction {
+                    FeatureReduction::Pca { dims } => Pca::fit(&window_matrix, *dims)?,
+                    FeatureReduction::PcaFraction { min_fraction } => {
+                        Pca::fit_fraction(&window_matrix, *min_fraction)?
+                    }
+                    FeatureReduction::None => unreachable!("handled above"),
+                };
+                let dim = p.n_components();
+                let mut features = Vec::with_capacity(n_windows * dim);
+                let mut buf = Vec::with_capacity(dim);
+                for i in 0..n_windows {
+                    p.transform_into(window_matrix.row(i), &mut buf)?;
+                    features.extend_from_slice(&buf);
+                }
+                (Some(Arc::new(p)), features, dim)
             }
-            FeatureReduction::None => None,
         };
-
-        let features: Vec<Vec<f64>> = match &pca {
-            Some(p) => {
-                labeled.iter().map(|lw| p.transform(&lw.window)).collect::<learn::Result<_>>()?
-            }
-            None => rows,
-        };
-        let labels: Vec<usize> = labeled.iter().map(|lw| lw.label.0).collect();
-        let knn = KnnClassifier::fit(features, labels, config.k, config.backend)?;
+        let knn = KnnClassifier::fit_flat(points, dim, labels, config.k, config.backend)?;
 
         Ok(Self { config: config.clone(), zscore, pool, pca, knn, train_len: train.len() })
     }

@@ -20,7 +20,9 @@
 //! | `larp_retrain_failures_total` | counter | failed training attempts |
 //! | `larp_nonfinite_forecasts_total` | counter | non-finite forecasts caught |
 //! | `larp_faults_sanitized_total` | counter | ingestion repairs performed |
-//! | `larp_retrain_us` | histogram | wall-clock (re)training time, µs |
+//! | `larp_retrain_us` | histogram | (re)training fit time, µs |
+//! | `larp_retrain_queue_wait_us` | histogram | retrain queue wait, µs (0 inline) |
+//! | `larp_slow_retrains_total` | counter | fits over the slow threshold |
 //!
 //! Hot-path budget: one counter increment per step plus one `Cell`
 //! comparison; events fire only on *transitions* (the selector's choice or
@@ -83,6 +85,11 @@ pub struct LarpObs {
     nonfinite: Counter,
     sanitized: Counter,
     retrain_us: Histogram,
+    retrain_queue_wait_us: Histogram,
+    slow_retrains: Counter,
+    /// Fit-time threshold above which a retrain counts as *slow* (emits a
+    /// [`EventKind::SlowRetrain`] event and bumps `larp_slow_retrains_total`).
+    slow_retrain_threshold_us: u64,
     events: Option<EventRing>,
     /// Last `(chosen, rung)` served, packed via [`pack_choice`] (0 = none),
     /// for transition-only event emission. Runtime-only: deliberately not
@@ -106,15 +113,30 @@ impl LarpObs {
             nonfinite: registry.counter("larp_nonfinite_forecasts_total"),
             sanitized: registry.counter("larp_faults_sanitized_total"),
             retrain_us: registry.histogram("larp_retrain_us"),
+            retrain_queue_wait_us: registry.histogram("larp_retrain_queue_wait_us"),
+            slow_retrains: registry.counter("larp_slow_retrains_total"),
+            slow_retrain_threshold_us: Self::DEFAULT_SLOW_RETRAIN_US,
             events: None,
             last_choice: AtomicU64::new(0),
         }
     }
 
+    /// Default slow-retrain threshold: 100 ms of fit time, ~3000× the
+    /// steady-state per-sample serving budget.
+    pub const DEFAULT_SLOW_RETRAIN_US: u64 = 100_000;
+
     /// Routes transition events into `ring` (metrics alone otherwise).
     #[must_use]
     pub fn with_events(mut self, ring: EventRing) -> Self {
         self.events = Some(ring);
+        self
+    }
+
+    /// Overrides the slow-retrain threshold (µs of fit time; fits strictly
+    /// above it count as slow).
+    #[must_use]
+    pub fn with_slow_retrain_threshold_us(mut self, threshold_us: u64) -> Self {
+        self.slow_retrain_threshold_us = threshold_us;
         self
     }
 
@@ -135,6 +157,9 @@ impl LarpObs {
             nonfinite: self.nonfinite.clone(),
             sanitized: self.sanitized.clone(),
             retrain_us: self.retrain_us.clone(),
+            retrain_queue_wait_us: self.retrain_queue_wait_us.clone(),
+            slow_retrains: self.slow_retrains.clone(),
+            slow_retrain_threshold_us: self.slow_retrain_threshold_us,
         }
     }
 
@@ -176,10 +201,22 @@ impl LarpObs {
         self.emit(EventKind::QuarantineExit { predictor: predictor as u64 });
     }
 
-    pub(crate) fn record_retrain_success(&self, duration_us: u64) {
+    /// Records one successful (re)train. Queue wait (time the request sat
+    /// armed/enqueued before a worker started fitting) and the fit itself are
+    /// tracked as separate histograms so a saturated retrain pool is
+    /// distinguishable from genuinely slow fits.
+    pub(crate) fn record_retrain_success(&self, fit_us: u64, queue_wait_us: u64) {
         self.retrains.inc();
-        self.retrain_us.record(duration_us as f64);
-        self.emit(EventKind::RetrainSucceeded { duration_us });
+        self.retrain_us.record(fit_us as f64);
+        self.retrain_queue_wait_us.record(queue_wait_us as f64);
+        self.emit(EventKind::RetrainSucceeded { duration_us: fit_us });
+        if fit_us > self.slow_retrain_threshold_us {
+            self.slow_retrains.inc();
+            self.emit(EventKind::SlowRetrain {
+                fit_us,
+                threshold_us: self.slow_retrain_threshold_us,
+            });
+        }
     }
 
     pub(crate) fn record_retrain_failure(&self, consecutive: u64) {

@@ -26,6 +26,7 @@
 //!   the loop keeps [`OnlineCounters`] for observability.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use learn::PcaInterner;
 use predictors::PredictorId;
@@ -83,6 +84,66 @@ pub struct OnlineCounters {
     pub fallback_steps: usize,
 }
 
+/// A training job captured at arm time: the exact window copy a retrain would
+/// have used inline, plus the model generation it must install against.
+///
+/// The deferred-retrain contract (DESIGN.md §13): when the QA orders a refit
+/// at step *t* and a model already exists, the loop *arms* a request instead
+/// of fitting inline — the old model serves step *t*'s forecast, and the new
+/// model installs strictly before step *t+1* is scored. The fit itself is
+/// pure (window copy + config in, model out), so it can run on any thread;
+/// [`OnlineLarp::install_retrain`] rejects outcomes whose generation no
+/// longer matches, making late or duplicated fits harmless.
+#[derive(Debug, Clone)]
+pub struct RetrainRequest {
+    generation: u64,
+    tail: Vec<f64>,
+}
+
+impl RetrainRequest {
+    /// The model generation this request was armed against.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The training window (most recent `train_size` observations, raw scale).
+    pub fn tail(&self) -> &[f64] {
+        &self.tail
+    }
+
+    /// Fits a model on the captured window. Pure: no serving state is read or
+    /// written, so this can run off-thread. Returns `None` when training
+    /// fails *or* the fitted model cannot produce a finite forecast on its
+    /// own training tail (a NaN-poisoned window) — installing such a model
+    /// would poison every forecast.
+    pub fn fit(&self, config: &LarpConfig) -> Option<TrainedLarp> {
+        TrainedLarp::train(&self.tail, config).ok().filter(|model| {
+            matches!(
+                model.predict_next_raw(&self.tail),
+                Ok((_, f)) if f.is_finite()
+            )
+        })
+    }
+}
+
+/// The result of fitting a [`RetrainRequest`], ready for
+/// [`OnlineLarp::install_retrain`]. `model: None` records a *failed* fit —
+/// installing it applies the retry-backoff bookkeeping, exactly as an inline
+/// failure would.
+#[derive(Debug)]
+pub struct RetrainOutcome {
+    /// Generation copied from the request; installs are rejected when the
+    /// model has moved on since arming.
+    pub generation: u64,
+    /// The fitted model, or `None` when the fit failed the train/probe.
+    pub model: Option<TrainedLarp>,
+    /// Time the request spent queued before a worker picked it up (0 for
+    /// inline resolution).
+    pub queue_wait_us: u64,
+    /// Wall-clock time of the fit itself.
+    pub fit_us: u64,
+}
+
 /// Per-pool-member quarantine bookkeeping.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct PredictorHealth {
@@ -136,6 +197,18 @@ pub struct OnlineLarp {
     /// Earliest clock at which another training attempt is allowed.
     pub(crate) next_retrain_at: u64,
     pub(crate) retrain_pending: bool,
+    /// A retrain captured this step but not yet fitted/installed; runtime-only
+    /// (never snapshotted — every snapshot path settles it first, and
+    /// `retrain_pending` re-arms after restore if one were ever lost).
+    pub(crate) armed: Option<RetrainRequest>,
+    /// When `true`, an external driver (the fleet retrain pool) takes armed
+    /// requests via [`OnlineLarp::take_retrain_request`] and installs the
+    /// outcomes between pushes; when `false` (default) the push itself
+    /// resolves them inline at end of step. Runtime-only.
+    pub(crate) deferred_external: bool,
+    /// Bumped on every model install; stamps [`RetrainRequest`]s so stale
+    /// off-thread fits are discarded instead of installed. Runtime-only.
+    pub(crate) generation: u64,
     /// Registry-backed recorder; runtime-only (never snapshotted, restored
     /// instances start unattached).
     pub(crate) obs: Option<LarpObs>,
@@ -261,6 +334,9 @@ impl OnlineLarp {
             consecutive_retrain_failures: 0,
             next_retrain_at: 0,
             retrain_pending: false,
+            armed: None,
+            deferred_external: false,
+            generation: 0,
             obs: None,
             interner: None,
         })
@@ -341,6 +417,12 @@ impl OnlineLarp {
     /// layer keeps one [`Scratch`] per worker and reuses it across every
     /// stream it serves, making the steady-state step allocation-free.
     pub fn push_with(&mut self, value: f64, scratch: &mut Scratch) -> OnlineStep {
+        // 0. A request armed on the previous step that no external driver
+        // took (multi-value gap-fill feeds, replay, direct pushes) must
+        // install before this step is scored — the contract is "armed
+        // resolves before the next push", whoever runs the fit.
+        self.settle_retrain_now();
+
         self.clock += 1;
 
         // 1. Score the pending forecast.
@@ -367,11 +449,23 @@ impl OnlineLarp {
             self.observe_tracker(stored, &mut scratch.norm64);
         }
 
-        // 2. Training, gated by the retry backoff.
+        // 2. Training, gated by the retry backoff. The *initial* train (no
+        // model yet) stays fully inline — the caller is owed a forecast from
+        // it this very step. A re-train arms a request instead: the old model
+        // serves this step, and the new one installs at end of push (inline
+        // mode) or between pushes (external retrain pool).
         let mut retrained = false;
         let due = self.retrain_pending || self.model.is_none();
-        if due && self.history.len() >= self.train_size && self.clock >= self.next_retrain_at {
-            retrained = self.try_retrain(scratch);
+        if due
+            && self.history.len() >= self.train_size
+            && self.clock >= self.next_retrain_at
+            && self.armed.is_none()
+        {
+            if self.model.is_none() {
+                retrained = self.try_retrain(scratch);
+            } else {
+                self.armed = Some(self.snapshot_request(scratch));
+            }
         }
 
         // 3. Re-admit predictors whose quarantine has expired.
@@ -400,6 +494,12 @@ impl OnlineLarp {
         }
         if let Some(f) = forecast {
             self.pending = Some((chosen, f));
+        }
+        // 5. Inline mode resolves the armed retrain here, after the old model
+        // served this step's forecast. External mode leaves it armed for the
+        // retrain pool (step 0 of the next push is the backstop).
+        if !self.deferred_external {
+            retrained |= self.settle_retrain_now();
         }
         OnlineStep { forecast, chosen, retrained, health }
     }
@@ -440,29 +540,90 @@ impl OnlineLarp {
         }
     }
 
-    /// Attempts a (re)train on the most recent `train_size` points. On failure
-    /// the stale model keeps serving and the next attempt is pushed out by an
-    /// exponential backoff.
-    ///
-    /// A model that trains without error but cannot produce a finite forecast
-    /// on its own training tail (possible when the window contains NaN — the
-    /// substrate's numerics carry NaN through rather than erroring) counts as
-    /// a failure too: installing it would poison every forecast.
+    /// Attempts a (re)train on the most recent `train_size` points, fully
+    /// inline: arm, fit, install in one call. Used for the initial train
+    /// (which must serve its forecast the same step) and by tests.
     fn try_retrain(&mut self, scratch: &mut Scratch) -> bool {
-        let started = std::time::Instant::now();
+        self.armed = Some(self.snapshot_request(scratch));
+        self.settle_retrain_now()
+    }
+
+    /// Captures the training window ending at the current step into an
+    /// owned, generation-stamped request.
+    fn snapshot_request(&self, scratch: &mut Scratch) -> RetrainRequest {
         let start = self.history.len().saturating_sub(self.train_size);
-        let trained = {
-            // Zero-copy for `f64` rings; `f32` rings widen into the scratch.
-            let full = self.history.materialized(&mut scratch.hist64);
-            let tail = &full[start..];
-            TrainedLarp::train(tail, &self.config).ok().filter(|model| {
-                matches!(
-                    model.predict_next_raw(tail),
-                    Ok((_, f)) if f.is_finite()
-                )
-            })
+        // Zero-copy for `f64` rings; `f32` rings widen into the scratch.
+        let full = self.history.materialized(&mut scratch.hist64);
+        RetrainRequest { generation: self.generation, tail: full[start..].to_vec() }
+    }
+
+    /// Takes the armed retrain request, if any, for off-thread fitting.
+    /// Whoever takes it owes the model an [`OnlineLarp::install_retrain`]
+    /// before the next push (the push's own backstop resolves anything still
+    /// armed, so forgetting to take is safe — forgetting to install is not,
+    /// but a stale install is simply discarded).
+    pub fn take_retrain_request(&mut self) -> Option<RetrainRequest> {
+        self.armed.take()
+    }
+
+    /// Resolves any armed retrain inline right now: fit on this thread,
+    /// install immediately. Returns `true` iff a new model was installed.
+    pub fn settle_retrain_now(&mut self) -> bool {
+        let Some(request) = self.armed.take() else {
+            return false;
         };
-        match trained {
+        let started = Instant::now();
+        let model = request.fit(&self.config);
+        let installed = model.is_some();
+        self.install_retrain(RetrainOutcome {
+            generation: request.generation,
+            model,
+            queue_wait_us: 0,
+            fit_us: started.elapsed().as_micros() as u64,
+        });
+        installed
+    }
+
+    /// Whether deferred retrains are resolved externally (see
+    /// [`OnlineLarp::set_deferred_retrain`]).
+    pub fn retrain_deferred(&self) -> bool {
+        self.deferred_external
+    }
+
+    /// Switches between inline resolution (default: the push that arms a
+    /// retrain also fits and installs it at end of step) and external
+    /// resolution (an off-worker pool takes requests between pushes). The
+    /// forecast sequence is bit-identical either way — only *where* the fit
+    /// runs changes.
+    pub fn set_deferred_retrain(&mut self, external: bool) {
+        self.deferred_external = external;
+    }
+
+    /// The current model generation (bumped on every install).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The LARPredictor configuration a [`RetrainRequest::fit`] needs.
+    pub fn config(&self) -> &LarpConfig {
+        &self.config
+    }
+
+    /// Installs the outcome of a fitted [`RetrainRequest`]. Returns `false`
+    /// (and changes nothing) when the outcome's generation no longer matches
+    /// — a model was installed since the request was armed, so both success
+    /// and failure bookkeeping would apply to the wrong serving state.
+    ///
+    /// A successful outcome installs the model exactly as an inline retrain
+    /// would: fresh quarantine slate, fresh fallback tracker, rebuilt
+    /// normalised mirror, QA reset. A failed outcome (`model: None`) keeps
+    /// the stale model serving and pushes the next attempt out by the
+    /// exponential backoff.
+    pub fn install_retrain(&mut self, outcome: RetrainOutcome) -> bool {
+        if outcome.generation != self.generation {
+            return false;
+        }
+        match outcome.model {
             Some(mut model) => {
                 if let Some(interner) = &self.interner {
                     model.intern_pca(interner);
@@ -476,10 +637,10 @@ impl OnlineLarp {
                 self.qa.reset();
                 self.retrain_pending = false;
                 self.consecutive_retrain_failures = 0;
+                self.generation += 1;
                 if let Some(obs) = &self.obs {
-                    obs.record_retrain_success(started.elapsed().as_micros() as u64);
+                    obs.record_retrain_success(outcome.fit_us, outcome.queue_wait_us);
                 }
-                true
             }
             None => {
                 self.counters.retrain_failures += 1;
@@ -494,9 +655,9 @@ impl OnlineLarp {
                     .saturating_mul(1usize << exp)
                     .min(self.resilience.retrain_backoff_cap);
                 self.next_retrain_at = self.clock + delay as u64;
-                false
             }
         }
+        true
     }
 
     /// Walks the degradation ladder for the next forecast. The returned

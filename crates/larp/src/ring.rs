@@ -149,8 +149,10 @@ impl HistoryRing {
         match &self.buf {
             RingBuf::F64(buf) => &buf[self.start..],
             RingBuf::F32(buf) => {
-                scratch.clear();
-                scratch.extend(buf[self.start..].iter().map(|&v| v as f64));
+                // Widening through the dispatched kernel (vcvtps2pd under
+                // AVX2) — the conversion is exact, so mode cannot change
+                // results.
+                linalg::kernels::widen_into(&buf[self.start..], scratch);
                 scratch.as_slice()
             }
         }

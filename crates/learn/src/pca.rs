@@ -190,8 +190,9 @@ impl Pca {
 
     /// [`Pca::transform`] into a caller-owned buffer (cleared first), for
     /// allocation-free repeated projection. Bit-identical to `transform`:
-    /// each output is the same left-to-right dot product of a component row
-    /// with the centered input.
+    /// each output is the same projection kernel applied to the same
+    /// component row, and the kernel itself is bit-identical across its
+    /// scalar/AVX2 dispatches.
     ///
     /// # Errors
     ///
@@ -206,12 +207,7 @@ impl Pca {
         }
         out.clear();
         for c in 0..self.n_components() {
-            let row = self.components.row(c);
-            let mut acc = 0.0;
-            for ((&w, &a), &m) in row.iter().zip(x).zip(&self.mean) {
-                acc += w * (a - m);
-            }
-            out.push(acc);
+            out.push(linalg::kernels::project_dot(self.components.row(c), x, &self.mean));
         }
         Ok(())
     }
@@ -253,10 +249,7 @@ impl Pca {
         }
         let mut out = self.mean.clone();
         for (c, &zc) in z.iter().enumerate() {
-            let row = self.components.row(c);
-            for (o, &v) in out.iter_mut().zip(row) {
-                *o += zc * v;
-            }
+            linalg::kernels::axpy(zc, self.components.row(c), &mut out);
         }
         Ok(out)
     }

@@ -11,14 +11,18 @@
 //!   [`cholesky::Cholesky`]) — polynomial least-squares fitting and verification.
 //!
 //! Everything is built on a single row-major [`Matrix`] type plus free functions
-//! over `&[f64]` slices ([`vecops`]). Matrices in this workspace are tiny (the
-//! prediction window is 5–16 wide), so the implementations favour clarity and
-//! numerical robustness over blocking or SIMD; the `bench` crate verifies that the
-//! kernels are nowhere near the pipeline's critical path.
+//! over `&[f64]` slices ([`vecops`]). The slice primitives on the serving and
+//! training hot paths (dot, squared distance, sums/moments, z-normalisation,
+//! PCA projection, batched distance scans) live in [`kernels`], which selects
+//! between a portable scalar implementation and a runtime-detected x86_64
+//! AVX2 one — bit-identical by construction, see the module docs. The matrix
+//! factorisations stay scalar: they operate on tiny `m × m` systems
+//! (`m ≤ 16`) far from the critical path.
 #![warn(missing_docs)]
 
 pub mod cholesky;
 pub mod gauss;
+pub mod kernels;
 pub mod matrix;
 pub mod sym_eigen;
 pub mod toeplitz;

@@ -178,7 +178,7 @@ impl Matrix {
                 v.len()
             )));
         }
-        Ok(self.iter_rows().map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum()).collect())
+        Ok(self.iter_rows().map(|row| crate::kernels::dot(row, v)).collect())
     }
 
     /// Elementwise sum `self + rhs`.
@@ -276,14 +276,18 @@ impl Matrix {
         if n < 2 {
             return cov;
         }
+        // Accumulates the upper triangle with plain elementwise updates.
+        // Each cov element receives exactly one `+= cᵢ · cⱼ` per row, so the
+        // result is independent of traversal order and bit-identical to the
+        // dispatched `kernels::axpy_centered` form — a direct loop beats the
+        // per-call dispatch overhead on the tiny `d ≤ 16` windows the PCA
+        // retrain path fits thousands of times a minute.
         for row in self.iter_rows() {
             for i in 0..d {
                 let ci = row[i] - means[i];
-                if ci == 0.0 {
-                    continue;
-                }
-                for j in i..d {
-                    cov[(i, j)] += ci * (row[j] - means[j]);
+                let out = &mut cov.data[i * d + i..(i + 1) * d];
+                for ((o, &rj), &mj) in out.iter_mut().zip(&row[i..]).zip(&means[i..]) {
+                    *o += ci * (rj - mj);
                 }
             }
         }

@@ -1,4 +1,8 @@
 //! Free functions over `&[f64]` slices: the vector kernel of the workspace.
+//!
+//! The reductions (`dot`, `squared_distance`) and `axpy` forward to the
+//! runtime-dispatched implementations in [`crate::kernels`], so every caller
+//! in the workspace picks up the AVX2 path automatically.
 
 /// Dot product of two equal-length slices.
 ///
@@ -7,8 +11,7 @@
 /// Panics if the lengths differ.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    crate::kernels::dot(a, b)
 }
 
 /// Euclidean (L2) norm.
@@ -24,8 +27,7 @@ pub fn norm2(a: &[f64]) -> f64 {
 /// Panics if the lengths differ.
 #[inline]
 pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    crate::kernels::squared_distance(a, b)
 }
 
 /// Euclidean distance between two equal-length points.
@@ -41,10 +43,7 @@ pub fn distance(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the lengths differ.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    crate::kernels::axpy(alpha, x, y)
 }
 
 /// Scales a slice in place.

@@ -131,6 +131,9 @@ fn event_json(e: &Event) -> String {
         }
         EventKind::RetrainSucceeded { duration_us } => format!("\"duration_us\": {duration_us}"),
         EventKind::RetrainFailed { consecutive } => format!("\"consecutive\": {consecutive}"),
+        EventKind::SlowRetrain { fit_us, threshold_us } => {
+            format!("\"fit_us\": {fit_us}, \"threshold_us\": {threshold_us}")
+        }
         EventKind::CheckpointSave { streams, bytes }
         | EventKind::CheckpointRestore { streams, bytes } => {
             format!("\"streams\": {streams}, \"bytes\": {bytes}")

@@ -89,6 +89,13 @@ pub enum EventKind {
         /// Consecutive failures since the last success.
         consecutive: u64,
     },
+    /// A (re)training fit exceeded the slow-retrain threshold.
+    SlowRetrain {
+        /// Wall-clock fit time in microseconds.
+        fit_us: u64,
+        /// The threshold it exceeded.
+        threshold_us: u64,
+    },
     /// A fleet checkpoint was serialized.
     CheckpointSave {
         /// Streams captured.
@@ -208,6 +215,7 @@ impl EventKind {
             EventKind::BackpressureReject { .. } => "backpressure_reject",
             EventKind::RetrainSucceeded { .. } => "retrain_succeeded",
             EventKind::RetrainFailed { .. } => "retrain_failed",
+            EventKind::SlowRetrain { .. } => "slow_retrain",
             EventKind::CheckpointSave { .. } => "checkpoint_save",
             EventKind::CheckpointRestore { .. } => "checkpoint_restore",
             EventKind::StreamEvicted { .. } => "stream_evicted",

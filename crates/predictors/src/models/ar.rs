@@ -55,7 +55,7 @@ impl Ar {
 
         // Degenerate series (constant, or numerically so): fall back to
         // persistence instead of failing the whole pool.
-        let rel_floor = 1e-12 * train.iter().map(|x| x * x).sum::<f64>().max(1e-300);
+        let rel_floor = 1e-12 * linalg::kernels::dot(train, train).max(1e-300);
         if acov[0] <= rel_floor {
             let mut coefficients = vec![0.0; order];
             coefficients[0] = 1.0;

@@ -154,7 +154,7 @@ impl Predictor for AdaptiveMean {
     }
 
     fn predict(&self, history: &[f64]) -> f64 {
-        adaptive_predict(history, &self.candidates, |w| w.iter().sum::<f64>() / w.len() as f64)
+        adaptive_predict(history, &self.candidates, |w| linalg::kernels::sum(w) / w.len() as f64)
     }
 }
 

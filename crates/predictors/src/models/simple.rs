@@ -63,7 +63,7 @@ impl Predictor for SwAvg {
     fn predict(&self, history: &[f64]) -> f64 {
         let start = history.len().saturating_sub(self.window);
         let tail = &history[start..];
-        tail.iter().sum::<f64>() / tail.len() as f64
+        linalg::kernels::sum(tail) / tail.len() as f64
     }
 }
 
@@ -84,7 +84,7 @@ impl Predictor for Mean {
     }
 
     fn predict(&self, history: &[f64]) -> f64 {
-        history.iter().sum::<f64>() / history.len() as f64
+        linalg::kernels::sum(history) / history.len() as f64
     }
 }
 

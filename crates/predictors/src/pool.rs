@@ -203,6 +203,37 @@ impl PredictorPool {
             .expect("pool is non-empty");
         (best, forecasts)
     }
+
+    /// [`PredictorPool::best_for`] without materialising the forecast vector:
+    /// a streaming argmin over the same per-model forecasts, in the same
+    /// order, under the same total order on absolute error — so the returned
+    /// id always equals `best_for(history, actual).0`. This is the
+    /// allocation-free labelling step the retrain path runs once per training
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is shorter than the pool's
+    /// [`min_history`](Self::min_history).
+    pub fn best_id(&self, history: &[f64], actual: f64) -> PredictorId {
+        assert!(
+            history.len() >= self.min_history(),
+            "pool needs {} points, got {}",
+            self.min_history(),
+            history.len()
+        );
+        let mut best = PredictorId(0);
+        let mut best_err = f64::INFINITY;
+        for (i, m) in self.models.iter().enumerate() {
+            let err = (m.predict(history) - actual).abs();
+            // Strict `Less` keeps the first minimum — `min_by`'s tie rule.
+            if i == 0 || err.total_cmp(&best_err) == std::cmp::Ordering::Less {
+                best = PredictorId(i);
+                best_err = err;
+            }
+        }
+        best
+    }
 }
 
 impl std::fmt::Debug for PredictorPool {
@@ -252,6 +283,21 @@ mod tests {
         for f in &forecasts {
             assert!(err_best <= (f - 9.0).abs() + 1e-15);
         }
+    }
+
+    #[test]
+    fn best_id_matches_best_for() {
+        let t = train();
+        let pool = PredictorPool::standard(&t, 5).unwrap();
+        for end in 10..60 {
+            let h = &t[..end];
+            let actual = t[end];
+            assert_eq!(pool.best_id(h, actual), pool.best_for(h, actual).0);
+        }
+        // Non-finite actual exercises the total_cmp ordering (NaN errors rank
+        // after every finite one in both implementations).
+        let h = &t[..20];
+        assert_eq!(pool.best_id(h, f64::NAN), pool.best_for(h, f64::NAN).0);
     }
 
     #[test]

@@ -80,7 +80,17 @@ impl ZScore {
 
     /// Transforms a slice into a new vector.
     pub fn apply_slice(&self, xs: &[f64]) -> Vec<f64> {
-        xs.iter().map(|&x| self.apply(x)).collect()
+        let mut out = Vec::new();
+        self.apply_slice_into(xs, &mut out);
+        out
+    }
+
+    /// [`ZScore::apply_slice`] into a reusable buffer (cleared and resized
+    /// first) — the allocation-free training-path variant. Bit-identical to
+    /// per-element [`ZScore::apply`]: the kernel keeps the same
+    /// subtract-then-divide operation sequence.
+    pub fn apply_slice_into(&self, xs: &[f64], out: &mut Vec<f64>) {
+        linalg::kernels::znorm_apply_into(xs, self.mean, self.divisor(), out);
     }
 
     /// Inverse-transforms a slice into a new vector.

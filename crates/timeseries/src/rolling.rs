@@ -89,15 +89,14 @@ impl RollingMoments {
     fn resum(&mut self) {
         let n = self.values.len() as f64;
         self.shift += self.sum / n;
-        let mut sum = 0.0;
-        let mut sum_sq = 0.0;
-        for &v in &self.values {
-            let d = v - self.shift;
-            sum += d;
-            sum_sq += d * d;
-        }
-        self.sum = sum;
-        self.sum_sq = sum_sq;
+        // The deque is at most two contiguous runs; kernel-sum each and
+        // combine (dispatch-deterministic: each run uses the fixed 4-lane
+        // reduction, then the two run totals add in order).
+        let (front, back) = self.values.as_slices();
+        let (sf, qf) = linalg::kernels::centered_sums(front, self.shift);
+        let (sb, qb) = linalg::kernels::centered_sums(back, self.shift);
+        self.sum = sf + sb;
+        self.sum_sq = qf + qb;
         self.since_resum = 0;
     }
 

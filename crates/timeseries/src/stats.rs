@@ -13,7 +13,7 @@ pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    xs.iter().sum::<f64>() / xs.len() as f64
+    linalg::kernels::sum(xs) / xs.len() as f64
 }
 
 /// Population variance (`1/n` normalisation), 0.0 for fewer than 2 points.
@@ -21,8 +21,7 @@ pub fn variance(xs: &[f64]) -> f64 {
     if xs.len() < 2 {
         return 0.0;
     }
-    let m = mean(xs);
-    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+    linalg::kernels::centered_sum_sq(xs, mean(xs)) / xs.len() as f64
 }
 
 /// Sample variance (`1/(n-1)` normalisation), 0.0 for fewer than 2 points.
@@ -30,8 +29,7 @@ pub fn sample_variance(xs: &[f64]) -> f64 {
     if xs.len() < 2 {
         return 0.0;
     }
-    let m = mean(xs);
-    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+    linalg::kernels::centered_sum_sq(xs, mean(xs)) / (xs.len() - 1) as f64
 }
 
 /// Population standard deviation.
@@ -170,10 +168,9 @@ pub fn autocovariance(xs: &[f64], max_lag: usize) -> Result<Vec<f64>> {
     let m = mean(xs);
     let mut acov = Vec::with_capacity(max_lag + 1);
     for lag in 0..=max_lag {
-        let mut s = 0.0;
-        for t in lag..n {
-            s += (xs[t] - m) * (xs[t - lag] - m);
-        }
+        // Lag-`lag` autocovariance is the centered dot of the series against
+        // its own `lag`-shifted view.
+        let s = linalg::kernels::centered_dot(&xs[lag..], &xs[..n - lag], m);
         acov.push(s / n as f64);
     }
     Ok(acov)

@@ -25,23 +25,62 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> kernel dispatch parity (forced-scalar and forced-AVX2 runs)"
+# The vectorized kernels contract bit-identical results across dispatch modes
+# (DESIGN.md §13). Re-run the numeric crates with each mode forced; "avx2"
+# silently degrades to scalar on hosts without it, so both exports are safe
+# everywhere. linalg carries the to_bits parity proptests; larp + fleet prove
+# the serving pipeline end-to-end under each kernel set.
+LARP_KERNELS=scalar cargo test -q -p linalg -p larp -p fleet
+LARP_KERNELS=avx2 cargo test -q -p linalg
+
 if [[ "$QUICK" -eq 0 ]]; then
+  echo "==> hotpath_micro regression gate (serving-step + retrain ns/iter)"
+  # Median ns/iter for the two rows the fleet hot path actually spends its
+  # time in, compared against the committed baseline. The 3x ceiling is
+  # deliberately loose for a microbench (CPU scaling, cache state) — it
+  # catches the step or the fit falling off a cliff, not percent-level drift.
+  HOT_JSON="$(cargo bench -q -p larp-bench --bench hotpath_micro -- --json 2>/dev/null | sed -n '/^{/,/^}/p')"
+  echo "$HOT_JSON"
+  for row in "hot_online_step/push_with_scratch" "hot_retrain/train_40_tail"; do
+    NOW_NS="$(grep -o "\"$row\": [0-9.]*" <<<"$HOT_JSON" | grep -o '[0-9.]*$')"
+    BASE_NS="$(grep -o "\"$row\": [0-9.]*" results/BENCH_hotpath.json | grep -o '[0-9.]*$')"
+    if ! awk -v now="$NOW_NS" -v base="$BASE_NS" 'BEGIN { exit (now <= base * 3.0) ? 0 : 1 }'; then
+      echo "hotpath regression: $row at ${NOW_NS}ns/iter > 3x committed baseline ${BASE_NS}ns"
+      exit 1
+    fi
+    echo "hotpath: $row ${NOW_NS}ns/iter (baseline ${BASE_NS}ns, ceiling 3x)"
+  done
+
   echo "==> fleet_throughput smoke + bench-regression gate (1000 streams, 4 shards)"
   # Brief run, then compare samples/sec against the committed baseline in
-  # results/BENCH_fleet.json. The 60% floor is deliberately loose — it
-  # tolerates host differences and scheduler noise while still catching the
-  # kind of order-of-magnitude regression an accidental allocation or a
-  # quadratic slip in the hot path produces.
+  # results/BENCH_fleet.json. The 70% floor tolerates host differences and
+  # scheduler noise while still catching the kind of large regression an
+  # accidental allocation or a quadratic slip in the hot path produces; the
+  # baseline is an 8-run median measured on the reference container, so the
+  # floor is tighter than the old 60% without tripping on run-to-run noise.
   FLEET_JSON="$(cargo run --release -q -p fleet --bin fleet_throughput -- --streams 1000 --samples 50 --shards 4)"
   echo "$FLEET_JSON"
   SMOKE_SPS="$(grep -o '"samples_per_sec": [0-9]*' <<<"$FLEET_JSON" | grep -o '[0-9]*$')"
-  BASELINE_SPS="$(grep -o '"samples_per_sec": [0-9]*' results/BENCH_fleet.json | grep -o '[0-9]*$')"
-  FLOOR=$(( BASELINE_SPS * 60 / 100 ))
+  BASELINE_SPS="$(grep -o '"samples_per_sec": [0-9]*' results/BENCH_fleet.json | head -1 | grep -o '[0-9]*$')"
+  FLOOR=$(( BASELINE_SPS * 70 / 100 ))
   if [[ "$SMOKE_SPS" -lt "$FLOOR" ]]; then
-    echo "fleet_throughput regression: $SMOKE_SPS samples/s < 60% of committed baseline $BASELINE_SPS"
+    echo "fleet_throughput regression: $SMOKE_SPS samples/s < 70% of committed baseline $BASELINE_SPS"
     exit 1
   fi
   echo "fleet_throughput: $SMOKE_SPS samples/s (baseline $BASELINE_SPS, floor $FLOOR)"
+
+  echo "==> retrain-pool bit-identity smoke (pooled vs inline A/B, both kernel modes)"
+  # The off-worker retrain pool must be a pure scheduling change: the A/B
+  # checkpoints every pooled/inline pair and the binary exits non-zero on any
+  # byte divergence. Run once per kernel dispatch mode.
+  for mode in avx2 scalar; do
+    AB_RETRAIN_JSON="$(LARP_KERNELS=$mode cargo run --release -q -p fleet --bin fleet_throughput -- \
+        --streams 200 --samples 120 --shards 2 --ab-retrain)"
+    grep -qF '"bit_identical": true' <<<"$AB_RETRAIN_JSON" \
+      || { echo "retrain pool broke bit-identity under LARP_KERNELS=$mode"; exit 1; }
+    echo "ab-retrain ($mode): $(grep -o '"speedup": [0-9.]*' <<<"$AB_RETRAIN_JSON"), bit_identical"
+  done
 
   echo "==> mem_bench steady-state + bytes/stream regression gate (20000 streams)"
   # Steady-state fleet (hot working set live, cold majority hibernated) under
